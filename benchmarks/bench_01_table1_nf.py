@@ -1,0 +1,30 @@
+"""Table I regeneration: Non-ideality Factor of the three crossbar models.
+
+Prints the measured NF (circuit solver and GENIEx surrogate) next to
+the paper's values and benchmarks the NF measurement itself.
+
+Paper reference (Table I): 64x64_300k NF=0.07, 32x32_100k NF=0.14,
+64x64_100k NF=0.26.  Expected reproduction shape: same ordering, NF
+grows with crossbar size and shrinks with R_ON.
+"""
+
+from repro.experiments import table1
+
+
+def bench_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1.run(num_matrices=3, vectors_per_matrix=6),
+        rounds=1,
+        iterations=1,
+    )
+    result.print()
+
+    values = result.data
+    names = list(values)
+    # The paper's ordering must hold for both the circuit and surrogate.
+    circuit = [values[n]["nf_circuit"] for n in names]
+    assert circuit == sorted(circuit), "NF ordering must match Table I"
+    for name in names:
+        nf_c = values[name]["nf_circuit"]
+        nf_s = values[name]["nf_surrogate"]
+        assert abs(nf_c - nf_s) < 0.1 * nf_c + 0.02, "surrogate NF tracks circuit"

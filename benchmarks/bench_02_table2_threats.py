@@ -1,0 +1,11 @@
+"""Table II regeneration: the threat-scenario knowledge matrix."""
+
+from repro.experiments import table2
+
+
+def bench_table2(benchmark):
+    result = benchmark.pedantic(table2.run, rounds=3, iterations=1)
+    result.print()
+    assert len(result.data) == 4
+    assert result.data["adaptive_white_box"]["crossbar_model"]
+    assert not result.data["nonadaptive_black_box"]["model_weights"]

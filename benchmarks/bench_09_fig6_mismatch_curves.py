@@ -1,0 +1,47 @@
+"""Fig. 6 regeneration: adaptive BB attacks with attacker-model mismatch.
+
+Paper shape: against the 64x64_100k target, surrogate ensembles built by
+querying crossbar hardware transfer well — and the closer the
+attacker's crossbar NF is to the target's, the stronger the attack
+(64x64_100k-built >= 32x32_100k-built >= 64x64_300k-built).
+"""
+
+from repro.experiments import fig6
+from repro.experiments.config import bench_profile as _profile
+
+
+def bench_fig6(benchmark, lab, factory, store):
+    profile = _profile()
+    if profile == "tiny":
+        tasks, eps_grid = ["cifar10"], (4,)
+    elif profile == "small":
+        tasks, eps_grid = ["cifar10"], (2, 4)
+    else:
+        tasks, eps_grid = ["cifar10", "cifar100"], (2, 4, 6, 8)
+    attackers = ["64x64_300k", "64x64_100k"] if profile == "small" else None
+    result = benchmark.pedantic(
+        lambda: fig6.run(
+            lab, tasks=tasks, eps_grid=eps_grid, attacker_presets=attackers, factory=factory
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    store["fig6_cells"] = result.data
+    result.print()
+
+    for task in tasks:
+        cells = result.data[task]
+        # Average the target's accuracy per attacker model over the sweep;
+        # a matched attacker should never be weaker than the most
+        # mismatched one.
+        def mean_target_acc(attacker):
+            vals = [
+                c.variants[fig6.TARGET_PRESET]
+                for c in cells
+                if f"attacker {attacker}" in c.attack
+            ]
+            return sum(vals) / len(vals)
+
+        matched = mean_target_acc("64x64_100k")
+        mismatched = mean_target_acc("64x64_300k")
+        assert matched <= mismatched + 0.10

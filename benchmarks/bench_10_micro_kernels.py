@@ -1,0 +1,88 @@
+"""Microbenchmarks of the stack's computational kernels.
+
+These have no table/figure counterpart; they quantify the cost of the
+building blocks (useful when tuning the evaluation scales) and guard
+against performance regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.nn import functional as F
+from repro.nn.resnet import resnet20
+from repro.xbar.circuit import CrossbarCircuit
+from repro.xbar.device import RRAMDevice
+from repro.xbar.presets import crossbar_preset, load_or_train_geniex
+from repro.xbar.simulator import CrossbarEngine
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return crossbar_preset("32x32_100k")
+
+
+@pytest.fixture(scope="module")
+def geniex(preset):
+    return load_or_train_geniex(preset)
+
+
+def bench_digital_forward(benchmark):
+    model = resnet20(num_classes=10, width=8)
+    model.eval()
+    x = Tensor(np.random.default_rng(0).random((32, 3, 16, 16)).astype(np.float32))
+    with no_grad():
+        benchmark(lambda: model(x))
+
+
+def bench_digital_forward_backward(benchmark):
+    model = resnet20(num_classes=10, width=8)
+    model.eval()
+    rng = np.random.default_rng(0)
+    x_data = rng.random((32, 3, 16, 16)).astype(np.float32)
+    y = rng.integers(0, 10, size=32)
+
+    def step():
+        x = Tensor(x_data, requires_grad=True)
+        loss = F.cross_entropy(model(x), y)
+        loss.backward()
+        return x.grad
+
+    benchmark(step)
+
+
+def bench_circuit_solve_32x32(benchmark, preset):
+    rng = np.random.default_rng(0)
+    device = RRAMDevice(preset.device)
+    conductances = device.level_to_conductance(rng.integers(0, 4, size=(32, 32)))
+    voltages = rng.random((8, 32)) * preset.device.v_read
+    solver = CrossbarCircuit(preset.circuit, preset.device)
+    benchmark(lambda: solver.solve(voltages, conductances))
+
+
+def bench_geniex_predict(benchmark, preset, geniex):
+    rng = np.random.default_rng(0)
+    device = RRAMDevice(preset.device)
+    conductances = device.level_to_conductance(rng.integers(0, 4, size=(32, 32)))
+    voltages = rng.random((256, 32)) * preset.device.v_read
+    handle = geniex.prepare_crossbar(conductances)
+    benchmark(lambda: geniex.predict_from_bias(voltages, handle))
+
+
+def bench_engine_matvec(benchmark, preset, geniex):
+    rng = np.random.default_rng(0)
+    weight = rng.normal(0, 0.3, size=(32, 72)).astype(np.float32)
+    engine = CrossbarEngine(weight, preset, geniex)
+    x = rng.random((256, 72)).astype(np.float32)
+    benchmark(lambda: engine.matvec(x))
+
+
+def bench_hardware_resnet_forward(benchmark, preset, geniex):
+    from repro.xbar.simulator import convert_to_hardware
+
+    model = resnet20(num_classes=10, width=8)
+    model.eval()
+    hardware = convert_to_hardware(model, preset, predictor=geniex)
+    x = Tensor(np.random.default_rng(0).random((8, 3, 16, 16)).astype(np.float32))
+    with no_grad():
+        benchmark.pedantic(lambda: hardware(x), rounds=2, iterations=1)

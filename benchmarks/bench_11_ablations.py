@@ -1,0 +1,125 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. Analog backend fidelity: GENIEx surrogate vs analytic noise model vs
+   parasitic-free (quantization-only) backend, against the exact
+   circuit solver as reference.
+2. Gain calibration: per-column data-driven calibration on vs off.
+3. ADC resolution sweep: how much of the error budget the ADC takes.
+
+These quantify *why* the simulator is built the way it is; none map to
+a paper table, so scales are kept small.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.xbar.adc import ADCConfig
+from repro.xbar.noise import calibrated_noise_model
+from repro.xbar.presets import crossbar_preset, load_or_train_geniex
+from repro.xbar.simulator import CircuitPredictor, CrossbarEngine, IdealPredictor
+
+
+@pytest.fixture(scope="module")
+def setting():
+    preset = crossbar_preset("32x32_100k")
+    rng = np.random.default_rng(7)
+    weight = rng.normal(0, 0.3, size=(16, 27)).astype(np.float32)
+    probes = (rng.random((48, 27)) * (rng.random((48, 27)) < 0.6)).astype(np.float32)
+    test = (rng.random((64, 27)) * (rng.random((64, 27)) < 0.6)).astype(np.float32)
+    return preset, weight, probes, test
+
+
+def bench_ablation_backends(benchmark, setting):
+    """Backend fidelity at the crossbar-current level.
+
+    Compared against the exact circuit solver on holdout workloads —
+    the level at which GENIEx is defined.  (Downstream of the
+    bit-sliced engine, per-column calibration equalizes the backends,
+    so the engine is not the discriminating measurement.)
+    """
+    preset, _weight, _probes, _test = setting
+
+    def run():
+        from repro.xbar.circuit import CrossbarCircuit
+        from repro.xbar.nf import sample_crossbar_workload
+
+        solver = CrossbarCircuit(preset.circuit, preset.device)
+        geniex = load_or_train_geniex(preset)
+        noise = calibrated_noise_model(
+            preset.circuit, preset.device, num_matrices=6, vectors_per_matrix=6
+        )
+        workload = sample_crossbar_workload(
+            preset.device, preset.rows, preset.cols, np.random.default_rng(321), 3, 6
+        )
+        errors = {"geniex": [], "noise_model": [], "ideal": []}
+        for voltages, conductances in workload:
+            true = solver.solve(voltages, conductances)
+            ideal = solver.ideal_currents(voltages, conductances)
+            mask = ideal > 0.02 * ideal.max()
+            predictions = {
+                "geniex": geniex.predict(voltages, conductances),
+                "noise_model": noise.predict(voltages, conductances),
+                "ideal": ideal,
+            }
+            for name, predicted in predictions.items():
+                errors[name].append(np.abs(predicted - true)[mask] / ideal[mask])
+        return {name: float(np.concatenate(v).mean()) for name, v in errors.items()}
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: analog backend (current-level error vs exact circuit) ===")
+    for name, err in errors.items():
+        print(f"  {name:<12} mean relative error {err:.4f}")
+    # GENIEx must model the circuit better than the analytic noise
+    # model, which in turn beats ignoring parasitics entirely.
+    assert errors["geniex"] < errors["noise_model"] < errors["ideal"]
+
+
+def bench_ablation_gain_calibration(benchmark, setting):
+    """Data-driven per-column gain calibration: on vs off."""
+    preset, weight, probes, test = setting
+    geniex = load_or_train_geniex(preset)
+    ideal = test @ weight.T
+    scale = np.abs(ideal).mean()
+
+    def run():
+        raw_engine = CrossbarEngine(
+            weight, dataclasses.replace(preset, gain_calibration=0), geniex
+        )
+        raw = float(np.abs(raw_engine.matvec(test) - ideal).mean() / scale)
+        cal_engine = CrossbarEngine(weight, preset, geniex)
+        cal_engine.refit_gain(probes, weight)
+        calibrated = float(np.abs(cal_engine.matvec(test) - ideal).mean() / scale)
+        return raw, calibrated
+
+    raw, calibrated = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: per-column gain calibration ===")
+    print(f"  uncalibrated rel error {raw:.4f}; calibrated {calibrated:.4f}")
+    assert calibrated < raw
+
+
+def bench_ablation_adc_bits(benchmark, setting):
+    """ADC resolution sweep: error vs bits."""
+    preset, weight, probes, test = setting
+    geniex = load_or_train_geniex(preset)
+    ideal = test @ weight.T
+    scale = np.abs(ideal).mean()
+
+    def run():
+        errors = {}
+        for bits in (4, 6, 8, None):
+            config = dataclasses.replace(
+                preset, adc=ADCConfig(bits=bits, full_scale_fraction=0.25)
+            )
+            engine = CrossbarEngine(weight, config, geniex)
+            engine.refit_gain(probes, weight)
+            errors[bits] = float(np.abs(engine.matvec(test) - ideal).mean() / scale)
+        return errors
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: ADC resolution ===")
+    for bits, err in errors.items():
+        print(f"  adc_bits={bits}: rel error {err:.4f}")
+    # Coarse ADCs must not *help*; 4-bit should be clearly worse than off.
+    assert errors[4] >= errors[None] - 1e-6

@@ -1,0 +1,44 @@
+"""Extension benches: composition, chip variation, energy (paper §I/§V).
+
+These quantify the paper's Discussion-section conjectures; no table
+counterpart exists, so only direction-of-effect is asserted.
+"""
+
+from repro.experiments import extensions
+from repro.experiments.config import bench_profile as _profile
+
+
+def bench_ext_composition(benchmark, lab):
+    iterations = 3 if _profile() == "tiny" else 15
+    result = benchmark.pedantic(
+        lambda: extensions.run_composition(lab, iterations=iterations),
+        rounds=1,
+        iterations=1,
+    )
+    result.print()
+    study = result.data["study"]
+    # Composition should not be weaker than the bare digital victim.
+    assert study.accuracies["crossbar+sap"] >= study.accuracies["digital"] - 0.10
+
+
+def bench_ext_chip_variation(benchmark, lab):
+    profile = _profile()
+    iterations = 3 if profile == "tiny" else 10
+    sigmas = (0.0, 0.05) if profile in ("tiny", "small") else (0.0, 0.05, 0.10)
+    result = benchmark.pedantic(
+        lambda: extensions.run_chip_variation(lab, iterations=iterations, sigmas=sigmas),
+        rounds=1,
+        iterations=1,
+    )
+    result.print()
+    studies = result.data["studies"]
+    # sigma=0 chips are identical: zero transfer penalty by construction.
+    assert abs(studies[0].transfer_penalty) < 1e-9
+
+
+def bench_ext_energy(benchmark, lab):
+    result = benchmark.pedantic(lambda: extensions.run_energy(lab), rounds=1, iterations=1)
+    result.print()
+    estimate = result.data["estimate"]
+    # The paper's premise: in-situ MVM wins on energy at inference batch 1.
+    assert estimate.energy_ratio > 1.0

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+The heavy experiment benches share one :class:`HardwareLab` (victims,
+GENIEx surrogates and hardware conversions are cached inside it) and an
+:class:`AttackFactory` (distilled surrogate ensembles are cached).  A
+session-scoped ``store`` lets later benches reuse earlier results —
+bench files are numbered so Table III runs before Fig. 5 consumes its
+cells.
+
+Scale control: set ``REPRO_BENCH_PROFILE`` to ``tiny`` (seconds per
+bench, cifar10 only), ``small`` (default: minutes per bench, all three
+datasets at reduced eval sizes) or ``default`` (the paper-shaped run
+recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluation import HardwareLab
+from repro.experiments.config import bench_scale, bench_tasks
+from repro.experiments.shared import AttackFactory
+
+
+@pytest.fixture(scope="session")
+def lab() -> HardwareLab:
+    return HardwareLab(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def factory(lab) -> AttackFactory:
+    return AttackFactory(lab)
+
+
+@pytest.fixture(scope="session")
+def tasks() -> list[str]:
+    return bench_tasks()
+
+
+@pytest.fixture(scope="session")
+def store() -> dict:
+    """Cross-bench result store (e.g. Table III cells reused by Fig 5)."""
+    return {}

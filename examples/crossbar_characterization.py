@@ -1,0 +1,86 @@
+"""Characterize NVM crossbars: device curves, circuit non-ideality, GENIEx.
+
+Walks the hardware-modeling stack bottom-up, the way §II-A of the paper
+introduces it:
+
+1. RRAM device I-V characteristics at each conductance level,
+2. circuit-level Non-ideality Factor as a function of crossbar size and
+   ON resistance (the two knobs of Table I),
+3. a GENIEx surrogate trained on the circuit data, with its fidelity
+   metrics.
+
+Run:  python examples/crossbar_characterization.py  [--fast]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.xbar import CircuitConfig, DeviceConfig, RRAMDevice
+from repro.xbar.geniex import GENIExTrainConfig, GENIExTrainer
+from repro.xbar.nf import crossbar_nf
+
+
+def ascii_bar(value: float, full_scale: float, width: int = 40) -> str:
+    filled = int(round(min(value / full_scale, 1.0) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def section(title: str) -> None:
+    print(f"\n--- {title} ---")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="fewer samples")
+    args = parser.parse_args()
+    samples = 2 if args.fast else 4
+
+    # 1. Device level ---------------------------------------------------
+    section("RRAM device: I-V characteristic per programmed level")
+    device = DeviceConfig(r_on=100e3, on_off_ratio=50, levels_bits=2, iv_beta=0.25)
+    rram = RRAMDevice(device)
+    voltages = np.linspace(0, device.v_read, 6)
+    print(f"{'level':>5} {'G (uS)':>8} | current (uA) at V = "
+          + ", ".join(f"{v:.3f}" for v in voltages))
+    for level in range(device.num_levels):
+        conductance = rram.level_to_conductance(np.array([level]))[0]
+        currents = rram.current(np.full(6, conductance), voltages) * 1e6
+        print(f"{level:>5} {conductance * 1e6:>8.2f} | "
+              + ", ".join(f"{i:6.3f}" for i in currents))
+
+    # 2. Circuit level ---------------------------------------------------
+    section("Non-ideality Factor vs crossbar size (R_ON = 100k)")
+    rng_seed = 3
+    for size in (16, 32, 64):
+        circuit = CircuitConfig(rows=size, cols=size, r_source=350, r_sink=350, r_wire=4.0)
+        nf = crossbar_nf(circuit, device, rng=np.random.default_rng(rng_seed),
+                         num_matrices=samples, vectors_per_matrix=6)
+        print(f"  {size:>3}x{size:<3} NF = {nf:.3f}  {ascii_bar(nf, 0.3)}")
+
+    section("Non-ideality Factor vs ON resistance (64x64)")
+    for r_on in (100e3, 200e3, 300e3):
+        dev = DeviceConfig(r_on=r_on, on_off_ratio=50, levels_bits=2, iv_beta=0.25)
+        circuit = CircuitConfig(rows=64, cols=64, r_source=350, r_sink=350, r_wire=4.0)
+        nf = crossbar_nf(circuit, dev, rng=np.random.default_rng(rng_seed),
+                         num_matrices=samples, vectors_per_matrix=6)
+        print(f"  R_ON={r_on / 1e3:>4.0f}k NF = {nf:.3f}  {ascii_bar(nf, 0.3)}")
+
+    print("\n(Table I trend: NF grows with size, shrinks with R_ON.)")
+
+    # 3. GENIEx surrogate --------------------------------------------------
+    section("GENIEx surrogate training (32x32, R_ON=100k)")
+    circuit = CircuitConfig(rows=32, cols=32, r_source=350, r_sink=350, r_wire=4.0)
+    config = GENIExTrainConfig(
+        num_matrices=30 if args.fast else 80,
+        vectors_per_matrix=6,
+        epochs=20 if args.fast else 40,
+    )
+    surrogate = GENIExTrainer(circuit, device, config).train(verbose=True)
+    print("fidelity metrics:")
+    for key in ("r2", "r2_poly", "nf_circuit", "nf_surrogate"):
+        print(f"  {key:<14} {surrogate.metrics[key]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

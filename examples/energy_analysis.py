@@ -1,0 +1,68 @@
+"""Energy and latency analysis: crossbar inference vs digital CMOS.
+
+Quantifies the paper's motivating claim (§I): in-situ analog MVM
+"can significantly lower power and latency compared to digital CMOS",
+because the dominant cost of low-batch digital inference — streaming
+every weight through the memory hierarchy — disappears when weights
+*are* the compute fabric.
+
+Also shows the countervailing effect: ADC cost, and how large batches
+let the digital engine amortize its weight traffic.
+
+Run:  python examples/energy_analysis.py [--fast]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.nn import resnet20
+from repro.xbar import crossbar_preset, convert_to_hardware
+from repro.xbar.energy import EnergyConfig, estimate_model
+from repro.xbar.simulator import IdealPredictor
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="64x64_100k")
+    parser.add_argument("--width", type=int, default=8)
+    args = parser.parse_args()
+
+    # Energy accounting only depends on layer geometry, so the fast
+    # parasitic-free backend is fine here.
+    model = resnet20(num_classes=10, width=args.width, seed=0)
+    model.eval()
+    preset = crossbar_preset(args.preset)
+    hardware = convert_to_hardware(model, preset, predictor=IdealPredictor())
+
+    print(f"ResNet-20 (width {args.width}) on {preset.name}, one 16x16 image:\n")
+    estimate = estimate_model(hardware, (3, 16, 16), batch=1)
+    print(estimate.format())
+
+    print("\nper-component analog energy breakdown (whole model):")
+    totals: dict[str, float] = {}
+    for layer in estimate.layers:
+        for key, value in layer.breakdown.items():
+            totals[key] = totals.get(key, 0.0) + value
+    for key, value in sorted(totals.items(), key=lambda kv: -kv[1]):
+        print(f"  {key:<10} {value / 1e6:8.3f} uJ ({value / estimate.analog_pj * 100:5.1f}%)")
+
+    print("\nbatch sweep (digital amortizes weight traffic; analog is per-vector):")
+    print(f"{'batch':>6} {'analog uJ':>10} {'digital uJ':>11} {'ratio':>7}")
+    for batch in (1, 4, 16, 64, 256):
+        est = estimate_model(hardware, (3, 16, 16), batch=batch)
+        print(
+            f"{batch:>6} {est.analog_pj / 1e6:>10.2f} {est.digital_pj / 1e6:>11.2f} "
+            f"{est.energy_ratio:>7.2f}"
+        )
+
+    print("\nADC cost sensitivity (the analog tax):")
+    for adc_pj in (0.5, 2.0, 8.0):
+        est = estimate_model(
+            hardware, (3, 16, 16), energy=EnergyConfig(adc_pj_per_sample=adc_pj)
+        )
+        print(f"  adc {adc_pj:4.1f} pJ/sample -> digital/analog ratio {est.energy_ratio:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

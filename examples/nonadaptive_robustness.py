@@ -1,0 +1,58 @@
+"""Non-adaptive attack study: a miniature Table III on one dataset.
+
+Uses the model zoo (training and caching the victim on first run), then
+evaluates clean accuracy, ensemble black-box PGD, Square Attack and
+white-box PGD on all three Table-I crossbar models plus the comparison
+defenses.
+
+Run:  python examples/nonadaptive_robustness.py [--task cifar10] [--fast]
+"""
+
+import argparse
+
+from repro.core.evaluation import EvaluationScale, HardwareLab
+from repro.experiments import table3
+from repro.experiments.shared import AttackFactory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--task", default="cifar10",
+                        choices=["cifar10", "cifar100", "imagenet"])
+    parser.add_argument("--fast", action="store_true",
+                        help="tiny victims + tiny eval (smoke-test mode)")
+    args = parser.parse_args()
+
+    if args.fast:
+        lab = HardwareLab(scale=EvaluationScale.tiny(), victim_epochs=2, victim_width=4)
+    else:
+        lab = HardwareLab(
+            scale=EvaluationScale(
+                eval_size=96,
+                square_queries=150,
+                ensemble_query_size=512,
+                ensemble_distill_epochs=6,
+            )
+        )
+
+    print(f"victim: {args.task} (training on first run, cached afterwards)")
+    entry = lab.victim_entry(args.task)
+    print(f"digital test accuracy: {entry.test_accuracy:.4f}")
+
+    factory = AttackFactory(lab)
+    cells = table3.run_task(lab, args.task, factory)
+
+    print(f"\nTable III ({args.task}): accuracy % (delta vs digital baseline)")
+    for cell in cells:
+        print(cell.format_row())
+
+    wb1 = next(c for c in cells if "eps=1/255" in c.attack)
+    print(
+        "\nheadline: white-box PGD at paper-eps 1/255 gains "
+        f"{wb1.delta('64x64_100k') * 100:+.1f} points on the most non-ideal "
+        "crossbar (paper: +35.3 on CIFAR-10)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Append the recorded benchmark tables to EXPERIMENTS.md.
+
+Extracts every printed ``=== ... ===`` section from bench_output.txt
+and inserts it under the "Recorded run summary" heading, replacing any
+previous recording.  Run after the release benchmark:
+
+    pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+    python scripts/append_run_summary.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+MARKER = "## Recorded run summary"
+
+
+def extract_sections(bench_text: str) -> str:
+    """Pull the experiment tables (lines between section headers and the
+    next pytest noise) out of the raw benchmark log."""
+    lines = bench_text.splitlines()
+    out: list[str] = []
+    capturing = False
+    for line in lines:
+        if line.startswith("=== ") or line.startswith("\n=== "):
+            capturing = True
+        if capturing:
+            # pytest progress dots / bench framework noise ends a block.
+            if re.match(r"^-+ benchmark", line) or line.startswith("=========="):
+                capturing = False
+                continue
+            cleaned = line.lstrip(".")
+            if cleaned.strip():
+                out.append(cleaned)
+    return "\n".join(out)
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parents[1]
+    bench_path = root / "bench_output.txt"
+    experiments_path = root / "EXPERIMENTS.md"
+    if not bench_path.exists():
+        print("bench_output.txt not found; run the benchmarks first", file=sys.stderr)
+        return 1
+    sections = extract_sections(bench_path.read_text(errors="replace"))
+    doc = experiments_path.read_text()
+    head = doc.split(MARKER)[0]
+    experiments_path.write_text(
+        head
+        + MARKER
+        + "\n\n(extracted from bench_output.txt by scripts/append_run_summary.py)\n\n"
+        + "```\n"
+        + sections
+        + "\n```\n"
+    )
+    print(f"appended {sections.count(chr(10)) + 1} lines to EXPERIMENTS.md")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables
+legacy `pip install -e .` (setup.py develop) when PEP 517 editable
+builds are unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

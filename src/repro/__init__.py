@@ -1,0 +1,30 @@
+"""repro: reproduction of "On the Intrinsic Robustness of NVM Crossbars
+Against Adversarial Attacks" (Roy et al., DAC 2021).
+
+Subpackages
+-----------
+autograd    reverse-mode autodiff engine (PyTorch substitute)
+nn          neural-network layers and ResNet builders
+data        synthetic dataset substrate (CIFAR/ImageNet substitutes)
+train       optimizers, trainer, model zoo
+xbar        NVM crossbar stack: device model, circuit solver (HSPICE
+            substitute), GENIEx surrogate, PUMA-style functional simulator
+attacks     PGD, Square Attack, ensemble black-box, hardware-in-loop
+defenses    input bit-width reduction, SAP, random resize+pad
+core        threat models, adversarial evaluation engine, robustness analysis
+experiments one module per paper table/figure
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "data",
+    "train",
+    "xbar",
+    "attacks",
+    "defenses",
+    "core",
+    "experiments",
+]

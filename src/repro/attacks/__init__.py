@@ -1,0 +1,45 @@
+"""Adversarial attacks used in the paper's evaluation (§III-C).
+
+All attacks consume numpy image batches in [0, 1] (N, C, H, W) with
+integer labels, and return perturbed batches obeying the l-inf
+constraint ``|x_adv - x| <= epsilon`` and the data-domain constraint
+``x_adv in [0, 1]``.
+
+* :class:`PGD` / :class:`FGSM` — gradient attacks (Madry et al.); the
+  *white-box* scenarios of the paper.  Run against a hardware model
+  they become the paper's *Hardware-in-Loop* white-box attack (forward
+  on the crossbar, ideal-gradient backward).
+* :class:`SquareAttack` — query-based black-box random search
+  (Andriushchenko et al.), gradient-free.
+* :class:`EnsembleBlackBox` — surrogate distillation from victim logits
+  plus a stack-parallel ensemble PGD (Hang et al.), the paper's
+  ensemble black-box attack.
+* :mod:`repro.attacks.hil` — scenario-level helpers wiring the above to
+  hardware models for the adaptive threat scenarios of Table II.
+"""
+
+from repro.attacks.base import (
+    AttackResult,
+    clip_to_ball,
+    loss_and_grad,
+    margin_loss,
+    predict_logits,
+)
+from repro.attacks.pgd import FGSM, PGD
+from repro.attacks.square import SquareAttack
+from repro.attacks.ensemble import EnsembleBlackBox, StackedEnsemble
+from repro.attacks import hil
+
+__all__ = [
+    "AttackResult",
+    "clip_to_ball",
+    "loss_and_grad",
+    "margin_loss",
+    "predict_logits",
+    "PGD",
+    "FGSM",
+    "SquareAttack",
+    "EnsembleBlackBox",
+    "StackedEnsemble",
+    "hil",
+]

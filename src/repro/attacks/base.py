@@ -1,0 +1,87 @@
+"""Shared attack utilities: model queries, gradients, constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run.
+
+    Attributes
+    ----------
+    x_adv:
+        Perturbed inputs, same shape as the originals.
+    queries:
+        Number of model queries consumed per image (query attacks) or
+        gradient evaluations (gradient attacks).
+    success:
+        Per-image boolean: misclassified by the *attack* model (the
+        defender may still classify correctly — that gap is the paper's
+        subject).
+    """
+
+    x_adv: np.ndarray
+    queries: np.ndarray
+    success: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+
+def predict_logits(model: Module, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Query a model for logits without building the autograd graph."""
+    outputs = []
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            logits = model(Tensor(x[start : start + batch_size]))
+            outputs.append(logits.data.copy())
+    return np.concatenate(outputs, axis=0)
+
+
+def loss_and_grad(
+    model: Module, x: np.ndarray, y: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Cross-entropy loss and its gradient with respect to the input.
+
+    The model is queried in eval mode; for a hardware model the forward
+    runs on the crossbar while the gradient follows the ideal Jacobian
+    (hardware-in-loop convention).
+    """
+    inputs = Tensor(x, requires_grad=True)
+    logits = model(inputs)
+    loss = F.cross_entropy(logits, y)
+    loss.backward()
+    assert inputs.grad is not None
+    return float(loss.item()), inputs.grad.copy()
+
+
+def margin_loss(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-image margin ``f_y - max_{k != y} f_k`` (Square Attack's loss).
+
+    Negative margin means the image is misclassified.
+    """
+    n = logits.shape[0]
+    labels = np.asarray(labels, dtype=np.int64)
+    correct = logits[np.arange(n), labels]
+    masked = logits.copy()
+    masked[np.arange(n), labels] = -np.inf
+    runner_up = masked.max(axis=1)
+    return correct - runner_up
+
+
+def clip_to_ball(
+    x_adv: np.ndarray, x_orig: np.ndarray, epsilon: float
+) -> np.ndarray:
+    """Project onto the l-inf ball around ``x_orig`` intersected with [0,1].
+
+    This is the perturbation set S of Eq. 4 in the paper.
+    """
+    low = np.maximum(x_orig - epsilon, 0.0)
+    high = np.minimum(x_orig + epsilon, 1.0)
+    return np.clip(x_adv, low, high)

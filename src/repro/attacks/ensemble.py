@@ -1,0 +1,174 @@
+"""Ensemble black-box attack (§III-C.1a of the paper).
+
+Pipeline (following Papernot-style surrogate attacks + Hang et al. [34]):
+
+1. The attacker queries the victim on training images and records the
+   pre-softmax logits, building a synthetic (image, logits) dataset.
+   The victim may be the digital model (non-adaptive) or a crossbar
+   hardware model (hardware-in-loop adaptive).
+2. Three surrogate ResNets (ResNet-10/20/32 in the paper) are distilled
+   on the synthetic dataset with soft cross-entropy.
+3. Adversarial images are generated with PGD against the *stack
+   parallel* ensemble — members are combined in parallel by averaging
+   their logits — and then transferred to the defender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, predict_logits
+from repro.attacks.pgd import PGD
+from repro.autograd.tensor import Tensor
+from repro.data.datasets import ArrayDataset, DataLoader
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.resnet import build_model
+from repro.train.optim import SGD
+from repro.train.schedule import CosineLR
+
+
+class StackedEnsemble(Module):
+    """Stack-parallel ensemble: member logits are averaged."""
+
+    def __init__(self, members: Sequence[Module]):
+        super().__init__()
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        for i, member in enumerate(members):
+            setattr(self, f"member{i}", member)
+
+    def forward(self, x: Tensor) -> Tensor:
+        outputs = [member(x) for member in self.children()]
+        total = outputs[0]
+        for out in outputs[1:]:
+            total = total + out
+        return total * (1.0 / len(outputs))
+
+
+@dataclass
+class SurrogateSpec:
+    """Architecture recipe for one surrogate model."""
+
+    arch: str
+    width: int = 8
+    seed: int = 0
+
+
+@dataclass
+class EnsembleConfig:
+    """Hyper-parameters of the surrogate distillation."""
+
+    surrogates: list[SurrogateSpec] = field(
+        default_factory=lambda: [
+            SurrogateSpec("resnet10", seed=101),
+            SurrogateSpec("resnet20", seed=102),
+            SurrogateSpec("resnet32", seed=103),
+        ]
+    )
+    distill_epochs: int = 10
+    batch_size: int = 128
+    lr: float = 0.05
+    query_batch: int = 256
+
+
+class EnsembleBlackBox:
+    """Surrogate-distillation ensemble black-box attack."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        iterations: int = 30,
+        config: EnsembleConfig | None = None,
+        seed: int = 0,
+    ):
+        self.epsilon = epsilon
+        self.iterations = iterations
+        self.config = config or EnsembleConfig()
+        self.seed = seed
+        self.ensemble: StackedEnsemble | None = None
+        self._num_classes: int | None = None
+
+    # ------------------------------------------------------------------
+    # Step 1 + 2: query the victim and distill surrogates
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        victim: Module | Callable[[np.ndarray], np.ndarray],
+        images: np.ndarray,
+        verbose: bool = False,
+    ) -> "EnsembleBlackBox":
+        """Build the synthetic dataset and train the surrogate ensemble.
+
+        ``victim`` is either a model (queried for logits) or a raw query
+        function mapping image batches to logits.  Only logits are used
+        — the attacker never sees weights or internal activations,
+        matching the black-box rows of Table II.
+        """
+        cfg = self.config
+        if isinstance(victim, Module):
+            victim_logits = predict_logits(victim, images, cfg.query_batch)
+        else:
+            victim_logits = np.concatenate(
+                [
+                    np.asarray(victim(images[s : s + cfg.query_batch]))
+                    for s in range(0, len(images), cfg.query_batch)
+                ]
+            )
+        self._num_classes = victim_logits.shape[1]
+        # Soft targets: the victim's output distribution.
+        shifted = victim_logits - victim_logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+
+        members = []
+        for spec in cfg.surrogates:
+            member = build_model(
+                spec.arch, num_classes=self._num_classes, width=spec.width, seed=spec.seed
+            )
+            self._distill(member, images, probs, spec, verbose=verbose)
+            member.eval()
+            members.append(member)
+        self.ensemble = StackedEnsemble(members)
+        self.ensemble.eval()
+        return self
+
+    def _distill(
+        self,
+        member: Module,
+        images: np.ndarray,
+        soft_targets: np.ndarray,
+        spec: SurrogateSpec,
+        verbose: bool,
+    ) -> None:
+        cfg = self.config
+        dataset = ArrayDataset(images, np.arange(len(images)))  # labels = indices
+        loader = DataLoader(dataset, batch_size=cfg.batch_size, shuffle=True, seed=spec.seed)
+        optimizer = SGD(member.parameters(), lr=cfg.lr, momentum=0.9, weight_decay=5e-4)
+        schedule = CosineLR(cfg.lr, cfg.distill_epochs)
+        member.train()
+        for epoch in range(cfg.distill_epochs):
+            optimizer.lr = schedule.lr_at(epoch)
+            losses = []
+            for batch_images, batch_indices in loader:
+                logits = member(Tensor(batch_images))
+                loss = F.soft_cross_entropy(logits, soft_targets[batch_indices])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            if verbose:
+                print(f"[ensemble] {spec.arch} epoch {epoch} loss {np.mean(losses):.4f}")
+
+    # ------------------------------------------------------------------
+    # Step 3: PGD on the stacked ensemble
+    # ------------------------------------------------------------------
+    def generate(self, x: np.ndarray, y: np.ndarray) -> AttackResult:
+        """PGD against the surrogate ensemble (requires :meth:`fit`)."""
+        if self.ensemble is None:
+            raise RuntimeError("call fit() before generate()")
+        pgd = PGD(self.epsilon, iterations=self.iterations, seed=self.seed)
+        return pgd.generate(self.ensemble, x, y)

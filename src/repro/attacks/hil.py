@@ -1,0 +1,81 @@
+"""Hardware-in-Loop adaptive attacks (§III-C.2 of the paper).
+
+The attacker knows the DNN runs on NVM crossbar hardware and owns a
+crossbar model — possibly a *different* one from the target's (the
+technology may not match).  These helpers wire the base attacks to
+hardware models so each Table-II adaptive scenario is one call:
+
+* white-box HIL PGD: the forward pass runs on the attacker's crossbar
+  model, activations recorded; derivatives assume ideal MVMs (the
+  crossbar is inference-only) — this is exactly the straight-through
+  backward implemented by NonIdealConv2d/NonIdealLinear.
+* ensemble HIL: the surrogate synthetic dataset is built by querying
+  the DNN *on the attacker's crossbar hardware*.
+* square HIL: random-search queries go to the crossbar hardware
+  directly, with the paper's reduced query budget (30).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackResult
+from repro.attacks.ensemble import EnsembleBlackBox, EnsembleConfig
+from repro.attacks.pgd import PGD
+from repro.attacks.square import SquareAttack
+from repro.nn.module import Module
+
+
+def hil_whitebox_pgd(
+    attacker_hardware: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float,
+    iterations: int = 30,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> AttackResult:
+    """Hardware-in-loop white-box PGD.
+
+    ``attacker_hardware`` must be a converted hardware model (see
+    :func:`repro.xbar.convert_to_hardware`); its layers run the analog
+    forward pass and apply the ideal Jacobian on backward, which is the
+    paper's HIL gradient-descent procedure.
+    """
+    pgd = PGD(epsilon, iterations=iterations, batch_size=batch_size, seed=seed)
+    return pgd.generate(attacker_hardware, x, y)
+
+
+def hil_square_attack(
+    attacker_hardware: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float,
+    max_queries: int = 30,
+    seed: int = 0,
+) -> AttackResult:
+    """Hardware-in-loop Square Attack with the paper's 30-query budget."""
+    attack = SquareAttack(epsilon, max_queries=max_queries, seed=seed)
+    return attack.generate(attacker_hardware, x, y)
+
+
+def hil_ensemble_attack(
+    attacker_hardware: Module,
+    train_images: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float,
+    iterations: int = 30,
+    config: EnsembleConfig | None = None,
+    seed: int = 0,
+    verbose: bool = False,
+) -> AttackResult:
+    """Hardware-in-loop ensemble black-box attack.
+
+    The synthetic distillation dataset is built by querying the DNN as
+    implemented on the attacker's crossbar hardware, so the surrogates
+    learn the *non-ideal* decision surface.
+    """
+    attack = EnsembleBlackBox(epsilon, iterations=iterations, config=config, seed=seed)
+    attack.fit(attacker_hardware, train_images, verbose=verbose)
+    return attack.generate(x, y)

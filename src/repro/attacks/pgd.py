@@ -1,0 +1,110 @@
+"""Projected Gradient Descent (Madry et al. [30]) under the l-inf norm.
+
+Implements Eq. 4 of the paper:
+
+``x^{t+1} = Pi_{x+S}( x^t + alpha * sign( grad_x L(theta, x^t, y) ) )``
+
+Run against a digital model this is the paper's non-adaptive white-box
+attack; run against a crossbar hardware model (whose layers implement
+forward-on-hardware / ideal-backward) it is the Hardware-in-Loop
+white-box attack of §III-C.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, clip_to_ball, loss_and_grad, predict_logits
+from repro.nn.module import Module
+
+
+class PGD:
+    """Iterative l-inf PGD attack.
+
+    Parameters
+    ----------
+    epsilon:
+        l-inf perturbation budget (images live in [0, 1]; the paper
+        quotes budgets as k/255).
+    iterations:
+        Gradient steps (the paper uses 30).
+    alpha:
+        Step size; default ``2.5 * epsilon / iterations`` (the standard
+        Madry schedule, which allows reaching the ball boundary).
+    random_start:
+        Start from a uniform point inside the ball instead of ``x``
+        (Eq. 4 starts at ``x``; random start is available for ablation).
+    batch_size:
+        Images per gradient evaluation.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        iterations: int = 30,
+        alpha: float | None = None,
+        random_start: bool = False,
+        batch_size: int = 128,
+        seed: int = 0,
+    ):
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.epsilon = float(epsilon)
+        self.iterations = iterations
+        self.alpha = alpha if alpha is not None else 2.5 * epsilon / iterations
+        self.random_start = random_start
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def generate(self, model: Module, x: np.ndarray, y: np.ndarray) -> AttackResult:
+        """Craft adversarial examples against ``model``."""
+        model.eval()
+        rng = np.random.default_rng(self.seed)
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        x_adv = np.empty_like(x)
+        for start in range(0, len(x), self.batch_size):
+            stop = min(start + self.batch_size, len(x))
+            x_adv[start:stop] = self._attack_batch(model, x[start:stop], y[start:stop], rng)
+        logits = predict_logits(model, x_adv)
+        success = logits.argmax(axis=1) != y
+        return AttackResult(
+            x_adv=x_adv,
+            queries=np.full(len(x), self.iterations),
+            success=success,
+            metadata={"epsilon": self.epsilon, "iterations": self.iterations},
+        )
+
+    def _attack_batch(
+        self, model: Module, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.epsilon == 0.0:
+            return x.copy()
+        x_adv = x.copy()
+        if self.random_start:
+            x_adv = clip_to_ball(
+                x_adv + rng.uniform(-self.epsilon, self.epsilon, size=x.shape).astype(np.float32),
+                x,
+                self.epsilon,
+            )
+        for _step in range(self.iterations):
+            _loss, grad = loss_and_grad(model, x_adv, y)
+            x_adv = x_adv + self.alpha * np.sign(grad)
+            x_adv = clip_to_ball(x_adv, x, self.epsilon).astype(np.float32)
+        return x_adv
+
+
+class FGSM(PGD):
+    """Fast Gradient Sign Method: single-step PGD with ``alpha = epsilon``."""
+
+    def __init__(self, epsilon: float, batch_size: int = 128, seed: int = 0):
+        super().__init__(
+            epsilon=epsilon,
+            iterations=1,
+            alpha=epsilon,
+            random_start=False,
+            batch_size=batch_size,
+            seed=seed,
+        )

@@ -1,0 +1,133 @@
+"""Square Attack (Andriushchenko et al. [31]): query-efficient l-inf
+black-box attack via random search.
+
+No gradients: the attacker repeatedly queries the model's logits,
+proposing localized square perturbations, keeping those that decrease
+the margin loss.  The paper uses it in two scenarios:
+
+* non-adaptive: queries go to the *digital* model, the crafted images
+  are then evaluated on the crossbar hardware (query limit 1000, 500
+  for ImageNet);
+* adaptive ("hardware-in-loop"): queries go to the crossbar hardware
+  itself — much stronger, but limited to 30 queries because hardware
+  emulation is slow (the same constraint the paper reports).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, margin_loss, predict_logits
+from repro.nn.module import Module
+
+
+class SquareAttack:
+    """l-inf Square Attack.
+
+    Parameters
+    ----------
+    epsilon:
+        l-inf budget.
+    max_queries:
+        Total model queries per image (including the initialization
+        query).
+    p_init:
+        Initial fraction of pixels changed per proposal; decays with
+        the standard schedule from the original paper, rescaled to
+        ``max_queries``.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        max_queries: int = 1000,
+        p_init: float = 0.8,
+        seed: int = 0,
+        batch_size: int = 256,
+    ):
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        if max_queries < 1:
+            raise ValueError(f"max_queries must be >= 1, got {max_queries}")
+        self.epsilon = float(epsilon)
+        self.max_queries = int(max_queries)
+        self.p_init = p_init
+        self.seed = seed
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+    def _p_schedule(self, query_index: int) -> float:
+        """Piecewise-constant decay of the perturbed fraction.
+
+        Breakpoints follow the original implementation (fractions of a
+        10k-query budget), rescaled to ``max_queries``.
+        """
+        it = int(query_index / max(self.max_queries, 1) * 10000)
+        p = self.p_init
+        for threshold, factor in [
+            (10, 2),
+            (50, 4),
+            (200, 8),
+            (500, 16),
+            (1000, 32),
+            (2000, 64),
+            (4000, 128),
+            (6000, 256),
+            (8000, 512),
+        ]:
+            if it > threshold:
+                p = self.p_init / factor
+        return p
+
+    def generate(self, model: Module, x: np.ndarray, y: np.ndarray) -> AttackResult:
+        """Attack a batch; each image gets an independent random search."""
+        model.eval()
+        rng = np.random.default_rng(self.seed)
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        n, c, h, w = x.shape
+        eps = self.epsilon
+
+        # Initialization: vertical stripes of +-eps (original heuristic).
+        stripes = rng.choice([-eps, eps], size=(n, c, 1, w)).astype(np.float32)
+        x_adv = np.clip(x + stripes, 0.0, 1.0)
+        logits = predict_logits(model, x_adv, self.batch_size)
+        loss = margin_loss(logits, y)
+        queries = np.ones(n, dtype=np.int64)
+
+        for query_index in range(1, self.max_queries):
+            active = loss > 0  # images not yet misclassified keep searching
+            if not active.any():
+                break
+            idx = np.flatnonzero(active)
+
+            p = self._p_schedule(query_index)
+            s = max(1, int(round(np.sqrt(p * h * w))))
+            s = min(s, h, w)
+
+            candidate = x_adv[idx].copy()
+            for row, image_index in enumerate(idx):
+                top = rng.integers(0, h - s + 1)
+                left = rng.integers(0, w - s + 1)
+                delta = rng.choice([-eps, eps], size=(c, 1, 1)).astype(np.float32)
+                window = x[image_index, :, top : top + s, left : left + s] + delta
+                candidate[row, :, top : top + s, left : left + s] = window
+            candidate = np.clip(
+                np.clip(candidate, x[idx] - eps, x[idx] + eps), 0.0, 1.0
+            ).astype(np.float32)
+
+            cand_logits = predict_logits(model, candidate, self.batch_size)
+            cand_loss = margin_loss(cand_logits, y[idx])
+            queries[idx] += 1
+
+            improved = cand_loss < loss[idx]
+            sel = idx[improved]
+            x_adv[sel] = candidate[improved]
+            loss[sel] = cand_loss[improved]
+
+        return AttackResult(
+            x_adv=x_adv,
+            queries=queries,
+            success=loss < 0,
+            metadata={"epsilon": eps, "max_queries": self.max_queries},
+        )

@@ -1,0 +1,43 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This package is the substrate that stands in for PyTorch in the
+reproduction: it provides a :class:`~repro.autograd.tensor.Tensor` type
+that records an operation graph during the forward pass and computes
+gradients with a reverse topological sweep.  Adversarial attacks need
+gradients *with respect to inputs*, so ``requires_grad`` works for leaf
+inputs as well as parameters.
+
+Public API
+----------
+Tensor            the autograd array type
+no_grad           context manager disabling graph recording
+is_grad_enabled   query the recording state
+grad_check        finite-difference gradient verification helpers
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+from repro.autograd.grad_check import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "no_grad",
+    "is_grad_enabled",
+    "check_gradients",
+    "numerical_gradient",
+]

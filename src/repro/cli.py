@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info        library, preset and task overview
+nf          measure Table-I Non-ideality Factors
+threats     print the Table-II scenario matrix
+train       train/cache the victim model for a task
+table3      run the non-adaptive attack table for one task
+table4      run the hardware-in-loop attack table for one task
+fig         run one epsilon-sweep figure (2/3/4/6)
+energy      crossbar-vs-digital energy estimate for a task's victim
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.evaluation import EvaluationScale, HardwareLab
+
+
+def _make_lab(args) -> HardwareLab:
+    scale = EvaluationScale.tiny() if args.fast else EvaluationScale(
+        eval_size=args.eval_size
+    )
+    kwargs = {}
+    if args.fast:
+        kwargs = {"victim_epochs": 2, "victim_width": 4}
+    return HardwareLab(scale=scale, **kwargs)
+
+
+def cmd_info(_args) -> int:
+    import repro
+    from repro.data.synthetic import TASKS
+    from repro.xbar.presets import CROSSBAR_PRESETS
+
+    print(f"repro {repro.__version__} — NVM crossbar adversarial robustness (DAC'21)")
+    print("\ncrossbar presets (Table I):")
+    for name, config in CROSSBAR_PRESETS.items():
+        print(
+            f"  {name:<12} {config.rows}x{config.cols}  R_ON={config.device.r_on / 1e3:.0f}k"
+            f"  NF(paper)={config.nf_paper}"
+        )
+    print("\ndataset stand-ins:")
+    for name, spec in TASKS.items():
+        print(
+            f"  {name:<10} {spec.num_classes} classes, {spec.image_size}px, "
+            f"{spec.model} (w{spec.model_width}) — {spec.notes}"
+        )
+    return 0
+
+
+def cmd_nf(args) -> int:
+    from repro.experiments import table1
+
+    table1.run(num_matrices=args.samples, vectors_per_matrix=6).print()
+    return 0
+
+
+def cmd_threats(_args) -> int:
+    from repro.experiments import table2
+
+    table2.run().print()
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.train.zoo import default_zoo
+
+    zoo = default_zoo()
+    zoo.verbose = True
+    entry = zoo.get_classifier(args.task)
+    print(f"{args.task}: test accuracy {entry.test_accuracy:.4f} (cached={entry.from_cache})")
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from repro.experiments import table3
+
+    lab = _make_lab(args)
+    table3.run(lab, tasks=[args.task]).print()
+    return 0
+
+
+def cmd_table4(args) -> int:
+    from repro.experiments import table4
+
+    lab = _make_lab(args)
+    table4.run(lab, tasks=[args.task]).print()
+    return 0
+
+
+def cmd_fig(args) -> int:
+    from repro.experiments import fig2, fig3, fig4, fig6
+
+    modules = {"2": fig2, "3": fig3, "4": fig4, "6": fig6}
+    if args.number not in modules:
+        print(f"unknown figure {args.number}; available: {sorted(modules)}", file=sys.stderr)
+        return 2
+    lab = _make_lab(args)
+    modules[args.number].run(lab, tasks=[args.task]).print()
+    return 0
+
+
+def cmd_energy(args) -> int:
+    from repro.xbar.energy import estimate_model
+
+    lab = _make_lab(args)
+    hardware = lab.hardware(args.task, args.preset)
+    spec = lab.task_data(args.task).spec
+    estimate = estimate_model(
+        hardware, (spec.channels, spec.image_size, spec.image_size), batch=args.batch
+    )
+    print(f"energy estimate: {args.task} victim on {args.preset}, batch={args.batch}")
+    print(estimate.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--task", default="cifar10",
+                       choices=["cifar10", "cifar100", "imagenet"])
+        p.add_argument("--fast", action="store_true", help="tiny victims + tiny eval")
+        p.add_argument("--eval-size", type=int, default=64)
+
+    sub.add_parser("info").set_defaults(func=cmd_info)
+
+    p = sub.add_parser("nf")
+    p.add_argument("--samples", type=int, default=3)
+    p.set_defaults(func=cmd_nf)
+
+    sub.add_parser("threats").set_defaults(func=cmd_threats)
+
+    p = sub.add_parser("train")
+    common(p)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("table3")
+    common(p)
+    p.set_defaults(func=cmd_table3)
+
+    p = sub.add_parser("table4")
+    common(p)
+    p.set_defaults(func=cmd_table4)
+
+    p = sub.add_parser("fig")
+    p.add_argument("number", choices=["2", "3", "4", "6"])
+    common(p)
+    p.set_defaults(func=cmd_fig)
+
+    p = sub.add_parser("energy")
+    common(p)
+    p.add_argument("--preset", default="64x64_100k")
+    p.add_argument("--batch", type=int, default=1)
+    p.set_defaults(func=cmd_energy)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

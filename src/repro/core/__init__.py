@@ -1,0 +1,45 @@
+"""The paper's primary contribution: adversarial-robustness evaluation
+of DNNs on non-ideal NVM crossbar hardware.
+
+* :mod:`repro.core.threat_models` — the four threat scenarios of
+  Table II as structured configuration.
+* :mod:`repro.core.evaluation` — the evaluation engine: given a victim,
+  a set of hardware variants, defenses and attacks, measure clean and
+  adversarial accuracy for every cell of Tables III/IV.
+* :mod:`repro.core.robustness` — derived analyses: robustness gain vs
+  Non-ideality Factor (Fig. 5), epsilon sweeps (Figs. 2-4, 6).
+"""
+
+from repro.core.threat_models import (
+    TABLE_II,
+    AttackFamily,
+    KnowledgeProfile,
+    ThreatScenario,
+    threat_scenario,
+)
+from repro.core.evaluation import (
+    CellResult,
+    EvaluationScale,
+    HardwareLab,
+    adversarial_accuracy,
+)
+from repro.core.robustness import (
+    GainPoint,
+    robustness_gain,
+    gain_vs_nf_table,
+)
+
+__all__ = [
+    "TABLE_II",
+    "AttackFamily",
+    "KnowledgeProfile",
+    "ThreatScenario",
+    "threat_scenario",
+    "CellResult",
+    "EvaluationScale",
+    "HardwareLab",
+    "adversarial_accuracy",
+    "GainPoint",
+    "robustness_gain",
+    "gain_vs_nf_table",
+]

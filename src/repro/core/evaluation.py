@@ -1,0 +1,233 @@
+"""Evaluation engine: clean and adversarial accuracy on every hardware.
+
+:class:`HardwareLab` owns the shared expensive state of the paper's
+evaluation — trained victims, GENIEx surrogates, converted hardware
+models, wrapped defenses — so the table/figure experiments can request
+cells declaratively.  :class:`EvaluationScale` shrinks or grows the
+whole evaluation (test-suite tiny runs vs benchmark runs vs full
+paper-scale runs) in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.train.trainer import evaluate_accuracy
+from repro.train.zoo import ModelZoo, default_zoo
+from repro.xbar.presets import crossbar_preset, load_or_train_geniex, preset_names
+from repro.xbar.simulator import convert_to_hardware
+from repro.attacks.base import predict_logits
+from repro.defenses import (
+    InputBitWidthReduction,
+    RandomResizePad,
+    StochasticActivationPruning,
+)
+
+
+def adversarial_accuracy(
+    model: Module, x_adv: np.ndarray, y: np.ndarray, batch_size: int = 128
+) -> float:
+    """Accuracy of ``model`` on (already crafted) adversarial inputs."""
+    logits = predict_logits(model, x_adv, batch_size)
+    return float((logits.argmax(axis=1) == np.asarray(y)).mean())
+
+
+@dataclass(frozen=True)
+class EvaluationScale:
+    """Knobs that trade evaluation fidelity for wall-clock time.
+
+    The paper's full scale (10000 CIFAR test images, 1000 Square
+    queries) is hours of pure-numpy crossbar emulation; the default
+    here reproduces every trend at ~100x less compute.  Tests use
+    :meth:`tiny`.
+    """
+
+    eval_size: int = 128  # adversarial eval subset per task
+    square_queries: int = 200  # non-adaptive Square budget (paper: 1000)
+    square_queries_hil: int = 30  # adaptive budget (paper: 30)
+    pgd_iterations: int = 30  # paper: 30
+    ensemble_query_size: int = 1024  # images used to distill surrogates
+    ensemble_distill_epochs: int = 8
+    surrogate_width: int = 8
+    calibration_size: int = 64  # hardware gain-calibration images
+    batch_size: int = 128
+
+    @classmethod
+    def tiny(cls) -> "EvaluationScale":
+        """Unit-test scale: seconds, not minutes."""
+        return cls(
+            eval_size=16,
+            square_queries=10,
+            square_queries_hil=5,
+            pgd_iterations=3,
+            ensemble_query_size=64,
+            ensemble_distill_epochs=1,
+            surrogate_width=4,
+            calibration_size=16,
+            batch_size=16,
+        )
+
+
+@dataclass
+class CellResult:
+    """One cell group of Table III/IV: baseline plus per-variant accuracy."""
+
+    attack: str
+    task: str
+    epsilon: float
+    baseline: float
+    variants: dict[str, float] = field(default_factory=dict)
+
+    def delta(self, name: str) -> float:
+        """Absolute accuracy change vs the digital baseline (paper's +/-)."""
+        return self.variants[name] - self.baseline
+
+    def format_row(self) -> str:
+        parts = [f"{self.attack:<38} baseline={self.baseline * 100:6.2f}"]
+        for name, acc in self.variants.items():
+            parts.append(f"{name}={acc * 100:6.2f} ({self.delta(name) * 100:+6.2f})")
+        return "  ".join(parts)
+
+
+class HardwareLab:
+    """Caches victims, hardware conversions and defenses per task."""
+
+    def __init__(
+        self,
+        scale: EvaluationScale | None = None,
+        zoo: ModelZoo | None = None,
+        victim_epochs: int | None = None,
+        victim_width: int | None = None,
+    ):
+        self.scale = scale or EvaluationScale()
+        self.zoo = zoo or default_zoo()
+        self.victim_epochs = victim_epochs
+        self.victim_width = victim_width
+        self._hardware: dict[tuple[str, str], Module] = {}
+        self._defenses: dict[tuple[str, str], Module] = {}
+        self._geniex: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Victims and data
+    # ------------------------------------------------------------------
+    def victim_entry(self, task: str):
+        return self.zoo.get_classifier(
+            task, epochs=self.victim_epochs, width=self.victim_width
+        )
+
+    def victim(self, task: str) -> Module:
+        return self.victim_entry(task).model
+
+    def task_data(self, task: str):
+        return self.victim_entry(task).task
+
+    def eval_set(self, task: str) -> tuple[np.ndarray, np.ndarray]:
+        """The reduced adversarial evaluation subset for a task."""
+        data = self.task_data(task)
+        n = min(self.scale.eval_size, len(data.x_test))
+        return data.x_test[:n], data.y_test[:n]
+
+    def calibration_images(self, task: str) -> np.ndarray:
+        data = self.task_data(task)
+        return data.x_train[: self.scale.calibration_size]
+
+    def surrogate_query_images(self, task: str) -> np.ndarray:
+        """Training images the black-box attacker queries the victim on."""
+        data = self.task_data(task)
+        return data.x_train[: self.scale.ensemble_query_size]
+
+    # ------------------------------------------------------------------
+    # Hardware variants and defenses
+    # ------------------------------------------------------------------
+    def geniex(self, preset: str):
+        if preset not in self._geniex:
+            self._geniex[preset] = load_or_train_geniex(crossbar_preset(preset))
+        return self._geniex[preset]
+
+    def hardware(self, task: str, preset: str) -> Module:
+        """The victim converted to one crossbar preset (calibrated, cached)."""
+        key = (task, preset)
+        if key not in self._hardware:
+            self._hardware[key] = convert_to_hardware(
+                self.victim(task),
+                crossbar_preset(preset),
+                predictor=self.geniex(preset),
+                calibration_images=self.calibration_images(task),
+            )
+        return self._hardware[key]
+
+    def defense(self, task: str, name: str) -> Module:
+        """A comparison defense wrapped around the pretrained victim.
+
+        ``name``: ``bitwidth4`` | ``sap`` | ``randpad``.
+        """
+        key = (task, name)
+        if key not in self._defenses:
+            victim = self.victim(task)
+            if name == "bitwidth4":
+                wrapped: Module = InputBitWidthReduction(victim, bits=4)
+            elif name == "sap":
+                wrapped = StochasticActivationPruning(victim, sample_fraction=4.0, seed=5)
+            elif name == "randpad":
+                wrapped = RandomResizePad(victim, pad_range=4, seed=5)
+            else:
+                raise KeyError(f"unknown defense {name!r}")
+            wrapped.eval()
+            self._defenses[key] = wrapped
+        return self._defenses[key]
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def clean_cell(self, task: str, variants: list[str], defenses: list[str]) -> CellResult:
+        """Clean-accuracy row of Table III."""
+        x, y = self.eval_set(task)
+        cell = CellResult(
+            attack="Clean",
+            task=task,
+            epsilon=0.0,
+            baseline=evaluate_accuracy(self.victim(task), x, y),
+        )
+        for preset in variants:
+            cell.variants[preset] = evaluate_accuracy(
+                self.hardware(task, preset), x, y, batch_size=self.scale.batch_size
+            )
+        for name in defenses:
+            cell.variants[name] = adversarial_accuracy(
+                self.defense(task, name), x, y, batch_size=self.scale.batch_size
+            )
+        return cell
+
+    def attack_cell(
+        self,
+        task: str,
+        attack_name: str,
+        epsilon: float,
+        x_adv: np.ndarray,
+        variants: list[str],
+        defenses: list[str],
+    ) -> CellResult:
+        """Evaluate pre-crafted adversarial images on every variant."""
+        _x, y = self.eval_set(task)
+        cell = CellResult(
+            attack=attack_name,
+            task=task,
+            epsilon=epsilon,
+            baseline=adversarial_accuracy(self.victim(task), x_adv, y),
+        )
+        for preset in variants:
+            cell.variants[preset] = adversarial_accuracy(
+                self.hardware(task, preset), x_adv, y, batch_size=self.scale.batch_size
+            )
+        for name in defenses:
+            cell.variants[name] = adversarial_accuracy(
+                self.defense(task, name), x_adv, y, batch_size=self.scale.batch_size
+            )
+        return cell
+
+    @staticmethod
+    def all_presets() -> list[str]:
+        return preset_names()

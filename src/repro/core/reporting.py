@@ -1,0 +1,80 @@
+"""Export experiment results as Markdown tables or CSV.
+
+The benchmarks print fixed-width text; this module renders the same
+cell data in formats suitable for papers, READMEs and spreadsheets.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.core.evaluation import CellResult
+
+
+def cells_to_markdown(cells: list[CellResult], title: str | None = None) -> str:
+    """Render cells as a GitHub-flavoured Markdown table.
+
+    Columns: attack, baseline, then one column per variant with the
+    delta in parentheses (the paper's Table III/IV formatting).
+    """
+    if not cells:
+        raise ValueError("no cells to render")
+    variant_names: list[str] = []
+    for cell in cells:
+        for name in cell.variants:
+            if name not in variant_names:
+                variant_names.append(name)
+
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    header = ["attack", "baseline"] + variant_names
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join(["---"] * len(header)) + "|")
+    for cell in cells:
+        row = [cell.attack, f"{cell.baseline * 100:.2f}"]
+        for name in variant_names:
+            if name in cell.variants:
+                value = cell.variants[name]
+                row.append(f"{value * 100:.2f} ({cell.delta(name) * 100:+.2f})")
+            else:
+                row.append("—")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def cells_to_csv(cells: list[CellResult], path: Path | None = None) -> str:
+    """Render cells as CSV (one row per attack x variant, long format).
+
+    Long format keeps downstream plotting simple (e.g. a Fig. 5 scatter
+    is a two-column slice of this file).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["task", "attack", "epsilon", "variant", "accuracy", "delta"])
+    for cell in cells:
+        writer.writerow([cell.task, cell.attack, cell.epsilon, "baseline", cell.baseline, 0.0])
+        for name, value in cell.variants.items():
+            writer.writerow(
+                [cell.task, cell.attack, cell.epsilon, name, value, cell.delta(name)]
+            )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def gain_points_to_csv(points, path: Path | None = None) -> str:
+    """CSV export of Fig. 5 gain-vs-NF points."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["task", "attack", "epsilon", "preset", "nf", "gain"])
+    for p in points:
+        writer.writerow([p.task, p.attack, p.epsilon, p.preset, p.nf, p.gain])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

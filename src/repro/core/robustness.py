@@ -1,0 +1,68 @@
+"""Robustness-gain analyses derived from evaluation cells.
+
+The paper's headline quantity is the *absolute gain in adversarial
+accuracy* of a crossbar variant over the digital baseline under the
+same attack; Fig. 5 plots that gain against the crossbar's measured
+Non-ideality Factor, exposing the push-pull between functional error
+and intrinsic robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluation import CellResult
+
+
+@dataclass(frozen=True)
+class GainPoint:
+    """One (NF, gain) point of Fig. 5."""
+
+    attack: str
+    task: str
+    epsilon: float
+    preset: str
+    nf: float
+    gain: float  # absolute adversarial-accuracy improvement over baseline
+
+
+def robustness_gain(cell: CellResult, preset: str) -> float:
+    """Absolute adversarial-accuracy gain of ``preset`` over baseline."""
+    return cell.delta(preset)
+
+
+def gain_vs_nf_table(
+    cells: list[CellResult],
+    nf_by_preset: dict[str, float],
+) -> list[GainPoint]:
+    """Assemble Fig. 5's points from evaluated cells.
+
+    Only variants present in ``nf_by_preset`` (i.e. crossbar models,
+    not the comparison defenses) contribute points.
+    """
+    points: list[GainPoint] = []
+    for cell in cells:
+        for preset, nf in nf_by_preset.items():
+            if preset in cell.variants:
+                points.append(
+                    GainPoint(
+                        attack=cell.attack,
+                        task=cell.task,
+                        epsilon=cell.epsilon,
+                        preset=preset,
+                        nf=nf,
+                        gain=cell.delta(preset),
+                    )
+                )
+    return points
+
+
+def format_gain_table(points: list[GainPoint]) -> str:
+    """Fixed-width text rendering of Fig. 5's data."""
+    lines = [f"{'attack':<38} {'task':<10} {'eps':>7} {'preset':<12} {'NF':>6} {'gain':>8}"]
+    for p in sorted(points, key=lambda q: (q.task, q.attack, q.epsilon, q.nf)):
+        lines.append(
+            f"{p.attack:<38} {p.task:<10} {p.epsilon:7.4f} {p.preset:<12} "
+            f"{p.nf:6.3f} {p.gain * 100:+8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Table II: the attacker's knowledge under each threat scenario.
+
+The paper distinguishes four scenarios along two axes — black box vs
+white box, and non-adaptive (attacker assumes accurate digital
+computation) vs adaptive ("hardware-in-loop", attacker owns a crossbar
+model that may not match the target's).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AttackFamily(str, enum.Enum):
+    """Which base attack the scenario uses."""
+
+    ENSEMBLE_BLACK_BOX = "ensemble_black_box"
+    SQUARE_BLACK_BOX = "square_black_box"
+    WHITE_BOX_PGD = "white_box_pgd"
+
+
+@dataclass(frozen=True)
+class KnowledgeProfile:
+    """What the attacker can see of one computation mode.
+
+    Mirrors the column groups of Table II ("Accurate Digital
+    Computation" / "Non-Ideal Analog Computation").
+    """
+
+    logits: bool = False
+    activations: bool = False
+
+
+@dataclass(frozen=True)
+class ThreatScenario:
+    """One row of Table II.
+
+    Attributes
+    ----------
+    name:
+        Scenario identifier.
+    family:
+        The base attack used for generation.
+    adaptive:
+        True for hardware-in-loop scenarios.
+    model_weights:
+        Whether the attacker knows the victim's weights (white box).
+    digital, analog:
+        Visibility into each computation mode.
+    crossbar_model:
+        Whether the attacker holds a crossbar model ("may not match"
+        the target's — the mismatch experiments of Table IV / Fig. 6).
+    """
+
+    name: str
+    family: AttackFamily
+    adaptive: bool
+    model_weights: bool
+    digital: KnowledgeProfile
+    analog: KnowledgeProfile
+    crossbar_model: bool
+
+    def describe(self) -> str:
+        """One-line summary, used by the Table II regeneration bench."""
+        yn = lambda flag: "Yes" if flag else "No"  # noqa: E731 - tiny local fmt
+        return (
+            f"{self.name:<26} weights={yn(self.model_weights)} "
+            f"digital(logits={yn(self.digital.logits)}, act={yn(self.digital.activations)}) "
+            f"analog(logits={yn(self.analog.logits)}, act={yn(self.analog.activations)}) "
+            f"xbar_model={'Yes (may not match)' if self.crossbar_model else 'No'}"
+        )
+
+
+#: The four scenarios of Table II, in paper order.
+TABLE_II: list[ThreatScenario] = [
+    ThreatScenario(
+        name="nonadaptive_black_box",
+        family=AttackFamily.ENSEMBLE_BLACK_BOX,
+        adaptive=False,
+        model_weights=False,
+        digital=KnowledgeProfile(logits=True, activations=False),
+        analog=KnowledgeProfile(),
+        crossbar_model=False,
+    ),
+    ThreatScenario(
+        name="nonadaptive_white_box",
+        family=AttackFamily.WHITE_BOX_PGD,
+        adaptive=False,
+        model_weights=True,
+        digital=KnowledgeProfile(logits=True, activations=True),
+        analog=KnowledgeProfile(),
+        crossbar_model=False,
+    ),
+    ThreatScenario(
+        name="adaptive_black_box",
+        family=AttackFamily.ENSEMBLE_BLACK_BOX,
+        adaptive=True,
+        model_weights=False,
+        digital=KnowledgeProfile(),
+        analog=KnowledgeProfile(logits=True, activations=False),
+        crossbar_model=True,
+    ),
+    ThreatScenario(
+        name="adaptive_white_box",
+        family=AttackFamily.WHITE_BOX_PGD,
+        adaptive=True,
+        model_weights=True,
+        digital=KnowledgeProfile(),
+        analog=KnowledgeProfile(logits=True, activations=True),
+        crossbar_model=True,
+    ),
+]
+
+
+def threat_scenario(name: str) -> ThreatScenario:
+    """Look up a Table II scenario by name."""
+    for scenario in TABLE_II:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(
+        f"unknown scenario {name!r}; available: {[s.name for s in TABLE_II]}"
+    )

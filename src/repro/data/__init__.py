@@ -1,0 +1,37 @@
+"""Data substrate: synthetic image-classification tasks and loaders.
+
+The paper evaluates on CIFAR-10, CIFAR-100 and ImageNet.  Those corpora
+are not available offline, so this package procedurally generates three
+classification tasks of graded difficulty with matching roles (see
+DESIGN.md §2).  Task names keep the paper's labels ("cifar10",
+"cifar100", "imagenet") so every experiment reads like the original.
+"""
+
+from repro.data.datasets import ArrayDataset, DataLoader
+from repro.data.synthetic import (
+    TASKS,
+    SyntheticTaskSpec,
+    TaskData,
+    make_task,
+    task_spec,
+)
+from repro.data.transforms import (
+    Compose,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "TASKS",
+    "SyntheticTaskSpec",
+    "TaskData",
+    "make_task",
+    "task_spec",
+    "Compose",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+]

@@ -1,0 +1,76 @@
+"""Dataset and DataLoader abstractions over in-memory arrays."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+
+class ArrayDataset:
+    """A dataset backed by (images, labels) arrays with optional transform."""
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        transform: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
+    ):
+        if len(images) != len(labels):
+            raise ValueError(f"length mismatch: {len(images)} images vs {len(labels)} labels")
+        self.images = images
+        self.labels = labels
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling and batch transforms.
+
+    Transforms are applied per batch (vectorized), receiving the batch
+    array and an RNG, and must return an array of the same shape.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 128,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: int = 0,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        self._epoch += 1
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            images = self.dataset.images[idx]
+            labels = self.dataset.labels[idx]
+            if self.dataset.transform is not None:
+                images = self.dataset.transform(images, self._rng)
+            yield images, labels

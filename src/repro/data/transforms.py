@@ -1,0 +1,71 @@
+"""Batch-level data augmentation and preprocessing transforms.
+
+All transforms operate on float32 (N, C, H, W) batches in [0, 1] and
+take an explicit RNG — no hidden global state, so training runs are
+reproducible bit-for-bit given the loader seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence[Transform]):
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, rng)
+        return batch
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flips = rng.random(len(batch)) < self.p
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back at a random offset."""
+
+    def __init__(self, padding: int = 2):
+        self.padding = padding
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        p = self.padding
+        if p == 0:
+            return batch
+        n, c, h, w = batch.shape
+        padded = np.pad(batch, ((0, 0), (0, 0), (p, p), (p, p)))
+        out = np.empty_like(batch)
+        offsets_y = rng.integers(0, 2 * p + 1, size=n)
+        offsets_x = rng.integers(0, 2 * p + 1, size=n)
+        for i in range(n):
+            oy, ox = offsets_y[i], offsets_x[i]
+            out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+        return out
+
+
+class Normalize:
+    """Per-channel standardization: (x - mean) / std."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (batch - self.mean) / self.std

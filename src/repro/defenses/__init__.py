@@ -1,0 +1,31 @@
+"""The three comparison defenses of §III-C.3.
+
+All three wrap a *pretrained* network without retraining, exactly as in
+the paper's comparison:
+
+* :class:`InputBitWidthReduction` — quantize the input to 4 bits
+  (Guo et al. [35]).
+* :class:`StochasticActivationPruning` — adaptive dropout after every
+  convolution at inference (Dhillon et al. [20]); CIFAR-10/100 rows.
+* :class:`RandomResizePad` — random resize + random pad preprocessing
+  (Xie et al. [25]); ImageNet rows.
+"""
+
+from repro.defenses.bitwidth import InputBitWidthReduction
+from repro.defenses.sap import SAPLayer, StochasticActivationPruning
+from repro.defenses.randpad import RandomResizePad
+from repro.defenses.compose import (
+    CompositionResult,
+    compose_defense,
+    composition_study,
+)
+
+__all__ = [
+    "InputBitWidthReduction",
+    "StochasticActivationPruning",
+    "SAPLayer",
+    "RandomResizePad",
+    "compose_defense",
+    "composition_study",
+    "CompositionResult",
+]

@@ -1,0 +1,47 @@
+"""Input bit-width reduction defense (Guo et al. [35]).
+
+Quantizes the input image to ``bits`` bits before the pretrained
+network.  A non-adaptive attacker crafts perturbations against the
+unquantized model; small perturbations are partially rounded away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class InputBitWidthReduction(Module):
+    """Wrap a model with input quantization to ``bits`` bits.
+
+    The quantizer uses a straight-through gradient (identity), so an
+    *adaptive* attacker can still differentiate through the wrapper;
+    the paper's comparison only uses the non-adaptive setting where the
+    attacker never sees the defense.
+    """
+
+    def __init__(self, model: Module, bits: int = 4):
+        super().__init__()
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.model = model
+        self.bits = bits
+        self.levels = 2**bits - 1
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Quantize [0,1] images to the defense's bit width."""
+        return np.rint(np.clip(x, 0.0, 1.0) * self.levels) / self.levels
+
+    def forward(self, x: Tensor) -> Tensor:
+        quantized = self.quantize(x.data).astype(np.float32)
+
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:  # straight-through estimator
+                x._accumulate(grad)
+
+        return self.model(Tensor._make(quantized, (x,), backward))
+
+    def __repr__(self) -> str:
+        return f"InputBitWidthReduction(bits={self.bits})"

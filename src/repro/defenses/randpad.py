@@ -1,0 +1,76 @@
+"""Random resize + random pad defense (Xie et al. [25]).
+
+Two randomization layers in front of a pretrained model:
+
+1. resize the input to a random size ``N in [size, size + range)`` with
+   nearest-neighbor interpolation;
+2. randomly zero-pad to the fixed final size ``size + range``.
+
+The paper applies this to ImageNet (299→331); we scale the window to
+our ImageNet-stand-in resolution.  The wrapped ResNet is fully
+convolutional with global average pooling, so it accepts the enlarged
+inputs unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.module import Module
+
+
+def resize_nearest(images: np.ndarray, out_size: int) -> np.ndarray:
+    """Nearest-neighbor resize of (N, C, H, W) images to out_size^2."""
+    n, c, h, w = images.shape
+    rows = np.floor(np.arange(out_size) * h / out_size).astype(np.int64)
+    cols = np.floor(np.arange(out_size) * w / out_size).astype(np.int64)
+    return images[:, :, rows][:, :, :, cols]
+
+
+class RandomResizePad(Module):
+    """Randomized input transformation defense.
+
+    Parameters
+    ----------
+    model:
+        Pretrained network (must tolerate variable input sizes).
+    pad_range:
+        Sizes are drawn from ``[H, H + pad_range]``; the final padded
+        size is ``H + pad_range`` (the paper's 299→331 window is ~10%
+        of the input, matching the default here).
+    """
+
+    def __init__(self, model: Module, pad_range: int = 4, seed: int = 0):
+        super().__init__()
+        if pad_range < 1:
+            raise ValueError(f"pad_range must be >= 1, got {pad_range}")
+        self.model = model
+        self.pad_range = pad_range
+        self.rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        final = h + self.pad_range
+        target = int(self.rng.integers(h, final + 1))
+        with no_grad():
+            resized = resize_nearest(x.data, target)
+            pad_total = final - target
+            top = int(self.rng.integers(0, pad_total + 1)) if pad_total else 0
+            left = int(self.rng.integers(0, pad_total + 1)) if pad_total else 0
+            padded = np.zeros((n, c, final, final), dtype=np.float32)
+            padded[:, :, top : top + target, left : left + target] = resized
+
+        # The randomization layers are non-differentiable lookups; for
+        # gradient callers we use a straight-through approximation that
+        # routes gradients back through the identity (attackers in the
+        # paper's non-adaptive setting never differentiate the defense).
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                cropped = grad[:, :, top : top + target, left : left + target]
+                x._accumulate(resize_nearest(cropped, h))
+
+        return self.model(Tensor._make(padded, (x,), backward))
+
+    def __repr__(self) -> str:
+        return f"RandomResizePad(pad_range={self.pad_range})"

@@ -1,0 +1,106 @@
+"""Stochastic Activation Pruning (Dhillon et al. [20]).
+
+At inference, after every convolution layer the activations are
+randomly pruned with probability proportional to their magnitude:
+values are sampled (with replacement) from the categorical distribution
+``p_i = |a_i| / sum|a|``; activations never sampled are zeroed, sampled
+ones are rescaled by the inverse of their keep probability so the layer
+output stays unbiased.
+
+The paper applies SAP to CIFAR-10/100 as a comparison defense for a
+pretrained network.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+
+
+class SAPLayer(Module):
+    """Magnitude-proportional stochastic pruning of one activation map.
+
+    Parameters
+    ----------
+    sample_fraction:
+        Number of categorical draws as a fraction of the activation
+        count (the paper's k; higher = less pruning).
+    rng:
+        Source of randomness — SAP is a *stochastic* defense, each
+        query sees fresh pruning.
+    """
+
+    def __init__(self, sample_fraction: float = 1.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        if sample_fraction <= 0:
+            raise ValueError("sample_fraction must be positive")
+        self.sample_fraction = sample_fraction
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = x.data
+        n = data.shape[0]
+        flat = np.abs(data.reshape(n, -1)).astype(np.float64)
+        size = flat.shape[1]
+        draws = max(1, int(round(self.sample_fraction * size)))
+        totals = flat.sum(axis=1, keepdims=True)
+        # Degenerate all-zero maps pass through untouched.
+        safe = totals.squeeze(1) > 0
+        probs = np.where(totals > 0, flat / np.maximum(totals, 1e-30), 0.0)
+        # P(kept at least once in `draws` draws) = 1 - (1 - p)^draws.
+        keep_prob = 1.0 - np.power(1.0 - probs, draws)
+        kept = self.rng.random(probs.shape) < keep_prob
+        scale = np.zeros_like(probs)
+        np.divide(1.0, keep_prob, out=scale, where=kept & (keep_prob > 0))
+        scale[~safe] = 1.0
+        mask = scale.reshape(data.shape).astype(np.float32)
+
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                x._accumulate(grad * mask)
+
+        return Tensor._make(data * mask, (x,), backward)
+
+    def __repr__(self) -> str:
+        return f"SAPLayer(sample_fraction={self.sample_fraction})"
+
+
+class StochasticActivationPruning(Module):
+    """Wrap a pretrained model with SAP after every convolution."""
+
+    def __init__(
+        self,
+        model: Module,
+        sample_fraction: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        # Work on a copy: the pretrained victim stays untouched.
+        self.model = copy.deepcopy(model)
+        rng = np.random.default_rng(seed)
+        self._sap_layers: list[SAPLayer] = []
+        self._install(self.model, sample_fraction, rng)
+
+    def _install(self, model: Module, fraction: float, rng: np.random.Generator) -> None:
+        """Chain a SAPLayer onto every Conv2d in the wrapped model."""
+        from repro.nn.module import Sequential  # local to avoid cycle at import
+
+        replacements = []
+        for name, module in model.named_modules():
+            if name and isinstance(module, Conv2d):
+                sap = SAPLayer(fraction, rng)
+                self._sap_layers.append(sap)
+                replacements.append((name, Sequential(module, sap)))
+        for name, replacement in replacements:
+            model.set_submodule(name, replacement)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.model(x)
+
+    def __repr__(self) -> str:
+        return f"StochasticActivationPruning(layers={len(self._sap_layers)})"

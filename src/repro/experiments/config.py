@@ -1,0 +1,104 @@
+"""Shared experiment configuration: epsilon mapping, defense sets, scales.
+
+Epsilon calibration
+-------------------
+The paper's attack budgets (k/255) are tuned to natural-image tasks
+where white-box PGD at 1/255 already drops CIFAR-10 ResNet-20 to ~20%.
+Our synthetic stand-in tasks have wider class margins, so each paper
+budget is multiplied by a per-task ``EPS_SCALE`` chosen such that the
+*digital baseline* traces the same accuracy-vs-eps regime (e.g. WB PGD
+at paper-eps 1/255 lands near 15-25% baseline accuracy).  All reported
+epsilons are in paper units; the scaling is an implementation detail of
+the substitution, recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.evaluation import EvaluationScale
+
+#: effective-epsilon multiplier per task (paper units -> our budget).
+#: Calibrated on the trained victims: white-box PGD at paper-eps 1/255
+#: should land the digital baseline near the paper's regime (~20% for
+#: cifar10, ~6% for cifar100, ~0.4% for imagenet).
+EPS_SCALE: dict[str, float] = {
+    "cifar10": 5.5,
+    "cifar100": 5.5,
+    "imagenet": 6.0,
+}
+
+#: the comparison defenses the paper reports per dataset.
+DEFENSES_BY_TASK: dict[str, list[str]] = {
+    "cifar10": ["bitwidth4", "sap"],
+    "cifar100": ["bitwidth4", "sap"],
+    "imagenet": ["bitwidth4", "randpad"],
+}
+
+
+def paper_eps(task: str, k: float) -> float:
+    """Map a paper budget of ``k/255`` to this task's effective budget."""
+    return k * EPS_SCALE[task] / 255.0
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one table/figure regeneration."""
+
+    name: str
+    headline: str
+    rows: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [f"=== {self.name}: {self.headline} ==="]
+        lines.extend(self.rows)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.format())
+
+
+def bench_profile() -> str:
+    """Benchmark size profile: 'tiny' | 'small' | 'default'.
+
+    Controlled by the ``REPRO_BENCH_PROFILE`` environment variable so CI
+    and quick local runs can shrink the whole harness at once.
+    """
+    return os.environ.get("REPRO_BENCH_PROFILE", "small")
+
+
+def bench_scale() -> EvaluationScale:
+    """The EvaluationScale used by the benchmark harness."""
+    profile = bench_profile()
+    if profile == "tiny":
+        return EvaluationScale.tiny()
+    if profile == "small":
+        return EvaluationScale(
+            eval_size=48,
+            square_queries=100,
+            square_queries_hil=30,
+            pgd_iterations=30,
+            ensemble_query_size=1024,
+            ensemble_distill_epochs=10,
+            surrogate_width=8,
+            calibration_size=48,
+            batch_size=48,
+        )
+    return EvaluationScale()
+
+
+def bench_tasks() -> list[str]:
+    """Which datasets the benchmark harness covers (profile-dependent).
+
+    The ``small`` profile covers the two CIFAR stand-ins (the paper's
+    primary evaluation); ``default`` adds the ImageNet stand-in, whose
+    32x32 emulation dominates single-core wall-clock.
+    """
+    profile = bench_profile()
+    if profile == "tiny":
+        return ["cifar10"]
+    if profile == "small":
+        return ["cifar10", "cifar100"]
+    return ["cifar10", "cifar100", "imagenet"]

@@ -1,0 +1,119 @@
+"""Extension experiments beyond the paper's tables, from its Discussion.
+
+Two conjectures in §V are made quantitative here:
+
+* **Defense composition** — "any algorithmic defense can be further
+  implemented on the analog hardware for additional robustness":
+  digital / defense-only / crossbar-only / crossbar+defense under the
+  same non-adaptive attack.
+* **Chip-to-chip variation** — "chip to chip variations may further
+  hinder the transferability of attacks": hardware-in-loop attacks
+  crafted on one chip, transferred to sibling chips, across write-noise
+  levels.
+
+Plus the **energy motivation** of §I as a measured table.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import HardwareLab
+from repro.defenses.compose import composition_study
+from repro.experiments.config import ExperimentResult, paper_eps
+from repro.xbar.energy import estimate_model
+from repro.xbar.presets import crossbar_preset, load_or_train_geniex
+from repro.xbar.variation import chip_transfer_study
+
+
+def run_composition(
+    lab: HardwareLab,
+    task: str = "cifar10",
+    preset: str = "64x64_100k",
+    defense: str = "sap",
+    paper_k: float = 1.0,
+    iterations: int | None = None,
+) -> ExperimentResult:
+    """Defense-composition study (crossbar + algorithmic defense)."""
+    victim = lab.victim(task)
+    hardware = lab.hardware(task, preset)
+    x, y = lab.eval_set(task)
+    study = composition_study(
+        victim,
+        hardware,
+        x,
+        y,
+        epsilon=paper_eps(task, paper_k),
+        iterations=iterations or lab.scale.pgd_iterations,
+        defense=defense,
+    )
+    result = ExperimentResult(
+        name="Extension: composition",
+        headline=f"{defense} stacked on {preset} ({task}, WB PGD eps={paper_k}/255)",
+        rows=study.format().split("\n"),
+    )
+    result.data["study"] = study
+    return result
+
+
+def run_chip_variation(
+    lab: HardwareLab,
+    task: str = "cifar10",
+    preset: str = "32x32_100k",
+    sigmas: tuple[float, ...] = (0.0, 0.05, 0.10),
+    num_chips: int = 2,
+    paper_k: float = 1.0,
+    iterations: int = 10,
+) -> ExperimentResult:
+    """Chip-to-chip attack-transfer study."""
+    victim = lab.victim(task)
+    data = lab.task_data(task)
+    x, y = lab.eval_set(task)
+    config = crossbar_preset(preset)
+    predictor = load_or_train_geniex(config)
+
+    result = ExperimentResult(
+        name="Extension: chip variation",
+        headline=f"HIL attack transfer across chips ({task}, {preset})",
+        rows=[f"{'sigma':>6} {'chip-0 acc':>11} {'sibling acc':>12} {'penalty':>9}"],
+    )
+    studies = []
+    for sigma in sigmas:
+        study = chip_transfer_study(
+            victim,
+            config,
+            x,
+            y,
+            sigma=sigma,
+            num_chips=num_chips,
+            epsilon=paper_eps(task, paper_k),
+            iterations=iterations,
+            calibration_images=data.x_train[: lab.scale.calibration_size],
+            predictor=predictor,
+        )
+        studies.append(study)
+        result.rows.append(
+            f"{sigma:>6.2f} {study.source_chip_accuracy * 100:>10.1f}% "
+            f"{study.mean_cross_chip * 100:>11.1f}% "
+            f"{study.transfer_penalty * 100:>+8.1f}"
+        )
+    result.data["studies"] = studies
+    return result
+
+
+def run_energy(
+    lab: HardwareLab,
+    task: str = "cifar10",
+    preset: str = "64x64_100k",
+) -> ExperimentResult:
+    """Energy accounting of the task's victim on a crossbar preset."""
+    hardware = lab.hardware(task, preset)
+    spec = lab.task_data(task).spec
+    estimate = estimate_model(
+        hardware, (spec.channels, spec.image_size, spec.image_size), batch=1
+    )
+    result = ExperimentResult(
+        name="Extension: energy",
+        headline=f"{task} victim on {preset}, batch=1",
+        rows=estimate.format().split("\n"),
+    )
+    result.data["estimate"] = estimate
+    return result

@@ -1,0 +1,48 @@
+"""Fig. 2: non-adaptive ensemble (black-box) PGD accuracy vs epsilon.
+
+One curve per crossbar model and defense, for CIFAR-10/100, over the
+paper's epsilon grid (2, 4, 6, 8)/255 (paper units).
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import CellResult, HardwareLab
+from repro.experiments.config import DEFENSES_BY_TASK, ExperimentResult, paper_eps
+from repro.experiments.shared import AttackFactory
+from repro.xbar.presets import preset_names
+
+PAPER_EPS_GRID = (2, 4, 6, 8)
+
+
+def run(
+    lab: HardwareLab,
+    tasks: list[str] | None = None,
+    eps_grid: tuple[float, ...] = PAPER_EPS_GRID,
+    factory: AttackFactory | None = None,
+) -> ExperimentResult:
+    """Regenerate the Fig. 2 epsilon sweeps."""
+    tasks = tasks or ["cifar10", "cifar100"]
+    factory = factory or AttackFactory(lab)
+    result = ExperimentResult(
+        name="Fig 2",
+        headline="Ensemble (BB) PGD accuracy vs epsilon (paper units of /255)",
+    )
+    for task in tasks:
+        result.rows.append(f"--- {task} ---")
+        victim = lab.victim(task)
+        cells: list[CellResult] = []
+        for k in eps_grid:
+            eps = paper_eps(task, k)
+            x_adv = factory.ensemble_pgd(task, victim, eps)
+            cell = lab.attack_cell(
+                task,
+                f"Ensemble BB PGD eps={k}/255",
+                eps,
+                x_adv,
+                preset_names(),
+                DEFENSES_BY_TASK[task],
+            )
+            cells.append(cell)
+            result.rows.append(cell.format_row())
+        result.data[task] = cells
+    return result

@@ -1,0 +1,52 @@
+"""Fig. 3: non-adaptive Square Attack accuracy vs epsilon.
+
+Curves for the three crossbar models and the defenses, over the paper's
+grid (4, 8, 12, 16)/255, on all three datasets.  Queries go to the
+digital model (the attacker is hardware-unaware).
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import CellResult, HardwareLab
+from repro.experiments.config import DEFENSES_BY_TASK, ExperimentResult, paper_eps
+from repro.experiments.shared import AttackFactory
+from repro.xbar.presets import preset_names
+
+PAPER_EPS_GRID = (4, 8, 12, 16)
+
+
+def run(
+    lab: HardwareLab,
+    tasks: list[str] | None = None,
+    eps_grid: tuple[float, ...] = PAPER_EPS_GRID,
+    factory: AttackFactory | None = None,
+) -> ExperimentResult:
+    """Regenerate the Fig. 3 epsilon sweeps."""
+    tasks = tasks or ["cifar10", "cifar100", "imagenet"]
+    factory = factory or AttackFactory(lab)
+    result = ExperimentResult(
+        name="Fig 3",
+        headline="Square Attack (BB) accuracy vs epsilon (paper units of /255)",
+    )
+    for task in tasks:
+        result.rows.append(f"--- {task} ---")
+        victim = lab.victim(task)
+        queries = lab.scale.square_queries
+        if task == "imagenet":
+            queries = max(1, queries // 2)
+        cells: list[CellResult] = []
+        for i, k in enumerate(eps_grid):
+            eps = paper_eps(task, k)
+            x_adv = factory.square(task, victim, eps, queries=queries, seed=31 + i)
+            cell = lab.attack_cell(
+                task,
+                f"Square BB eps={k}/255",
+                eps,
+                x_adv,
+                preset_names(),
+                DEFENSES_BY_TASK[task],
+            )
+            cells.append(cell)
+            result.rows.append(cell.format_row())
+        result.data[task] = cells
+    return result

@@ -1,0 +1,55 @@
+"""Fig. 6: hardware-in-loop adaptive ensemble BB attacks with attacker
+crossbar mismatch.
+
+The target runs on 64x64_100k; the attacker distills surrogates by
+querying the DNN on each of the three crossbar models in turn.  The
+paper's finding: the closer the attacker's NF to the target's, the
+stronger the transferred attack.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import CellResult, HardwareLab
+from repro.experiments.config import ExperimentResult, paper_eps
+from repro.experiments.shared import AttackFactory
+from repro.xbar.presets import preset_names
+
+PAPER_EPS_GRID = (2, 4, 6, 8)
+TARGET_PRESET = "64x64_100k"
+
+
+def run(
+    lab: HardwareLab,
+    tasks: list[str] | None = None,
+    eps_grid: tuple[float, ...] = PAPER_EPS_GRID,
+    attacker_presets: list[str] | None = None,
+    factory: AttackFactory | None = None,
+) -> ExperimentResult:
+    """Regenerate the Fig. 6 mismatch sweeps."""
+    tasks = tasks or ["cifar10", "cifar100"]
+    attacker_presets = attacker_presets or preset_names()
+    factory = factory or AttackFactory(lab)
+    result = ExperimentResult(
+        name="Fig 6",
+        headline=f"HIL adaptive ensemble BB PGD vs epsilon (target {TARGET_PRESET})",
+    )
+    for task in tasks:
+        result.rows.append(f"--- {task} ---")
+        cells: list[CellResult] = []
+        for attacker in attacker_presets:
+            attacker_hw = lab.hardware(task, attacker)
+            for k in eps_grid:
+                eps = paper_eps(task, k)
+                x_adv = factory.ensemble_pgd(task, attacker_hw, eps)
+                cell = lab.attack_cell(
+                    task,
+                    f"HIL Ensemble BB (attacker {attacker}) eps={k}/255",
+                    eps,
+                    x_adv,
+                    [TARGET_PRESET],
+                    [],
+                )
+                cells.append(cell)
+                result.rows.append(cell.format_row())
+        result.data[task] = cells
+    return result

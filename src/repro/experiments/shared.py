@@ -1,0 +1,95 @@
+"""Shared attack plumbing for the table/figure experiments.
+
+Surrogate ensembles are expensive to distill and reusable across
+epsilons (Fig. 2 sweeps epsilon with one fitted ensemble), so
+:class:`AttackFactory` memoizes them per (task, victim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.ensemble import EnsembleBlackBox, EnsembleConfig, SurrogateSpec
+from repro.attacks.pgd import PGD
+from repro.attacks.square import SquareAttack
+from repro.core.evaluation import HardwareLab
+from repro.nn.module import Module
+
+
+class AttackFactory:
+    """Builds and caches the attack models used across experiments."""
+
+    def __init__(self, lab: HardwareLab):
+        self.lab = lab
+        self._fitted_ensembles: dict[tuple[str, int], EnsembleBlackBox] = {}
+
+    # ------------------------------------------------------------------
+    def ensemble_config(self) -> EnsembleConfig:
+        scale = self.lab.scale
+        width = scale.surrogate_width
+        return EnsembleConfig(
+            surrogates=[
+                SurrogateSpec("resnet10", width=width, seed=101),
+                SurrogateSpec("resnet20", width=width, seed=102),
+                SurrogateSpec("resnet32", width=width, seed=103),
+            ],
+            distill_epochs=scale.ensemble_distill_epochs,
+            batch_size=min(128, scale.ensemble_query_size),
+        )
+
+    def fitted_ensemble(self, task: str, victim: Module) -> EnsembleBlackBox:
+        """Distill the surrogate ensemble against ``victim`` (cached).
+
+        ``victim`` is the model the black-box attacker queries: the
+        digital model in the non-adaptive scenario, a crossbar hardware
+        model in the hardware-in-loop scenario.
+        """
+        key = (task, id(victim))
+        if key not in self._fitted_ensembles:
+            attack = EnsembleBlackBox(
+                epsilon=0.0,  # per-epsilon PGD budgets are set at generate time
+                config=self.ensemble_config(),
+                seed=17,
+            )
+            attack.fit(victim, self.lab.surrogate_query_images(task))
+            self._fitted_ensembles[key] = attack
+        return self._fitted_ensembles[key]
+
+    # ------------------------------------------------------------------
+    def ensemble_pgd(
+        self, task: str, victim: Module, epsilon: float, iterations: int | None = None
+    ) -> np.ndarray:
+        """Ensemble black-box adversarial images at one epsilon."""
+        iterations = iterations or self.lab.scale.pgd_iterations
+        fitted = self.fitted_ensemble(task, victim)
+        x, y = self.lab.eval_set(task)
+        pgd = PGD(epsilon, iterations=iterations, seed=23)
+        return pgd.generate(fitted.ensemble, x, y).x_adv
+
+    def square(
+        self,
+        task: str,
+        target: Module,
+        epsilon: float,
+        queries: int | None = None,
+        seed: int = 31,
+    ) -> np.ndarray:
+        """Square-attack adversarial images crafted by querying ``target``."""
+        queries = queries or self.lab.scale.square_queries
+        x, y = self.lab.eval_set(task)
+        attack = SquareAttack(epsilon, max_queries=queries, seed=seed)
+        return attack.generate(target, x, y).x_adv
+
+    def whitebox_pgd(
+        self,
+        task: str,
+        target: Module,
+        epsilon: float,
+        iterations: int | None = None,
+        batch_size: int = 64,
+    ) -> np.ndarray:
+        """White-box PGD against ``target`` (digital or hardware model)."""
+        iterations = iterations or self.lab.scale.pgd_iterations
+        x, y = self.lab.eval_set(task)
+        pgd = PGD(epsilon, iterations=iterations, batch_size=batch_size, seed=29)
+        return pgd.generate(target, x, y).x_adv

@@ -1,0 +1,63 @@
+"""Table I: the three crossbar models and their Non-ideality Factors.
+
+Regenerates, for each preset, the NF measured from the circuit solver
+(the ground truth) and from the GENIEx surrogate used by the functional
+simulator, next to the paper's reported value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import ExperimentResult
+from repro.xbar.nf import crossbar_nf
+from repro.xbar.presets import crossbar_preset, load_or_train_geniex, preset_names
+
+
+def run(
+    num_matrices: int = 4,
+    vectors_per_matrix: int = 8,
+    seed: int = 3,
+    include_surrogate: bool = True,
+) -> ExperimentResult:
+    """Measure NF for every Table-I crossbar model."""
+    result = ExperimentResult(
+        name="Table I",
+        headline="Crossbar models: size, R_ON, Non-ideality Factor",
+        rows=[
+            f"{'model':<12} {'size':<8} {'R_ON':>8} {'NF paper':>9} "
+            f"{'NF circuit':>11} {'NF GENIEx':>10}"
+        ],
+    )
+    for name in preset_names():
+        config = crossbar_preset(name)
+        nf_circuit = crossbar_nf(
+            config.circuit,
+            config.device,
+            rng=np.random.default_rng(seed),
+            num_matrices=num_matrices,
+            vectors_per_matrix=vectors_per_matrix,
+        )
+        nf_surrogate = float("nan")
+        if include_surrogate:
+            geniex = load_or_train_geniex(config)
+            nf_surrogate = crossbar_nf(
+                config.circuit,
+                config.device,
+                rng=np.random.default_rng(seed),
+                num_matrices=num_matrices,
+                vectors_per_matrix=vectors_per_matrix,
+                solver=geniex.predict,
+            )
+        nf_paper = f"{config.nf_paper:>9.2f}" if config.nf_paper is not None else f"{'n/a':>9}"
+        result.rows.append(
+            f"{name:<12} {config.rows}x{config.cols:<5} "
+            f"{config.device.r_on / 1e3:>6.0f}k {nf_paper} "
+            f"{nf_circuit:>11.3f} {nf_surrogate:>10.3f}"
+        )
+        result.data[name] = {
+            "nf_paper": config.nf_paper,
+            "nf_circuit": nf_circuit,
+            "nf_surrogate": nf_surrogate,
+        }
+    return result

@@ -1,0 +1,23 @@
+"""Table II: the attacker-knowledge matrix for the four threat scenarios."""
+
+from __future__ import annotations
+
+from repro.core.threat_models import TABLE_II
+from repro.experiments.config import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Render the threat-scenario knowledge matrix."""
+    result = ExperimentResult(
+        name="Table II",
+        headline="Attacker's knowledge per threat scenario",
+    )
+    for scenario in TABLE_II:
+        result.rows.append(scenario.describe())
+        result.data[scenario.name] = {
+            "family": scenario.family.value,
+            "adaptive": scenario.adaptive,
+            "model_weights": scenario.model_weights,
+            "crossbar_model": scenario.crossbar_model,
+        }
+    return result

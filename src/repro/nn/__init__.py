@@ -1,0 +1,58 @@
+"""Neural-network library built on :mod:`repro.autograd`.
+
+Provides the layer zoo needed by the paper's models (ResNet-10/18/20/32)
+plus the plumbing (parameter management, train/eval modes, state dicts)
+that the training substrate and the crossbar functional simulator rely
+on.  Layers follow the PyTorch naming so readers of the paper's original
+code base can map one-to-one.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn import functional
+from repro.nn.resnet import (
+    BasicBlock,
+    ResNet,
+    resnet_cifar,
+    resnet10,
+    resnet18,
+    resnet20,
+    resnet32,
+    build_model,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Identity",
+    "Dropout",
+    "functional",
+    "BasicBlock",
+    "ResNet",
+    "resnet_cifar",
+    "resnet10",
+    "resnet18",
+    "resnet20",
+    "resnet32",
+    "build_model",
+]

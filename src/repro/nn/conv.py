@@ -1,0 +1,160 @@
+"""im2col-based 2-D convolution with full autograd support.
+
+The same im2col decomposition is reused by the crossbar functional
+simulator: a convolution becomes a (C*kh*kw × K) weight matrix applied
+to patch vectors, which is exactly the "iterative matrix-vector
+multiplication" step of the PUMA mapping described in §II-A of the
+paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Unfold ``x`` (N,C,H,W) into patch columns (N, C*kh*kw, L).
+
+    L = H_out * W_out; column ``l`` holds the receptive field of output
+    position ``l`` flattened in (C, kh, kw) order.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    h_out = conv_output_size(h, kh, stride, padding)
+    w_out = conv_output_size(w, kw, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kh, kw, h_out, w_out), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * h_out
+        for j in range(kw):
+            j_end = j + stride * w_out
+            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, h_out * w_out)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold patch columns back, accumulating overlaps (adjoint of im2col)."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    h_out = conv_output_size(h, kh, stride, padding)
+    w_out = conv_output_size(w, kw, stride, padding)
+    cols = cols.reshape(n, c, kh, kw, h_out, w_out)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * h_out
+        for j in range(kw):
+            j_end = j + stride * w_out
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Differentiable 2-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input tensor (N, C_in, H, W).
+    weight:
+        Filters (C_out, C_in, kh, kw).
+    bias:
+        Optional per-output-channel bias (C_out,).
+    """
+    n = x.shape[0]
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ValueError(f"channel mismatch: input {x.shape[1]} vs weight {c_in}")
+    h_out = conv_output_size(x.shape[2], kh, stride, padding)
+    w_out = conv_output_size(x.shape[3], kw, stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, CKK, L)
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, CKK)
+    out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True)
+    out = out.reshape(n, c_out, h_out, w_out)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, c_out, h_out * w_out)  # (N, C_out, L)
+        if weight.requires_grad:
+            gw = np.einsum("nol,nkl->ok", grad_mat, cols, optimize=True)
+            weight._accumulate(gw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gcols = np.einsum("ok,nol->nkl", w_mat, grad_mat, optimize=True)
+            gx = col2im(gcols, x.shape, (kh, kw), stride, padding)
+            x._accumulate(gx)
+
+    return Tensor._make(out, parents, backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling with square window."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    h_out = conv_output_size(h, kernel, stride, 0)
+    w_out = conv_output_size(w, kernel, stride, 0)
+    cols = im2col(
+        x.data.reshape(n * c, 1, h, w), (kernel, kernel), stride, 0
+    )  # (N*C, k*k, L)
+    out = cols.mean(axis=1).reshape(n, c, h_out, w_out)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g = grad.reshape(n * c, 1, h_out * w_out) / (kernel * kernel)
+        gcols = np.broadcast_to(g, (n * c, kernel * kernel, h_out * w_out))
+        gx = col2im(gcols, (n * c, 1, h, w), (kernel, kernel), stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling with square window."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    h_out = conv_output_size(h, kernel, stride, 0)
+    w_out = conv_output_size(w, kernel, stride, 0)
+    cols = im2col(x.data.reshape(n * c, 1, h, w), (kernel, kernel), stride, 0)
+    arg = cols.argmax(axis=1)  # (N*C, L)
+    out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
+    out = out.reshape(n, c, h_out, w_out)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g = grad.reshape(n * c, h_out * w_out)
+        gcols = np.zeros_like(cols)
+        np.put_along_axis(gcols, arg[:, None, :], g[:, None, :], axis=1)
+        gx = col2im(gcols, (n * c, 1, h, w), (kernel, kernel), stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)

@@ -1,0 +1,95 @@
+"""Composite NN functions: softmax, cross-entropy, accuracy.
+
+Cross-entropy is implemented as a fused log-softmax + NLL op with an
+analytically simplified backward pass (softmax − one_hot) / N, which is
+both faster and more numerically stable than composing primitives —
+important because PGD differentiates this loss 30 times per image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray | Tensor) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``labels`` (N,)."""
+    labels = labels.data if isinstance(labels, Tensor) else np.asarray(labels)
+    labels = labels.astype(np.int64)
+    n, c = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match logits {logits.shape}")
+
+    z = logits.data.astype(np.float64)
+    z = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(z)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    losses = -np.log(np.maximum(probs[np.arange(n), labels], 1e-30))
+    out = np.asarray(losses.mean(), dtype=np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        g = probs.copy()
+        g[np.arange(n), labels] -= 1.0
+        logits._accumulate((grad * g / n).astype(np.float32))
+
+    return Tensor._make(out, (logits,), backward)
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood over (N, C) log-probabilities."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error (used to train the GENIEx surrogate)."""
+    target = as_tensor(target)
+    diff = pred - target.detach()
+    return (diff * diff).mean()
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
+    """Cross-entropy against a soft target distribution.
+
+    Used by the ensemble black-box attack's surrogate distillation: the
+    surrogate is trained on (input, victim-logit) pairs, matching the
+    victim's softened output distribution rather than hard labels.
+    """
+    target = np.asarray(target_probs, dtype=np.float32)
+    if target.shape != tuple(logits.shape):
+        raise ValueError(f"target shape {target.shape} vs logits {tuple(logits.shape)}")
+    logp = log_softmax(logits, axis=-1)
+    return -(logp * Tensor(target)).sum(axis=-1).mean()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels (N,) → one-hot matrix (N, num_classes)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def accuracy(logits: Tensor | np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = scores.argmax(axis=1)
+    return float((predictions == np.asarray(labels)).mean())

@@ -1,0 +1,33 @@
+"""Weight initialization schemes (He/Kaiming and Xavier/Glorot)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None
+) -> np.ndarray:
+    """He-normal init: std = sqrt(2 / fan_in); standard for ReLU nets."""
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot-uniform init for tanh/sigmoid heads (used by GENIEx MLP)."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,186 @@
+"""Residual networks used throughout the paper's evaluation.
+
+The paper trains ResNet-20 (CIFAR-10), ResNet-32 (CIFAR-100) and
+ResNet-18 (ImageNet), and uses ResNet-10/20/32 as surrogate models for
+the ensemble black-box attack.  We reproduce the exact block structure
+and depth at reduced width so pure-numpy CPU training is tractable (a
+documented substitution — see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    ReLU,
+)
+from repro.nn.module import Module, Sequential
+
+
+class BasicBlock(Module):
+    """Standard two-conv residual block with projection shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + self.shortcut(x))
+
+
+class ResNet(Module):
+    """Generic ResNet: a stem conv, staged residual blocks, linear head.
+
+    Parameters
+    ----------
+    stage_blocks:
+        Number of BasicBlocks per stage (e.g. ``[3, 3, 3]`` = ResNet-20).
+    stage_widths:
+        Channel count per stage (same length as ``stage_blocks``).
+    num_classes:
+        Output logits.
+    in_channels:
+        Input image channels.
+    stem_stride:
+        Stride of the stem convolution (2 for larger "ImageNet-like"
+        inputs, 1 for CIFAR-style).
+    """
+
+    def __init__(
+        self,
+        stage_blocks: list[int],
+        stage_widths: list[int],
+        num_classes: int,
+        in_channels: int = 3,
+        stem_stride: int = 1,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if len(stage_blocks) != len(stage_widths):
+            raise ValueError("stage_blocks and stage_widths must have equal length")
+        rng = np.random.default_rng(seed)
+        self.stage_blocks = list(stage_blocks)
+        self.stage_widths = list(stage_widths)
+        self.num_classes = num_classes
+
+        width = stage_widths[0]
+        self.conv1 = Conv2d(
+            in_channels, width, 3, stride=stem_stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = BatchNorm2d(width)
+        self.relu = ReLU()
+
+        stages = []
+        in_width = width
+        for stage_index, (blocks, out_width) in enumerate(zip(stage_blocks, stage_widths)):
+            layers = []
+            for block_index in range(blocks):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                layers.append(BasicBlock(in_width, out_width, stride=stride, rng=rng))
+                in_width = out_width
+            stages.append(Sequential(*layers))
+        self.layers = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_width, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.layers(out)
+        out = self.pool(out)
+        return self.fc(out)
+
+    @property
+    def depth(self) -> int:
+        """Conventional ResNet depth: 2 convs per block + stem + head."""
+        return 2 * sum(self.stage_blocks) + 2
+
+
+def resnet_cifar(
+    depth: int, num_classes: int, width: int = 8, seed: int = 0
+) -> ResNet:
+    """CIFAR-style ResNet of the given depth (6n+2: 20, 32, 44, ...)."""
+    if (depth - 2) % 6 != 0:
+        raise ValueError(f"CIFAR ResNet depth must be 6n+2, got {depth}")
+    n = (depth - 2) // 6
+    return ResNet(
+        stage_blocks=[n, n, n],
+        stage_widths=[width, 2 * width, 4 * width],
+        num_classes=num_classes,
+        stem_stride=1,
+        seed=seed,
+    )
+
+
+def resnet20(num_classes: int = 10, width: int = 8, seed: int = 0) -> ResNet:
+    """ResNet-20 (the paper's CIFAR-10 model)."""
+    return resnet_cifar(20, num_classes, width=width, seed=seed)
+
+
+def resnet32(num_classes: int = 100, width: int = 8, seed: int = 0) -> ResNet:
+    """ResNet-32 (the paper's CIFAR-100 model)."""
+    return resnet_cifar(32, num_classes, width=width, seed=seed)
+
+
+def resnet10(num_classes: int = 10, width: int = 8, seed: int = 0) -> ResNet:
+    """ResNet-10: 4 stages of 1 block (surrogate model in the ensemble)."""
+    return ResNet(
+        stage_blocks=[1, 1, 1, 1],
+        stage_widths=[width, 2 * width, 4 * width, 8 * width],
+        num_classes=num_classes,
+        stem_stride=1,
+        seed=seed,
+    )
+
+
+def resnet18(num_classes: int = 16, width: int = 16, seed: int = 0) -> ResNet:
+    """ResNet-18 topology (the paper's ImageNet model), stem stride 2."""
+    return ResNet(
+        stage_blocks=[2, 2, 2, 2],
+        stage_widths=[width, 2 * width, 4 * width, 8 * width],
+        num_classes=num_classes,
+        stem_stride=2,
+        seed=seed,
+    )
+
+
+_BUILDERS = {
+    "resnet10": resnet10,
+    "resnet18": resnet18,
+    "resnet20": resnet20,
+    "resnet32": resnet32,
+}
+
+
+def build_model(name: str, num_classes: int, width: int = 8, seed: int = 0) -> ResNet:
+    """Build a ResNet by name (``resnet10/18/20/32``)."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(_BUILDERS)}")
+    return _BUILDERS[name](num_classes=num_classes, width=width, seed=seed)

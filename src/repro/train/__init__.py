@@ -1,0 +1,20 @@
+"""Training substrate: optimizers, schedules, trainer loop, model zoo."""
+
+from repro.train.optim import SGD, Adam, Optimizer
+from repro.train.schedule import ConstantLR, CosineLR, MultiStepLR
+from repro.train.trainer import TrainConfig, Trainer, evaluate_accuracy
+from repro.train.zoo import ModelZoo, default_zoo
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ConstantLR",
+    "CosineLR",
+    "MultiStepLR",
+    "Trainer",
+    "TrainConfig",
+    "evaluate_accuracy",
+    "ModelZoo",
+    "default_zoo",
+]

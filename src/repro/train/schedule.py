@@ -1,0 +1,49 @@
+"""Learning-rate schedules, applied per epoch by the Trainer."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+class LRSchedule:
+    """Maps epoch index → learning rate."""
+
+    def __init__(self, base_lr: float):
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        self.base_lr = base_lr
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class MultiStepLR(LRSchedule):
+    """Decay by ``gamma`` at each milestone epoch (the ResNet recipe)."""
+
+    def __init__(self, base_lr: float, milestones: Sequence[int], gamma: float = 0.1):
+        super().__init__(base_lr)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        decays = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * (self.gamma**decays)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from base_lr to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, base_lr: float, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(base_lr)
+        self.total_epochs = max(1, total_epochs)
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        t = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * t))

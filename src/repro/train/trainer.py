@@ -1,0 +1,140 @@
+"""Training loop for classifiers and generic regression models."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.datasets import ArrayDataset, DataLoader
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.train.optim import SGD
+from repro.train.schedule import CosineLR, LRSchedule
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for one classifier training run."""
+
+    epochs: int = 30
+    batch_size: int = 128
+    lr: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    seed: int = 0
+    log_every: int = 0  # epochs between log lines; 0 = silent
+    schedule: LRSchedule | None = None
+
+    def resolved_schedule(self) -> LRSchedule:
+        return self.schedule or CosineLR(self.lr, self.epochs)
+
+
+@dataclass
+class TrainResult:
+    """Summary of a training run."""
+
+    epochs: int
+    final_train_loss: float
+    final_train_accuracy: float
+    test_accuracy: float
+    seconds: float
+    history: list[dict] = field(default_factory=list)
+
+
+def evaluate_accuracy(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy of ``model`` on an array dataset (eval mode)."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            batch = Tensor(images[start : start + batch_size])
+            logits = model(batch)
+            correct += int((logits.data.argmax(axis=1) == labels[start : start + batch_size]).sum())
+    if was_training:
+        model.train()
+    return correct / len(images)
+
+
+class Trainer:
+    """Cross-entropy classifier trainer with per-epoch LR scheduling."""
+
+    def __init__(self, model: Module, config: TrainConfig | None = None):
+        self.model = model
+        self.config = config or TrainConfig()
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: np.ndarray | None = None,
+        y_test: np.ndarray | None = None,
+        transform=None,
+    ) -> TrainResult:
+        cfg = self.config
+        dataset = ArrayDataset(x_train, y_train, transform=transform)
+        loader = DataLoader(
+            dataset, batch_size=cfg.batch_size, shuffle=True, seed=cfg.seed
+        )
+        optimizer = SGD(
+            self.model.parameters(),
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+        )
+        schedule = cfg.resolved_schedule()
+
+        history: list[dict] = []
+        start_time = time.time()
+        last_loss = float("nan")
+        last_acc = float("nan")
+        for epoch in range(cfg.epochs):
+            optimizer.lr = schedule.lr_at(epoch)
+            self.model.train()
+            losses = []
+            correct = 0
+            seen = 0
+            for images, labels in loader:
+                logits = self.model(Tensor(images))
+                loss = F.cross_entropy(logits, labels)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+                correct += int((logits.data.argmax(axis=1) == labels).sum())
+                seen += len(labels)
+            last_loss = float(np.mean(losses))
+            last_acc = correct / max(seen, 1)
+            record = {
+                "epoch": epoch,
+                "lr": optimizer.lr,
+                "train_loss": last_loss,
+                "train_accuracy": last_acc,
+            }
+            history.append(record)
+            if cfg.log_every and (epoch % cfg.log_every == 0 or epoch == cfg.epochs - 1):
+                print(
+                    f"epoch {epoch:3d}  lr {optimizer.lr:.4f}  "
+                    f"loss {last_loss:.4f}  acc {last_acc:.4f}"
+                )
+
+        test_acc = float("nan")
+        if x_test is not None and y_test is not None:
+            test_acc = evaluate_accuracy(self.model, x_test, y_test)
+        self.model.eval()
+        return TrainResult(
+            epochs=cfg.epochs,
+            final_train_loss=last_loss,
+            final_train_accuracy=last_acc,
+            test_accuracy=test_acc,
+            seconds=time.time() - start_time,
+            history=history,
+        )

@@ -1,0 +1,163 @@
+"""Model zoo: train-once, cache-on-disk victim classifiers.
+
+Every experiment needs the same three trained victims (one per task).
+The zoo trains them on first request and caches weights + metadata as
+``.npz`` under an artifacts directory (``REPRO_ARTIFACTS`` env var, or
+``~/.cache/repro-nvm-robustness``), keyed by the full training recipe,
+so benchmarks and examples never retrain needlessly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synthetic import TaskData, make_task, task_spec
+from repro.nn.resnet import ResNet, build_model
+from repro.train.trainer import TrainConfig, Trainer, evaluate_accuracy
+
+
+def artifacts_dir() -> Path:
+    """Resolve the on-disk cache directory.
+
+    Priority: ``REPRO_ARTIFACTS`` env var, then the repository-local
+    ``artifacts/`` directory (when running from a source checkout, so
+    trained victims and surrogates ship with the repo), then
+    ``~/.cache/repro-nvm-robustness``.
+    """
+    root = os.environ.get("REPRO_ARTIFACTS")
+    if root:
+        path = Path(root)
+    else:
+        repo_root = Path(__file__).resolve().parents[3]
+        if (repo_root / "pyproject.toml").exists():
+            path = repo_root / "artifacts"
+        else:
+            path = Path.home() / ".cache" / "repro-nvm-robustness"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@dataclass
+class ZooEntry:
+    """A trained model with its task data and recorded test accuracy."""
+
+    model: ResNet
+    task: TaskData
+    test_accuracy: float
+    from_cache: bool
+
+
+class ModelZoo:
+    """Caches trained victim classifiers per task."""
+
+    def __init__(self, cache_dir: Path | None = None, verbose: bool = False):
+        self.cache_dir = cache_dir or artifacts_dir()
+        self.verbose = verbose
+        self._memory: dict[str, ZooEntry] = {}
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, task_name: str, epochs: int | None, width: int | None) -> str:
+        spec = task_spec(task_name)
+        epochs = epochs if epochs is not None else spec.epochs
+        width = width if width is not None else spec.model_width
+        # The spec hash invalidates cached weights whenever any dataset
+        # parameter (noise levels, prototype counts, ...) changes.
+        spec_digest = hashlib.sha256(repr(spec).encode()).hexdigest()[:8]
+        return (
+            f"{task_name}-{spec.model}-w{width}-e{epochs}"
+            f"-n{spec.train_size}-s{spec.seed}-d{spec_digest}"
+        )
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return self.cache_dir / f"{key}.npz", self.cache_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get_classifier(
+        self,
+        task_name: str,
+        epochs: int | None = None,
+        width: int | None = None,
+        force_retrain: bool = False,
+    ) -> ZooEntry:
+        """Return the trained victim classifier for ``task_name``.
+
+        Trains and caches on first use.  ``epochs``/``width`` override
+        the task spec (used by fast test configurations).
+        """
+        key = self._cache_key(task_name, epochs, width)
+        if key in self._memory and not force_retrain:
+            return self._memory[key]
+
+        spec = task_spec(task_name)
+        epochs = epochs if epochs is not None else spec.epochs
+        width = width if width is not None else spec.model_width
+        task = make_task(task_name)
+        model = build_model(spec.model, num_classes=spec.num_classes, width=width, seed=spec.seed)
+
+        weights_path, meta_path = self._paths(key)
+        if weights_path.exists() and meta_path.exists() and not force_retrain:
+            state = dict(np.load(weights_path))
+            model.load_state_dict(state)
+            model.eval()
+            meta = json.loads(meta_path.read_text())
+            entry = ZooEntry(model, task, meta["test_accuracy"], from_cache=True)
+            self._memory[key] = entry
+            return entry
+
+        if self.verbose:
+            print(f"[zoo] training {key} ...")
+        config = TrainConfig(
+            epochs=epochs,
+            batch_size=128,
+            lr=0.1,
+            weight_decay=5e-4,
+            seed=spec.seed,
+            log_every=10 if self.verbose else 0,
+        )
+        result = Trainer(model, config).fit(
+            task.x_train, task.y_train, task.x_test, task.y_test
+        )
+        model.eval()
+        np.savez(weights_path, **model.state_dict())
+        meta_path.write_text(
+            json.dumps(
+                {
+                    "key": key,
+                    "task": task_name,
+                    "model": spec.model,
+                    "width": width,
+                    "epochs": epochs,
+                    "test_accuracy": result.test_accuracy,
+                    "train_accuracy": result.final_train_accuracy,
+                    "seconds": result.seconds,
+                },
+                indent=2,
+            )
+        )
+        if self.verbose:
+            print(f"[zoo] {key}: test acc {result.test_accuracy:.4f} in {result.seconds:.1f}s")
+        entry = ZooEntry(model, task, result.test_accuracy, from_cache=False)
+        self._memory[key] = entry
+        return entry
+
+    def clean_accuracy(self, task_name: str, **kwargs) -> float:
+        """Digital-baseline clean accuracy of the cached victim."""
+        entry = self.get_classifier(task_name, **kwargs)
+        return evaluate_accuracy(entry.model, entry.task.x_test, entry.task.y_test)
+
+
+_DEFAULT_ZOO: ModelZoo | None = None
+
+
+def default_zoo() -> ModelZoo:
+    """Process-wide shared zoo instance."""
+    global _DEFAULT_ZOO
+    if _DEFAULT_ZOO is None:
+        _DEFAULT_ZOO = ModelZoo()
+    return _DEFAULT_ZOO

@@ -1,0 +1,58 @@
+"""ADC model: column currents are sensed with finite resolution.
+
+PUMA's periphery digitizes every column current before shift-and-add.
+We model a linear ADC with ``bits`` resolution over a configurable
+fraction of the physical full-scale current (columns rarely reach the
+theoretical maximum, so sizing the ADC to a fraction of it recovers
+resolution — at the cost of clipping, which is also modeled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ADCConfig:
+    """Analog-to-digital converter parameters.
+
+    Attributes
+    ----------
+    bits:
+        Resolution; ``None`` disables ADC quantization entirely.
+    full_scale_fraction:
+        The ADC input range is ``fraction * I_physical_max`` where the
+        physical max is rows * G_max * V_read for the tile.
+    """
+
+    bits: int | None = 8
+    full_scale_fraction: float = 0.25
+
+    def __post_init__(self):
+        if self.bits is not None and self.bits <= 0:
+            raise ValueError(f"adc bits must be positive, got {self.bits}")
+        if not 0 < self.full_scale_fraction <= 1.0:
+            raise ValueError("full_scale_fraction must be in (0, 1]")
+
+
+def quantize_current(
+    currents: np.ndarray, config: ADCConfig, physical_max: float
+) -> np.ndarray:
+    """Apply ADC transfer function: clip to range, round to LSB.
+
+    Parameters
+    ----------
+    currents:
+        Analog column currents (any shape).
+    physical_max:
+        rows * G_max * V_read of the tile being sensed.
+    """
+    if config.bits is None:
+        return np.asarray(currents)
+    full_scale = config.full_scale_fraction * physical_max
+    levels = 2**config.bits - 1
+    lsb = full_scale / levels
+    clipped = np.clip(currents, 0.0, full_scale)
+    return np.rint(clipped / lsb) * lsb

@@ -1,0 +1,124 @@
+"""Bit-slicing of weights and input streaming (PUMA mapping, step iii).
+
+NVM cells hold only a few bits, and DACs drive only a few bits per
+step, so the functional simulator decomposes:
+
+* a ``weight_bits``-bit unsigned weight integer into ``weight_bits /
+  slice_bits`` *slices*, each programmed into its own crossbar column
+  group, and
+* an ``input_bits``-bit unsigned activation integer into ``input_bits /
+  stream_bits`` *streams*, each applied as one analog MVM.
+
+Partial results are combined with shift-and-add:
+
+``dot(x, w) = sum_{s,t} 2^(s*slice_bits + t*stream_bits) dot(d_t, w_s)``
+
+Signed values are handled one level up (the engine splits weights into
+positive/negative arrays — the differential-crossbar scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BitSliceConfig:
+    """Quantization and slicing parameters of the functional simulator.
+
+    Defaults (8-bit activations in 4-bit streams, 6-bit weights in 2-bit
+    slices) are a laptop-scale rendition of PUMA's 16-bit/2-bit scheme:
+    the error structure (per-slice analog error, shift-add recombination)
+    is identical, only the precision budget is smaller.
+    """
+
+    input_bits: int = 8
+    stream_bits: int = 4
+    weight_bits: int = 6
+    slice_bits: int = 2
+
+    def __post_init__(self):
+        if self.input_bits % self.stream_bits != 0:
+            raise ValueError(
+                f"stream_bits {self.stream_bits} must divide input_bits {self.input_bits}"
+            )
+        if self.weight_bits % self.slice_bits != 0:
+            raise ValueError(
+                f"slice_bits {self.slice_bits} must divide weight_bits {self.weight_bits}"
+            )
+
+    @property
+    def num_streams(self) -> int:
+        return self.input_bits // self.stream_bits
+
+    @property
+    def num_slices(self) -> int:
+        return self.weight_bits // self.slice_bits
+
+    @property
+    def input_levels(self) -> int:
+        return 2**self.input_bits
+
+    @property
+    def weight_levels(self) -> int:
+        return 2**self.weight_bits
+
+    @property
+    def stream_levels(self) -> int:
+        return 2**self.stream_bits
+
+    @property
+    def slice_levels(self) -> int:
+        return 2**self.slice_bits
+
+
+def quantize_unsigned(
+    values: np.ndarray, bits: int, scale: float
+) -> np.ndarray:
+    """Quantize non-negative floats to ``bits``-bit integers given scale.
+
+    ``scale`` maps integer 1 to physical value ``scale``; values are
+    rounded and clipped to [0, 2**bits - 1].
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    q = np.rint(np.asarray(values) / scale)
+    return np.clip(q, 0, 2**bits - 1).astype(np.int64)
+
+
+def slice_bits_lsb_first(values: np.ndarray, total_bits: int, chunk_bits: int) -> list[np.ndarray]:
+    """Split unsigned integers into chunk_bits-wide slices, LSB first."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and (values.min() < 0 or values.max() >= 2**total_bits):
+        raise ValueError(f"values exceed {total_bits}-bit unsigned range")
+    mask = (1 << chunk_bits) - 1
+    return [
+        (values >> (k * chunk_bits)) & mask
+        for k in range(total_bits // chunk_bits)
+    ]
+
+
+def slice_weights(weight_ints: np.ndarray, config: BitSliceConfig) -> list[np.ndarray]:
+    """Split unsigned weight integers into slices (LSB first).
+
+    Slice ``s`` has significance ``2**(s * slice_bits)``.
+    """
+    return slice_bits_lsb_first(weight_ints, config.weight_bits, config.slice_bits)
+
+
+def stream_inputs(input_ints: np.ndarray, config: BitSliceConfig) -> list[np.ndarray]:
+    """Split unsigned activation integers into streams (LSB first).
+
+    Stream ``t`` has significance ``2**(t * stream_bits)``.
+    """
+    return slice_bits_lsb_first(input_ints, config.input_bits, config.stream_bits)
+
+
+def reassemble(slices: list[np.ndarray], chunk_bits: int) -> np.ndarray:
+    """Inverse of slicing: shift-and-add LSB-first chunks back together."""
+    out = np.zeros_like(np.asarray(slices[0], dtype=np.int64))
+    for k, chunk in enumerate(slices):
+        out = out + (np.asarray(chunk, dtype=np.int64) << (k * chunk_bits))
+    return out

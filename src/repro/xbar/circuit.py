@@ -1,0 +1,220 @@
+"""Sparse nodal analysis of a parasitic NVM crossbar.
+
+This module is the reproduction's stand-in for the paper's HSPICE
+simulations: it solves the full resistive network of Fig. 1 — every
+cell sits between a wordline (source-line) node and a bitline node,
+adjacent nodes are linked by wire resistance ``R_wire``, each row is
+driven through ``R_source`` and each column is sensed through
+``R_sink`` into a virtual ground.
+
+Kirchhoff's current law at every node gives a sparse linear system in
+the ``2 * rows * cols`` node voltages.  Device I-V nonlinearity
+(``G(V)`` in Eq. 2 of the paper) is handled by fixed-point iteration:
+solve with chord conductances, update them at the new operating point,
+repeat.
+
+The solver output is the set of column currents ``I_ni`` — the
+non-ideal counterpart of ``I_j = sum_i V_i G_ij``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.xbar.device import DeviceConfig, RRAMDevice
+
+
+@dataclass(frozen=True)
+class CircuitConfig:
+    """Parasitic parameters of the crossbar array.
+
+    Attributes
+    ----------
+    rows, cols:
+        Crossbar dimensions (wordlines x bitlines).
+    r_source:
+        Driver output resistance per wordline (ohms).
+    r_sink:
+        Column sense resistance to virtual ground (ohms).
+    r_wire:
+        Interconnect resistance per cell-to-cell wire segment (ohms).
+    nonlinear_iterations:
+        Fixed-point iterations for the voltage-dependent conductance.
+        1 = linear devices only.
+    """
+
+    rows: int = 64
+    cols: int = 64
+    r_source: float = 500.0
+    r_sink: float = 500.0
+    r_wire: float = 2.5
+    nonlinear_iterations: int = 2
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        if min(self.r_source, self.r_sink, self.r_wire) < 0:
+            raise ValueError("parasitic resistances must be non-negative")
+
+
+class CrossbarCircuit:
+    """Nodal-analysis solver for one crossbar instance."""
+
+    def __init__(self, circuit: CircuitConfig, device: DeviceConfig):
+        self.circuit = circuit
+        self.device_config = device
+        self.device = RRAMDevice(device)
+        self._g_wire = 1.0 / max(circuit.r_wire, 1e-9)
+        self._g_source = 1.0 / max(circuit.r_source, 1e-9)
+        self._g_sink = 1.0 / max(circuit.r_sink, 1e-9)
+
+    # ------------------------------------------------------------------
+    # Node indexing: wordline nodes first (row-major), then bitline nodes.
+    # ------------------------------------------------------------------
+    def _wl(self, i: int, j: int) -> int:
+        return i * self.circuit.cols + j
+
+    def _bl(self, i: int, j: int) -> int:
+        return self.circuit.rows * self.circuit.cols + i * self.circuit.cols + j
+
+    def _assemble(self, conductances: np.ndarray) -> sp.csr_matrix:
+        """Build the nodal conductance matrix for given device G values.
+
+        The RHS depends on the input voltages and is built separately by
+        :meth:`_rhs`.
+        """
+        rows, cols = self.circuit.rows, self.circuit.cols
+        n = 2 * rows * cols
+        g_w = self._g_wire
+        g_src = self._g_source
+        g_snk = self._g_sink
+
+        data: list[float] = []
+        row_idx: list[int] = []
+        col_idx: list[int] = []
+
+        def add(r: int, c: int, v: float) -> None:
+            row_idx.append(r)
+            col_idx.append(c)
+            data.append(v)
+
+        for i in range(rows):
+            for j in range(cols):
+                wl = self._wl(i, j)
+                bl = self._bl(i, j)
+                g_dev = conductances[i, j]
+
+                # Wordline node: device + horizontal wires (+ source at j=0).
+                diag_wl = g_dev
+                add(wl, bl, -g_dev)
+                if j > 0:
+                    add(wl, self._wl(i, j - 1), -g_w)
+                    diag_wl += g_w
+                if j < cols - 1:
+                    add(wl, self._wl(i, j + 1), -g_w)
+                    diag_wl += g_w
+                if j == 0:
+                    diag_wl += g_src  # to the driver (RHS carries V_i * g_src)
+                add(wl, wl, diag_wl)
+
+                # Bitline node: device + vertical wires (+ sink at i=rows-1).
+                diag_bl = g_dev
+                add(bl, wl, -g_dev)
+                if i > 0:
+                    add(bl, self._bl(i - 1, j), -g_w)
+                    diag_bl += g_w
+                if i < rows - 1:
+                    add(bl, self._bl(i + 1, j), -g_w)
+                    diag_bl += g_w
+                if i == rows - 1:
+                    diag_bl += g_snk  # to virtual ground
+                add(bl, bl, diag_bl)
+
+        return sp.csr_matrix(
+            (np.array(data), (np.array(row_idx), np.array(col_idx))), shape=(n, n)
+        )
+
+    def _rhs(self, voltages: np.ndarray) -> np.ndarray:
+        """RHS vector(s) for input voltage vector(s) (V, rows) or (rows,)."""
+        rows, cols = self.circuit.rows, self.circuit.cols
+        v = np.atleast_2d(np.asarray(voltages, dtype=np.float64))
+        b = np.zeros((v.shape[0], 2 * rows * cols))
+        for i in range(rows):
+            b[:, self._wl(i, 0)] = v[:, i] * self._g_source
+        return b
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(
+        self, voltages: np.ndarray, conductances: np.ndarray
+    ) -> np.ndarray:
+        """Non-ideal column currents for the given inputs.
+
+        Parameters
+        ----------
+        voltages:
+            (rows,) or (batch, rows) input voltages at the wordline
+            drivers.
+        conductances:
+            (rows, cols) programmed device conductances.
+
+        Returns
+        -------
+        (cols,) or (batch, cols) currents into the column sense amps.
+        """
+        rows, cols = self.circuit.rows, self.circuit.cols
+        conductances = np.asarray(conductances, dtype=np.float64)
+        if conductances.shape != (rows, cols):
+            raise ValueError(
+                f"conductances shape {conductances.shape} != ({rows}, {cols})"
+            )
+        single = np.ndim(voltages) == 1
+        v_in = np.atleast_2d(np.asarray(voltages, dtype=np.float64))
+        if v_in.shape[1] != rows:
+            raise ValueError(f"voltages last dim {v_in.shape[1]} != rows {rows}")
+
+        iterations = max(1, self.circuit.nonlinear_iterations)
+
+        # Iteration 1: linear solve with the programmed conductances —
+        # one factorization shared by the whole batch.
+        matrix = self._assemble(conductances)
+        lu = spla.splu(matrix.tocsc())
+        b = self._rhs(v_in)
+        solution = np.stack([lu.solve(b[k]) for k in range(b.shape[0])])
+
+        if self.device_config.iv_beta != 0.0:
+            # Fixed-point refinement of the voltage-dependent chord
+            # conductances, per input vector (each vector biases the
+            # devices at a different operating point, so each gets its
+            # own linearization — matching per-corner SPICE sweeps).
+            for _iteration in range(1, iterations):
+                for k in range(v_in.shape[0]):
+                    wl_nodes = solution[k, : rows * cols].reshape(rows, cols)
+                    bl_nodes = solution[k, rows * cols :].reshape(rows, cols)
+                    v_cell = wl_nodes - bl_nodes
+                    g_eff = self.device.effective_conductance(conductances, v_cell)
+                    lu_k = spla.splu(self._assemble(g_eff).tocsc())
+                    solution[k] = lu_k.solve(b[k])
+
+        bl_bottom = np.stack(
+            [
+                solution[:, self._bl(rows - 1, j)]
+                for j in range(cols)
+            ],
+            axis=1,
+        )
+        currents = bl_bottom * self._g_sink
+        return currents[0] if single else currents
+
+    def ideal_currents(
+        self, voltages: np.ndarray, conductances: np.ndarray
+    ) -> np.ndarray:
+        """Ideal (parasitic-free, linear-device) column currents V.G."""
+        v = np.asarray(voltages, dtype=np.float64)
+        g = np.asarray(conductances, dtype=np.float64)
+        return v @ g

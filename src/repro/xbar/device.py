@@ -1,0 +1,158 @@
+"""RRAM device model: conductance levels, variation, I-V nonlinearity.
+
+Follows the metal-oxide RRAM compact-model behaviour used by the paper
+(Guan et al. [26]): a programmable conductance between ``1/R_OFF`` and
+``1/R_ON`` with a discrete number of levels, cycle-to-cycle programming
+variation, and a sinh-shaped I-V characteristic whose small-signal
+slope equals the programmed conductance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Physical parameters of one NVM cell.
+
+    Attributes
+    ----------
+    r_on:
+        Low-resistance-state resistance (ohms).  The paper's Table I
+        varies this (100k / 300k).
+    on_off_ratio:
+        R_OFF / R_ON.  Metal-oxide RRAM is typically 10-100x.
+    levels_bits:
+        Bits per cell; conductance is programmable to ``2**levels_bits``
+        evenly spaced levels (matches the weight-slice width).
+    program_sigma:
+        Relative (lognormal) programming variation per write.
+    iv_beta:
+        Strength of the sinh I-V nonlinearity; 0 = perfectly linear.
+        ``I = G * (V_read/beta) * sinh(beta * V / V_read)`` for beta>0.
+    v_read:
+        Read voltage full scale (volts).
+    """
+
+    r_on: float = 100e3
+    on_off_ratio: float = 50.0
+    levels_bits: int = 2
+    program_sigma: float = 0.0
+    iv_beta: float = 0.5
+    v_read: float = 0.25
+
+    @property
+    def r_off(self) -> float:
+        return self.r_on * self.on_off_ratio
+
+    @property
+    def g_max(self) -> float:
+        """Maximum programmable conductance (siemens)."""
+        return 1.0 / self.r_on
+
+    @property
+    def g_min(self) -> float:
+        """Minimum programmable conductance (siemens)."""
+        return 1.0 / self.r_off
+
+    @property
+    def num_levels(self) -> int:
+        return 2**self.levels_bits
+
+    @property
+    def g_step(self) -> float:
+        """Conductance increment between adjacent levels."""
+        return (self.g_max - self.g_min) / (self.num_levels - 1)
+
+
+class RRAMDevice:
+    """Vectorized device operations for arrays of cells."""
+
+    def __init__(self, config: DeviceConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    def level_to_conductance(self, levels: np.ndarray) -> np.ndarray:
+        """Map integer levels [0, 2^bits) to ideal conductances."""
+        cfg = self.config
+        levels = np.asarray(levels)
+        if levels.size and (levels.min() < 0 or levels.max() >= cfg.num_levels):
+            raise ValueError(
+                f"levels out of range [0, {cfg.num_levels}): "
+                f"[{levels.min()}, {levels.max()}]"
+            )
+        return cfg.g_min + levels.astype(np.float64) * cfg.g_step
+
+    def conductance_to_level(self, conductance: np.ndarray) -> np.ndarray:
+        """Quantize conductances back to the nearest integer level."""
+        cfg = self.config
+        levels = np.rint((np.asarray(conductance) - cfg.g_min) / cfg.g_step)
+        return np.clip(levels, 0, cfg.num_levels - 1).astype(np.int64)
+
+    def program(
+        self, levels: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Write levels to cells, returning achieved conductances.
+
+        Applies multiplicative lognormal variation when
+        ``program_sigma`` > 0 (cycle-to-cycle write noise), clipped to
+        the physical conductance range.
+        """
+        cfg = self.config
+        g = self.level_to_conductance(levels)
+        if cfg.program_sigma > 0:
+            if rng is None:
+                raise ValueError("program_sigma > 0 requires an rng")
+            g = g * rng.lognormal(0.0, cfg.program_sigma, size=g.shape)
+            g = np.clip(g, cfg.g_min, cfg.g_max)
+        return g
+
+    # ------------------------------------------------------------------
+    # Read (I-V characteristic)
+    # ------------------------------------------------------------------
+    def current(self, conductance: np.ndarray, voltage: np.ndarray) -> np.ndarray:
+        """Device current for applied voltage(s).
+
+        With ``iv_beta = 0`` this is Ohm's law ``I = G V``; otherwise a
+        sinh characteristic normalized so the chord conductance at
+        ``V = v_read`` equals ``G`` (standard RRAM compact-model shape).
+        """
+        cfg = self.config
+        conductance = np.asarray(conductance, dtype=np.float64)
+        voltage = np.asarray(voltage, dtype=np.float64)
+        if cfg.iv_beta == 0.0:
+            return conductance * voltage
+        beta = cfg.iv_beta
+        norm = cfg.v_read / np.sinh(beta)
+        return conductance * norm * np.sinh(beta * voltage / cfg.v_read)
+
+    def effective_conductance(
+        self, conductance: np.ndarray, voltage: np.ndarray
+    ) -> np.ndarray:
+        """Chord conductance I/V at the given operating point.
+
+        Used by the circuit solver's fixed-point iteration: the
+        nonlinear device is replaced by this voltage-dependent linear
+        conductance and re-solved until consistent (this is the
+        ``G(V)`` dependence of Eq. 2 in the paper).
+        """
+        voltage = np.asarray(voltage, dtype=np.float64)
+        safe_v = np.where(np.abs(voltage) < 1e-12, 1e-12, voltage)
+        return np.where(
+            np.abs(voltage) < 1e-12,
+            self._small_signal_conductance(conductance),
+            self.current(conductance, safe_v) / safe_v,
+        )
+
+    def _small_signal_conductance(self, conductance: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        if cfg.iv_beta == 0.0:
+            return np.asarray(conductance, dtype=np.float64)
+        beta = cfg.iv_beta
+        # d/dV of the sinh characteristic at V=0.
+        return np.asarray(conductance, dtype=np.float64) * beta / np.sinh(beta)

@@ -1,0 +1,94 @@
+"""Non-ideality Factor (NF): the paper's scalar non-ideality metric.
+
+Table I defines ``NF = Avg[(Ideal_Output - NonIdeal_Output) / Ideal_Output]``
+measured over sample MVMs.  NF is directly proportional to crossbar
+size and inversely proportional to ON resistance (§III-A), which the
+circuit solver reproduces from first principles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.xbar.circuit import CircuitConfig, CrossbarCircuit
+from repro.xbar.device import DeviceConfig, RRAMDevice
+
+
+def non_ideality_factor(
+    ideal: np.ndarray, nonideal: np.ndarray, min_ideal_fraction: float = 0.02
+) -> float:
+    """NF over paired output samples.
+
+    Columns whose ideal output is below ``min_ideal_fraction`` of the
+    maximum observed ideal output are excluded (relative deviation is
+    ill-conditioned at near-zero outputs; the paper averages over
+    meaningful outputs).
+    """
+    ideal = np.asarray(ideal, dtype=np.float64).ravel()
+    nonideal = np.asarray(nonideal, dtype=np.float64).ravel()
+    if ideal.shape != nonideal.shape:
+        raise ValueError(f"shape mismatch: {ideal.shape} vs {nonideal.shape}")
+    threshold = min_ideal_fraction * np.max(np.abs(ideal)) if ideal.size else 0.0
+    mask = np.abs(ideal) > threshold
+    if not mask.any():
+        raise ValueError("no ideal outputs above threshold; cannot compute NF")
+    return float(np.mean((ideal[mask] - nonideal[mask]) / ideal[mask]))
+
+
+def sample_crossbar_workload(
+    device: DeviceConfig,
+    rows: int,
+    cols: int,
+    rng: np.random.Generator,
+    num_matrices: int = 8,
+    vectors_per_matrix: int = 16,
+    input_sparsity_range: tuple[float, float] = (0.2, 0.8),
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Random (V, G) pairs statistically similar to DNN workloads.
+
+    Conductances are uniform over device levels; voltages are sparse
+    non-negative values on the DAC grid (activations after ReLU and
+    bit-streaming are sparse and quantized).
+    Returns a list of (voltages (vectors, rows), conductances (rows, cols)).
+    """
+    rram = RRAMDevice(device)
+    workload = []
+    for _ in range(num_matrices):
+        levels = rng.integers(0, device.num_levels, size=(rows, cols))
+        conductances = rram.program(levels, rng) if device.program_sigma > 0 else rram.level_to_conductance(levels)
+        sparsity = rng.uniform(*input_sparsity_range)
+        voltages = rng.random((vectors_per_matrix, rows)) * device.v_read
+        mask = rng.random((vectors_per_matrix, rows)) < sparsity
+        voltages = voltages * mask
+        workload.append((voltages, conductances))
+    return workload
+
+
+def crossbar_nf(
+    circuit: CircuitConfig,
+    device: DeviceConfig,
+    rng: np.random.Generator | None = None,
+    num_matrices: int = 8,
+    vectors_per_matrix: int = 16,
+    solver: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+) -> float:
+    """Measure NF of a crossbar configuration from sampled workloads.
+
+    ``solver`` defaults to the full circuit solver; pass a GENIEx
+    ``predict`` function to measure the surrogate's NF instead (used to
+    validate that the surrogate reproduces the circuit's NF).
+    """
+    rng = rng or np.random.default_rng(0)
+    xbar = CrossbarCircuit(circuit, device)
+    solve = solver or xbar.solve
+    ideals = []
+    nonideals = []
+    workload = sample_crossbar_workload(
+        device, circuit.rows, circuit.cols, rng, num_matrices, vectors_per_matrix
+    )
+    for voltages, conductances in workload:
+        ideals.append(xbar.ideal_currents(voltages, conductances))
+        nonideals.append(np.asarray(solve(voltages, conductances)))
+    return non_ideality_factor(np.concatenate(ideals), np.concatenate(nonideals))

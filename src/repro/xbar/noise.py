@@ -1,0 +1,136 @@
+"""Fast analytic non-ideality model (ablation / fast-test mode).
+
+The dominant crossbar non-ideality is IR drop: the relative output
+deficit grows with how hard the column is driven.  This module fits a
+simple deterministic linear model of the relative deviation,
+
+``(I_ideal - I_ni) / I_ideal  ~=  c0 + c1 * i_frac + c2 * v_frac``
+
+(``i_frac``: ideal current / physical max; ``v_frac``: mean input
+drive), by least squares against circuit-solver samples.  It exposes
+the same prediction interface as GENIEx, so the functional simulator
+can swap it in.  Used for ablation benchmarks (how much does the full
+GENIEx model matter?) and for fast unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.xbar.circuit import CircuitConfig, CrossbarCircuit
+from repro.xbar.device import DeviceConfig
+from repro.xbar.nf import sample_crossbar_workload
+
+
+@dataclass
+class GaussianNoiseModel:
+    """Deterministic first-order deviation model with optional jitter.
+
+    Attributes
+    ----------
+    c0, c1, c2:
+        Fitted coefficients of the relative-deviation plane.
+    sigma:
+        Residual std-dev of the fit; when ``jitter_seed`` is set, a
+        *fixed* pseudo-random residual (hashed from the inputs) of this
+        magnitude is added, emulating un-modeled per-instance error
+        while keeping the hardware deterministic across queries.
+    """
+
+    c0: float
+    c1: float
+    c2: float
+    sigma: float
+    device: DeviceConfig
+    rows: int
+    jitter_seed: int | None = None
+
+    def prepare_crossbar(
+        self, conductances: np.ndarray, used_cols: int | None = None
+    ) -> np.ndarray:
+        """Interface parity with GENIEx: the prepared state is just G."""
+        g = np.asarray(conductances, dtype=np.float64)
+        used = g.shape[1] if used_cols is None else used_cols
+        return g[:, :used]
+
+    def column_bias(self, conductances: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`prepare_crossbar` over all columns."""
+        return self.prepare_crossbar(conductances)
+
+    @staticmethod
+    def concat_bias(handles: list[np.ndarray]) -> np.ndarray:
+        """Concatenate per-crossbar G matrices column-wise into a bank."""
+        return np.concatenate(handles, axis=1)
+
+    def predict_from_bias(
+        self, voltages: np.ndarray, column_bias: np.ndarray, chunk: int = 8192
+    ) -> np.ndarray:
+        conductances = column_bias
+        v = np.atleast_2d(np.asarray(voltages, dtype=np.float64))
+        ideal = v @ conductances  # (B, C)
+        i_max = self.rows * self.device.g_max * self.device.v_read
+        i_frac = ideal / i_max
+        v_frac = v.mean(axis=1, keepdims=True) / self.device.v_read
+        deviation = self.c0 + self.c1 * i_frac + self.c2 * v_frac
+        if self.jitter_seed is not None and self.sigma > 0:
+            # Deterministic per-(V, G) jitter: hash-seeded, so repeated
+            # queries of the same operands see the same hardware error.
+            digest = np.float64(np.abs(np.sin(ideal / max(i_max, 1e-30) * 1e4)))
+            deviation = deviation + self.sigma * (2.0 * digest - 1.0)
+        return ideal * (1.0 - deviation)
+
+    def predict(self, voltages: np.ndarray, conductances: np.ndarray) -> np.ndarray:
+        single = np.ndim(voltages) == 1
+        out = self.predict_from_bias(np.atleast_2d(voltages), self.column_bias(conductances))
+        return out[0] if single else out
+
+
+def calibrated_noise_model(
+    circuit: CircuitConfig,
+    device: DeviceConfig,
+    rng: np.random.Generator | None = None,
+    num_matrices: int = 20,
+    vectors_per_matrix: int = 10,
+    jitter: bool = False,
+) -> GaussianNoiseModel:
+    """Fit the analytic deviation model against the circuit solver."""
+    rng = rng or np.random.default_rng(11)
+    solver = CrossbarCircuit(circuit, device)
+    i_max = circuit.rows * device.g_max * device.v_read
+
+    rows_feat = []
+    targets = []
+    workload = sample_crossbar_workload(
+        device, circuit.rows, circuit.cols, rng, num_matrices, vectors_per_matrix
+    )
+    for voltages, conductances in workload:
+        ideal = solver.ideal_currents(voltages, conductances)
+        nonideal = solver.solve(voltages, conductances)
+        mask = ideal > 0.02 * ideal.max()
+        rel = (ideal - nonideal) / np.where(mask, ideal, 1.0)
+        i_frac = ideal / i_max
+        v_frac = np.broadcast_to(
+            voltages.mean(axis=1, keepdims=True) / device.v_read, ideal.shape
+        )
+        rows_feat.append(
+            np.stack(
+                [np.ones_like(i_frac[mask]), i_frac[mask], v_frac[mask]], axis=1
+            )
+        )
+        targets.append(rel[mask])
+
+    features = np.concatenate(rows_feat)
+    target = np.concatenate(targets)
+    coeffs, *_ = np.linalg.lstsq(features, target, rcond=None)
+    residual = target - features @ coeffs
+    return GaussianNoiseModel(
+        c0=float(coeffs[0]),
+        c1=float(coeffs[1]),
+        c2=float(coeffs[2]),
+        sigma=float(residual.std()),
+        device=device,
+        rows=circuit.rows,
+        jitter_seed=0 if jitter else None,
+    )

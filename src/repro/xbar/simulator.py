@@ -1,0 +1,530 @@
+"""PUMA-style functional simulator: non-ideal Conv2d/Linear layers.
+
+Implements the three-step mapping of §II-A of the paper:
+
+i.   *Iterative MVM* — convolutions become matrix-vector products over
+     im2col patch vectors; linear layers are used as-is.
+ii.  *Tiling* — each layer's weight matrix is split into crossbar-sized
+     segments (:mod:`repro.xbar.tiling`); partial sums accumulate
+     digitally.
+iii. *Bit-slicing* — weights are quantized and sliced into
+     ``slice_bits`` cell-resident chunks, inputs are quantized and
+     streamed ``stream_bits`` at a time (:mod:`repro.xbar.bitslice`);
+     shift-and-add recombines partial products.
+
+Analog MVMs go through a *column predictor* — normally the GENIEx
+surrogate, optionally the exact circuit solver or the fast analytic
+noise model — followed by ADC quantization.  Negative weights use the
+differential scheme (separate positive/negative arrays, subtracted
+digitally).
+
+The non-ideal layers support the paper's "Hardware-in-Loop" gradient
+convention: the forward pass is the non-ideal hardware computation,
+while backward applies the *ideal* layer Jacobian (the NVM hardware is
+inference-only; see §III-C.2).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.conv import col2im, conv_output_size, im2col
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.xbar.adc import quantize_current
+from repro.xbar.bitslice import slice_weights, stream_inputs
+from repro.xbar.circuit import CrossbarCircuit
+from repro.xbar.device import RRAMDevice
+from repro.xbar.presets import CrossbarConfig, load_or_train_geniex
+from repro.xbar.tiling import tile_matrix
+
+
+class ColumnPredictor(Protocol):
+    """Interface every analog-MVM backend implements.
+
+    ``prepare_crossbar`` digests one programmed array (G is fixed after
+    programming) down to the state needed to answer queries for its
+    first ``used_cols`` columns; ``concat_bias`` banks several prepared
+    arrays; ``predict_from_bias`` evaluates column currents for a batch
+    of input voltage vectors against a bank.
+    """
+
+    def prepare_crossbar(self, conductances: np.ndarray, used_cols: int | None = None): ...
+
+    def concat_bias(self, handles: list): ...
+
+    def predict_from_bias(self, voltages: np.ndarray, column_bias, chunk: int = 8192) -> np.ndarray: ...
+
+
+class IdealPredictor:
+    """Parasitic-free backend: exact ``V @ G`` column currents.
+
+    With this predictor the functional simulator still applies weight
+    and input quantization, bit-slicing and the ADC — so it isolates
+    the *quantization-only* accuracy cost from the analog non-ideality
+    (used by the ablation benchmarks).
+    """
+
+    @staticmethod
+    def prepare_crossbar(conductances: np.ndarray, used_cols: int | None = None) -> np.ndarray:
+        g = np.asarray(conductances, dtype=np.float64)
+        used = g.shape[1] if used_cols is None else used_cols
+        return g[:, :used]
+
+    def column_bias(self, conductances: np.ndarray) -> np.ndarray:
+        return self.prepare_crossbar(conductances)
+
+    @staticmethod
+    def concat_bias(handles: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(handles, axis=1)
+
+    @staticmethod
+    def predict_from_bias(voltages: np.ndarray, column_bias: np.ndarray, chunk: int = 8192) -> np.ndarray:
+        return np.asarray(voltages) @ column_bias
+
+
+class CircuitPredictor:
+    """Exact-but-slow backend: solves the full circuit per crossbar.
+
+    Used for surrogate validation and small unit tests.  The *full*
+    physical array is always solved (unused OFF columns still load the
+    wordlines); only the used columns are reported.
+    """
+
+    def __init__(self, config: CrossbarConfig):
+        self.config = config
+        self.solver = CrossbarCircuit(config.circuit, config.device)
+
+    def prepare_crossbar(
+        self, conductances: np.ndarray, used_cols: int | None = None
+    ) -> list[tuple[np.ndarray, int]]:
+        g = np.asarray(conductances, dtype=np.float64)
+        used = g.shape[1] if used_cols is None else used_cols
+        return [(g, used)]
+
+    # Kept for interface parity with GENIEx.predict.
+    def column_bias(self, conductances: np.ndarray):
+        return self.prepare_crossbar(conductances)
+
+    @staticmethod
+    def concat_bias(handles: list) -> list:
+        return [entry for handle in handles for entry in handle]
+
+    def predict_from_bias(
+        self, voltages: np.ndarray, column_bias: list, chunk: int = 8192
+    ) -> np.ndarray:
+        cols = self.config.cols
+        outputs = []
+        for g, used in column_bias:
+            block = g
+            if block.shape[1] < cols:  # pad ragged array with OFF cells
+                pad = np.full(
+                    (block.shape[0], cols - block.shape[1]), self.config.device.g_min
+                )
+                block = np.concatenate([block, pad], axis=1)
+            solved = self.solver.solve(voltages, block)
+            outputs.append(solved[:, :used])
+        return np.concatenate(outputs, axis=1)
+
+
+@dataclass
+class _BankChunk:
+    """One physical crossbar's *used* columns within a bank.
+
+    Crossbar columns beyond a layer's output width hold OFF cells and
+    are never sensed, so the predictor only evaluates the used ones.
+    """
+
+    col_slice: slice  # output features this crossbar serves
+    slice_index: int  # weight slice (LSB first)
+    sign: float  # +1.0 positive array, -1.0 negative array
+    offset: int  # first bank column
+    width: int  # number of used columns
+
+
+@dataclass
+class _TileRowBank:
+    """All crossbars fed by one input-row segment, banked for batching."""
+
+    handle: object  # predictor-prepared state for all used columns
+    row_slice: slice  # which input features feed this bank
+    chunks: list[_BankChunk]
+    total_cols: int
+
+
+class CrossbarEngine:
+    """Non-ideal MVM engine for one layer's weight matrix.
+
+    Programs the (transposed) weight matrix onto tiled, bit-sliced,
+    differential crossbar arrays at construction; :meth:`matvec`
+    computes ``x @ W.T`` through the analog path.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        config: CrossbarConfig,
+        predictor: ColumnPredictor,
+        rng: np.random.Generator | None = None,
+    ):
+        if weight.ndim != 2:
+            raise ValueError(f"weight must be 2-D (out, in), got {weight.shape}")
+        bs = config.bitslice
+        dev = config.device
+        if dev.levels_bits != bs.slice_bits:
+            raise ValueError(
+                f"device levels_bits ({dev.levels_bits}) must equal "
+                f"bit-slice slice_bits ({bs.slice_bits})"
+            )
+        self.config = config
+        self.predictor = predictor
+        self.out_features, self.in_features = weight.shape
+        self._rng = rng or np.random.default_rng(0)
+
+        matrix = np.asarray(weight, dtype=np.float64).T  # (in, out)
+        w_abs_max = float(np.abs(matrix).max())
+        self.w_scale = w_abs_max / (bs.weight_levels - 1) if w_abs_max > 0 else 1.0
+        pos_int = np.clip(np.rint(np.maximum(matrix, 0) / self.w_scale), 0, bs.weight_levels - 1)
+        neg_int = np.clip(np.rint(np.maximum(-matrix, 0) / self.w_scale), 0, bs.weight_levels - 1)
+
+        device = RRAMDevice(dev)
+        tiled_pos = tile_matrix(pos_int.astype(np.int64), config.rows, config.cols)
+        tiled_neg = tile_matrix(neg_int.astype(np.int64), config.rows, config.cols)
+        col_slices = tiled_pos.col_slices()
+        n_row_tiles, n_col_tiles = tiled_pos.grid_shape
+
+        self.banks: list[_TileRowBank] = []
+        for r, row_slice in enumerate(tiled_pos.row_slices()):
+            handles = []
+            chunks: list[_BankChunk] = []
+            offset = 0
+            for c in range(n_col_tiles):
+                used = col_slices[c].stop - col_slices[c].start
+                pos_slices = slice_weights(tiled_pos.tiles[r][c], bs)
+                neg_slices = slice_weights(tiled_neg.tiles[r][c], bs)
+                for s in range(bs.num_slices):
+                    for sign, levels in ((1.0, pos_slices[s]), (-1.0, neg_slices[s])):
+                        conductances = device.program(levels, self._rng)
+                        handles.append(predictor.prepare_crossbar(conductances, used))
+                        chunks.append(
+                            _BankChunk(
+                                col_slice=col_slices[c],
+                                slice_index=s,
+                                sign=sign,
+                                offset=offset,
+                                width=used,
+                            )
+                        )
+                        offset += used
+            self.banks.append(
+                _TileRowBank(
+                    handle=predictor.concat_bias(handles),
+                    row_slice=row_slice,
+                    chunks=chunks,
+                    total_cols=offset,
+                )
+            )
+        self._adc_full_scale = config.rows * dev.g_max * dev.v_read
+        # Per-output-column digital gain, calibrated at programming time
+        # (the gain trim of each ADC/shift-add channel; see
+        # CrossbarConfig.gain_calibration).  Multiplicative only, so the
+        # engine stays exactly scale-equivariant in its input.
+        self.gain = np.ones(self.out_features)
+        if config.gain_calibration > 0:
+            self.gain = self._calibrate_gain(weight, config.gain_calibration)
+
+    def _calibrate_gain(self, weight: np.ndarray, num_vectors: int) -> np.ndarray:
+        """Per-column least-squares gains aligning analog to ideal.
+
+        Uses random non-negative probe vectors (the statistics of
+        post-ReLU activations); for each output column the fit
+        minimizes ``||g_j * y_j - y_ideal_j||``.  This removes the
+        *systematic* (column-position and weight-pattern dependent)
+        part of the IR-drop error; the input-dependent part — the
+        source of the paper's gradient obfuscation — remains.
+        """
+        rng = np.random.default_rng(12345)
+        probes = rng.random((num_vectors, self.in_features))
+        probes *= rng.random((num_vectors, self.in_features)) < 0.6  # sparsity
+        analog = self._matvec_unsigned(probes)
+        ideal = probes @ np.asarray(weight, dtype=np.float64).T
+        denom = np.sum(analog * analog, axis=0)
+        gains = np.divide(
+            np.sum(analog * ideal, axis=0),
+            denom,
+            out=np.ones(self.out_features),
+            where=denom > 0,
+        )
+        # Guard against degenerate fits on nearly-dead columns.
+        return np.clip(gains, 0.25, 4.0)
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Non-ideal ``x @ W.T`` for a batch ``x`` of shape (N, in)."""
+        return self.gain * self.matvec_raw(x)
+
+    def matvec_raw(self, x: np.ndarray) -> np.ndarray:
+        """Analog result before the periphery's digital gain trim."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"input shape {x.shape} incompatible with in_features={self.in_features}"
+            )
+        if (x >= 0).all():
+            return self._matvec_unsigned(x)
+        positive = self._matvec_unsigned(np.maximum(x, 0.0))
+        negative = self._matvec_unsigned(np.maximum(-x, 0.0))
+        return positive - negative
+
+    def refit_gain(self, vectors: np.ndarray, weight: np.ndarray) -> None:
+        """Recalibrate per-column gains against real activation vectors.
+
+        Called by :func:`calibrate_hardware` with the actual inputs each
+        layer sees on a calibration set — the probe-based gains from
+        construction are only a coarse starting point, since uniform
+        probes poorly match post-ReLU activation statistics.
+        """
+        analog = self.matvec_raw(vectors)
+        ideal = np.asarray(vectors, dtype=np.float64) @ np.asarray(weight, dtype=np.float64).T
+        denom = np.sum(analog * analog, axis=0)
+        gains = np.divide(
+            np.sum(analog * ideal, axis=0),
+            denom,
+            out=np.ones(self.out_features),
+            where=denom > 0,
+        )
+        self.gain = np.clip(gains, 0.25, 4.0)
+
+    def _matvec_unsigned(self, x: np.ndarray) -> np.ndarray:
+        bs = self.config.bitslice
+        dev = self.config.device
+        n = x.shape[0]
+        out = np.zeros((n, self.out_features), dtype=np.float64)
+
+        x_max = float(x.max())
+        if x_max == 0.0:
+            return out
+        x_lsb = x_max / (bs.input_levels - 1)
+        x_int = np.clip(np.rint(x / x_lsb), 0, bs.input_levels - 1).astype(np.int64)
+        streams = stream_inputs(x_int, bs)
+        v_step = dev.v_read / (bs.stream_levels - 1)
+
+        rows = self.config.rows
+        for bank in self.banks:
+            width = bank.row_slice.stop - bank.row_slice.start
+            for t, stream in enumerate(streams):
+                seg = stream[:, bank.row_slice]
+                if not seg.any():
+                    continue  # all-zero stream contributes nothing
+                voltages = np.zeros((n, rows))
+                voltages[:, :width] = seg * v_step
+                currents = self.predictor.predict_from_bias(voltages, bank.handle)
+                currents = quantize_current(currents, self.config.adc, self._adc_full_scale)
+                # Remove the G_min offset (dummy-column subtraction) and
+                # rescale currents back to integer dot products.
+                v_sum = voltages.sum(axis=1, keepdims=True)
+                dots = (currents - dev.g_min * v_sum) / (dev.g_step * v_step)
+                stream_scale = float(2.0 ** (bs.stream_bits * t))
+                for chunk in bank.chunks:
+                    significance = float(2.0 ** (bs.slice_bits * chunk.slice_index))
+                    out[:, chunk.col_slice] += (chunk.sign * significance * stream_scale) * dots[
+                        :, chunk.offset : chunk.offset + chunk.width
+                    ]
+        return out * (x_lsb * self.w_scale)
+
+    def ideal_matvec(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Reference ideal computation (digital float)."""
+        return np.asarray(x) @ np.asarray(weight).T
+
+
+def build_engine(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor: ColumnPredictor | None = None,
+    rng: np.random.Generator | None = None,
+) -> CrossbarEngine:
+    """Convenience constructor defaulting to the cached GENIEx backend."""
+    predictor = predictor or load_or_train_geniex(config)
+    return CrossbarEngine(weight, config, predictor, rng)
+
+
+class NonIdealLinear(Module):
+    """Linear layer executed on the non-ideal crossbar hardware.
+
+    Forward uses the analog path; backward applies the ideal Jacobian
+    (``grad @ W``) — the hardware-in-loop convention.
+    """
+
+    def __init__(self, source: Linear, config: CrossbarConfig, predictor: ColumnPredictor, rng=None):
+        super().__init__()
+        self.in_features = source.in_features
+        self.out_features = source.out_features
+        self.weight_float = source.weight.data.copy()
+        self.bias_float = source.bias.data.copy() if source.bias is not None else None
+        self.engine = CrossbarEngine(self.weight_float, config, predictor, rng)
+        self._pending_calibration = False
+        self._max_calibration_vectors = 2048
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self._pending_calibration:
+            vectors = _subsample_rows(x.data, self._max_calibration_vectors)
+            self.engine.refit_gain(vectors, self.weight_float)
+            self._pending_calibration = False
+        out = self.engine.matvec(x.data).astype(np.float32)
+        if self.bias_float is not None:
+            out = out + self.bias_float
+
+        weight = self.weight_float
+
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                x._accumulate(grad @ weight)
+
+        return Tensor._make(out, (x,), backward)
+
+    def __repr__(self) -> str:
+        return (
+            f"NonIdealLinear({self.in_features}, {self.out_features}, "
+            f"xbar={self.engine.config.name})"
+        )
+
+
+class NonIdealConv2d(Module):
+    """Conv2d executed on the non-ideal crossbar hardware via im2col."""
+
+    def __init__(self, source: Conv2d, config: CrossbarConfig, predictor: ColumnPredictor, rng=None):
+        super().__init__()
+        self.in_channels = source.in_channels
+        self.out_channels = source.out_channels
+        self.kernel_size = source.kernel_size
+        self.stride = source.stride
+        self.padding = source.padding
+        self.weight_float = source.weight.data.copy()
+        self.bias_float = source.bias.data.copy() if source.bias is not None else None
+        w_mat = self.weight_float.reshape(self.out_channels, -1)
+        self.engine = CrossbarEngine(w_mat, config, predictor, rng)
+        self._pending_calibration = False
+        self._max_calibration_vectors = 2048
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        k = self.kernel_size
+        self.last_input_hw = (x.shape[2], x.shape[3])  # for energy accounting
+        h_out = conv_output_size(x.shape[2], k, self.stride, self.padding)
+        w_out = conv_output_size(x.shape[3], k, self.stride, self.padding)
+        cols = im2col(x.data, (k, k), self.stride, self.padding)  # (N, CKK, L)
+        vectors = cols.transpose(0, 2, 1).reshape(n * h_out * w_out, -1)
+        if self._pending_calibration:
+            sample = _subsample_rows(vectors, self._max_calibration_vectors)
+            self.engine.refit_gain(sample, self.weight_float.reshape(self.out_channels, -1))
+            self._pending_calibration = False
+        flat = self.engine.matvec(vectors)  # (N*L, out)
+        out = (
+            flat.reshape(n, h_out * w_out, self.out_channels)
+            .transpose(0, 2, 1)
+            .reshape(n, self.out_channels, h_out, w_out)
+            .astype(np.float32)
+        )
+        if self.bias_float is not None:
+            out = out + self.bias_float.reshape(1, -1, 1, 1)
+
+        w_mat = self.weight_float.reshape(self.out_channels, -1)
+        input_shape = x.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            grad_mat = grad.reshape(n, self.out_channels, h_out * w_out)
+            gcols = np.einsum("ok,nol->nkl", w_mat, grad_mat, optimize=True)
+            x._accumulate(col2im(gcols, input_shape, (k, k), self.stride, self.padding))
+
+        return Tensor._make(out, (x,), backward)
+
+    def __repr__(self) -> str:
+        return (
+            f"NonIdealConv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, xbar={self.engine.config.name})"
+        )
+
+
+def _subsample_rows(vectors: np.ndarray, max_rows: int) -> np.ndarray:
+    """Evenly subsample rows for calibration fits."""
+    if len(vectors) <= max_rows:
+        return vectors
+    idx = np.linspace(0, len(vectors) - 1, max_rows).astype(np.int64)
+    return vectors[idx]
+
+
+def calibrate_hardware(model: Module, images: np.ndarray, batch_size: int = 64) -> Module:
+    """Recalibrate every non-ideal layer's gains on real data.
+
+    Runs one forward pass over ``images``; each NonIdeal layer refits
+    its per-column digital gain against the activations it actually
+    receives (with upstream layers already calibrated, since the pass
+    proceeds in forward order).  Mirrors standard analog-accelerator
+    bring-up with a calibration set.
+    """
+    from repro.autograd.tensor import no_grad
+
+    layers = [
+        module
+        for _name, module in model.named_modules()
+        if isinstance(module, (NonIdealConv2d, NonIdealLinear))
+    ]
+    for layer in layers:
+        layer._pending_calibration = True
+    with no_grad():
+        model(Tensor(np.asarray(images[:batch_size], dtype=np.float32)))
+    for layer in layers:
+        layer._pending_calibration = False
+    return model
+
+
+def convert_to_hardware(
+    model: Module,
+    config: CrossbarConfig,
+    predictor: ColumnPredictor | None = None,
+    rng: np.random.Generator | None = None,
+    skip: tuple[str, ...] = (),
+    calibration_images: np.ndarray | None = None,
+) -> Module:
+    """Return a copy of ``model`` with Conv2d/Linear on NVM hardware.
+
+    Parameters
+    ----------
+    model:
+        Trained digital model (left untouched).
+    config:
+        Crossbar hardware variant (one of the Table-I presets).
+    predictor:
+        Analog backend; defaults to the cached GENIEx surrogate for
+        ``config``.
+    rng:
+        Programming randomness (only used when the device has write
+        variation).
+    skip:
+        Dotted module paths to keep digital (the paper maps all layers
+        to crossbars; ablations may pin e.g. the classifier head).
+    """
+    predictor = predictor or load_or_train_geniex(config)
+    hardware = copy.deepcopy(model)
+    replacements: list[tuple[str, Module]] = []
+    for name, module in hardware.named_modules():
+        if not name or name in skip:
+            continue
+        if isinstance(module, Conv2d):
+            replacements.append((name, NonIdealConv2d(module, config, predictor, rng)))
+        elif isinstance(module, Linear):
+            replacements.append((name, NonIdealLinear(module, config, predictor, rng)))
+    for name, replacement in replacements:
+        hardware.set_submodule(name, replacement)
+    hardware.eval()
+    if calibration_images is not None:
+        calibrate_hardware(hardware, calibration_images)
+    return hardware

@@ -1,0 +1,97 @@
+"""Weight-matrix tiling onto crossbar-sized segments (PUMA mapping, step ii).
+
+A layer's weight matrix is laid out with input features along crossbar
+rows (wordlines) and output features along columns (bitlines).  Layers
+larger than one crossbar are split into a grid of tiles; each tile's
+analog output contributes a partial sum that the digital periphery
+accumulates.
+
+Zero-padding fills the last ragged tile: a zero weight maps to the
+lowest conductance level and a zero input to zero volts, so padding
+changes nothing ideally and adds only the (real, also present in
+hardware) sneak-path contribution of G_min cells non-ideally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TiledMatrix:
+    """A (rows_total, cols_total) matrix split into crossbar tiles.
+
+    Attributes
+    ----------
+    tiles:
+        ``tiles[r][c]`` is the (tile_rows, tile_cols) block; all blocks
+        padded to full tile size.
+    rows_total, cols_total:
+        Original (unpadded) dimensions.
+    tile_rows, tile_cols:
+        Crossbar dimensions.
+    """
+
+    tiles: list[list[np.ndarray]]
+    rows_total: int
+    cols_total: int
+    tile_rows: int
+    tile_cols: int
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return len(self.tiles), len(self.tiles[0])
+
+    def assemble(self) -> np.ndarray:
+        """Reconstruct the padded-then-cropped original matrix."""
+        rows = [np.concatenate(row_tiles, axis=1) for row_tiles in self.tiles]
+        full = np.concatenate(rows, axis=0)
+        return full[: self.rows_total, : self.cols_total]
+
+    def row_slices(self) -> list[slice]:
+        """Input-vector slices feeding each tile row (unpadded extents)."""
+        out = []
+        for r in range(self.grid_shape[0]):
+            start = r * self.tile_rows
+            out.append(slice(start, min(start + self.tile_rows, self.rows_total)))
+        return out
+
+    def col_slices(self) -> list[slice]:
+        """Output-vector slices produced by each tile column (unpadded)."""
+        out = []
+        for c in range(self.grid_shape[1]):
+            start = c * self.tile_cols
+            out.append(slice(start, min(start + self.tile_cols, self.cols_total)))
+        return out
+
+
+def tile_matrix(matrix: np.ndarray, tile_rows: int, tile_cols: int) -> TiledMatrix:
+    """Split ``matrix`` (rows, cols) into zero-padded crossbar tiles."""
+    if matrix.ndim != 2:
+        raise ValueError(f"expected 2-D matrix, got shape {matrix.shape}")
+    if tile_rows <= 0 or tile_cols <= 0:
+        raise ValueError("tile dimensions must be positive")
+    rows_total, cols_total = matrix.shape
+    grid_rows = -(-rows_total // tile_rows)  # ceil division
+    grid_cols = -(-cols_total // tile_cols)
+    padded = np.zeros((grid_rows * tile_rows, grid_cols * tile_cols), dtype=matrix.dtype)
+    padded[:rows_total, :cols_total] = matrix
+    tiles = [
+        [
+            padded[
+                r * tile_rows : (r + 1) * tile_rows,
+                c * tile_cols : (c + 1) * tile_cols,
+            ].copy()
+            for c in range(grid_cols)
+        ]
+        for r in range(grid_rows)
+    ]
+    return TiledMatrix(
+        tiles=tiles,
+        rows_total=rows_total,
+        cols_total=cols_total,
+        tile_rows=tile_rows,
+        tile_cols=tile_cols,
+    )

@@ -1,0 +1,128 @@
+"""Chip-to-chip variation studies (paper Discussion, §V).
+
+The paper notes that "chip to chip variations may further hinder the
+transferability of attacks generated on one analog computing hardware
+to another".  This module makes that a runnable experiment: the same
+trained DNN is programmed onto several *chips* — same crossbar design,
+different realizations of the per-device programming variation — and
+adversarial examples crafted against one chip are evaluated on the
+others.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.xbar.presets import CrossbarConfig, load_or_train_geniex
+from repro.xbar.simulator import ColumnPredictor, convert_to_hardware
+
+
+def with_programming_variation(config: CrossbarConfig, sigma: float) -> CrossbarConfig:
+    """Derive a config whose devices have write variation ``sigma``.
+
+    ``sigma`` is the lognormal std-dev of the achieved conductance per
+    write (typical metal-oxide RRAM: 1-10%).
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    device = dataclasses.replace(config.device, program_sigma=sigma)
+    return dataclasses.replace(config, device=device, name=f"{config.name}_s{sigma:g}")
+
+
+def program_chip(
+    model: Module,
+    config: CrossbarConfig,
+    sigma: float,
+    chip_seed: int,
+    predictor: ColumnPredictor | None = None,
+    calibration_images: np.ndarray | None = None,
+) -> Module:
+    """Program ``model`` onto one chip instance.
+
+    Each ``chip_seed`` draws an independent realization of the device
+    programming noise — two chips compute *different* fixed functions
+    even though they share the design and the weights.
+
+    Note: the GENIEx surrogate is conditioned on the programmed
+    conductances, so per-chip variation flows through prediction
+    naturally (the achieved G enters both the ideal term and the MLP's
+    column features).
+    """
+    varied = with_programming_variation(config, sigma)
+    predictor = predictor or load_or_train_geniex(config)
+    return convert_to_hardware(
+        model,
+        varied,
+        predictor=predictor,
+        rng=np.random.default_rng(chip_seed),
+        calibration_images=calibration_images,
+    )
+
+
+@dataclass
+class ChipTransferResult:
+    """Attack transfer between chip instances."""
+
+    sigma: float
+    source_chip_accuracy: float  # attack evaluated where it was crafted
+    cross_chip_accuracies: list[float]  # same attack on sibling chips
+
+    @property
+    def mean_cross_chip(self) -> float:
+        return float(np.mean(self.cross_chip_accuracies))
+
+    @property
+    def transfer_penalty(self) -> float:
+        """How much accuracy the attack loses crossing chips (>= 0 means
+        sibling chips resist the attack better than the source)."""
+        return self.mean_cross_chip - self.source_chip_accuracy
+
+
+def chip_transfer_study(
+    model: Module,
+    config: CrossbarConfig,
+    x: np.ndarray,
+    y: np.ndarray,
+    sigma: float,
+    num_chips: int = 3,
+    epsilon: float = 8 / 255,
+    iterations: int = 10,
+    calibration_images: np.ndarray | None = None,
+    predictor: ColumnPredictor | None = None,
+    seed: int = 0,
+) -> ChipTransferResult:
+    """Craft a hardware-in-loop attack on chip 0, evaluate on chips 1..n.
+
+    Returns per-chip adversarial accuracies; a positive
+    ``transfer_penalty`` reproduces the paper's conjecture that
+    chip-to-chip variation hinders attack transfer.
+    """
+    from repro.attacks.hil import hil_whitebox_pgd
+    from repro.core.evaluation import adversarial_accuracy
+
+    if num_chips < 2:
+        raise ValueError("need at least 2 chips for a transfer study")
+    predictor = predictor or load_or_train_geniex(config)
+    chips = [
+        program_chip(
+            model,
+            config,
+            sigma,
+            chip_seed=seed + i,
+            predictor=predictor,
+            calibration_images=calibration_images,
+        )
+        for i in range(num_chips)
+    ]
+    result = hil_whitebox_pgd(chips[0], x, y, epsilon=epsilon, iterations=iterations)
+    source_accuracy = adversarial_accuracy(chips[0], result.x_adv, y)
+    cross = [adversarial_accuracy(chip, result.x_adv, y) for chip in chips[1:]]
+    return ChipTransferResult(
+        sigma=sigma,
+        source_chip_accuracy=source_accuracy,
+        cross_chip_accuracies=cross,
+    )

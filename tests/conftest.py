@@ -1,0 +1,112 @@
+"""Shared fixtures: RNGs, tiny models, tiny crossbar configurations.
+
+Test-scale principles:
+* unit tests use an 8x8 crossbar so circuit solves are milliseconds;
+* the GENIEx surrogate used in tests is trained once per session;
+* trained victims use 2-epoch runs on a few hundred images — enough to
+  make accuracy meaningfully above chance without slowing the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticTaskSpec, make_task
+from repro.nn.resnet import build_model
+from repro.train.trainer import TrainConfig, Trainer
+from repro.xbar.adc import ADCConfig
+from repro.xbar.bitslice import BitSliceConfig
+from repro.xbar.circuit import CircuitConfig
+from repro.xbar.device import DeviceConfig
+from repro.xbar.geniex import GENIEx, GENIExTrainConfig, GENIExTrainer
+from repro.xbar.presets import CrossbarConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def make_tiny_crossbar_config(
+    rows: int = 8,
+    cols: int = 8,
+    r_on: float = 100e3,
+    adc_bits: int | None = None,
+    gain_calibration: int = 16,
+) -> CrossbarConfig:
+    """An 8x8 crossbar variant small enough for exact circuit solves."""
+    return CrossbarConfig(
+        name=f"test_{rows}x{cols}",
+        device=DeviceConfig(
+            r_on=r_on,
+            on_off_ratio=50.0,
+            levels_bits=2,
+            program_sigma=0.0,
+            iv_beta=0.25,
+            v_read=0.25,
+        ),
+        circuit=CircuitConfig(
+            rows=rows,
+            cols=cols,
+            r_source=350.0,
+            r_sink=350.0,
+            r_wire=4.0,
+            nonlinear_iterations=2,
+        ),
+        bitslice=BitSliceConfig(
+            input_bits=4, stream_bits=2, weight_bits=4, slice_bits=2
+        ),
+        adc=ADCConfig(bits=adc_bits) if adc_bits else ADCConfig(bits=None),
+        gain_calibration=gain_calibration,
+    )
+
+
+@pytest.fixture
+def tiny_crossbar_config() -> CrossbarConfig:
+    return make_tiny_crossbar_config()
+
+
+@pytest.fixture(scope="session")
+def tiny_geniex() -> GENIEx:
+    """A session-cached GENIEx surrogate for the 8x8 test crossbar."""
+    config = make_tiny_crossbar_config()
+    trainer = GENIExTrainer(
+        config.circuit,
+        config.device,
+        GENIExTrainConfig(hidden=16, num_matrices=30, vectors_per_matrix=6, epochs=20),
+    )
+    return trainer.train()
+
+
+@pytest.fixture(scope="session")
+def tiny_task():
+    """A 4-class 8x8-pixel task that trains in seconds."""
+    spec = SyntheticTaskSpec(
+        name="tiny",
+        num_classes=4,
+        image_size=8,
+        train_size=400,
+        test_size=120,
+        prototypes_per_class=1,
+        basis_cutoff=3,
+        instance_noise=0.3,
+        pixel_noise=0.05,
+        model="resnet20",
+        model_width=4,
+        epochs=2,
+        seed=99,
+        attack_eval_size=64,
+    )
+    return make_task("tiny", spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_victim(tiny_task):
+    """A small ResNet trained on the tiny task (session-cached)."""
+    model = build_model("resnet20", num_classes=4, width=4, seed=7)
+    Trainer(model, TrainConfig(epochs=3, batch_size=64, lr=0.1, seed=1)).fit(
+        tiny_task.x_train, tiny_task.y_train
+    )
+    model.eval()
+    return model

@@ -1,0 +1,138 @@
+"""Ensemble black-box and hardware-in-loop attack tests (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.ensemble import (
+    EnsembleBlackBox,
+    EnsembleConfig,
+    StackedEnsemble,
+    SurrogateSpec,
+)
+from repro.attacks import hil
+from repro.autograd import Tensor
+from repro.core.evaluation import adversarial_accuracy
+from repro.nn.resnet import build_model
+from repro.xbar.simulator import convert_to_hardware
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+def tiny_ensemble_config():
+    return EnsembleConfig(
+        surrogates=[
+            SurrogateSpec("resnet10", width=4, seed=11),
+            SurrogateSpec("resnet20", width=4, seed=12),
+        ],
+        distill_epochs=2,
+        batch_size=64,
+        lr=0.05,
+    )
+
+
+class TestStackedEnsemble:
+    def test_averages_member_logits(self, rng):
+        a = build_model("resnet10", num_classes=3, width=4, seed=1)
+        b = build_model("resnet10", num_classes=3, width=4, seed=2)
+        a.eval()
+        b.eval()
+        ensemble = StackedEnsemble([a, b])
+        ensemble.eval()
+        x = Tensor(rng.random((2, 3, 8, 8)).astype(np.float32))
+        np.testing.assert_allclose(
+            ensemble(x).data, (a(x).data + b(x).data) / 2, rtol=1e-5
+        )
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            StackedEnsemble([])
+
+
+class TestEnsembleBlackBox:
+    def test_generate_before_fit_raises(self, tiny_task):
+        attack = EnsembleBlackBox(8 / 255, iterations=2, config=tiny_ensemble_config())
+        with pytest.raises(RuntimeError):
+            attack.generate(tiny_task.x_test[:4], tiny_task.y_test[:4])
+
+    def test_fit_builds_surrogates_from_logits_only(self, tiny_victim, tiny_task):
+        queried = {"count": 0}
+
+        def victim_query(batch):
+            queried["count"] += len(batch)
+            from repro.attacks.base import predict_logits
+
+            return predict_logits(tiny_victim, batch)
+
+        attack = EnsembleBlackBox(8 / 255, iterations=2, config=tiny_ensemble_config())
+        attack.fit(victim_query, tiny_task.x_train[:64])
+        assert queried["count"] == 64
+        assert attack.ensemble is not None
+        assert len(list(attack.ensemble.children())) == 2
+
+    def test_attack_constraints_and_transfer(self, tiny_victim, tiny_task):
+        attack = EnsembleBlackBox(24 / 255, iterations=4, config=tiny_ensemble_config())
+        attack.fit(tiny_victim, tiny_task.x_train[:128])
+        x, y = tiny_task.x_test[:30], tiny_task.y_test[:30]
+        result = attack.generate(x, y)
+        assert (np.abs(result.x_adv - x) <= 24 / 255 + 1e-6).all()
+        # Transferred attack should hurt the victim at this large eps.
+        clean = adversarial_accuracy(tiny_victim, x, y)
+        attacked = adversarial_accuracy(tiny_victim, result.x_adv, y)
+        assert attacked <= clean
+
+    def test_surrogates_agree_with_victim_on_training_data(self, tiny_victim, tiny_task):
+        """Distillation should reproduce most victim predictions."""
+        from repro.attacks.base import predict_logits
+
+        config = tiny_ensemble_config()
+        config.distill_epochs = 4
+        attack = EnsembleBlackBox(8 / 255, iterations=1, config=config)
+        attack.fit(tiny_victim, tiny_task.x_train[:192])
+        victim_pred = predict_logits(tiny_victim, tiny_task.x_train[:192]).argmax(axis=1)
+        surrogate_pred = predict_logits(attack.ensemble, tiny_task.x_train[:192]).argmax(axis=1)
+        # Above-chance agreement (4 classes -> chance 0.25) even at this
+        # tiny distillation budget.
+        assert (victim_pred == surrogate_pred).mean() > 0.35
+
+
+class TestHardwareInLoop:
+    @pytest.fixture()
+    def tiny_hardware(self, tiny_victim, tiny_geniex, tiny_task):
+        return convert_to_hardware(
+            tiny_victim,
+            make_tiny_crossbar_config(),
+            predictor=tiny_geniex,
+            calibration_images=tiny_task.x_train[:16],
+        )
+
+    def test_hil_whitebox_pgd_constraints(self, tiny_hardware, tiny_task):
+        x, y = tiny_task.x_test[:8], tiny_task.y_test[:8]
+        result = hil.hil_whitebox_pgd(tiny_hardware, x, y, epsilon=8 / 255, iterations=2)
+        assert (np.abs(result.x_adv - x) <= 8 / 255 + 1e-6).all()
+
+    def test_hil_whitebox_attacks_the_hardware(self, tiny_hardware, tiny_task):
+        x, y = tiny_task.x_test[:30], tiny_task.y_test[:30]
+        clean = adversarial_accuracy(tiny_hardware, x, y)
+        result = hil.hil_whitebox_pgd(tiny_hardware, x, y, epsilon=32 / 255, iterations=4)
+        attacked = adversarial_accuracy(tiny_hardware, result.x_adv, y)
+        assert attacked < clean
+
+    def test_hil_square_respects_30_query_budget(self, tiny_hardware, tiny_task):
+        x, y = tiny_task.x_test[:6], tiny_task.y_test[:6]
+        result = hil.hil_square_attack(tiny_hardware, x, y, epsilon=16 / 255)
+        assert (result.queries <= 30).all()
+        assert result.metadata["max_queries"] == 30
+
+    def test_hil_ensemble_runs_end_to_end(self, tiny_hardware, tiny_task):
+        x, y = tiny_task.x_test[:10], tiny_task.y_test[:10]
+        result = hil.hil_ensemble_attack(
+            tiny_hardware,
+            tiny_task.x_train[:64],
+            x,
+            y,
+            epsilon=16 / 255,
+            iterations=2,
+            config=tiny_ensemble_config(),
+        )
+        assert result.x_adv.shape == x.shape
+        assert (np.abs(result.x_adv - x) <= 16 / 255 + 1e-6).all()

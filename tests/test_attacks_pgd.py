@@ -1,0 +1,146 @@
+"""PGD / FGSM attack tests: constraints, effectiveness, Eq. 4 semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.base import clip_to_ball, loss_and_grad, margin_loss, predict_logits
+from repro.attacks.pgd import FGSM, PGD
+
+
+class TestBaseUtilities:
+    def test_predict_logits_matches_forward(self, tiny_victim, tiny_task):
+        from repro.autograd import Tensor
+
+        x = tiny_task.x_test[:8]
+        direct = tiny_victim(Tensor(x)).data
+        np.testing.assert_allclose(predict_logits(tiny_victim, x), direct, rtol=1e-5)
+
+    def test_predict_logits_batches_consistently(self, tiny_victim, tiny_task):
+        x = tiny_task.x_test[:10]
+        np.testing.assert_allclose(
+            predict_logits(tiny_victim, x, batch_size=3),
+            predict_logits(tiny_victim, x, batch_size=10),
+            rtol=1e-5,
+        )
+
+    def test_loss_and_grad_shapes(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:4], tiny_task.y_test[:4]
+        loss, grad = loss_and_grad(tiny_victim, x, y)
+        assert np.isfinite(loss)
+        assert grad.shape == x.shape
+
+    def test_margin_loss_sign_tracks_correctness(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0]])
+        labels = np.array([0, 0])
+        margins = margin_loss(logits, labels)
+        assert margins[0] > 0  # correct
+        assert margins[1] < 0  # misclassified
+
+    def test_clip_to_ball_respects_epsilon_and_domain(self, rng):
+        x = rng.random((4, 2, 3, 3)).astype(np.float32)
+        x_adv = x + rng.normal(0, 1.0, size=x.shape).astype(np.float32)
+        clipped = clip_to_ball(x_adv, x, epsilon=0.1)
+        assert (np.abs(clipped - x) <= 0.1 + 1e-6).all()
+        assert clipped.min() >= 0.0 and clipped.max() <= 1.0
+
+
+class TestPGD:
+    def test_constraints_hold(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:12], tiny_task.y_test[:12]
+        eps = 8 / 255
+        result = PGD(eps, iterations=3).generate(tiny_victim, x, y)
+        assert (np.abs(result.x_adv - x) <= eps + 1e-6).all()
+        assert result.x_adv.min() >= 0.0 and result.x_adv.max() <= 1.0
+        assert result.x_adv.dtype == np.float32
+
+    def test_epsilon_zero_is_identity(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:6], tiny_task.y_test[:6]
+        result = PGD(0.0, iterations=2).generate(tiny_victim, x, y)
+        np.testing.assert_allclose(result.x_adv, x)
+
+    def test_attack_reduces_accuracy(self, tiny_victim, tiny_task):
+        from repro.core.evaluation import adversarial_accuracy
+
+        x, y = tiny_task.x_test[:40], tiny_task.y_test[:40]
+        clean = adversarial_accuracy(tiny_victim, x, y)
+        result = PGD(32 / 255, iterations=5).generate(tiny_victim, x, y)
+        attacked = adversarial_accuracy(tiny_victim, result.x_adv, y)
+        assert attacked < clean
+
+    def test_stronger_epsilon_is_stronger_attack(self, tiny_victim, tiny_task):
+        from repro.core.evaluation import adversarial_accuracy
+
+        x, y = tiny_task.x_test[:40], tiny_task.y_test[:40]
+        weak = PGD(4 / 255, iterations=4).generate(tiny_victim, x, y)
+        strong = PGD(48 / 255, iterations=4).generate(tiny_victim, x, y)
+        assert adversarial_accuracy(tiny_victim, strong.x_adv, y) <= adversarial_accuracy(
+            tiny_victim, weak.x_adv, y
+        )
+
+    def test_iterative_beats_single_step(self, tiny_victim, tiny_task):
+        from repro.core.evaluation import adversarial_accuracy
+
+        x, y = tiny_task.x_test[:60], tiny_task.y_test[:60]
+        eps = 16 / 255
+        fgsm = FGSM(eps).generate(tiny_victim, x, y)
+        pgd = PGD(eps, iterations=8).generate(tiny_victim, x, y)
+        assert adversarial_accuracy(tiny_victim, pgd.x_adv, y) <= adversarial_accuracy(
+            tiny_victim, fgsm.x_adv, y
+        ) + 1e-9
+
+    def test_default_alpha_follows_madry_rule(self):
+        attack = PGD(0.1, iterations=10)
+        assert attack.alpha == pytest.approx(2.5 * 0.1 / 10)
+
+    def test_queries_metadata(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:4], tiny_task.y_test[:4]
+        result = PGD(4 / 255, iterations=3).generate(tiny_victim, x, y)
+        assert (result.queries == 3).all()
+        assert result.metadata["epsilon"] == pytest.approx(4 / 255)
+
+    def test_success_flags_match_model_predictions(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:10], tiny_task.y_test[:10]
+        result = PGD(16 / 255, iterations=3).generate(tiny_victim, x, y)
+        predictions = predict_logits(tiny_victim, result.x_adv).argmax(axis=1)
+        np.testing.assert_array_equal(result.success, predictions != y)
+
+    def test_random_start_stays_in_ball(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:6], tiny_task.y_test[:6]
+        eps = 8 / 255
+        result = PGD(eps, iterations=2, random_start=True).generate(tiny_victim, x, y)
+        assert (np.abs(result.x_adv - x) <= eps + 1e-6).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PGD(-0.1)
+        with pytest.raises(ValueError):
+            PGD(0.1, iterations=0)
+
+    def test_deterministic_without_random_start(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:6], tiny_task.y_test[:6]
+        a = PGD(8 / 255, iterations=2).generate(tiny_victim, x, y)
+        b = PGD(8 / 255, iterations=2).generate(tiny_victim, x, y)
+        np.testing.assert_allclose(a.x_adv, b.x_adv)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    eps_num=st.integers(min_value=1, max_value=40),
+    iters=st.integers(min_value=1, max_value=4),
+)
+def test_property_pgd_never_violates_constraints(eps_num, iters):
+    """For any (epsilon, iterations): ball + [0,1] constraints hold."""
+    # hypothesis and function-scoped fixtures don't mix: build inline.
+    from repro.nn.resnet import build_model
+
+    rng = np.random.default_rng(0)
+    model = build_model("resnet20", num_classes=3, width=4, seed=0)
+    model.eval()
+    x = rng.random((4, 3, 8, 8)).astype(np.float32)
+    y = np.array([0, 1, 2, 0])
+    eps = eps_num / 255
+    result = PGD(eps, iterations=iters).generate(model, x, y)
+    assert (np.abs(result.x_adv - x) <= eps + 1e-6).all()
+    assert result.x_adv.min() >= 0.0 and result.x_adv.max() <= 1.0

@@ -1,0 +1,92 @@
+"""Square Attack tests: budgets, constraints, gradient-free behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.square import SquareAttack
+from repro.core.evaluation import adversarial_accuracy
+
+
+class TestSquareAttack:
+    def test_constraints_hold(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:10], tiny_task.y_test[:10]
+        eps = 16 / 255
+        result = SquareAttack(eps, max_queries=20, seed=3).generate(tiny_victim, x, y)
+        assert (np.abs(result.x_adv - x) <= eps + 1e-6).all()
+        assert result.x_adv.min() >= 0.0 and result.x_adv.max() <= 1.0
+
+    def test_query_budget_respected(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:10], tiny_task.y_test[:10]
+        result = SquareAttack(16 / 255, max_queries=15).generate(tiny_victim, x, y)
+        assert (result.queries <= 15).all()
+        assert (result.queries >= 1).all()
+
+    def test_misclassified_images_stop_early(self, tiny_victim, tiny_task):
+        """Images already adversarial after init shouldn't burn queries."""
+        x, y = tiny_task.x_test[:20], tiny_task.y_test[:20]
+        wrong_labels = (y + 1) % 4  # pretend wrong labels: init misclassifies
+        result = SquareAttack(4 / 255, max_queries=30).generate(tiny_victim, x, wrong_labels)
+        assert result.queries.min() == 1
+
+    def test_attack_reduces_accuracy(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:40], tiny_task.y_test[:40]
+        clean = adversarial_accuracy(tiny_victim, x, y)
+        result = SquareAttack(48 / 255, max_queries=60, seed=1).generate(tiny_victim, x, y)
+        attacked = adversarial_accuracy(tiny_victim, result.x_adv, y)
+        assert attacked < clean
+
+    def test_more_queries_no_weaker(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:30], tiny_task.y_test[:30]
+        few = SquareAttack(32 / 255, max_queries=5, seed=2).generate(tiny_victim, x, y)
+        many = SquareAttack(32 / 255, max_queries=60, seed=2).generate(tiny_victim, x, y)
+        acc_few = adversarial_accuracy(tiny_victim, few.x_adv, y)
+        acc_many = adversarial_accuracy(tiny_victim, many.x_adv, y)
+        assert acc_many <= acc_few + 0.05
+
+    def test_deterministic_given_seed(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:8], tiny_task.y_test[:8]
+        a = SquareAttack(16 / 255, max_queries=10, seed=9).generate(tiny_victim, x, y)
+        b = SquareAttack(16 / 255, max_queries=10, seed=9).generate(tiny_victim, x, y)
+        np.testing.assert_allclose(a.x_adv, b.x_adv)
+
+    def test_different_seeds_differ(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:8], tiny_task.y_test[:8]
+        a = SquareAttack(16 / 255, max_queries=10, seed=1).generate(tiny_victim, x, y)
+        b = SquareAttack(16 / 255, max_queries=10, seed=2).generate(tiny_victim, x, y)
+        assert not np.allclose(a.x_adv, b.x_adv)
+
+    def test_p_schedule_decays(self):
+        attack = SquareAttack(0.05, max_queries=1000)
+        early = attack._p_schedule(5)
+        late = attack._p_schedule(900)
+        assert late < early
+
+    def test_loss_never_increases_on_accepted_moves(self, tiny_victim, tiny_task):
+        """Random search only accepts improvements: final margin loss
+        <= initial margin loss for every image."""
+        from repro.attacks.base import margin_loss, predict_logits
+
+        x, y = tiny_task.x_test[:15], tiny_task.y_test[:15]
+        eps = 16 / 255
+        result = SquareAttack(eps, max_queries=25, seed=4).generate(tiny_victim, x, y)
+        # Reconstruct the init the attack used (same seed path) is not
+        # trivial; instead check vs the no-attack margin: perturbation
+        # found should not make images *more* confidently correct than
+        # the stripes init could. Weak but useful invariant:
+        final = margin_loss(predict_logits(tiny_victim, result.x_adv), y)
+        clean = margin_loss(predict_logits(tiny_victim, x), y)
+        assert (final <= clean + 5.0).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SquareAttack(-0.1)
+        with pytest.raises(ValueError):
+            SquareAttack(0.1, max_queries=0)
+
+    def test_success_consistent_with_margin(self, tiny_victim, tiny_task):
+        from repro.attacks.base import margin_loss, predict_logits
+
+        x, y = tiny_task.x_test[:12], tiny_task.y_test[:12]
+        result = SquareAttack(32 / 255, max_queries=20, seed=5).generate(tiny_victim, x, y)
+        margins = margin_loss(predict_logits(tiny_victim, result.x_adv), y)
+        np.testing.assert_array_equal(result.success, margins < 0)

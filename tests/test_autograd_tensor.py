@@ -1,0 +1,302 @@
+"""Unit tests for the Tensor type and its basic operations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+
+
+class TestConstruction:
+    def test_wraps_numpy_array(self):
+        t = Tensor(np.ones((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.dtype == np.float32
+
+    def test_float64_downcast_to_default_dtype(self):
+        t = Tensor(np.ones((2,), dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_explicit_dtype_preserved(self):
+        t = Tensor(np.ones((2,)), dtype=np.float64)
+        assert t.dtype == np.float64
+
+    def test_integer_labels_stay_integer(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "i"
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_requires_grad_flag(self):
+        assert Tensor(np.ones(1), requires_grad=True).requires_grad
+        assert not Tensor(np.ones(1)).requires_grad
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 3)" in repr(Tensor(np.ones((2, 3))))
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar_broadcast(self):
+        out = Tensor([1.0, 2.0]) + 1.0
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+
+    def test_radd(self):
+        out = 1.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - 1.0).data, [2.0])
+        np.testing.assert_allclose((5.0 - Tensor([3.0])).data, [2.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((Tensor([2.0]) * Tensor([3.0])).data, [6.0])
+        np.testing.assert_allclose((Tensor([6.0]) / 2.0).data, [3.0])
+
+    def test_rtruediv(self):
+        np.testing.assert_allclose((6.0 / Tensor([2.0])).data, [3.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([3.0]) ** 2).data, [9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_matmul(self):
+        a = Tensor(np.eye(2, dtype=np.float32) * 2)
+        b = Tensor(np.ones((2, 3), dtype=np.float32))
+        np.testing.assert_allclose((a @ b).data, 2 * np.ones((2, 3)))
+
+
+class TestBackwardBasics:
+    def test_add_backward_accumulates_both_parents(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_broadcast_backward_reduces(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_mul_backward_product_rule(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([5.0], requires_grad=True)
+        (a * b).backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+        np.testing.assert_allclose(b.grad, [2.0])
+
+    def test_backward_requires_scalar_or_seed(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = a * 2
+        with pytest.raises(RuntimeError):
+            out.backward()
+        out.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(a.grad, 2 * np.ones((2, 2)))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).sum().backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward()
+        (a * 2).backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # y = (a + a*a): gradient must accumulate along both paths.
+        a = Tensor([3.0], requires_grad=True)
+        y = a + a * a
+        y.backward()
+        np.testing.assert_allclose(a.grad, [1.0 + 2 * 3.0])
+
+    def test_deep_chain_does_not_overflow_stack(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 0.001
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        a = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_transpose(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        out = a.transpose()
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_transpose_with_axes(self):
+        a = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        out = a.transpose((2, 0, 1))
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_pad_and_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = a.pad(((1, 1), (0, 0)))
+        assert out.shape == (4, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+
+    def test_getitem_gradient_scatters(self):
+        a = Tensor(np.arange(4, dtype=np.float32), requires_grad=True)
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_fancy_index_gradient_accumulates_duplicates(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        a[idx].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0])
+
+    def test_flatten(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.flatten().shape == (2, 12)
+
+
+class TestReductionsAndMath:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient_scaled(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_max_gradient_splits_ties(self):
+        a = Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5, 0.0])
+
+    def test_var_matches_numpy(self):
+        data = np.random.default_rng(0).normal(size=(5, 7)).astype(np.float32)
+        np.testing.assert_allclose(
+            Tensor(data).var(axis=1).data, data.var(axis=1), rtol=1e-5
+        )
+
+    def test_relu_zeroes_negatives_and_gradient(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        a.relu().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+
+    def test_clip_gradient_masked_outside(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        a.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_exp_log_sqrt_abs_values(self):
+        a = Tensor([4.0])
+        np.testing.assert_allclose(a.sqrt().data, [2.0])
+        np.testing.assert_allclose(a.log().data, [np.log(4.0)], rtol=1e-6)
+        np.testing.assert_allclose(Tensor([-3.0]).abs().data, [3.0])
+        np.testing.assert_allclose(Tensor([0.0]).exp().data, [1.0])
+
+    def test_argmax(self):
+        assert Tensor([[1.0, 3.0, 2.0]]).argmax(axis=1)[0] == 1
+
+
+class TestCombinators:
+    def test_concatenate_values_and_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        out = concatenate([a, b])
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0])
+
+    def test_stack(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b])
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_where_routes_gradients(self):
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        out = where(np.array([True, False]), a, b)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+    def test_maximum_minimum(self):
+        a = Tensor([1.0, 5.0])
+        b = Tensor([3.0, 2.0])
+        np.testing.assert_allclose(maximum(a, b).data, [3.0, 5.0])
+        np.testing.assert_allclose(minimum(a, b).data, [1.0, 2.0])
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = (a * 2).detach()
+        assert not d.requires_grad

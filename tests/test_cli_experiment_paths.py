@@ -1,0 +1,70 @@
+"""CLI experiment-command smoke tests in the tiny patched environment.
+
+The heavier CLI paths (table3/table4/fig/energy) construct a
+HardwareLab internally; these tests patch the dataset/preset registries
+(as the experiment integration tests do) and drive the commands through
+``main`` to lock the argument plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.xbar.presets as presets_mod
+from repro.data import synthetic
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture()
+def patched_env(tmp_path, monkeypatch):
+    tiny_spec = synthetic.SyntheticTaskSpec(
+        name="cifar10",
+        num_classes=3,
+        image_size=8,
+        train_size=150,
+        test_size=60,
+        prototypes_per_class=1,
+        basis_cutoff=3,
+        model="resnet20",
+        model_width=4,
+        epochs=1,
+        seed=21,
+        attack_eval_size=16,
+    )
+    monkeypatch.setitem(synthetic.TASKS, "cifar10", tiny_spec)
+    for key in list(presets_mod.CROSSBAR_PRESETS):
+        monkeypatch.setitem(
+            presets_mod.CROSSBAR_PRESETS,
+            key,
+            presets_mod.with_overrides(make_tiny_crossbar_config(), name=key),
+        )
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+    # The CLI uses the process-wide default zoo; isolate it.
+    import repro.train.zoo as zoo_mod
+
+    monkeypatch.setattr(zoo_mod, "_DEFAULT_ZOO", None)
+    yield
+
+
+class TestCLIExperimentCommands:
+    def test_nf_command(self, patched_env, capsys):
+        from repro.cli import main
+
+        assert main(["nf", "--samples", "2"]) == 0
+        assert "NF circuit" in capsys.readouterr().out
+
+    def test_train_command(self, patched_env, capsys):
+        from repro.cli import main
+
+        assert main(["train", "--task", "cifar10", "--fast"]) == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_energy_command(self, patched_env, capsys):
+        from repro.cli import main
+
+        assert main(["energy", "--task", "cifar10", "--fast", "--preset", "64x64_100k"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out

@@ -1,0 +1,129 @@
+"""Core package: threat models, evaluation lab, robustness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import CellResult, EvaluationScale, adversarial_accuracy
+from repro.core.robustness import GainPoint, format_gain_table, gain_vs_nf_table, robustness_gain
+from repro.core.threat_models import TABLE_II, AttackFamily, threat_scenario
+
+
+class TestThreatModels:
+    def test_four_scenarios(self):
+        assert len(TABLE_II) == 4
+
+    def test_lookup_by_name(self):
+        scenario = threat_scenario("nonadaptive_white_box")
+        assert scenario.model_weights
+        assert not scenario.adaptive
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            threat_scenario("nope")
+
+    def test_nonadaptive_attackers_never_see_analog(self):
+        for scenario in TABLE_II:
+            if not scenario.adaptive:
+                assert not scenario.analog.logits
+                assert not scenario.analog.activations
+                assert not scenario.crossbar_model
+
+    def test_adaptive_attackers_hold_crossbar_models(self):
+        for scenario in TABLE_II:
+            if scenario.adaptive:
+                assert scenario.crossbar_model
+                assert scenario.analog.logits
+
+    def test_white_box_scenarios_know_weights(self):
+        for scenario in TABLE_II:
+            expects = scenario.family == AttackFamily.WHITE_BOX_PGD
+            assert scenario.model_weights == expects
+
+    def test_describe_mentions_mismatch_caveat(self):
+        text = threat_scenario("adaptive_white_box").describe()
+        assert "may not match" in text
+
+
+class TestAdversarialAccuracy:
+    def test_matches_manual_count(self, tiny_victim, tiny_task):
+        x, y = tiny_task.x_test[:30], tiny_task.y_test[:30]
+        from repro.attacks.base import predict_logits
+
+        expected = float((predict_logits(tiny_victim, x).argmax(axis=1) == y).mean())
+        assert adversarial_accuracy(tiny_victim, x, y) == pytest.approx(expected)
+
+
+class TestEvaluationScale:
+    def test_tiny_is_smaller_everywhere(self):
+        tiny, full = EvaluationScale.tiny(), EvaluationScale()
+        assert tiny.eval_size < full.eval_size
+        assert tiny.square_queries < full.square_queries
+        assert tiny.pgd_iterations < full.pgd_iterations
+
+    def test_hil_budget_matches_paper(self):
+        assert EvaluationScale().square_queries_hil == 30
+
+
+class TestCellResult:
+    def make_cell(self):
+        return CellResult(
+            attack="WB PGD eps=1/255",
+            task="cifar10",
+            epsilon=1 / 255,
+            baseline=0.20,
+            variants={"64x64_100k": 0.55, "32x32_100k": 0.45},
+        )
+
+    def test_delta(self):
+        cell = self.make_cell()
+        assert cell.delta("64x64_100k") == pytest.approx(0.35)
+
+    def test_format_row_contains_deltas(self):
+        row = self.make_cell().format_row()
+        assert "+35.00" in row and "baseline= 20.00" in row
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError):
+            self.make_cell().delta("unknown")
+
+
+class TestRobustnessGain:
+    def make_cells(self):
+        return [
+            CellResult(
+                attack="WB PGD",
+                task="cifar10",
+                epsilon=0.02,
+                baseline=0.2,
+                variants={"a": 0.5, "b": 0.3, "sap": 0.6},
+            ),
+            CellResult(
+                attack="Square",
+                task="cifar10",
+                epsilon=0.02,
+                baseline=0.1,
+                variants={"a": 0.4, "b": 0.35},
+            ),
+        ]
+
+    def test_robustness_gain(self):
+        cells = self.make_cells()
+        assert robustness_gain(cells[0], "a") == pytest.approx(0.3)
+
+    def test_gain_vs_nf_only_includes_known_presets(self):
+        points = gain_vs_nf_table(self.make_cells(), {"a": 0.1, "b": 0.2})
+        # "sap" (a defense) carries no NF and must not appear.
+        assert all(p.preset in ("a", "b") for p in points)
+        assert len(points) == 4
+
+    def test_point_values(self):
+        points = gain_vs_nf_table(self.make_cells(), {"a": 0.1})
+        wb = [p for p in points if p.attack == "WB PGD"][0]
+        assert wb.nf == pytest.approx(0.1)
+        assert wb.gain == pytest.approx(0.3)
+
+    def test_format_gain_table_sorted_and_complete(self):
+        points = gain_vs_nf_table(self.make_cells(), {"a": 0.1, "b": 0.2})
+        text = format_gain_table(points)
+        assert text.count("\n") == len(points)  # header + one line each
+        assert "+30.00" in text

@@ -1,0 +1,114 @@
+"""Dataset/DataLoader and transform tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+)
+
+
+@pytest.fixture
+def small_data(rng):
+    images = rng.random((20, 3, 8, 8)).astype(np.float32)
+    labels = rng.integers(0, 4, size=20).astype(np.int64)
+    return images, labels
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self, small_data):
+        ds = ArrayDataset(*small_data)
+        assert len(ds) == 20
+        image, label = ds[3]
+        assert image.shape == (3, 8, 8)
+        assert isinstance(label, int)
+
+    def test_length_mismatch_raises(self, small_data):
+        images, labels = small_data
+        with pytest.raises(ValueError):
+            ArrayDataset(images, labels[:-1])
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, small_data):
+        loader = DataLoader(ArrayDataset(*small_data), batch_size=6)
+        batches = list(loader)
+        assert [len(b[0]) for b in batches] == [6, 6, 6, 2]
+
+    def test_drop_last(self, small_data):
+        loader = DataLoader(ArrayDataset(*small_data), batch_size=6, drop_last=True)
+        assert [len(b[0]) for b in loader] == [6, 6, 6]
+        assert len(loader) == 3
+
+    def test_len_without_drop_last(self, small_data):
+        assert len(DataLoader(ArrayDataset(*small_data), batch_size=6)) == 4
+
+    def test_shuffle_changes_order_but_not_content(self, small_data):
+        images, labels = small_data
+        loader = DataLoader(ArrayDataset(images, labels), batch_size=20, shuffle=True, seed=1)
+        (batch_images, batch_labels), = list(loader)
+        assert not np.allclose(batch_images, images)  # order changed
+        assert sorted(batch_labels.tolist()) == sorted(labels.tolist())
+
+    def test_no_shuffle_preserves_order(self, small_data):
+        images, labels = small_data
+        loader = DataLoader(ArrayDataset(images, labels), batch_size=20)
+        (batch_images, _), = list(loader)
+        np.testing.assert_allclose(batch_images, images)
+
+    def test_shuffle_differs_across_epochs(self, small_data):
+        loader = DataLoader(ArrayDataset(*small_data), batch_size=20, shuffle=True, seed=1)
+        first, = [b[1] for b in loader]
+        second, = [b[1] for b in loader]
+        assert not np.array_equal(first, second)
+
+    def test_invalid_batch_size(self, small_data):
+        with pytest.raises(ValueError):
+            DataLoader(ArrayDataset(*small_data), batch_size=0)
+
+    def test_transform_applied(self, small_data):
+        images, labels = small_data
+        ds = ArrayDataset(images, labels, transform=lambda batch, rng: batch * 0)
+        loader = DataLoader(ds, batch_size=5)
+        batch_images, _ = next(iter(loader))
+        assert batch_images.max() == 0.0
+
+
+class TestTransforms:
+    def test_flip_probability_one_reverses(self, small_data, rng):
+        images, _ = small_data
+        flipped = RandomHorizontalFlip(p=1.0)(images, rng)
+        np.testing.assert_allclose(flipped, images[:, :, :, ::-1])
+
+    def test_flip_probability_zero_identity(self, small_data, rng):
+        images, _ = small_data
+        np.testing.assert_allclose(RandomHorizontalFlip(p=0.0)(images, rng), images)
+
+    def test_random_crop_preserves_shape(self, small_data, rng):
+        images, _ = small_data
+        out = RandomCrop(padding=2)(images, rng)
+        assert out.shape == images.shape
+
+    def test_random_crop_zero_padding_identity(self, small_data, rng):
+        images, _ = small_data
+        np.testing.assert_allclose(RandomCrop(padding=0)(images, rng), images)
+
+    def test_normalize(self, rng):
+        batch = np.ones((2, 3, 4, 4), dtype=np.float32)
+        out = Normalize(mean=[1, 1, 1], std=[2, 2, 2])(batch, rng)
+        np.testing.assert_allclose(out, np.zeros_like(batch))
+
+    def test_compose_order(self, rng):
+        batch = np.full((1, 1, 2, 2), 4.0, dtype=np.float32)
+        pipeline = Compose(
+            [
+                lambda b, r: b + 1.0,  # 5
+                lambda b, r: b * 2.0,  # 10
+            ]
+        )
+        np.testing.assert_allclose(pipeline(batch, rng), np.full_like(batch, 10.0))

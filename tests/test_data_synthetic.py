@@ -1,0 +1,117 @@
+"""Synthetic task generation: determinism, ranges, separability."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    TASKS,
+    SyntheticTaskSpec,
+    make_task,
+    smooth_field,
+    smooth_field_batch,
+    task_spec,
+)
+
+
+class TestSpecs:
+    def test_registry_has_paper_datasets(self):
+        assert set(TASKS) == {"cifar10", "cifar100", "imagenet"}
+
+    def test_task_spec_lookup(self):
+        assert task_spec("cifar10").num_classes == 10
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            task_spec("mnist")
+
+    def test_difficulty_ordering_encoded(self):
+        """cifar100 stand-in must be harder than cifar10 stand-in."""
+        c10, c100 = task_spec("cifar10"), task_spec("cifar100")
+        assert c100.num_classes > c10.num_classes
+
+    def test_imagenet_is_larger_resolution(self):
+        assert task_spec("imagenet").image_size > task_spec("cifar10").image_size
+
+    def test_imagenet_attack_subset_is_1000(self):
+        """Paper: 'a reduced test set of 1000 images' for ImageNet."""
+        assert task_spec("imagenet").attack_eval_size == 1000
+
+
+class TestSmoothFields:
+    def test_unit_scale(self, rng):
+        field = smooth_field(rng, 16, 3, 4)
+        assert field.shape == (3, 16, 16)
+        assert 0.5 < field.std() < 2.0
+
+    def test_batch_matches_single_statistics(self, rng):
+        batch = smooth_field_batch(rng, 32, 16, 3, 4)
+        assert batch.shape == (32, 3, 16, 16)
+        stds = batch.std(axis=(1, 2, 3))
+        np.testing.assert_allclose(stds, np.ones(32), rtol=1e-5)
+
+    def test_smoothness(self, rng):
+        """Low-frequency fields: neighboring pixels are correlated."""
+        field = smooth_field(rng, 32, 1, 4)[0]
+        horizontal_diff = np.abs(np.diff(field, axis=1)).mean()
+        assert horizontal_diff < 0.5 * field.std()
+
+
+def _tiny_spec(**overrides):
+    base = dict(
+        name="t",
+        num_classes=3,
+        image_size=8,
+        train_size=60,
+        test_size=30,
+        prototypes_per_class=1,
+        basis_cutoff=3,
+        seed=5,
+    )
+    base.update(overrides)
+    return SyntheticTaskSpec(**base)
+
+
+class TestMakeTask:
+    def test_shapes_and_ranges(self):
+        task = make_task("t", _tiny_spec())
+        assert task.x_train.shape == (60, 3, 8, 8)
+        assert task.x_train.dtype == np.float32
+        assert task.x_train.min() >= 0.0 and task.x_train.max() <= 1.0
+        assert task.y_train.shape == (60,)
+        assert task.y_train.max() < 3
+
+    def test_deterministic_given_seed(self):
+        a = make_task("t", _tiny_spec())
+        b = make_task("t", _tiny_spec())
+        np.testing.assert_allclose(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_different_seed_changes_data(self):
+        a = make_task("t", _tiny_spec(seed=5))
+        b = make_task("t", _tiny_spec(seed=6))
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_all_classes_present(self):
+        task = make_task("t", _tiny_spec(train_size=300))
+        assert set(np.unique(task.y_train)) == {0, 1, 2}
+
+    def test_classes_are_separable_by_nearest_prototype(self):
+        """Nearest-prototype classification must beat chance by a lot —
+        otherwise no model could reach paper-like accuracy."""
+        task = make_task("t", _tiny_spec(train_size=200, instance_noise=0.3))
+        protos = task.prototypes.reshape(3, -1)  # 1 prototype per class
+        flat = task.x_test.reshape(len(task.x_test), -1)
+        d = ((flat[:, None, :] - protos[None]) ** 2).sum(axis=2)
+        acc = (d.argmin(axis=1) == task.y_test).mean()
+        assert acc > 0.7
+
+    def test_attack_eval_subset_size(self):
+        task = make_task("t", _tiny_spec(attack_eval_size=10))
+        x, y = task.attack_eval_subset()
+        assert len(x) == 10 and len(y) == 10
+
+    def test_attack_eval_subset_with_rng_samples_randomly(self, rng):
+        task = make_task("t", _tiny_spec(attack_eval_size=10))
+        x1, _ = task.attack_eval_subset()
+        x2, _ = task.attack_eval_subset(rng=np.random.default_rng(3))
+        assert not np.allclose(x1, x2)

@@ -1,0 +1,87 @@
+"""Defense-composition (algorithmic defense on analog hardware) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import adversarial_accuracy
+from repro.defenses.compose import compose_defense, composition_study
+from repro.xbar.simulator import convert_to_hardware
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture(scope="module")
+def hardware_model(tiny_victim, tiny_task, tiny_geniex):
+    return convert_to_hardware(
+        tiny_victim,
+        make_tiny_crossbar_config(),
+        predictor=tiny_geniex,
+        calibration_images=tiny_task.x_train[:16],
+    )
+
+
+class TestComposeDefense:
+    def test_sap_wraps_nonideal_convs(self, hardware_model):
+        wrapped = compose_defense(hardware_model, "sap", seed=1)
+        assert len(wrapped._sap_layers) > 0
+
+    def test_bitwidth_wraps_hardware(self, hardware_model, tiny_task):
+        wrapped = compose_defense(hardware_model, "bitwidth4")
+        x, y = tiny_task.x_test[:20], tiny_task.y_test[:20]
+        acc = adversarial_accuracy(wrapped, x, y)
+        assert acc > 0.25  # still classifies above 4-class chance
+
+    def test_unknown_defense_rejected(self, hardware_model):
+        with pytest.raises(KeyError):
+            compose_defense(hardware_model, "thermometer")
+
+    def test_composition_leaves_hardware_untouched(self, hardware_model, tiny_task):
+        x = tiny_task.x_test[:8]
+        from repro.attacks.base import predict_logits
+
+        before = predict_logits(hardware_model, x)
+        compose_defense(hardware_model, "sap", seed=2)
+        after = predict_logits(hardware_model, x)
+        np.testing.assert_allclose(before, after)
+
+    def test_sap_on_hardware_is_stochastic(self, hardware_model, tiny_task):
+        wrapped = compose_defense(hardware_model, "sap", seed=3)
+        x = tiny_task.x_test[:4]
+        from repro.attacks.base import predict_logits
+
+        a = predict_logits(wrapped, x)
+        b = predict_logits(wrapped, x)
+        assert not np.allclose(a, b)
+
+
+class TestCompositionStudy:
+    def test_four_configurations_reported(self, tiny_victim, hardware_model, tiny_task):
+        result = composition_study(
+            tiny_victim,
+            hardware_model,
+            tiny_task.x_test[:24],
+            tiny_task.y_test[:24],
+            epsilon=16 / 255,
+            iterations=2,
+        )
+        assert set(result.accuracies) == {
+            "digital",
+            "digital+sap",
+            "crossbar",
+            "crossbar+sap",
+        }
+        for acc in result.accuracies.values():
+            assert 0.0 <= acc <= 1.0
+
+    def test_format(self, tiny_victim, hardware_model, tiny_task):
+        result = composition_study(
+            tiny_victim,
+            hardware_model,
+            tiny_task.x_test[:8],
+            tiny_task.y_test[:8],
+            epsilon=8 / 255,
+            iterations=1,
+            defense="bitwidth4",
+        )
+        text = result.format()
+        assert "crossbar+bitwidth4" in text

@@ -1,0 +1,159 @@
+"""Comparison-defense tests: bit-width reduction, SAP, random pad."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.evaluation import adversarial_accuracy
+from repro.defenses import (
+    InputBitWidthReduction,
+    RandomResizePad,
+    SAPLayer,
+    StochasticActivationPruning,
+)
+from repro.defenses.randpad import resize_nearest
+
+
+class TestInputBitWidthReduction:
+    def test_quantization_grid(self, tiny_victim):
+        defense = InputBitWidthReduction(tiny_victim, bits=2)
+        x = np.array([0.0, 0.3, 0.5, 1.0])
+        np.testing.assert_allclose(defense.quantize(x), [0.0, 1 / 3, 2 / 3, 1.0])
+
+    def test_4bit_default_levels(self, tiny_victim):
+        defense = InputBitWidthReduction(tiny_victim)
+        assert defense.bits == 4 and defense.levels == 15
+
+    def test_invalid_bits(self, tiny_victim):
+        with pytest.raises(ValueError):
+            InputBitWidthReduction(tiny_victim, bits=0)
+
+    def test_small_perturbations_rounded_away(self, tiny_victim, tiny_task):
+        defense = InputBitWidthReduction(tiny_victim, bits=4)
+        x = tiny_task.x_test[:8]
+        q = defense.quantize(x)
+        tiny_noise = 0.4 / 15  # below half an input LSB
+        np.testing.assert_allclose(defense.quantize(x_adv := np.clip(q + tiny_noise, 0, 1)), q)
+
+    def test_forward_matches_model_on_quantized(self, tiny_victim, tiny_task):
+        from repro.attacks.base import predict_logits
+
+        defense = InputBitWidthReduction(tiny_victim, bits=4)
+        x = tiny_task.x_test[:6]
+        np.testing.assert_allclose(
+            predict_logits(defense, x),
+            predict_logits(tiny_victim, defense.quantize(x).astype(np.float32)),
+            rtol=1e-5,
+        )
+
+    def test_straight_through_gradient(self, tiny_victim, tiny_task):
+        defense = InputBitWidthReduction(tiny_victim, bits=4)
+        x = Tensor(tiny_task.x_test[:2], requires_grad=True)
+        defense(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+    def test_clean_accuracy_mostly_preserved(self, tiny_victim, tiny_task):
+        defense = InputBitWidthReduction(tiny_victim, bits=4)
+        x, y = tiny_task.x_test[:60], tiny_task.y_test[:60]
+        base = adversarial_accuracy(tiny_victim, x, y)
+        defended = adversarial_accuracy(defense, x, y)
+        assert defended > base - 0.15
+
+
+class TestSAP:
+    def test_layer_zeroes_some_and_rescales(self, rng):
+        layer = SAPLayer(sample_fraction=0.5, rng=rng)
+        x = Tensor(rng.random((2, 4, 4, 4)).astype(np.float32) + 0.1)
+        out = layer(x)
+        zero_fraction = float((out.data == 0).mean())
+        assert 0.0 < zero_fraction < 1.0
+        # Unbiasedness: kept values scaled up.
+        assert out.data.max() > x.data.max()
+
+    def test_zero_activations_pass_through(self, rng):
+        layer = SAPLayer(rng=rng)
+        x = Tensor(np.zeros((1, 2, 3, 3), dtype=np.float32))
+        np.testing.assert_allclose(layer(x).data, 0.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            SAPLayer(sample_fraction=0.0)
+
+    def test_stochastic_across_calls(self, rng):
+        layer = SAPLayer(sample_fraction=0.3, rng=rng)
+        x = Tensor(rng.random((1, 4, 4, 4)).astype(np.float32) + 0.1)
+        out1 = layer(x).data
+        out2 = layer(x).data
+        assert not np.allclose(out1, out2)
+
+    def test_expected_value_roughly_unbiased(self):
+        rng = np.random.default_rng(0)
+        layer = SAPLayer(sample_fraction=1.0, rng=rng)
+        x = Tensor(rng.random((1, 2, 8, 8)).astype(np.float32) + 0.5)
+        mean = np.mean([layer(x).data for _ in range(200)], axis=0)
+        np.testing.assert_allclose(mean, x.data, rtol=0.2, atol=0.05)
+
+    def test_wrapper_installs_after_every_conv(self, tiny_victim):
+        from repro.nn.layers import Conv2d
+
+        defense = StochasticActivationPruning(tiny_victim, seed=3)
+        conv_count = sum(
+            1 for _n, m in tiny_victim.named_modules() if isinstance(m, Conv2d)
+        )
+        assert len(defense._sap_layers) == conv_count
+
+    def test_wrapper_does_not_mutate_victim(self, tiny_victim):
+        before = [type(m).__name__ for _n, m in tiny_victim.named_modules()]
+        StochasticActivationPruning(tiny_victim, seed=3)
+        after = [type(m).__name__ for _n, m in tiny_victim.named_modules()]
+        assert before == after
+
+    def test_defended_model_still_classifies(self, tiny_victim, tiny_task):
+        defense = StochasticActivationPruning(tiny_victim, sample_fraction=2.0, seed=3)
+        x, y = tiny_task.x_test[:60], tiny_task.y_test[:60]
+        acc = adversarial_accuracy(defense, x, y)
+        assert acc > 0.3  # above chance (0.25) despite pruning
+
+
+class TestRandomResizePad:
+    def test_resize_nearest_shapes_and_values(self):
+        images = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = resize_nearest(images, 8)
+        assert out.shape == (1, 1, 8, 8)
+        assert out[0, 0, 0, 0] == images[0, 0, 0, 0]
+        assert set(np.unique(out)) <= set(np.unique(images))
+
+    def test_resize_identity(self, rng):
+        images = rng.random((2, 3, 5, 5)).astype(np.float32)
+        np.testing.assert_allclose(resize_nearest(images, 5), images)
+
+    def test_forward_shape_preserved_logits(self, tiny_victim, tiny_task):
+        defense = RandomResizePad(tiny_victim, pad_range=2, seed=0)
+        out = defense(Tensor(tiny_task.x_test[:4]))
+        assert out.shape == (4, 4)
+
+    def test_randomization_changes_output(self, tiny_victim, tiny_task):
+        defense = RandomResizePad(tiny_victim, pad_range=3, seed=0)
+        x = Tensor(tiny_task.x_test[:4])
+        out1 = defense(x).data.copy()
+        out2 = defense(x).data.copy()
+        assert not np.allclose(out1, out2)
+
+    def test_invalid_pad_range(self, tiny_victim):
+        with pytest.raises(ValueError):
+            RandomResizePad(tiny_victim, pad_range=0)
+
+    def test_stays_above_chance(self, tiny_victim, tiny_task):
+        # At 8x8 inputs the randomized resize is punishing (the paper
+        # uses it at ImageNet scale); it must at least stay above the
+        # 4-class chance level.
+        defense = RandomResizePad(tiny_victim, pad_range=2, seed=1)
+        x, y = tiny_task.x_test[:60], tiny_task.y_test[:60]
+        defended = adversarial_accuracy(defense, x, y)
+        assert defended > 0.25
+
+    def test_gradient_straight_through(self, tiny_victim, tiny_task):
+        defense = RandomResizePad(tiny_victim, pad_range=2, seed=2)
+        x = Tensor(tiny_task.x_test[:2], requires_grad=True)
+        defense(x).sum().backward()
+        assert x.grad is not None and x.grad.shape == x.shape

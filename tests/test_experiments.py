@@ -1,0 +1,203 @@
+"""Integration tests: every table/figure experiment runs end-to-end.
+
+Everything is shrunk: the dataset registry is patched to a tiny task,
+the Table-I presets are patched to 8x8/16x16 crossbars (so GENIEx
+trains in seconds), and the evaluation scale is tiny.  These tests
+verify plumbing and output structure, not the paper's numbers — the
+benchmarks do that at real scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.xbar.presets as presets_mod
+from repro.core.evaluation import EvaluationScale, HardwareLab
+from repro.data import synthetic
+from repro.experiments import fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4
+from repro.experiments.config import paper_eps
+from repro.experiments.shared import AttackFactory
+from repro.train.zoo import ModelZoo
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture(scope="module")
+def experiment_env(tmp_path_factory):
+    """Patch datasets + crossbar presets to tiny variants (module scope)."""
+    tmp = tmp_path_factory.mktemp("experiment-artifacts")
+
+    tiny_spec = synthetic.SyntheticTaskSpec(
+        name="cifar10",
+        num_classes=4,
+        image_size=8,
+        train_size=300,
+        test_size=120,
+        prototypes_per_class=1,
+        basis_cutoff=3,
+        instance_noise=0.4,
+        pixel_noise=0.05,
+        model="resnet20",
+        model_width=4,
+        epochs=2,
+        seed=42,
+        attack_eval_size=32,
+    )
+    saved_tasks = dict(synthetic.TASKS)
+    synthetic.TASKS["cifar10"] = tiny_spec
+
+    saved_presets = dict(presets_mod.CROSSBAR_PRESETS)
+    # Tiny stand-ins with the same NF ordering: small/low-R -> higher NF.
+    presets_mod.CROSSBAR_PRESETS["64x64_300k"] = make_tiny_crossbar_config(
+        rows=8, cols=8, r_on=300e3
+    )
+    presets_mod.CROSSBAR_PRESETS["32x32_100k"] = make_tiny_crossbar_config(
+        rows=8, cols=8, r_on=150e3
+    )
+    presets_mod.CROSSBAR_PRESETS["64x64_100k"] = make_tiny_crossbar_config(
+        rows=16, cols=16, r_on=100e3
+    )
+    # Names must match the registry keys for reporting.
+    for key in presets_mod.CROSSBAR_PRESETS:
+        cfg = presets_mod.CROSSBAR_PRESETS[key]
+        presets_mod.CROSSBAR_PRESETS[key] = presets_mod.with_overrides(cfg, name=key)
+
+    lab = HardwareLab(scale=EvaluationScale.tiny(), zoo=ModelZoo(cache_dir=tmp))
+    # GENIEx caches also go to the tmp dir.
+    import os
+
+    saved_env = os.environ.get("REPRO_ARTIFACTS")
+    os.environ["REPRO_ARTIFACTS"] = str(tmp)
+
+    yield lab
+
+    synthetic.TASKS.clear()
+    synthetic.TASKS.update(saved_tasks)
+    presets_mod.CROSSBAR_PRESETS.clear()
+    presets_mod.CROSSBAR_PRESETS.update(saved_presets)
+    if saved_env is None:
+        os.environ.pop("REPRO_ARTIFACTS", None)
+    else:
+        os.environ["REPRO_ARTIFACTS"] = saved_env
+
+
+@pytest.fixture(scope="module")
+def factory(experiment_env):
+    return AttackFactory(experiment_env)
+
+
+class TestConfigHelpers:
+    def test_paper_eps_scales(self):
+        from repro.experiments.config import EPS_SCALE
+
+        assert paper_eps("cifar10", 1) == pytest.approx(EPS_SCALE["cifar10"] / 255)
+
+    def test_experiment_result_format(self):
+        from repro.experiments.config import ExperimentResult
+
+        result = ExperimentResult(name="X", headline="h", rows=["a", "b"])
+        text = result.format()
+        assert text.startswith("=== X: h ===")
+        assert "a" in text and "b" in text
+
+
+class TestTable1:
+    def test_runs_and_orders(self, experiment_env):
+        result = table1.run(num_matrices=2, vectors_per_matrix=4)
+        assert len(result.data) == 3
+        for name, values in result.data.items():
+            assert values["nf_circuit"] > 0
+
+
+class TestTable2:
+    def test_runs(self):
+        result = table2.run()
+        assert len(result.rows) == 4
+
+
+class TestTable3:
+    def test_single_task_cells(self, experiment_env, factory):
+        cells = table3.run_task(experiment_env, "cifar10", factory)
+        attacks = [c.attack for c in cells]
+        assert attacks[0] == "Clean"
+        assert any("Ensemble" in a for a in attacks)
+        assert any("Square" in a for a in attacks)
+        assert sum("White Box" in a for a in attacks) == 2
+        for cell in cells:
+            assert set(cell.variants) >= {"64x64_300k", "32x32_100k", "64x64_100k"}
+            for value in cell.variants.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_full_run_formats(self, experiment_env, factory):
+        result = table3.run(experiment_env, tasks=["cifar10"])
+        assert "--- cifar10 ---" in result.rows
+        assert "cifar10" in result.data
+
+
+class TestTable4:
+    def test_blocks(self, experiment_env, factory):
+        ensemble_cell = table4.run_ensemble_block(experiment_env, "cifar10", factory)
+        assert "HIL Ensemble" in ensemble_cell.attack
+        square_cell = table4.run_square_block(experiment_env, "cifar10", factory)
+        assert "HIL Square" in square_cell.attack
+        wb_cell = table4.run_whitebox_block(experiment_env, "cifar10", factory, 1)
+        assert "HIL White Box" in wb_cell.attack
+        assert set(wb_cell.variants) == {"64x64_300k", "32x32_100k", "64x64_100k"}
+
+    def test_full_run(self, experiment_env):
+        result = table4.run(experiment_env, tasks=["cifar10"], whitebox_ks=(1,))
+        assert len(result.data["cifar10"]) == 3
+
+
+class TestFigures:
+    def test_fig2(self, experiment_env, factory):
+        result = fig2.run(experiment_env, tasks=["cifar10"], eps_grid=(2, 4), factory=factory)
+        cells = result.data["cifar10"]
+        assert len(cells) == 2
+        assert cells[0].epsilon < cells[1].epsilon
+
+    def test_fig3(self, experiment_env, factory):
+        result = fig3.run(experiment_env, tasks=["cifar10"], eps_grid=(4,), factory=factory)
+        assert len(result.data["cifar10"]) == 1
+
+    def test_fig4(self, experiment_env, factory):
+        result = fig4.run(experiment_env, tasks=["cifar10"], eps_grid=(1, 2), factory=factory)
+        baselines = [c.baseline for c in result.data["cifar10"]]
+        assert baselines[0] >= baselines[1] - 0.2
+
+    def test_fig5_reuses_cells(self, experiment_env, factory):
+        cells = {"cifar10": table3.run_task(experiment_env, "cifar10", factory)}
+        result = fig5.run(experiment_env, tasks=["cifar10"], cells_by_task=cells)
+        points = result.data["points"]
+        assert points
+        presets = {p.preset for p in points}
+        assert presets == {"64x64_300k", "32x32_100k", "64x64_100k"}
+
+    def test_fig6(self, experiment_env, factory):
+        result = fig6.run(
+            experiment_env,
+            tasks=["cifar10"],
+            eps_grid=(4,),
+            attacker_presets=["64x64_300k", "64x64_100k"],
+            factory=factory,
+        )
+        cells = result.data["cifar10"]
+        assert len(cells) == 2
+        for cell in cells:
+            assert fig6.TARGET_PRESET in cell.variants
+
+
+class TestAttackFactoryCaching:
+    def test_ensemble_cached_per_victim(self, experiment_env, factory):
+        victim = experiment_env.victim("cifar10")
+        first = factory.fitted_ensemble("cifar10", victim)
+        second = factory.fitted_ensemble("cifar10", victim)
+        assert first is second
+
+    def test_different_victims_get_different_ensembles(self, experiment_env, factory):
+        victim = experiment_env.victim("cifar10")
+        hardware = experiment_env.hardware("cifar10", "64x64_300k")
+        assert factory.fitted_ensemble("cifar10", victim) is not factory.fitted_ensemble(
+            "cifar10", hardware
+        )

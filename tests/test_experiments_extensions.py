@@ -1,0 +1,96 @@
+"""Extension-experiment plumbing tests (tiny patched environment)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.xbar.presets as presets_mod
+from repro.core.evaluation import EvaluationScale, HardwareLab
+from repro.data import synthetic
+from repro.experiments import extensions
+from repro.train.zoo import ModelZoo
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture(scope="module")
+def ext_lab(tmp_path_factory):
+    """Tiny lab with patched datasets and crossbar presets."""
+    tmp = tmp_path_factory.mktemp("ext-artifacts")
+    tiny_spec = synthetic.SyntheticTaskSpec(
+        name="cifar10",
+        num_classes=4,
+        image_size=8,
+        train_size=250,
+        test_size=100,
+        prototypes_per_class=1,
+        basis_cutoff=3,
+        instance_noise=0.4,
+        pixel_noise=0.05,
+        model="resnet20",
+        model_width=4,
+        epochs=2,
+        seed=11,
+        attack_eval_size=24,
+    )
+    saved_tasks = dict(synthetic.TASKS)
+    synthetic.TASKS["cifar10"] = tiny_spec
+    saved_presets = dict(presets_mod.CROSSBAR_PRESETS)
+    for key in list(presets_mod.CROSSBAR_PRESETS):
+        presets_mod.CROSSBAR_PRESETS[key] = presets_mod.with_overrides(
+            make_tiny_crossbar_config(), name=key
+        )
+    saved_env = os.environ.get("REPRO_ARTIFACTS")
+    os.environ["REPRO_ARTIFACTS"] = str(tmp)
+
+    yield HardwareLab(scale=EvaluationScale.tiny(), zoo=ModelZoo(cache_dir=tmp))
+
+    synthetic.TASKS.clear()
+    synthetic.TASKS.update(saved_tasks)
+    presets_mod.CROSSBAR_PRESETS.clear()
+    presets_mod.CROSSBAR_PRESETS.update(saved_presets)
+    if saved_env is None:
+        os.environ.pop("REPRO_ARTIFACTS", None)
+    else:
+        os.environ["REPRO_ARTIFACTS"] = saved_env
+
+
+class TestCompositionExperiment:
+    def test_reports_four_configurations(self, ext_lab):
+        result = extensions.run_composition(ext_lab, iterations=2)
+        study = result.data["study"]
+        assert set(study.accuracies) == {
+            "digital",
+            "digital+sap",
+            "crossbar",
+            "crossbar+sap",
+        }
+
+    def test_bitwidth_variant(self, ext_lab):
+        result = extensions.run_composition(ext_lab, defense="bitwidth4", iterations=1)
+        assert "crossbar+bitwidth4" in result.data["study"].accuracies
+
+
+class TestChipVariationExperiment:
+    def test_zero_sigma_has_zero_penalty(self, ext_lab):
+        result = extensions.run_chip_variation(
+            ext_lab, sigmas=(0.0, 0.08), num_chips=2, iterations=1
+        )
+        studies = result.data["studies"]
+        assert studies[0].transfer_penalty == pytest.approx(0.0, abs=1e-12)
+        assert len(studies) == 2
+
+    def test_rows_rendered(self, ext_lab):
+        result = extensions.run_chip_variation(
+            ext_lab, sigmas=(0.0,), num_chips=2, iterations=1
+        )
+        assert len(result.rows) == 2  # header + one sigma
+
+
+class TestEnergyExperiment:
+    def test_energy_rows_and_estimate(self, ext_lab):
+        result = extensions.run_energy(ext_lab)
+        assert any("TOTAL" in row for row in result.rows)
+        assert result.data["estimate"].analog_pj > 0

@@ -1,0 +1,96 @@
+"""End-to-end integration: the full paper pipeline at tiny scale.
+
+train victim → convert to hardware → non-adaptive + adaptive attacks →
+the qualitative relationships the paper reports must hold even here
+(direction-of-effect only; magnitudes are benchmarked at real scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGD, SquareAttack, hil
+from repro.core.evaluation import adversarial_accuracy
+from repro.train.trainer import evaluate_accuracy
+from repro.xbar.simulator import convert_to_hardware
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_victim, tiny_task, tiny_geniex):
+    hardware = convert_to_hardware(
+        tiny_victim,
+        make_tiny_crossbar_config(),
+        predictor=tiny_geniex,
+        calibration_images=tiny_task.x_train[:16],
+    )
+    x, y = tiny_task.x_test[:48], tiny_task.y_test[:48]
+    return tiny_victim, hardware, x, y
+
+
+class TestCleanBehaviour:
+    def test_victim_beats_chance(self, pipeline):
+        victim, _hw, x, y = pipeline
+        assert evaluate_accuracy(victim, x, y) > 0.5
+
+    def test_hardware_tracks_digital_clean_accuracy(self, pipeline):
+        victim, hardware, x, y = pipeline
+        digital = evaluate_accuracy(victim, x, y)
+        analog = evaluate_accuracy(hardware, x, y)
+        assert abs(digital - analog) < 0.3
+
+    def test_hardware_is_deterministic(self, pipeline):
+        _victim, hardware, x, y = pipeline
+        a = adversarial_accuracy(hardware, x, y)
+        b = adversarial_accuracy(hardware, x, y)
+        assert a == b
+
+
+class TestNonAdaptiveTransfer:
+    def test_pgd_hurts_digital_more_than_hardware_direction(self, pipeline):
+        """The intrinsic-robustness direction: non-adaptive attacks are
+        at least as effective on the digital baseline as on hardware
+        (allowing small-sample noise)."""
+        victim, hardware, x, y = pipeline
+        x_adv = PGD(24 / 255, iterations=5).generate(victim, x, y).x_adv
+        digital = adversarial_accuracy(victim, x_adv, y)
+        analog = adversarial_accuracy(hardware, x_adv, y)
+        assert analog >= digital - 0.15
+
+    def test_square_attack_transfer_gap(self, pipeline):
+        victim, hardware, x, y = pipeline
+        x_adv = SquareAttack(32 / 255, max_queries=40, seed=3).generate(victim, x, y).x_adv
+        digital = adversarial_accuracy(victim, x_adv, y)
+        analog = adversarial_accuracy(hardware, x_adv, y)
+        assert analog >= digital - 0.15
+
+
+class TestAdaptiveRecovery:
+    def test_hil_pgd_stronger_than_transferred_pgd_on_hardware(self, pipeline):
+        """Hardware-in-loop gradients attack the hardware at least as
+        well as digital-model gradients do (the paper's adaptive
+        recovery), modulo small-sample noise."""
+        victim, hardware, x, y = pipeline
+        eps = 24 / 255
+        transferred = PGD(eps, iterations=5).generate(victim, x, y).x_adv
+        adaptive = hil.hil_whitebox_pgd(hardware, x, y, epsilon=eps, iterations=5).x_adv
+        acc_transferred = adversarial_accuracy(hardware, transferred, y)
+        acc_adaptive = adversarial_accuracy(hardware, adaptive, y)
+        assert acc_adaptive <= acc_transferred + 0.15
+
+
+class TestStateDictRoundtripThroughPipeline:
+    def test_reloaded_victim_converts_identically(self, tiny_victim, tiny_task, tiny_geniex):
+        from repro.nn.resnet import build_model
+
+        clone = build_model("resnet20", num_classes=4, width=4, seed=0)
+        clone.load_state_dict(tiny_victim.state_dict())
+        clone.eval()
+        hw_a = convert_to_hardware(tiny_victim, make_tiny_crossbar_config(), predictor=tiny_geniex)
+        hw_b = convert_to_hardware(clone, make_tiny_crossbar_config(), predictor=tiny_geniex)
+        x = tiny_task.x_test[:8]
+        from repro.attacks.base import predict_logits
+
+        np.testing.assert_allclose(
+            predict_logits(hw_a, x), predict_logits(hw_b, x), rtol=1e-4, atol=1e-5
+        )

@@ -1,0 +1,132 @@
+"""Edge-case coverage across packages: small behaviours not exercised
+by the feature-level suites."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.nn.conv import col2im, im2col
+from repro.xbar.presets import CROSSBAR_PRESETS, crossbar_preset, preset_names, with_overrides
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+class TestTensorMisc:
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.float32(2.5)).item() == pytest.approx(2.5)
+
+    def test_astype(self):
+        assert Tensor(np.zeros(3)).astype(np.float64).dtype == np.float64
+
+    def test_copy_is_detached_and_independent(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = a.copy()
+        b.data[0] = 5.0
+        assert a.data[0] == 1.0
+        assert not b.requires_grad
+
+    def test_comparisons_return_numpy_bools(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        assert (a > 2.0).tolist() == [False, True]
+        assert (a <= 1.0).tolist() == [True, False]
+        assert (a < 2.0).tolist() == [True, False]
+        assert (a >= 3.0).tolist() == [False, True]
+
+    def test_tanh_sigmoid_values(self):
+        a = Tensor(np.array([0.0], dtype=np.float32))
+        assert a.tanh().item() == pytest.approx(0.0)
+        assert a.sigmoid().item() == pytest.approx(0.5)
+
+    def test_named_tensor(self):
+        assert Tensor(np.zeros(1), name="w").name == "w"
+
+
+class TestPresets:
+    def test_three_paper_presets(self):
+        assert set(CROSSBAR_PRESETS) == {"64x64_300k", "32x32_100k", "64x64_100k"}
+
+    def test_preset_names_ordered_by_paper_nf(self):
+        names = preset_names()
+        nfs = [crossbar_preset(n).nf_paper for n in names]
+        assert nfs == sorted(nfs)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            crossbar_preset("128x128_50k")
+
+    def test_cache_key_stable_and_distinct(self):
+        a = crossbar_preset("64x64_300k")
+        b = crossbar_preset("64x64_100k")
+        assert a.cache_key() == a.cache_key()
+        assert a.cache_key() != b.cache_key()
+
+    def test_with_overrides_changes_only_named_field(self):
+        base = crossbar_preset("32x32_100k")
+        derived = with_overrides(base, gain_calibration=0)
+        assert derived.gain_calibration == 0
+        assert derived.device == base.device
+
+    def test_table_i_geometry(self):
+        assert crossbar_preset("32x32_100k").rows == 32
+        assert crossbar_preset("64x64_300k").device.r_on == pytest.approx(300e3)
+
+
+class TestEngineWithADC:
+    def test_adc_enabled_engine_still_tracks_ideal(self, tiny_geniex, rng):
+        from repro.xbar.simulator import CrossbarEngine
+
+        config = make_tiny_crossbar_config(adc_bits=6)
+        weight = rng.normal(0, 0.3, size=(4, 8)).astype(np.float32)
+        engine = CrossbarEngine(weight, config, tiny_geniex)
+        x = rng.random((12, 8)).astype(np.float32)
+        out = engine.matvec(x)
+        ideal = x @ weight.T
+        corr = np.corrcoef(out.ravel(), ideal.ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_coarser_adc_is_noisier(self, tiny_geniex, rng):
+        from repro.xbar.simulator import CrossbarEngine
+
+        weight = rng.normal(0, 0.3, size=(4, 8)).astype(np.float32)
+        x = rng.random((32, 8)).astype(np.float32)
+        ideal = x @ weight.T
+
+        def error(bits):
+            config = make_tiny_crossbar_config(adc_bits=bits)
+            out = CrossbarEngine(weight, config, tiny_geniex).matvec(x)
+            return float(np.abs(out - ideal).mean())
+
+        assert error(3) >= error(8) - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    h=st.integers(min_value=3, max_value=8),
+    kernel=st.sampled_from([1, 2, 3]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_col2im_is_adjoint_of_im2col(h, kernel, seed):
+    """<im2col(x), y> == <x, col2im(y)> for random geometries."""
+    if kernel > h:
+        return
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(1, 2, h, h))
+    cols_shape = im2col(x, (kernel, kernel), 1, 0).shape
+    y = rng.normal(size=cols_shape)
+    lhs = float((im2col(x, (kernel, kernel), 1, 0) * y).sum())
+    rhs = float((x * col2im(y, x.shape, (kernel, kernel), 1, 0)).sum())
+    assert abs(lhs - rhs) < 1e-8
+
+
+class TestZooOverrides:
+    def test_width_override_changes_key(self, tmp_path):
+        from repro.train.zoo import ModelZoo
+
+        zoo = ModelZoo(cache_dir=tmp_path)
+        assert zoo._cache_key("cifar10", None, 8) != zoo._cache_key("cifar10", None, 4)
+        assert zoo._cache_key("cifar10", 5, None) != zoo._cache_key("cifar10", 6, None)

@@ -1,0 +1,125 @@
+"""Convolution: im2col/col2im round trips and gradient correctness."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn.conv import avg_pool2d, col2im, conv2d, conv_output_size, im2col
+
+
+def reference_conv2d(x, w, b, stride, padding):
+    """Naive direct convolution for cross-checking."""
+    n, c_in, h, w_in = x.shape
+    c_out, _, kh, kw = w.shape
+    h_out = conv_output_size(h, kh, stride, padding)
+    w_out = conv_output_size(w_in, kw, stride, padding)
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, c_out, h_out, w_out))
+    for i in range(h_out):
+        for j in range(w_out):
+            patch = xp[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.tensordot(patch, w, axes=([1, 2, 3], [1, 2, 3]))
+    if b is not None:
+        out += b.reshape(1, -1, 1, 1)
+    return out
+
+
+class TestOutputSize:
+    def test_same_padding(self):
+        assert conv_output_size(16, 3, 1, 1) == 16
+
+    def test_stride_two(self):
+        assert conv_output_size(16, 3, 2, 1) == 8
+
+    def test_no_padding(self):
+        assert conv_output_size(5, 3, 1, 0) == 3
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, (3, 3), 1, 1)
+        assert cols.shape == (2, 27, 64)
+
+    def test_identity_kernel_patch_content(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols = im2col(x, (1, 1), 1, 0)
+        np.testing.assert_allclose(cols[0, 0], x.ravel())
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint test."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        y = rng.normal(size=(2, 27, 36))
+        lhs = float((im2col(x, (3, 3), 1, 1) * y).sum())
+        rhs = float((x * col2im(y, x.shape, (3, 3), 1, 1)).sum())
+        assert abs(lhs - rhs) < 1e-8
+
+
+class TestConv2dForward:
+    def test_matches_reference_basic(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=(4,)).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=1, padding=1)
+        ref = reference_conv2d(x, w, b, 1, 1)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-5)
+
+    def test_matches_reference_strided(self, rng):
+        x = rng.normal(size=(1, 2, 9, 9)).astype(np.float32)
+        w = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(w), None, stride=2, padding=1)
+        ref = reference_conv2d(x, w, None, 2, 1)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-5)
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        w = rng.normal(size=(5, 3, 1, 1)).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(w), None)
+        ref = np.einsum("oc,nchw->nohw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-5)
+
+    def test_channel_mismatch_raises(self, rng):
+        import pytest
+
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)).astype(np.float32))
+        w = Tensor(rng.normal(size=(2, 4, 3, 3)).astype(np.float32))
+        with pytest.raises(ValueError):
+            conv2d(x, w, None)
+
+
+class TestConv2dGradients:
+    def test_gradcheck_all_inputs(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True, dtype=np.float64)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True, dtype=np.float64)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True, dtype=np.float64)
+        check_gradients(lambda a, ww, bb: conv2d(a, ww, bb, 1, 1), [x, w, b])
+
+    def test_gradcheck_strided_no_bias(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True, dtype=np.float64)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True, dtype=np.float64)
+        check_gradients(lambda a, ww: conv2d(a, ww, None, 2, 1), [x, w])
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True, dtype=np.float64)
+        check_gradients(lambda a: avg_pool2d(a, 2), [x])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    h=st.integers(min_value=4, max_value=9),
+    stride=st.sampled_from([1, 2]),
+    padding=st.sampled_from([0, 1]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_conv_matches_reference(h, stride, padding, seed):
+    """im2col conv == direct conv for random shapes/strides/paddings."""
+    rng = np.random.default_rng(seed)
+    kh = 3
+    if h + 2 * padding < kh:
+        return
+    x = rng.normal(size=(1, 2, h, h)).astype(np.float32)
+    w = rng.normal(size=(2, 2, kh, kh)).astype(np.float32)
+    out = conv2d(Tensor(x), Tensor(w), None, stride=stride, padding=padding)
+    ref = reference_conv2d(x, w, None, stride, padding)
+    np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-4)

@@ -1,0 +1,115 @@
+"""Tests for softmax/cross-entropy and friends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(4, 7)).astype(np.float32))
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.data.sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_stable_under_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 1000.0]], dtype=np.float32))
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.data, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = Tensor(rng.normal(size=(3, 5)).astype(np.float32))
+        np.testing.assert_allclose(
+            F.log_softmax(logits).data, np.log(F.softmax(logits).data), rtol=1e-4, atol=1e-5
+        )
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        logits = Tensor(np.zeros((2, 4), dtype=np.float32), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([0, 3]))
+        assert abs(loss.item() - np.log(4)) < 1e-5
+
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.full((1, 3), -50.0, dtype=np.float32)
+        logits[0, 1] = 50.0
+        loss = F.cross_entropy(Tensor(logits, requires_grad=True), np.array([1]))
+        assert loss.item() < 1e-5
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)).astype(np.float32), requires_grad=True)
+        labels = np.array([0, 1, 2])
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+        probs = F.softmax(Tensor(logits.data)).data
+        expected = (probs - F.one_hot(labels, 4)) / 3
+        np.testing.assert_allclose(logits.grad, expected, rtol=1e-4, atol=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True, dtype=np.float64)
+        labels = np.array([1, 0, 3])
+        check_gradients(lambda lg: F.cross_entropy(lg, labels), [logits])
+
+    def test_matches_nll_of_log_softmax(self, rng):
+        logits_data = rng.normal(size=(5, 6)).astype(np.float32)
+        labels = rng.integers(0, 6, size=5)
+        ce = F.cross_entropy(Tensor(logits_data, requires_grad=True), labels)
+        nll = F.nll_loss(F.log_softmax(Tensor(logits_data, requires_grad=True)), labels)
+        assert abs(ce.item() - nll.item()) < 1e-4
+
+
+class TestSoftTargets:
+    def test_soft_cross_entropy_minimized_at_target(self):
+        target = np.array([[0.7, 0.3]], dtype=np.float32)
+        # Logits matching the target distribution give entropy(target).
+        matched = F.soft_cross_entropy(
+            Tensor(np.log(target), requires_grad=True), target
+        ).item()
+        uniform = F.soft_cross_entropy(
+            Tensor(np.zeros((1, 2), dtype=np.float32), requires_grad=True), target
+        ).item()
+        assert matched < uniform
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            F.soft_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((2, 4)))
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]))
+        assert abs(loss.item() - 2.5) < 1e-6
+
+
+class TestMetrics:
+    def test_one_hot(self):
+        out = F.one_hot(np.array([1, 0]), 3)
+        np.testing.assert_allclose(out, [[0, 1, 0], [1, 0, 0]])
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        labels = np.array([0, 1, 1])
+        assert abs(F.accuracy(logits, labels) - 2 / 3) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    c=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_cross_entropy_positive_and_bounded_below(n, c, seed):
+    """CE >= 0 and the gradient rows always sum to zero."""
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(n, c)).astype(np.float32), requires_grad=True)
+    labels = rng.integers(0, c, size=n)
+    loss = F.cross_entropy(logits, labels)
+    assert loss.item() >= 0.0
+    loss.backward()
+    np.testing.assert_allclose(logits.grad.sum(axis=1), np.zeros(n), atol=1e-6)

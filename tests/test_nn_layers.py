@@ -1,0 +1,205 @@
+"""Unit tests for the layer zoo and Module infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+
+
+class TestModuleInfrastructure:
+    def test_parameter_registration(self):
+        layer = Linear(3, 2)
+        names = [n for n, _ in layer.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_module_names(self):
+        net = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(2, 2), BatchNorm2d(2))
+        net.eval()
+        assert all(not m.training for m in net.children())
+        net.train()
+        assert all(m.training for m in net.children())
+
+    def test_zero_grad_clears_all(self):
+        net = Linear(3, 2)
+        out = net(Tensor(np.ones((1, 3)), requires_grad=True))
+        out.sum().backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        net = Sequential(Linear(3, 4), Linear(4, 2))
+        state = net.state_dict()
+        net2 = Sequential(Linear(3, 4, rng=np.random.default_rng(9)), Linear(4, 2))
+        net2.load_state_dict(state)
+        x = Tensor(np.ones((2, 3), dtype=np.float32))
+        np.testing.assert_allclose(net(x).data, net2(x).data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        net = Linear(3, 2)
+        with pytest.raises(KeyError):
+            net.load_state_dict({"weight": net.weight.data})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        net = Linear(3, 2)
+        state = net.state_dict()
+        state["weight"] = np.zeros((5, 5), dtype=np.float32)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_get_and_set_submodule(self):
+        net = Sequential(Linear(3, 4), ReLU())
+        assert isinstance(net.get_submodule("1"), ReLU)
+        net.set_submodule("1", Identity())
+        assert isinstance(net.get_submodule("1"), Identity)
+
+    def test_set_submodule_unknown_path_raises(self):
+        net = Sequential(Linear(3, 4))
+        with pytest.raises(KeyError):
+            net.set_submodule("7", Identity())
+
+    def test_num_parameters(self):
+        assert Linear(3, 2).num_parameters() == 3 * 2 + 2
+
+    def test_sequential_iteration_and_indexing(self):
+        net = Sequential(Linear(2, 2), ReLU())
+        assert len(net) == 2
+        assert isinstance(net[1], ReLU)
+        assert len(list(iter(net))) == 2
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4)).astype(np.float32)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_no_bias_option(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((1, 4)))).data.max() == 0.0
+
+    def test_gradients(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer.weight = Parameter(layer.weight.data.astype(np.float64))
+        layer.bias = Parameter(layer.bias.data.astype(np.float64))
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True, dtype=np.float64)
+        check_gradients(lambda a: layer(a), [x])
+
+
+class TestBatchNorm:
+    def test_train_normalizes_batch(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.normal(2.0, 3.0, size=(8, 3, 4, 4)).astype(np.float32))
+        out = bn(x)
+        assert abs(float(out.data.mean())) < 1e-4
+        assert abs(float(out.data.std()) - 1.0) < 1e-2
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(rng.normal(1.0, 1.0, size=(16, 2, 3, 3)).astype(np.float32))
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0.0)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(8, 2, 3, 3)).astype(np.float32))
+        for _ in range(10):
+            bn(x)
+        bn.eval()
+        out1 = bn(x)
+        out2 = bn(x)
+        np.testing.assert_allclose(out1.data, out2.data)
+
+    def test_affine_parameters_trainable(self):
+        bn = BatchNorm2d(2)
+        params = dict(bn.named_parameters())
+        assert set(params) == {"weight", "bias"}
+
+
+class TestPoolingAndShape:
+    def test_avg_pool(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = AvgPool2d(2)(x)
+        assert out.shape == (1, 1, 2, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = MaxPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5)).astype(np.float32)
+        out = GlobalAvgPool2d()(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)), rtol=1e-5)
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+    def test_max_pool_gradient_goes_to_max(self):
+        x = Tensor(
+            np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float64),
+            requires_grad=True,
+            dtype=np.float64,
+        )
+        MaxPool2d(2)(x).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 0], [[0, 0], [0, 1.0]])
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_train_mode_zeroes_and_rescales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((1000,), dtype=np.float32)
+        out = layer(Tensor(x)).data
+        zero_fraction = float((out == 0).mean())
+        assert 0.4 < zero_fraction < 0.6
+        # Kept entries are rescaled by 1/keep.
+        assert np.allclose(out[out != 0], 2.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestReprs:
+    @pytest.mark.parametrize(
+        "module, token",
+        [
+            (Linear(2, 3), "Linear"),
+            (Conv2d(1, 2, 3), "Conv2d"),
+            (BatchNorm2d(4), "BatchNorm2d"),
+            (ReLU(), "ReLU"),
+            (Dropout(0.3), "Dropout"),
+        ],
+    )
+    def test_repr_contains_class_token(self, module, token):
+        assert token in repr(module)

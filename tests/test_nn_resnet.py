@@ -1,0 +1,149 @@
+"""ResNet topology, shapes, and gradient-flow tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import functional as F
+from repro.nn.resnet import (
+    BasicBlock,
+    ResNet,
+    build_model,
+    resnet10,
+    resnet18,
+    resnet20,
+    resnet32,
+    resnet_cifar,
+)
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_when_shapes_match(self):
+        block = BasicBlock(8, 8, stride=1)
+        from repro.nn.layers import Identity
+
+        assert isinstance(block.shortcut, Identity)
+
+    def test_projection_shortcut_on_stride(self):
+        block = BasicBlock(8, 16, stride=2)
+        from repro.nn.module import Sequential
+
+        assert isinstance(block.shortcut, Sequential)
+
+    def test_forward_shape_stride2(self, rng):
+        block = BasicBlock(4, 8, stride=2)
+        block.eval()
+        out = block(Tensor(rng.normal(size=(2, 4, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_output_nonnegative_after_relu(self, rng):
+        block = BasicBlock(4, 4)
+        block.eval()
+        out = block(Tensor(rng.normal(size=(1, 4, 6, 6)).astype(np.float32)))
+        assert out.data.min() >= 0.0
+
+
+class TestResNetTopology:
+    @pytest.mark.parametrize(
+        "builder, depth",
+        [(resnet20, 20), (resnet32, 32)],
+    )
+    def test_cifar_depth_formula(self, builder, depth):
+        model = builder(num_classes=10, width=4)
+        assert model.depth == depth
+
+    def test_resnet_cifar_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            resnet_cifar(21, 10)
+
+    def test_resnet10_has_four_stages(self):
+        model = resnet10(num_classes=10, width=4)
+        assert len(model.stage_blocks) == 4
+
+    def test_stage_widths_double(self):
+        model = resnet20(num_classes=10, width=8)
+        assert model.stage_widths == [8, 16, 32]
+
+    def test_build_model_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_model("resnet99", 10)
+
+    def test_mismatched_stage_lists_raise(self):
+        with pytest.raises(ValueError):
+            ResNet([1, 1], [8], num_classes=2)
+
+
+class TestResNetForward:
+    def test_logit_shape(self, rng):
+        model = resnet20(num_classes=10, width=4)
+        model.eval()
+        out = model(Tensor(rng.random((3, 3, 16, 16)).astype(np.float32)))
+        assert out.shape == (3, 10)
+
+    def test_accepts_variable_input_sizes(self, rng):
+        """GAP head makes the net fully convolutional (needed by the
+        random resize+pad defense)."""
+        model = resnet20(num_classes=5, width=4)
+        model.eval()
+        for size in (16, 20, 24):
+            out = model(Tensor(rng.random((1, 3, size, size)).astype(np.float32)))
+            assert out.shape == (1, 5)
+
+    def test_resnet18_stem_stride_halves(self, rng):
+        model = resnet18(num_classes=4, width=4)
+        model.eval()
+        out = model(Tensor(rng.random((1, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (1, 4)
+
+    def test_deterministic_given_seed(self, rng):
+        x = Tensor(rng.random((2, 3, 16, 16)).astype(np.float32))
+        a = resnet20(num_classes=3, width=4, seed=5)
+        b = resnet20(num_classes=3, width=4, seed=5)
+        a.eval()
+        b.eval()
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_different_seeds_differ(self, rng):
+        x = Tensor(rng.random((1, 3, 16, 16)).astype(np.float32))
+        a = resnet20(num_classes=3, width=4, seed=1)
+        b = resnet20(num_classes=3, width=4, seed=2)
+        a.eval()
+        b.eval()
+        assert not np.allclose(a(x).data, b(x).data)
+
+
+class TestResNetGradients:
+    def test_input_gradient_flows_through_all_blocks(self, rng):
+        model = resnet20(num_classes=4, width=4)
+        model.eval()
+        x = Tensor(rng.random((2, 3, 16, 16)).astype(np.float32), requires_grad=True)
+        loss = F.cross_entropy(model(x), np.array([0, 1]))
+        loss.backward()
+        assert x.grad is not None
+        assert float(np.abs(x.grad).sum()) > 0
+
+    def test_all_parameters_receive_gradients(self, rng):
+        model = resnet20(num_classes=4, width=4)
+        model.train()
+        x = Tensor(rng.random((4, 3, 16, 16)).astype(np.float32))
+        loss = F.cross_entropy(model(x), np.array([0, 1, 2, 3]))
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_training_step_reduces_loss(self, rng):
+        from repro.train.optim import SGD
+
+        model = resnet20(num_classes=2, width=4)
+        model.train()
+        x = Tensor(rng.random((16, 3, 8, 8)).astype(np.float32))
+        y = np.array([0, 1] * 8)
+        optimizer = SGD(model.parameters(), lr=0.05)
+        losses = []
+        for _ in range(8):
+            loss = F.cross_entropy(model(x), y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

@@ -1,0 +1,98 @@
+"""Reporting exports and CLI surface tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.evaluation import CellResult
+from repro.core.reporting import cells_to_csv, cells_to_markdown, gain_points_to_csv
+from repro.core.robustness import GainPoint
+
+
+@pytest.fixture
+def cells():
+    return [
+        CellResult(
+            attack="Clean",
+            task="cifar10",
+            epsilon=0.0,
+            baseline=0.92,
+            variants={"64x64_100k": 0.88, "sap": 0.80},
+        ),
+        CellResult(
+            attack="WB PGD eps=1/255",
+            task="cifar10",
+            epsilon=1 / 255,
+            baseline=0.20,
+            variants={"64x64_100k": 0.55},
+        ),
+    ]
+
+
+class TestMarkdown:
+    def test_header_union_of_variants(self, cells):
+        text = cells_to_markdown(cells, title="Table III (cifar10)")
+        assert "### Table III (cifar10)" in text
+        assert "| attack | baseline | 64x64_100k | sap |" in text
+
+    def test_missing_variant_rendered_as_dash(self, cells):
+        text = cells_to_markdown(cells)
+        assert "—" in text  # second row has no 'sap' value
+
+    def test_deltas_included(self, cells):
+        assert "(+35.00)" in cells_to_markdown(cells)
+
+    def test_empty_cells_rejected(self):
+        with pytest.raises(ValueError):
+            cells_to_markdown([])
+
+
+class TestCSV:
+    def test_long_format_rows(self, cells):
+        text = cells_to_csv(cells)
+        lines = text.strip().splitlines()
+        # header + (1 baseline + N variants) per cell.
+        assert len(lines) == 1 + (1 + 2) + (1 + 1)
+        assert lines[0] == "task,attack,epsilon,variant,accuracy,delta"
+
+    def test_writes_to_path(self, cells, tmp_path):
+        path = tmp_path / "cells.csv"
+        cells_to_csv(cells, path)
+        assert path.read_text().startswith("task,attack")
+
+    def test_gain_points_csv(self, tmp_path):
+        points = [
+            GainPoint(attack="a", task="t", epsilon=0.01, preset="p", nf=0.1, gain=0.2)
+        ]
+        text = gain_points_to_csv(points, tmp_path / "gains.csv")
+        assert "0.1,0.2" in text.replace("\r", "")
+
+
+class TestCLI:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        sub = parser._subparsers._group_actions[0]
+        assert set(sub.choices) >= {
+            "info",
+            "nf",
+            "threats",
+            "train",
+            "table3",
+            "table4",
+            "fig",
+            "energy",
+        }
+
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "crossbar presets" in out
+        assert "64x64_100k" in out
+
+    def test_threats_runs(self, capsys):
+        assert main(["threats"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_fig_rejects_unknown_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "9"])

@@ -1,0 +1,123 @@
+"""Optimizer and LR-schedule unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.train.optim import SGD, Adam, Optimizer
+from repro.train.schedule import ConstantLR, CosineLR, MultiStepLR
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value], dtype=np.float32))
+
+
+def step_quadratic(optimizer, param, steps):
+    """Minimize f(x) = x^2 with the given optimizer."""
+    for _ in range(steps):
+        loss = (Tensor(param.data) * 0).sum()  # placeholder, grads set manually
+        optimizer.zero_grad()
+        param.grad = 2.0 * param.data  # analytic gradient of x^2
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestOptimizerBase:
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_step_not_implemented_on_base(self):
+        opt = Optimizer.__new__(Optimizer)
+        opt.params = [quadratic_param()]
+        with pytest.raises(NotImplementedError):
+            opt.step()
+
+    def test_none_grads_are_skipped(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set — must not crash or move the param
+        assert float(p.data[0]) == 5.0
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        final = step_quadratic(SGD([p], lr=0.1, momentum=0.0), p, 50)
+        assert abs(final) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p_plain = quadratic_param()
+        p_momentum = quadratic_param()
+        f_plain = abs(step_quadratic(SGD([p_plain], lr=0.02, momentum=0.0), p_plain, 10))
+        f_momentum = abs(
+            step_quadratic(SGD([p_momentum], lr=0.02, momentum=0.9), p_momentum, 10)
+        )
+        assert f_momentum < f_plain
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        opt.zero_grad()
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert float(p.data[0]) == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_nesterov_runs(self):
+        p = quadratic_param()
+        final = step_quadratic(SGD([p], lr=0.05, momentum=0.9, nesterov=True), p, 40)
+        assert abs(final) < 0.5
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        final = step_quadratic(Adam([p], lr=0.3), p, 200)
+        assert abs(final) < 5e-2
+
+    def test_bias_correction_first_step_magnitude(self):
+        # With bias correction the first Adam step ~= lr regardless of
+        # gradient scale.
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1e-4], dtype=np.float32)
+        opt.step()
+        assert abs(float(p.data[0]) - 0.9) < 1e-3
+
+    def test_weight_decay_applied(self):
+        p = Parameter(np.array([2.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert float(p.data[0]) < 2.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR(0.1).lr_at(99) == 0.1
+
+    def test_multistep_decays_at_milestones(self):
+        schedule = MultiStepLR(1.0, milestones=[5, 10], gamma=0.1)
+        assert schedule.lr_at(0) == 1.0
+        assert schedule.lr_at(5) == pytest.approx(0.1)
+        assert schedule.lr_at(12) == pytest.approx(0.01)
+
+    def test_cosine_endpoints(self):
+        schedule = CosineLR(1.0, total_epochs=10, min_lr=0.0)
+        assert schedule.lr_at(0) == pytest.approx(1.0)
+        assert schedule.lr_at(10) == pytest.approx(0.0, abs=1e-9)
+        assert 0.0 < schedule.lr_at(5) < 1.0
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = CosineLR(1.0, total_epochs=20)
+        lrs = [schedule.lr_at(e) for e in range(21)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_base_lr(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)

@@ -1,0 +1,101 @@
+"""Trainer and model-zoo tests (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.resnet import build_model
+from repro.train.trainer import TrainConfig, Trainer, evaluate_accuracy
+from repro.train.zoo import ModelZoo
+
+
+class TestTrainer:
+    def test_learns_separable_task(self, tiny_task):
+        model = build_model("resnet20", num_classes=4, width=4, seed=3)
+        result = Trainer(model, TrainConfig(epochs=3, batch_size=64, seed=0)).fit(
+            tiny_task.x_train, tiny_task.y_train, tiny_task.x_test, tiny_task.y_test
+        )
+        assert result.final_train_accuracy > 0.5
+        assert result.test_accuracy > 0.5
+        assert result.epochs == 3
+        assert len(result.history) == 3
+
+    def test_history_records_lr_decay(self, tiny_task):
+        model = build_model("resnet20", num_classes=4, width=4, seed=3)
+        result = Trainer(model, TrainConfig(epochs=3, batch_size=64)).fit(
+            tiny_task.x_train[:100], tiny_task.y_train[:100]
+        )
+        lrs = [h["lr"] for h in result.history]
+        assert lrs[0] > lrs[-1]  # cosine schedule decays
+
+    def test_model_left_in_eval_mode(self, tiny_task):
+        model = build_model("resnet20", num_classes=4, width=4)
+        Trainer(model, TrainConfig(epochs=1, batch_size=64)).fit(
+            tiny_task.x_train[:64], tiny_task.y_train[:64]
+        )
+        assert not model.training
+
+    def test_evaluate_accuracy_range(self, tiny_victim, tiny_task):
+        acc = evaluate_accuracy(tiny_victim, tiny_task.x_test, tiny_task.y_test)
+        assert 0.0 <= acc <= 1.0
+        assert acc > 0.5  # trained victim beats chance (0.25)
+
+    def test_evaluate_accuracy_restores_training_mode(self, tiny_victim, tiny_task):
+        tiny_victim.train()
+        evaluate_accuracy(tiny_victim, tiny_task.x_test[:8], tiny_task.y_test[:8])
+        assert tiny_victim.training
+        tiny_victim.eval()
+
+
+class TestModelZoo:
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        # Use a tiny spec: patch the registry entry temporarily.
+        from repro.data import synthetic
+
+        tiny = synthetic.SyntheticTaskSpec(
+            name="cifar10",
+            num_classes=3,
+            image_size=8,
+            train_size=120,
+            test_size=60,
+            prototypes_per_class=1,
+            basis_cutoff=3,
+            model="resnet20",
+            model_width=4,
+            epochs=1,
+            seed=77,
+        )
+        monkeypatch.setitem(synthetic.TASKS, "cifar10", tiny)
+
+        zoo = ModelZoo(cache_dir=tmp_path)
+        entry1 = zoo.get_classifier("cifar10")
+        assert not entry1.from_cache
+        assert (tmp_path / f"{zoo._cache_key('cifar10', None, None)}.npz").exists()
+
+        # Fresh zoo instance loads from disk instead of retraining.
+        zoo2 = ModelZoo(cache_dir=tmp_path)
+        entry2 = zoo2.get_classifier("cifar10")
+        assert entry2.from_cache
+        np.testing.assert_allclose(
+            entry1.model.state_dict()["fc.weight"],
+            entry2.model.state_dict()["fc.weight"],
+        )
+
+    def test_memory_cache_returns_same_entry(self, tmp_path, monkeypatch):
+        from repro.data import synthetic
+
+        tiny = synthetic.SyntheticTaskSpec(
+            name="cifar10",
+            num_classes=3,
+            image_size=8,
+            train_size=100,
+            test_size=40,
+            prototypes_per_class=1,
+            basis_cutoff=3,
+            model="resnet20",
+            model_width=4,
+            epochs=1,
+            seed=78,
+        )
+        monkeypatch.setitem(synthetic.TASKS, "cifar10", tiny)
+        zoo = ModelZoo(cache_dir=tmp_path)
+        assert zoo.get_classifier("cifar10") is zoo.get_classifier("cifar10")

@@ -1,0 +1,122 @@
+"""ADC quantization and Non-ideality Factor metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.adc import ADCConfig, quantize_current
+from repro.xbar.circuit import CircuitConfig
+from repro.xbar.device import DeviceConfig
+from repro.xbar.nf import crossbar_nf, non_ideality_factor, sample_crossbar_workload
+
+
+class TestADC:
+    def test_disabled_adc_is_identity(self, rng):
+        currents = rng.random(10) * 1e-4
+        out = quantize_current(currents, ADCConfig(bits=None), physical_max=1e-3)
+        np.testing.assert_allclose(out, currents)
+
+    def test_quantization_grid(self):
+        cfg = ADCConfig(bits=2, full_scale_fraction=1.0)
+        # full scale 1.0, 3 levels -> lsb = 1/3.
+        out = quantize_current(np.array([0.0, 0.2, 0.5, 1.0]), cfg, physical_max=1.0)
+        np.testing.assert_allclose(out, [0.0, 1 / 3, 2 / 3, 1.0], rtol=1e-12)
+
+    def test_clipping_at_full_scale(self):
+        cfg = ADCConfig(bits=4, full_scale_fraction=0.5)
+        out = quantize_current(np.array([0.9]), cfg, physical_max=1.0)
+        assert out[0] == pytest.approx(0.5)
+
+    def test_negative_currents_clip_to_zero(self):
+        cfg = ADCConfig(bits=4, full_scale_fraction=1.0)
+        assert quantize_current(np.array([-0.1]), cfg, physical_max=1.0)[0] == 0.0
+
+    def test_quantization_error_bounded_by_half_lsb(self, rng):
+        cfg = ADCConfig(bits=8, full_scale_fraction=1.0)
+        currents = rng.random(1000)
+        out = quantize_current(currents, cfg, physical_max=1.0)
+        lsb = 1.0 / (2**8 - 1)
+        assert np.abs(out - currents).max() <= lsb / 2 + 1e-12
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ADCConfig(bits=0)
+        with pytest.raises(ValueError):
+            ADCConfig(full_scale_fraction=0.0)
+        with pytest.raises(ValueError):
+            ADCConfig(full_scale_fraction=1.5)
+
+
+class TestNFMetric:
+    def test_zero_for_identical(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert non_ideality_factor(values, values) == 0.0
+
+    def test_known_deviation(self):
+        ideal = np.array([1.0, 1.0])
+        nonideal = np.array([0.9, 0.8])
+        assert non_ideality_factor(ideal, nonideal) == pytest.approx(0.15)
+
+    def test_small_outputs_excluded(self):
+        ideal = np.array([1.0, 1e-9])
+        nonideal = np.array([0.9, 0.0])
+        # Without masking the second column contributes deviation 1.0.
+        assert non_ideality_factor(ideal, nonideal) == pytest.approx(0.1)
+
+    def test_all_below_threshold_raises(self):
+        with pytest.raises(ValueError):
+            non_ideality_factor(np.zeros(3), np.zeros(3))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            non_ideality_factor(np.ones(3), np.ones(4))
+
+
+class TestWorkloadSampling:
+    def test_shapes_and_ranges(self, rng):
+        device = DeviceConfig(r_on=100e3)
+        workload = sample_crossbar_workload(device, 8, 8, rng, num_matrices=3, vectors_per_matrix=5)
+        assert len(workload) == 3
+        for voltages, conductances in workload:
+            assert voltages.shape == (5, 8)
+            assert conductances.shape == (8, 8)
+            assert voltages.min() >= 0.0 and voltages.max() <= device.v_read
+            assert conductances.min() >= device.g_min - 1e-15
+            assert conductances.max() <= device.g_max + 1e-15
+
+    def test_sparsity_varies(self, rng):
+        device = DeviceConfig()
+        workload = sample_crossbar_workload(device, 8, 8, rng, 5, 10)
+        sparsities = [float((v > 0).mean()) for v, _g in workload]
+        assert max(sparsities) - min(sparsities) > 0.1
+
+
+class TestCrossbarNF:
+    def test_nf_positive_for_parasitic_crossbar(self):
+        device = DeviceConfig(r_on=100e3, iv_beta=0.25)
+        circuit = CircuitConfig(rows=8, cols=8, r_source=350, r_sink=350, r_wire=4.0)
+        nf = crossbar_nf(circuit, device, num_matrices=2, vectors_per_matrix=4)
+        assert 0.0 < nf < 0.5
+
+    def test_nf_grows_with_size(self):
+        """Table I trend: NF is directly proportional to crossbar size."""
+        device = DeviceConfig(r_on=100e3, iv_beta=0.25)
+        small = crossbar_nf(
+            CircuitConfig(rows=8, cols=8, r_source=350, r_sink=350, r_wire=4.0),
+            device, num_matrices=2, vectors_per_matrix=4,
+        )
+        large = crossbar_nf(
+            CircuitConfig(rows=16, cols=16, r_source=350, r_sink=350, r_wire=4.0),
+            device, num_matrices=2, vectors_per_matrix=4,
+        )
+        assert large > small
+
+    def test_nf_shrinks_with_higher_r_on(self):
+        """Table I trend: NF is inversely proportional to ON resistance."""
+        circuit = CircuitConfig(rows=8, cols=8, r_source=350, r_sink=350, r_wire=4.0)
+        low_r = crossbar_nf(
+            circuit, DeviceConfig(r_on=100e3, iv_beta=0.25), num_matrices=2, vectors_per_matrix=4
+        )
+        high_r = crossbar_nf(
+            circuit, DeviceConfig(r_on=300e3, iv_beta=0.25), num_matrices=2, vectors_per_matrix=4
+        )
+        assert high_r < low_r

@@ -1,0 +1,155 @@
+"""Bit-slicing and tiling: exact round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xbar.bitslice import (
+    BitSliceConfig,
+    quantize_unsigned,
+    reassemble,
+    slice_bits_lsb_first,
+    slice_weights,
+    stream_inputs,
+)
+from repro.xbar.tiling import TiledMatrix, tile_matrix
+
+
+class TestBitSliceConfig:
+    def test_defaults_are_consistent(self):
+        cfg = BitSliceConfig()
+        assert cfg.num_streams * cfg.stream_bits == cfg.input_bits
+        assert cfg.num_slices * cfg.slice_bits == cfg.weight_bits
+
+    def test_indivisible_stream_raises(self):
+        with pytest.raises(ValueError):
+            BitSliceConfig(input_bits=8, stream_bits=3)
+
+    def test_indivisible_slice_raises(self):
+        with pytest.raises(ValueError):
+            BitSliceConfig(weight_bits=6, slice_bits=4)
+
+    def test_level_counts(self):
+        cfg = BitSliceConfig(input_bits=8, stream_bits=4, weight_bits=6, slice_bits=2)
+        assert cfg.input_levels == 256
+        assert cfg.stream_levels == 16
+        assert cfg.weight_levels == 64
+        assert cfg.slice_levels == 4
+
+
+class TestSlicing:
+    def test_known_decomposition(self):
+        # 0b110110 = 54 in 2-bit chunks LSB first: 10, 01, 11.
+        chunks = slice_bits_lsb_first(np.array([54]), total_bits=6, chunk_bits=2)
+        assert [int(c[0]) for c in chunks] == [2, 1, 3]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            slice_bits_lsb_first(np.array([64]), total_bits=6, chunk_bits=2)
+        with pytest.raises(ValueError):
+            slice_bits_lsb_first(np.array([-1]), total_bits=6, chunk_bits=2)
+
+    def test_reassemble_inverts(self, rng):
+        values = rng.integers(0, 64, size=(4, 5))
+        chunks = slice_bits_lsb_first(values, 6, 2)
+        np.testing.assert_array_equal(reassemble(chunks, 2), values)
+
+    def test_slice_weights_and_stream_inputs_counts(self, rng):
+        cfg = BitSliceConfig(input_bits=8, stream_bits=4, weight_bits=6, slice_bits=2)
+        assert len(slice_weights(rng.integers(0, 64, size=(3, 3)), cfg)) == 3
+        assert len(stream_inputs(rng.integers(0, 256, size=(2, 7)), cfg)) == 2
+
+    def test_quantize_unsigned(self):
+        q = quantize_unsigned(np.array([0.0, 0.5, 1.0]), bits=2, scale=1.0 / 3)
+        np.testing.assert_array_equal(q, [0, 2, 3])
+
+    def test_quantize_clips(self):
+        q = quantize_unsigned(np.array([10.0]), bits=2, scale=1.0)
+        assert q[0] == 3
+
+    def test_quantize_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            quantize_unsigned(np.array([1.0]), bits=2, scale=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    total_bits=st.sampled_from([4, 6, 8]),
+    chunk_bits=st.sampled_from([1, 2]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_slice_reassemble_roundtrip(total_bits, chunk_bits, seed):
+    """Slicing then shift-adding is always the identity."""
+    if total_bits % chunk_bits:
+        return
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 2**total_bits, size=17)
+    chunks = slice_bits_lsb_first(values, total_bits, chunk_bits)
+    np.testing.assert_array_equal(reassemble(chunks, chunk_bits), values)
+    for chunk in chunks:
+        assert chunk.min() >= 0 and chunk.max() < 2**chunk_bits
+
+
+class TestTiling:
+    def test_exact_fit(self, rng):
+        m = rng.normal(size=(8, 8))
+        tiled = tile_matrix(m, 4, 4)
+        assert tiled.grid_shape == (2, 2)
+        np.testing.assert_allclose(tiled.assemble(), m)
+
+    def test_ragged_padding(self, rng):
+        m = rng.normal(size=(5, 7))
+        tiled = tile_matrix(m, 4, 4)
+        assert tiled.grid_shape == (2, 2)
+        assert tiled.tiles[1][1].shape == (4, 4)
+        np.testing.assert_allclose(tiled.assemble(), m)
+
+    def test_row_and_col_slices_cover_matrix(self, rng):
+        m = rng.normal(size=(10, 6))
+        tiled = tile_matrix(m, 4, 4)
+        rows_covered = sum(s.stop - s.start for s in tiled.row_slices())
+        cols_covered = sum(s.stop - s.start for s in tiled.col_slices())
+        assert rows_covered == 10 and cols_covered == 6
+
+    def test_padding_is_zero(self):
+        m = np.ones((3, 3))
+        tiled = tile_matrix(m, 4, 4)
+        tile = tiled.tiles[0][0]
+        assert tile[3, :].sum() == 0 and tile[:, 3].sum() == 0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            tile_matrix(np.zeros(3), 2, 2)
+
+    def test_rejects_bad_tile_dims(self):
+        with pytest.raises(ValueError):
+            tile_matrix(np.zeros((2, 2)), 0, 2)
+
+    def test_tiled_matvec_equals_direct(self, rng):
+        """Partial sums across tiles reconstruct the full product."""
+        m = rng.normal(size=(11, 9))
+        x = rng.normal(size=(3, 11))
+        tiled = tile_matrix(m, 4, 4)
+        out = np.zeros((3, 9))
+        for r, row_slice in enumerate(tiled.row_slices()):
+            x_seg = np.zeros((3, 4))
+            x_seg[:, : row_slice.stop - row_slice.start] = x[:, row_slice]
+            for c, col_slice in enumerate(tiled.col_slices()):
+                partial = x_seg @ tiled.tiles[r][c]
+                out[:, col_slice] += partial[:, : col_slice.stop - col_slice.start]
+        np.testing.assert_allclose(out, x @ m, rtol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=12),
+    cols=st.integers(min_value=1, max_value=12),
+    tile=st.sampled_from([2, 3, 4]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_tile_assemble_roundtrip(rows, cols, tile, seed):
+    """tile_matrix followed by assemble is always the identity."""
+    rng = np.random.default_rng(seed)
+    m = rng.normal(size=(rows, cols))
+    np.testing.assert_allclose(tile_matrix(m, tile, tile).assemble(), m)

@@ -1,0 +1,129 @@
+"""Crossbar circuit solver: physics sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.circuit import CircuitConfig, CrossbarCircuit
+from repro.xbar.device import DeviceConfig, RRAMDevice
+
+
+def make_solver(rows=8, cols=8, r_source=350.0, r_sink=350.0, r_wire=4.0, iv_beta=0.25):
+    device = DeviceConfig(r_on=100e3, iv_beta=iv_beta)
+    circuit = CircuitConfig(
+        rows=rows, cols=cols, r_source=r_source, r_sink=r_sink, r_wire=r_wire
+    )
+    return CrossbarCircuit(circuit, device), device
+
+
+@pytest.fixture
+def workload(rng):
+    device = DeviceConfig(r_on=100e3)
+    rram = RRAMDevice(device)
+    levels = rng.integers(0, device.num_levels, size=(8, 8))
+    conductances = rram.level_to_conductance(levels)
+    voltages = rng.random(8) * device.v_read
+    return voltages, conductances
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            CircuitConfig(rows=0, cols=8)
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ValueError):
+            CircuitConfig(r_source=-1.0)
+
+
+class TestSolverPhysics:
+    def test_near_ideal_parasitics_recover_vg(self, workload):
+        voltages, conductances = workload
+        solver, _ = make_solver(r_source=1e-6, r_sink=1e-6, r_wire=1e-9, iv_beta=0.0)
+        currents = solver.solve(voltages, conductances)
+        ideal = voltages @ conductances
+        np.testing.assert_allclose(currents, ideal, rtol=1e-4)
+
+    def test_parasitics_always_reduce_current(self, workload):
+        voltages, conductances = workload
+        solver, _ = make_solver()
+        currents = solver.solve(voltages, conductances)
+        ideal = voltages @ conductances
+        assert (currents <= ideal + 1e-15).all()
+        assert (currents > 0).all()
+
+    def test_more_wire_resistance_more_deviation(self, workload):
+        voltages, conductances = workload
+        low, _ = make_solver(r_wire=1.0)
+        high, _ = make_solver(r_wire=20.0)
+        ideal = voltages @ conductances
+        dev_low = (ideal - low.solve(voltages, conductances)).sum()
+        dev_high = (ideal - high.solve(voltages, conductances)).sum()
+        assert dev_high > dev_low
+
+    def test_zero_input_zero_output(self, workload):
+        _, conductances = workload
+        solver, _ = make_solver()
+        currents = solver.solve(np.zeros(8), conductances)
+        np.testing.assert_allclose(currents, np.zeros(8), atol=1e-18)
+
+    def test_linearity_for_linear_devices(self, workload):
+        """With iv_beta=0 the network is linear: I(2V) = 2 I(V)."""
+        voltages, conductances = workload
+        solver, _ = make_solver(iv_beta=0.0)
+        i1 = solver.solve(voltages, conductances)
+        i2 = solver.solve(2.0 * voltages, conductances)
+        np.testing.assert_allclose(i2, 2.0 * i1, rtol=1e-9)
+
+    def test_batch_matches_individual_solves(self, workload, rng):
+        voltages, conductances = workload
+        batch = np.stack([voltages, 0.5 * voltages, rng.random(8) * 0.25])
+        solver, _ = make_solver()
+        batched = solver.solve(batch, conductances)
+        for k in range(3):
+            single = solver.solve(batch[k], conductances)
+            np.testing.assert_allclose(batched[k], single, rtol=1e-12)
+
+    def test_single_vector_returns_1d(self, workload):
+        voltages, conductances = workload
+        solver, _ = make_solver()
+        assert solver.solve(voltages, conductances).shape == (8,)
+
+    def test_shape_validation(self, workload):
+        voltages, conductances = workload
+        solver, _ = make_solver()
+        with pytest.raises(ValueError):
+            solver.solve(voltages[:4], conductances)
+        with pytest.raises(ValueError):
+            solver.solve(voltages, conductances[:4])
+
+    def test_ideal_currents_helper(self, workload):
+        voltages, conductances = workload
+        solver, _ = make_solver()
+        np.testing.assert_allclose(
+            solver.ideal_currents(voltages, conductances), voltages @ conductances
+        )
+
+    def test_nonlinear_iterations_change_result(self, workload):
+        """With strong device nonlinearity, the fixed-point update matters."""
+        voltages, conductances = workload
+        device = DeviceConfig(r_on=100e3, iv_beta=2.0)
+        one = CrossbarCircuit(
+            CircuitConfig(rows=8, cols=8, nonlinear_iterations=1), device
+        ).solve(voltages, conductances)
+        three = CrossbarCircuit(
+            CircuitConfig(rows=8, cols=8, nonlinear_iterations=3), device
+        ).solve(voltages, conductances)
+        assert not np.allclose(one, three)
+
+    def test_superposition_of_rows(self, rng):
+        """Linear network: driving rows separately sums to driving together."""
+        solver, device = make_solver(iv_beta=0.0)
+        rram = RRAMDevice(device)
+        conductances = rram.level_to_conductance(rng.integers(0, 4, size=(8, 8)))
+        v_a = np.zeros(8)
+        v_a[0] = 0.2
+        v_b = np.zeros(8)
+        v_b[5] = 0.1
+        together = solver.solve(v_a + v_b, conductances)
+        separate = solver.solve(v_a, conductances) + solver.solve(v_b, conductances)
+        np.testing.assert_allclose(together, separate, rtol=1e-9)

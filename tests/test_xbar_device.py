@@ -1,0 +1,102 @@
+"""RRAM device model tests."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.device import DeviceConfig, RRAMDevice
+
+
+class TestDeviceConfig:
+    def test_derived_quantities(self):
+        cfg = DeviceConfig(r_on=100e3, on_off_ratio=50.0, levels_bits=2)
+        assert cfg.r_off == pytest.approx(5e6)
+        assert cfg.g_max == pytest.approx(1e-5)
+        assert cfg.g_min == pytest.approx(2e-7)
+        assert cfg.num_levels == 4
+        assert cfg.g_step == pytest.approx((cfg.g_max - cfg.g_min) / 3)
+
+
+class TestProgramming:
+    def test_level_to_conductance_endpoints(self):
+        dev = RRAMDevice(DeviceConfig(levels_bits=2))
+        cfg = dev.config
+        g = dev.level_to_conductance(np.array([0, cfg.num_levels - 1]))
+        np.testing.assert_allclose(g, [cfg.g_min, cfg.g_max])
+
+    def test_levels_out_of_range_raise(self):
+        dev = RRAMDevice(DeviceConfig(levels_bits=2))
+        with pytest.raises(ValueError):
+            dev.level_to_conductance(np.array([4]))
+        with pytest.raises(ValueError):
+            dev.level_to_conductance(np.array([-1]))
+
+    def test_quantization_roundtrip(self, rng):
+        dev = RRAMDevice(DeviceConfig(levels_bits=3))
+        levels = rng.integers(0, 8, size=(5, 5))
+        recovered = dev.conductance_to_level(dev.level_to_conductance(levels))
+        np.testing.assert_array_equal(recovered, levels)
+
+    def test_program_without_noise_is_exact(self):
+        dev = RRAMDevice(DeviceConfig(program_sigma=0.0))
+        levels = np.array([0, 1, 2, 3])
+        np.testing.assert_allclose(dev.program(levels), dev.level_to_conductance(levels))
+
+    def test_program_noise_requires_rng(self):
+        dev = RRAMDevice(DeviceConfig(program_sigma=0.1))
+        with pytest.raises(ValueError):
+            dev.program(np.array([1]))
+
+    def test_program_noise_stays_in_physical_range(self, rng):
+        dev = RRAMDevice(DeviceConfig(program_sigma=0.5, levels_bits=2))
+        g = dev.program(rng.integers(0, 4, size=1000), rng)
+        assert g.min() >= dev.config.g_min
+        assert g.max() <= dev.config.g_max
+
+    def test_program_noise_varies(self, rng):
+        dev = RRAMDevice(DeviceConfig(program_sigma=0.1))
+        levels = np.full(100, 2)
+        g = dev.program(levels, rng)
+        assert np.unique(g).size > 1
+
+
+class TestIVCharacteristic:
+    def test_linear_device_is_ohmic(self):
+        dev = RRAMDevice(DeviceConfig(iv_beta=0.0))
+        g = np.array([1e-5])
+        v = np.array([0.1])
+        np.testing.assert_allclose(dev.current(g, v), g * v)
+
+    def test_sinh_matches_ohm_at_read_voltage(self):
+        """Chord conductance at V = v_read equals programmed G."""
+        cfg = DeviceConfig(iv_beta=0.5, v_read=0.25)
+        dev = RRAMDevice(cfg)
+        g = np.array([5e-6])
+        i = dev.current(g, np.array([cfg.v_read]))
+        np.testing.assert_allclose(i, g * cfg.v_read, rtol=1e-12)
+
+    def test_sublinear_below_read_voltage(self):
+        """sinh characteristic: chord conductance drops at lower V."""
+        cfg = DeviceConfig(iv_beta=1.0, v_read=0.25)
+        dev = RRAMDevice(cfg)
+        g = np.array([5e-6])
+        half = dev.current(g, np.array([cfg.v_read / 2]))
+        assert half[0] < g[0] * cfg.v_read / 2
+
+    def test_effective_conductance_at_zero_voltage(self):
+        cfg = DeviceConfig(iv_beta=0.5)
+        dev = RRAMDevice(cfg)
+        g = np.array([1e-5])
+        eff = dev.effective_conductance(g, np.array([0.0]))
+        expected = g * cfg.iv_beta / np.sinh(cfg.iv_beta)
+        np.testing.assert_allclose(eff, expected, rtol=1e-9)
+
+    def test_effective_conductance_linear_device(self):
+        dev = RRAMDevice(DeviceConfig(iv_beta=0.0))
+        g = np.array([1e-5])
+        np.testing.assert_allclose(dev.effective_conductance(g, np.array([0.1])), g)
+
+    def test_current_is_odd_function(self):
+        dev = RRAMDevice(DeviceConfig(iv_beta=0.7))
+        g = np.array([1e-5])
+        v = np.array([0.1])
+        np.testing.assert_allclose(dev.current(g, v), -dev.current(g, -v))

@@ -1,0 +1,100 @@
+"""Energy/latency model tests."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.energy import EnergyConfig, ModelEnergy, estimate_model
+from repro.xbar.simulator import convert_to_hardware
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture(scope="module")
+def hardware_model(tiny_victim, tiny_geniex):
+    return convert_to_hardware(tiny_victim, make_tiny_crossbar_config(), predictor=tiny_geniex)
+
+
+class TestEstimateModel:
+    def test_covers_every_nonideal_layer(self, hardware_model, tiny_victim):
+        from repro.nn.layers import Conv2d, Linear
+
+        estimate = estimate_model(hardware_model, (3, 8, 8))
+        source_layers = sum(
+            1
+            for _n, m in tiny_victim.named_modules()
+            if isinstance(m, (Conv2d, Linear))
+        )
+        assert len(estimate.layers) == source_layers
+
+    def test_positive_energy_and_latency(self, hardware_model):
+        estimate = estimate_model(hardware_model, (3, 8, 8))
+        assert estimate.analog_pj > 0
+        assert estimate.digital_pj > 0
+        assert estimate.analog_ns > 0
+        assert estimate.digital_ns > 0
+
+    def test_batch_scaling(self, hardware_model):
+        one = estimate_model(hardware_model, (3, 8, 8), batch=1)
+        four = estimate_model(hardware_model, (3, 8, 8), batch=4)
+        # Analog cost is per-vector, so it scales linearly; the digital
+        # reference amortizes its DRAM weight traffic over the batch, so
+        # it scales sub-linearly.
+        assert four.analog_pj == pytest.approx(4 * one.analog_pj, rel=1e-6)
+        assert one.digital_pj < four.digital_pj < 4 * one.digital_pj
+
+    def test_breakdown_sums_to_total(self, hardware_model):
+        estimate = estimate_model(hardware_model, (3, 8, 8))
+        for layer in estimate.layers:
+            assert sum(layer.breakdown.values()) == pytest.approx(layer.analog_pj)
+
+    def test_shortcut_convs_use_block_input_resolution(self, hardware_model):
+        """Probe-recorded shapes: a stride-2 block's 1x1 shortcut conv
+        must see the same input resolution as its conv1 (not conv2's
+        output)."""
+        by_name = {layer.name: layer for layer in estimate_model(hardware_model, (3, 8, 8)).layers}
+        stride_block_conv1 = by_name["layers.1.0.conv1"]
+        shortcut = by_name["layers.1.0.shortcut.0"]
+        assert shortcut.mvm_vectors == stride_block_conv1.mvm_vectors
+
+    def test_format_renders_totals(self, hardware_model):
+        text = estimate_model(hardware_model, (3, 8, 8)).format()
+        assert "TOTAL" in text and "latency" in text
+
+    def test_unconverted_model_rejected(self, tiny_victim):
+        with pytest.raises(ValueError):
+            estimate_model(tiny_victim, (3, 8, 8))
+
+
+class TestEnergyShape:
+    def test_crossbar_wins_at_low_batch(self, hardware_model):
+        """The paper's premise: at inference (low batch), the digital
+        engine's weight traffic dominates and in-situ MVM wins."""
+        estimate = estimate_model(hardware_model, (3, 8, 8), batch=1)
+        assert estimate.energy_ratio > 1.0
+
+    def test_large_batch_amortizes_digital_weight_traffic(self, hardware_model):
+        """At high batch the digital engine amortizes DRAM fetches, so
+        the crossbar's relative advantage shrinks."""
+        low = estimate_model(hardware_model, (3, 8, 8), batch=1)
+        high = estimate_model(hardware_model, (3, 8, 8), batch=64)
+        assert high.energy_ratio < low.energy_ratio
+
+    def test_higher_adc_cost_erodes_advantage(self, hardware_model):
+        cheap_adc = estimate_model(
+            hardware_model, (3, 8, 8), energy=EnergyConfig(adc_pj_per_sample=0.5)
+        )
+        pricey_adc = estimate_model(
+            hardware_model, (3, 8, 8), energy=EnergyConfig(adc_pj_per_sample=10.0)
+        )
+        assert pricey_adc.energy_ratio < cheap_adc.energy_ratio
+
+    def test_model_energy_aggregation(self):
+        from repro.xbar.energy import LayerEnergy
+
+        layers = [
+            LayerEnergy("a", 1, 1, 1, analog_pj=10, analog_ns=5, digital_pj=100, digital_ns=50),
+            LayerEnergy("b", 1, 1, 1, analog_pj=30, analog_ns=15, digital_pj=100, digital_ns=50),
+        ]
+        total = ModelEnergy(layers=layers)
+        assert total.analog_pj == 40
+        assert total.energy_ratio == pytest.approx(5.0)

@@ -1,0 +1,125 @@
+"""GENIEx surrogate: training, fidelity, factorization, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.circuit import CrossbarCircuit
+from repro.xbar.geniex import GENIEx, GENIExDatasetBuilder, GENIExTrainConfig, GENIExTrainer
+from repro.xbar.nf import non_ideality_factor, sample_crossbar_workload
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+class TestDatasetBuilder:
+    def test_shapes(self, tiny_crossbar_config, rng):
+        builder = GENIExDatasetBuilder(tiny_crossbar_config.circuit, tiny_crossbar_config.device)
+        features, deviations, ideals = builder.build(2, 3, rng)
+        n = 2 * 3 * tiny_crossbar_config.cols
+        assert features.shape == (n, 2 * tiny_crossbar_config.rows + GENIEx.EXTRA_FEATURES)
+        assert deviations.shape == (n,)
+        assert ideals.shape == (n,)
+
+    def test_deviations_mostly_positive(self, tiny_crossbar_config, rng):
+        """Parasitics reduce currents, so ideal - nonideal >= 0 almost
+        everywhere."""
+        builder = GENIExDatasetBuilder(tiny_crossbar_config.circuit, tiny_crossbar_config.device)
+        _f, deviations, _i = builder.build(3, 4, rng)
+        assert (deviations > -1e-9).mean() > 0.95
+
+
+class TestTrainedSurrogate:
+    def test_fidelity_metrics(self, tiny_geniex):
+        assert tiny_geniex.metrics["r2"] > 0.95
+        # Surrogate NF within 25% of circuit NF.
+        nf_c = tiny_geniex.metrics["nf_circuit"]
+        nf_s = tiny_geniex.metrics["nf_surrogate"]
+        assert abs(nf_s - nf_c) < 0.25 * nf_c
+
+    def test_predictions_track_circuit_on_holdout(self, tiny_geniex, rng):
+        config = make_tiny_crossbar_config()
+        solver = CrossbarCircuit(config.circuit, config.device)
+        workload = sample_crossbar_workload(config.device, 8, 8, rng, 2, 6)
+        for voltages, conductances in workload:
+            predicted = tiny_geniex.predict(voltages, conductances)
+            actual = solver.solve(voltages, conductances)
+            ideal = solver.ideal_currents(voltages, conductances)
+            mask = ideal > 0.05 * ideal.max()
+            rel = np.abs(predicted - actual)[mask] / ideal[mask]
+            assert rel.mean() < 0.08
+
+    def test_single_vector_prediction_shape(self, tiny_geniex, rng):
+        config = make_tiny_crossbar_config()
+        workload = sample_crossbar_workload(config.device, 8, 8, rng, 1, 1)
+        voltages, conductances = workload[0]
+        out = tiny_geniex.predict(voltages[0], conductances)
+        assert out.shape == (8,)
+
+    def test_factorized_path_matches_direct_prediction(self, tiny_geniex, rng):
+        """prepare_crossbar + predict_from_bias == predict (exactness of
+        the factorization)."""
+        config = make_tiny_crossbar_config()
+        (voltages, conductances), = sample_crossbar_workload(config.device, 8, 8, rng, 1, 4)
+        direct = tiny_geniex.predict(voltages, conductances)
+        handle = tiny_geniex.prepare_crossbar(conductances)
+        factorized = tiny_geniex.predict_from_bias(voltages, handle)
+        np.testing.assert_allclose(direct, factorized, rtol=1e-5)
+
+    def test_used_cols_slicing(self, tiny_geniex, rng):
+        config = make_tiny_crossbar_config()
+        (voltages, conductances), = sample_crossbar_workload(config.device, 8, 8, rng, 1, 4)
+        full = tiny_geniex.predict_from_bias(voltages, tiny_geniex.prepare_crossbar(conductances))
+        partial = tiny_geniex.predict_from_bias(
+            voltages, tiny_geniex.prepare_crossbar(conductances, used_cols=3)
+        )
+        assert partial.shape == (4, 3)
+        np.testing.assert_allclose(partial, full[:, :3], rtol=1e-6)
+
+    def test_concat_bias_banks_columns(self, tiny_geniex, rng):
+        config = make_tiny_crossbar_config()
+        (voltages, g1), (_, g2) = sample_crossbar_workload(config.device, 8, 8, rng, 2, 4)
+        h1 = tiny_geniex.prepare_crossbar(g1)
+        h2 = tiny_geniex.prepare_crossbar(g2)
+        banked = tiny_geniex.predict_from_bias(voltages, tiny_geniex.concat_bias([h1, h2]))
+        np.testing.assert_allclose(banked[:, :8], tiny_geniex.predict_from_bias(voltages, h1), rtol=1e-6)
+        np.testing.assert_allclose(banked[:, 8:], tiny_geniex.predict_from_bias(voltages, h2), rtol=1e-6)
+
+    def test_save_load_roundtrip(self, tiny_geniex, tmp_path, rng):
+        path = tmp_path / "geniex.npz"
+        tiny_geniex.save(path)
+        loaded = GENIEx.load(path)
+        config = make_tiny_crossbar_config()
+        (voltages, conductances), = sample_crossbar_workload(config.device, 8, 8, rng, 1, 3)
+        np.testing.assert_allclose(
+            tiny_geniex.predict(voltages, conductances),
+            loaded.predict(voltages, conductances),
+            rtol=1e-6,
+        )
+        assert loaded.metrics["r2"] == pytest.approx(tiny_geniex.metrics["r2"], rel=1e-6)
+        assert loaded.device.r_on == tiny_geniex.device.r_on
+
+    def test_poly_backbone_carries_most_of_fit(self, tiny_geniex):
+        """The polynomial backbone alone should explain most variance."""
+        assert tiny_geniex.metrics["r2_poly"] > 0.8
+
+    def test_bad_w1_shape_rejected(self, tiny_geniex):
+        with pytest.raises(ValueError):
+            GENIEx(
+                w1=np.zeros((4, 10)),
+                b1=np.zeros(4),
+                w2=np.zeros(4),
+                b2=0.0,
+                rows=8,
+                device=tiny_geniex.device,
+            )
+
+    def test_bad_poly_shape_rejected(self, tiny_geniex):
+        with pytest.raises(ValueError):
+            GENIEx(
+                w1=np.zeros((4, 18)),
+                b1=np.zeros(4),
+                w2=np.zeros(4),
+                b2=0.0,
+                rows=8,
+                device=tiny_geniex.device,
+                poly=np.zeros(3),
+            )

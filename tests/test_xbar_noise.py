@@ -1,0 +1,79 @@
+"""Analytic noise model (fast ablation backend) tests."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.circuit import CrossbarCircuit
+from repro.xbar.nf import non_ideality_factor, sample_crossbar_workload
+from repro.xbar.noise import GaussianNoiseModel, calibrated_noise_model
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    config = make_tiny_crossbar_config()
+    model = calibrated_noise_model(
+        config.circuit, config.device, num_matrices=8, vectors_per_matrix=6
+    )
+    return config, model
+
+
+class TestCalibration:
+    def test_coefficients_capture_ir_drop(self, fitted_model):
+        _config, model = fitted_model
+        # Deviation grows with drive: the i_frac coefficient dominates
+        # and is positive for an IR-drop-limited crossbar.
+        assert model.c1 > 0
+
+    def test_residual_sigma_recorded(self, fitted_model):
+        _config, model = fitted_model
+        assert model.sigma >= 0
+
+
+class TestPrediction:
+    def test_tracks_circuit_nf(self, fitted_model, rng):
+        config, model = fitted_model
+        solver = CrossbarCircuit(config.circuit, config.device)
+        ideals, actuals, predicted = [], [], []
+        for voltages, conductances in sample_crossbar_workload(
+            config.device, 8, 8, rng, 4, 6
+        ):
+            ideals.append(solver.ideal_currents(voltages, conductances))
+            actuals.append(solver.solve(voltages, conductances))
+            predicted.append(model.predict(voltages, conductances))
+        nf_true = non_ideality_factor(np.concatenate(ideals), np.concatenate(actuals))
+        nf_model = non_ideality_factor(np.concatenate(ideals), np.concatenate(predicted))
+        assert abs(nf_model - nf_true) < 0.5 * nf_true
+
+    def test_deterministic_without_jitter(self, fitted_model, rng):
+        config, model = fitted_model
+        (voltages, conductances), = sample_crossbar_workload(config.device, 8, 8, rng, 1, 3)
+        np.testing.assert_allclose(
+            model.predict(voltages, conductances), model.predict(voltages, conductances)
+        )
+
+    def test_jitter_is_deterministic_per_input(self, fitted_model, rng):
+        """Jitter emulates un-modeled error but the hardware stays a
+        fixed function: repeated queries must agree."""
+        config, base = fitted_model
+        model = GaussianNoiseModel(
+            c0=base.c0, c1=base.c1, c2=base.c2, sigma=0.02,
+            device=base.device, rows=base.rows, jitter_seed=0,
+        )
+        (voltages, conductances), = sample_crossbar_workload(config.device, 8, 8, rng, 1, 3)
+        a = model.predict(voltages, conductances)
+        b = model.predict(voltages, conductances)
+        np.testing.assert_allclose(a, b)
+
+    def test_single_vector_shape(self, fitted_model, rng):
+        config, model = fitted_model
+        (voltages, conductances), = sample_crossbar_workload(config.device, 8, 8, rng, 1, 1)
+        assert model.predict(voltages[0], conductances).shape == (8,)
+
+    def test_prepare_crossbar_slices_columns(self, fitted_model, rng):
+        config, model = fitted_model
+        (voltages, conductances), = sample_crossbar_workload(config.device, 8, 8, rng, 1, 2)
+        handle = model.prepare_crossbar(conductances, used_cols=3)
+        out = model.predict_from_bias(voltages, handle)
+        assert out.shape == (2, 3)

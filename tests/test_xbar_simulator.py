@@ -1,0 +1,278 @@
+"""Functional simulator: engine correctness, layers, model conversion."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.nn.conv import conv2d
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.resnet import resnet20
+from repro.xbar.noise import GaussianNoiseModel
+from repro.xbar.simulator import (
+    CircuitPredictor,
+    CrossbarEngine,
+    IdealPredictor,
+    NonIdealConv2d,
+    NonIdealLinear,
+    calibrate_hardware,
+    convert_to_hardware,
+)
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture
+def engine_setup(tiny_geniex, rng):
+    config = make_tiny_crossbar_config()
+    weight = rng.normal(0, 0.4, size=(5, 12)).astype(np.float32)
+    engine = CrossbarEngine(weight, config, tiny_geniex)
+    return engine, weight
+
+
+class TestEngineWithIdealPredictor:
+    """With the parasitic-free predictor the only errors left are
+    quantization; outputs must track ideal closely."""
+
+    def test_accuracy_within_quantization_error(self, rng):
+        # 4-bit weights / 4-bit inputs in the tiny test config bound the
+        # achievable accuracy; no analog error should be added on top.
+        config = make_tiny_crossbar_config(gain_calibration=0)
+        weight = rng.normal(0, 0.4, size=(6, 10)).astype(np.float32)
+        engine = CrossbarEngine(weight, config, IdealPredictor())
+        x = rng.random((20, 10)).astype(np.float32)
+        out = engine.matvec(x)
+        ideal = x @ weight.T
+        scale = np.abs(ideal).mean()
+        assert np.abs(out - ideal).mean() < 0.12 * scale
+
+    def test_scale_equivariance(self, rng):
+        """Dynamic input quantization makes matvec(a*x) == a*matvec(x)
+        exactly for power-of-two scales (bit-exact float scaling)."""
+        config = make_tiny_crossbar_config()
+        weight = rng.normal(0, 0.4, size=(4, 8)).astype(np.float32)
+        engine = CrossbarEngine(weight, config, IdealPredictor())
+        x = rng.random((5, 8)).astype(np.float32)
+        np.testing.assert_allclose(engine.matvec(2.0 * x), 2.0 * engine.matvec(x), rtol=1e-9)
+        np.testing.assert_allclose(engine.matvec(0.5 * x), 0.5 * engine.matvec(x), rtol=1e-9)
+
+    def test_zero_input(self, rng):
+        config = make_tiny_crossbar_config()
+        weight = rng.normal(size=(4, 8)).astype(np.float32)
+        engine = CrossbarEngine(weight, config, IdealPredictor())
+        np.testing.assert_allclose(engine.matvec(np.zeros((2, 8))), np.zeros((2, 4)))
+
+    def test_signed_inputs_differential(self, rng):
+        config = make_tiny_crossbar_config()
+        weight = rng.normal(0, 0.4, size=(4, 8)).astype(np.float32)
+        engine = CrossbarEngine(weight, config, IdealPredictor())
+        x = rng.normal(size=(10, 8)).astype(np.float32)  # mixed sign
+        ideal = x @ weight.T
+        out = engine.matvec(x)
+        assert np.abs(out - ideal).mean() < 0.08 * np.abs(ideal).mean()
+
+    def test_all_zero_weight_matrix(self, rng):
+        config = make_tiny_crossbar_config()
+        engine = CrossbarEngine(np.zeros((3, 8), dtype=np.float32), config, IdealPredictor())
+        out = engine.matvec(rng.random((4, 8)))
+        np.testing.assert_allclose(out, np.zeros((4, 3)), atol=1e-7)
+
+
+class TestEngineValidation:
+    def test_rejects_non_2d_weight(self, tiny_geniex):
+        config = make_tiny_crossbar_config()
+        with pytest.raises(ValueError):
+            CrossbarEngine(np.zeros((2, 2, 2)), config, tiny_geniex)
+
+    def test_rejects_slice_bits_mismatch(self, tiny_geniex):
+        import dataclasses
+
+        from repro.xbar.bitslice import BitSliceConfig
+
+        config = dataclasses.replace(
+            make_tiny_crossbar_config(),
+            bitslice=BitSliceConfig(input_bits=4, stream_bits=2, weight_bits=4, slice_bits=1),
+        )
+        with pytest.raises(ValueError):
+            CrossbarEngine(np.zeros((2, 4), dtype=np.float32), config, tiny_geniex)
+
+    def test_rejects_wrong_input_width(self, engine_setup):
+        engine, _ = engine_setup
+        with pytest.raises(ValueError):
+            engine.matvec(np.zeros((2, 99)))
+
+
+class TestEngineWithGENIEx:
+    def test_nonideal_but_correlated(self, engine_setup, rng):
+        engine, weight = engine_setup
+        x = rng.random((30, 12)).astype(np.float32)
+        out = engine.matvec(x)
+        ideal = x @ weight.T
+        # Non-ideal: not exactly equal...
+        assert not np.allclose(out, ideal, rtol=1e-3)
+        # ...but strongly correlated (it computes the same function).
+        corr = np.corrcoef(out.ravel(), ideal.ravel())[0, 1]
+        assert corr > 0.98
+
+    def test_deterministic_across_calls(self, engine_setup, rng):
+        """The hardware is a fixed function: same input, same output
+        (no fresh randomness per query)."""
+        engine, _ = engine_setup
+        x = rng.random((4, 12)).astype(np.float32)
+        np.testing.assert_allclose(engine.matvec(x), engine.matvec(x))
+
+    def test_refit_gain_improves_accuracy(self, tiny_geniex, rng):
+        config = make_tiny_crossbar_config(gain_calibration=0)
+        weight = rng.normal(0, 0.4, size=(5, 12)).astype(np.float32)
+        engine = CrossbarEngine(weight, config, tiny_geniex)
+        probes = rng.random((64, 12)).astype(np.float32)
+        test = rng.random((64, 12)).astype(np.float32)
+        ideal = test @ weight.T
+        before = np.abs(engine.matvec(test) - ideal).mean()
+        engine.refit_gain(probes, weight)
+        after = np.abs(engine.matvec(test) - ideal).mean()
+        assert after <= before
+
+    def test_tiling_multiple_row_tiles(self, tiny_geniex, rng):
+        """in_features > rows exercises multi-tile accumulation."""
+        config = make_tiny_crossbar_config()
+        weight = rng.normal(0, 0.3, size=(6, 20)).astype(np.float32)  # 20 > 8 rows
+        engine = CrossbarEngine(weight, config, tiny_geniex)
+        assert len(engine.banks) == 3
+        x = rng.random((10, 20)).astype(np.float32)
+        out = engine.matvec(x)
+        ideal = x @ weight.T
+        corr = np.corrcoef(out.ravel(), ideal.ravel())[0, 1]
+        assert corr > 0.95
+
+
+class TestPredictorParity:
+    """All predictor backends implement the same interface."""
+
+    @pytest.mark.parametrize("backend", ["ideal", "circuit", "noise"])
+    def test_engine_runs_with_each_backend(self, backend, tiny_geniex, rng):
+        config = make_tiny_crossbar_config()
+        if backend == "ideal":
+            predictor = IdealPredictor()
+        elif backend == "circuit":
+            predictor = CircuitPredictor(config)
+        else:
+            from repro.xbar.noise import calibrated_noise_model
+
+            predictor = calibrated_noise_model(
+                config.circuit, config.device, num_matrices=3, vectors_per_matrix=4
+            )
+        weight = rng.normal(0, 0.3, size=(4, 10)).astype(np.float32)
+        engine = CrossbarEngine(weight, config, predictor)
+        x = rng.random((6, 10)).astype(np.float32)
+        out = engine.matvec(x)
+        ideal = x @ weight.T
+        corr = np.corrcoef(out.ravel(), ideal.ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_circuit_predictor_is_reference(self, tiny_geniex, rng):
+        """GENIEx engine output stays close to exact-circuit engine."""
+        config = make_tiny_crossbar_config()
+        weight = rng.normal(0, 0.3, size=(4, 8)).astype(np.float32)
+        x = rng.random((10, 8)).astype(np.float32)
+        out_geniex = CrossbarEngine(weight, config, tiny_geniex).matvec(x)
+        out_circuit = CrossbarEngine(weight, config, CircuitPredictor(config)).matvec(x)
+        scale = np.abs(out_circuit).mean()
+        assert np.abs(out_geniex - out_circuit).mean() < 0.15 * scale
+
+
+class TestNonIdealLayers:
+    def test_linear_forward_close_and_backward_ideal(self, tiny_geniex, rng):
+        config = make_tiny_crossbar_config()
+        source = Linear(10, 4, rng=rng)
+        layer = NonIdealLinear(source, config, tiny_geniex)
+        x = Tensor(rng.random((6, 10)).astype(np.float32), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (6, 4)
+        out.sum().backward()
+        # Hardware-in-loop convention: backward is the ideal Jacobian.
+        expected_grad = np.ones((6, 4)) @ source.weight.data
+        np.testing.assert_allclose(x.grad, expected_grad, rtol=1e-5)
+
+    def test_conv_forward_shape_and_backward(self, tiny_geniex, rng):
+        config = make_tiny_crossbar_config()
+        source = Conv2d(3, 4, 3, stride=1, padding=1, rng=rng)
+        layer = NonIdealConv2d(source, config, tiny_geniex)
+        x = Tensor(rng.random((2, 3, 6, 6)).astype(np.float32), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (2, 4, 6, 6)
+        out.sum().backward()
+        # Ideal-backward path: matches digital conv's input gradient.
+        x_ref = Tensor(x.data, requires_grad=True)
+        ref = conv2d(x_ref, source.weight, source.bias, 1, 1)
+        ref.sum().backward()
+        np.testing.assert_allclose(x.grad, x_ref.grad, rtol=1e-4, atol=1e-6)
+
+    def test_conv_output_close_to_digital(self, tiny_geniex, rng):
+        config = make_tiny_crossbar_config()
+        source = Conv2d(2, 3, 3, padding=1, rng=rng)
+        source.eval()
+        layer = NonIdealConv2d(source, config, tiny_geniex)
+        x = Tensor(rng.random((1, 2, 5, 5)).astype(np.float32))
+        with no_grad():
+            hw = layer(x).data
+            digital = source(x).data
+        corr = np.corrcoef(hw.ravel(), digital.ravel())[0, 1]
+        assert corr > 0.95
+
+
+class TestConvertToHardware:
+    def test_replaces_all_conv_and_linear(self, tiny_victim, tiny_geniex):
+        config = make_tiny_crossbar_config()
+        hardware = convert_to_hardware(tiny_victim, config, predictor=tiny_geniex)
+        kinds = [type(m).__name__ for _n, m in hardware.named_modules()]
+        assert "Conv2d" not in kinds and "Linear" not in kinds
+        assert "NonIdealConv2d" in kinds and "NonIdealLinear" in kinds
+
+    def test_original_model_untouched(self, tiny_victim, tiny_geniex):
+        config = make_tiny_crossbar_config()
+        convert_to_hardware(tiny_victim, config, predictor=tiny_geniex)
+        kinds = [type(m).__name__ for _n, m in tiny_victim.named_modules()]
+        assert "Conv2d" in kinds
+
+    def test_skip_paths_kept_digital(self, tiny_victim, tiny_geniex):
+        config = make_tiny_crossbar_config()
+        hardware = convert_to_hardware(
+            tiny_victim, config, predictor=tiny_geniex, skip=("fc",)
+        )
+        assert type(hardware.get_submodule("fc")).__name__ == "Linear"
+
+    def test_hardware_accuracy_close_to_digital(self, tiny_victim, tiny_task, tiny_geniex):
+        from repro.train.trainer import evaluate_accuracy
+
+        config = make_tiny_crossbar_config()
+        hardware = convert_to_hardware(
+            tiny_victim,
+            config,
+            predictor=tiny_geniex,
+            calibration_images=tiny_task.x_train[:16],
+        )
+        x, y = tiny_task.x_test[:60], tiny_task.y_test[:60]
+        acc_digital = evaluate_accuracy(tiny_victim, x, y)
+        acc_hardware = evaluate_accuracy(hardware, x, y)
+        assert acc_hardware > acc_digital - 0.2
+
+    def test_calibrate_hardware_runs_and_clears_flags(self, tiny_victim, tiny_task, tiny_geniex):
+        config = make_tiny_crossbar_config()
+        hardware = convert_to_hardware(tiny_victim, config, predictor=tiny_geniex)
+        calibrate_hardware(hardware, tiny_task.x_train[:8])
+        flags = [
+            m._pending_calibration
+            for _n, m in hardware.named_modules()
+            if isinstance(m, (NonIdealConv2d, NonIdealLinear))
+        ]
+        assert flags and not any(flags)
+
+    def test_hil_gradients_flow_through_hardware_model(self, tiny_victim, tiny_geniex):
+        from repro.nn import functional as F
+
+        config = make_tiny_crossbar_config()
+        hardware = convert_to_hardware(tiny_victim, config, predictor=tiny_geniex)
+        x = Tensor(np.random.default_rng(1).random((2, 3, 8, 8)).astype(np.float32), requires_grad=True)
+        loss = F.cross_entropy(hardware(x), np.array([0, 1]))
+        loss.backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0

@@ -1,0 +1,83 @@
+"""Chip-to-chip variation study tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import predict_logits
+from repro.xbar.variation import (
+    ChipTransferResult,
+    chip_transfer_study,
+    program_chip,
+    with_programming_variation,
+)
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+class TestConfigDerivation:
+    def test_sets_sigma_and_renames(self):
+        config = make_tiny_crossbar_config()
+        varied = with_programming_variation(config, 0.05)
+        assert varied.device.program_sigma == 0.05
+        assert varied.name.endswith("_s0.05")
+        assert config.device.program_sigma == 0.0  # original untouched
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            with_programming_variation(make_tiny_crossbar_config(), -0.1)
+
+
+class TestProgramChip:
+    def test_chips_with_same_seed_agree(self, tiny_victim, tiny_task, tiny_geniex):
+        config = make_tiny_crossbar_config()
+        a = program_chip(tiny_victim, config, sigma=0.05, chip_seed=3, predictor=tiny_geniex)
+        b = program_chip(tiny_victim, config, sigma=0.05, chip_seed=3, predictor=tiny_geniex)
+        x = tiny_task.x_test[:6]
+        np.testing.assert_allclose(predict_logits(a, x), predict_logits(b, x), rtol=1e-5)
+
+    def test_chips_with_different_seeds_differ(self, tiny_victim, tiny_task, tiny_geniex):
+        config = make_tiny_crossbar_config()
+        a = program_chip(tiny_victim, config, sigma=0.08, chip_seed=1, predictor=tiny_geniex)
+        b = program_chip(tiny_victim, config, sigma=0.08, chip_seed=2, predictor=tiny_geniex)
+        x = tiny_task.x_test[:6]
+        assert not np.allclose(predict_logits(a, x), predict_logits(b, x), rtol=1e-4)
+
+    def test_zero_sigma_chips_are_identical(self, tiny_victim, tiny_task, tiny_geniex):
+        config = make_tiny_crossbar_config()
+        a = program_chip(tiny_victim, config, sigma=0.0, chip_seed=1, predictor=tiny_geniex)
+        b = program_chip(tiny_victim, config, sigma=0.0, chip_seed=2, predictor=tiny_geniex)
+        x = tiny_task.x_test[:6]
+        np.testing.assert_allclose(predict_logits(a, x), predict_logits(b, x), rtol=1e-5)
+
+
+class TestTransferStudy:
+    def test_study_structure(self, tiny_victim, tiny_task, tiny_geniex):
+        result = chip_transfer_study(
+            tiny_victim,
+            make_tiny_crossbar_config(),
+            tiny_task.x_test[:16],
+            tiny_task.y_test[:16],
+            sigma=0.08,
+            num_chips=3,
+            epsilon=16 / 255,
+            iterations=2,
+            predictor=tiny_geniex,
+        )
+        assert isinstance(result, ChipTransferResult)
+        assert len(result.cross_chip_accuracies) == 2
+        assert 0.0 <= result.source_chip_accuracy <= 1.0
+        assert result.transfer_penalty == pytest.approx(
+            result.mean_cross_chip - result.source_chip_accuracy
+        )
+
+    def test_requires_two_chips(self, tiny_victim, tiny_task, tiny_geniex):
+        with pytest.raises(ValueError):
+            chip_transfer_study(
+                tiny_victim,
+                make_tiny_crossbar_config(),
+                tiny_task.x_test[:4],
+                tiny_task.y_test[:4],
+                sigma=0.05,
+                num_chips=1,
+                predictor=tiny_geniex,
+            )
