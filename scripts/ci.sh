@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point: tier-1 test suite + CLI smoke.
+#
+# Usage: scripts/ci.sh
+# Runs from any working directory; exits non-zero on first failure.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "=== tier-1: unit + integration + property tests ==="
+python -m pytest -x -q
+
+echo
+echo "=== CLI smoke: info ==="
+python -m repro info
+
+echo
+echo "=== CLI smoke: nf (1 sample) ==="
+python -m repro nf --samples 1
+
+echo
+echo "=== CLI smoke: reliability --fast ==="
+python -m repro reliability --fast --rates 0,0.05 --drift-times 1e4
+
+echo
+echo "ci: all checks passed"

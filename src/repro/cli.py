@@ -10,6 +10,7 @@ table3      run the non-adaptive attack table for one task
 table4      run the hardware-in-loop attack table for one task
 fig         run one epsilon-sweep figure (2/3/4/6)
 energy      crossbar-vs-digital energy estimate for a task's victim
+reliability clean/adversarial accuracy vs stuck-cell rate and drift
 """
 
 from __future__ import annotations
@@ -103,6 +104,32 @@ def cmd_fig(args) -> int:
     return 0
 
 
+def cmd_reliability(args) -> int:
+    from repro.experiments import reliability
+    from repro.xbar.presets import preset_names
+
+    lab = _make_lab(args)
+    presets = preset_names() if args.preset == "all" else [args.preset]
+    try:
+        rates = tuple(float(v) for v in args.rates.split(",") if v.strip())
+        drifts = tuple(float(v) for v in args.drift_times.split(",") if v.strip())
+    except ValueError:
+        print("--rates/--drift-times must be comma-separated numbers", file=sys.stderr)
+        return 2
+    reliability.run(
+        lab,
+        task=args.task,
+        presets=presets,
+        fault_rates=rates,
+        drift_times=drifts,
+        paper_k=args.paper_eps,
+        hil_iterations=3 if args.fast else None,
+        program_sigma=args.sigma,
+        dead_line_rate=args.dead_lines,
+    ).print()
+    return 0
+
+
 def cmd_energy(args) -> int:
     from repro.xbar.energy import estimate_model
 
@@ -157,6 +184,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preset", default="64x64_100k")
     p.add_argument("--batch", type=int, default=1)
     p.set_defaults(func=cmd_energy)
+
+    p = sub.add_parser("reliability")
+    common(p)
+    p.add_argument(
+        "--preset",
+        default="64x64_100k",
+        choices=["64x64_300k", "32x32_100k", "64x64_100k", "all"],
+    )
+    p.add_argument("--rates", default="0,0.02,0.1",
+                   help="comma-separated stuck-cell rates")
+    p.add_argument("--drift-times", dest="drift_times", default="1e3,1e6",
+                   help="comma-separated drift times (units of t0)")
+    p.add_argument("--sigma", type=float, default=0.0,
+                   help="programming write-noise sigma composed with faults")
+    p.add_argument("--dead-lines", dest="dead_lines", type=float, default=0.0,
+                   help="per-tile dead wordline/bitline probability")
+    p.add_argument("--paper-eps", dest="paper_eps", type=float, default=2.0,
+                   help="attack budget in paper units (k/255)")
+    p.set_defaults(func=cmd_reliability)
 
     return parser
 

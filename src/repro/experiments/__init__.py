@@ -32,6 +32,7 @@ from repro.experiments import (
     fig5,
     fig6,
     extensions,
+    reliability,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "fig5",
     "fig6",
     "extensions",
+    "reliability",
 ]

@@ -1,0 +1,256 @@
+"""Reliability sweep: does intrinsic robustness survive device faults?
+
+The paper's Discussion (§V) argues device-level imperfections should
+*help* robustness (harder attack transfer) — but every real RRAM chip
+also pays a clean-accuracy price for its faults.  This experiment makes
+the trade quantitative: for each Table-I crossbar preset, clean and
+adversarial accuracy are swept against
+
+* **stuck-cell rate** — cells frozen at G_min/G_max at programming, and
+* **drift time** — retention decay ``g(t) = g0 * (t/t0)^-nu`` since
+  programming,
+
+under two attacks per cell:
+
+* *transfer WB PGD* — white-box PGD crafted on the **digital** victim
+  (the paper's non-adaptive scenario: does the faulted chip resist a
+  software-crafted attack?), and
+* *HIL WB PGD* — hardware-in-loop PGD crafted against the faulted chip
+  itself (the adaptive attacker owns the faulted hardware).
+
+Reading the table: if faults grow the gap between the digital baseline
+and the faulted chip under attack while clean accuracy holds, intrinsic
+robustness *survives* (or grows) under real device faults; if clean
+accuracy collapses first, it doesn't.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.hil import hil_whitebox_pgd
+from repro.core.evaluation import HardwareLab, adversarial_accuracy
+from repro.experiments.config import ExperimentResult, paper_eps
+from repro.experiments.shared import AttackFactory
+from repro.nn.module import Module
+from repro.train.trainer import evaluate_accuracy
+from repro.xbar.faults import FaultConfig, with_faults
+from repro.xbar.presets import crossbar_preset, preset_names
+from repro.xbar.simulator import convert_to_hardware, fault_summary, guard_trips
+from repro.xbar.variation import with_programming_variation
+
+
+@dataclass
+class ReliabilityCell:
+    """One (preset, fault point) of the sweep."""
+
+    preset: str
+    axis: str  # "fault_rate" | "drift_time"
+    value: float
+    clean: float
+    transfer_pgd: float  # WB PGD crafted on the digital victim
+    hil_pgd: float  # WB PGD crafted on this faulted chip
+    stuck_fraction: float = 0.0
+    dead_lines: int = 0
+    guard_trips: int = 0
+
+    def format_row(self) -> str:
+        return (
+            f"{self.value:>9g} {self.clean * 100:>7.1f}% {self.transfer_pgd * 100:>10.1f}% "
+            f"{self.hil_pgd * 100:>9.1f}%   "
+            f"(stuck {self.stuck_fraction:.2%}, dead lines {self.dead_lines}, "
+            f"guard trips {self.guard_trips})"
+        )
+
+
+def stuck_cell_faults(
+    rate: float,
+    gmax_fraction: float = 0.25,
+    dead_line_rate: float = 0.0,
+    seed: int = 0,
+) -> FaultConfig:
+    """Fault population for one point of the fault-rate axis.
+
+    ``rate`` is the total stuck-cell probability, split between
+    stuck-OFF and stuck-ON by ``gmax_fraction`` (stuck-OFF dominates in
+    real arrays — open filaments are more common than shorts).
+    """
+    return FaultConfig(
+        stuck_at_gmin_rate=rate * (1.0 - gmax_fraction),
+        stuck_at_gmax_rate=rate * gmax_fraction,
+        dead_row_rate=dead_line_rate,
+        dead_col_rate=dead_line_rate,
+        seed=seed,
+    )
+
+
+def drift_faults(
+    drift_time: float,
+    nu: float = 0.05,
+    sigma: float = 0.3,
+    seed: int = 0,
+) -> FaultConfig:
+    """Fault population for one point of the drift-time axis."""
+    return FaultConfig(
+        drift_time=drift_time, drift_nu=nu, drift_sigma=sigma, seed=seed
+    )
+
+
+def build_faulted_hardware(
+    lab: HardwareLab,
+    task: str,
+    preset: str,
+    faults: FaultConfig,
+    program_sigma: float = 0.0,
+) -> Module:
+    """Convert the task victim onto one faulted chip instance.
+
+    With ``faults`` disabled and ``program_sigma == 0`` this is the
+    exact construction path of ``lab.hardware(task, preset)`` — the
+    zero-fault cell of the sweep is bit-identical to the pristine
+    hardware model (regression-tested in ``tests/test_xbar_faults.py``).
+    """
+    config = crossbar_preset(preset)
+    if program_sigma > 0:
+        config = with_programming_variation(config, program_sigma)
+    if faults.enabled:
+        config = with_faults(config, faults)
+    return convert_to_hardware(
+        lab.victim(task),
+        config,
+        predictor=lab.geniex(preset),
+        calibration_images=lab.calibration_images(task),
+    )
+
+
+def _measure_cell(
+    lab: HardwareLab,
+    task: str,
+    preset: str,
+    axis: str,
+    value: float,
+    faults: FaultConfig,
+    x_adv_transfer: np.ndarray,
+    epsilon: float,
+    hil_iterations: int,
+    program_sigma: float,
+) -> ReliabilityCell:
+    hardware = build_faulted_hardware(lab, task, preset, faults, program_sigma)
+    x, y = lab.eval_set(task)
+    clean = evaluate_accuracy(hardware, x, y)
+    transfer = adversarial_accuracy(hardware, x_adv_transfer, y)
+    hil = hil_whitebox_pgd(
+        hardware, x, y, epsilon=epsilon, iterations=hil_iterations,
+        batch_size=lab.scale.batch_size,
+    )
+    hil_acc = adversarial_accuracy(hardware, hil.x_adv, y)
+    summary = fault_summary(hardware)
+    stuck = (
+        (summary.stuck_gmin + summary.stuck_gmax) / summary.cells
+        if summary.cells
+        else 0.0
+    )
+    return ReliabilityCell(
+        preset=preset,
+        axis=axis,
+        value=value,
+        clean=clean,
+        transfer_pgd=transfer,
+        hil_pgd=hil_acc,
+        stuck_fraction=stuck,
+        dead_lines=summary.dead_rows + summary.dead_cols,
+        guard_trips=guard_trips(hardware),
+    )
+
+
+def run(
+    lab: HardwareLab,
+    task: str = "cifar10",
+    presets: list[str] | None = None,
+    fault_rates: tuple[float, ...] = (0.0, 0.01, 0.05),
+    drift_times: tuple[float, ...] = (1e3, 1e6),
+    paper_k: float = 2.0,
+    hil_iterations: int | None = None,
+    program_sigma: float = 0.0,
+    gmax_fraction: float = 0.25,
+    dead_line_rate: float = 0.0,
+    drift_nu: float = 0.05,
+    drift_sigma: float = 0.3,
+) -> ExperimentResult:
+    """Clean + adversarial accuracy vs fault rate and drift time.
+
+    The transfer attack is crafted once on the digital victim and
+    evaluated on every faulted chip; the HIL attack is re-crafted
+    against each chip (the adaptive attacker has the faulted hardware
+    in the loop).  ``program_sigma`` composes write noise with the
+    faults, as a real chip would see.
+    """
+    presets = presets or preset_names()
+    hil_iterations = hil_iterations or lab.scale.pgd_iterations
+    epsilon = paper_eps(task, paper_k)
+    factory = AttackFactory(lab)
+    x_adv_transfer = factory.whitebox_pgd(
+        task, lab.victim(task), epsilon, batch_size=lab.scale.batch_size
+    )
+    _x, y = lab.eval_set(task)
+    baseline = adversarial_accuracy(lab.victim(task), x_adv_transfer, y)
+
+    result = ExperimentResult(
+        name="Reliability",
+        headline=(
+            f"clean/adversarial accuracy vs faults ({task}, WB PGD "
+            f"eps={paper_k:g}/255, digital baseline under attack "
+            f"{baseline * 100:.1f}%, sigma={program_sigma:g})"
+        ),
+    )
+    result.data["baseline_transfer"] = baseline
+    result.data["cells"] = {}
+    header = f"{'value':>9} {'clean':>8} {'transfer':>11} {'HIL':>10}"
+    for preset in presets:
+        cells: list[ReliabilityCell] = []
+        result.rows.append(f"--- {preset} ---")
+        result.rows.append(
+            f"stuck-cell rate sweep (gmax fraction {gmax_fraction:g}, "
+            f"dead-line rate {dead_line_rate:g}):"
+        )
+        result.rows.append(header)
+        for rate in fault_rates:
+            cell = _measure_cell(
+                lab,
+                task,
+                preset,
+                "fault_rate",
+                rate,
+                stuck_cell_faults(rate, gmax_fraction, dead_line_rate),
+                x_adv_transfer,
+                epsilon,
+                hil_iterations,
+                program_sigma,
+            )
+            cells.append(cell)
+            result.rows.append(cell.format_row())
+        drift_axis = [t for t in drift_times if drift_faults(t, drift_nu, drift_sigma).has_drift]
+        if drift_axis:
+            result.rows.append(
+                f"drift-time sweep (t/t0, nu={drift_nu:g}, sigma={drift_sigma:g}):"
+            )
+            result.rows.append(header)
+            for t in drift_axis:
+                cell = _measure_cell(
+                    lab,
+                    task,
+                    preset,
+                    "drift_time",
+                    t,
+                    drift_faults(t, drift_nu, drift_sigma),
+                    x_adv_transfer,
+                    epsilon,
+                    hil_iterations,
+                    program_sigma,
+                )
+                cells.append(cell)
+                result.rows.append(cell.format_row())
+        result.data["cells"][preset] = cells
+    return result

@@ -7,6 +7,8 @@ epsilons (Fig. 2 sweeps epsilon with one fitted ensemble), so
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.attacks.ensemble import EnsembleBlackBox, EnsembleConfig, SurrogateSpec
@@ -22,6 +24,22 @@ class AttackFactory:
     def __init__(self, lab: HardwareLab):
         self.lab = lab
         self._fitted_ensembles: dict[tuple[str, int], EnsembleBlackBox] = {}
+        self._victim_tokens = itertools.count()
+
+    def _victim_token(self, victim: Module) -> int:
+        """Stable cache token for a victim model.
+
+        ``id(victim)`` alone is unsafe: ids are reused after garbage
+        collection, so a long-lived factory could serve an ensemble
+        distilled against a *dead* victim to a new model that happens to
+        occupy the same address.  The token is stored on the module, so
+        it lives exactly as long as the victim does.
+        """
+        token = getattr(victim, "_attack_factory_token", None)
+        if token is None:
+            token = next(self._victim_tokens)
+            victim._attack_factory_token = token
+        return token
 
     # ------------------------------------------------------------------
     def ensemble_config(self) -> EnsembleConfig:
@@ -44,7 +62,7 @@ class AttackFactory:
         digital model in the non-adaptive scenario, a crossbar hardware
         model in the hardware-in-loop scenario.
         """
-        key = (task, id(victim))
+        key = (task, self._victim_token(victim))
         if key not in self._fitted_ensembles:
             attack = EnsembleBlackBox(
                 epsilon=0.0,  # per-epsilon PGD budgets are set at generate time

@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 from repro.data.synthetic import TaskData, make_task, task_spec
 from repro.nn.resnet import ResNet, build_model
@@ -102,13 +105,26 @@ class ModelZoo:
 
         weights_path, meta_path = self._paths(key)
         if weights_path.exists() and meta_path.exists() and not force_retrain:
-            state = dict(np.load(weights_path))
-            model.load_state_dict(state)
-            model.eval()
-            meta = json.loads(meta_path.read_text())
-            entry = ZooEntry(model, task, meta["test_accuracy"], from_cache=True)
-            self._memory[key] = entry
-            return entry
+            # Graceful degradation: a corrupt/truncated checkpoint (bad
+            # download, mangled binary in version control, interrupted
+            # save) must not brick every downstream experiment — fall
+            # through to a fresh training run that overwrites it.
+            try:
+                state = dict(np.load(weights_path))
+                model.load_state_dict(state)
+                meta = json.loads(meta_path.read_text())
+            except Exception as exc:
+                logger.warning(
+                    "cached victim %s is unreadable (%s: %s); retraining",
+                    weights_path.name,
+                    type(exc).__name__,
+                    exc,
+                )
+            else:
+                model.eval()
+                entry = ZooEntry(model, task, meta["test_accuracy"], from_cache=True)
+                self._memory[key] = entry
+                return entry
 
         if self.verbose:
             print(f"[zoo] training {key} ...")

@@ -24,6 +24,15 @@ from repro.xbar.adc import ADCConfig, quantize_current
 from repro.xbar.bitslice import BitSliceConfig, slice_weights, stream_inputs
 from repro.xbar.tiling import tile_matrix, TiledMatrix
 from repro.xbar.geniex import GENIEx, GENIExTrainer, GENIExDatasetBuilder
+from repro.xbar.faults import (
+    FaultConfig,
+    FaultModel,
+    FaultSummary,
+    GuardConfig,
+    TileHealthError,
+    with_faults,
+    with_guard,
+)
 from repro.xbar.nf import non_ideality_factor
 from repro.xbar.presets import (
     CROSSBAR_PRESETS,
@@ -37,6 +46,9 @@ from repro.xbar.simulator import (
     NonIdealLinear,
     convert_to_hardware,
     build_engine,
+    calibrate_hardware,
+    fault_summary,
+    guard_trips,
 )
 from repro.xbar.noise import GaussianNoiseModel, calibrated_noise_model
 
@@ -65,6 +77,16 @@ __all__ = [
     "NonIdealLinear",
     "convert_to_hardware",
     "build_engine",
+    "calibrate_hardware",
+    "fault_summary",
+    "guard_trips",
+    "FaultConfig",
+    "FaultModel",
+    "FaultSummary",
+    "GuardConfig",
+    "TileHealthError",
+    "with_faults",
+    "with_guard",
     "GaussianNoiseModel",
     "calibrated_noise_model",
 ]

@@ -1,0 +1,350 @@
+"""Fault injection and reliability models for NVM crossbars.
+
+The paper's Discussion (§V) conjectures that device-level imperfections
+"may further hinder the transferability of attacks"; related work
+(Bhattacharjee & Panda, *Rethinking Non-idealities in Memristive
+Crossbars for Adversarial Robustness*; Joksas et al., *Nonideality-aware
+training makes memristive networks more robust to adversarial attacks*)
+shows the same non-idealities are first-order for clean accuracy too.
+This module makes the three fault classes every real RRAM chip exhibits
+injectable and reproducible:
+
+* **Stuck-at cells** — a fraction of devices is frozen at ``G_min``
+  (stuck-OFF: broken filament, open cell) or ``G_max`` (stuck-ON:
+  shorted cell) regardless of the programmed level.
+* **Conductance drift / retention loss** — each programmed cell decays
+  as ``g(t) = g0 * (t/t0)^-nu`` with a per-cell lognormal drift
+  exponent (the standard retention power law); :meth:`FaultModel.refresh`
+  re-quantizes drifted conductances to the nearest programmable level,
+  modelling a refresh (read-verify-rewrite) cycle.
+* **Line faults** — whole wordlines (rows) or bitlines (columns) of a
+  physical crossbar tile are dead (electroforming or periphery
+  failures); a dead line contributes nothing to any dot product.
+
+Determinism: fault realizations are a pure function of
+``(FaultConfig.seed, chip_token, tile_index)``.  The same chip
+programmed twice has identical faults (injection is idempotent); two
+chips with different tokens draw independent fault maps — exactly the
+chip-to-chip semantics of :mod:`repro.xbar.variation`.
+
+:class:`GuardConfig` configures the engine's graceful-degradation
+guard: when an analog tile returns non-finite or badly saturated
+currents (a sick surrogate, a pathological fault pattern), the engine
+can fall back that tile to the ideal digital path instead of corrupting
+the whole forward pass (see ``CrossbarEngine`` in
+:mod:`repro.xbar.simulator`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.xbar.device import DeviceConfig, RRAMDevice
+
+#: Valid guard modes (see :class:`GuardConfig`).
+GUARD_MODES = ("off", "warn", "fallback", "raise")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative description of one chip's fault population.
+
+    All rates are per-cell (or per-line) probabilities in ``[0, 1]``.
+    The default config injects nothing and is guaranteed to leave the
+    engine's outputs bit-identical to a fault-free build.
+
+    Attributes
+    ----------
+    stuck_at_gmin_rate:
+        Fraction of cells frozen at ``G_min`` (stuck-OFF).
+    stuck_at_gmax_rate:
+        Fraction of cells frozen at ``G_max`` (stuck-ON).
+    drift_time:
+        Time since programming, in units of ``drift_t0``; ``<= t0``
+        (including 0) disables drift.
+    drift_t0:
+        Reference time of the retention power law (same units as
+        ``drift_time``).
+    drift_nu:
+        Median drift exponent ``nu`` of ``g(t) = g0 * (t/t0)^-nu``.
+        Typical metal-oxide RRAM: 0.01-0.1.
+    drift_sigma:
+        Lognormal dispersion of the per-cell drift exponent (cell-to-
+        cell retention variation); 0 gives every cell the median ``nu``.
+    dead_row_rate:
+        Per-tile probability for each wordline (input row) to be dead.
+    dead_col_rate:
+        Per-tile probability for each bitline (output column) to be dead.
+    seed:
+        Base seed of the fault map (combined with the chip token and
+        the tile index).
+    """
+
+    stuck_at_gmin_rate: float = 0.0
+    stuck_at_gmax_rate: float = 0.0
+    drift_time: float = 0.0
+    drift_t0: float = 1.0
+    drift_nu: float = 0.05
+    drift_sigma: float = 0.0
+    dead_row_rate: float = 0.0
+    dead_col_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "stuck_at_gmin_rate",
+            "stuck_at_gmax_rate",
+            "dead_row_rate",
+            "dead_col_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.stuck_at_gmin_rate + self.stuck_at_gmax_rate > 1.0:
+            raise ValueError(
+                "stuck_at_gmin_rate + stuck_at_gmax_rate must not exceed 1"
+            )
+        if self.drift_t0 <= 0:
+            raise ValueError(f"drift_t0 must be positive, got {self.drift_t0}")
+        if self.drift_time < 0:
+            raise ValueError(f"drift_time must be non-negative, got {self.drift_time}")
+        if self.drift_nu < 0:
+            raise ValueError(f"drift_nu must be non-negative, got {self.drift_nu}")
+        if self.drift_sigma < 0:
+            raise ValueError(f"drift_sigma must be non-negative, got {self.drift_sigma}")
+
+    # ------------------------------------------------------------------
+    @property
+    def has_stuck_cells(self) -> bool:
+        return self.stuck_at_gmin_rate > 0 or self.stuck_at_gmax_rate > 0
+
+    @property
+    def has_drift(self) -> bool:
+        return self.drift_nu > 0 and self.drift_time > self.drift_t0
+
+    @property
+    def has_line_faults(self) -> bool:
+        return self.dead_row_rate > 0 or self.dead_col_rate > 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when any injector would modify conductances."""
+        return self.has_stuck_cells or self.has_drift or self.has_line_faults
+
+    def tag(self) -> str:
+        """Short human-readable summary (used in derived config names)."""
+        parts = []
+        if self.has_stuck_cells:
+            parts.append(f"sa{self.stuck_at_gmin_rate + self.stuck_at_gmax_rate:g}")
+        if self.has_drift:
+            parts.append(f"t{self.drift_time:g}")
+        if self.has_line_faults:
+            parts.append(f"ln{max(self.dead_row_rate, self.dead_col_rate):g}")
+        return "+".join(parts) if parts else "nofault"
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Graceful-degradation policy of the crossbar engine.
+
+    ``mode``:
+
+    * ``"off"``       — no runtime checks (pre-guard behaviour);
+    * ``"warn"``      — detect and log, keep the analog values;
+    * ``"fallback"``  — detect, log, and recompute the affected tile's
+      columns through the ideal digital path (default);
+    * ``"raise"``     — detect and raise :class:`TileHealthError`.
+
+    ``saturation_factor`` trips the guard when ``|I|`` exceeds that
+    multiple of the ADC full-scale current — far beyond anything a
+    physical array can source, so a clear sign of a sick predictor.
+    ``None`` disables the saturation check (non-finite detection stays).
+    """
+
+    mode: str = "fallback"
+    saturation_factor: float | None = 8.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in GUARD_MODES:
+            raise ValueError(f"guard mode must be one of {GUARD_MODES}, got {self.mode!r}")
+        if self.saturation_factor is not None and self.saturation_factor <= 0:
+            raise ValueError(
+                f"saturation_factor must be positive or None, got {self.saturation_factor}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return self.mode != "off"
+
+
+class TileHealthError(RuntimeError):
+    """Raised in guard mode ``"raise"`` when a tile output is sick."""
+
+
+@dataclass
+class FaultSummary:
+    """Aggregate fault counts over every programmed tile of an engine."""
+
+    tiles: int = 0
+    cells: int = 0
+    stuck_gmin: int = 0
+    stuck_gmax: int = 0
+    dead_rows: int = 0
+    dead_cols: int = 0
+    drifted: bool = False
+
+    def merge(self, other: "FaultSummary") -> None:
+        self.tiles += other.tiles
+        self.cells += other.cells
+        self.stuck_gmin += other.stuck_gmin
+        self.stuck_gmax += other.stuck_gmax
+        self.dead_rows += other.dead_rows
+        self.dead_cols += other.dead_cols
+        self.drifted = self.drifted or other.drifted
+
+    def format(self) -> str:
+        frac = (self.stuck_gmin + self.stuck_gmax) / self.cells if self.cells else 0.0
+        return (
+            f"{self.tiles} tiles / {self.cells} cells: "
+            f"{self.stuck_gmin} stuck-OFF, {self.stuck_gmax} stuck-ON "
+            f"({frac:.3%} of cells), {self.dead_rows} dead rows, "
+            f"{self.dead_cols} dead cols, drift={'on' if self.drifted else 'off'}"
+        )
+
+
+class FaultModel:
+    """Vectorized, seeded fault injectors for programmed tiles.
+
+    One instance describes one *chip*: every physical crossbar tile the
+    engine programs gets an independent but reproducible fault map drawn
+    from ``(config.seed, chip_token, tile_index)``.
+    """
+
+    def __init__(self, config: FaultConfig, device: DeviceConfig, chip_token: int = 0):
+        self.config = config
+        self.device = device
+        self.chip_token = int(chip_token)
+        self._device_ops = RRAMDevice(device)
+
+    # ------------------------------------------------------------------
+    def tile_rng(self, tile_index: int, stream: int = 0) -> np.random.Generator:
+        """The deterministic RNG for one tile's fault draws.
+
+        Each injector class uses its own ``stream`` so one fault map is
+        stable under changes to the *other* classes' configuration
+        (e.g. enabling drift does not reshuffle the stuck-cell map).
+        """
+        return np.random.default_rng(
+            [
+                int(self.config.seed) & 0x7FFFFFFF,
+                self.chip_token & 0x7FFFFFFF,
+                int(tile_index),
+                int(stream),
+            ]
+        )
+
+    def inject(
+        self, conductances: np.ndarray, tile_index: int
+    ) -> tuple[np.ndarray, FaultSummary]:
+        """Apply all configured faults to one programmed tile.
+
+        Order matters physically: drift acts on the *programmed* value,
+        stuck cells override whatever was programmed (and do not drift —
+        a shorted or open cell has no filament dynamics), and dead lines
+        override everything on their row/column.
+
+        Returns the faulted conductances (a new array; the input is
+        never modified) and a :class:`FaultSummary` of what was injected.
+        """
+        cfg = self.config
+        g = np.array(conductances, dtype=np.float64, copy=True)
+        summary = FaultSummary(tiles=1, cells=g.size)
+        if not cfg.enabled:
+            return g, summary
+        if cfg.has_drift:
+            g = self.apply_drift(g, self.tile_rng(tile_index, stream=0))
+            summary.drifted = True
+        if cfg.has_stuck_cells:
+            u = self.tile_rng(tile_index, stream=1).random(size=g.shape)
+            stuck_min = u < cfg.stuck_at_gmin_rate
+            stuck_max = (u >= cfg.stuck_at_gmin_rate) & (
+                u < cfg.stuck_at_gmin_rate + cfg.stuck_at_gmax_rate
+            )
+            g[stuck_min] = self.device.g_min
+            g[stuck_max] = self.device.g_max
+            summary.stuck_gmin = int(stuck_min.sum())
+            summary.stuck_gmax = int(stuck_max.sum())
+        if cfg.has_line_faults:
+            line_rng = self.tile_rng(tile_index, stream=2)
+            dead_rows = line_rng.random(size=g.shape[0]) < cfg.dead_row_rate
+            dead_cols = line_rng.random(size=g.shape[1]) < cfg.dead_col_rate
+            g[dead_rows, :] = self.device.g_min
+            g[:, dead_cols] = self.device.g_min
+            summary.dead_rows = int(dead_rows.sum())
+            summary.dead_cols = int(dead_cols.sum())
+        return g, summary
+
+    # ------------------------------------------------------------------
+    def apply_drift(self, conductances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Retention power-law decay ``g(t) = g0 * (t/t0)^-nu``.
+
+        Each cell's exponent is lognormal around ``drift_nu`` with
+        dispersion ``drift_sigma``; the decayed conductance is clipped
+        to the physical ``[g_min, g_max]`` window.  Only applies for
+        ``t > t0`` (the power law is normalized to its programmed value
+        at ``t0``).
+        """
+        cfg = self.config
+        dev = self.device
+        g = np.asarray(conductances, dtype=np.float64)
+        if not cfg.has_drift:
+            return np.array(g, copy=True)
+        if cfg.drift_sigma > 0:
+            nu = cfg.drift_nu * rng.lognormal(0.0, cfg.drift_sigma, size=g.shape)
+        else:
+            nu = np.full(g.shape, cfg.drift_nu)
+        decay = (cfg.drift_time / cfg.drift_t0) ** (-nu)
+        return np.clip(g * decay, dev.g_min, dev.g_max)
+
+    def refresh(self, conductances: np.ndarray) -> np.ndarray:
+        """Re-quantize drifted conductances to the nearest level.
+
+        Models a refresh cycle (read, snap to the closest programmable
+        level, rewrite).  Stuck cells cannot be refreshed in reality;
+        callers studying refresh policies should re-:meth:`inject` stuck
+        and line faults after refreshing.
+        """
+        ops = self._device_ops
+        return ops.level_to_conductance(ops.conductance_to_level(conductances))
+
+
+def with_faults(config, faults: FaultConfig):
+    """Derive a :class:`~repro.xbar.presets.CrossbarConfig` with faults.
+
+    Mirrors :func:`repro.xbar.variation.with_programming_variation`; the
+    derived config is renamed so cached hardware/eval results cannot be
+    confused with the pristine preset.
+    """
+    return dataclasses.replace(
+        config, faults=faults, name=f"{config.name}_{faults.tag()}"
+    )
+
+
+def with_guard(config, guard: GuardConfig):
+    """Derive a crossbar config with a different degradation policy."""
+    return dataclasses.replace(config, guard=guard)
+
+
+__all__ = [
+    "FaultConfig",
+    "FaultModel",
+    "FaultSummary",
+    "GuardConfig",
+    "GUARD_MODES",
+    "TileHealthError",
+    "with_faults",
+    "with_guard",
+]

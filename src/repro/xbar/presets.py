@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -24,7 +25,10 @@ from repro.xbar.adc import ADCConfig
 from repro.xbar.bitslice import BitSliceConfig
 from repro.xbar.circuit import CircuitConfig
 from repro.xbar.device import DeviceConfig
+from repro.xbar.faults import FaultConfig, GuardConfig
 from repro.xbar.geniex import GENIEx, GENIExTrainConfig, GENIExTrainer
+
+logger = logging.getLogger(__name__)
 
 #: Shared interconnect/periphery technology for all Table-I models.
 #: Calibrated so the circuit-solver NF lands near Table I:
@@ -48,6 +52,12 @@ class CrossbarConfig:
     absorbed into the digital scale, while the input-dependent,
     column-dependent deviations — the source of the paper's intrinsic
     robustness — remain.  0 disables calibration.
+
+    ``faults`` describes the chip's device/line fault population (all
+    off by default; see :mod:`repro.xbar.faults`) and ``guard`` the
+    engine's graceful-degradation policy for sick analog tiles.
+    Neither enters :meth:`cache_key`: the GENIEx surrogate models the
+    parasitic circuit, which is independent of which cells are faulted.
     """
 
     name: str
@@ -57,6 +67,8 @@ class CrossbarConfig:
     adc: ADCConfig = field(default_factory=ADCConfig)
     nf_paper: float | None = None  # Table I reference value
     gain_calibration: int = 32
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    guard: GuardConfig = field(default_factory=GuardConfig)
 
     @property
     def rows(self) -> int:
@@ -141,7 +153,17 @@ def load_or_train_geniex(
     train_tag = f"h{train_config.hidden}-m{train_config.num_matrices}-e{train_config.epochs}"
     path = cache_dir / f"geniex-{config.cache_key()}-{train_tag}.npz"
     if path.exists():
-        return GENIEx.load(path)
+        # Graceful degradation: a corrupt/truncated surrogate cache must
+        # not brick every hardware experiment — retrain and overwrite.
+        try:
+            return GENIEx.load(path)
+        except Exception as exc:
+            logger.warning(
+                "cached GENIEx surrogate %s is unreadable (%s: %s); retraining",
+                path.name,
+                type(exc).__name__,
+                exc,
+            )
     trainer = GENIExTrainer(config.circuit, config.device, train_config)
     model = trainer.train(verbose=verbose)
     model.save(path)

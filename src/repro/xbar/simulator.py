@@ -27,6 +27,7 @@ inference-only; see §III-C.2).
 from __future__ import annotations
 
 import copy
+import logging
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -40,8 +41,11 @@ from repro.xbar.adc import quantize_current
 from repro.xbar.bitslice import slice_weights, stream_inputs
 from repro.xbar.circuit import CrossbarCircuit
 from repro.xbar.device import RRAMDevice
+from repro.xbar.faults import FaultModel, FaultSummary, TileHealthError
 from repro.xbar.presets import CrossbarConfig, load_or_train_geniex
 from repro.xbar.tiling import tile_matrix
+
+logger = logging.getLogger(__name__)
 
 
 class ColumnPredictor(Protocol):
@@ -155,6 +159,11 @@ class _TileRowBank:
     row_slice: slice  # which input features feed this bank
     chunks: list[_BankChunk]
     total_cols: int
+    # Fault-free conductances for the same used columns, kept only when
+    # the guard's digital fallback is enabled: ``voltages @ ideal_bias``
+    # reproduces the exact integer partial products after the dummy-
+    # column subtraction, i.e. the ideal digital path for this bank.
+    ideal_bias: np.ndarray | None = None
 
 
 class CrossbarEngine:
@@ -198,9 +207,25 @@ class CrossbarEngine:
         col_slices = tiled_pos.col_slices()
         n_row_tiles, n_col_tiles = tiled_pos.grid_shape
 
+        # Fault injection: the model is created only when the config
+        # enables any fault class, so the fault-free path draws no
+        # randomness and stays bit-identical to a build without the
+        # fault layer.  The chip token ties the fault map to this
+        # chip's programming RNG (two chips -> two fault realizations).
+        self.fault_summary = FaultSummary()
+        fault_model: FaultModel | None = None
+        if config.faults.enabled:
+            chip_token = int(self._rng.integers(0, 2**31 - 1))
+            fault_model = FaultModel(config.faults, dev, chip_token)
+        keep_ideal = config.guard.mode == "fallback"
+        self._guard_trips = 0
+        self._guard_warned = False
+
+        tile_index = 0
         self.banks: list[_TileRowBank] = []
         for r, row_slice in enumerate(tiled_pos.row_slices()):
             handles = []
+            ideal_handles: list[np.ndarray] = []
             chunks: list[_BankChunk] = []
             offset = 0
             for c in range(n_col_tiles):
@@ -210,7 +235,17 @@ class CrossbarEngine:
                 for s in range(bs.num_slices):
                     for sign, levels in ((1.0, pos_slices[s]), (-1.0, neg_slices[s])):
                         conductances = device.program(levels, self._rng)
+                        if fault_model is not None:
+                            conductances, tile_faults = fault_model.inject(
+                                conductances, tile_index
+                            )
+                            self.fault_summary.merge(tile_faults)
+                        tile_index += 1
                         handles.append(predictor.prepare_crossbar(conductances, used))
+                        if keep_ideal:
+                            ideal_handles.append(
+                                device.level_to_conductance(levels)[:, :used]
+                            )
                         chunks.append(
                             _BankChunk(
                                 col_slice=col_slices[c],
@@ -227,6 +262,9 @@ class CrossbarEngine:
                     row_slice=row_slice,
                     chunks=chunks,
                     total_cols=offset,
+                    ideal_bias=(
+                        np.concatenate(ideal_handles, axis=1) if keep_ideal else None
+                    ),
                 )
             )
         self._adc_full_scale = config.rows * dev.g_max * dev.v_read
@@ -275,6 +313,14 @@ class CrossbarEngine:
             raise ValueError(
                 f"input shape {x.shape} incompatible with in_features={self.in_features}"
             )
+        if not np.isfinite(x).all():
+            bad = int((~np.isfinite(x)).sum())
+            raise ValueError(
+                f"crossbar input contains {bad} non-finite value(s) (NaN/Inf); "
+                "inputs are quantized to integer DAC levels, so non-finite "
+                "entries would silently corrupt every output column — "
+                "sanitize the batch before calling matvec"
+            )
         if (x >= 0).all():
             return self._matvec_unsigned(x)
         positive = self._matvec_unsigned(np.maximum(x, 0.0))
@@ -300,6 +346,43 @@ class CrossbarEngine:
         )
         self.gain = np.clip(gains, 0.25, 4.0)
 
+    def begin_gain_accumulation(self) -> None:
+        """Reset the streaming gain-fit statistics.
+
+        The per-column least-squares gain is a ratio of two sums over
+        calibration vectors, so it can be accumulated batch by batch
+        without holding all vectors in memory — this is how
+        :func:`calibrate_hardware` covers an arbitrarily large
+        calibration set in one sweep.
+        """
+        self._gain_sum_aa = np.zeros(self.out_features)
+        self._gain_sum_ai = np.zeros(self.out_features)
+        self._gain_rows = 0
+
+    def accumulate_gain(self, vectors: np.ndarray, weight: np.ndarray) -> None:
+        """Fold one batch of calibration vectors into the gain fit."""
+        if not hasattr(self, "_gain_rows"):
+            self.begin_gain_accumulation()
+        analog = self.matvec_raw(vectors)
+        ideal = np.asarray(vectors, dtype=np.float64) @ np.asarray(weight, dtype=np.float64).T
+        self._gain_sum_aa += np.sum(analog * analog, axis=0)
+        self._gain_sum_ai += np.sum(analog * ideal, axis=0)
+        self._gain_rows += len(vectors)
+
+    def finish_gain_accumulation(self) -> None:
+        """Set gains from the accumulated statistics (no-op if empty)."""
+        if getattr(self, "_gain_rows", 0) > 0:
+            gains = np.divide(
+                self._gain_sum_ai,
+                self._gain_sum_aa,
+                out=np.ones(self.out_features),
+                where=self._gain_sum_aa > 0,
+            )
+            self.gain = np.clip(gains, 0.25, 4.0)
+        for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows"):
+            if hasattr(self, attr):
+                delattr(self, attr)
+
     def _matvec_unsigned(self, x: np.ndarray) -> np.ndarray:
         bs = self.config.bitslice
         dev = self.config.device
@@ -324,7 +407,16 @@ class CrossbarEngine:
                 voltages = np.zeros((n, rows))
                 voltages[:, :width] = seg * v_step
                 currents = self.predictor.predict_from_bias(voltages, bank.handle)
+                fallback_cols = self._check_tile_health(currents, bank)
                 currents = quantize_current(currents, self.config.adc, self._adc_full_scale)
+                if fallback_cols is not None:
+                    # Graceful degradation: recompute the sick tiles'
+                    # columns through the ideal digital path (exact
+                    # partial products, no ADC) instead of letting
+                    # NaN/Inf poison the whole forward pass.
+                    currents[:, fallback_cols] = (
+                        voltages @ bank.ideal_bias[:, fallback_cols]
+                    )
                 # Remove the G_min offset (dummy-column subtraction) and
                 # rescale currents back to integer dot products.
                 v_sum = voltages.sum(axis=1, keepdims=True)
@@ -336,6 +428,64 @@ class CrossbarEngine:
                         :, chunk.offset : chunk.offset + chunk.width
                     ]
         return out * (x_lsb * self.w_scale)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (see repro.xbar.faults.GuardConfig)
+    # ------------------------------------------------------------------
+    @property
+    def guard_trips(self) -> int:
+        """How many bank evaluations the health guard has intercepted."""
+        return self._guard_trips
+
+    def _check_tile_health(
+        self, currents: np.ndarray, bank: _TileRowBank
+    ) -> np.ndarray | None:
+        """Detect non-finite / saturated analog outputs for one bank.
+
+        Returns a boolean column mask (expanded to whole-tile extents)
+        to fall back to the digital path, or ``None`` when nothing needs
+        replacing.  Modes: ``off`` skips detection, ``warn`` only logs,
+        ``raise`` aborts the forward pass, ``fallback`` (default)
+        substitutes the ideal partial products.
+        """
+        guard = self.config.guard
+        if not guard.active:
+            return None
+        sick = ~np.isfinite(currents)
+        if guard.saturation_factor is not None:
+            limit = guard.saturation_factor * self._adc_full_scale
+            sick |= np.abs(currents) > limit
+        if not sick.any():
+            return None
+        self._guard_trips += 1
+        sick_cols = sick.any(axis=0)
+        detail = (
+            f"{int(sick.sum())} sick current(s) across {int(sick_cols.sum())} "
+            f"column(s) of a {self.out_features}-output engine "
+            f"(mode={guard.mode})"
+        )
+        if guard.mode == "raise":
+            raise TileHealthError(f"crossbar tile output unhealthy: {detail}")
+        if not self._guard_warned:
+            action = (
+                "falling back to the digital path"
+                if guard.mode == "fallback"
+                else "keeping analog values"
+            )
+            logger.warning("crossbar tile output unhealthy: %s; %s", detail, action)
+            self._guard_warned = True
+        else:
+            logger.debug("crossbar tile health guard tripped again: %s", detail)
+        if guard.mode != "fallback":
+            return None
+        # Widen to whole tiles: the periphery swaps a tile's ADC lane
+        # for the digital partial sum, not single columns.
+        fallback = np.zeros_like(sick_cols)
+        for chunk in bank.chunks:
+            span = slice(chunk.offset, chunk.offset + chunk.width)
+            if sick_cols[span].any():
+                fallback[span] = True
+        return fallback
 
     def ideal_matvec(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
         """Reference ideal computation (digital float)."""
@@ -373,8 +523,7 @@ class NonIdealLinear(Module):
     def forward(self, x: Tensor) -> Tensor:
         if self._pending_calibration:
             vectors = _subsample_rows(x.data, self._max_calibration_vectors)
-            self.engine.refit_gain(vectors, self.weight_float)
-            self._pending_calibration = False
+            self.engine.accumulate_gain(vectors, self.weight_float)
         out = self.engine.matvec(x.data).astype(np.float32)
         if self.bias_float is not None:
             out = out + self.bias_float
@@ -421,8 +570,7 @@ class NonIdealConv2d(Module):
         vectors = cols.transpose(0, 2, 1).reshape(n * h_out * w_out, -1)
         if self._pending_calibration:
             sample = _subsample_rows(vectors, self._max_calibration_vectors)
-            self.engine.refit_gain(sample, self.weight_float.reshape(self.out_channels, -1))
-            self._pending_calibration = False
+            self.engine.accumulate_gain(sample, self.weight_float.reshape(self.out_channels, -1))
         flat = self.engine.matvec(vectors)  # (N*L, out)
         out = (
             flat.reshape(n, h_out * w_out, self.out_channels)
@@ -464,11 +612,13 @@ def _subsample_rows(vectors: np.ndarray, max_rows: int) -> np.ndarray:
 def calibrate_hardware(model: Module, images: np.ndarray, batch_size: int = 64) -> Module:
     """Recalibrate every non-ideal layer's gains on real data.
 
-    Runs one forward pass over ``images``; each NonIdeal layer refits
-    its per-column digital gain against the activations it actually
-    receives (with upstream layers already calibrated, since the pass
-    proceeds in forward order).  Mirrors standard analog-accelerator
-    bring-up with a calibration set.
+    Sweeps **all** of ``images`` in batches of ``batch_size``; each
+    NonIdeal layer accumulates streaming least-squares statistics of
+    (analog, ideal) output pairs for the activations it actually
+    receives, and the per-column digital gains are fit once at the end
+    of the sweep.  Mirrors standard analog-accelerator bring-up with a
+    calibration set — and unlike a single-batch refit, the calibration
+    coverage is exactly the set you pass in.
     """
     from repro.autograd.tensor import no_grad
 
@@ -477,13 +627,37 @@ def calibrate_hardware(model: Module, images: np.ndarray, batch_size: int = 64) 
         for _name, module in model.named_modules()
         if isinstance(module, (NonIdealConv2d, NonIdealLinear))
     ]
+    images = np.asarray(images, dtype=np.float32)
     for layer in layers:
+        layer.engine.begin_gain_accumulation()
         layer._pending_calibration = True
-    with no_grad():
-        model(Tensor(np.asarray(images[:batch_size], dtype=np.float32)))
-    for layer in layers:
-        layer._pending_calibration = False
+    try:
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                model(Tensor(images[start : start + batch_size]))
+    finally:
+        for layer in layers:
+            layer._pending_calibration = False
+            layer.engine.finish_gain_accumulation()
     return model
+
+
+def fault_summary(model: Module) -> "FaultSummary":
+    """Aggregate injected-fault counts over every non-ideal layer."""
+    total = FaultSummary()
+    for _name, module in model.named_modules():
+        if isinstance(module, (NonIdealConv2d, NonIdealLinear)):
+            total.merge(module.engine.fault_summary)
+    return total
+
+
+def guard_trips(model: Module) -> int:
+    """Total health-guard interceptions across every non-ideal layer."""
+    return sum(
+        module.engine.guard_trips
+        for _name, module in model.named_modules()
+        if isinstance(module, (NonIdealConv2d, NonIdealLinear))
+    )
 
 
 def convert_to_hardware(
@@ -513,6 +687,9 @@ def convert_to_hardware(
         to crossbars; ablations may pin e.g. the classifier head).
     """
     predictor = predictor or load_or_train_geniex(config)
+    # One shared generator across layers so programming noise and fault
+    # maps decorrelate layer-to-layer even when no rng is supplied.
+    rng = rng or np.random.default_rng(0)
     hardware = copy.deepcopy(model)
     replacements: list[tuple[str, Module]] = []
     for name, module in hardware.named_modules():

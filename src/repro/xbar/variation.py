@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.module import Module
+from repro.xbar.faults import FaultConfig, with_faults
 from repro.xbar.presets import CrossbarConfig, load_or_train_geniex
 from repro.xbar.simulator import ColumnPredictor, convert_to_hardware
 
@@ -40,12 +41,16 @@ def program_chip(
     chip_seed: int,
     predictor: ColumnPredictor | None = None,
     calibration_images: np.ndarray | None = None,
+    faults: FaultConfig | None = None,
 ) -> Module:
     """Program ``model`` onto one chip instance.
 
     Each ``chip_seed`` draws an independent realization of the device
     programming noise — two chips compute *different* fixed functions
-    even though they share the design and the weights.
+    even though they share the design and the weights.  ``faults``
+    optionally composes a device/line fault population on top of the
+    write noise (see :mod:`repro.xbar.faults`); the fault map is also
+    chip-specific, keyed off the same ``chip_seed``.
 
     Note: the GENIEx surrogate is conditioned on the programmed
     conductances, so per-chip variation flows through prediction
@@ -53,6 +58,8 @@ def program_chip(
     column features).
     """
     varied = with_programming_variation(config, sigma)
+    if faults is not None:
+        varied = with_faults(varied, faults)
     predictor = predictor or load_or_train_geniex(config)
     return convert_to_hardware(
         model,
@@ -94,12 +101,16 @@ def chip_transfer_study(
     calibration_images: np.ndarray | None = None,
     predictor: ColumnPredictor | None = None,
     seed: int = 0,
+    faults: FaultConfig | None = None,
 ) -> ChipTransferResult:
     """Craft a hardware-in-loop attack on chip 0, evaluate on chips 1..n.
 
     Returns per-chip adversarial accuracies; a positive
     ``transfer_penalty`` reproduces the paper's conjecture that
-    chip-to-chip variation hinders attack transfer.
+    chip-to-chip variation hinders attack transfer.  ``faults``
+    composes per-chip device/line faults with the write noise, so the
+    study can ask whether *fault* diversity alone (sigma=0) already
+    hinders transfer.
     """
     from repro.attacks.hil import hil_whitebox_pgd
     from repro.core.evaluation import adversarial_accuracy
@@ -115,6 +126,7 @@ def chip_transfer_study(
             chip_seed=seed + i,
             predictor=predictor,
             calibration_images=calibration_images,
+            faults=faults,
         )
         for i in range(num_chips)
     ]

@@ -1,0 +1,190 @@
+"""Reliability experiment + CLI plumbing at tiny scale.
+
+Mirrors ``tests/test_experiments.py``: datasets and Table-I presets are
+patched to tiny variants so the full sweep (fault injection, transfer
+PGD, HIL PGD) runs in seconds.  Structure and invariants are verified
+here; real-scale numbers come from ``benchmarks/bench_13_reliability.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.xbar.presets as presets_mod
+from repro.core.evaluation import EvaluationScale, HardwareLab
+from repro.data import synthetic
+from repro.experiments import reliability
+from repro.experiments.shared import AttackFactory
+from repro.train.trainer import evaluate_accuracy
+from repro.train.zoo import ModelZoo
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture(scope="module")
+def reliability_env(tmp_path_factory):
+    """Tiny datasets + tiny presets (module scope), as in test_experiments."""
+    tmp = tmp_path_factory.mktemp("reliability-artifacts")
+
+    tiny_spec = synthetic.SyntheticTaskSpec(
+        name="cifar10",
+        num_classes=4,
+        image_size=8,
+        train_size=300,
+        test_size=120,
+        prototypes_per_class=1,
+        basis_cutoff=3,
+        instance_noise=0.4,
+        pixel_noise=0.05,
+        model="resnet20",
+        model_width=4,
+        epochs=2,
+        seed=42,
+        attack_eval_size=32,
+    )
+    saved_tasks = dict(synthetic.TASKS)
+    synthetic.TASKS["cifar10"] = tiny_spec
+
+    saved_presets = dict(presets_mod.CROSSBAR_PRESETS)
+    presets_mod.CROSSBAR_PRESETS["64x64_300k"] = make_tiny_crossbar_config(
+        rows=8, cols=8, r_on=300e3
+    )
+    presets_mod.CROSSBAR_PRESETS["32x32_100k"] = make_tiny_crossbar_config(
+        rows=8, cols=8, r_on=150e3
+    )
+    presets_mod.CROSSBAR_PRESETS["64x64_100k"] = make_tiny_crossbar_config(
+        rows=16, cols=16, r_on=100e3
+    )
+    for key in presets_mod.CROSSBAR_PRESETS:
+        cfg = presets_mod.CROSSBAR_PRESETS[key]
+        presets_mod.CROSSBAR_PRESETS[key] = presets_mod.with_overrides(cfg, name=key)
+
+    lab = HardwareLab(scale=EvaluationScale.tiny(), zoo=ModelZoo(cache_dir=tmp))
+    saved_env = os.environ.get("REPRO_ARTIFACTS")
+    os.environ["REPRO_ARTIFACTS"] = str(tmp)
+
+    yield lab
+
+    synthetic.TASKS.clear()
+    synthetic.TASKS.update(saved_tasks)
+    presets_mod.CROSSBAR_PRESETS.clear()
+    presets_mod.CROSSBAR_PRESETS.update(saved_presets)
+    if saved_env is None:
+        os.environ.pop("REPRO_ARTIFACTS", None)
+    else:
+        os.environ["REPRO_ARTIFACTS"] = saved_env
+
+
+class TestReliabilityExperiment:
+    def test_run_structure_and_invariants(self, reliability_env):
+        lab = reliability_env
+        result = reliability.run(
+            lab,
+            presets=["64x64_300k"],
+            fault_rates=(0.0, 0.2),
+            drift_times=(1e4,),
+            hil_iterations=2,
+        )
+        cells = result.data["cells"]["64x64_300k"]
+        by_axis = {}
+        for cell in cells:
+            by_axis.setdefault(cell.axis, []).append(cell)
+        assert [c.value for c in by_axis["fault_rate"]] == [0.0, 0.2]
+        assert [c.value for c in by_axis["drift_time"]] == [1e4]
+        for cell in cells:
+            assert 0.0 <= cell.clean <= 1.0
+            assert 0.0 <= cell.transfer_pgd <= 1.0
+            assert 0.0 <= cell.hil_pgd <= 1.0
+        # The zero-fault cell reports a pristine chip ...
+        assert by_axis["fault_rate"][0].stuck_fraction == 0.0
+        assert by_axis["fault_rate"][0].dead_lines == 0
+        # ... and the faulted cell reports roughly the requested rate.
+        assert 0.1 < by_axis["fault_rate"][1].stuck_fraction < 0.3
+        assert 0.0 <= result.data["baseline_transfer"] <= 1.0
+        # The headline table is printable and carries both sweeps.
+        text = "\n".join(result.rows)
+        assert "stuck-cell rate sweep" in text and "drift-time sweep" in text
+
+    def test_zero_fault_cell_matches_pristine_hardware(self, reliability_env):
+        """rate=0 + sigma=0 must reproduce lab.hardware exactly."""
+        lab = reliability_env
+        hardware = reliability.build_faulted_hardware(
+            lab, "cifar10", "64x64_300k", reliability.stuck_cell_faults(0.0)
+        )
+        x, y = lab.eval_set("cifar10")
+        assert evaluate_accuracy(hardware, x, y) == evaluate_accuracy(
+            lab.hardware("cifar10", "64x64_300k"), x, y
+        )
+
+    def test_fault_config_builders(self):
+        faults = reliability.stuck_cell_faults(0.1, gmax_fraction=0.25)
+        assert faults.stuck_at_gmin_rate == pytest.approx(0.075)
+        assert faults.stuck_at_gmax_rate == pytest.approx(0.025)
+        assert not faults.has_drift
+        drift = reliability.drift_faults(1e5)
+        assert drift.has_drift and not drift.has_stuck_cells
+        assert not reliability.drift_faults(0.5).has_drift
+
+
+class TestReliabilityCLI:
+    def test_cli_smoke_prints_table(self, reliability_env, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "reliability",
+                "--fast",
+                "--preset",
+                "64x64_300k",
+                "--rates",
+                "0,0.1",
+                "--drift-times",
+                "",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Reliability" in out
+        assert "stuck-cell rate sweep" in out
+
+    def test_cli_rejects_bad_rates(self, capsys):
+        from repro.cli import main
+
+        rc = main(["reliability", "--fast", "--rates", "0,banana"])
+        assert rc == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+
+class TestAttackFactoryCache:
+    def test_distinct_victims_get_distinct_tokens(self, reliability_env):
+        factory = AttackFactory(reliability_env)
+        from repro.nn.layers import Linear
+
+        a, b = Linear(4, 2), Linear(4, 2)
+        token_a = factory._victim_token(a)
+        token_b = factory._victim_token(b)
+        assert token_a != token_b
+        # Tokens are sticky per object across repeated lookups.
+        assert factory._victim_token(a) == token_a
+
+    def test_token_survives_id_reuse(self, reliability_env):
+        """A freed victim's id() being recycled must not alias the cache.
+
+        The token rides on the object itself, so a new object can never
+        inherit a dead victim's cache slot the way raw id() keys could.
+        """
+        import gc
+
+        from repro.nn.layers import Linear
+
+        factory = AttackFactory(reliability_env)
+        a = Linear(4, 2)
+        token_a = factory._victim_token(a)
+        del a
+        gc.collect()
+        tokens = {factory._victim_token(Linear(4, 2)) for _ in range(20)}
+        assert token_a not in tokens
+        assert len(tokens) == 20

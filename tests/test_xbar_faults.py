@@ -1,0 +1,359 @@
+"""Fault-injection layer: stuck cells, drift, line faults, guard.
+
+Property-based coverage (hypothesis) for the invariants the reliability
+subsystem is built on: seeded idempotence, physical conductance bounds,
+rate-0 no-op bit-exactness through the engine, and exact line-kill
+semantics.  Plus unit tests for the engine's graceful-degradation
+guard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xbar.device import DeviceConfig, RRAMDevice
+from repro.xbar.faults import (
+    FaultConfig,
+    FaultModel,
+    GuardConfig,
+    TileHealthError,
+    with_faults,
+    with_guard,
+)
+from repro.xbar.simulator import (
+    CrossbarEngine,
+    IdealPredictor,
+    convert_to_hardware,
+    fault_summary,
+    guard_trips,
+)
+
+from tests.conftest import make_tiny_crossbar_config
+
+DEVICE = DeviceConfig()
+
+
+def random_conductances(rng: np.random.Generator, shape=(12, 10)) -> np.ndarray:
+    return DEVICE.g_min + rng.random(shape) * (DEVICE.g_max - DEVICE.g_min)
+
+
+rates = st.floats(min_value=0.0, max_value=0.4)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def fault_configs(**overrides):
+    return st.builds(
+        FaultConfig,
+        stuck_at_gmin_rate=overrides.get("stuck_at_gmin_rate", rates),
+        stuck_at_gmax_rate=overrides.get("stuck_at_gmax_rate", rates),
+        drift_time=st.floats(min_value=0.0, max_value=1e8),
+        drift_nu=st.floats(min_value=0.0, max_value=0.2),
+        drift_sigma=st.floats(min_value=0.0, max_value=1.0),
+        dead_row_rate=rates,
+        dead_col_rate=rates,
+        seed=seeds,
+    )
+
+
+class TestFaultModelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(config=fault_configs(), chip=st.integers(0, 2**31 - 1), tile=st.integers(0, 50))
+    def test_injection_idempotent_per_seed(self, config, chip, tile):
+        """The fault map is a pure function of (seed, chip, tile)."""
+        g = random_conductances(np.random.default_rng(7))
+        model_a = FaultModel(config, DEVICE, chip_token=chip)
+        model_b = FaultModel(config, DEVICE, chip_token=chip)
+        out_a, sum_a = model_a.inject(g, tile)
+        out_b, sum_b = model_b.inject(g, tile)
+        np.testing.assert_array_equal(out_a, out_b)
+        assert (sum_a.stuck_gmin, sum_a.dead_rows) == (sum_b.stuck_gmin, sum_b.dead_rows)
+
+    @settings(max_examples=25, deadline=None)
+    @given(config=fault_configs(), seed=seeds)
+    def test_respects_conductance_bounds(self, config, seed):
+        g = random_conductances(np.random.default_rng(seed))
+        faulted, _ = FaultModel(config, DEVICE).inject(g, 0)
+        assert faulted.min() >= DEVICE.g_min - 1e-18
+        assert faulted.max() <= DEVICE.g_max + 1e-18
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_disabled_config_is_identity(self, seed):
+        g = random_conductances(np.random.default_rng(seed))
+        config = FaultConfig()
+        assert not config.enabled
+        faulted, summary = FaultModel(config, DEVICE).inject(g, 3)
+        np.testing.assert_array_equal(faulted, g)
+        assert summary.stuck_gmin == summary.stuck_gmax == 0
+
+    def test_input_never_modified(self):
+        g = random_conductances(np.random.default_rng(0))
+        snapshot = g.copy()
+        FaultModel(
+            FaultConfig(stuck_at_gmin_rate=0.5, dead_row_rate=0.5), DEVICE
+        ).inject(g, 0)
+        np.testing.assert_array_equal(g, snapshot)
+
+    def test_different_chips_draw_different_maps(self):
+        g = random_conductances(np.random.default_rng(1))
+        config = FaultConfig(stuck_at_gmin_rate=0.3)
+        a, _ = FaultModel(config, DEVICE, chip_token=1).inject(g, 0)
+        b, _ = FaultModel(config, DEVICE, chip_token=2).inject(g, 0)
+        assert not np.array_equal(a, b)
+
+    def test_stuck_map_stable_under_drift_toggle(self):
+        """Enabling drift must not reshuffle the stuck-cell positions.
+
+        Detection uses g_max: drift only ever decays conductance, so
+        after injection exactly the stuck-at-ON cells sit at g_max.
+        """
+        g = random_conductances(np.random.default_rng(2))
+        plain, _ = FaultModel(FaultConfig(stuck_at_gmax_rate=0.3), DEVICE).inject(g, 0)
+        drifted, _ = FaultModel(
+            FaultConfig(stuck_at_gmax_rate=0.3, drift_time=1e4, drift_nu=0.05),
+            DEVICE,
+        ).inject(g, 0)
+        assert (plain == DEVICE.g_max).any()
+        np.testing.assert_array_equal(
+            plain == DEVICE.g_max, drifted == DEVICE.g_max
+        )
+
+
+class TestLineFaults:
+    def test_line_faults_kill_exactly_the_addressed_lines(self):
+        g = random_conductances(np.random.default_rng(3), shape=(16, 14))
+        # Keep every cell strictly above g_min so "killed" is detectable.
+        g = np.maximum(g, DEVICE.g_min + 0.1 * (DEVICE.g_max - DEVICE.g_min))
+        model = FaultModel(
+            FaultConfig(dead_row_rate=0.3, dead_col_rate=0.3, seed=11), DEVICE
+        )
+        faulted, summary = model.inject(g, 0)
+        dead_rows = np.where((faulted == DEVICE.g_min).all(axis=1))[0]
+        dead_cols = np.where((faulted == DEVICE.g_min).all(axis=0))[0]
+        assert len(dead_rows) == summary.dead_rows
+        assert len(dead_cols) == summary.dead_cols
+        assert summary.dead_rows > 0 and summary.dead_cols > 0
+        # Every cell outside a dead line is untouched.
+        alive = np.ones_like(g, dtype=bool)
+        alive[dead_rows, :] = False
+        alive[:, dead_cols] = False
+        np.testing.assert_array_equal(faulted[alive], g[alive])
+
+    def test_all_lines_dead_zeroes_engine_output(self):
+        """A fully dead array contributes nothing to any dot product."""
+        config = with_faults(
+            make_tiny_crossbar_config(gain_calibration=0),
+            FaultConfig(dead_col_rate=1.0),
+        )
+        rng = np.random.default_rng(4)
+        weight = rng.normal(0, 0.4, size=(5, 8)).astype(np.float32)
+        engine = CrossbarEngine(weight, config, IdealPredictor())
+        out = engine.matvec(rng.random((6, 8)).astype(np.float32))
+        np.testing.assert_allclose(out, np.zeros_like(out), atol=1e-12)
+
+
+class TestDrift:
+    def test_drift_decays_monotonically(self):
+        g = random_conductances(np.random.default_rng(5))
+        def drift_at(t):
+            model = FaultModel(
+                FaultConfig(drift_time=t, drift_nu=0.05, drift_sigma=0.0), DEVICE
+            )
+            out, _ = model.inject(g, 0)
+            return out
+
+        g1, g2 = drift_at(1e2), drift_at(1e5)
+        assert (g1 <= g + 1e-18).all()
+        assert (g2 <= g1 + 1e-18).all()
+        assert (g2 < g1).any()
+
+    def test_drift_below_t0_is_identity(self):
+        g = random_conductances(np.random.default_rng(6))
+        config = FaultConfig(drift_time=0.5, drift_t0=1.0, drift_nu=0.1)
+        assert not config.has_drift
+        out, _ = FaultModel(config, DEVICE).inject(g, 0)
+        np.testing.assert_array_equal(out, g)
+
+    def test_refresh_requantizes_to_levels(self):
+        device_ops = RRAMDevice(DEVICE)
+        levels = np.random.default_rng(8).integers(0, DEVICE.num_levels, size=(10, 10))
+        g = device_ops.level_to_conductance(levels)
+        model = FaultModel(
+            FaultConfig(drift_time=1e6, drift_nu=0.08, drift_sigma=0.4), DEVICE
+        )
+        drifted, _ = model.inject(g, 0)
+        refreshed = model.refresh(drifted)
+        # Refreshed conductances sit exactly on the programmable grid.
+        grid = device_ops.level_to_conductance(np.arange(DEVICE.num_levels))
+        assert np.isin(np.round(refreshed, 12), np.round(grid, 12)).all()
+
+    def test_refresh_recovers_mild_drift_exactly(self):
+        """Drift below half a level step is fully undone by a refresh."""
+        device_ops = RRAMDevice(DEVICE)
+        levels = np.random.default_rng(9).integers(0, DEVICE.num_levels, size=(10, 10))
+        g = device_ops.level_to_conductance(levels)
+        model = FaultModel(
+            FaultConfig(drift_time=10.0, drift_nu=0.02, drift_sigma=0.0), DEVICE
+        )
+        drifted, _ = model.inject(g, 0)
+        assert not np.array_equal(drifted, g)
+        np.testing.assert_allclose(model.refresh(drifted), g, rtol=1e-12)
+
+
+class TestFaultConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stuck_at_gmin_rate": -0.1},
+            {"stuck_at_gmax_rate": 1.5},
+            {"stuck_at_gmin_rate": 0.7, "stuck_at_gmax_rate": 0.7},
+            {"drift_t0": 0.0},
+            {"drift_time": -1.0},
+            {"drift_nu": -0.1},
+            {"dead_row_rate": 2.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+    def test_guard_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            GuardConfig(mode="panic")
+
+
+class TestEngineFaultIntegration:
+    def test_rate_zero_bit_exact_no_op(self, rng):
+        """FaultConfig() through the engine is bit-identical to no faults."""
+        base = make_tiny_crossbar_config()
+        weight = rng.normal(0, 0.4, size=(5, 12)).astype(np.float32)
+        x = rng.random((9, 12)).astype(np.float32)
+        out_base = CrossbarEngine(weight, base, IdealPredictor()).matvec(x)
+        out_nofault = CrossbarEngine(
+            weight, with_faults(base, FaultConfig()), IdealPredictor()
+        ).matvec(x)
+        np.testing.assert_array_equal(out_base, out_nofault)
+
+    def test_faults_are_deterministic_per_engine_build(self, rng):
+        config = with_faults(
+            make_tiny_crossbar_config(), FaultConfig(stuck_at_gmin_rate=0.1, seed=3)
+        )
+        weight = rng.normal(0, 0.4, size=(5, 12)).astype(np.float32)
+        x = rng.random((6, 12)).astype(np.float32)
+        a = CrossbarEngine(weight, config, IdealPredictor(), np.random.default_rng(9))
+        b = CrossbarEngine(weight, config, IdealPredictor(), np.random.default_rng(9))
+        np.testing.assert_array_equal(a.matvec(x), b.matvec(x))
+        assert a.fault_summary.stuck_gmin == b.fault_summary.stuck_gmin > 0
+
+    def test_stuck_cells_degrade_not_destroy(self, rng):
+        base = make_tiny_crossbar_config()
+        weight = rng.normal(0, 0.4, size=(5, 12)).astype(np.float32)
+        x = rng.random((30, 12)).astype(np.float32)
+        faulted = CrossbarEngine(
+            weight,
+            with_faults(base, FaultConfig(stuck_at_gmin_rate=0.05, seed=2)),
+            IdealPredictor(),
+        ).matvec(x)
+        ideal = x @ weight.T
+        assert not np.allclose(faulted, ideal)
+        corr = np.corrcoef(faulted.ravel(), ideal.ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_convert_to_hardware_reports_fault_summary(self, tiny_victim, tiny_geniex):
+        config = with_faults(
+            make_tiny_crossbar_config(), FaultConfig(stuck_at_gmin_rate=0.05, seed=5)
+        )
+        hardware = convert_to_hardware(tiny_victim, config, predictor=tiny_geniex)
+        summary = fault_summary(hardware)
+        assert summary.tiles > 0 and summary.cells > 0
+        assert summary.stuck_gmin > 0
+        assert 0.01 < summary.stuck_gmin / summary.cells < 0.12
+
+
+class _NaNPredictor(IdealPredictor):
+    """Ideal backend that poisons its first output column with NaN."""
+
+    def predict_from_bias(self, voltages, column_bias, chunk=8192):
+        out = np.asarray(voltages) @ column_bias
+        out[:, 0] = np.nan
+        return out
+
+
+class _SaturatingPredictor(IdealPredictor):
+    """Ideal backend that returns absurdly saturated currents."""
+
+    def predict_from_bias(self, voltages, column_bias, chunk=8192):
+        out = np.asarray(voltages) @ column_bias
+        out[:, 0] = 1e6
+        return out
+
+
+class TestGracefulDegradation:
+    def _engine(self, guard: GuardConfig, predictor):
+        config = with_guard(make_tiny_crossbar_config(gain_calibration=0), guard)
+        weight = np.random.default_rng(2).normal(0, 0.4, size=(5, 12)).astype(np.float32)
+        return CrossbarEngine(weight, config, predictor), weight
+
+    def test_fallback_catches_nan_tile(self, caplog):
+        import logging
+
+        engine, weight = self._engine(GuardConfig(mode="fallback"), _NaNPredictor())
+        x = np.random.default_rng(3).random((7, 12)).astype(np.float32)
+        with caplog.at_level(logging.WARNING, logger="repro.xbar.simulator"):
+            out = engine.matvec(x)
+        assert np.isfinite(out).all()
+        assert engine.guard_trips > 0
+        assert any("unhealthy" in rec.message for rec in caplog.records)
+        # The digital fallback keeps the result usable, not garbage.
+        ideal = x @ weight.T
+        corr = np.corrcoef(out.ravel(), ideal.ravel())[0, 1]
+        assert corr > 0.95
+
+    def test_fallback_catches_saturated_tile(self):
+        engine, _ = self._engine(
+            GuardConfig(mode="fallback", saturation_factor=4.0), _SaturatingPredictor()
+        )
+        x = np.random.default_rng(3).random((4, 12)).astype(np.float32)
+        out = engine.matvec(x)
+        assert engine.guard_trips > 0
+        assert np.abs(out).max() < 1e4
+
+    def test_raise_mode_raises(self):
+        engine, _ = self._engine(GuardConfig(mode="raise"), _NaNPredictor())
+        with pytest.raises(TileHealthError):
+            engine.matvec(np.random.default_rng(3).random((2, 12)).astype(np.float32))
+
+    def test_off_mode_propagates(self):
+        engine, _ = self._engine(GuardConfig(mode="off"), _NaNPredictor())
+        out = engine.matvec(np.random.default_rng(3).random((2, 12)).astype(np.float32))
+        assert np.isnan(out).any()
+        assert engine.guard_trips == 0
+
+    def test_warn_mode_detects_but_keeps_values(self):
+        engine, _ = self._engine(GuardConfig(mode="warn"), _NaNPredictor())
+        out = engine.matvec(np.random.default_rng(3).random((2, 12)).astype(np.float32))
+        assert np.isnan(out).any()
+        assert engine.guard_trips > 0
+
+    def test_healthy_engine_never_trips(self, rng):
+        config = make_tiny_crossbar_config()
+        weight = rng.normal(0, 0.4, size=(5, 12)).astype(np.float32)
+        engine = CrossbarEngine(weight, config, IdealPredictor())
+        engine.matvec(rng.random((6, 12)).astype(np.float32))
+        assert engine.guard_trips == 0
+
+    def test_model_level_guard_counter(self, tiny_victim):
+        config = with_guard(
+            make_tiny_crossbar_config(gain_calibration=0), GuardConfig(mode="fallback")
+        )
+        hardware = convert_to_hardware(tiny_victim, config, predictor=_NaNPredictor())
+        from repro.autograd.tensor import Tensor, no_grad
+
+        x = np.random.default_rng(0).random((2, 3, 8, 8)).astype(np.float32)
+        with no_grad():
+            out = hardware(Tensor(x))
+        assert np.isfinite(out.data).all()
+        assert guard_trips(hardware) > 0

@@ -276,3 +276,84 @@ class TestConvertToHardware:
         loss = F.cross_entropy(hardware(x), np.array([0, 1]))
         loss.backward()
         assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+
+class TestInputValidation:
+    def test_matvec_rejects_nan_input(self, engine_setup):
+        engine, _ = engine_setup
+        x = np.zeros((3, 12), dtype=np.float32)
+        x[1, 4] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            engine.matvec(x)
+
+    def test_matvec_rejects_inf_input(self, engine_setup):
+        engine, _ = engine_setup
+        x = np.zeros((3, 12), dtype=np.float32)
+        x[0, 0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            engine.matvec(x)
+
+    def test_matvec_raw_rejects_non_finite(self, engine_setup):
+        engine, _ = engine_setup
+        x = np.full((2, 12), -np.inf, dtype=np.float32)
+        with pytest.raises(ValueError, match="non-finite"):
+            engine.matvec_raw(x)
+
+
+class TestStreamingCalibration:
+    def test_calibrate_hardware_consumes_every_batch(self, tiny_victim, tiny_geniex, monkeypatch):
+        """The calibration loop must iterate the full image set, not just
+        the first batch."""
+        config = make_tiny_crossbar_config()
+        hardware = convert_to_hardware(tiny_victim, config, predictor=tiny_geniex)
+        images = np.random.default_rng(5).random((22, 3, 8, 8)).astype(np.float32)
+        seen = []
+        original = type(hardware).forward
+
+        def counting_forward(self, x):
+            seen.append(x.data.shape[0])
+            return original(self, x)
+
+        monkeypatch.setattr(type(hardware), "forward", counting_forward)
+        calibrate_hardware(hardware, images, batch_size=8)
+        assert seen == [8, 8, 6]
+
+    def test_accumulated_gains_match_single_batch_fit(self, tiny_geniex, rng):
+        """Accumulating statistics batch-by-batch must give the same
+        gains as one pass over the concatenated vectors.
+
+        The DAC range adapts to each batch's max, so every chunk pins
+        one entry to the global max — with identical quantization grids
+        the sufficient statistics must agree exactly.
+        """
+        config = make_tiny_crossbar_config(gain_calibration=0)
+        weight = rng.normal(0, 0.4, size=(5, 12)).astype(np.float32)
+        vectors = rng.random((24, 12)).astype(np.float32)
+        vectors[::8, 0] = 1.0
+
+        streamed = CrossbarEngine(weight, config, tiny_geniex)
+        streamed.begin_gain_accumulation()
+        for chunk in np.split(vectors, 3):
+            streamed.accumulate_gain(chunk, weight)
+        streamed.finish_gain_accumulation()
+
+        whole = CrossbarEngine(weight, config, tiny_geniex)
+        whole.begin_gain_accumulation()
+        whole.accumulate_gain(vectors, weight)
+        whole.finish_gain_accumulation()
+
+        np.testing.assert_allclose(streamed.gain, whole.gain, rtol=1e-6)
+        assert not np.allclose(streamed.gain, 1.0)
+
+    def test_multi_batch_calibration_not_worse_than_single(
+        self, tiny_victim, tiny_task, tiny_geniex
+    ):
+        from repro.train.trainer import evaluate_accuracy
+
+        config = make_tiny_crossbar_config(gain_calibration=0)
+        hardware = convert_to_hardware(tiny_victim, config, predictor=tiny_geniex)
+        calibrate_hardware(hardware, tiny_task.x_train[:20], batch_size=8)
+        x, y = tiny_task.x_test[:60], tiny_task.y_test[:60]
+        acc_digital = evaluate_accuracy(tiny_victim, x, y)
+        acc_hardware = evaluate_accuracy(hardware, x, y)
+        assert acc_hardware > acc_digital - 0.25

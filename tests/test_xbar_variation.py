@@ -81,3 +81,42 @@ class TestTransferStudy:
                 num_chips=1,
                 predictor=tiny_geniex,
             )
+
+
+class TestFaultComposition:
+    def test_program_chip_composes_faults_with_write_noise(
+        self, tiny_victim, tiny_geniex
+    ):
+        from repro.xbar.faults import FaultConfig
+        from repro.xbar.simulator import fault_summary
+
+        config = make_tiny_crossbar_config()
+        chip = program_chip(
+            tiny_victim,
+            config,
+            sigma=0.05,
+            chip_seed=3,
+            predictor=tiny_geniex,
+            faults=FaultConfig(stuck_at_gmin_rate=0.1, seed=7),
+        )
+        summary = fault_summary(chip)
+        assert summary.cells > 0 and summary.stuck_gmin > 0
+        # Still computes a usable function despite noise + faults.
+        x = np.random.default_rng(0).random((4, 3, 8, 8)).astype(np.float32)
+        assert np.isfinite(predict_logits(chip, x, batch_size=4)).all()
+
+    def test_faulted_chips_differ_per_seed(self, tiny_victim, tiny_geniex):
+        from repro.xbar.faults import FaultConfig
+        from repro.xbar.simulator import fault_summary
+
+        config = make_tiny_crossbar_config()
+        faults = FaultConfig(stuck_at_gmin_rate=0.1, seed=7)
+        a = program_chip(tiny_victim, config, sigma=0.0, chip_seed=1,
+                         predictor=tiny_geniex, faults=faults)
+        b = program_chip(tiny_victim, config, sigma=0.0, chip_seed=2,
+                         predictor=tiny_geniex, faults=faults)
+        x = np.random.default_rng(0).random((4, 3, 8, 8)).astype(np.float32)
+        assert not np.allclose(
+            predict_logits(a, x, batch_size=4), predict_logits(b, x, batch_size=4)
+        )
+        assert fault_summary(a).stuck_gmin > 0
