@@ -25,4 +25,8 @@ echo "=== CLI smoke: reliability --fast ==="
 python -m repro reliability --fast --rates 0,0.05 --drift-times 1e4
 
 echo
+echo "=== bench smoke: hot-path microbenchmark (tiny profile) ==="
+REPRO_BENCH_PROFILE=tiny python scripts/bench_perf.py
+
+echo
 echo "ci: all checks passed"

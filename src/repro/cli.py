@@ -31,6 +31,14 @@ def _make_lab(args) -> HardwareLab:
     return HardwareLab(scale=scale, **kwargs)
 
 
+def _maybe_print_perf(args, lab: HardwareLab) -> None:
+    """Dump hot-path counters when the command was run with ``--perf``."""
+    if getattr(args, "perf", False):
+        from repro.xbar.perf import format_perf
+
+        print(format_perf(lab.hardware_models))
+
+
 def cmd_info(_args) -> int:
     import repro
     from repro.data.synthetic import TASKS
@@ -81,6 +89,7 @@ def cmd_table3(args) -> int:
 
     lab = _make_lab(args)
     table3.run(lab, tasks=[args.task]).print()
+    _maybe_print_perf(args, lab)
     return 0
 
 
@@ -89,6 +98,7 @@ def cmd_table4(args) -> int:
 
     lab = _make_lab(args)
     table4.run(lab, tasks=[args.task]).print()
+    _maybe_print_perf(args, lab)
     return 0
 
 
@@ -101,6 +111,7 @@ def cmd_fig(args) -> int:
         return 2
     lab = _make_lab(args)
     modules[args.number].run(lab, tasks=[args.task]).print()
+    _maybe_print_perf(args, lab)
     return 0
 
 
@@ -127,6 +138,7 @@ def cmd_reliability(args) -> int:
         program_sigma=args.sigma,
         dead_line_rate=args.dead_lines,
     ).print()
+    _maybe_print_perf(args, lab)
     return 0
 
 
@@ -141,6 +153,7 @@ def cmd_energy(args) -> int:
     )
     print(f"energy estimate: {args.task} victim on {args.preset}, batch={args.batch}")
     print(estimate.format())
+    _maybe_print_perf(args, lab)
     return 0
 
 
@@ -153,6 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["cifar10", "cifar100", "imagenet"])
         p.add_argument("--fast", action="store_true", help="tiny victims + tiny eval")
         p.add_argument("--eval-size", type=int, default=64)
+        p.add_argument("--perf", action="store_true",
+                       help="print hot-path perf counters (MVMs, streams, "
+                            "predictor time, engine-cache hits) after the run")
 
     sub.add_parser("info").set_defaults(func=cmd_info)
 

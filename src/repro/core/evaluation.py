@@ -159,6 +159,16 @@ class HardwareLab:
             )
         return self._hardware[key]
 
+    @property
+    def hardware_models(self) -> dict[str, Module]:
+        """Converted hardware models built so far, keyed ``task/preset``.
+
+        Read-only snapshot for reporting (e.g. the CLI's ``--perf``
+        hot-path counter dump); building still goes through
+        :meth:`hardware`.
+        """
+        return {f"{task}/{preset}": model for (task, preset), model in self._hardware.items()}
+
     def defense(self, task: str, name: str) -> Module:
         """A comparison defense wrapped around the pretrained victim.
 

@@ -41,15 +41,26 @@ from repro.xbar.presets import (
     preset_names,
 )
 from repro.xbar.simulator import (
+    KERNEL_MODES,
+    CircuitPredictor,
     CrossbarEngine,
+    IdealPredictor,
     NonIdealConv2d,
     NonIdealLinear,
     convert_to_hardware,
     build_engine,
     calibrate_hardware,
+    default_kernel,
     fault_summary,
     guard_trips,
 )
+from repro.xbar.engine_cache import (
+    ENGINE_CACHE,
+    EngineCache,
+    clear_engine_cache,
+    engine_key,
+)
+from repro.xbar.perf import PerfCounters, PerfReport, format_perf, perf_report, reset_perf
 from repro.xbar.noise import GaussianNoiseModel, calibrated_noise_model
 
 __all__ = [
@@ -73,6 +84,10 @@ __all__ = [
     "crossbar_preset",
     "preset_names",
     "CrossbarEngine",
+    "IdealPredictor",
+    "CircuitPredictor",
+    "KERNEL_MODES",
+    "default_kernel",
     "NonIdealConv2d",
     "NonIdealLinear",
     "convert_to_hardware",
@@ -80,6 +95,15 @@ __all__ = [
     "calibrate_hardware",
     "fault_summary",
     "guard_trips",
+    "EngineCache",
+    "ENGINE_CACHE",
+    "engine_key",
+    "clear_engine_cache",
+    "PerfCounters",
+    "PerfReport",
+    "perf_report",
+    "reset_perf",
+    "format_perf",
     "FaultConfig",
     "FaultModel",
     "FaultSummary",

@@ -1,0 +1,400 @@
+"""Optional compiled kernels for the analog hot path.
+
+NumPy's broadcast ufuncs pay their inner-loop dispatch once per 32-wide
+hidden row in the GENIEx deviation evaluation, which caps the hottest
+elementwise passes at a fraction of memory speed on this workload.  The
+two kernels here replace those passes with tiny C loops compiled at
+first use with the system compiler (no third-party dependency: ctypes +
+``cc``), under strict IEEE semantics:
+
+* ``fused_bias_relu`` — ``out[i,c,h] = relu(hv[i,h] + bias[c,h])`` in a
+  single pass (numpy needs a broadcast add plus an in-place maximum);
+* ``poly_backbone`` — the five-term GENIEx polynomial backbone with the
+  exact association order of the numpy expression, in one pass and
+  without the chain of float64 temporaries.
+
+Bit-identity is the contract: compilation uses ``-ffp-contract=off``
+and ``-fno-fast-math`` so every add/multiply rounds exactly like the
+corresponding numpy ufunc, the ReLU reproduces ``np.maximum``'s
+``-0.0``/NaN behavior, and the golden regression tests compare the
+compiled and pure-numpy paths bit for bit.
+
+If no compiler is present (or ``REPRO_XBAR_CKERNELS=0``), everything
+transparently falls back to the numpy implementations — the kernels are
+an accelerator, never a requirement.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+_SOURCE = r"""
+/* IEEE-strict helpers for the GENIEx hot path.  Compiled with
+ * -ffp-contract=off so no multiply-add is fused; every operation
+ * rounds exactly once, like the numpy ufunc chain it replaces. */
+
+#include <math.h>
+
+void fused_bias_relu(const float *hv, const float *bias, float *out,
+                     long n, long cols, long hidden)
+{
+    for (long i = 0; i < n; ++i) {
+        const float *row = hv + i * hidden;
+        float *dst = out + i * cols * hidden;
+        for (long c = 0; c < cols; ++c) {
+            const float *b = bias + c * hidden;
+            float *o = dst + c * hidden;
+            for (long h = 0; h < hidden; ++h) {
+                float t = row[h] + b[h];
+                /* np.maximum(t, 0.0): NaN propagates, -0.0 -> +0.0 */
+                o[h] = (t == t) ? (t > 0.0f ? t : 0.0f) : t;
+            }
+        }
+    }
+}
+
+void poly_backbone(const float *i_frac, const float *v_frac,
+                   const double *c, double *out, long n, long cols)
+{
+    /* ((((c0 + c1*x) + (c2*x)*x) + c3*v) + (c4*x)*v) — the exact
+     * association order of the numpy expression, term by term. */
+    for (long i = 0; i < n; ++i) {
+        double v = (double)v_frac[i];
+        double c3v = c[3] * v;
+        const float *xi = i_frac + i * cols;
+        double *o = out + i * cols;
+        for (long j = 0; j < cols; ++j) {
+            double x = (double)xi[j];
+            double acc = c[0] + c[1] * x;
+            acc = acc + (c[2] * x) * x;
+            acc = acc + c3v;
+            acc = acc + (c[4] * x) * v;
+            o[j] = acc;
+        }
+    }
+}
+
+void geniex_tail(const float *ideal, const float *dev, const float *v_frac,
+                 const double *c, double *out, long n, long cols,
+                 float inorm32, float std32, float mean32, double inorm)
+{
+    /* Fuses the numpy chain after the deviation MLP:
+     *   i_frac    = ideal / float32(i_norm)
+     *   deviation = dev * target_std + target_mean           (float32)
+     *   deviation = deviation + poly(i_frac, v_frac)         (float64)
+     *   currents  = ideal - deviation * i_norm               (float64)
+     * in the same per-element operation order and precisions. */
+    for (long i = 0; i < n; ++i) {
+        double v = (double)v_frac[i];
+        double c3v = c[3] * v;
+        long base = i * cols;
+        for (long j = 0; j < cols; ++j) {
+            long idx = base + j;
+            float x32 = ideal[idx] / inorm32;
+            double x = (double)x32;
+            double poly = c[0] + c[1] * x;
+            poly = poly + (c[2] * x) * x;
+            poly = poly + c3v;
+            poly = poly + (c[4] * x) * v;
+            float d = dev[idx] * std32;
+            d = d + mean32;
+            double dd = (double)d + poly;
+            out[idx] = (double)ideal[idx] - dd * inorm;
+        }
+    }
+}
+
+int dequant_dots(const double *cur, const double *v_sum, const double *colw,
+                 double *out, long n, long cols, int adc_on,
+                 double hi, double lsb, double g_min, double denom,
+                 int check, double sat_limit)
+{
+    /* Fuses the engine's per-bank dequantization chain (float64, the
+     * dtype predictor currents arrive in):
+     *   q    = rint(clip(cur, 0, full_scale) / lsb) * lsb
+     *   dots = (q - g_min * v_sum) / (g_step * v_step)
+     *   out  = dots * col_weight
+     * np.clip semantics: NaN propagates and -0.0 survives the lower
+     * bound (clip tests x < lo, unlike np.maximum).
+     *
+     * The same pass doubles as the tile-health probe: with check=1 the
+     * raw currents are tested for finiteness, with check=2 also
+     * against the saturation limit.  Returns nonzero when anything is
+     * sick — the caller then discards ``out`` and reruns the bank
+     * through the reference guard path. */
+    int sick = 0;
+    for (long i = 0; i < n; ++i) {
+        double gv = g_min * v_sum[i];
+        long base = i * cols;
+        for (long j = 0; j < cols; ++j) {
+            double q = cur[base + j];
+            if (check && (!isfinite(q) || (check == 2 && fabs(q) > sat_limit)))
+                sick = 1;
+            if (adc_on && q == q) {
+                double t = q < 0.0 ? 0.0 : q;
+                t = t > hi ? hi : t;
+                q = rint(t / lsb) * lsb;
+            }
+            double d = (q - gv) / denom;
+            out[base + j] = d * colw[j];
+        }
+        if (sick)
+            return 1;
+    }
+    return 0;
+}
+
+void axpy2d(double *dst, const double *src, double a, long n, long w,
+            long dst_stride, long src_stride)
+{
+    /* dst += a * src over 2-D row-strided views: multiply then add,
+     * each rounding once, exactly like the numpy temporary it avoids. */
+    for (long i = 0; i < n; ++i) {
+        double *d = dst + i * dst_stride;
+        const double *s = src + i * src_stride;
+        for (long j = 0; j < w; ++j)
+            d[j] = d[j] + a * s[j];
+    }
+}
+"""
+
+_CFLAGS = [
+    "-O3",
+    "-shared",
+    "-fPIC",
+    "-fno-fast-math",
+    "-ffp-contract=off",
+    "-fno-unsafe-math-optimizations",
+]
+
+_lib: ctypes.CDLL | None = None
+_tried = False
+
+
+def _build_dir() -> Path:
+    override = os.environ.get("REPRO_ARTIFACTS")
+    if override:
+        return Path(override)
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "pyproject.toml").exists():
+        return repo_root / "artifacts"
+    return Path(tempfile.gettempdir())
+
+
+def _compile() -> ctypes.CDLL | None:
+    digest = hashlib.sha256((_SOURCE + " ".join(_CFLAGS)).encode()).hexdigest()[:16]
+    build_dir = _build_dir()
+    build_dir.mkdir(parents=True, exist_ok=True)
+    so_path = build_dir / f"repro-ckernels-{digest}.so"
+    if not so_path.exists():
+        src_path = so_path.with_suffix(".c")
+        src_path.write_text(_SOURCE)
+        tmp = so_path.with_suffix(f".tmp{os.getpid()}.so")
+        cmd = ["cc", *_CFLAGS, "-o", str(tmp), str(src_path)]
+        result = subprocess.run(cmd, capture_output=True, timeout=120)
+        if result.returncode != 0:
+            return None
+        os.replace(tmp, so_path)  # atomic vs. concurrent builders
+    lib = ctypes.CDLL(str(so_path))
+    lib.fused_bias_relu.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+        ctypes.c_long, ctypes.c_long, ctypes.c_long,
+    ]
+    lib.poly_backbone.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+        ctypes.c_long, ctypes.c_long,
+    ]
+    lib.geniex_tail.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+        ctypes.c_void_p, ctypes.c_long, ctypes.c_long,
+        ctypes.c_float, ctypes.c_float, ctypes.c_float, ctypes.c_double,
+    ]
+    lib.dequant_dots.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+        ctypes.c_long, ctypes.c_long, ctypes.c_int,
+        ctypes.c_double, ctypes.c_double, ctypes.c_double, ctypes.c_double,
+        ctypes.c_int, ctypes.c_double,
+    ]
+    lib.dequant_dots.restype = ctypes.c_int
+    lib.axpy2d.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_double,
+        ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+    ]
+    return lib
+
+
+def available() -> bool:
+    """Whether the compiled kernels are usable in this environment."""
+    global _lib, _tried
+    if not _tried:
+        _tried = True
+        if os.environ.get("REPRO_XBAR_CKERNELS", "1") != "0":
+            try:
+                _lib = _compile()
+            except Exception:
+                _lib = None
+    return _lib is not None
+
+
+def fused_bias_relu(block: np.ndarray, bias: np.ndarray, out: np.ndarray) -> bool:
+    """``out[i,c,h] = max(block[i,h] + bias[c,h], 0)`` in one pass.
+
+    Returns False (without touching ``out``) when the compiled library
+    is unavailable or the layouts don't qualify — callers then run the
+    equivalent numpy ufunc pair.
+    """
+    if not available():
+        return False
+    if not (
+        block.dtype == np.float32 and bias.dtype == np.float32
+        and out.dtype == np.float32
+        and block.flags.c_contiguous and bias.flags.c_contiguous
+        and out.flags.c_contiguous
+    ):
+        return False
+    n, hidden = block.shape
+    cols = bias.shape[0]
+    _lib.fused_bias_relu(
+        block.ctypes.data, bias.ctypes.data, out.ctypes.data, n, cols, hidden
+    )
+    return True
+
+
+def poly_backbone(
+    i_frac: np.ndarray, v_frac: np.ndarray, coef: np.ndarray
+) -> np.ndarray | None:
+    """The GENIEx polynomial backbone, or None to use the numpy path."""
+    if not available():
+        return None
+    if not (
+        i_frac.dtype == np.float32 and v_frac.dtype == np.float32
+        and coef.dtype == np.float64 and i_frac.ndim == 2
+        and v_frac.shape == (i_frac.shape[0], 1) and coef.size == 5
+        and i_frac.flags.c_contiguous and v_frac.flags.c_contiguous
+        and coef.flags.c_contiguous
+    ):
+        return None
+    out = np.empty(i_frac.shape, dtype=np.float64)
+    _lib.poly_backbone(
+        i_frac.ctypes.data, v_frac.ctypes.data, coef.ctypes.data,
+        out.ctypes.data, i_frac.shape[0], i_frac.shape[1],
+    )
+    return out
+
+
+def geniex_tail(
+    ideal: np.ndarray,
+    deviation: np.ndarray,
+    v_frac: np.ndarray,
+    coef: np.ndarray,
+    i_norm: float,
+    target_std: float,
+    target_mean: float,
+) -> np.ndarray | None:
+    """The post-MLP GENIEx chain fused into one pass, or None.
+
+    Equivalent to::
+
+        i_frac = ideal / np.float32(i_norm)
+        dev = deviation * target_std + target_mean + poly(i_frac, v_frac)
+        return ideal - dev * i_norm
+    """
+    if not available():
+        return None
+    if not (
+        ideal.dtype == np.float32 and deviation.dtype == np.float32
+        and v_frac.dtype == np.float32 and coef.dtype == np.float64
+        and ideal.ndim == 2 and deviation.shape == ideal.shape
+        and v_frac.shape == (ideal.shape[0], 1) and coef.size == 5
+        and ideal.flags.c_contiguous and deviation.flags.c_contiguous
+        and v_frac.flags.c_contiguous and coef.flags.c_contiguous
+    ):
+        return None
+    out = np.empty(ideal.shape, dtype=np.float64)
+    _lib.geniex_tail(
+        ideal.ctypes.data, deviation.ctypes.data, v_frac.ctypes.data,
+        coef.ctypes.data, out.ctypes.data, ideal.shape[0], ideal.shape[1],
+        i_norm, target_std, target_mean, i_norm,
+    )
+    return out
+
+
+def dequant_dots(
+    currents: np.ndarray,
+    v_sum: np.ndarray,
+    col_weight: np.ndarray,
+    *,
+    adc_bits: int | None,
+    full_scale: float,
+    lsb: float,
+    g_min: float,
+    denom: float,
+    check: int = 0,
+    sat_limit: float = 0.0,
+) -> tuple[np.ndarray, bool] | None:
+    """ADC quantization + dot recovery + column weighting in one pass.
+
+    Equivalent to::
+
+        q = np.rint(np.clip(currents, 0.0, full_scale) / lsb) * lsb
+        dots = (q - g_min * v_sum) / denom
+        return dots * col_weight
+
+    with ``adc_bits is None`` skipping the quantization step, matching
+    :func:`repro.xbar.adc.quantize_current`.  The same pass can probe
+    tile health on the raw currents: ``check=1`` flags non-finite
+    values, ``check=2`` additionally flags ``|I| > sat_limit``.
+
+    Returns ``(weighted, sick)`` — the output is only valid when
+    ``sick`` is False — or None to signal the caller to take the numpy
+    path.
+    """
+    if not available():
+        return None
+    n, cols = currents.shape
+    if not (
+        currents.dtype == np.float64 and v_sum.dtype == np.float64
+        and col_weight.dtype == np.float64 and v_sum.shape == (n, 1)
+        and col_weight.shape == (cols,)
+        and currents.flags.c_contiguous and v_sum.flags.c_contiguous
+        and col_weight.flags.c_contiguous
+    ):
+        return None
+    out = np.empty((n, cols), dtype=np.float64)
+    sick = _lib.dequant_dots(
+        currents.ctypes.data, v_sum.ctypes.data, col_weight.ctypes.data,
+        out.ctypes.data, n, cols, 0 if adc_bits is None else 1,
+        full_scale, lsb, g_min, denom, check, sat_limit,
+    )
+    return out, bool(sick)
+
+
+def axpy_block(dst: np.ndarray, src: np.ndarray, a: float) -> bool:
+    """``dst += a * src`` for 2-D float64 row-strided views.
+
+    Avoids the ``a * src`` temporary of the numpy expression while
+    keeping its two-roundings-per-element arithmetic.  Returns False
+    (dst untouched) when the layouts don't qualify.
+    """
+    if not available():
+        return False
+    itemsize = 8
+    if not (
+        dst.dtype == np.float64 and src.dtype == np.float64
+        and dst.ndim == 2 and dst.shape == src.shape
+        and dst.strides[1] == itemsize and src.strides[1] == itemsize
+        and dst.strides[0] % itemsize == 0 and src.strides[0] % itemsize == 0
+    ):
+        return False
+    _lib.axpy2d(
+        dst.ctypes.data, src.ctypes.data, a, dst.shape[0], dst.shape[1],
+        dst.strides[0] // itemsize, src.strides[0] // itemsize,
+    )
+    return True

@@ -1,0 +1,195 @@
+"""Content-addressed cache of programmed crossbar engines.
+
+Programming a layer onto crossbars is the expensive, one-off part of
+hardware conversion: tiling, bit-slicing, per-tile conductance
+programming, predictor bank preparation and the initial gain
+calibration.  ``convert_to_hardware`` historically repeated all of it
+on every invocation — so adaptive hardware-in-loop attacks, reliability
+sweeps and repeated experiment cells paid the full programming cost
+again and again for *identical* chips.
+
+This cache keys a programmed :class:`~repro.xbar.simulator.CrossbarEngine`
+on everything that determines its fixed function:
+
+* the exact weight matrix bytes (dtype, shape, contents),
+* the full :class:`~repro.xbar.presets.CrossbarConfig` digest —
+  device, circuit, bit-slicing, ADC, gain calibration, **and** the
+  fault population / guard policy,
+* the column predictor's identity (content hash for GENIEx, declarative
+  fields for the analytic noise model, class tag for the stateless
+  backends),
+* the programming RNG state (seed *and* position), which covers write
+  variation and chip-specific fault maps.
+
+Two builds with the same key compute bit-identical functions, so a hit
+returns a pristine clone of the cached engine: it shares the immutable
+programmed banks (the expensive state) but gets its own gain vector,
+guard counters and perf counters.  The RNG passed in is fast-forwarded
+to the state it would have reached by actually programming, so layer
+sequences that share one generator stay deterministic whether they hit
+or miss.
+
+Invalidation is by construction: any change to weights, config, fault
+realization seed or predictor contents changes the key.  Entries are
+evicted LRU beyond ``maxsize``.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def weight_digest(weight: np.ndarray) -> str:
+    """Content hash of a weight matrix (dtype, shape and bytes)."""
+    w = np.ascontiguousarray(weight)
+    h = hashlib.sha256()
+    h.update(str(w.dtype).encode())
+    h.update(str(w.shape).encode())
+    h.update(w.tobytes())
+    return h.hexdigest()
+
+
+def config_digest(config) -> str:
+    """Digest of the *complete* crossbar config (incl. faults/guard)."""
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def predictor_token(predictor) -> str:
+    """Stable identity of a column-predictor backend.
+
+    Preference order: an explicit ``cache_token`` attribute/property
+    (GENIEx hashes its trained parameters), declarative dataclass
+    fields (the analytic noise model), then an ``id``-based tag — which
+    is always *safe* (same object → same function) but only hits within
+    one predictor instance's lifetime.
+    """
+    token = getattr(predictor, "cache_token", None)
+    if token is not None:
+        return str(token() if callable(token) else token)
+    if dataclasses.is_dataclass(predictor):
+        payload = json.dumps(dataclasses.asdict(predictor), sort_keys=True, default=str)
+        return f"{type(predictor).__name__}:{hashlib.sha256(payload.encode()).hexdigest()[:16]}"
+    return f"{type(predictor).__name__}@{id(predictor):x}"
+
+
+def rng_digest(rng: np.random.Generator | None) -> str:
+    """Digest of a generator's full state (seed and stream position)."""
+    if rng is None:
+        return "rng:none"
+    payload = json.dumps(rng.bit_generator.state, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def engine_key(weight, config, predictor, rng) -> str:
+    """Content-addressed cache key for one programmed engine."""
+    h = hashlib.sha256()
+    h.update(weight_digest(weight).encode())
+    h.update(config_digest(config).encode())
+    h.update(predictor_token(predictor).encode())
+    h.update(rng_digest(rng).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one engine cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+    def format(self) -> str:
+        return f"{self.hits} hits / {self.misses} misses / {self.evictions} evicted"
+
+
+@dataclass
+class _CacheEntry:
+    engine: object  # the pristine-snapshotted CrossbarEngine
+    rng_state_after: dict | None  # generator state right after programming
+
+
+class EngineCache:
+    """Bounded LRU cache of programmed :class:`CrossbarEngine` objects."""
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.reset()
+
+    def get_or_build(self, weight, config, predictor, rng, builder):
+        """Return a programmed engine for the key, building on miss.
+
+        ``builder`` must program the engine using exactly the
+        ``(weight, config, predictor, rng)`` the key was computed from.
+        On a hit the cached engine is cloned pristine and ``rng`` is
+        fast-forwarded to the post-programming state, so downstream
+        consumers of the shared generator see identical draws either
+        way.
+        """
+        key = engine_key(weight, config, predictor, rng)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if rng is not None and entry.rng_state_after is not None:
+                rng.bit_generator.state = copy.deepcopy(entry.rng_state_after)
+            return entry.engine.clone_pristine()
+        self.stats.misses += 1
+        engine = builder()
+        state_after = (
+            copy.deepcopy(rng.bit_generator.state) if rng is not None else None
+        )
+        self._entries[key] = _CacheEntry(engine=engine, rng_state_after=state_after)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return engine
+
+
+#: Process-wide default cache used by ``convert_to_hardware``.
+ENGINE_CACHE = EngineCache(maxsize=64)
+
+
+def resolve_cache(spec) -> EngineCache | None:
+    """Map a ``convert_to_hardware`` cache spec to a cache instance.
+
+    ``True`` → the process-wide :data:`ENGINE_CACHE`; ``False``/``None``
+    → caching disabled; an :class:`EngineCache` instance → itself.
+    """
+    if isinstance(spec, EngineCache):
+        # Checked first: an *empty* cache is falsy via __len__ but must
+        # still be used, not silently dropped.
+        return spec
+    if spec is True:
+        return ENGINE_CACHE
+    if spec is False or spec is None:
+        return None
+    raise TypeError(f"engine_cache must be bool, None or EngineCache, got {spec!r}")
+
+
+def clear_engine_cache() -> None:
+    """Drop every entry of the process-wide cache (frees the banks)."""
+    ENGINE_CACHE.clear()

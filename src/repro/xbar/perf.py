@@ -1,0 +1,148 @@
+"""Lightweight performance counters for the analog hot path.
+
+Every :class:`~repro.xbar.simulator.CrossbarEngine` owns a
+:class:`PerfCounters` instance that the MVM kernels update as they run:
+how many matvec batches were served, how many bit-streams were actually
+evaluated vs skipped (all-zero streams are never driven), how many
+predictor (analog bank) evaluations happened, and how much wall time
+was spent inside the column predictor.  The counters are pure
+bookkeeping — they never influence numerics — and cost a few integer
+adds per bank, so they stay on in production.
+
+:func:`perf_report` aggregates the counters over every non-ideal layer
+of a converted model; the CLI exposes it behind ``--perf`` and
+``scripts/bench_perf.py`` snapshots it into ``BENCH_14_hotpath.json``.
+
+Engine-cache hit/miss statistics live with the cache itself
+(:mod:`repro.xbar.engine_cache`); :func:`format_perf` folds them into
+the printed report so one flag shows the whole hot-path picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class PerfCounters:
+    """Hot-path activity counters for one crossbar engine.
+
+    Attributes
+    ----------
+    matvec_calls:
+        Analog ``matvec`` batches served (signed inputs count once even
+        though they split into two unsigned passes).
+    matvec_rows:
+        Total input vectors pushed through the engine.
+    bank_evals:
+        Column-predictor invocations (one per tile-row bank in the
+        vectorized kernel; one per bank *and* stream in the reference
+        kernel).
+    streams_evaluated:
+        (bank, bit-stream) pairs that carried a non-zero voltage
+        pattern and were actually evaluated.
+    streams_skipped:
+        (bank, bit-stream) pairs skipped because the stream segment was
+        all zero (nothing to drive).
+    rows_compacted:
+        Voltage rows removed from predictor calls because they were all
+        zero within an otherwise active stream (their currents come from
+        a cached once-per-bank zero-row evaluation instead).
+    predictor_seconds:
+        Wall time spent inside ``predict_from_bias`` calls.
+    """
+
+    matvec_calls: int = 0
+    matvec_rows: int = 0
+    bank_evals: int = 0
+    streams_evaluated: int = 0
+    streams_skipped: int = 0
+    rows_compacted: int = 0
+    predictor_seconds: float = 0.0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+    def merge(self, other: "PerfCounters") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def format(self) -> str:
+        total = self.streams_evaluated + self.streams_skipped
+        skip_pct = 100.0 * self.streams_skipped / total if total else 0.0
+        return (
+            f"matvec={self.matvec_calls} ({self.matvec_rows} rows)  "
+            f"bank_evals={self.bank_evals}  "
+            f"streams={self.streams_evaluated} evaluated / "
+            f"{self.streams_skipped} skipped ({skip_pct:.1f}%)  "
+            f"rows_compacted={self.rows_compacted}  "
+            f"predictor={self.predictor_seconds:.3f}s"
+        )
+
+
+@dataclass
+class PerfReport:
+    """Aggregated counters for one converted hardware model."""
+
+    layers: dict = field(default_factory=dict)  # name -> PerfCounters
+    total: PerfCounters = field(default_factory=PerfCounters)
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total.as_dict(),
+            "layers": {name: c.as_dict() for name, c in self.layers.items()},
+        }
+
+    def format(self, per_layer: bool = False) -> str:
+        lines = [f"total: {self.total.format()}"]
+        if per_layer:
+            width = max((len(n) for n in self.layers), default=0)
+            lines.extend(
+                f"  {name:<{width}}  {counters.format()}"
+                for name, counters in self.layers.items()
+            )
+        return "\n".join(lines)
+
+
+def iter_engines(model):
+    """Yield ``(layer_name, engine)`` for every non-ideal layer.
+
+    Duck-typed on ``module.engine.perf`` so this module stays free of a
+    circular import on the simulator.
+    """
+    for name, module in model.named_modules():
+        engine = getattr(module, "engine", None)
+        if engine is not None and hasattr(engine, "perf"):
+            yield name or type(module).__name__, engine
+
+
+def perf_report(model) -> PerfReport:
+    """Aggregate the per-engine counters of a converted model."""
+    report = PerfReport()
+    for name, engine in iter_engines(model):
+        report.layers[name] = engine.perf
+        report.total.merge(engine.perf)
+    return report
+
+
+def reset_perf(model) -> None:
+    """Zero every engine counter of a converted model."""
+    for _name, engine in iter_engines(model):
+        engine.perf.reset()
+
+
+def format_perf(models: dict, per_layer: bool = False) -> str:
+    """Render perf reports for ``{label: hardware_model}`` plus cache stats."""
+    from repro.xbar.engine_cache import ENGINE_CACHE  # local: avoid cycle
+
+    lines = ["=== hot-path perf counters ==="]
+    if not models:
+        lines.append("(no lab-cached hardware models; engine cache stats are global)")
+    for label, model in models.items():
+        lines.append(f"[{label}] {perf_report(model).format(per_layer=per_layer)}")
+    lines.append(f"engine cache: {ENGINE_CACHE.stats.format()}")
+    return "\n".join(lines)

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import copy
 import logging
+import os
+import time
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -37,15 +39,41 @@ from repro.autograd.tensor import Tensor
 from repro.nn.conv import col2im, conv_output_size, im2col
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
+from repro.xbar import _ckernels
 from repro.xbar.adc import quantize_current
 from repro.xbar.bitslice import slice_weights, stream_inputs
 from repro.xbar.circuit import CrossbarCircuit
 from repro.xbar.device import RRAMDevice
+from repro.xbar.engine_cache import EngineCache, resolve_cache
 from repro.xbar.faults import FaultModel, FaultSummary, TileHealthError
+from repro.xbar.perf import PerfCounters
 from repro.xbar.presets import CrossbarConfig, load_or_train_geniex
 from repro.xbar.tiling import tile_matrix
 
 logger = logging.getLogger(__name__)
+
+#: Valid MVM kernel implementations (see :attr:`CrossbarEngine.kernel`).
+KERNEL_MODES = ("vectorized", "reference")
+
+#: Per-column gain clip bounds shared by every gain fit — guards
+#: against degenerate least-squares solutions on nearly-dead columns.
+GAIN_CLIP = (0.25, 4.0)
+
+
+def default_kernel() -> str:
+    """Process-default MVM kernel, overridable via ``REPRO_XBAR_KERNEL``.
+
+    ``vectorized`` (default) stacks all active bit-streams of a bank
+    into one predictor call; ``reference`` is the original per-stream
+    loop, kept as the golden numerical reference and the "before" side
+    of the hot-path benchmarks.  Both produce bit-identical outputs.
+    """
+    mode = os.environ.get("REPRO_XBAR_KERNEL", "vectorized")
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"REPRO_XBAR_KERNEL must be one of {KERNEL_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 class ColumnPredictor(Protocol):
@@ -56,6 +84,12 @@ class ColumnPredictor(Protocol):
     first ``used_cols`` columns; ``concat_bias`` banks several prepared
     arrays; ``predict_from_bias`` evaluates column currents for a batch
     of input voltage vectors against a bank.
+
+    ``chunk`` bounds how many voltage vectors a backend may evaluate at
+    once: every implementation must process the batch in row-blocks of
+    at most ``chunk`` rows, so peak intermediate memory is predictable
+    and consistent across backends.  Output rows depend only on their
+    own voltage row, so chunking never changes results.
     """
 
     def prepare_crossbar(self, conductances: np.ndarray, used_cols: int | None = None): ...
@@ -74,6 +108,10 @@ class IdealPredictor:
     (used by the ablation benchmarks).
     """
 
+    #: Stateless pure function of the prepared handles — engines built
+    #: against any IdealPredictor instance are interchangeable.
+    cache_token = "ideal"
+
     @staticmethod
     def prepare_crossbar(conductances: np.ndarray, used_cols: int | None = None) -> np.ndarray:
         g = np.asarray(conductances, dtype=np.float64)
@@ -89,7 +127,18 @@ class IdealPredictor:
 
     @staticmethod
     def predict_from_bias(voltages: np.ndarray, column_bias: np.ndarray, chunk: int = 8192) -> np.ndarray:
-        return np.asarray(voltages) @ column_bias
+        v = np.asarray(voltages)
+        if v.shape[0] <= chunk:
+            return v @ column_bias
+        # Honor the protocol's row-block contract: each output row is an
+        # independent dot product, so blocking is bit-identical.
+        out = np.empty(
+            (v.shape[0], column_bias.shape[1]),
+            dtype=np.result_type(v.dtype, column_bias.dtype),
+        )
+        for start in range(0, v.shape[0], chunk):
+            out[start : start + chunk] = v[start : start + chunk] @ column_bias
+        return out
 
 
 class CircuitPredictor:
@@ -103,6 +152,11 @@ class CircuitPredictor:
     def __init__(self, config: CrossbarConfig):
         self.config = config
         self.solver = CrossbarCircuit(config.circuit, config.device)
+
+    @property
+    def cache_token(self) -> str:
+        """Pure function of the config, which the engine key already covers."""
+        return "circuit"
 
     def prepare_crossbar(
         self, conductances: np.ndarray, used_cols: int | None = None
@@ -123,6 +177,7 @@ class CircuitPredictor:
         self, voltages: np.ndarray, column_bias: list, chunk: int = 8192
     ) -> np.ndarray:
         cols = self.config.cols
+        v = np.atleast_2d(np.asarray(voltages, dtype=np.float64))
         outputs = []
         for g, used in column_bias:
             block = g
@@ -131,7 +186,13 @@ class CircuitPredictor:
                     (block.shape[0], cols - block.shape[1]), self.config.device.g_min
                 )
                 block = np.concatenate([block, pad], axis=1)
-            solved = self.solver.solve(voltages, block)
+            # Honor the protocol's row-block contract: the solver treats
+            # each input vector independently, so blocking is exact.
+            solved = np.empty((v.shape[0], cols))
+            for start in range(0, v.shape[0], chunk):
+                solved[start : start + chunk] = self.solver.solve(
+                    v[start : start + chunk], block
+                )
             outputs.append(solved[:, :used])
         return np.concatenate(outputs, axis=1)
 
@@ -149,6 +210,7 @@ class _BankChunk:
     sign: float  # +1.0 positive array, -1.0 negative array
     offset: int  # first bank column
     width: int  # number of used columns
+    weight: float = 1.0  # sign * 2**(slice_bits * slice_index), precomputed
 
 
 @dataclass
@@ -159,11 +221,19 @@ class _TileRowBank:
     row_slice: slice  # which input features feed this bank
     chunks: list[_BankChunk]
     total_cols: int
+    # Per-bank-column shift-and-add weight ``sign * 2**(slice_bits*s)``
+    # (exact powers of two, so applying it vectorized is bit-identical
+    # to the reference kernel's per-chunk scalar multiplies).
+    col_weight: np.ndarray | None = None
     # Fault-free conductances for the same used columns, kept only when
     # the guard's digital fallback is enabled: ``voltages @ ideal_bias``
     # reproduces the exact integer partial products after the dummy-
     # column subtraction, i.e. the ideal digital path for this bank.
     ideal_bias: np.ndarray | None = None
+    # Lazily cached predictor currents for an all-zero voltage row —
+    # what compacted-away zero rows read back.  Deterministic for a
+    # programmed bank, so sharing it across pristine clones is safe.
+    zero_currents: np.ndarray | None = None
 
 
 class CrossbarEngine:
@@ -194,6 +264,8 @@ class CrossbarEngine:
         self.predictor = predictor
         self.out_features, self.in_features = weight.shape
         self._rng = rng or np.random.default_rng(0)
+        self.kernel = default_kernel()
+        self.perf = PerfCounters()
 
         matrix = np.asarray(weight, dtype=np.float64).T  # (in, out)
         w_abs_max = float(np.abs(matrix).max())
@@ -253,15 +325,20 @@ class CrossbarEngine:
                                 sign=sign,
                                 offset=offset,
                                 width=used,
+                                weight=sign * float(2.0 ** (bs.slice_bits * s)),
                             )
                         )
                         offset += used
+            col_weight = np.empty(offset, dtype=np.float64)
+            for chunk in chunks:
+                col_weight[chunk.offset : chunk.offset + chunk.width] = chunk.weight
             self.banks.append(
                 _TileRowBank(
                     handle=predictor.concat_bias(handles),
                     row_slice=row_slice,
                     chunks=chunks,
                     total_cols=offset,
+                    col_weight=col_weight,
                     ideal_bias=(
                         np.concatenate(ideal_handles, axis=1) if keep_ideal else None
                     ),
@@ -275,6 +352,45 @@ class CrossbarEngine:
         self.gain = np.ones(self.out_features)
         if config.gain_calibration > 0:
             self.gain = self._calibrate_gain(weight, config.gain_calibration)
+        # Snapshot for pristine clones handed out by the engine cache:
+        # the programmed banks are immutable, but ``gain`` may later be
+        # refit against real activations.
+        self._pristine_gain = self.gain.copy()
+
+    def clone_pristine(self) -> "CrossbarEngine":
+        """A fresh-build-equivalent engine sharing the programmed banks.
+
+        The banks (prepared predictor handles, fault maps, ideal-bias
+        fallbacks) are immutable after programming and expensive to
+        rebuild, so clones share them.  Mutable state — the gain vector,
+        guard counters, perf counters, streaming-calibration scratch and
+        the voltage workspace — is reset to what a fresh build with the
+        same seed would hold.
+        """
+        dup = copy.copy(self)
+        dup.gain = self._pristine_gain.copy()
+        dup._guard_trips = 0
+        dup._guard_warned = False
+        dup.perf = PerfCounters()
+        for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows", "_volt_buf"):
+            dup.__dict__.pop(attr, None)
+        return dup
+
+    def _solve_gains(self, sum_analog_ideal: np.ndarray, sum_analog_sq: np.ndarray) -> np.ndarray:
+        """Shared per-column least-squares gain solve.
+
+        Every gain fit in the engine — the construction-time probe fit,
+        a one-shot refit and the streaming accumulation — reduces to the
+        same ratio of sufficient statistics, clipped to :data:`GAIN_CLIP`
+        to guard against degenerate fits on nearly-dead columns.
+        """
+        gains = np.divide(
+            sum_analog_ideal,
+            sum_analog_sq,
+            out=np.ones(self.out_features),
+            where=sum_analog_sq > 0,
+        )
+        return np.clip(gains, *GAIN_CLIP)
 
     def _calibrate_gain(self, weight: np.ndarray, num_vectors: int) -> np.ndarray:
         """Per-column least-squares gains aligning analog to ideal.
@@ -291,15 +407,9 @@ class CrossbarEngine:
         probes *= rng.random((num_vectors, self.in_features)) < 0.6  # sparsity
         analog = self._matvec_unsigned(probes)
         ideal = probes @ np.asarray(weight, dtype=np.float64).T
-        denom = np.sum(analog * analog, axis=0)
-        gains = np.divide(
-            np.sum(analog * ideal, axis=0),
-            denom,
-            out=np.ones(self.out_features),
-            where=denom > 0,
+        return self._solve_gains(
+            np.sum(analog * ideal, axis=0), np.sum(analog * analog, axis=0)
         )
-        # Guard against degenerate fits on nearly-dead columns.
-        return np.clip(gains, 0.25, 4.0)
 
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray) -> np.ndarray:
@@ -321,6 +431,8 @@ class CrossbarEngine:
                 "entries would silently corrupt every output column — "
                 "sanitize the batch before calling matvec"
             )
+        self.perf.matvec_calls += 1
+        self.perf.matvec_rows += x.shape[0]
         if (x >= 0).all():
             return self._matvec_unsigned(x)
         positive = self._matvec_unsigned(np.maximum(x, 0.0))
@@ -337,14 +449,9 @@ class CrossbarEngine:
         """
         analog = self.matvec_raw(vectors)
         ideal = np.asarray(vectors, dtype=np.float64) @ np.asarray(weight, dtype=np.float64).T
-        denom = np.sum(analog * analog, axis=0)
-        gains = np.divide(
-            np.sum(analog * ideal, axis=0),
-            denom,
-            out=np.ones(self.out_features),
-            where=denom > 0,
+        self.gain = self._solve_gains(
+            np.sum(analog * ideal, axis=0), np.sum(analog * analog, axis=0)
         )
-        self.gain = np.clip(gains, 0.25, 4.0)
 
     def begin_gain_accumulation(self) -> None:
         """Reset the streaming gain-fit statistics.
@@ -372,20 +479,13 @@ class CrossbarEngine:
     def finish_gain_accumulation(self) -> None:
         """Set gains from the accumulated statistics (no-op if empty)."""
         if getattr(self, "_gain_rows", 0) > 0:
-            gains = np.divide(
-                self._gain_sum_ai,
-                self._gain_sum_aa,
-                out=np.ones(self.out_features),
-                where=self._gain_sum_aa > 0,
-            )
-            self.gain = np.clip(gains, 0.25, 4.0)
+            self.gain = self._solve_gains(self._gain_sum_ai, self._gain_sum_aa)
         for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows"):
             if hasattr(self, attr):
                 delattr(self, attr)
 
     def _matvec_unsigned(self, x: np.ndarray) -> np.ndarray:
         bs = self.config.bitslice
-        dev = self.config.device
         n = x.shape[0]
         out = np.zeros((n, self.out_features), dtype=np.float64)
 
@@ -395,18 +495,36 @@ class CrossbarEngine:
         x_lsb = x_max / (bs.input_levels - 1)
         x_int = np.clip(np.rint(x / x_lsb), 0, bs.input_levels - 1).astype(np.int64)
         streams = stream_inputs(x_int, bs)
-        v_step = dev.v_read / (bs.stream_levels - 1)
+        if self.kernel == "reference":
+            self._accumulate_streams_reference(out, streams)
+        else:
+            self._accumulate_streams_vectorized(out, streams)
+        return out * (x_lsb * self.w_scale)
 
+    def _accumulate_streams_reference(
+        self, out: np.ndarray, streams: list[np.ndarray]
+    ) -> None:
+        """Original per-(bank, stream) kernel, kept as the golden reference."""
+        bs = self.config.bitslice
+        dev = self.config.device
+        n = out.shape[0]
         rows = self.config.rows
+        v_step = dev.v_read / (bs.stream_levels - 1)
+        perf = self.perf
         for bank in self.banks:
             width = bank.row_slice.stop - bank.row_slice.start
             for t, stream in enumerate(streams):
                 seg = stream[:, bank.row_slice]
                 if not seg.any():
+                    perf.streams_skipped += 1
                     continue  # all-zero stream contributes nothing
                 voltages = np.zeros((n, rows))
                 voltages[:, :width] = seg * v_step
+                start = time.perf_counter()
                 currents = self.predictor.predict_from_bias(voltages, bank.handle)
+                perf.predictor_seconds += time.perf_counter() - start
+                perf.bank_evals += 1
+                perf.streams_evaluated += 1
                 fallback_cols = self._check_tile_health(currents, bank)
                 currents = quantize_current(currents, self.config.adc, self._adc_full_scale)
                 if fallback_cols is not None:
@@ -427,7 +545,213 @@ class CrossbarEngine:
                     out[:, chunk.col_slice] += (chunk.sign * significance * stream_scale) * dots[
                         :, chunk.offset : chunk.offset + chunk.width
                     ]
-        return out * (x_lsb * self.w_scale)
+
+    def _accumulate_streams_vectorized(
+        self, out: np.ndarray, streams: list[np.ndarray]
+    ) -> None:
+        """Stacked-stream kernel: one predictor call per tile-row bank.
+
+        All non-zero bit-streams of a bank are stacked along the batch
+        axis into a single ``(T_active * N, rows)`` voltage matrix and
+        evaluated in one ``predict_from_bias`` call.  Every backend
+        computes output rows independently, the per-element transforms
+        (ADC quantization, dummy-column subtraction) apply identically
+        to the stacked matrix, and the shift-and-add scalings are exact
+        powers of two — so the result is bit-identical to the reference
+        kernel (enforced by the golden regression tests).
+
+        All-zero *rows* within an evaluated stream are compacted away
+        before the predictor call: a zero voltage row yields the same
+        currents wherever it appears (row independence again), so those
+        rows are filled from a once-per-bank zero-row evaluation instead
+        of being recomputed.  Post-ReLU activations make the high-
+        significance streams mostly zero, so this routinely removes the
+        bulk of the predictor work.
+        """
+        bs = self.config.bitslice
+        dev = self.config.device
+        n = out.shape[0]
+        rows = self.config.rows
+        v_step = dev.v_read / (bs.stream_levels - 1)
+        perf = self.perf
+        for bank in self.banks:
+            width = bank.row_slice.stop - bank.row_slice.start
+            # (stream index, non-zero row indices or None for "all", packed segment)
+            active: list[tuple[int, np.ndarray | None, np.ndarray]] = []
+            for t, stream in enumerate(streams):
+                seg = stream[:, bank.row_slice]
+                nz = seg.any(axis=1)
+                nnz = int(np.count_nonzero(nz))
+                if nnz == 0:
+                    perf.streams_skipped += 1
+                elif nnz == n:
+                    active.append((t, None, seg))
+                else:
+                    active.append((t, np.flatnonzero(nz), seg[nz]))
+            if not active:
+                continue
+            counts = [seg.shape[0] for _t, _idx, seg in active]
+            packed_rows = sum(counts)
+            full_rows = len(active) * n
+            perf.rows_compacted += full_rows - packed_rows
+            volts = self._voltage_workspace(packed_rows, rows)
+            if width < rows:
+                volts[:, width:] = 0.0  # padding rows drive no voltage
+            bounds: list[tuple[int, int]] = []
+            pos = 0
+            for (_t, _idx, seg), cnt in zip(active, counts):
+                np.multiply(seg, v_step, out=volts[pos : pos + cnt, :width])
+                bounds.append((pos, cnt))
+                pos += cnt
+            start = time.perf_counter()
+            packed = self.predictor.predict_from_bias(volts, bank.handle)
+            perf.predictor_seconds += time.perf_counter() - start
+            perf.bank_evals += 1
+            perf.streams_evaluated += len(active)
+            packed_v_sum = volts.sum(axis=1, keepdims=True)
+            compacted = packed_rows != full_rows
+            zero_row = self._zero_row_currents(bank) if compacted else None
+            adc = self.config.adc
+            denom = dev.g_step * v_step
+            full_scale = adc.full_scale_fraction * self._adc_full_scale
+            lsb = full_scale / (2**adc.bits - 1) if adc.bits is not None else 1.0
+            guard = self.config.guard
+            if not guard.active:
+                check, sat_limit = 0, 0.0
+            elif guard.saturation_factor is None:
+                check, sat_limit = 1, 0.0
+            else:
+                check, sat_limit = 2, guard.saturation_factor * self._adc_full_scale
+            weighted = None
+            # Fast path: ADC quantization, the G_min dummy-column
+            # subtraction, dot recovery and the per-chunk significance
+            # weights fuse into one compiled pass over the *packed*
+            # rows only; the same pass probes tile health on the raw
+            # currents, and compacted-away zero rows reuse a single
+            # weighted zero-row evaluation.  Bit-identical to the numpy
+            # chain below (enforced by the golden tests); anything sick
+            # — which requires injected faults — falls through to the
+            # reference guard path so trip counts and warn ordering
+            # stay exact, as does a missing compiler.
+            if check == 0 or zero_row is None or self._currents_healthy(zero_row):
+                res = _ckernels.dequant_dots(
+                    packed, packed_v_sum, bank.col_weight,
+                    adc_bits=adc.bits, full_scale=full_scale, lsb=lsb,
+                    g_min=dev.g_min, denom=denom,
+                    check=check, sat_limit=sat_limit,
+                )
+                if res is not None and not res[1]:
+                    weighted = res[0]
+            if weighted is not None and compacted:
+                zres = _ckernels.dequant_dots(
+                    zero_row.reshape(1, -1), np.zeros((1, 1)), bank.col_weight,
+                    adc_bits=adc.bits, full_scale=full_scale, lsb=lsb,
+                    g_min=dev.g_min, denom=denom,
+                )
+                if zres is None:
+                    weighted = None  # can't expand: take the numpy path
+                else:
+                    packed_weighted = weighted
+                    zero_weighted = zres[0]
+                    weighted = np.empty((full_rows, packed.shape[1]))
+                    for k, ((_t, idx, _seg), (pos, cnt)) in enumerate(
+                        zip(active, bounds)
+                    ):
+                        blk = weighted[k * n : (k + 1) * n]
+                        if idx is None:
+                            blk[:] = packed_weighted[pos : pos + cnt]
+                        else:
+                            blk[:] = zero_weighted[0]
+                            blk[idx] = packed_weighted[pos : pos + cnt]
+            if weighted is None:
+                # Expand back to full per-stream blocks.  Compacted-away
+                # rows take the bank's zero-voltage currents,
+                # bit-identical to evaluating them in place (verified by
+                # the golden tests).
+                if not compacted:
+                    currents = packed
+                    v_sum = packed_v_sum
+                else:
+                    currents = np.empty(
+                        (full_rows, packed.shape[1]), dtype=packed.dtype
+                    )
+                    v_sum = np.zeros((full_rows, 1))
+                    for k, ((_t, idx, _seg), (pos, cnt)) in enumerate(
+                        zip(active, bounds)
+                    ):
+                        blk = currents[k * n : (k + 1) * n]
+                        if idx is None:
+                            blk[:] = packed[pos : pos + cnt]
+                            v_sum[k * n : (k + 1) * n] = packed_v_sum[pos : pos + cnt]
+                        else:
+                            blk[:] = zero_row
+                            blk[idx] = packed[pos : pos + cnt]
+                            v_sum[k * n : (k + 1) * n][idx] = packed_v_sum[
+                                pos : pos + cnt
+                            ]
+                # Health checks run per stream slice so guard-trip
+                # counts and warn-once ordering match the reference
+                # kernel exactly.
+                fallbacks = [
+                    self._check_tile_health(currents[k * n : (k + 1) * n], bank)
+                    for k in range(len(active))
+                ]
+                currents = quantize_current(currents, adc, self._adc_full_scale)
+                for k, mask in enumerate(fallbacks):
+                    if mask is not None:
+                        blk = slice(k * n, (k + 1) * n)
+                        idx = active[k][1]
+                        pos, cnt = bounds[k]
+                        if idx is None:
+                            stream_volts = volts[pos : pos + cnt]
+                        else:
+                            # Rebuild the full voltage block only for the
+                            # rare fallback path; zero rows fall back to
+                            # exact zeros.
+                            stream_volts = np.zeros((n, rows))
+                            stream_volts[idx] = volts[pos : pos + cnt]
+                        currents[blk][:, mask] = stream_volts @ bank.ideal_bias[:, mask]
+                # Remove the G_min offset (dummy-column subtraction) and
+                # rescale currents back to integer dot products —
+                # elementwise, so doing it once on the stack is exact.
+                dots = (currents - dev.g_min * v_sum) / denom
+                # Fold each chunk's ``sign * 2**(slice_bits * s)`` into
+                # one vectorized multiply; it and the stream scale are
+                # exact powers of two, so the factored product matches
+                # the reference kernel's fused scalar multiply bit for
+                # bit.
+                weighted = dots * bank.col_weight
+            for k, (t, _idx, _seg) in enumerate(active):
+                stream_scale = float(2.0 ** (bs.stream_bits * t))
+                blk = weighted[k * n : (k + 1) * n]
+                for chunk in bank.chunks:
+                    src = blk[:, chunk.offset : chunk.offset + chunk.width]
+                    dst = out[:, chunk.col_slice]
+                    if not _ckernels.axpy_block(dst, src, stream_scale):
+                        dst += stream_scale * src
+
+    def _voltage_workspace(self, m: int, rows: int) -> np.ndarray:
+        """Reusable float64 voltage buffer for the vectorized kernel."""
+        buf = getattr(self, "_volt_buf", None)
+        if buf is None or buf.shape[0] < m or buf.shape[1] != rows:
+            buf = np.empty((m, rows), dtype=np.float64)
+            self._volt_buf = buf
+        return buf[:m]
+
+    def _zero_row_currents(self, bank: _TileRowBank) -> np.ndarray:
+        """The bank's currents for an all-zero voltage row (cached).
+
+        Row independence makes a standalone single-row evaluation
+        bit-identical to the same zero row inside a larger batch, so
+        compaction can substitute this constant for every skipped row.
+        """
+        if bank.zero_currents is None:
+            start = time.perf_counter()
+            bank.zero_currents = self.predictor.predict_from_bias(
+                np.zeros((1, self.config.rows)), bank.handle
+            )[0]
+            self.perf.predictor_seconds += time.perf_counter() - start
+        return bank.zero_currents
 
     # ------------------------------------------------------------------
     # Graceful degradation (see repro.xbar.faults.GuardConfig)
@@ -436,6 +760,22 @@ class CrossbarEngine:
     def guard_trips(self) -> int:
         """How many bank evaluations the health guard has intercepted."""
         return self._guard_trips
+
+    def _currents_healthy(self, currents: np.ndarray) -> bool:
+        """Cheap all-clear probe for the vectorized fast path.
+
+        True iff :meth:`_check_tile_health` would return ``None``
+        without tripping the guard for every stream block drawn from
+        ``currents`` — finite everywhere and under the saturation
+        limit.  Anything sick routes the bank through the reference
+        chain so trip counts and warn ordering stay exact.
+        """
+        if not np.isfinite(currents).all():
+            return False
+        sat = self.config.guard.saturation_factor
+        return sat is None or not (
+            np.abs(currents) > sat * self._adc_full_scale
+        ).any()
 
     def _check_tile_health(
         self, currents: np.ndarray, bank: _TileRowBank
@@ -510,13 +850,22 @@ class NonIdealLinear(Module):
     (``grad @ W``) — the hardware-in-loop convention.
     """
 
-    def __init__(self, source: Linear, config: CrossbarConfig, predictor: ColumnPredictor, rng=None):
+    def __init__(
+        self,
+        source: Linear,
+        config: CrossbarConfig,
+        predictor: ColumnPredictor,
+        rng=None,
+        engine: CrossbarEngine | None = None,
+    ):
         super().__init__()
         self.in_features = source.in_features
         self.out_features = source.out_features
         self.weight_float = source.weight.data.copy()
         self.bias_float = source.bias.data.copy() if source.bias is not None else None
-        self.engine = CrossbarEngine(self.weight_float, config, predictor, rng)
+        # ``engine`` lets convert_to_hardware supply a cached programmed
+        # engine instead of paying the full programming cost again.
+        self.engine = engine or CrossbarEngine(self.weight_float, config, predictor, rng)
         self._pending_calibration = False
         self._max_calibration_vectors = 2048
 
@@ -546,7 +895,14 @@ class NonIdealLinear(Module):
 class NonIdealConv2d(Module):
     """Conv2d executed on the non-ideal crossbar hardware via im2col."""
 
-    def __init__(self, source: Conv2d, config: CrossbarConfig, predictor: ColumnPredictor, rng=None):
+    def __init__(
+        self,
+        source: Conv2d,
+        config: CrossbarConfig,
+        predictor: ColumnPredictor,
+        rng=None,
+        engine: CrossbarEngine | None = None,
+    ):
         super().__init__()
         self.in_channels = source.in_channels
         self.out_channels = source.out_channels
@@ -555,8 +911,12 @@ class NonIdealConv2d(Module):
         self.padding = source.padding
         self.weight_float = source.weight.data.copy()
         self.bias_float = source.bias.data.copy() if source.bias is not None else None
-        w_mat = self.weight_float.reshape(self.out_channels, -1)
-        self.engine = CrossbarEngine(w_mat, config, predictor, rng)
+        # Hoisted (out, in*k*k) view of the kernel, shared by the engine
+        # build, calibration fits and the backward closure.
+        self.weight_matrix = self.weight_float.reshape(self.out_channels, -1)
+        # ``engine`` lets convert_to_hardware supply a cached programmed
+        # engine instead of paying the full programming cost again.
+        self.engine = engine or CrossbarEngine(self.weight_matrix, config, predictor, rng)
         self._pending_calibration = False
         self._max_calibration_vectors = 2048
 
@@ -570,7 +930,7 @@ class NonIdealConv2d(Module):
         vectors = cols.transpose(0, 2, 1).reshape(n * h_out * w_out, -1)
         if self._pending_calibration:
             sample = _subsample_rows(vectors, self._max_calibration_vectors)
-            self.engine.accumulate_gain(sample, self.weight_float.reshape(self.out_channels, -1))
+            self.engine.accumulate_gain(sample, self.weight_matrix)
         flat = self.engine.matvec(vectors)  # (N*L, out)
         out = (
             flat.reshape(n, h_out * w_out, self.out_channels)
@@ -581,7 +941,7 @@ class NonIdealConv2d(Module):
         if self.bias_float is not None:
             out = out + self.bias_float.reshape(1, -1, 1, 1)
 
-        w_mat = self.weight_float.reshape(self.out_channels, -1)
+        w_mat = self.weight_matrix
         input_shape = x.shape
 
         def backward(grad: np.ndarray) -> None:
@@ -660,6 +1020,25 @@ def guard_trips(model: Module) -> int:
     )
 
 
+def _cached_engine(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor: ColumnPredictor,
+    rng: np.random.Generator | None,
+    cache: EngineCache | None,
+) -> CrossbarEngine:
+    """Program one engine, reusing a cached chip when the key matches."""
+    if cache is None:
+        return CrossbarEngine(weight, config, predictor, rng)
+    return cache.get_or_build(
+        weight,
+        config,
+        predictor,
+        rng,
+        lambda: CrossbarEngine(weight, config, predictor, rng),
+    )
+
+
 def convert_to_hardware(
     model: Module,
     config: CrossbarConfig,
@@ -667,6 +1046,7 @@ def convert_to_hardware(
     rng: np.random.Generator | None = None,
     skip: tuple[str, ...] = (),
     calibration_images: np.ndarray | None = None,
+    engine_cache: "bool | EngineCache | None" = True,
 ) -> Module:
     """Return a copy of ``model`` with Conv2d/Linear on NVM hardware.
 
@@ -685,20 +1065,37 @@ def convert_to_hardware(
     skip:
         Dotted module paths to keep digital (the paper maps all layers
         to crossbars; ablations may pin e.g. the classifier head).
+    engine_cache:
+        Content-addressed cache of programmed engines (see
+        :mod:`repro.xbar.engine_cache`).  ``True`` (default) uses the
+        process-wide cache, so repeated conversions of the same model
+        under the same config/seed reuse the programmed chips instead
+        of re-tiling and re-programming every layer; ``False`` forces a
+        fresh build; an :class:`EngineCache` instance scopes reuse to
+        that cache.  Hits are exact: the returned engines compute
+        bit-identical outputs to a fresh build with the same seed.
     """
     predictor = predictor or load_or_train_geniex(config)
     # One shared generator across layers so programming noise and fault
     # maps decorrelate layer-to-layer even when no rng is supplied.
     rng = rng or np.random.default_rng(0)
+    cache = resolve_cache(engine_cache)
     hardware = copy.deepcopy(model)
     replacements: list[tuple[str, Module]] = []
     for name, module in hardware.named_modules():
         if not name or name in skip:
             continue
         if isinstance(module, Conv2d):
-            replacements.append((name, NonIdealConv2d(module, config, predictor, rng)))
+            weight = module.weight.data.reshape(module.out_channels, -1)
+            engine = _cached_engine(weight, config, predictor, rng, cache)
+            replacements.append(
+                (name, NonIdealConv2d(module, config, predictor, rng, engine=engine))
+            )
         elif isinstance(module, Linear):
-            replacements.append((name, NonIdealLinear(module, config, predictor, rng)))
+            engine = _cached_engine(module.weight.data, config, predictor, rng, cache)
+            replacements.append(
+                (name, NonIdealLinear(module, config, predictor, rng, engine=engine))
+            )
     for name, replacement in replacements:
         hardware.set_submodule(name, replacement)
     hardware.eval()

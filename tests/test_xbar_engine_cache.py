@@ -1,0 +1,263 @@
+"""Content-addressed engine cache: keys, hits, rng fast-forward, LRU."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.xbar.engine_cache import (
+    ENGINE_CACHE,
+    EngineCache,
+    clear_engine_cache,
+    engine_key,
+    predictor_token,
+    resolve_cache,
+)
+from repro.xbar.faults import FaultConfig, with_faults
+from repro.xbar.simulator import (
+    CrossbarEngine,
+    IdealPredictor,
+    NonIdealConv2d,
+    NonIdealLinear,
+    convert_to_hardware,
+)
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+def _noisy_config():
+    """A config whose programming actually consumes randomness, so the
+    rng part of the cache key (and the fast-forward on hits) matters."""
+    config = make_tiny_crossbar_config(gain_calibration=4)
+    return dataclasses.replace(
+        config, device=dataclasses.replace(config.device, program_sigma=0.05)
+    )
+
+
+def _build(weight, config, predictor, rng):
+    return CrossbarEngine(weight, config, predictor, rng)
+
+
+@pytest.fixture
+def weight(rng):
+    return rng.normal(0, 0.4, size=(5, 12)).astype(np.float32)
+
+
+class TestCacheCorrectness:
+    def test_hit_is_bitwise_identical_to_fresh_build(self, weight, rng):
+        config = _noisy_config()
+        predictor = IdealPredictor()
+        cache = EngineCache()
+        miss = cache.get_or_build(
+            weight, config, predictor, np.random.default_rng(7),
+            lambda: _build(weight, config, predictor, np.random.default_rng(7)),
+        )
+        hit = cache.get_or_build(
+            weight, config, predictor, np.random.default_rng(7),
+            lambda: pytest.fail("builder must not run on a hit"),
+        )
+        fresh = _build(weight, config, predictor, np.random.default_rng(7))
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        x = rng.random((6, 12))
+        assert np.array_equal(hit.matvec(x), miss.matvec(x))
+        assert np.array_equal(hit.matvec(x), fresh.matvec(x))
+
+    def test_hit_fast_forwards_shared_rng(self, weight):
+        """After a hit the caller's generator must sit exactly where a
+        real build would have left it — layer sequences sharing one
+        generator stay deterministic whether they hit or miss."""
+        config = _noisy_config()
+        predictor = IdealPredictor()
+        cache = EngineCache()
+        rng_miss = np.random.default_rng(21)
+        cache.get_or_build(
+            weight, config, predictor, rng_miss,
+            lambda: _build(weight, config, predictor, rng_miss),
+        )
+        rng_hit = np.random.default_rng(21)
+        cache.get_or_build(
+            weight, config, predictor, rng_hit,
+            lambda: pytest.fail("builder must not run on a hit"),
+        )
+        assert rng_hit.random() == rng_miss.random()
+
+    def test_hit_returns_pristine_clone(self, weight, rng):
+        """Later mutation of a handed-out engine (gain refit, guard
+        trips, perf counts) must not leak into the next hit."""
+        config = _noisy_config()
+        predictor = IdealPredictor()
+        cache = EngineCache()
+        first = cache.get_or_build(
+            weight, config, predictor, np.random.default_rng(3),
+            lambda: _build(weight, config, predictor, np.random.default_rng(3)),
+        )
+        pristine_gain = first.gain.copy()
+        first.refit_gain(rng.random((32, 12)).astype(np.float32), weight)
+        first.matvec(rng.random((4, 12)))
+        second = cache.get_or_build(
+            weight, config, predictor, np.random.default_rng(3),
+            lambda: pytest.fail("builder must not run on a hit"),
+        )
+        assert np.array_equal(second.gain, pristine_gain)
+        assert second.perf.matvec_calls == 0
+        assert second.guard_trips == 0
+        # The clones share the immutable banks (the expensive state).
+        assert second.banks is first.banks
+
+    def test_fault_map_reproduced_on_hit(self, weight, rng):
+        faults = FaultConfig(stuck_at_gmin_rate=0.1, dead_col_rate=0.05, seed=2)
+        config = with_faults(_noisy_config(), faults)
+        predictor = IdealPredictor()
+        cache = EngineCache()
+        miss = cache.get_or_build(
+            weight, config, predictor, np.random.default_rng(5),
+            lambda: _build(weight, config, predictor, np.random.default_rng(5)),
+        )
+        hit = cache.get_or_build(
+            weight, config, predictor, np.random.default_rng(5),
+            lambda: pytest.fail("builder must not run on a hit"),
+        )
+        assert hit.fault_summary == miss.fault_summary
+        x = rng.random((4, 12))
+        assert np.array_equal(hit.matvec(x), miss.matvec(x))
+
+
+class TestCacheKey:
+    def test_key_is_content_addressed(self, weight):
+        config = make_tiny_crossbar_config()
+        predictor = IdealPredictor()
+        rng_state = np.random.default_rng(1)
+        key = engine_key(weight, config, predictor, rng_state)
+        assert key == engine_key(weight.copy(), config, predictor, np.random.default_rng(1))
+
+    def test_key_changes_with_each_ingredient(self, weight):
+        config = make_tiny_crossbar_config()
+        predictor = IdealPredictor()
+        base = engine_key(weight, config, predictor, np.random.default_rng(1))
+        other_weight = weight.copy()
+        other_weight[0, 0] += 1.0
+        assert engine_key(other_weight, config, predictor, np.random.default_rng(1)) != base
+        faulty = with_faults(config, FaultConfig(stuck_at_gmin_rate=0.1))
+        assert engine_key(weight, faulty, predictor, np.random.default_rng(1)) != base
+        assert engine_key(weight, config, predictor, np.random.default_rng(2)) != base
+        # Same generator, different position in the stream.
+        rng_advanced = np.random.default_rng(1)
+        rng_advanced.random()
+        assert engine_key(weight, config, predictor, rng_advanced) != base
+
+    def test_predictor_tokens(self, tiny_geniex):
+        from repro.xbar.noise import GaussianNoiseModel
+
+        assert predictor_token(IdealPredictor()) == "ideal"
+        assert predictor_token(tiny_geniex).startswith("geniex:")
+        # Retraining-equivalent parameters -> equal token; the token is
+        # content, not identity.
+        assert predictor_token(tiny_geniex) == predictor_token(tiny_geniex)
+        config = make_tiny_crossbar_config()
+        noise_a = GaussianNoiseModel(0.01, 0.02, 0.0, 0.001, config.device, config.rows)
+        noise_b = GaussianNoiseModel(0.01, 0.02, 0.0, 0.001, config.device, config.rows)
+        assert predictor_token(noise_a) == predictor_token(noise_b)
+        noise_c = GaussianNoiseModel(0.02, 0.02, 0.0, 0.001, config.device, config.rows)
+        assert predictor_token(noise_a) != predictor_token(noise_c)
+
+
+class TestCachePolicy:
+    def test_lru_eviction(self, rng):
+        config = make_tiny_crossbar_config(gain_calibration=0)
+        predictor = IdealPredictor()
+        cache = EngineCache(maxsize=2)
+        weights = [
+            rng.normal(size=(3, 8)).astype(np.float32) for _ in range(3)
+        ]
+        for w in weights:
+            cache.get_or_build(w, config, predictor, None, lambda w=w: _build(w, config, predictor, None))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The oldest entry is gone: requesting it again is a miss.
+        cache.get_or_build(
+            weights[0], config, predictor, None,
+            lambda: _build(weights[0], config, predictor, None),
+        )
+        assert cache.stats.misses == 4
+
+    def test_clear_resets_entries_and_stats(self, weight):
+        config = make_tiny_crossbar_config(gain_calibration=0)
+        predictor = IdealPredictor()
+        cache = EngineCache()
+        cache.get_or_build(weight, config, predictor, None, lambda: _build(weight, config, predictor, None))
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.misses == 0
+
+    def test_resolve_cache_specs(self):
+        assert resolve_cache(True) is ENGINE_CACHE
+        assert resolve_cache(False) is None
+        assert resolve_cache(None) is None
+        own = EngineCache(maxsize=4)
+        assert resolve_cache(own) is own
+        with pytest.raises(TypeError):
+            resolve_cache("yes please")
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            EngineCache(maxsize=0)
+
+
+class TestConvertToHardwareCaching:
+    def test_repeat_convert_hits_eliminate_reprogramming(
+        self, tiny_victim, tiny_geniex, rng
+    ):
+        config = make_tiny_crossbar_config()
+        cache = EngineCache()
+        first = convert_to_hardware(
+            tiny_victim, config, predictor=tiny_geniex,
+            rng=np.random.default_rng(9), engine_cache=cache,
+        )
+        layers = sum(
+            isinstance(m, (NonIdealConv2d, NonIdealLinear))
+            for _n, m in first.named_modules()
+        )
+        assert layers > 0
+        assert cache.stats.misses >= 1 and cache.stats.hits >= 0
+        misses_after_first = cache.stats.misses
+        second = convert_to_hardware(
+            tiny_victim, config, predictor=tiny_geniex,
+            rng=np.random.default_rng(9), engine_cache=cache,
+        )
+        # Second conversion reprograms nothing: every layer is a hit.
+        assert cache.stats.misses == misses_after_first
+        assert cache.stats.hits >= layers
+        x = rng.random((2, 3, 8, 8)).astype(np.float32)
+        from repro.autograd import Tensor, no_grad
+
+        with no_grad():
+            out_first = first(Tensor(x)).data
+            out_second = second(Tensor(x)).data
+        assert np.array_equal(out_first, out_second)
+
+    def test_cache_disabled_still_works(self, tiny_victim, tiny_geniex):
+        config = make_tiny_crossbar_config()
+        clear_engine_cache()
+        convert_to_hardware(
+            tiny_victim, config, predictor=tiny_geniex, engine_cache=False
+        )
+        assert ENGINE_CACHE.stats.misses == 0 and ENGINE_CACHE.stats.hits == 0
+
+    def test_perf_report_aggregates_converted_model(
+        self, tiny_victim, tiny_geniex, rng
+    ):
+        from repro.autograd import Tensor, no_grad
+        from repro.xbar.perf import format_perf, perf_report, reset_perf
+
+        config = make_tiny_crossbar_config()
+        hardware = convert_to_hardware(tiny_victim, config, predictor=tiny_geniex)
+        reset_perf(hardware)
+        with no_grad():
+            hardware(Tensor(rng.random((3, 3, 8, 8)).astype(np.float32)))
+        report = perf_report(hardware)
+        assert report.layers  # one entry per non-ideal layer
+        assert report.total.matvec_calls == sum(
+            c.matvec_calls for c in report.layers.values()
+        )
+        assert report.total.matvec_calls >= len(report.layers)
+        rendered = format_perf({"tiny/test": hardware}, per_layer=True)
+        assert "engine cache:" in rendered and "tiny/test" in rendered
