@@ -13,6 +13,15 @@ echo "=== tier-1: unit + integration + property tests ==="
 python -m pytest -x -q
 
 echo
+echo "=== verify: numerical conformance catalog (compiled kernels) ==="
+python scripts/verify_numerics.py --seed 1234 --out artifacts/verify_report.json
+
+echo
+echo "=== verify: numerical conformance catalog (numpy fallbacks) ==="
+REPRO_XBAR_CKERNELS=0 python scripts/verify_numerics.py --seed 1234 \
+    --out artifacts/verify_report_nockernels.json
+
+echo
 echo "=== CLI smoke: info ==="
 python -m repro info
 

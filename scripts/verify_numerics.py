@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Run the numerical verification catalog and write its JSON report.
+
+Thin wrapper over ``python -m repro verify`` for CI and ad-hoc use:
+
+    python scripts/verify_numerics.py [--seed N] [--quick] [--out PATH]
+
+Exits non-zero if any differential or metamorphic check fails.  Run it
+with ``REPRO_XBAR_CKERNELS=0`` as well to hold the pure-numpy fallbacks
+to the same oracle (scripts/ci.sh does both).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["verify", *sys.argv[1:]]))

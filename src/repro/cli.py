@@ -11,6 +11,7 @@ table4      run the hardware-in-loop attack table for one task
 fig         run one epsilon-sweep figure (2/3/4/6)
 energy      crossbar-vs-digital energy estimate for a task's victim
 reliability clean/adversarial accuracy vs stuck-cell rate and drift
+verify      run the numerical verification catalog (oracle + invariants)
 """
 
 from __future__ import annotations
@@ -157,6 +158,15 @@ def cmd_energy(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify.runner import run_verification
+
+    report = run_verification(seed=args.seed, quick=args.quick, out_path=args.out)
+    print(report.summary())
+    print(f"conformance report written to {args.out}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -219,6 +229,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--paper-eps", dest="paper_eps", type=float, default=2.0,
                    help="attack budget in paper units (k/255)")
     p.set_defaults(func=cmd_reliability)
+
+    p = sub.add_parser("verify")
+    p.add_argument("--seed", type=int, default=1234,
+                   help="seed for the deterministic check matrix")
+    p.add_argument("--quick", action="store_true",
+                   help="ideal backend only; skip circuit/GENIEx/NF checks")
+    p.add_argument("--out", default="artifacts/verify_report.json",
+                   help="where to write the JSON conformance report")
+    p.set_defaults(func=cmd_verify)
 
     return parser
 

@@ -16,6 +16,7 @@ from repro.attacks.pgd import PGD
 from repro.attacks.square import SquareAttack
 from repro.core.evaluation import HardwareLab
 from repro.nn.module import Module
+from repro.verify.contracts import maybe_assert_attack_contract
 
 
 class AttackFactory:
@@ -82,7 +83,10 @@ class AttackFactory:
         fitted = self.fitted_ensemble(task, victim)
         x, y = self.lab.eval_set(task)
         pgd = PGD(epsilon, iterations=iterations, seed=23)
-        return pgd.generate(fitted.ensemble, x, y).x_adv
+        x_adv = pgd.generate(fitted.ensemble, x, y).x_adv
+        # Enforced only under REPRO_VERIFY_ATTACKS=1 (see repro.verify.contracts).
+        maybe_assert_attack_contract(x_adv, x, epsilon, label="ensemble_pgd")
+        return x_adv
 
     def square(
         self,
@@ -96,7 +100,9 @@ class AttackFactory:
         queries = queries or self.lab.scale.square_queries
         x, y = self.lab.eval_set(task)
         attack = SquareAttack(epsilon, max_queries=queries, seed=seed)
-        return attack.generate(target, x, y).x_adv
+        x_adv = attack.generate(target, x, y).x_adv
+        maybe_assert_attack_contract(x_adv, x, epsilon, label="square")
+        return x_adv
 
     def whitebox_pgd(
         self,
@@ -110,4 +116,6 @@ class AttackFactory:
         iterations = iterations or self.lab.scale.pgd_iterations
         x, y = self.lab.eval_set(task)
         pgd = PGD(epsilon, iterations=iterations, batch_size=batch_size, seed=29)
-        return pgd.generate(target, x, y).x_adv
+        x_adv = pgd.generate(target, x, y).x_adv
+        maybe_assert_attack_contract(x_adv, x, epsilon, label="whitebox_pgd")
+        return x_adv

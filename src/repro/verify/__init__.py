@@ -1,0 +1,39 @@
+"""Differential and metamorphic verification of the analog pipeline.
+
+The package holds four pieces:
+
+* :mod:`repro.verify.oracle` — a deliberately naive, loop-based
+  reference implementation of the full MVM chain, independent of
+  :mod:`repro.xbar.simulator`, that every fast path is tested against
+  bit for bit;
+* :mod:`repro.verify.invariants` — the metamorphic invariant catalog
+  (exact properties the pipeline satisfies by construction) plus the
+  differential checks, as plain parameterized functions;
+* :mod:`repro.verify.runner` / :mod:`repro.verify.report` — the
+  ``repro verify`` CLI engine and its JSON conformance report;
+* :mod:`repro.verify.strategies` — shared hypothesis generators for the
+  property tests (requires :mod:`hypothesis`; import it only from
+  tests, never from this package's runtime modules).
+
+``repro.verify.contracts`` additionally exposes the attack contract
+(epsilon ball + [0, 1] domain) as a runtime assertion the experiment
+harness can enable with ``REPRO_VERIFY_ATTACKS=1``.
+"""
+
+from repro.verify.contracts import assert_attack_contract, maybe_assert_attack_contract
+from repro.verify.oracle import OracleEngine
+from repro.verify.report import CheckResult, ConformanceReport
+from repro.verify.runner import run_verification
+from repro.verify.ulp import describe_mismatch, max_ulp, ulp_diff
+
+__all__ = [
+    "OracleEngine",
+    "CheckResult",
+    "ConformanceReport",
+    "run_verification",
+    "assert_attack_contract",
+    "maybe_assert_attack_contract",
+    "max_ulp",
+    "ulp_diff",
+    "describe_mismatch",
+]

@@ -1,0 +1,62 @@
+"""Runtime-checkable contracts shared by tests and experiments.
+
+The attack contract is the one every attack in :mod:`repro.attacks`
+promises: adversarial examples stay inside the L-inf epsilon ball
+around the clean input *and* inside the valid image domain [0, 1].
+Property tests assert it over random budgets; the experiment harness
+can additionally enforce it on real attack outputs by setting
+``REPRO_VERIFY_ATTACKS=1`` (cheap elementwise checks, off by default).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+class AttackContractViolation(AssertionError):
+    """An attack produced adversarial examples outside its contract."""
+
+
+def assert_attack_contract(
+    x_adv: np.ndarray, x: np.ndarray, epsilon: float, label: str = "attack"
+) -> None:
+    """Check ``x_adv`` against the epsilon-ball + [0, 1] domain contract.
+
+    The bounds are exactly those of :func:`repro.attacks.base.clip_to_ball`
+    (``clip(x_adv, max(x - eps, 0), min(x + eps, 1))``), so a correct
+    attack satisfies them with *no* tolerance — any violation, however
+    small, means a projection step was skipped or reordered.
+    """
+    x_adv = np.asarray(x_adv)
+    x = np.asarray(x)
+    if x_adv.shape != x.shape:
+        raise AttackContractViolation(
+            f"{label}: shape {x_adv.shape} does not match clean input {x.shape}"
+        )
+    if not np.all(np.isfinite(x_adv)):
+        raise AttackContractViolation(f"{label}: non-finite adversarial values")
+    lo = np.maximum(x - epsilon, 0.0)
+    hi = np.minimum(x + epsilon, 1.0)
+    below, above = x_adv < lo, x_adv > hi
+    if below.any() or above.any():
+        worst = float(np.max(np.maximum(lo - x_adv, x_adv - hi)))
+        count = int(below.sum() + above.sum())
+        raise AttackContractViolation(
+            f"{label}: {count}/{x_adv.size} values leave the eps={epsilon} "
+            f"ball/domain (worst excess {worst:.3e})"
+        )
+
+
+def attack_contract_enabled() -> bool:
+    """Whether experiments should verify attack outputs inline."""
+    return os.environ.get("REPRO_VERIFY_ATTACKS", "0") != "0"
+
+
+def maybe_assert_attack_contract(
+    x_adv: np.ndarray, x: np.ndarray, epsilon: float, label: str = "attack"
+) -> None:
+    """Env-gated variant for production call sites (no-op by default)."""
+    if attack_contract_enabled():
+        assert_attack_contract(x_adv, x, epsilon, label=label)

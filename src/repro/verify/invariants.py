@@ -1,0 +1,322 @@
+"""Metamorphic and differential invariants of the analog pipeline.
+
+Each check is a plain function over a :class:`CrossbarConfig` (plus a
+weight/input pair where relevant) that raises
+:class:`InvariantViolation` with a ULP-annotated message on failure.
+They are deliberately hypothesis-free so the same catalog runs from the
+``repro verify`` CLI, from CI (with compiled kernels on and off), and
+from property tests that feed them generated cases.
+
+The catalog covers two families:
+
+Differential checks
+    Every fast path (vectorized kernel, zero-row compaction, engine
+    cache, compiled C kernels) against the naive
+    :class:`repro.verify.oracle.OracleEngine`, to exact bit equality
+    (the 0-ULP policy documented in :mod:`repro.verify.oracle`).
+
+Metamorphic checks
+    Properties the pipeline must satisfy *by construction*, with exact
+    expected outcomes: power-of-two input scaling, per-row batch
+    independence, output-column permutation equivariance on the ideal
+    backend, two-bank input-tile swaps, zero weights cancelling in the
+    differential pair, bit-slice reassembly identity, fault-free fault
+    layers acting as identity, and NF monotonicity across the Table I
+    crossbars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.verify.oracle import GAIN_CLIP as ORACLE_GAIN_CLIP
+from repro.verify.oracle import OracleEngine, naive_reassemble, naive_slice_lsb_first
+from repro.verify.ulp import describe_mismatch, max_ulp
+from repro.xbar.engine_cache import EngineCache
+from repro.xbar.faults import FaultConfig, with_faults
+from repro.xbar.nf import crossbar_nf
+from repro.xbar.presets import CrossbarConfig, crossbar_preset
+from repro.xbar.simulator import GAIN_CLIP, CrossbarEngine, IdealPredictor
+
+
+class InvariantViolation(AssertionError):
+    """A verification check failed; the message localizes the drift."""
+
+
+def _engine(weight, config, predictor, kernel, seed=None):
+    rng = np.random.default_rng(seed) if seed is not None else None
+    return CrossbarEngine(weight, config, predictor, rng=rng, kernel=kernel)
+
+
+def _expect_equal(name: str, expected: np.ndarray, got: np.ndarray) -> None:
+    if max_ulp(expected, got) != 0:
+        raise InvariantViolation(f"{name}: {describe_mismatch(expected, got)}")
+
+
+# ----------------------------------------------------------------------
+# Differential checks against the oracle
+# ----------------------------------------------------------------------
+
+def check_kernels_match_oracle(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int | None = None,
+) -> None:
+    """Both engine kernels must reproduce the oracle bit for bit.
+
+    ``seed`` drives construction randomness (programming noise, fault
+    chip tokens); oracle and engines consume identical streams.
+    """
+    oracle = OracleEngine(
+        weight, config, predictor,
+        rng=np.random.default_rng(seed) if seed is not None else None,
+    )
+    expected = oracle.matvec(x)
+    for kernel in ("vectorized", "reference"):
+        got = _engine(weight, config, predictor, kernel, seed).matvec(x)
+        _expect_equal(f"{kernel} kernel vs oracle", expected, got)
+
+
+def check_cache_warm_cold(
+    weight: np.ndarray, config: CrossbarConfig, predictor, x: np.ndarray
+) -> None:
+    """A cache-hit engine must match the cold-built engine bit for bit.
+
+    Exercises ``clone_pristine`` and the cached zero-row currents: the
+    warm engine re-derives per-call state (gain accumulators, cached
+    currents) rather than inheriting stale values.
+    """
+    cache = EngineCache(maxsize=4)
+    build = lambda: CrossbarEngine(weight, config, predictor)  # noqa: E731
+    cold = cache.get_or_build(weight, config, predictor, None, build)
+    expected = cold.matvec(x)
+    warm = cache.get_or_build(weight, config, predictor, None, build)
+    if warm is cold:
+        raise InvariantViolation("engine cache returned the live engine, not a clone")
+    _expect_equal("warm cache engine vs cold", expected, warm.matvec(x))
+    if cache.stats.hits != 1:
+        raise InvariantViolation(f"expected 1 cache hit, saw {cache.stats.hits}")
+
+
+def check_compaction_row_independence(
+    weight: np.ndarray, config: CrossbarConfig, predictor, x: np.ndarray
+) -> None:
+    """Rows sharing a DAC range must not depend on their batch.
+
+    The DAC normalizes by the batch maximum, so a subset only sees the
+    same quantization grid if it contains the rows holding the
+    positive- and negative-side maxima.  With those anchor rows pinned,
+    every other row's bits must be identical inside the full batch and
+    inside the minimal anchored subset — the property stream stacking
+    and zero-row compaction rely on, and the one BLAS-backed predictors
+    violated before the row-stable matmul fix (see
+    :mod:`repro.xbar.numerics`).
+    """
+    engine = _engine(weight, config, predictor, "vectorized")
+    batch = engine.matvec(x)
+    pos_anchor = int(np.argmax(np.maximum(x, 0.0).max(axis=1)))
+    neg_anchor = int(np.argmax(np.maximum(-x, 0.0).max(axis=1)))
+    for i in range(x.shape[0]):
+        subset = sorted({pos_anchor, neg_anchor, i})
+        sub = engine.matvec(x[subset])
+        _expect_equal(
+            f"row {i} in anchored subset vs in batch",
+            batch[i : i + 1],
+            sub[subset.index(i) : subset.index(i) + 1],
+        )
+
+
+def check_dense_vs_zero_row_batch(
+    weight: np.ndarray, config: CrossbarConfig, predictor, x: np.ndarray
+) -> None:
+    """Appending all-zero rows must not perturb the original rows.
+
+    The appended rows take the compacted path (cached zero-row
+    currents); the original rows' bits must not change, and the two
+    appended rows must agree with each other bit for bit.  (They are
+    *not* compared against an all-zero batch: ``matvec`` short-circuits
+    a zero batch to exact zeros, while a zero row inside a live batch
+    legitimately reads the backend's V=0 response — nonzero for the
+    GENIEx surrogate — which the differential checks pin instead.)
+    """
+    engine = _engine(weight, config, predictor, "vectorized")
+    dense = engine.matvec(x)
+    padded = np.vstack([x, np.zeros((2, x.shape[1]))])
+    out = engine.matvec(padded)
+    _expect_equal("original rows after zero-padding", dense, out[: x.shape[0]])
+    _expect_equal("appended zero rows agree", out[-2], out[-1])
+
+
+# ----------------------------------------------------------------------
+# Metamorphic checks
+# ----------------------------------------------------------------------
+
+def check_power_of_two_scaling(
+    weight: np.ndarray, config: CrossbarConfig, predictor, x: np.ndarray
+) -> None:
+    """``matvec(2^k x) == 2^k matvec(x)`` exactly, for any backend.
+
+    The DAC normalizes by ``x.max()``, so scaling the batch by a power
+    of two scales only the exact final ``x_lsb`` factor: the integer
+    streams, the analog evaluation and the ADC all see identical
+    values.
+    """
+    engine = _engine(weight, config, predictor, "vectorized")
+    base = engine.matvec(x)
+    for k in (2.0, 0.25):
+        scaled = engine.matvec(x * k)
+        _expect_equal(f"matvec({k}*x) vs {k}*matvec(x)", base * k, scaled)
+
+
+def check_output_column_permutation(
+    weight: np.ndarray, config: CrossbarConfig, x: np.ndarray, seed: int = 0
+) -> None:
+    """Permuting output features permutes outputs, exactly (ideal path).
+
+    On :class:`IdealPredictor` every output column is a function of its
+    own weight row only — tiling, ADC, dummy-column subtraction and the
+    per-column gain trim all act columnwise — so reordering weight rows
+    must reorder outputs with zero numerical effect.  (Circuit-coupled
+    backends legitimately break this: IR drop couples neighbouring
+    columns, which is the physics the paper relies on.)
+    """
+    predictor = IdealPredictor()
+    base = _engine(weight, config, predictor, "vectorized").matvec(x)
+    perm = np.random.default_rng(seed).permutation(weight.shape[0])
+    permuted = _engine(weight[perm], config, predictor, "vectorized").matvec(x)
+    _expect_equal("permuted output columns", base[:, perm], permuted)
+
+
+def check_dead_bank_padding(
+    weight: np.ndarray, config: CrossbarConfig, predictor, x: np.ndarray
+) -> None:
+    """Appending dead input tiles (zero weights, zero inputs) is a no-op.
+
+    The padded features form whole extra row-banks whose bit-streams
+    are all zero, so both kernels must skip them outright — the live
+    banks' accumulation sequence, and therefore every output bit, is
+    unchanged.  (A swap of two *live* banks is deliberately not
+    asserted: it reorders a multi-term float accumulation, which is
+    only approximately equivariant.)
+    """
+    if config.gain_calibration:
+        # Calibration probes are drawn with shape (num, in_features);
+        # padding changes the draw and therefore the gains.
+        raise ValueError("dead-bank padding check requires gain_calibration=0")
+    pad = config.rows
+    weight_p = np.concatenate(
+        [weight, np.zeros((weight.shape[0], pad), dtype=weight.dtype)], axis=1
+    )
+    x_p = np.concatenate([x, np.zeros((x.shape[0], pad))], axis=1)
+    for kernel in ("vectorized", "reference"):
+        base = _engine(weight, config, predictor, kernel).matvec(x)
+        padded = _engine(weight_p, config, predictor, kernel).matvec(x_p)
+        _expect_equal(f"dead-bank padding ({kernel})", base, padded)
+
+
+def check_zero_weight_zero_output(
+    config: CrossbarConfig, predictor, x: np.ndarray, out_features: int = 5
+) -> None:
+    """An all-zero weight must produce exactly 0.0 everywhere.
+
+    Both differential arrays program identical conductances, so each
+    chunk contributes ``+t`` then ``-t`` from zero — exact cancellation
+    for any backend.  Only meaningful without programming noise or
+    faults (those decorrelate the pos/neg arrays by design).
+    """
+    if config.device.program_sigma or config.faults.enabled:
+        raise ValueError("zero-weight check requires a noise/fault-free config")
+    weight = np.zeros((out_features, x.shape[1]), dtype=np.float32)
+    out = _engine(weight, config, predictor, "vectorized").matvec(x)
+    _expect_equal("zero weight output", np.zeros_like(out), out)
+
+
+def check_zero_columns_zero_output(
+    weight: np.ndarray, config: CrossbarConfig, x: np.ndarray
+) -> None:
+    """All-zero weight rows yield exactly-zero output columns (ideal).
+
+    Per-column independence of the ideal backend makes the pos/neg
+    cancellation argument column-local, so it holds even when other
+    columns carry weight.
+    """
+    if config.device.program_sigma or config.faults.enabled:
+        raise ValueError("zero-column check requires a noise/fault-free config")
+    weight = np.array(weight, copy=True)
+    weight[::2] = 0.0
+    out = _engine(weight, config, IdealPredictor(), "vectorized").matvec(x)
+    _expect_equal("zeroed output columns", np.zeros_like(out[:, ::2]), out[:, ::2])
+
+
+def check_bitslice_reassembly(max_value_bits: int = 8, chunk_bits: int = 2) -> None:
+    """Slicing integers LSB-first and reassembling is the identity."""
+    values = np.arange(2**max_value_bits, dtype=np.int64).reshape(16, -1)
+    chunks = naive_slice_lsb_first(values, max_value_bits, chunk_bits)
+    back = naive_reassemble(chunks, chunk_bits)
+    if not np.array_equal(values, back):
+        raise InvariantViolation(
+            f"bit-slice reassembly lost information for {max_value_bits}-bit "
+            f"values in {chunk_bits}-bit chunks"
+        )
+
+
+def check_faultfree_faults_identity(
+    weight: np.ndarray, config: CrossbarConfig, predictor, x: np.ndarray
+) -> None:
+    """A fault layer with all-zero rates must be a bit-exact no-op.
+
+    Also pins the RNG contract: an engine only draws its fault chip
+    token when faults are enabled, so a disabled fault layer must leave
+    the construction RNG stream untouched.
+    """
+    plain = _engine(weight, config, predictor, "vectorized", seed=5)
+    disabled = _engine(
+        weight, with_faults(config, FaultConfig()), predictor, "vectorized", seed=5
+    )
+    _expect_equal("fault-free fault layer", plain.matvec(x), disabled.matvec(x))
+
+
+def check_empty_batch(
+    weight: np.ndarray, config: CrossbarConfig, predictor
+) -> None:
+    """A zero-row batch must return a (0, out) result, not crash."""
+    engine = _engine(weight, config, predictor, "vectorized")
+    out = engine.matvec(np.zeros((0, weight.shape[1])))
+    if out.shape != (0, weight.shape[0]):
+        raise InvariantViolation(f"empty batch returned shape {out.shape}")
+
+
+def check_gain_clip_contract() -> None:
+    """The oracle's redeclared gain clip must match the simulator's."""
+    if tuple(GAIN_CLIP) != tuple(ORACLE_GAIN_CLIP):
+        raise InvariantViolation(
+            f"simulator GAIN_CLIP {GAIN_CLIP} drifted from the oracle's "
+            f"periphery contract {ORACLE_GAIN_CLIP}"
+        )
+
+
+def check_nf_monotonicity(
+    num_matrices: int = 2, vectors_per_matrix: int = 4, seed: int = 0
+) -> None:
+    """Non-ideality ordering of the three Table I crossbars (paper §IV).
+
+    Larger arrays and lower wire/device resistance ratios mean more IR
+    drop: NF(64x64, 300k) < NF(32x32, 100k) < NF(64x64, 100k).  The
+    ordering is a physics invariant of the circuit model, independent
+    of the sampled workload.
+    """
+    order = ["64x64_300k", "32x32_100k", "64x64_100k"]
+    nfs = []
+    for name in order:
+        cfg = crossbar_preset(name)
+        nfs.append(
+            crossbar_nf(
+                cfg.circuit, cfg.device, np.random.default_rng(seed),
+                num_matrices=num_matrices, vectors_per_matrix=vectors_per_matrix,
+            )
+        )
+    if not (nfs[0] < nfs[1] < nfs[2]):
+        pairs = ", ".join(f"{n}={v:.4f}" for n, v in zip(order, nfs))
+        raise InvariantViolation(f"NF ordering violated: {pairs}")

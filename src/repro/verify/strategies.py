@@ -1,0 +1,183 @@
+"""Shared hypothesis strategies for the verification property tests.
+
+One vocabulary of generators — tiny crossbar configs, weight matrices,
+input batches, fault populations, adversarial-direction inputs — so
+every property test (differential, metamorphic, gradient, attack
+contract) draws from the same distribution of "shapes that have bitten
+us": ragged row/column tiles, multi-tile layers, all-zero rows and
+streams, signed inputs, zero weights.
+
+Requires :mod:`hypothesis` (a test dependency); import this module only
+from tests or opt-in tooling, never from the library's runtime paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.xbar.adc import ADCConfig
+from repro.xbar.bitslice import BitSliceConfig
+from repro.xbar.circuit import CircuitConfig
+from repro.xbar.device import DeviceConfig
+from repro.xbar.faults import FaultConfig, GuardConfig
+from repro.xbar.presets import CrossbarConfig
+
+#: Valid (input_bits, stream_bits, weight_bits) combinations with the
+#: 2-bit cells every config in the repo uses (slice_bits == levels_bits).
+_BIT_COMBOS = [(4, 2, 4), (4, 4, 4), (6, 2, 4), (4, 2, 6), (8, 4, 6)]
+
+
+@st.composite
+def bitslice_configs(draw) -> BitSliceConfig:
+    input_bits, stream_bits, weight_bits = draw(st.sampled_from(_BIT_COMBOS))
+    return BitSliceConfig(
+        input_bits=input_bits,
+        stream_bits=stream_bits,
+        weight_bits=weight_bits,
+        slice_bits=2,
+    )
+
+
+@st.composite
+def tiny_configs(
+    draw,
+    adc_bits=st.sampled_from([None, 4, 6]),
+    guard_modes=st.sampled_from(["off", "fallback"]),
+    program_sigma=st.sampled_from([0.0, 0.05]),
+) -> CrossbarConfig:
+    """Small crossbar variants cheap enough for exact oracle evaluation.
+
+    Rows/cols below 8 keep per-test engine builds in milliseconds while
+    still producing ragged tiles and multi-tile grids once weights from
+    :func:`weights_for` are mapped onto them.
+    """
+    rows = draw(st.sampled_from([4, 6, 8]))
+    cols = draw(st.sampled_from([4, 6, 8]))
+    bits = draw(adc_bits)
+    sigma = draw(program_sigma)
+    return CrossbarConfig(
+        name=f"verify_{rows}x{cols}",
+        device=DeviceConfig(
+            r_on=draw(st.sampled_from([100e3, 300e3])),
+            on_off_ratio=50.0,
+            levels_bits=2,
+            program_sigma=sigma,
+            iv_beta=draw(st.sampled_from([0.0, 0.25])),
+            v_read=0.25,
+        ),
+        circuit=CircuitConfig(
+            rows=rows,
+            cols=cols,
+            r_source=350.0,
+            r_sink=350.0,
+            r_wire=4.0,
+            nonlinear_iterations=2,
+        ),
+        bitslice=draw(bitslice_configs()),
+        adc=ADCConfig(bits=bits) if bits else ADCConfig(bits=None),
+        gain_calibration=draw(st.sampled_from([0, 8])),
+        guard=GuardConfig(mode=draw(guard_modes)),
+    )
+
+
+@st.composite
+def weights_for(draw, config: CrossbarConfig, max_tiles: int = 3) -> np.ndarray:
+    """A float32 (out, in) weight matrix sized against ``config``.
+
+    Shapes deliberately cover the tiling corner cases: exact single
+    tiles, ragged last tiles, and multi-tile grids in *both* dimensions
+    (multi-column-tile layers were historically untested).  Values mix
+    dense gaussians with structured sparsity, including all-zero rows
+    and columns and the all-zero matrix.
+    """
+    in_features = draw(st.integers(1, max_tiles * config.rows))
+    out_features = draw(st.integers(1, max_tiles * config.cols))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    kind = draw(st.sampled_from(["dense", "sparse", "zero_rows", "zero"]))
+    w = rng.normal(scale=draw(st.sampled_from([1e-3, 1.0, 50.0])),
+                   size=(out_features, in_features))
+    if kind == "sparse":
+        w *= rng.random(w.shape) < 0.4
+    elif kind == "zero_rows":
+        w[rng.random(out_features) < 0.5] = 0.0
+        if in_features > 1:
+            w[:, rng.random(in_features) < 0.5] = 0.0
+    elif kind == "zero":
+        w[:] = 0.0
+    return w.astype(np.float32)
+
+
+@st.composite
+def input_batches(draw, in_features: int, signed: bool | None = None) -> np.ndarray:
+    """A float64 (n, in) batch exercising the DAC and compaction paths.
+
+    Includes all-zero rows (zero-row compaction), rows that vanish in
+    high-significance bit-streams (partial compaction), signed values
+    (the differential positive/negative split) and the all-zero batch.
+    """
+    n = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if signed is None:
+        signed = draw(st.booleans())
+    scale = draw(st.sampled_from([1e-3, 1.0, 10.0]))
+    x = rng.random((n, in_features)) * scale
+    if signed:
+        x -= 0.5 * scale
+    # Small-magnitude rows quantize into only the low bit-streams, so
+    # the high streams see them as zero rows -> partial compaction.
+    shrink = rng.random(n) < 0.4
+    x[shrink] *= 0.05
+    x[rng.random(n) < 0.3] = 0.0  # full zero rows
+    if draw(st.booleans()):
+        x *= rng.random((n, in_features)) < 0.5  # elementwise sparsity
+    return x
+
+
+@st.composite
+def fault_configs(draw) -> FaultConfig:
+    """Fault populations from benign to aggressive (always valid)."""
+    return FaultConfig(
+        stuck_at_gmin_rate=draw(st.sampled_from([0.0, 0.05, 0.2])),
+        stuck_at_gmax_rate=draw(st.sampled_from([0.0, 0.05])),
+        drift_time=draw(st.sampled_from([0.0, 1e3])),
+        drift_sigma=draw(st.sampled_from([0.0, 0.1])),
+        dead_row_rate=draw(st.sampled_from([0.0, 0.1])),
+        dead_col_rate=draw(st.sampled_from([0.0, 0.1])),
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+@st.composite
+def adversarial_direction_inputs(
+    draw, shape: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """(x, x_adv, epsilon) pairs shaped like one attack step.
+
+    ``x`` lives in [0, 1]; ``x_adv = clip(x + epsilon * s)`` for a
+    random sign pattern ``s`` — the exact input family PGD feeds the
+    hardware, where every entry sits on the epsilon-ball surface or a
+    domain boundary.  Attack-contract and hardware property tests share
+    this generator so they stress the same input geometry.
+    """
+    seed = draw(st.integers(0, 2**31 - 1))
+    epsilon = draw(st.sampled_from([1 / 255, 8 / 255, 32 / 255, 0.3]))
+    rng = np.random.default_rng(seed)
+    x = rng.random(shape)
+    signs = rng.choice([-1.0, 0.0, 1.0], size=shape)
+    x_adv = np.clip(x + epsilon * signs, 0.0, 1.0)
+    return x, x_adv, float(epsilon)
+
+
+@st.composite
+def attack_budgets(draw) -> dict:
+    """Random (epsilon, alpha, steps/queries) attack hyper-parameters."""
+    epsilon = draw(st.sampled_from([0.0, 1 / 255, 4 / 255, 16 / 255, 0.5]))
+    return {
+        "epsilon": epsilon,
+        "alpha": draw(st.sampled_from([None, epsilon / 4, epsilon, 2 * epsilon + 1e-3])),
+        "steps": draw(st.integers(1, 4)),
+        "seed": draw(st.integers(0, 2**16)),
+    }

@@ -1,0 +1,70 @@
+"""ULP-distance measurement between float64 arrays.
+
+The differential harness compares fast paths against the oracle to
+*exact* equality (0 ULP; see the tolerance policy in
+:mod:`repro.verify.oracle`), but reports distances in ULPs so a failure
+says *how far* apart two paths drifted — "max 3 ULP on 12 of 640
+elements" localizes a reassociated sum instantly, where a bare
+``allclose`` failure says nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _ordered_int64(values: np.ndarray) -> np.ndarray:
+    """Map float64 bit patterns to a monotonically ordered int64 line.
+
+    Standard trick: reinterpret the IEEE-754 bits, then flip negative
+    values so adjacent floats are adjacent integers.  NaNs map to the
+    extremes and are handled by the callers.
+    """
+    bits = np.asarray(values, dtype=np.float64).view(np.int64)
+    return np.where(bits < 0, np.int64(-(2**63) + 1) - bits - np.int64(1), bits)
+
+
+def ulp_diff(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ULP distance between two float64 arrays.
+
+    Returns 0 where both are NaN, the max int64 where exactly one is
+    NaN, and the number of representable doubles between them otherwise.
+    +0.0 and -0.0 compare equal (0 ULP).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    zero_pair = (a == 0.0) & (b == 0.0)  # identify +0.0 with -0.0
+    nan_a, nan_b = np.isnan(a), np.isnan(b)
+    diff = np.abs(_ordered_int64(a) - _ordered_int64(b))
+    diff = np.where(zero_pair, np.int64(0), diff)
+    diff = np.where(nan_a & nan_b, np.int64(0), diff)
+    diff = np.where(nan_a ^ nan_b, np.iinfo(np.int64).max, diff)
+    return diff
+
+
+def max_ulp(a: np.ndarray, b: np.ndarray) -> int:
+    """Largest elementwise ULP distance (0 for empty arrays)."""
+    diff = ulp_diff(a, b)
+    return int(diff.max()) if diff.size else 0
+
+
+def describe_mismatch(a: np.ndarray, b: np.ndarray, limit: int = 3) -> str:
+    """Human-readable summary of where and how badly two arrays differ."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    diff = ulp_diff(a, b)
+    bad = np.argwhere(diff > 0)
+    if bad.size == 0:
+        return "bit-identical"
+    worst = int(diff.max())
+    abs_err = float(np.nanmax(np.abs(a - b)))
+    samples = []
+    for idx in bad[:limit]:
+        key = tuple(int(v) for v in idx)
+        samples.append(f"{key}: {a[key]!r} vs {b[key]!r} ({int(diff[key])} ulp)")
+    return (
+        f"{len(bad)}/{diff.size} elements differ, max {worst} ulp, "
+        f"max abs err {abs_err:.3e}; e.g. " + "; ".join(samples)
+    )

@@ -52,6 +52,7 @@ from repro.nn.module import Sequential
 from repro.train.optim import Adam
 from repro.xbar.circuit import CircuitConfig, CrossbarCircuit
 from repro.xbar.device import DeviceConfig
+from repro.xbar.numerics import row_stable_matmul
 from repro.xbar.nf import non_ideality_factor, sample_crossbar_workload
 
 
@@ -231,9 +232,13 @@ class GENIEx:
         """Currents for (B, R) voltages given a prepared bank handle."""
         handle = column_bias
         v32 = np.asarray(voltages, dtype=np.float32)
-        ideal = v32 @ handle.conductances  # exact digital term, (B, C)
+        # The simulator's stacked/compacted fast paths require every
+        # row's currents to be a pure function of that row, so the two
+        # batch matmuls use the row-stable form (plain GEMM rounds the
+        # same row differently in different-size batches).
+        ideal = row_stable_matmul(v32, handle.conductances)  # exact digital term, (B, C)
         v_norm = v32 / np.float32(self.device.v_read)
-        hv = v_norm @ self._w1v.T  # (B, H)
+        hv = row_stable_matmul(v_norm, self._w1v.T)  # (B, H)
         deviation = np.empty((hv.shape[0], handle.bias.shape[0]), dtype=np.float32)
         if self.block_mode == "legacy":
             self._deviation_blocks_legacy(hv, handle.bias, deviation, chunk)

@@ -1,0 +1,38 @@
+"""Row-stable numerical primitives shared by the analog backends.
+
+The functional simulator's fast paths — stream stacking, zero-row
+compaction with cached currents, the engine cache — all rest on one
+assumption: a predictor backend evaluates each input row independently,
+so the same row produces the same bits no matter which batch it rides
+in.  A plain ``a @ b`` silently breaks that assumption: BLAS dispatches
+different micro-kernels (gemv vs. gemm, different SIMD accumulation
+splits) depending on the batch's row count, so the *same row* can round
+differently inside different batches.  The drift is a single ULP on the
+raw currents, but the dequantization divide by ``g_step * v_step``
+amplifies it to ~1e6 ULP on the recovered dot products (surfaced by the
+differential oracle harness in :mod:`repro.verify`).
+
+Every batch matmul on the engines' per-row numerical contract therefore
+goes through :func:`row_stable_matmul`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def row_stable_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` whose per-row results do not depend on the batch.
+
+    Evaluates the product as a stacked ``(B, 1, K) @ (K, N)`` matmul:
+    NumPy lowers every batch element through an identical single-row
+    BLAS call, so row ``i`` of the result is a pure function of
+    ``a[i]`` and ``b``.  Costs ~1.3-2.5x a single GEMM on the shapes
+    the engines use; the compaction wins that row stability enables
+    more than pay for it.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"expected 2-D operands, got {a.shape} @ {b.shape}")
+    return np.matmul(a[:, None, :], b)[:, 0]

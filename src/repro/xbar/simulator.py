@@ -46,6 +46,7 @@ from repro.xbar.circuit import CrossbarCircuit
 from repro.xbar.device import RRAMDevice
 from repro.xbar.engine_cache import EngineCache, resolve_cache
 from repro.xbar.faults import FaultModel, FaultSummary, TileHealthError
+from repro.xbar.numerics import row_stable_matmul
 from repro.xbar.perf import PerfCounters
 from repro.xbar.presets import CrossbarConfig, load_or_train_geniex
 from repro.xbar.tiling import tile_matrix
@@ -127,18 +128,11 @@ class IdealPredictor:
 
     @staticmethod
     def predict_from_bias(voltages: np.ndarray, column_bias: np.ndarray, chunk: int = 8192) -> np.ndarray:
-        v = np.asarray(voltages)
-        if v.shape[0] <= chunk:
-            return v @ column_bias
-        # Honor the protocol's row-block contract: each output row is an
-        # independent dot product, so blocking is bit-identical.
-        out = np.empty(
-            (v.shape[0], column_bias.shape[1]),
-            dtype=np.result_type(v.dtype, column_bias.dtype),
-        )
-        for start in range(0, v.shape[0], chunk):
-            out[start : start + chunk] = v[start : start + chunk] @ column_bias
-        return out
+        # The row-stable form makes the protocol's per-row contract
+        # actually hold: each output row is computed by an identical
+        # single-row BLAS call, so batching (and the engine's stream
+        # stacking / zero-row compaction) never changes a row's bits.
+        return row_stable_matmul(np.asarray(voltages), column_bias)
 
 
 class CircuitPredictor:
@@ -250,6 +244,7 @@ class CrossbarEngine:
         config: CrossbarConfig,
         predictor: ColumnPredictor,
         rng: np.random.Generator | None = None,
+        kernel: str | None = None,
     ):
         if weight.ndim != 2:
             raise ValueError(f"weight must be 2-D (out, in), got {weight.shape}")
@@ -260,11 +255,17 @@ class CrossbarEngine:
                 f"device levels_bits ({dev.levels_bits}) must equal "
                 f"bit-slice slice_bits ({bs.slice_bits})"
             )
+        if kernel is not None and kernel not in KERNEL_MODES:
+            raise ValueError(f"kernel must be one of {KERNEL_MODES}, got {kernel!r}")
         self.config = config
         self.predictor = predictor
         self.out_features, self.in_features = weight.shape
         self._rng = rng or np.random.default_rng(0)
-        self.kernel = default_kernel()
+        # Explicit seam for the verification harness and benchmarks: a
+        # caller-chosen kernel wins over the process default.  Both
+        # kernels are bit-identical, so the choice never affects results
+        # (enforced by the golden tests and the repro.verify catalog).
+        self.kernel = kernel or default_kernel()
         self.perf = PerfCounters()
 
         matrix = np.asarray(weight, dtype=np.float64).T  # (in, out)
@@ -488,6 +489,8 @@ class CrossbarEngine:
         bs = self.config.bitslice
         n = x.shape[0]
         out = np.zeros((n, self.out_features), dtype=np.float64)
+        if n == 0:  # empty batch: nothing to drive (x.max() would raise)
+            return out
 
         x_max = float(x.max())
         if x_max == 0.0:
@@ -554,7 +557,9 @@ class CrossbarEngine:
         All non-zero bit-streams of a bank are stacked along the batch
         axis into a single ``(T_active * N, rows)`` voltage matrix and
         evaluated in one ``predict_from_bias`` call.  Every backend
-        computes output rows independently, the per-element transforms
+        computes output rows independently (guaranteed by routing batch
+        matmuls through :func:`repro.xbar.numerics.row_stable_matmul` —
+        plain BLAS GEMM is *not* row-stable), the per-element transforms
         (ADC quantization, dummy-column subtraction) apply identically
         to the stacked matrix, and the shift-and-add scalings are exact
         powers of two — so the result is bit-identical to the reference
@@ -837,10 +842,11 @@ def build_engine(
     config: CrossbarConfig,
     predictor: ColumnPredictor | None = None,
     rng: np.random.Generator | None = None,
+    kernel: str | None = None,
 ) -> CrossbarEngine:
     """Convenience constructor defaulting to the cached GENIEx backend."""
     predictor = predictor or load_or_train_geniex(config)
-    return CrossbarEngine(weight, config, predictor, rng)
+    return CrossbarEngine(weight, config, predictor, rng, kernel=kernel)
 
 
 class NonIdealLinear(Module):

@@ -23,6 +23,29 @@ from repro.xbar.geniex import GENIEx, GENIExTrainConfig, GENIExTrainer
 from repro.xbar.presets import CrossbarConfig
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked @pytest.mark.slow",
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items: list) -> None:
+    """Skip ``slow``-marked tests unless --runslow was given.
+
+    ``fast`` and ``verify`` markers are organisational only (select with
+    ``-m fast`` / ``-m verify``); ``slow`` is the one gated tier.
+    """
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(42)

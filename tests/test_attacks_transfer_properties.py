@@ -11,10 +11,14 @@ depends on, beyond per-component correctness:
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
 
 from repro.attacks import PGD, SquareAttack
 from repro.attacks.base import predict_logits
+from repro.attacks.hil import hil_square_attack, hil_whitebox_pgd
 from repro.core.evaluation import adversarial_accuracy
+from repro.verify.contracts import assert_attack_contract
+from repro.verify.strategies import attack_budgets
 from repro.xbar.simulator import convert_to_hardware
 
 from tests.conftest import make_tiny_crossbar_config
@@ -80,6 +84,68 @@ class TestFixedFunctionHardware:
         b = convert_to_hardware(tiny_victim, config, predictor=tiny_geniex)
         x = tiny_task.x_test[:6]
         np.testing.assert_allclose(predict_logits(a, x), predict_logits(b, x), rtol=1e-5)
+
+
+@pytest.mark.verify
+class TestAttackContractProperties:
+    """Every attack respects the eps ball + [0, 1] domain, exactly.
+
+    Budgets (epsilon, alpha, steps/queries, seed) are drawn from
+    :func:`repro.verify.strategies.attack_budgets`, which includes the
+    degenerate corners — epsilon 0, alpha larger than the ball — where
+    a missing projection step would escape.  The contract is checked
+    with *no* tolerance (see :mod:`repro.verify.contracts`).
+    """
+
+    @settings(max_examples=8, deadline=None)
+    @given(budget=attack_budgets())
+    def test_pgd_respects_contract(self, duo, tiny_task, budget):
+        victim, _hw = duo
+        x, y = tiny_task.x_test[:4], tiny_task.y_test[:4]
+        pgd = PGD(
+            budget["epsilon"],
+            iterations=budget["steps"],
+            alpha=budget["alpha"],
+            seed=budget["seed"],
+        )
+        assert_attack_contract(
+            pgd.generate(victim, x, y).x_adv, x, budget["epsilon"], label="pgd"
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(budget=attack_budgets())
+    def test_square_respects_contract(self, duo, tiny_task, budget):
+        victim, _hw = duo
+        x, y = tiny_task.x_test[:4], tiny_task.y_test[:4]
+        attack = SquareAttack(
+            budget["epsilon"], max_queries=3 * budget["steps"], seed=budget["seed"]
+        )
+        assert_attack_contract(
+            attack.generate(victim, x, y).x_adv, x, budget["epsilon"], label="square"
+        )
+
+    @settings(max_examples=3, deadline=None)
+    @given(budget=attack_budgets())
+    def test_hil_pgd_respects_contract(self, duo, tiny_task, budget):
+        """Hardware-in-loop gradients change nothing about the ball."""
+        _victim, hardware = duo
+        x, y = tiny_task.x_test[:2], tiny_task.y_test[:2]
+        result = hil_whitebox_pgd(
+            hardware, x, y, budget["epsilon"],
+            iterations=budget["steps"], seed=budget["seed"],
+        )
+        assert_attack_contract(result.x_adv, x, budget["epsilon"], label="hil_pgd")
+
+    @settings(max_examples=3, deadline=None)
+    @given(budget=attack_budgets())
+    def test_hil_square_respects_contract(self, duo, tiny_task, budget):
+        _victim, hardware = duo
+        x, y = tiny_task.x_test[:2], tiny_task.y_test[:2]
+        result = hil_square_attack(
+            hardware, x, y, budget["epsilon"],
+            max_queries=budget["steps"], seed=budget["seed"],
+        )
+        assert_attack_contract(result.x_adv, x, budget["epsilon"], label="hil_square")
 
 
 class TestTransferDirection:

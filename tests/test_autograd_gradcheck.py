@@ -7,11 +7,12 @@ property-based randomized shapes via hypothesis.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.autograd import Tensor, check_gradients, where
 from repro.autograd.grad_check import numerical_gradient
+from repro.nn.conv import conv2d
 
 
 def t64(data, requires_grad=True):
@@ -163,3 +164,115 @@ def test_property_composite_chain_gradients(size, seed):
     rng = np.random.default_rng(seed)
     x = Tensor(rng.uniform(0.5, 2.0, size=(size,)), requires_grad=True, dtype=np.float64)
     check_gradients(lambda a: (a * a).log() + (-a).exp(), [x])
+
+
+# ----------------------------------------------------------------------
+# Composite conv -> batch-norm -> ReLU -> linear graphs
+# ----------------------------------------------------------------------
+def _composite_forward(stride, padding, pre_relu=False):
+    """The layer pattern every ResNet block reduces to, as one function.
+
+    Written against the functional ops (not Module instances) so every
+    parameter is an explicit ``check_gradients`` input, including the
+    broadcasted BN affine parameters.
+    """
+
+    def fn(x, w_conv, b_conv, gamma, beta, w_lin, b_lin):
+        h = conv2d(x, w_conv, b_conv, stride=stride, padding=padding)
+        mean = h.mean(axis=(0, 2, 3), keepdims=True)
+        var = h.var(axis=(0, 2, 3), keepdims=True)
+        h = (h - mean) / (var + 1e-5).sqrt()
+        h = h * gamma.reshape(1, -1, 1, 1) + beta.reshape(1, -1, 1, 1)
+        if pre_relu:
+            return h
+        h = h.relu()
+        flat = h.reshape(h.data.shape[0], -1)
+        return flat @ w_lin.T + b_lin
+
+    return fn
+
+
+def _composite_inputs(rng, cin, stride, padding, x_data=None, w_lin_data=None):
+    from repro.nn.conv import conv_output_size
+
+    h_out = conv_output_size(5, 3, stride, padding)
+    x = x_data if x_data is not None else rng.normal(size=(2, cin, 5, 5))
+    w_lin = (
+        w_lin_data
+        if w_lin_data is not None
+        else rng.normal(size=(3, 2 * h_out * h_out)) * 0.5
+    )
+    return [
+        Tensor(x, requires_grad=True, dtype=np.float64),
+        Tensor(rng.normal(size=(2, cin, 3, 3)) * 0.5, requires_grad=True, dtype=np.float64),
+        Tensor(rng.normal(size=(2,)) * 0.1, requires_grad=True, dtype=np.float64),
+        Tensor(rng.uniform(0.5, 1.5, size=(2,)), requires_grad=True, dtype=np.float64),
+        Tensor(rng.normal(size=(2,)) * 0.5, requires_grad=True, dtype=np.float64),
+        Tensor(w_lin, requires_grad=True, dtype=np.float64),
+        Tensor(rng.normal(size=(3,)), requires_grad=True, dtype=np.float64),
+    ]
+
+
+def _assume_smooth(inputs, stride, padding):
+    """Reject draws where finite differences are unreliable.
+
+    ReLU is non-differentiable at 0 and batch-norm's curvature blows up
+    when a channel's variance vanishes, so examples with pre-activation
+    values near the kink (or near-degenerate variance) are re-drawn
+    rather than loosening the gradient tolerance for everyone.
+    """
+    pre = _composite_forward(stride, padding, pre_relu=True)(*inputs).data
+    var = pre.var(axis=(0, 2, 3))
+    assume(float(np.abs(pre).min()) > 0.03 and float(var.min()) > 0.05)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    cin=st.integers(min_value=1, max_value=2),
+    stride=st.sampled_from([1, 2]),
+    padding=st.sampled_from([0, 1]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_conv_bn_relu_linear_gradients(cin, stride, padding, seed):
+    """Random composite graphs backprop correctly end to end."""
+    rng = np.random.default_rng(seed)
+    inputs = _composite_inputs(rng, cin, stride, padding)
+    _assume_smooth(inputs, stride, padding)
+    check_gradients(_composite_forward(stride, padding), inputs)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_composite_gradients_on_non_contiguous_views(seed):
+    """The same composite, fed non-contiguous tensor storage.
+
+    ``x`` is a transposed view and the linear weight a strided slice —
+    shapes the attack pipeline produces when it re-lays-out image
+    batches — and gradients must not depend on memory layout.
+    """
+    rng = np.random.default_rng(seed)
+    x_view = rng.normal(size=(5, 5, 2, 2)).T  # (2, 2, 5, 5), F-ordered view
+    # conv(5x5, k=3, s=1, p=0) -> 3x3 maps, so the flattened width is
+    # 2 * 3 * 3 = 18; slice every other column out of a twice-as-wide draw.
+    w_lin_view = (rng.normal(size=(3, 36)) * 0.5)[:, ::2]  # strided columns
+    assert not x_view.flags["C_CONTIGUOUS"]
+    assert not w_lin_view.flags["C_CONTIGUOUS"]
+    inputs = _composite_inputs(
+        rng, cin=2, stride=1, padding=0, x_data=x_view, w_lin_data=w_lin_view
+    )
+    _assume_smooth(inputs, stride=1, padding=0)
+    check_gradients(_composite_forward(stride=1, padding=0), inputs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_broadcast_gradients_on_strided_views(rows, cols, seed):
+    """Broadcasting against strided/transposed operands backprops right."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(cols, rows)).T, requires_grad=True, dtype=np.float64)
+    b = Tensor(rng.normal(size=(2 * cols,))[::2], requires_grad=True, dtype=np.float64)
+    check_gradients(lambda x, y: (x * y).tanh() + y, [a, b])

@@ -123,3 +123,40 @@ class TestTrainedSurrogate:
                 device=tiny_geniex.device,
                 poly=np.zeros(3),
             )
+
+
+class TestRowStability:
+    """``predict_from_bias`` must evaluate each row independently.
+
+    The vectorized engine kernel stacks bit-streams into one batch and
+    substitutes a cached single-row evaluation for compacted zero rows,
+    so a row's currents must not depend on which batch it rides in.
+    BLAS GEMM breaks that silently — it picks different micro-kernels
+    (different SIMD accumulation splits) depending on the row count —
+    which is exactly the regression this guards against: large-batch
+    results drifted from single-row results by >1e5 ULP until the
+    matmuls moved to the row-stable stacked form.
+    """
+
+    def test_rows_independent_of_batch_size(self, tiny_geniex, rng):
+        device = tiny_geniex.device
+        g = device.g_min + rng.integers(0, 4, size=(8, 8)) * device.g_step
+        handle = tiny_geniex.column_bias(g)
+        for n in (2, 5, 12, 16, 33):
+            v = rng.random((n, 8)) * device.v_read
+            full = tiny_geniex.predict_from_bias(v, handle)
+            for i in range(n):
+                single = tiny_geniex.predict_from_bias(v[i : i + 1], handle)
+                np.testing.assert_array_equal(full[i], single[0])
+
+    def test_zero_row_cache_value_matches_in_batch(self, tiny_geniex, rng):
+        """The compaction substitute (a standalone zero-row evaluation)
+        must be bit-identical to a zero row inside a real batch."""
+        device = tiny_geniex.device
+        g = device.g_min + rng.integers(0, 4, size=(8, 8)) * device.g_step
+        handle = tiny_geniex.column_bias(g)
+        v = rng.random((16, 8)) * device.v_read
+        v[7] = 0.0
+        standalone = tiny_geniex.predict_from_bias(np.zeros((1, 8)), handle)
+        in_batch = tiny_geniex.predict_from_bias(v, handle)
+        np.testing.assert_array_equal(in_batch[7], standalone[0])

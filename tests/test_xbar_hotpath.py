@@ -320,3 +320,38 @@ class TestPerfCounters:
         assert a.streams_evaluated == 4 and a.streams_skipped == 3
         assert a.as_dict()["predictor_seconds"] == pytest.approx(0.75)
         assert "streams" in a.format()
+
+
+class TestLargeBatchCompaction:
+    """Regression: GENIEx stacked/compacted evaluation vs. the reference.
+
+    With enough stacked rows the predictor's BLAS matmuls used to switch
+    micro-kernels, so the vectorized kernel (one big packed batch plus a
+    cached zero-row substitute) drifted from the reference kernel (one
+    ``(n, rows)`` call per stream) by ~1e6 ULP after dequantization.
+    Surfaced by the differential oracle harness; fixed by making the
+    predictor matmuls row-stable (see repro.xbar.numerics).
+    """
+
+    def test_geniex_bitwise_single_row(self, tiny_geniex):
+        """n=1 is the smallest reproduction: the reference kernel's
+        per-stream single-row predictor calls take BLAS's gemv dispatch
+        while the stacked kernel's two-row batch takes gemm."""
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(7, 10)).astype(np.float32)
+        x = rng.random((1, 10))
+        config = make_tiny_crossbar_config(adc_bits=None, gain_calibration=8)
+        _assert_kernels_bitwise_equal(weight, config, tiny_geniex, x)
+
+    def test_geniex_bitwise_across_kernels(self, tiny_geniex):
+        config = make_tiny_crossbar_config(adc_bits=None, gain_calibration=8)
+        weight, x = _weight_and_inputs(config, seed=3, batch=10)
+        x[4] = 0.0  # exercise zero-row compaction and the cached currents
+        x[6, : config.rows] = 0.0
+        _assert_kernels_bitwise_equal(weight, config, tiny_geniex, x)
+
+    def test_geniex_bitwise_with_adc(self, tiny_geniex):
+        config = make_tiny_crossbar_config(adc_bits=6, gain_calibration=8)
+        weight, x = _weight_and_inputs(config, seed=4, batch=12)
+        x[0] = 0.0
+        _assert_kernels_bitwise_equal(weight, config, tiny_geniex, x)
