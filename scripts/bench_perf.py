@@ -34,7 +34,8 @@ import numpy as np  # noqa: E402
 
 from repro.autograd import Tensor, no_grad  # noqa: E402
 from repro.nn.resnet import resnet20  # noqa: E402
-from repro.xbar.engine_cache import EngineCache  # noqa: E402
+from repro.obs.sink import runtime_stamp  # noqa: E402
+from repro.xbar.engine_cache import EngineCache, config_digest  # noqa: E402
 from repro.xbar.perf import iter_engines, perf_report, reset_perf  # noqa: E402
 from repro.xbar.presets import crossbar_preset, load_or_train_geniex  # noqa: E402
 from repro.xbar.simulator import CrossbarEngine, convert_to_hardware  # noqa: E402
@@ -167,16 +168,26 @@ def main() -> int:
         f"{cache['cache_stats']['hits']} hits / {cache['cache_stats']['misses']} misses)"
     )
 
-    payload = {
-        "bench": "hotpath",
-        "profile": profile,
-        "preset": PRESET,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "numpy": np.__version__,
-        "micro_matvec": micro,
-        "resnet20_forward": e2e,
-        "engine_cache": cache,
-    }
+    # Provenance stamp shared with --obs run manifests: git sha, numpy,
+    # python, platform, timestamp — plus the preset's config digest and
+    # the deterministic seeds used above, so bench points are
+    # attributable across commits.
+    payload = runtime_stamp(
+        extra={
+            "bench": "hotpath",
+            "profile": profile,
+            "preset": PRESET,
+            "config_digest": config_digest(config),
+            "seeds": {"micro": [0, 1], "resnet": [0, 2], "cache": [3]},
+        }
+    )
+    payload.update(
+        {
+            "micro_matvec": micro,
+            "resnet20_forward": e2e,
+            "engine_cache": cache,
+        }
+    )
     out_path = REPO_ROOT / "BENCH_14_hotpath.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[bench_perf] wrote {out_path}")

@@ -34,6 +34,12 @@ echo "=== CLI smoke: reliability --fast ==="
 python -m repro reliability --fast --rates 0,0.05 --drift-times 1e4
 
 echo
+echo "=== obs smoke: traced experiment + schema validation + summary ==="
+python -m repro table3 --fast --task cifar10 --obs=artifacts/runs/ci-obs
+python -m repro obs validate artifacts/runs/ci-obs
+python -m repro obs summarize artifacts/runs/ci-obs > /dev/null
+
+echo
 echo "=== bench smoke: hot-path microbenchmark (tiny profile) ==="
 REPRO_BENCH_PROFILE=tiny python scripts/bench_perf.py
 

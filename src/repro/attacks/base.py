@@ -53,12 +53,24 @@ def loss_and_grad(
     runs on the crossbar while the gradient follows the ideal Jacobian
     (hardware-in-loop convention).
     """
+    loss, grad, _logits = loss_grad_logits(model, x, y)
+    return loss, grad
+
+
+def loss_grad_logits(
+    model: Module, x: np.ndarray, y: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """:func:`loss_and_grad` plus the raw logits of the same forward.
+
+    The attack loops use the logits to record per-iteration flip rates
+    for the observability layer without paying a second forward pass.
+    """
     inputs = Tensor(x, requires_grad=True)
     logits = model(inputs)
     loss = F.cross_entropy(logits, y)
     loss.backward()
     assert inputs.grad is not None
-    return float(loss.item()), inputs.grad.copy()
+    return float(loss.item()), inputs.grad.copy(), logits.data.copy()
 
 
 def margin_loss(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:

@@ -27,6 +27,7 @@ from repro.data.datasets import ArrayDataset, DataLoader
 from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.resnet import build_model
+from repro.obs.trace import span as _span
 from repro.train.optim import SGD
 from repro.train.schedule import CosineLR
 
@@ -109,15 +110,16 @@ class EnsembleBlackBox:
         matching the black-box rows of Table II.
         """
         cfg = self.config
-        if isinstance(victim, Module):
-            victim_logits = predict_logits(victim, images, cfg.query_batch)
-        else:
-            victim_logits = np.concatenate(
-                [
-                    np.asarray(victim(images[s : s + cfg.query_batch]))
-                    for s in range(0, len(images), cfg.query_batch)
-                ]
-            )
+        with _span("attack/ensemble/query"):
+            if isinstance(victim, Module):
+                victim_logits = predict_logits(victim, images, cfg.query_batch)
+            else:
+                victim_logits = np.concatenate(
+                    [
+                        np.asarray(victim(images[s : s + cfg.query_batch]))
+                        for s in range(0, len(images), cfg.query_batch)
+                    ]
+                )
         self._num_classes = victim_logits.shape[1]
         # Soft targets: the victim's output distribution.
         shifted = victim_logits - victim_logits.max(axis=1, keepdims=True)
@@ -125,13 +127,14 @@ class EnsembleBlackBox:
         probs /= probs.sum(axis=1, keepdims=True)
 
         members = []
-        for spec in cfg.surrogates:
-            member = build_model(
-                spec.arch, num_classes=self._num_classes, width=spec.width, seed=spec.seed
-            )
-            self._distill(member, images, probs, spec, verbose=verbose)
-            member.eval()
-            members.append(member)
+        with _span("attack/ensemble/distill"):
+            for spec in cfg.surrogates:
+                member = build_model(
+                    spec.arch, num_classes=self._num_classes, width=spec.width, seed=spec.seed
+                )
+                self._distill(member, images, probs, spec, verbose=verbose)
+                member.eval()
+                members.append(member)
         self.ensemble = StackedEnsemble(members)
         self.ensemble.eval()
         return self
@@ -171,4 +174,5 @@ class EnsembleBlackBox:
         if self.ensemble is None:
             raise RuntimeError("call fit() before generate()")
         pgd = PGD(self.epsilon, iterations=self.iterations, seed=self.seed)
+        pgd._obs_name = "ensemble_pgd"  # surrogate-ensemble PGD curve
         return pgd.generate(self.ensemble, x, y)

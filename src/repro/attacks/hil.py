@@ -43,6 +43,7 @@ def hil_whitebox_pgd(
     paper's HIL gradient-descent procedure.
     """
     pgd = PGD(epsilon, iterations=iterations, batch_size=batch_size, seed=seed)
+    pgd._obs_name = "hil_pgd"  # distinct telemetry curve vs digital PGD
     return pgd.generate(attacker_hardware, x, y)
 
 
@@ -56,6 +57,7 @@ def hil_square_attack(
 ) -> AttackResult:
     """Hardware-in-loop Square Attack with the paper's 30-query budget."""
     attack = SquareAttack(epsilon, max_queries=max_queries, seed=seed)
+    attack._obs_name = "hil_square"
     return attack.generate(attacker_hardware, x, y)
 
 

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import AttackResult, clip_to_ball, loss_and_grad, predict_logits
+from repro.attacks.base import AttackResult, clip_to_ball, loss_grad_logits, predict_logits
 from repro.nn.module import Module
+from repro.obs import health as _obs
+from repro.obs.trace import span as _span
 
 
 class PGD:
@@ -37,6 +39,9 @@ class PGD:
     batch_size:
         Images per gradient evaluation.
     """
+
+    #: Telemetry name used in span paths and attack-iteration events.
+    _obs_name = "pgd"
 
     def __init__(
         self,
@@ -65,9 +70,12 @@ class PGD:
         x = np.asarray(x, dtype=np.float32)
         y = np.asarray(y, dtype=np.int64)
         x_adv = np.empty_like(x)
-        for start in range(0, len(x), self.batch_size):
-            stop = min(start + self.batch_size, len(x))
-            x_adv[start:stop] = self._attack_batch(model, x[start:stop], y[start:stop], rng)
+        with _span(f"attack/{self._obs_name}"):
+            for start in range(0, len(x), self.batch_size):
+                stop = min(start + self.batch_size, len(x))
+                x_adv[start:stop] = self._attack_batch(
+                    model, x[start:stop], y[start:stop], rng
+                )
         logits = predict_logits(model, x_adv)
         success = logits.argmax(axis=1) != y
         return AttackResult(
@@ -89,15 +97,27 @@ class PGD:
                 x,
                 self.epsilon,
             )
-        for _step in range(self.iterations):
-            _loss, grad = loss_and_grad(model, x_adv, y)
-            x_adv = x_adv + self.alpha * np.sign(grad)
-            x_adv = clip_to_ball(x_adv, x, self.epsilon).astype(np.float32)
+        telemetry = _obs.active()
+        for step in range(self.iterations):
+            with _span("iter"):
+                loss, grad, logits = loss_grad_logits(model, x_adv, y)
+                if telemetry:
+                    _obs.record_attack_iteration(
+                        self._obs_name,
+                        step,
+                        loss,
+                        float((logits.argmax(axis=1) != y).mean()),
+                        len(y),
+                    )
+                x_adv = x_adv + self.alpha * np.sign(grad)
+                x_adv = clip_to_ball(x_adv, x, self.epsilon).astype(np.float32)
         return x_adv
 
 
 class FGSM(PGD):
     """Fast Gradient Sign Method: single-step PGD with ``alpha = epsilon``."""
+
+    _obs_name = "fgsm"
 
     def __init__(self, epsilon: float, batch_size: int = 128, seed: int = 0):
         super().__init__(

@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.attacks.base import AttackResult, margin_loss, predict_logits
 from repro.nn.module import Module
+from repro.obs import health as _obs
+from repro.obs.trace import span as _span
 
 
 class SquareAttack:
@@ -36,6 +38,9 @@ class SquareAttack:
         the standard schedule from the original paper, rescaled to
         ``max_queries``.
     """
+
+    #: Telemetry name used in span paths and attack-iteration events.
+    _obs_name = "square"
 
     def __init__(
         self,
@@ -79,6 +84,16 @@ class SquareAttack:
                 p = self.p_init / factor
         return p
 
+    def _record(self, query_index: int, loss: np.ndarray) -> None:
+        """One attack-curve point: mean margin + current flip fraction."""
+        _obs.record_attack_iteration(
+            self._obs_name,
+            query_index,
+            float(loss.mean()),
+            float((loss < 0).mean()),
+            len(loss),
+        )
+
     def generate(self, model: Module, x: np.ndarray, y: np.ndarray) -> AttackResult:
         """Attack a batch; each image gets an independent random search."""
         model.eval()
@@ -88,42 +103,49 @@ class SquareAttack:
         n, c, h, w = x.shape
         eps = self.epsilon
 
-        # Initialization: vertical stripes of +-eps (original heuristic).
-        stripes = rng.choice([-eps, eps], size=(n, c, 1, w)).astype(np.float32)
-        x_adv = np.clip(x + stripes, 0.0, 1.0)
-        logits = predict_logits(model, x_adv, self.batch_size)
-        loss = margin_loss(logits, y)
-        queries = np.ones(n, dtype=np.int64)
+        telemetry = _obs.active()
+        with _span(f"attack/{self._obs_name}"):
+            # Initialization: vertical stripes of +-eps (original heuristic).
+            stripes = rng.choice([-eps, eps], size=(n, c, 1, w)).astype(np.float32)
+            x_adv = np.clip(x + stripes, 0.0, 1.0)
+            logits = predict_logits(model, x_adv, self.batch_size)
+            loss = margin_loss(logits, y)
+            queries = np.ones(n, dtype=np.int64)
+            if telemetry:
+                self._record(0, loss)
 
-        for query_index in range(1, self.max_queries):
-            active = loss > 0  # images not yet misclassified keep searching
-            if not active.any():
-                break
-            idx = np.flatnonzero(active)
+            for query_index in range(1, self.max_queries):
+                active = loss > 0  # images not yet misclassified keep searching
+                if not active.any():
+                    break
+                idx = np.flatnonzero(active)
 
-            p = self._p_schedule(query_index)
-            s = max(1, int(round(np.sqrt(p * h * w))))
-            s = min(s, h, w)
+                p = self._p_schedule(query_index)
+                s = max(1, int(round(np.sqrt(p * h * w))))
+                s = min(s, h, w)
 
-            candidate = x_adv[idx].copy()
-            for row, image_index in enumerate(idx):
-                top = rng.integers(0, h - s + 1)
-                left = rng.integers(0, w - s + 1)
-                delta = rng.choice([-eps, eps], size=(c, 1, 1)).astype(np.float32)
-                window = x[image_index, :, top : top + s, left : left + s] + delta
-                candidate[row, :, top : top + s, left : left + s] = window
-            candidate = np.clip(
-                np.clip(candidate, x[idx] - eps, x[idx] + eps), 0.0, 1.0
-            ).astype(np.float32)
+                candidate = x_adv[idx].copy()
+                for row, image_index in enumerate(idx):
+                    top = rng.integers(0, h - s + 1)
+                    left = rng.integers(0, w - s + 1)
+                    delta = rng.choice([-eps, eps], size=(c, 1, 1)).astype(np.float32)
+                    window = x[image_index, :, top : top + s, left : left + s] + delta
+                    candidate[row, :, top : top + s, left : left + s] = window
+                candidate = np.clip(
+                    np.clip(candidate, x[idx] - eps, x[idx] + eps), 0.0, 1.0
+                ).astype(np.float32)
 
-            cand_logits = predict_logits(model, candidate, self.batch_size)
-            cand_loss = margin_loss(cand_logits, y[idx])
-            queries[idx] += 1
+                with _span("query"):
+                    cand_logits = predict_logits(model, candidate, self.batch_size)
+                cand_loss = margin_loss(cand_logits, y[idx])
+                queries[idx] += 1
 
-            improved = cand_loss < loss[idx]
-            sel = idx[improved]
-            x_adv[sel] = candidate[improved]
-            loss[sel] = cand_loss[improved]
+                improved = cand_loss < loss[idx]
+                sel = idx[improved]
+                x_adv[sel] = candidate[improved]
+                loss[sel] = cand_loss[improved]
+                if telemetry:
+                    self._record(query_index, loss)
 
         return AttackResult(
             x_adv=x_adv,

@@ -12,6 +12,13 @@ fig         run one epsilon-sweep figure (2/3/4/6)
 energy      crossbar-vs-digital energy estimate for a task's victim
 reliability clean/adversarial accuracy vs stuck-cell rate and drift
 verify      run the numerical verification catalog (oracle + invariants)
+obs         inspect recorded ``--obs`` runs (summarize / validate / list)
+
+Every experiment command accepts ``--obs[=DIR]`` to record a traced,
+metered run (JSONL events + manifest under ``artifacts/runs/``) and
+``--perf`` to print the hot-path counter view.  Both flush from a
+``finally:`` block, so exceptions and Ctrl-C still produce complete,
+readable artifacts.
 """
 
 from __future__ import annotations
@@ -21,6 +28,10 @@ import sys
 
 from repro.core.evaluation import EvaluationScale, HardwareLab
 
+#: Labs created by this invocation — the exit path collects their cached
+#: hardware models for the perf/obs flush even when a command fails.
+_LABS: list[HardwareLab] = []
+
 
 def _make_lab(args) -> HardwareLab:
     scale = EvaluationScale.tiny() if args.fast else EvaluationScale(
@@ -29,15 +40,17 @@ def _make_lab(args) -> HardwareLab:
     kwargs = {}
     if args.fast:
         kwargs = {"victim_epochs": 2, "victim_width": 4}
-    return HardwareLab(scale=scale, **kwargs)
+    lab = HardwareLab(scale=scale, **kwargs)
+    _LABS.append(lab)
+    return lab
 
 
-def _maybe_print_perf(args, lab: HardwareLab) -> None:
-    """Dump hot-path counters when the command was run with ``--perf``."""
-    if getattr(args, "perf", False):
-        from repro.xbar.perf import format_perf
-
-        print(format_perf(lab.hardware_models))
+def _collect_models() -> dict:
+    """Hardware models cached by every lab of this invocation."""
+    models: dict = {}
+    for lab in _LABS:
+        models.update(lab.hardware_models)
+    return models
 
 
 def cmd_info(_args) -> int:
@@ -88,18 +101,14 @@ def cmd_train(args) -> int:
 def cmd_table3(args) -> int:
     from repro.experiments import table3
 
-    lab = _make_lab(args)
-    table3.run(lab, tasks=[args.task]).print()
-    _maybe_print_perf(args, lab)
+    table3.run(_make_lab(args), tasks=[args.task]).print()
     return 0
 
 
 def cmd_table4(args) -> int:
     from repro.experiments import table4
 
-    lab = _make_lab(args)
-    table4.run(lab, tasks=[args.task]).print()
-    _maybe_print_perf(args, lab)
+    table4.run(_make_lab(args), tasks=[args.task]).print()
     return 0
 
 
@@ -110,9 +119,7 @@ def cmd_fig(args) -> int:
     if args.number not in modules:
         print(f"unknown figure {args.number}; available: {sorted(modules)}", file=sys.stderr)
         return 2
-    lab = _make_lab(args)
-    modules[args.number].run(lab, tasks=[args.task]).print()
-    _maybe_print_perf(args, lab)
+    modules[args.number].run(_make_lab(args), tasks=[args.task]).print()
     return 0
 
 
@@ -139,7 +146,6 @@ def cmd_reliability(args) -> int:
         program_sigma=args.sigma,
         dead_line_rate=args.dead_lines,
     ).print()
-    _maybe_print_perf(args, lab)
     return 0
 
 
@@ -154,7 +160,6 @@ def cmd_energy(args) -> int:
     )
     print(f"energy estimate: {args.task} victim on {args.preset}, batch={args.batch}")
     print(estimate.format())
-    _maybe_print_perf(args, lab)
     return 0
 
 
@@ -167,9 +172,43 @@ def cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_obs(args) -> int:
+    from repro.obs.sink import resolve_run_dir
+    from repro.obs.summary import format_run_list, summarize_run
+
+    if args.obs_command == "list":
+        print(format_run_list(args.root))
+        return 0
+    try:
+        run_dir = resolve_run_dir(args.run, args.root)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.obs_command == "validate":
+        from repro.obs.schema import validate_run
+
+        errors = validate_run(run_dir)
+        if errors:
+            for problem in errors:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"ok: {run_dir} conforms to the obs event schema")
+        return 0
+    try:
+        print(summarize_run(run_dir))
+    except BrokenPipeError:  # e.g. `repro obs summarize | head`
+        sys.stderr.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs(p):
+        p.add_argument("--obs", nargs="?", const="", default=None, metavar="DIR",
+                       help="record a traced run (JSONL events + manifest); "
+                            "optional DIR overrides the artifacts/runs/ default")
 
     def common(p):
         p.add_argument("--task", default="cifar10",
@@ -179,14 +218,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--perf", action="store_true",
                        help="print hot-path perf counters (MVMs, streams, "
                             "predictor time, engine-cache hits) after the run")
+        add_obs(p)
 
     sub.add_parser("info").set_defaults(func=cmd_info)
 
     p = sub.add_parser("nf")
     p.add_argument("--samples", type=int, default=3)
+    add_obs(p)
     p.set_defaults(func=cmd_nf)
 
-    sub.add_parser("threats").set_defaults(func=cmd_threats)
+    p = sub.add_parser("threats")
+    add_obs(p)
+    p.set_defaults(func=cmd_threats)
 
     p = sub.add_parser("train")
     common(p)
@@ -237,14 +280,78 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ideal backend only; skip circuit/GENIEx/NF checks")
     p.add_argument("--out", default="artifacts/verify_report.json",
                    help="where to write the JSON conformance report")
+    add_obs(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("obs", help="inspect recorded --obs runs")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    for name in ("summarize", "validate"):
+        q = obs_sub.add_parser(name)
+        q.add_argument("run", nargs="?", default=None,
+                       help="run id or directory (default: most recent run)")
+        q.add_argument("--root", default=None,
+                       help="runs root (default: artifacts/runs)")
+        q.set_defaults(func=cmd_obs)
+    q = obs_sub.add_parser("list")
+    q.add_argument("--root", default=None)
+    q.set_defaults(func=cmd_obs)
 
     return parser
 
 
+def _manifest_args(args) -> dict:
+    """The argparse namespace as a JSON-ready manifest payload."""
+    return {
+        k: v
+        for k, v in vars(args).items()
+        if k not in ("func", "obs") and not callable(v)
+    }
+
+
+def _finalize(args, status: str) -> None:
+    """Flush perf/obs sinks — runs on success, exceptions and Ctrl-C."""
+    models = _collect_models()
+    from repro.obs import runtime as obs_runtime
+
+    session = obs_runtime.active()
+    if session is not None:
+        obs_runtime.finish_run(status, models=models or None)
+        print(f"obs: run recorded at {session.run_dir} (status={status})")
+    if getattr(args, "perf", False):
+        from repro.xbar.perf import format_perf
+
+        print(format_perf(models))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if getattr(args, "obs", None) is not None:
+        from repro.obs import start_run
+
+        start_run(
+            args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            args=_manifest_args(args),
+            out_dir=args.obs or None,
+        )
+    status = "ok"
+    try:
+        from repro.obs.trace import span
+
+        with span(f"cmd/{args.command}"):
+            code = args.func(args)
+        if code not in (0, None):
+            status = "error"
+        return code
+    except KeyboardInterrupt:
+        status = "interrupted"
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        _finalize(args, status)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nn.module import Module
+from repro.obs import runtime as _obs_runtime
+from repro.obs.trace import span as _span
 from repro.train.trainer import evaluate_accuracy
 from repro.train.zoo import ModelZoo, default_zoo
 from repro.xbar.presets import crossbar_preset, load_or_train_geniex, preset_names
@@ -195,20 +197,22 @@ class HardwareLab:
     def clean_cell(self, task: str, variants: list[str], defenses: list[str]) -> CellResult:
         """Clean-accuracy row of Table III."""
         x, y = self.eval_set(task)
-        cell = CellResult(
-            attack="Clean",
-            task=task,
-            epsilon=0.0,
-            baseline=evaluate_accuracy(self.victim(task), x, y),
-        )
-        for preset in variants:
-            cell.variants[preset] = evaluate_accuracy(
-                self.hardware(task, preset), x, y, batch_size=self.scale.batch_size
+        with _span("eval/clean"):
+            cell = CellResult(
+                attack="Clean",
+                task=task,
+                epsilon=0.0,
+                baseline=evaluate_accuracy(self.victim(task), x, y),
             )
-        for name in defenses:
-            cell.variants[name] = adversarial_accuracy(
-                self.defense(task, name), x, y, batch_size=self.scale.batch_size
-            )
+            for preset in variants:
+                cell.variants[preset] = evaluate_accuracy(
+                    self.hardware(task, preset), x, y, batch_size=self.scale.batch_size
+                )
+            for name in defenses:
+                cell.variants[name] = adversarial_accuracy(
+                    self.defense(task, name), x, y, batch_size=self.scale.batch_size
+                )
+        self._emit_cell(cell)
         return cell
 
     def attack_cell(
@@ -222,21 +226,35 @@ class HardwareLab:
     ) -> CellResult:
         """Evaluate pre-crafted adversarial images on every variant."""
         _x, y = self.eval_set(task)
-        cell = CellResult(
-            attack=attack_name,
-            task=task,
-            epsilon=epsilon,
-            baseline=adversarial_accuracy(self.victim(task), x_adv, y),
-        )
-        for preset in variants:
-            cell.variants[preset] = adversarial_accuracy(
-                self.hardware(task, preset), x_adv, y, batch_size=self.scale.batch_size
+        with _span("eval/attack"):
+            cell = CellResult(
+                attack=attack_name,
+                task=task,
+                epsilon=epsilon,
+                baseline=adversarial_accuracy(self.victim(task), x_adv, y),
             )
-        for name in defenses:
-            cell.variants[name] = adversarial_accuracy(
-                self.defense(task, name), x_adv, y, batch_size=self.scale.batch_size
-            )
+            for preset in variants:
+                cell.variants[preset] = adversarial_accuracy(
+                    self.hardware(task, preset), x_adv, y, batch_size=self.scale.batch_size
+                )
+            for name in defenses:
+                cell.variants[name] = adversarial_accuracy(
+                    self.defense(task, name), x_adv, y, batch_size=self.scale.batch_size
+                )
+        self._emit_cell(cell)
         return cell
+
+    @staticmethod
+    def _emit_cell(cell: CellResult) -> None:
+        """Record one finished table cell in the obs event log."""
+        _obs_runtime.event(
+            "cell",
+            attack=cell.attack,
+            task=cell.task,
+            epsilon=cell.epsilon,
+            baseline=cell.baseline,
+            variants=cell.variants,
+        )
 
     @staticmethod
     def all_presets() -> list[str]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.evaluation import CellResult
+from repro.obs import runtime as _obs_runtime
 
 
 @dataclass(frozen=True)
@@ -44,15 +45,23 @@ def gain_vs_nf_table(
     for cell in cells:
         for preset, nf in nf_by_preset.items():
             if preset in cell.variants:
-                points.append(
-                    GainPoint(
-                        attack=cell.attack,
-                        task=cell.task,
-                        epsilon=cell.epsilon,
-                        preset=preset,
-                        nf=nf,
-                        gain=cell.delta(preset),
-                    )
+                point = GainPoint(
+                    attack=cell.attack,
+                    task=cell.task,
+                    epsilon=cell.epsilon,
+                    preset=preset,
+                    nf=nf,
+                    gain=cell.delta(preset),
+                )
+                points.append(point)
+                _obs_runtime.event(
+                    "gain_point",
+                    preset=point.preset,
+                    nf=point.nf,
+                    gain=point.gain,
+                    attack=point.attack,
+                    task=point.task,
+                    epsilon=point.epsilon,
                 )
     return points
 

@@ -14,10 +14,12 @@ the substitution, recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import functools
 import os
 from dataclasses import dataclass, field
 
 from repro.core.evaluation import EvaluationScale
+from repro.obs.trace import span as _span
 
 #: effective-epsilon multiplier per task (paper units -> our budget).
 #: Calibrated on the trained victims: white-box PGD at paper-eps 1/255
@@ -58,6 +60,24 @@ class ExperimentResult:
 
     def print(self) -> None:
         print(self.format())
+
+
+def traced_experiment(name: str):
+    """Decorator wrapping an experiment ``run()`` in an obs trace span.
+
+    The span path reads ``experiment/<name>`` in ``obs summarize``
+    profiles; a no-op when tracing is disabled.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _span(f"experiment/{name}"):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 def bench_profile() -> str:

@@ -7,13 +7,14 @@ paper's epsilon grid (2, 4, 6, 8)/255 (paper units).
 from __future__ import annotations
 
 from repro.core.evaluation import CellResult, HardwareLab
-from repro.experiments.config import DEFENSES_BY_TASK, ExperimentResult, paper_eps
+from repro.experiments.config import DEFENSES_BY_TASK, ExperimentResult, paper_eps, traced_experiment
 from repro.experiments.shared import AttackFactory
 from repro.xbar.presets import preset_names
 
 PAPER_EPS_GRID = (2, 4, 6, 8)
 
 
+@traced_experiment("fig2")
 def run(
     lab: HardwareLab,
     tasks: list[str] | None = None,

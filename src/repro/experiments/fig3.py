@@ -8,13 +8,14 @@ digital model (the attacker is hardware-unaware).
 from __future__ import annotations
 
 from repro.core.evaluation import CellResult, HardwareLab
-from repro.experiments.config import DEFENSES_BY_TASK, ExperimentResult, paper_eps
+from repro.experiments.config import DEFENSES_BY_TASK, ExperimentResult, paper_eps, traced_experiment
 from repro.experiments.shared import AttackFactory
 from repro.xbar.presets import preset_names
 
 PAPER_EPS_GRID = (4, 8, 12, 16)
 
 
+@traced_experiment("fig3")
 def run(
     lab: HardwareLab,
     tasks: list[str] | None = None,

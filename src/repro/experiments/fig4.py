@@ -9,13 +9,14 @@ small eps.
 from __future__ import annotations
 
 from repro.core.evaluation import CellResult, HardwareLab
-from repro.experiments.config import DEFENSES_BY_TASK, ExperimentResult, paper_eps
+from repro.experiments.config import DEFENSES_BY_TASK, ExperimentResult, paper_eps, traced_experiment
 from repro.experiments.shared import AttackFactory
 from repro.xbar.presets import preset_names
 
 PAPER_EPS_GRID = (0.5, 1, 2, 4)
 
 
+@traced_experiment("fig4")
 def run(
     lab: HardwareLab,
     tasks: list[str] | None = None,

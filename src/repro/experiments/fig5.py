@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.core.evaluation import CellResult, HardwareLab
 from repro.core.robustness import format_gain_table, gain_vs_nf_table
-from repro.experiments.config import ExperimentResult
+from repro.experiments.config import ExperimentResult, traced_experiment
 from repro.experiments import table3
 from repro.experiments.shared import AttackFactory
 from repro.xbar.nf import crossbar_nf
@@ -35,6 +35,7 @@ def measured_nf_by_preset(seed: int = 3) -> dict[str, float]:
     return out
 
 
+@traced_experiment("fig5")
 def run(
     lab: HardwareLab,
     tasks: list[str] | None = None,

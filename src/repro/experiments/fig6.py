@@ -10,7 +10,7 @@ stronger the transferred attack.
 from __future__ import annotations
 
 from repro.core.evaluation import CellResult, HardwareLab
-from repro.experiments.config import ExperimentResult, paper_eps
+from repro.experiments.config import ExperimentResult, paper_eps, traced_experiment
 from repro.experiments.shared import AttackFactory
 from repro.xbar.presets import preset_names
 
@@ -18,6 +18,7 @@ PAPER_EPS_GRID = (2, 4, 6, 8)
 TARGET_PRESET = "64x64_100k"
 
 
+@traced_experiment("fig6")
 def run(
     lab: HardwareLab,
     tasks: list[str] | None = None,

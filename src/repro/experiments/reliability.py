@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.attacks.hil import hil_whitebox_pgd
 from repro.core.evaluation import HardwareLab, adversarial_accuracy
-from repro.experiments.config import ExperimentResult, paper_eps
+from repro.experiments.config import ExperimentResult, paper_eps, traced_experiment
 from repro.experiments.shared import AttackFactory
 from repro.nn.module import Module
 from repro.train.trainer import evaluate_accuracy
@@ -165,6 +165,7 @@ def _measure_cell(
     )
 
 
+@traced_experiment("reliability")
 def run(
     lab: HardwareLab,
     task: str = "cifar10",

@@ -9,11 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.config import ExperimentResult
+from repro.experiments.config import ExperimentResult, traced_experiment
 from repro.xbar.nf import crossbar_nf
 from repro.xbar.presets import crossbar_preset, load_or_train_geniex, preset_names
 
 
+@traced_experiment("table1")
 def run(
     num_matrices: int = 4,
     vectors_per_matrix: int = 8,

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from repro.core.threat_models import TABLE_II
-from repro.experiments.config import ExperimentResult
+from repro.experiments.config import ExperimentResult, traced_experiment
 
 
+@traced_experiment("table2")
 def run() -> ExperimentResult:
     """Render the threat-scenario knowledge matrix."""
     result = ExperimentResult(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.core.evaluation import CellResult, HardwareLab
 from repro.experiments.config import (
+    traced_experiment,
     DEFENSES_BY_TASK,
     ExperimentResult,
     paper_eps,
@@ -68,6 +69,7 @@ def run_task(
     return cells
 
 
+@traced_experiment("table3")
 def run(lab: HardwareLab, tasks: list[str] | None = None) -> ExperimentResult:
     """Regenerate Table III for the requested tasks."""
     tasks = tasks or ["cifar10", "cifar100", "imagenet"]

@@ -17,7 +17,7 @@ target's, the attack should be strongest (lowest accuracy).
 from __future__ import annotations
 
 from repro.core.evaluation import CellResult, HardwareLab
-from repro.experiments.config import ExperimentResult, paper_eps
+from repro.experiments.config import ExperimentResult, paper_eps, traced_experiment
 from repro.experiments.shared import AttackFactory
 from repro.xbar.presets import preset_names
 
@@ -79,6 +79,7 @@ def run_whitebox_block(
     )
 
 
+@traced_experiment("table4")
 def run(
     lab: HardwareLab,
     tasks: list[str] | None = None,

@@ -14,6 +14,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.obs import trace as _trace
 
 
 class Parameter(Tensor):
@@ -161,7 +162,10 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        if _trace._RECORDER is None:
+            return self.forward(*args, **kwargs)
+        with _trace._Span(f"nn/{type(self).__name__}"):
+            return self.forward(*args, **kwargs)
 
     def __repr__(self) -> str:
         lines = [self.__class__.__name__ + "("]

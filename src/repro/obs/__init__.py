@@ -1,0 +1,53 @@
+"""``repro.obs`` — unified tracing, metrics and analog-health telemetry.
+
+Zero-dependency observability subsystem (stdlib + the numpy already in
+the stack).  Four pieces:
+
+* **trace spans** (:mod:`repro.obs.trace`): hierarchical wall-time
+  spans with a no-op recorder when disabled — ``span("attack/pgd")``
+  costs one global ``None`` check on the hot path.
+* **metrics registry** (:mod:`repro.obs.metrics`): counters, gauges
+  and streaming histograms with P²-style quantile estimation; the
+  crossbar hot-path counters (:mod:`repro.xbar.perf`) and the engine
+  cache publish into it instead of formatting themselves.
+* **analog health** (:mod:`repro.obs.health`): per-layer MVM deviation
+  vs the ideal path, ADC clip rates, stream-skip / row-compaction
+  ratios, fault-fallback events and per-attack-iteration loss /
+  flip-rate curves.
+* **structured sinks** (:mod:`repro.obs.sink`): a JSONL event log plus
+  a provenance-stamped run manifest under ``artifacts/runs/``, read
+  back by :mod:`repro.obs.summary` (flamegraph-style text profile,
+  metrics table) and validated by :mod:`repro.obs.schema`.
+
+The CLI exposes it via a global ``--obs[=DIR]`` flag and the
+``python -m repro obs summarize|validate|list`` subcommands.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.runtime import (
+    ObsSession,
+    active,
+    annotate,
+    annotate_hardware,
+    event,
+    finish_run,
+    start_run,
+)
+from repro.obs.trace import TraceRecorder, enabled, span
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "ObsSession",
+    "TraceRecorder",
+    "active",
+    "annotate",
+    "annotate_hardware",
+    "enabled",
+    "event",
+    "finish_run",
+    "span",
+    "start_run",
+]

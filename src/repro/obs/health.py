@@ -1,0 +1,140 @@
+"""Analog-health telemetry: the paper's signals, recorded as they occur.
+
+Related work ties intrinsic robustness to the magnitude and *location*
+of per-layer non-ideal deviation (arXiv:2008.11298) and to how
+non-ideality interacts with attack dynamics (arXiv:2409.19671).  This
+module records exactly those quantities into the metrics registry and
+the JSONL event log while an ``--obs`` run is active:
+
+* per-layer MVM deviation of the analog path vs the ideal digital path
+  (RMSE gauge + relative-NF-style histogram),
+* ADC clip / saturation rates per layer (counted on the raw currents,
+  so the compiled fused kernels stay on their fast path),
+* fault-fallback / guard-trip events from the tile health guard,
+* per-attack-iteration loss and flip-rate curves.
+
+Every helper is a no-op (one ``None`` check) when no run is active, so
+the call sites stay in the hot paths permanently.  Stream-skip and
+row-compaction ratios ride along via the hot-path counter publish
+(:func:`repro.obs.metrics.publish_hotpath`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs import runtime as _runtime
+from repro.obs.metrics import REGISTRY
+
+
+def active() -> bool:
+    """True when an obs run is recording analog-health telemetry."""
+    return _runtime.active() is not None
+
+
+def layer_label(obj, fallback: str | None = None) -> str:
+    """Stable per-layer metric label.
+
+    ``convert_to_hardware`` stamps every non-ideal layer and engine
+    with its dotted module path (``obs_label``); directly constructed
+    engines fall back to a type/shape tag.
+    """
+    label = getattr(obj, "obs_label", None)
+    if label:
+        return label
+    if fallback:
+        return fallback
+    out = getattr(obj, "out_features", "?")
+    inp = getattr(obj, "in_features", "?")
+    return f"{type(obj).__name__}:{out}x{inp}"
+
+
+def record_layer_deviation(label: str, analog, ideal) -> None:
+    """Per-layer analog-vs-ideal deviation for one forward batch.
+
+    ``analog`` is the layer's non-ideal pre-bias output, ``ideal`` the
+    full-precision digital computation on the same inputs — so the
+    deviation includes quantization, IR drop and faults: the per-layer
+    decomposition of the paper's Non-ideality Factor.
+    """
+    if _runtime.active() is None:
+        return
+    import numpy as np
+
+    analog = np.asarray(analog, dtype=np.float64)
+    ideal = np.asarray(ideal, dtype=np.float64)
+    err = analog - ideal
+    rmse = float(np.sqrt(np.mean(err * err))) if err.size else 0.0
+    denom = float(np.sqrt(np.sum(ideal * ideal)))
+    rel = float(np.sqrt(np.sum(err * err)) / denom) if denom > 0 else 0.0
+    REGISTRY.gauge(f"analog.dev.rmse.{label}").set(rmse)
+    REGISTRY.gauge(f"analog.dev.rel.{label}").set(rel)
+    REGISTRY.histogram(f"analog.dev.rel_hist.{label}").observe(rel)
+    REGISTRY.histogram("analog.dev.rel").observe(rel)
+
+
+def record_adc(label: str, currents, full_scale: float) -> None:
+    """ADC clip statistics for one bank evaluation (raw currents).
+
+    Counted *before* quantization: values below zero clip low, values
+    above the ADC full scale saturate high.  Works identically whether
+    the fused compiled kernel or the numpy chain performs the actual
+    quantization.
+    """
+    if _runtime.active() is None:
+        return
+    import numpy as np
+
+    currents = np.asarray(currents)
+    low = int((currents < 0.0).sum())
+    high = int((currents > full_scale).sum())
+    REGISTRY.counter(f"analog.adc.samples.{label}").inc(currents.size)
+    if low:
+        REGISTRY.counter(f"analog.adc.clipped_low.{label}").inc(low)
+    if high:
+        REGISTRY.counter(f"analog.adc.clipped_high.{label}").inc(high)
+
+
+def record_guard_trip(label: str, mode: str, sick: int, sick_cols: int) -> None:
+    """One tile-health guard interception (fault fallback, warn or raise)."""
+    if _runtime.active() is None:
+        return
+    REGISTRY.counter(f"analog.guard.trips.{label}").inc()
+    _runtime.event(
+        "guard_trip", layer=label, mode=mode, sick=sick, sick_cols=sick_cols
+    )
+
+
+def record_fault_summary(label: str, summary) -> None:
+    """Injected-fault population of one programmed engine (as counters)."""
+    if _runtime.active() is None:
+        return
+    import dataclasses
+
+    for name, value in dataclasses.asdict(summary).items():
+        if value:
+            REGISTRY.counter(f"analog.faults.{name}.{label}").inc(int(value))
+
+
+def record_attack_iteration(
+    attack: str, iteration: int, loss: float, flip_rate: float, batch: int
+) -> None:
+    """One point of an attack's loss / flip-rate trajectory.
+
+    Events aggregate across batches at summarize time (weighted by
+    ``batch``); the histograms give the quantile view in the metrics
+    table.
+    """
+    if _runtime.active() is None:
+        return
+    if loss is not None and math.isfinite(loss):
+        REGISTRY.histogram(f"attack.{attack}.loss").observe(loss)
+    REGISTRY.histogram(f"attack.{attack}.flip_rate").observe(flip_rate)
+    _runtime.event(
+        "attack_iter",
+        attack=attack,
+        iter=int(iteration),
+        loss=float(loss),
+        flip_rate=float(flip_rate),
+        n=int(batch),
+    )

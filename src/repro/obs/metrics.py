@@ -1,0 +1,363 @@
+"""Metrics registry: counters, gauges and P² streaming histograms.
+
+One process-global :data:`REGISTRY` absorbs every metric the system
+emits; the crossbar hot-path counters (:class:`repro.xbar.perf.
+PerfCounters`) and the engine cache remain the cheap accumulation
+*backends*, published into the registry by :func:`publish_hotpath`
+whenever a report is rendered or an obs run flushes.  The CLI ``--perf``
+flag is an alias for :func:`render_hotpath` over the registry.
+
+Histograms estimate quantiles with the P² algorithm (Jain & Chlamtac,
+CACM 1985): five markers per tracked quantile, O(1) memory and update —
+exact (numpy-identical linear interpolation) below five observations,
+approximate convergence beyond.  Metric names are dotted paths
+(``analog.dev.rel.<layer>``); labels such as ``task/preset`` use ``/``
+so the dotted structure stays parseable.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-value metric with min/max envelope."""
+
+    __slots__ = ("value", "min", "max", "updates")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.updates += 1
+
+    def as_dict(self) -> dict:
+        if self.updates == 0:
+            return {"value": 0.0, "min": 0.0, "max": 0.0, "updates": 0}
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "updates": self.updates,
+        }
+
+
+class P2Quantile:
+    """P² single-quantile streaming estimator (5 markers, O(1) update)."""
+
+    __slots__ = ("p", "_heights", "_positions", "_desired", "_increments", "count")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self.count = 0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        if self.count <= 5:
+            self._heights.append(float(x))
+            self._heights.sort()
+            return
+        q, n, d = self._heights, self._positions, self._desired
+        if x < q[0]:
+            q[0] = float(x)
+            k = 0
+        elif x >= q[4]:
+            q[4] = float(x)
+            k = 3
+        else:
+            k = 0
+            while k < 3 and not x < q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            d[i] += self._increments[i]
+        for i in (1, 2, 3):
+            delta = d[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                sign = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if not q[i - 1] < candidate < q[i + 1]:
+                    candidate = self._linear(i, sign)
+                q[i] = candidate
+                n[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + sign / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + sign) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        q, n = self._heights, self._positions
+        j = i + int(sign)
+        return q[i] + sign * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        if self.count == 0:
+            return float("nan")
+        if self.count <= 5:
+            # Exact linear-interpolation quantile (numpy's default
+            # method) while the sample still fits in the markers.
+            h = (self.count - 1) * self.p
+            lo = int(math.floor(h))
+            hi = min(lo + 1, self.count - 1)
+            frac = h - lo
+            return self._heights[lo] * (1.0 - frac) + self._heights[hi] * frac
+        return self._heights[2]
+
+
+class Histogram:
+    """Streaming histogram: count/sum/min/max plus P² quantiles."""
+
+    __slots__ = ("count", "sum", "min", "max", "_quantiles")
+
+    DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES):
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._quantiles = {p: P2Quantile(p) for p in quantiles}
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        self.sum += x
+        self.min = min(self.min, x)
+        self.max = max(self.max, x)
+        for estimator in self._quantiles.values():
+            estimator.observe(x)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def quantile(self, p: float) -> float:
+        return self._quantiles[p].value()
+
+    def as_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        payload = {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        for p, estimator in self._quantiles.items():
+            payload[f"p{int(round(p * 100))}"] = estimator.value()
+        return payload
+
+
+class MetricsRegistry:
+    """Name-addressed store of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # Get-or-create accessors -----------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, quantiles: tuple[float, ...] = Histogram.DEFAULT_QUANTILES
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(quantiles)
+        return metric
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-ready state of every metric (sorted, deterministic)."""
+        return {
+            "counters": {k: c.as_dict() for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.as_dict() for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.as_dict() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+
+#: Process-global registry: the single place metrics accumulate.
+REGISTRY = MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Hot-path view: the crossbar perf counters + engine cache, folded in.
+# ----------------------------------------------------------------------
+
+#: PerfCounters field order used by the rendered hot-path lines.
+HOTPATH_FIELDS = (
+    "matvec_calls",
+    "matvec_rows",
+    "bank_evals",
+    "streams_evaluated",
+    "streams_skipped",
+    "rows_compacted",
+    "predictor_seconds",
+)
+
+
+def format_hotpath_fields(fields: dict) -> str:
+    """One-line rendering of a hot-path counter dict.
+
+    The single formatting path for per-engine and per-model counter
+    lines (``PerfCounters.format`` delegates here).
+    """
+    evaluated = fields.get("streams_evaluated", 0)
+    skipped = fields.get("streams_skipped", 0)
+    total = evaluated + skipped
+    skip_pct = 100.0 * skipped / total if total else 0.0
+    return (
+        f"matvec={fields.get('matvec_calls', 0):.0f} "
+        f"({fields.get('matvec_rows', 0):.0f} rows)  "
+        f"bank_evals={fields.get('bank_evals', 0):.0f}  "
+        f"streams={evaluated:.0f} evaluated / "
+        f"{skipped:.0f} skipped ({skip_pct:.1f}%)  "
+        f"rows_compacted={fields.get('rows_compacted', 0):.0f}  "
+        f"predictor={fields.get('predictor_seconds', 0.0):.3f}s"
+    )
+
+
+def publish_hotpath(models: dict, registry: MetricsRegistry | None = None) -> None:
+    """Publish per-model hot-path counters + cache stats into a registry.
+
+    ``models`` maps ``task/preset`` labels to converted hardware models.
+    Published names (gauges, idempotent on republish)::
+
+        hotpath.<label>.total.<field>
+        hotpath.<label>.layer.<layer>.<field>
+        hotpath.<label>.layer.<layer>.guard_trips
+        engine_cache.{hits,misses,evictions}
+
+    Labels use ``/`` (never ``.``) so the dotted prefix structure stays
+    parseable by the renderer and the run summarizer.
+    """
+    # Local imports: repro.xbar pulls in the whole simulator stack and
+    # itself renders through this module, so the dependency must stay
+    # one-way at import time.
+    from repro.xbar.engine_cache import ENGINE_CACHE
+    from repro.xbar.perf import iter_engines, perf_report
+
+    registry = registry if registry is not None else REGISTRY
+    for label, model in models.items():
+        report = perf_report(model)
+        for name, value in report.total.as_dict().items():
+            registry.gauge(f"hotpath.{label}.total.{name}").set(value)
+        for layer, counters in report.layers.items():
+            for name, value in counters.as_dict().items():
+                registry.gauge(f"hotpath.{label}.layer.{layer}.{name}").set(value)
+        for layer, engine in iter_engines(model):
+            registry.gauge(f"hotpath.{label}.layer.{layer}.guard_trips").set(
+                engine.guard_trips
+            )
+    for name, value in ENGINE_CACHE.stats.as_dict().items():
+        registry.gauge(f"engine_cache.{name}").set(value)
+
+
+def _hotpath_labels(gauges: dict) -> list[str]:
+    labels = []
+    for name in gauges:
+        if name.startswith("hotpath.") and ".total." in name:
+            label = name[len("hotpath.") :].split(".total.", 1)[0]
+            if label not in labels:
+                labels.append(label)
+    return labels
+
+
+def render_hotpath(
+    registry: MetricsRegistry | None = None, per_layer: bool = False
+) -> str:
+    """Text hot-path report assembled from registry gauges.
+
+    This is what ``--perf`` prints; identical information reaches the
+    JSONL metrics snapshot of an ``--obs`` run.
+    """
+    registry = registry if registry is not None else REGISTRY
+    gauges = registry._gauges
+    lines = ["=== hot-path perf counters ==="]
+    labels = _hotpath_labels(gauges)
+    if not labels:
+        lines.append("(no lab-cached hardware models; engine cache stats are global)")
+    for label in labels:
+        total = {
+            field: gauges[f"hotpath.{label}.total.{field}"].value
+            for field in HOTPATH_FIELDS
+            if f"hotpath.{label}.total.{field}" in gauges
+        }
+        lines.append(f"[{label}] total: {format_hotpath_fields(total)}")
+        if per_layer:
+            prefix = f"hotpath.{label}.layer."
+            layers: dict[str, dict] = {}
+            for name, gauge in gauges.items():
+                if not name.startswith(prefix):
+                    continue
+                layer, _, field = name[len(prefix) :].rpartition(".")
+                layers.setdefault(layer, {})[field] = gauge.value
+            width = max((len(n) for n in layers), default=0)
+            for layer in sorted(layers):
+                lines.append(
+                    f"  {layer:<{width}}  {format_hotpath_fields(layers[layer])}"
+                )
+    cache = {
+        name: gauges[f"engine_cache.{name}"].value
+        for name in ("hits", "misses", "evictions")
+        if f"engine_cache.{name}" in gauges
+    }
+    lines.append(
+        "engine cache: "
+        f"{cache.get('hits', 0):.0f} hits / {cache.get('misses', 0):.0f} misses / "
+        f"{cache.get('evictions', 0):.0f} evicted"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Run-session orchestration: wires trace, metrics and sinks together.
+
+One :class:`ObsSession` is active at a time (the ``--obs`` CLI flag, or
+:func:`start_run` from scripts/tests).  Starting a run installs a trace
+recorder, scopes the global metrics registry to the run, and opens the
+JSONL sink; finalizing — which the CLI does in a ``finally:`` block so
+exceptions and Ctrl-C still flush — publishes the hot-path counters,
+dumps the metrics snapshot and span profile into the event log, and
+stamps the manifest with status and wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY, publish_hotpath
+from repro.obs.sink import DEFAULT_RUNS_ROOT, RunWriter, new_run_id, runtime_stamp
+
+
+class ObsSession:
+    """One observed run: recorder + registry scope + JSONL/manifest sink."""
+
+    def __init__(
+        self,
+        command: str,
+        argv: list[str] | None = None,
+        args: dict | None = None,
+        out_dir: "str | Path | None" = None,
+        runs_root: "str | Path | None" = None,
+    ):
+        root = Path(runs_root) if runs_root is not None else DEFAULT_RUNS_ROOT
+        run_dir = Path(out_dir) if out_dir else root / new_run_id(command)
+        self.run_dir = run_dir
+        self.writer = RunWriter(run_dir)
+        self._started = time.perf_counter()
+        self.manifest: dict = {
+            "run_id": run_dir.name,
+            "command": command,
+            "argv": list(argv) if argv is not None else [],
+            "args": dict(args) if args else {},
+            "seeds": {
+                k: v for k, v in (args or {}).items() if "seed" in k and v is not None
+            },
+            "hardware": {},
+            "status": "running",
+            **runtime_stamp(),
+        }
+        self.writer.write_manifest(self.manifest)
+        self.writer.write_event("run_start", command=command)
+        self.recorder = _trace.TraceRecorder(emit=self._emit_span, emit_depth=3)
+
+    # ------------------------------------------------------------------
+    def _emit_span(self, path: str, duration: float, depth: int) -> None:
+        self.writer.write_event("span", path=path, dur_s=duration, depth=depth)
+
+    def annotate(self, **fields) -> None:
+        """Merge provenance fields into the manifest (rewritten atomically)."""
+        self.manifest.update(fields)
+        self.writer.write_manifest(self.manifest)
+
+    def annotate_hardware(self, name: str, payload: dict) -> None:
+        """Record one hardware config's digest/fault spec in the manifest."""
+        if self.manifest["hardware"].get(name) == payload:
+            return
+        self.manifest["hardware"][name] = payload
+        self.writer.write_manifest(self.manifest)
+
+    def event(self, event_type: str, **payload) -> None:
+        self.writer.write_event(event_type, **payload)
+
+    # ------------------------------------------------------------------
+    def finalize(self, status: str = "ok", models: dict | None = None) -> None:
+        """Flush everything; safe to call exactly once, from ``finally``."""
+        if _trace.current() is self.recorder:
+            _trace.uninstall()
+        # Close any spans an exception left open so their time is
+        # attributed before the profile is dumped.
+        while self.recorder.depth:
+            self.recorder.end()
+        if models:
+            publish_hotpath(models, REGISTRY)
+        wall = time.perf_counter() - self._started
+        self.writer.write_event("profile", spans=self.recorder.profile())
+        self.writer.write_event("metrics", snapshot=REGISTRY.snapshot())
+        self.writer.write_event("run_end", status=status, wall_seconds=wall)
+        self.manifest.update(
+            {
+                "status": status,
+                "wall_seconds": wall,
+                "finished": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            }
+        )
+        self.writer.write_manifest(self.manifest)
+        self.writer.close()
+
+
+#: The active session (at most one per process).
+_SESSION: ObsSession | None = None
+
+
+def active() -> ObsSession | None:
+    return _SESSION
+
+
+def start_run(
+    command: str,
+    argv: list[str] | None = None,
+    args: dict | None = None,
+    out_dir: "str | Path | None" = None,
+    runs_root: "str | Path | None" = None,
+) -> ObsSession:
+    """Begin an observed run: sinks + trace recorder + fresh metrics."""
+    global _SESSION
+    if _SESSION is not None:
+        raise RuntimeError(f"an obs run is already active ({_SESSION.run_dir})")
+    session = ObsSession(
+        command, argv=argv, args=args, out_dir=out_dir, runs_root=runs_root
+    )
+    REGISTRY.clear()  # scope the global registry to this run
+    _trace.install(session.recorder)
+    _SESSION = session
+    return session
+
+
+def finish_run(status: str = "ok", models: dict | None = None) -> None:
+    """Finalize and clear the active session (no-op when none is active)."""
+    global _SESSION
+    session = _SESSION
+    if session is None:
+        return
+    _SESSION = None
+    session.finalize(status=status, models=models)
+
+
+def event(event_type: str, **payload) -> None:
+    """Emit one JSONL event (dropped silently when no run is active)."""
+    if _SESSION is not None:
+        _SESSION.event(event_type, **payload)
+
+
+def annotate(**fields) -> None:
+    if _SESSION is not None:
+        _SESSION.annotate(**fields)
+
+
+def annotate_hardware(config) -> None:
+    """Stamp a crossbar config's digest + fault spec into the manifest.
+
+    Called by ``convert_to_hardware`` so every observed run records
+    exactly which hardware it simulated.
+    """
+    if _SESSION is None:
+        return
+    import dataclasses
+
+    from repro.xbar.engine_cache import config_digest
+
+    payload = {
+        "digest": config_digest(config),
+        "faults": dataclasses.asdict(config.faults),
+        "guard_mode": config.guard.mode,
+    }
+    _SESSION.annotate_hardware(config.name, payload)

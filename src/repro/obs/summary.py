@@ -1,0 +1,379 @@
+"""Aggregate one ``--obs`` run into a human-readable text report.
+
+``python -m repro obs summarize [run]`` renders:
+
+* the provenance header (manifest),
+* a flamegraph-style span profile (indented tree, time bars),
+* the metrics table (counters / gauges / P² histograms),
+* the hot-path counter view (same shape as ``--perf``),
+* the analog-health table (per-layer deviation, ADC clip rates,
+  stream-skip / row-compaction ratios, guard trips),
+* per-attack loss / flip-rate iteration curves (sparklines).
+
+Everything is reconstructed from ``manifest.json`` + ``events.jsonl``
+alone, so reports can be regenerated long after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.metrics import HOTPATH_FIELDS, format_hotpath_fields
+from repro.obs.sink import list_runs, read_events, read_manifest, resolve_run_dir
+
+__all__ = ["summarize_run", "resolve_run_dir", "list_runs", "format_run_list"]
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Unicode block sparkline (empty string for no data)."""
+    finite = [v for v in values if v == v]  # drop NaNs
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    if hi <= lo:
+        return _SPARK_BLOCKS[3] * len(values)
+    scale = (len(_SPARK_BLOCKS) - 1) / (hi - lo)
+    return "".join(
+        _SPARK_BLOCKS[int((v - lo) * scale)] if v == v else " " for v in values
+    )
+
+
+def _last_event(events: list[dict], event_type: str) -> dict | None:
+    for record in reversed(events):
+        if record.get("type") == event_type:
+            return record
+    return None
+
+
+# ----------------------------------------------------------------------
+# Span profile (flamegraph-style tree)
+# ----------------------------------------------------------------------
+
+class _Node:
+    __slots__ = ("label", "row", "children")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.row: dict | None = None
+        self.children: dict[str, _Node] = {}
+
+    @property
+    def total(self) -> float:
+        own = self.row["total_s"] if self.row else 0.0
+        return max(own, sum(c.total for c in self.children.values()))
+
+
+def _build_tree(rows: list[dict]) -> _Node:
+    root = _Node("")
+    for row in rows:
+        node = root
+        for segment in row["path"].split("/"):
+            node = node.children.setdefault(segment, _Node(segment))
+        node.row = row
+    return root
+
+
+def render_profile(rows: list[dict], max_rows: int = 60) -> list[str]:
+    if not rows:
+        return ["(no spans recorded)"]
+    root = _build_tree(rows)
+    scale = max((c.total for c in root.children.values()), default=0.0)
+    lines: list[str] = []
+    truncated = [0]
+
+    def emit(node: _Node, depth: int, prefix: str) -> None:
+        # Stat-less segments (taxonomy prefixes like ``nn`` or ``eval``)
+        # never get their own row: their label folds into the children.
+        label = f"{prefix}/{node.label}" if prefix else node.label
+        if node.label and node.row is not None:
+            if len(lines) >= max_rows:
+                truncated[0] += 1
+            else:
+                count = node.row["count"]
+                total = node.row["total_s"]
+                self_s = node.row["self_s"]
+                bar = "█" * int(round(24 * total / scale)) if scale > 0 else ""
+                lines.append(
+                    f"{'  ' * depth + label:<44} {count:>7}x {total:>9.3f}s"
+                    f"  self {self_s:>8.3f}s  {bar}"
+                )
+            child_depth, child_prefix = depth + 1, ""
+        elif node.label:
+            child_depth, child_prefix = depth, label
+        else:
+            child_depth, child_prefix = depth, ""
+        for child in sorted(
+            node.children.values(), key=lambda c: c.total, reverse=True
+        ):
+            emit(child, child_depth, child_prefix)
+
+    emit(root, 0, "")
+    header = f"{'span':<44} {'calls':>8} {'total':>10}"
+    out = [header, *lines]
+    if truncated[0]:
+        out.append(f"... {truncated[0]} more span path(s) truncated")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Metrics / health / attack sections
+# ----------------------------------------------------------------------
+
+def _fmt(value: float) -> str:
+    if value != value:
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_metrics(snapshot: dict) -> list[str]:
+    lines: list[str] = []
+    counters = {
+        k: v
+        for k, v in snapshot.get("counters", {}).items()
+        if not k.startswith("analog.")
+    }
+    gauges = {
+        k: v
+        for k, v in snapshot.get("gauges", {}).items()
+        if not k.startswith(("hotpath.", "analog."))
+    }
+    hists = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        lines.extend(f"  {k:<{width}}  {_fmt(v)}" for k, v in counters.items())
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        lines.extend(
+            f"  {k:<{width}}  {_fmt(g['value'])} (min {_fmt(g['min'])}, "
+            f"max {_fmt(g['max'])}, n={g['updates']})"
+            for k, g in gauges.items()
+        )
+    if hists:
+        lines.append("histograms:")
+        width = max(len(k) for k in hists)
+        for name, h in hists.items():
+            if h.get("count", 0) == 0:
+                lines.append(f"  {name:<{width}}  (empty)")
+                continue
+            lines.append(
+                f"  {name:<{width}}  n={h['count']} mean={_fmt(h['mean'])} "
+                f"p50={_fmt(h.get('p50', float('nan')))} "
+                f"p90={_fmt(h.get('p90', float('nan')))} "
+                f"p99={_fmt(h.get('p99', float('nan')))} "
+                f"[{_fmt(h['min'])}, {_fmt(h['max'])}]"
+            )
+    return lines or ["(no metrics recorded)"]
+
+
+def render_hotpath_snapshot(snapshot: dict) -> list[str]:
+    """``--perf``-shaped view rebuilt from a metrics snapshot."""
+    gauges = snapshot.get("gauges", {})
+    labels: list[str] = []
+    for name in gauges:
+        if name.startswith("hotpath.") and ".total." in name:
+            label = name[len("hotpath.") :].split(".total.", 1)[0]
+            if label not in labels:
+                labels.append(label)
+    lines = []
+    for label in labels:
+        fields = {
+            f: gauges[f"hotpath.{label}.total.{f}"]["value"]
+            for f in HOTPATH_FIELDS
+            if f"hotpath.{label}.total.{f}" in gauges
+        }
+        lines.append(f"[{label}] total: {format_hotpath_fields(fields)}")
+    hits = gauges.get("engine_cache.hits", {}).get("value", 0)
+    misses = gauges.get("engine_cache.misses", {}).get("value", 0)
+    evicted = gauges.get("engine_cache.evictions", {}).get("value", 0)
+    lines.append(
+        f"engine cache: {hits:.0f} hits / {misses:.0f} misses / {evicted:.0f} evicted"
+    )
+    return lines
+
+
+def _layer_hotpath(gauges: dict) -> dict[str, dict]:
+    """Aggregate per-layer hot-path gauges across model labels."""
+    layers: dict[str, dict] = {}
+    for name, gauge in gauges.items():
+        if not name.startswith("hotpath.") or ".layer." not in name:
+            continue
+        rest = name.split(".layer.", 1)[1]
+        layer, _, field = rest.rpartition(".")
+        slot = layers.setdefault(layer, {})
+        slot[field] = slot.get(field, 0.0) + gauge["value"]
+    return layers
+
+
+def render_health(snapshot: dict, events: list[dict]) -> list[str]:
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    layers: dict[str, dict] = {}
+    for name, gauge in gauges.items():
+        if name.startswith("analog.dev.rel.") and not name.startswith(
+            "analog.dev.rel_hist."
+        ):
+            layers.setdefault(name[len("analog.dev.rel.") :], {})["rel"] = gauge[
+                "value"
+            ]
+        elif name.startswith("analog.dev.rmse."):
+            layers.setdefault(name[len("analog.dev.rmse.") :], {})["rmse"] = gauge[
+                "value"
+            ]
+    for name, value in counters.items():
+        for field, prefix in (
+            ("adc_samples", "analog.adc.samples."),
+            ("adc_low", "analog.adc.clipped_low."),
+            ("adc_high", "analog.adc.clipped_high."),
+            ("guard_trips", "analog.guard.trips."),
+        ):
+            if name.startswith(prefix):
+                slot = layers.setdefault(name[len(prefix) :], {})
+                slot[field] = slot.get(field, 0.0) + value
+    hotpath_layers = _layer_hotpath(gauges)
+    for layer, fields in hotpath_layers.items():
+        slot = layers.setdefault(layer, {})
+        slot.update({k: v for k, v in fields.items() if k not in slot})
+    if not layers:
+        return ["(no analog-health telemetry recorded)"]
+    width = max(len(layer) for layer in layers)
+    lines = [
+        f"{'layer':<{width}} {'rel-NF':>9} {'rmse':>10} {'adc clip%':>10} "
+        f"{'skip%':>7} {'compacted':>10} {'guard':>6}"
+    ]
+    for layer in sorted(layers):
+        f = layers[layer]
+        samples = f.get("adc_samples", 0.0)
+        clip = (
+            100.0 * (f.get("adc_low", 0.0) + f.get("adc_high", 0.0)) / samples
+            if samples
+            else float("nan")
+        )
+        evaluated = f.get("streams_evaluated", 0.0)
+        skipped = f.get("streams_skipped", 0.0)
+        skip_pct = (
+            100.0 * skipped / (evaluated + skipped)
+            if (evaluated + skipped)
+            else float("nan")
+        )
+        lines.append(
+            f"{layer:<{width}} "
+            f"{f.get('rel', float('nan')):>9.4f} "
+            f"{f.get('rmse', float('nan')):>10.4g} "
+            f"{clip:>10.2f} "
+            f"{skip_pct:>7.1f} "
+            f"{f.get('rows_compacted', 0.0):>10.0f} "
+            f"{f.get('guard_trips', 0.0):>6.0f}"
+        )
+    fallbacks = sum(1 for e in events if e.get("type") == "guard_trip")
+    if fallbacks:
+        lines.append(f"fault-fallback / guard events in log: {fallbacks}")
+    return lines
+
+
+def render_attack_curves(events: list[dict]) -> list[str]:
+    """Loss / flip-rate trajectories aggregated per attack iteration."""
+    curves: dict[str, dict[int, list]] = {}
+    for record in events:
+        if record.get("type") != "attack_iter":
+            continue
+        per_iter = curves.setdefault(record["attack"], {})
+        slot = per_iter.setdefault(record["iter"], [0.0, 0.0, 0])
+        n = record.get("n", 1)
+        slot[0] += record["loss"] * n
+        slot[1] += record["flip_rate"] * n
+        slot[2] += n
+    if not curves:
+        return ["(no attack iterations recorded)"]
+    lines = []
+    for attack in sorted(curves):
+        iters = sorted(curves[attack])
+        loss = [curves[attack][i][0] / curves[attack][i][2] for i in iters]
+        flip = [curves[attack][i][1] / curves[attack][i][2] for i in iters]
+        lines.append(
+            f"{attack}: {len(iters)} iteration(s)\n"
+            f"  loss      {loss[0]:.4g} -> {loss[-1]:.4g}  {sparkline(loss)}\n"
+            f"  flip rate {flip[0]:.3f} -> {flip[-1]:.3f}  {sparkline(flip)}"
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def summarize_run(run_dir: Path | str) -> str:
+    run_dir = Path(run_dir)
+    manifest = read_manifest(run_dir)
+    events, partial = read_events(run_dir)
+    profile = _last_event(events, "profile")
+    metrics = _last_event(events, "metrics")
+    snapshot = metrics.get("snapshot", {}) if metrics else {}
+
+    lines = [f"=== obs run {manifest.get('run_id', run_dir.name)} ==="]
+    lines.append(
+        f"command: {manifest.get('command')}  status: {manifest.get('status')}"
+        f"  wall: {manifest.get('wall_seconds', float('nan')):.2f}s"
+    )
+    lines.append(
+        f"git: {manifest.get('git_sha') or 'n/a'}  numpy: {manifest.get('numpy')}"
+        f"  python: {manifest.get('python')}  started: {manifest.get('timestamp')}"
+    )
+    args = manifest.get("args") or {}
+    if args:
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(args.items()))
+        lines.append(f"args: {rendered}")
+    for name, spec in (manifest.get("hardware") or {}).items():
+        faults = spec.get("faults") or {}
+        fault_desc = "on" if faults.get("enabled") else "off"
+        lines.append(
+            f"hardware: {name} digest={spec.get('digest', '')[:12]} "
+            f"faults={fault_desc} guard={spec.get('guard_mode')}"
+        )
+    if partial:
+        lines.append(f"warning: {partial} truncated JSONL line(s) skipped")
+
+    lines.append("")
+    lines.append("--- span profile ---")
+    lines.extend(render_profile(profile.get("spans", []) if profile else []))
+
+    lines.append("")
+    lines.append("--- hot path ---")
+    lines.extend(render_hotpath_snapshot(snapshot))
+
+    lines.append("")
+    lines.append("--- analog health ---")
+    lines.extend(render_health(snapshot, events))
+
+    lines.append("")
+    lines.append("--- attack curves ---")
+    lines.extend(render_attack_curves(events))
+
+    lines.append("")
+    lines.append("--- metrics ---")
+    lines.extend(render_metrics(snapshot))
+    return "\n".join(lines)
+
+
+def format_run_list(root: Path | None = None) -> str:
+    runs = list_runs(root)
+    if not runs:
+        return "(no runs recorded)"
+    lines = []
+    for run in runs:
+        try:
+            manifest = read_manifest(run)
+        except (OSError, ValueError):
+            lines.append(f"{run.name}  (unreadable manifest)")
+            continue
+        lines.append(
+            f"{run.name:<44} {manifest.get('command', '?'):<12} "
+            f"{manifest.get('status', '?'):<12} "
+            f"{manifest.get('wall_seconds', float('nan')):>8.1f}s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Hierarchical wall-time trace spans with a no-op disabled path.
+
+A span marks one region of the experiment hierarchy::
+
+    with span("attack/pgd"):
+        ...
+        with span("iter"):
+            ...
+
+Span *names* are short taxonomy segments (they may contain ``/`` for
+sub-categories, e.g. ``cmd/table3``); the recorder joins the active
+stack into a full *path* (``cmd/table3/attack/pgd/iter``) and
+aggregates count / total / self wall time per path — the data behind
+the flamegraph-style text profile of ``repro obs summarize``.
+
+Disabled cost is one module-global ``None`` check plus a shared no-op
+context manager, so instrumentation can stay in hot paths (attack
+iterations, layer forwards, bank MVMs) permanently.  The overhead
+guard in ``tests/test_obs_overhead.py`` enforces the <5% budget on a
+tiny resnet forward.
+
+The recorder is intentionally not thread-safe: the simulator stack is
+single-threaded numpy, and a per-span lock would dominate the cost of
+the cheap spans this module is designed to allow.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SpanStats:
+    """Aggregated wall-time statistics for one span path."""
+
+    __slots__ = ("count", "total", "child")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.child = 0.0  # time attributed to nested spans
+
+    @property
+    def self_time(self) -> float:
+        """Time spent in the span itself, excluding nested spans."""
+        return max(self.total - self.child, 0.0)
+
+
+class TraceRecorder:
+    """Collects span aggregates and (optionally) emits coarse events.
+
+    Parameters
+    ----------
+    emit:
+        Optional callback ``emit(path, duration, depth)`` invoked when a
+        span *at or above* ``emit_depth`` closes — the JSONL sink hooks
+        in here so the event log carries a coarse timeline without one
+        record per layer forward.
+    emit_depth:
+        Maximum stack depth (1 = outermost) whose spans are emitted.
+    """
+
+    def __init__(self, emit=None, emit_depth: int = 3):
+        self.stats: dict[str, SpanStats] = {}
+        self._stack: list[list] = []  # [name, start, child_accum]
+        self._emit = emit
+        self.emit_depth = emit_depth
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str) -> None:
+        self._stack.append([name, time.perf_counter(), 0.0])
+
+    def end(self) -> None:
+        if not self._stack:  # tolerate unbalanced end() calls
+            return
+        name, start, child = self._stack.pop()
+        duration = time.perf_counter() - start
+        if self._stack:
+            parts = [frame[0] for frame in self._stack]
+            parts.append(name)
+            path = "/".join(parts)
+            self._stack[-1][2] += duration
+        else:
+            path = name
+        stats = self.stats.get(path)
+        if stats is None:
+            stats = self.stats[path] = SpanStats()
+        stats.count += 1
+        stats.total += duration
+        stats.child += child
+        depth = len(self._stack) + 1
+        if self._emit is not None and depth <= self.emit_depth:
+            self._emit(path, duration, depth)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def profile(self) -> list[dict]:
+        """Span aggregates as JSON-ready rows (sorted for stable output)."""
+        return [
+            {
+                "path": path,
+                "count": stats.count,
+                "total_s": stats.total,
+                "self_s": stats.self_time,
+            }
+            for path, stats in sorted(self.stats.items())
+        ]
+
+
+#: Installed recorder; ``None`` means tracing is disabled (the default).
+_RECORDER: TraceRecorder | None = None
+
+
+def install(recorder: TraceRecorder) -> None:
+    global _RECORDER
+    _RECORDER = recorder
+
+
+def uninstall() -> None:
+    global _RECORDER
+    _RECORDER = None
+
+
+def enabled() -> bool:
+    return _RECORDER is not None
+
+
+def current() -> TraceRecorder | None:
+    return _RECORDER
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager recording one span on the installed recorder."""
+
+    __slots__ = ("name", "_recorder")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._recorder = None
+
+    def __enter__(self) -> "_Span":
+        # Bind the recorder at entry so a recorder swapped mid-span
+        # never sees an end() it did not begin().
+        self._recorder = _RECORDER
+        if self._recorder is not None:
+            self._recorder.begin(self.name)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._recorder is not None:
+            self._recorder.end()
+            self._recorder = None
+        return False
+
+
+def span(name: str) -> "_Span | _NullSpan":
+    """A context manager tracing ``name`` (no-op when tracing is off)."""
+    if _RECORDER is None:
+        return _NULL_SPAN
+    return _Span(name)

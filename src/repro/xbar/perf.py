@@ -9,18 +9,25 @@ was spent inside the column predictor.  The counters are pure
 bookkeeping — they never influence numerics — and cost a few integer
 adds per bank, so they stay on in production.
 
-:func:`perf_report` aggregates the counters over every non-ideal layer
-of a converted model; the CLI exposes it behind ``--perf`` and
-``scripts/bench_perf.py`` snapshots it into ``BENCH_14_hotpath.json``.
-
-Engine-cache hit/miss statistics live with the cache itself
-(:mod:`repro.xbar.engine_cache`); :func:`format_perf` folds them into
-the printed report so one flag shows the whole hot-path picture.
+The counters are the cheap accumulation *backend* of the observability
+layer: :func:`repro.obs.metrics.publish_hotpath` folds them (plus the
+engine-cache stats) into the metrics registry as gauges, and all text
+rendering lives in :mod:`repro.obs.metrics` so there is exactly one
+formatting path.  :func:`format_perf` — the ``--perf`` CLI alias —
+publishes and renders through that registry view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    REGISTRY,
+    format_hotpath_fields,
+    publish_hotpath,
+    render_hotpath,
+)
 
 
 @dataclass
@@ -72,16 +79,7 @@ class PerfCounters:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def format(self) -> str:
-        total = self.streams_evaluated + self.streams_skipped
-        skip_pct = 100.0 * self.streams_skipped / total if total else 0.0
-        return (
-            f"matvec={self.matvec_calls} ({self.matvec_rows} rows)  "
-            f"bank_evals={self.bank_evals}  "
-            f"streams={self.streams_evaluated} evaluated / "
-            f"{self.streams_skipped} skipped ({skip_pct:.1f}%)  "
-            f"rows_compacted={self.rows_compacted}  "
-            f"predictor={self.predictor_seconds:.3f}s"
-        )
+        return format_hotpath_fields(self.as_dict())
 
 
 @dataclass
@@ -96,16 +94,6 @@ class PerfReport:
             "total": self.total.as_dict(),
             "layers": {name: c.as_dict() for name, c in self.layers.items()},
         }
-
-    def format(self, per_layer: bool = False) -> str:
-        lines = [f"total: {self.total.format()}"]
-        if per_layer:
-            width = max((len(n) for n in self.layers), default=0)
-            lines.extend(
-                f"  {name:<{width}}  {counters.format()}"
-                for name, counters in self.layers.items()
-            )
-        return "\n".join(lines)
 
 
 def iter_engines(model):
@@ -136,13 +124,13 @@ def reset_perf(model) -> None:
 
 
 def format_perf(models: dict, per_layer: bool = False) -> str:
-    """Render perf reports for ``{label: hardware_model}`` plus cache stats."""
-    from repro.xbar.engine_cache import ENGINE_CACHE  # local: avoid cycle
+    """Render the hot-path report for ``{label: hardware_model}``.
 
-    lines = ["=== hot-path perf counters ==="]
-    if not models:
-        lines.append("(no lab-cached hardware models; engine cache stats are global)")
-    for label, model in models.items():
-        lines.append(f"[{label}] {perf_report(model).format(per_layer=per_layer)}")
-    lines.append(f"engine cache: {ENGINE_CACHE.stats.format()}")
-    return "\n".join(lines)
+    Publishes the counters + engine-cache stats into the global metrics
+    registry (so an active ``--obs`` run absorbs them) and renders the
+    registry's hot-path view scoped to exactly these models.
+    """
+    publish_hotpath(models, REGISTRY)
+    scoped = MetricsRegistry()
+    publish_hotpath(models, scoped)
+    return render_hotpath(scoped, per_layer=per_layer)

@@ -39,6 +39,9 @@ from repro.autograd.tensor import Tensor
 from repro.nn.conv import col2im, conv_output_size, im2col
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
+from repro.obs import health as _obs
+from repro.obs import runtime as _obs_runtime
+from repro.obs.trace import span as _span
 from repro.xbar import _ckernels
 from repro.xbar.adc import quantize_current
 from repro.xbar.bitslice import slice_weights, stream_inputs
@@ -434,11 +437,12 @@ class CrossbarEngine:
             )
         self.perf.matvec_calls += 1
         self.perf.matvec_rows += x.shape[0]
-        if (x >= 0).all():
-            return self._matvec_unsigned(x)
-        positive = self._matvec_unsigned(np.maximum(x, 0.0))
-        negative = self._matvec_unsigned(np.maximum(-x, 0.0))
-        return positive - negative
+        with _span("xbar/matvec"):
+            if (x >= 0).all():
+                return self._matvec_unsigned(x)
+            positive = self._matvec_unsigned(np.maximum(x, 0.0))
+            negative = self._matvec_unsigned(np.maximum(-x, 0.0))
+            return positive - negative
 
     def refit_gain(self, vectors: np.ndarray, weight: np.ndarray) -> None:
         """Recalibrate per-column gains against real activation vectors.
@@ -524,10 +528,17 @@ class CrossbarEngine:
                 voltages = np.zeros((n, rows))
                 voltages[:, :width] = seg * v_step
                 start = time.perf_counter()
-                currents = self.predictor.predict_from_bias(voltages, bank.handle)
+                with _span("bank"):
+                    currents = self.predictor.predict_from_bias(voltages, bank.handle)
                 perf.predictor_seconds += time.perf_counter() - start
                 perf.bank_evals += 1
                 perf.streams_evaluated += 1
+                if self.config.adc.bits is not None and _obs.active():
+                    _obs.record_adc(
+                        _obs.layer_label(self),
+                        currents,
+                        self.config.adc.full_scale_fraction * self._adc_full_scale,
+                    )
                 fallback_cols = self._check_tile_health(currents, bank)
                 currents = quantize_current(currents, self.config.adc, self._adc_full_scale)
                 if fallback_cols is not None:
@@ -609,10 +620,17 @@ class CrossbarEngine:
                 bounds.append((pos, cnt))
                 pos += cnt
             start = time.perf_counter()
-            packed = self.predictor.predict_from_bias(volts, bank.handle)
+            with _span("bank"):
+                packed = self.predictor.predict_from_bias(volts, bank.handle)
             perf.predictor_seconds += time.perf_counter() - start
             perf.bank_evals += 1
             perf.streams_evaluated += len(active)
+            if self.config.adc.bits is not None and _obs.active():
+                _obs.record_adc(
+                    _obs.layer_label(self),
+                    packed,
+                    self.config.adc.full_scale_fraction * self._adc_full_scale,
+                )
             packed_v_sum = volts.sum(axis=1, keepdims=True)
             compacted = packed_rows != full_rows
             zero_row = self._zero_row_currents(bank) if compacted else None
@@ -804,6 +822,13 @@ class CrossbarEngine:
             return None
         self._guard_trips += 1
         sick_cols = sick.any(axis=0)
+        if _obs.active():
+            _obs.record_guard_trip(
+                _obs.layer_label(self),
+                guard.mode,
+                int(sick.sum()),
+                int(sick_cols.sum()),
+            )
         detail = (
             f"{int(sick.sum())} sick current(s) across {int(sick_cols.sum())} "
             f"column(s) of a {self.out_features}-output engine "
@@ -879,7 +904,14 @@ class NonIdealLinear(Module):
         if self._pending_calibration:
             vectors = _subsample_rows(x.data, self._max_calibration_vectors)
             self.engine.accumulate_gain(vectors, self.weight_float)
-        out = self.engine.matvec(x.data).astype(np.float32)
+        analog = self.engine.matvec(x.data)
+        if _obs.active():
+            _obs.record_layer_deviation(
+                _obs.layer_label(self),
+                analog,
+                np.asarray(x.data, dtype=np.float64) @ self.weight_float.T,
+            )
+        out = analog.astype(np.float32)
         if self.bias_float is not None:
             out = out + self.bias_float
 
@@ -938,6 +970,12 @@ class NonIdealConv2d(Module):
             sample = _subsample_rows(vectors, self._max_calibration_vectors)
             self.engine.accumulate_gain(sample, self.weight_matrix)
         flat = self.engine.matvec(vectors)  # (N*L, out)
+        if _obs.active():
+            _obs.record_layer_deviation(
+                _obs.layer_label(self),
+                flat,
+                np.asarray(vectors, dtype=np.float64) @ self.weight_matrix.T,
+            )
         out = (
             flat.reshape(n, h_out * w_out, self.out_channels)
             .transpose(0, 2, 1)
@@ -1086,25 +1124,32 @@ def convert_to_hardware(
     # maps decorrelate layer-to-layer even when no rng is supplied.
     rng = rng or np.random.default_rng(0)
     cache = resolve_cache(engine_cache)
-    hardware = copy.deepcopy(model)
-    replacements: list[tuple[str, Module]] = []
-    for name, module in hardware.named_modules():
-        if not name or name in skip:
-            continue
-        if isinstance(module, Conv2d):
-            weight = module.weight.data.reshape(module.out_channels, -1)
-            engine = _cached_engine(weight, config, predictor, rng, cache)
-            replacements.append(
-                (name, NonIdealConv2d(module, config, predictor, rng, engine=engine))
-            )
-        elif isinstance(module, Linear):
-            engine = _cached_engine(module.weight.data, config, predictor, rng, cache)
-            replacements.append(
-                (name, NonIdealLinear(module, config, predictor, rng, engine=engine))
-            )
-    for name, replacement in replacements:
-        hardware.set_submodule(name, replacement)
-    hardware.eval()
-    if calibration_images is not None:
-        calibrate_hardware(hardware, calibration_images)
+    with _span("hardware/convert"):
+        hardware = copy.deepcopy(model)
+        replacements: list[tuple[str, Module]] = []
+        for name, module in hardware.named_modules():
+            if not name or name in skip:
+                continue
+            if isinstance(module, Conv2d):
+                weight = module.weight.data.reshape(module.out_channels, -1)
+                engine = _cached_engine(weight, config, predictor, rng, cache)
+                replacements.append(
+                    (name, NonIdealConv2d(module, config, predictor, rng, engine=engine))
+                )
+            elif isinstance(module, Linear):
+                engine = _cached_engine(module.weight.data, config, predictor, rng, cache)
+                replacements.append(
+                    (name, NonIdealLinear(module, config, predictor, rng, engine=engine))
+                )
+        for name, replacement in replacements:
+            hardware.set_submodule(name, replacement)
+            # Stable per-layer telemetry labels: the dotted module path.
+            replacement.obs_label = name
+            replacement.engine.obs_label = name
+            if _obs.active() and config.faults.enabled:
+                _obs.record_fault_summary(name, replacement.engine.fault_summary)
+        _obs_runtime.annotate_hardware(config)
+        hardware.eval()
+        if calibration_images is not None:
+            calibrate_hardware(hardware, calibration_images)
     return hardware

@@ -1,0 +1,162 @@
+"""Metrics registry tests: P² quantiles vs numpy, counters, gauges.
+
+The P² estimator is the one piece of the obs layer with real numerical
+content, so it gets the property-based treatment: the exact tier
+(n <= 5) must agree with ``numpy.quantile`` to rounding error on
+arbitrary streams, the streaming tier must stay inside the observed
+range on arbitrary streams, and on well-behaved i.i.d. samples it must
+converge to the numpy quantile.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+    format_hotpath_fields,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+quantile_ps = st.floats(min_value=0.05, max_value=0.95)
+
+
+class TestP2Quantile:
+    @given(xs=st.lists(finite_floats, min_size=1, max_size=5), p=quantile_ps)
+    @settings(deadline=None, max_examples=200)
+    def test_exact_tier_matches_numpy(self, xs, p):
+        """With <= 5 observations the estimator is numpy's linear quantile."""
+        est = P2Quantile(p)
+        for x in xs:
+            est.observe(x)
+        expected = float(np.quantile(np.asarray(xs, dtype=np.float64), p))
+        assert est.value() == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @given(xs=st.lists(finite_floats, min_size=6, max_size=80), p=quantile_ps)
+    @settings(deadline=None, max_examples=100)
+    def test_streaming_tier_stays_in_range(self, xs, p):
+        """Whatever the stream, the estimate never leaves [min, max]."""
+        est = P2Quantile(p)
+        for x in xs:
+            est.observe(x)
+        assert min(xs) <= est.value() <= max(xs)
+        assert est.count == len(xs)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=100, max_value=500),
+        p=st.sampled_from([0.5, 0.9, 0.99]),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_converges_on_uniform_samples(self, seed, n, p):
+        """On i.i.d. U(0,1) streams the estimate tracks numpy.quantile."""
+        xs = np.random.default_rng(seed).random(n)
+        est = P2Quantile(p)
+        for x in xs:
+            est.observe(float(x))
+        assert abs(est.value() - float(np.quantile(xs, p))) < 0.12
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        p=st.sampled_from([0.5, 0.9]),
+    )
+    @settings(deadline=None, max_examples=20)
+    def test_converges_on_normal_samples(self, seed, p):
+        """Scale-invariance sanity: N(3, 2) streams, tolerance in sigma."""
+        xs = np.random.default_rng(seed).normal(3.0, 2.0, size=400)
+        est = P2Quantile(p)
+        for x in xs:
+            est.observe(float(x))
+        assert abs(est.value() - float(np.quantile(xs, p))) < 0.35 * 2.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value())
+
+    def test_rejects_degenerate_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.as_dict() == pytest.approx(3.5)
+
+    def test_gauge_tracks_envelope(self):
+        g = Gauge()
+        for v in (3.0, -1.0, 2.0):
+            g.set(v)
+        d = g.as_dict()
+        assert d == {"value": 2.0, "min": -1.0, "max": 3.0, "updates": 3}
+
+    def test_gauge_empty_as_dict_is_zeroed(self):
+        assert Gauge().as_dict() == {"value": 0.0, "min": 0.0, "max": 0.0, "updates": 0}
+
+
+class TestHistogram:
+    def test_as_dict_quantile_keys(self, rng):
+        h = Histogram()
+        for x in rng.random(64):
+            h.observe(float(x))
+        d = h.as_dict()
+        assert d["count"] == 64
+        assert {"p50", "p90", "p99"} <= set(d)
+        assert d["min"] <= d["p50"] <= d["p90"] <= d["max"]
+        assert d["mean"] == pytest.approx(d["sum"] / 64)
+
+    def test_empty_histogram(self):
+        assert Histogram().as_dict() == {"count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_sorted_and_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(1.5)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["gauges"]["g"]["value"] == 1.5
+        reg.clear()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestHotpathFormatting:
+    def test_format_hotpath_fields_single_path(self):
+        """One formatter for every counter line (PerfCounters delegates)."""
+        from repro.xbar.perf import PerfCounters
+
+        counters = PerfCounters(
+            matvec_calls=2,
+            matvec_rows=100,
+            bank_evals=8,
+            streams_evaluated=12,
+            streams_skipped=4,
+            rows_compacted=30,
+            predictor_seconds=0.25,
+        )
+        line = format_hotpath_fields(counters.as_dict())
+        assert line == counters.format()
+        assert "streams=12 evaluated / 4 skipped (25.0%)" in line
+        assert "predictor=0.250s" in line

@@ -1,0 +1,73 @@
+"""Disabled-path overhead guard: tracing off must stay within ~5%.
+
+The instrumentation stays in hot paths permanently (layer forwards,
+attack iterations, bank MVMs), which is only acceptable because the
+disabled path is one module-global ``None`` check.  This test times a
+tiny digital resnet20 forward — the worst case, because every
+``Module.__call__`` pays the check but no expensive analog work
+amortizes it — against a baseline with the check monkeypatched away.
+
+Timing comparisons on shared CI are noisy, so the guard uses best-of-N
+minima, interleaves the two variants, and allows a small number of
+retries before declaring a real regression.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.nn.module import Module
+from repro.nn.resnet import resnet20
+from repro.obs import trace
+from repro.obs.trace import _NULL_SPAN, span
+
+
+def best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_disabled_span_is_shared_and_allocation_free():
+    """Structural half of the budget: no per-call object on the off path."""
+    assert not trace.enabled()
+    assert span("a") is span("b") is _NULL_SPAN
+
+
+def test_disabled_overhead_under_budget(monkeypatch):
+    assert not trace.enabled(), "tracing must be off for the overhead guard"
+    model = resnet20(num_classes=10, width=8)
+    model.eval()
+    x = Tensor(np.random.default_rng(0).random((32, 3, 16, 16)).astype(np.float32))
+
+    instrumented_call = Module.__call__
+
+    def plain_call(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def run():
+        with no_grad():
+            model(x)
+
+    budget, attempts = 1.05, 3
+    ratios = []
+    for _ in range(attempts):
+        monkeypatch.setattr(Module, "__call__", plain_call)
+        baseline = best_of(run, 3)
+        monkeypatch.setattr(Module, "__call__", instrumented_call)
+        instrumented = best_of(run, 3)
+        ratio = instrumented / baseline
+        ratios.append(ratio)
+        if ratio <= budget:
+            return
+    pytest.fail(
+        f"disabled-path overhead exceeded {budget:.2f}x baseline in all "
+        f"{attempts} attempts: ratios={[f'{r:.3f}' for r in ratios]}"
+    )

@@ -1,0 +1,153 @@
+"""End-to-end obs run tests: record → validate → summarize on tiny models.
+
+These exercise the full ``--obs`` plumbing without the CLI: start a
+run, push a tiny hardware forward + PGD attack through the
+instrumented stack, finalize, then check the JSONL log against the
+schema and render the summary.  The crash-flush contract (satellite of
+the ``finally:`` fix) is tested by finalizing with open spans and a
+non-``ok`` status.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks.pgd import PGD
+from repro.autograd import Tensor, no_grad
+from repro.obs import finish_run, start_run
+from repro.obs import runtime as obs_runtime
+from repro.obs import trace
+from repro.obs.schema import validate_event, validate_run
+from repro.obs.sink import read_events, read_manifest
+from repro.obs.summary import summarize_run
+from repro.obs.trace import span
+from repro.xbar.simulator import convert_to_hardware
+
+from tests.conftest import make_tiny_crossbar_config
+
+
+@pytest.fixture
+def obs_run(tmp_path):
+    """An active obs session scoped to one test (always finalized)."""
+    session = start_run("test", argv=["test"], args={"seed": 7}, runs_root=tmp_path)
+    try:
+        yield session
+    finally:
+        finish_run("ok")
+
+
+def test_full_run_validates_and_summarizes(
+    obs_run, tiny_victim, tiny_task, tiny_geniex
+):
+    config = make_tiny_crossbar_config(adc_bits=4)
+    with span("cmd/test"):
+        hardware = convert_to_hardware(
+            tiny_victim, config, predictor=tiny_geniex, rng=np.random.default_rng(0)
+        )
+        hardware.eval()
+        x, y = tiny_task.x_test[:4], tiny_task.y_test[:4]
+        with no_grad():
+            hardware(Tensor(x))
+        PGD(4 / 255, iterations=2).generate(tiny_victim, x, y)
+    run_dir = obs_run.run_dir
+    finish_run("ok", models={"tiny/test": hardware})
+
+    # Schema-clean event log with the four structural events present.
+    assert validate_run(run_dir) == []
+    events, partial = read_events(run_dir)
+    assert partial == 0
+    types = [e["type"] for e in events]
+    for required in ("run_start", "span", "attack_iter", "profile", "metrics", "run_end"):
+        assert required in types, f"missing {required} in {sorted(set(types))}"
+    assert types[0] == "run_start" and types[-1] == "run_end"
+
+    # Manifest provenance: status, seeds, and the hardware digest stamped
+    # by convert_to_hardware.
+    manifest = read_manifest(run_dir)
+    assert manifest["status"] == "ok"
+    assert manifest["seeds"] == {"seed": 7}
+    assert manifest["numpy"] == np.__version__
+    assert config.name in manifest["hardware"]
+    assert "digest" in manifest["hardware"][config.name]
+    assert manifest["hardware"][config.name]["guard_mode"] == config.guard.mode
+
+    # Metrics snapshot carries analog health + published hot-path gauges.
+    snapshot = next(e for e in events if e["type"] == "metrics")["snapshot"]
+    assert any(k.startswith("analog.dev.rel.") for k in snapshot["gauges"])
+    assert any(k.startswith("analog.adc.samples.") for k in snapshot["counters"])
+    assert any(k.startswith("hotpath.tiny/test.total.") for k in snapshot["gauges"])
+    assert any(k.startswith("attack.pgd.loss") for k in snapshot["histograms"])
+
+    # The renderer covers every section on this run's data.
+    text = summarize_run(run_dir)
+    for section in (
+        "--- span profile ---",
+        "--- hot path ---",
+        "--- analog health ---",
+        "--- attack curves ---",
+        "--- metrics ---",
+    ):
+        assert section in text
+    assert "cmd/test" in text
+    assert "pgd:" in text
+
+
+def test_error_flush_with_open_spans(tmp_path):
+    """A crashed run still produces a complete, validating artifact set."""
+    session = start_run("test", runs_root=tmp_path)
+    run_dir = session.run_dir
+    # Leave spans open, as an exception mid-experiment would.
+    trace.current().begin("cmd/test")
+    trace.current().begin("attack/pgd")
+    finish_run("error")
+
+    assert validate_run(run_dir) == []
+    manifest = read_manifest(run_dir)
+    assert manifest["status"] == "error"
+    events, partial = read_events(run_dir)
+    assert partial == 0
+    assert events[-1]["type"] == "run_end"
+    assert events[-1]["status"] == "error"
+    # The drained spans still reached the profile.
+    profile = next(e for e in events if e["type"] == "profile")
+    assert {row["path"] for row in profile["spans"]} == {
+        "cmd/test",
+        "cmd/test/attack/pgd",
+    }
+    # Tracing is fully torn down.
+    assert not trace.enabled()
+    assert obs_runtime.active() is None
+
+
+def test_second_start_run_raises(tmp_path):
+    start_run("test", runs_root=tmp_path)
+    try:
+        with pytest.raises(RuntimeError, match="already active"):
+            start_run("test", runs_root=tmp_path)
+    finally:
+        finish_run("ok")
+
+
+def test_events_jsonl_lines_are_complete_json(obs_run):
+    """Crash-safety contract: every line in the log parses standalone."""
+    obs_run.event("log", message="hello", value=np.float32(1.5))
+    obs_run.writer._events.flush()
+    with open(obs_run.run_dir / "events.jsonl", encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)  # raises on any truncated record
+            assert validate_event(record) == []
+
+
+def test_reused_run_dir_starts_clean(tmp_path, monkeypatch):
+    """A fixed --obs DIR (e.g. CI) never accumulates stale events."""
+    out = tmp_path / "fixed"
+    start_run("test", out_dir=out)
+    finish_run("ok")
+    first_events, _ = read_events(out)
+    start_run("test", out_dir=out)
+    finish_run("ok")
+    second_events, _ = read_events(out)
+    assert len(second_events) == len(first_events)

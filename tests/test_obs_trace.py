@@ -1,0 +1,141 @@
+"""Trace-span unit tests: nesting, attribution, the disabled path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import _NULL_SPAN, SpanStats, TraceRecorder, span
+
+
+@pytest.fixture
+def recorder():
+    """A recorder installed for the duration of one test."""
+    rec = TraceRecorder()
+    trace.install(rec)
+    yield rec
+    trace.uninstall()
+
+
+class TestRecorder:
+    def test_nesting_builds_slash_paths(self, recorder):
+        with span("cmd/table3"):
+            with span("attack/pgd"):
+                with span("iter"):
+                    pass
+                with span("iter"):
+                    pass
+        assert set(recorder.stats) == {
+            "cmd/table3",
+            "cmd/table3/attack/pgd",
+            "cmd/table3/attack/pgd/iter",
+        }
+        assert recorder.stats["cmd/table3/attack/pgd/iter"].count == 2
+        assert recorder.stats["cmd/table3"].count == 1
+
+    def test_sibling_spans_do_not_merge(self, recorder):
+        with span("root"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        assert {"root", "root/a", "root/b"} == set(recorder.stats)
+
+    def test_self_time_excludes_children(self, recorder):
+        with span("outer"):
+            with span("inner"):
+                pass
+        outer = recorder.stats["outer"]
+        inner = recorder.stats["outer/inner"]
+        assert outer.self_time == pytest.approx(outer.total - inner.total, abs=1e-9)
+        assert inner.self_time == pytest.approx(inner.total)
+        assert outer.total >= inner.total
+
+    def test_exception_still_closes_span(self, recorder):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError("boom")
+        assert recorder.depth == 0
+        assert recorder.stats["outer"].count == 1
+        assert recorder.stats["outer/inner"].count == 1
+
+    def test_unbalanced_end_is_tolerated(self, recorder):
+        recorder.end()  # nothing open: must not raise
+        assert recorder.stats == {}
+
+    def test_draining_open_spans_attributes_time(self, recorder):
+        # Simulate the finalizer path: spans left open by a crash are
+        # drained with repeated end() calls before the profile dumps.
+        recorder.begin("a")
+        recorder.begin("b")
+        while recorder.depth:
+            recorder.end()
+        assert set(recorder.stats) == {"a", "a/b"}
+
+    def test_profile_rows_sorted_and_json_ready(self, recorder):
+        with span("z"):
+            pass
+        with span("a"):
+            pass
+        rows = recorder.profile()
+        assert [row["path"] for row in rows] == ["a", "z"]
+        assert all({"path", "count", "total_s", "self_s"} <= set(r) for r in rows)
+
+    def test_emit_respects_depth_limit(self):
+        emitted = []
+        rec = TraceRecorder(
+            emit=lambda path, dur, depth: emitted.append((path, depth)), emit_depth=2
+        )
+        trace.install(rec)
+        try:
+            with span("l1"):
+                with span("l2"):
+                    with span("l3"):  # depth 3 > emit_depth: silent
+                        pass
+        finally:
+            trace.uninstall()
+        assert [(p, d) for p, d in emitted] == [("l1/l2", 2), ("l1", 1)]
+
+    def test_recorder_swap_mid_span_is_safe(self):
+        first, second = TraceRecorder(), TraceRecorder()
+        trace.install(first)
+        try:
+            s = span("outer")
+            with s:
+                trace.install(second)  # swapped while the span is open
+                with span("inner"):
+                    pass
+            # outer closed on the recorder that began it; the swapped-in
+            # recorder only ever saw spans it opened itself.
+            assert "outer" in first.stats
+            assert set(second.stats) == {"inner"}
+        finally:
+            trace.uninstall()
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_object(self):
+        assert not trace.enabled()
+        assert span("anything") is _NULL_SPAN
+        assert span("other") is _NULL_SPAN  # no per-call allocation
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(ValueError):
+            with span("x"):
+                raise ValueError("propagates")
+
+    def test_install_uninstall_toggle(self):
+        rec = TraceRecorder()
+        trace.install(rec)
+        assert trace.enabled() and trace.current() is rec
+        trace.uninstall()
+        assert not trace.enabled() and trace.current() is None
+
+
+class TestSpanStats:
+    def test_self_time_never_negative(self):
+        stats = SpanStats()
+        stats.total = 1.0
+        stats.child = 2.0  # child timers can overshoot on clock jitter
+        assert stats.self_time == 0.0
