@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Parallel-backend benchmark: BENCH_15_parallel.json.
+
+Times the shared-memory process-pool backend (``repro.parallel``)
+against serial execution for the two dominant batch-axis workloads:
+
+* hardware evaluation — ``evaluate_accuracy`` of a non-ideal ResNet-20
+  (GENIEx predictor) over an image batch;
+* Square attack — the per-image random-search loop on the same model.
+
+Each workload runs serially and with 2- and 4-worker pools; the bench
+asserts **bit-identity** between all runs (that is the backend's
+contract) and records honest wall times.  On a single-core container
+the pools cannot beat serial — ``cpu_count`` is recorded alongside the
+timings so readers can interpret the speedup column.
+
+Scale via ``REPRO_BENCH_PROFILE`` (tiny | small | default; defaults to
+``tiny`` for CI).  No timing assertions; trends are tracked across
+commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.attacks.square import SquareAttack  # noqa: E402
+from repro.nn.resnet import resnet20  # noqa: E402
+from repro.obs.sink import runtime_stamp  # noqa: E402
+from repro.parallel import parallel_backend  # noqa: E402
+from repro.train.trainer import evaluate_accuracy  # noqa: E402
+from repro.xbar.engine_cache import config_digest  # noqa: E402
+from repro.xbar.presets import crossbar_preset, load_or_train_geniex  # noqa: E402
+from repro.xbar.simulator import convert_to_hardware  # noqa: E402
+
+PRESET = "32x32_100k"
+
+PROFILES = {
+    # (eval images, shard size, square queries, timing repeats)
+    "tiny": (16, 4, 4, 1),
+    "small": (64, 8, 10, 2),
+    "default": (256, 16, 30, 3),
+}
+
+WORKER_COUNTS = (2, 4)
+
+
+def profile_name() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+
+def best_of(fn, repeats: int):
+    """(min wall time, last result) over ``repeats`` runs."""
+    times, result = [], None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def bench_workload(name, fn, repeats: int, identical) -> dict:
+    serial_seconds, serial_result = best_of(fn, repeats)
+    entry = {
+        "serial_seconds": serial_seconds,
+        "workers": {},
+        "bit_identical": True,
+    }
+    for workers in WORKER_COUNTS:
+        with parallel_backend(workers):
+            seconds, result = best_of(fn, repeats)
+        matches = bool(identical(serial_result, result))
+        entry["workers"][str(workers)] = {
+            "seconds": seconds,
+            "speedup": serial_seconds / seconds if seconds > 0 else float("inf"),
+            "bit_identical": matches,
+        }
+        entry["bit_identical"] &= matches
+        print(
+            f"[bench_parallel] {name}: serial {serial_seconds:.2f} s, "
+            f"{workers} workers {seconds:.2f} s "
+            f"({serial_seconds / seconds:.2f}x, identical={matches})"
+        )
+    return entry
+
+
+def main() -> int:
+    profile = profile_name()
+    if profile not in PROFILES:
+        print(f"unknown REPRO_BENCH_PROFILE {profile!r}; use one of {sorted(PROFILES)}")
+        return 2
+    eval_size, shard_size, square_queries, repeats = PROFILES[profile]
+    config = crossbar_preset(PRESET)
+    geniex = load_or_train_geniex(config)
+    cpu_count = os.cpu_count()
+    print(f"[bench_parallel] profile={profile} preset={PRESET} cpu_count={cpu_count}")
+
+    model = resnet20(num_classes=10, width=8)
+    model.eval()
+    hardware = convert_to_hardware(
+        model, config, predictor=geniex, rng=np.random.default_rng(2),
+        engine_cache=False,
+    )
+    rng = np.random.default_rng(0)
+    x = rng.random((eval_size, 3, 16, 16)).astype(np.float32)
+    y = (np.arange(eval_size) % 10).astype(np.int64)
+
+    evaluation = bench_workload(
+        "evaluate_accuracy",
+        lambda: evaluate_accuracy(hardware, x, y, batch_size=shard_size),
+        repeats,
+        lambda a, b: a == b,
+    )
+    square = bench_workload(
+        "square attack",
+        lambda: SquareAttack(
+            8 / 255, max_queries=square_queries, seed=3, batch_size=shard_size
+        ).generate(hardware, x, y),
+        repeats,
+        lambda a, b: a.x_adv.tobytes() == b.x_adv.tobytes()
+        and (a.queries == b.queries).all(),
+    )
+
+    if not (evaluation["bit_identical"] and square["bit_identical"]):
+        print("[bench_parallel] ERROR: parallel results diverged from serial")
+        return 1
+
+    payload = runtime_stamp(
+        extra={
+            "bench": "parallel",
+            "profile": profile,
+            "preset": PRESET,
+            "cpu_count": cpu_count,
+            "config_digest": config_digest(config),
+            "workloads": {
+                "eval_size": eval_size,
+                "shard_size": shard_size,
+                "square_queries": square_queries,
+                "repeats": repeats,
+            },
+        }
+    )
+    payload.update({"evaluate_accuracy": evaluation, "square_attack": square})
+    out_path = REPO_ROOT / "BENCH_15_parallel.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_parallel] wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

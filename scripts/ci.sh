@@ -40,8 +40,20 @@ python -m repro obs validate artifacts/runs/ci-obs
 python -m repro obs summarize artifacts/runs/ci-obs > /dev/null
 
 echo
+echo "=== parallel smoke: 2-worker traced run + bit-identity tests ==="
+python -m repro table3 --fast --task cifar10 --workers 2 \
+    --obs=artifacts/runs/ci-obs-parallel
+python -m repro obs validate artifacts/runs/ci-obs-parallel
+python -m pytest -x -q tests/test_parallel.py -k identical
+python -m repro cache stats
+
+echo
 echo "=== bench smoke: hot-path microbenchmark (tiny profile) ==="
 REPRO_BENCH_PROFILE=tiny python scripts/bench_perf.py
+
+echo
+echo "=== bench smoke: parallel backend (tiny profile) ==="
+REPRO_BENCH_PROFILE=tiny python scripts/bench_parallel.py
 
 echo
 echo "ci: all checks passed"

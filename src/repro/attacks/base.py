@@ -9,6 +9,8 @@ import numpy as np
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn import functional as F
 from repro.nn.module import Module
+from repro.parallel.backend import ShardTask, get_backend
+from repro.parallel.scheduler import plan_shards
 
 
 @dataclass
@@ -35,13 +37,39 @@ class AttackResult:
 
 
 def predict_logits(model: Module, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-    """Query a model for logits without building the autograd graph."""
-    outputs = []
+    """Query a model for logits without building the autograd graph.
+
+    The output array is preallocated and shard slices are written in
+    place (no list-append + concatenate copy).  When a parallel backend
+    is installed (``--workers N``) the shards are dispatched to pool
+    workers; the shard plan depends only on ``(len(x), batch_size)``,
+    so each per-chunk forward — and therefore every logit bit — is
+    identical to the serial loop.
+    """
+    x = np.asarray(x)
+    n = len(x)
+    if n == 0:
+        raise ValueError("predict_logits needs at least one input")
+    shards = plan_shards(n, batch_size)
+    backend = get_backend()
+    if backend.workers > 1 and len(shards) > 1:
+        tasks = [
+            ShardTask("logits", {"x": x[shard.slice], "batch_size": batch_size})
+            for shard in shards
+        ]
+        parts = backend.run_tasks(model, tasks)
+        out = np.empty((n, parts[0].shape[1]), dtype=parts[0].dtype)
+        for shard, part in zip(shards, parts):
+            out[shard.slice] = part
+        return out
+    out = None
     with no_grad():
-        for start in range(0, len(x), batch_size):
-            logits = model(Tensor(x[start : start + batch_size]))
-            outputs.append(logits.data.copy())
-    return np.concatenate(outputs, axis=0)
+        for shard in shards:
+            logits = model(Tensor(x[shard.slice])).data
+            if out is None:
+                out = np.empty((n, logits.shape[1]), dtype=logits.dtype)
+            out[shard.slice] = logits
+    return out
 
 
 def loss_and_grad(

@@ -28,6 +28,7 @@ from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.resnet import build_model
 from repro.obs.trace import span as _span
+from repro.parallel.backend import ShardTask, get_backend
 from repro.train.optim import SGD
 from repro.train.schedule import CosineLR
 
@@ -76,6 +77,45 @@ class EnsembleConfig:
     query_batch: int = 256
 
 
+def distill_member(
+    spec: SurrogateSpec,
+    images: np.ndarray,
+    soft_targets: np.ndarray,
+    config: EnsembleConfig,
+    num_classes: int,
+    verbose: bool = False,
+) -> Module:
+    """Build and distill one surrogate on the synthetic dataset.
+
+    Module-level (not a method) so pool workers can run one surrogate
+    per task; everything it consumes arrives in the task payload.
+    """
+    member = build_model(
+        spec.arch, num_classes=num_classes, width=spec.width, seed=spec.seed
+    )
+    dataset = ArrayDataset(images, np.arange(len(images)))  # labels = indices
+    loader = DataLoader(
+        dataset, batch_size=config.batch_size, shuffle=True, seed=spec.seed
+    )
+    optimizer = SGD(member.parameters(), lr=config.lr, momentum=0.9, weight_decay=5e-4)
+    schedule = CosineLR(config.lr, config.distill_epochs)
+    member.train()
+    for epoch in range(config.distill_epochs):
+        optimizer.lr = schedule.lr_at(epoch)
+        losses = []
+        for batch_images, batch_indices in loader:
+            logits = member(Tensor(batch_images))
+            loss = F.soft_cross_entropy(logits, soft_targets[batch_indices])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        if verbose:
+            print(f"[ensemble] {spec.arch} epoch {epoch} loss {np.mean(losses):.4f}")
+    member.eval()
+    return member
+
+
 class EnsembleBlackBox:
     """Surrogate-distillation ensemble black-box attack."""
 
@@ -110,61 +150,69 @@ class EnsembleBlackBox:
         matching the black-box rows of Table II.
         """
         cfg = self.config
+        if len(images) == 0:
+            raise ValueError("fit() needs at least one query image")
         with _span("attack/ensemble/query"):
             if isinstance(victim, Module):
                 victim_logits = predict_logits(victim, images, cfg.query_batch)
             else:
-                victim_logits = np.concatenate(
-                    [
-                        np.asarray(victim(images[s : s + cfg.query_batch]))
-                        for s in range(0, len(images), cfg.query_batch)
-                    ]
-                )
+                victim_logits = None
+                for s in range(0, len(images), cfg.query_batch):
+                    logits = np.asarray(victim(images[s : s + cfg.query_batch]))
+                    if victim_logits is None:
+                        victim_logits = np.empty(
+                            (len(images), logits.shape[1]), dtype=logits.dtype
+                        )
+                    victim_logits[s : s + len(logits)] = logits
         self._num_classes = victim_logits.shape[1]
         # Soft targets: the victim's output distribution.
         shifted = victim_logits - victim_logits.max(axis=1, keepdims=True)
         probs = np.exp(shifted)
         probs /= probs.sum(axis=1, keepdims=True)
 
-        members = []
+        backend = get_backend()
         with _span("attack/ensemble/distill"):
-            for spec in cfg.surrogates:
-                member = build_model(
-                    spec.arch, num_classes=self._num_classes, width=spec.width, seed=spec.seed
-                )
-                self._distill(member, images, probs, spec, verbose=verbose)
-                member.eval()
-                members.append(member)
+            if backend.workers > 1 and len(cfg.surrogates) > 1:
+                # One worker task per surrogate.  Distillation is
+                # deterministic per spec (loader shuffle and init are
+                # seeded), so training in a pool worker and restoring
+                # the shipped state dict reproduces the serial member
+                # bit for bit.
+                tasks = [
+                    ShardTask(
+                        "distill",
+                        {
+                            "spec": spec,
+                            "images": images,
+                            "probs": probs,
+                            "config": cfg,
+                            "num_classes": self._num_classes,
+                        },
+                    )
+                    for spec in cfg.surrogates
+                ]
+                states = backend.run_tasks(None, tasks)
+                members = []
+                for spec, state in zip(cfg.surrogates, states):
+                    member = build_model(
+                        spec.arch,
+                        num_classes=self._num_classes,
+                        width=spec.width,
+                        seed=spec.seed,
+                    )
+                    member.load_state_dict(state)
+                    member.eval()
+                    members.append(member)
+            else:
+                members = [
+                    distill_member(
+                        spec, images, probs, cfg, self._num_classes, verbose=verbose
+                    )
+                    for spec in cfg.surrogates
+                ]
         self.ensemble = StackedEnsemble(members)
         self.ensemble.eval()
         return self
-
-    def _distill(
-        self,
-        member: Module,
-        images: np.ndarray,
-        soft_targets: np.ndarray,
-        spec: SurrogateSpec,
-        verbose: bool,
-    ) -> None:
-        cfg = self.config
-        dataset = ArrayDataset(images, np.arange(len(images)))  # labels = indices
-        loader = DataLoader(dataset, batch_size=cfg.batch_size, shuffle=True, seed=spec.seed)
-        optimizer = SGD(member.parameters(), lr=cfg.lr, momentum=0.9, weight_decay=5e-4)
-        schedule = CosineLR(cfg.lr, cfg.distill_epochs)
-        member.train()
-        for epoch in range(cfg.distill_epochs):
-            optimizer.lr = schedule.lr_at(epoch)
-            losses = []
-            for batch_images, batch_indices in loader:
-                logits = member(Tensor(batch_images))
-                loss = F.soft_cross_entropy(logits, soft_targets[batch_indices])
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-            if verbose:
-                print(f"[ensemble] {spec.arch} epoch {epoch} loss {np.mean(losses):.4f}")
 
     # ------------------------------------------------------------------
     # Step 3: PGD on the stacked ensemble

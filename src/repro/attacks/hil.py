@@ -13,6 +13,10 @@ hardware models so each Table-II adaptive scenario is one call:
   the DNN *on the attacker's crossbar hardware*.
 * square HIL: random-search queries go to the crossbar hardware
   directly, with the paper's reduced query budget (30).
+
+All three helpers dispatch through the attacks' shard schedulers, so a
+``--workers N`` run shards the per-image loops across the process pool
+(:mod:`repro.parallel`) with results bit-identical to serial execution.
 """
 
 from __future__ import annotations
@@ -54,9 +58,16 @@ def hil_square_attack(
     epsilon: float,
     max_queries: int = 30,
     seed: int = 0,
+    batch_size: int = 256,
 ) -> AttackResult:
-    """Hardware-in-loop Square Attack with the paper's 30-query budget."""
-    attack = SquareAttack(epsilon, max_queries=max_queries, seed=seed)
+    """Hardware-in-loop Square Attack with the paper's 30-query budget.
+
+    ``batch_size`` doubles as the shard size of the parallel plan —
+    smaller values expose more shards to the worker pool.
+    """
+    attack = SquareAttack(
+        epsilon, max_queries=max_queries, seed=seed, batch_size=batch_size
+    )
     attack._obs_name = "hil_square"
     return attack.generate(attacker_hardware, x, y)
 

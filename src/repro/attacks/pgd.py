@@ -18,6 +18,8 @@ from repro.attacks.base import AttackResult, clip_to_ball, loss_grad_logits, pre
 from repro.nn.module import Module
 from repro.obs import health as _obs
 from repro.obs.trace import span as _span
+from repro.parallel.backend import ShardTask, get_backend
+from repro.parallel.scheduler import plan_shards, shard_seeds
 
 
 class PGD:
@@ -64,26 +66,65 @@ class PGD:
         self.seed = seed
 
     def generate(self, model: Module, x: np.ndarray, y: np.ndarray) -> AttackResult:
-        """Craft adversarial examples against ``model``."""
+        """Craft adversarial examples against ``model``.
+
+        The batch axis is split into the canonical shard plan, each
+        shard drawing from its own ``SeedSequence.spawn`` stream, and
+        dispatched through the installed execution backend — so results
+        are bit-identical between ``--workers 1`` and ``--workers N``.
+        """
         model.eval()
-        rng = np.random.default_rng(self.seed)
         x = np.asarray(x, dtype=np.float32)
         y = np.asarray(y, dtype=np.int64)
-        x_adv = np.empty_like(x)
+        shards = plan_shards(len(x), self.batch_size)
+        seeds = shard_seeds(self.seed, len(shards))
+        tasks = [
+            ShardTask(
+                "pgd",
+                {
+                    "x": x[shard.slice],
+                    "y": y[shard.slice],
+                    "seed": seeds[shard.index],
+                    "epsilon": self.epsilon,
+                    "iterations": self.iterations,
+                    "alpha": self.alpha,
+                    "random_start": self.random_start,
+                    "batch_size": self.batch_size,
+                    "obs_name": self._obs_name,
+                },
+            )
+            for shard in shards
+        ]
         with _span(f"attack/{self._obs_name}"):
-            for start in range(0, len(x), self.batch_size):
-                stop = min(start + self.batch_size, len(x))
-                x_adv[start:stop] = self._attack_batch(
-                    model, x[start:stop], y[start:stop], rng
-                )
-        logits = predict_logits(model, x_adv)
-        success = logits.argmax(axis=1) != y
+            outs = get_backend().run_tasks(model, tasks)
+        x_adv = np.empty_like(x)
+        success = np.empty(len(x), dtype=bool)
+        for shard, out in zip(shards, outs):
+            x_adv[shard.slice] = out["x_adv"]
+            success[shard.slice] = out["success"]
         return AttackResult(
             x_adv=x_adv,
             queries=np.full(len(x), self.iterations),
             success=success,
             metadata={"epsilon": self.epsilon, "iterations": self.iterations},
         )
+
+    def run_shard(
+        self, model: Module, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> dict:
+        """Attack one scheduler shard with its own seed stream.
+
+        This is the unit of work both serial and parallel execution run
+        (via :mod:`repro.parallel.worker`); success is evaluated on the
+        shard with the attack's own batch size, so the merged result is
+        independent of worker count.
+        """
+        model.eval()
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        x_adv = self._attack_batch(model, x, y, rng)
+        logits = predict_logits(model, x_adv, self.batch_size)
+        return {"x_adv": x_adv, "success": logits.argmax(axis=1) != y}
 
     def _attack_batch(
         self, model: Module, x: np.ndarray, y: np.ndarray, rng: np.random.Generator

@@ -21,6 +21,8 @@ from repro.attacks.base import AttackResult, margin_loss, predict_logits
 from repro.nn.module import Module
 from repro.obs import health as _obs
 from repro.obs.trace import span as _span
+from repro.parallel.backend import ShardTask, get_backend
+from repro.parallel.scheduler import plan_shards, shard_seeds
 
 
 class SquareAttack:
@@ -95,61 +97,102 @@ class SquareAttack:
         )
 
     def generate(self, model: Module, x: np.ndarray, y: np.ndarray) -> AttackResult:
-        """Attack a batch; each image gets an independent random search."""
+        """Attack a batch; each image gets an independent random search.
+
+        The batch axis is split into the canonical shard plan (one
+        search state per shard, seeded from its own
+        ``SeedSequence.spawn`` stream) and dispatched through the
+        installed execution backend, so serial and ``--workers N`` runs
+        produce bit-identical adversarial images.
+        """
         model.eval()
-        rng = np.random.default_rng(self.seed)
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        shards = plan_shards(len(x), self.batch_size)
+        seeds = shard_seeds(self.seed, len(shards))
+        tasks = [
+            ShardTask(
+                "square",
+                {
+                    "x": x[shard.slice],
+                    "y": y[shard.slice],
+                    "seed": seeds[shard.index],
+                    "epsilon": self.epsilon,
+                    "max_queries": self.max_queries,
+                    "p_init": self.p_init,
+                    "batch_size": self.batch_size,
+                    "obs_name": self._obs_name,
+                },
+            )
+            for shard in shards
+        ]
+        with _span(f"attack/{self._obs_name}"):
+            outs = get_backend().run_tasks(model, tasks)
+        x_adv = np.empty_like(x)
+        queries = np.empty(len(x), dtype=np.int64)
+        loss = np.empty(len(x), dtype=np.float64)
+        for shard, out in zip(shards, outs):
+            x_adv[shard.slice] = out["x_adv"]
+            queries[shard.slice] = out["queries"]
+            loss[shard.slice] = out["loss"]
+        return AttackResult(
+            x_adv=x_adv,
+            queries=queries,
+            success=loss < 0,
+            metadata={"epsilon": self.epsilon, "max_queries": self.max_queries},
+        )
+
+    def run_shard(
+        self, model: Module, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> dict:
+        """Random search over one scheduler shard (serial and worker path)."""
+        model.eval()
         x = np.asarray(x, dtype=np.float32)
         y = np.asarray(y, dtype=np.int64)
         n, c, h, w = x.shape
         eps = self.epsilon
 
         telemetry = _obs.active()
-        with _span(f"attack/{self._obs_name}"):
-            # Initialization: vertical stripes of +-eps (original heuristic).
-            stripes = rng.choice([-eps, eps], size=(n, c, 1, w)).astype(np.float32)
-            x_adv = np.clip(x + stripes, 0.0, 1.0)
-            logits = predict_logits(model, x_adv, self.batch_size)
-            loss = margin_loss(logits, y)
-            queries = np.ones(n, dtype=np.int64)
+        # Initialization: vertical stripes of +-eps (original heuristic).
+        stripes = rng.choice([-eps, eps], size=(n, c, 1, w)).astype(np.float32)
+        x_adv = np.clip(x + stripes, 0.0, 1.0)
+        logits = predict_logits(model, x_adv, self.batch_size)
+        loss = margin_loss(logits, y)
+        queries = np.ones(n, dtype=np.int64)
+        if telemetry:
+            self._record(0, loss)
+
+        for query_index in range(1, self.max_queries):
+            active = loss > 0  # images not yet misclassified keep searching
+            if not active.any():
+                break
+            idx = np.flatnonzero(active)
+
+            p = self._p_schedule(query_index)
+            s = max(1, int(round(np.sqrt(p * h * w))))
+            s = min(s, h, w)
+
+            candidate = x_adv[idx].copy()
+            for row, image_index in enumerate(idx):
+                top = rng.integers(0, h - s + 1)
+                left = rng.integers(0, w - s + 1)
+                delta = rng.choice([-eps, eps], size=(c, 1, 1)).astype(np.float32)
+                window = x[image_index, :, top : top + s, left : left + s] + delta
+                candidate[row, :, top : top + s, left : left + s] = window
+            candidate = np.clip(
+                np.clip(candidate, x[idx] - eps, x[idx] + eps), 0.0, 1.0
+            ).astype(np.float32)
+
+            with _span("query"):
+                cand_logits = predict_logits(model, candidate, self.batch_size)
+            cand_loss = margin_loss(cand_logits, y[idx])
+            queries[idx] += 1
+
+            improved = cand_loss < loss[idx]
+            sel = idx[improved]
+            x_adv[sel] = candidate[improved]
+            loss[sel] = cand_loss[improved]
             if telemetry:
-                self._record(0, loss)
+                self._record(query_index, loss)
 
-            for query_index in range(1, self.max_queries):
-                active = loss > 0  # images not yet misclassified keep searching
-                if not active.any():
-                    break
-                idx = np.flatnonzero(active)
-
-                p = self._p_schedule(query_index)
-                s = max(1, int(round(np.sqrt(p * h * w))))
-                s = min(s, h, w)
-
-                candidate = x_adv[idx].copy()
-                for row, image_index in enumerate(idx):
-                    top = rng.integers(0, h - s + 1)
-                    left = rng.integers(0, w - s + 1)
-                    delta = rng.choice([-eps, eps], size=(c, 1, 1)).astype(np.float32)
-                    window = x[image_index, :, top : top + s, left : left + s] + delta
-                    candidate[row, :, top : top + s, left : left + s] = window
-                candidate = np.clip(
-                    np.clip(candidate, x[idx] - eps, x[idx] + eps), 0.0, 1.0
-                ).astype(np.float32)
-
-                with _span("query"):
-                    cand_logits = predict_logits(model, candidate, self.batch_size)
-                cand_loss = margin_loss(cand_logits, y[idx])
-                queries[idx] += 1
-
-                improved = cand_loss < loss[idx]
-                sel = idx[improved]
-                x_adv[sel] = candidate[improved]
-                loss[sel] = cand_loss[improved]
-                if telemetry:
-                    self._record(query_index, loss)
-
-        return AttackResult(
-            x_adv=x_adv,
-            queries=queries,
-            success=loss < 0,
-            metadata={"epsilon": eps, "max_queries": self.max_queries},
-        )
+        return {"x_adv": x_adv, "queries": queries, "loss": loss}

@@ -13,12 +13,15 @@ energy      crossbar-vs-digital energy estimate for a task's victim
 reliability clean/adversarial accuracy vs stuck-cell rate and drift
 verify      run the numerical verification catalog (oracle + invariants)
 obs         inspect recorded ``--obs`` runs (summarize / validate / list)
+cache       inspect/clear the programmed-engine disk cache
 
 Every experiment command accepts ``--obs[=DIR]`` to record a traced,
-metered run (JSONL events + manifest under ``artifacts/runs/``) and
-``--perf`` to print the hot-path counter view.  Both flush from a
-``finally:`` block, so exceptions and Ctrl-C still produce complete,
-readable artifacts.
+metered run (JSONL events + manifest under ``artifacts/runs/``),
+``--perf`` to print the hot-path counter view, and ``--workers N`` to
+shard analog evaluation and attack loops across a process pool
+(``repro.parallel``; results are bit-identical to serial).  Perf/obs
+flush from a ``finally:`` block, so exceptions and Ctrl-C still produce
+complete, readable artifacts.
 """
 
 from __future__ import annotations
@@ -37,6 +40,11 @@ def _make_lab(args) -> HardwareLab:
     scale = EvaluationScale.tiny() if args.fast else EvaluationScale(
         eval_size=args.eval_size
     )
+    workers = getattr(args, "workers", 1)
+    if workers != 1:
+        import dataclasses
+
+        scale = dataclasses.replace(scale, workers=workers)
     kwargs = {}
     if args.fast:
         kwargs = {"victim_epochs": 2, "victim_width": 4}
@@ -201,6 +209,32 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from repro.xbar.engine_cache import (
+        ENGINE_CACHE,
+        clear_disk_cache,
+        clear_engine_cache,
+        disk_cache_contents,
+        resolve_disk_dir,
+    )
+
+    disk_dir = resolve_disk_dir()
+    if args.cache_command == "clear":
+        removed = clear_disk_cache(disk_dir)
+        clear_engine_cache()
+        where = disk_dir if disk_dir is not None else "disk tier disabled"
+        print(f"engine cache cleared: {removed} snapshot(s) removed ({where})")
+        return 0
+    files, total_bytes = disk_cache_contents(disk_dir)
+    print(f"process cache: {len(ENGINE_CACHE)} engine(s), {ENGINE_CACHE.stats.format()}")
+    if disk_dir is None:
+        print("disk tier: disabled (REPRO_XBAR_CACHE_DIR is empty/off)")
+    else:
+        print(f"disk tier: {disk_dir}")
+        print(f"  {len(files)} snapshot(s), {total_bytes / 1e6:.1f} MB")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -218,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--perf", action="store_true",
                        help="print hot-path perf counters (MVMs, streams, "
                             "predictor time, engine-cache hits) after the run")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for analog eval/attacks "
+                            "(1 = serial, 0 = cpu_count - 1); results are "
+                            "bit-identical at any count")
         add_obs(p)
 
     sub.add_parser("info").set_defaults(func=cmd_info)
@@ -296,6 +334,11 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--root", default=None)
     q.set_defaults(func=cmd_obs)
 
+    p = sub.add_parser("cache", help="inspect/clear the programmed-engine cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats").set_defaults(func=cmd_cache)
+    cache_sub.add_parser("clear").set_defaults(func=cmd_cache)
+
     return parser
 
 
@@ -321,6 +364,9 @@ def _finalize(args, status: str) -> None:
         from repro.xbar.perf import format_perf
 
         print(format_perf(models))
+    from repro.parallel import backend as parallel_backend
+
+    parallel_backend.shutdown()
 
 
 def main(argv: list[str] | None = None) -> int:

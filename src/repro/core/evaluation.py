@@ -56,6 +56,9 @@ class EvaluationScale:
     surrogate_width: int = 8
     calibration_size: int = 64  # hardware gain-calibration images
     batch_size: int = 128
+    #: Worker processes for analog eval/attacks: 1 = serial,
+    #: 0 = cpu_count - 1, N = explicit pool size (see repro.parallel).
+    workers: int = 1
 
     @classmethod
     def tiny(cls) -> "EvaluationScale":
@@ -111,6 +114,10 @@ class HardwareLab:
         self._hardware: dict[tuple[str, str], Module] = {}
         self._defenses: dict[tuple[str, str], Module] = {}
         self._geniex: dict[str, object] = {}
+        if self.scale.workers != 1:
+            from repro.parallel.backend import configure
+
+            configure(self.scale.workers)
 
     # ------------------------------------------------------------------
     # Victims and data

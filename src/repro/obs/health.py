@@ -17,6 +17,11 @@ Every helper is a no-op (one ``None`` check) when no run is active, so
 the call sites stay in the hot paths permanently.  Stream-skip and
 row-compaction ratios ride along via the hot-path counter publish
 (:func:`repro.obs.metrics.publish_hotpath`).
+
+Inside a :mod:`repro.parallel` pool worker the "active session" is a
+:class:`repro.obs.runtime.WorkerCapture`: the same helpers record into
+the worker's registry and event buffer, which the parent merges in
+shard order — so every signal here stays complete under ``--workers N``.
 """
 
 from __future__ import annotations
@@ -134,7 +139,7 @@ def record_attack_iteration(
         "attack_iter",
         attack=attack,
         iter=int(iteration),
-        loss=float(loss),
+        loss=float(loss) if loss is not None else None,
         flip_rate=float(flip_rate),
         n=int(batch),
     )

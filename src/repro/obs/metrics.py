@@ -183,10 +183,39 @@ class Histogram:
         return payload
 
 
-class MetricsRegistry:
-    """Name-addressed store of counters, gauges and histograms."""
+class RecordingHistogram(Histogram):
+    """Histogram that additionally keeps the raw observation sequence.
 
-    def __init__(self) -> None:
+    Pool workers record with this subclass so the parent can *replay*
+    the exact observations in shard order — P² marker state is
+    order-dependent, so shipping summary statistics instead would break
+    the serial-vs-parallel metric-equality contract of
+    :mod:`repro.parallel`.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self, quantiles: tuple[float, ...] = Histogram.DEFAULT_QUANTILES):
+        super().__init__(quantiles)
+        self.samples: list[float] = []
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        super().observe(x)
+        self.samples.append(x)
+
+
+class MetricsRegistry:
+    """Name-addressed store of counters, gauges and histograms.
+
+    ``record_samples`` switches new histograms to
+    :class:`RecordingHistogram` so the registry's state can be exported
+    losslessly (:meth:`export_state`) and folded into another registry
+    (:meth:`merge_state`) — the worker-to-parent telemetry path.
+    """
+
+    def __init__(self, record_samples: bool = False) -> None:
+        self.record_samples = record_samples
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -209,7 +238,8 @@ class MetricsRegistry:
     ) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = Histogram(quantiles)
+            cls = RecordingHistogram if self.record_samples else Histogram
+            metric = self._histograms[name] = cls(quantiles)
         return metric
 
     # ------------------------------------------------------------------
@@ -227,6 +257,55 @@ class MetricsRegistry:
                 k: h.as_dict() for k, h in sorted(self._histograms.items())
             },
         }
+
+    # Worker-to-parent merge path ---------------------------------------
+    def export_state(self) -> dict:
+        """Lossless, mergeable state of this registry.
+
+        Requires ``record_samples`` histograms: the export carries the
+        raw observation sequences so a receiving registry can replay
+        them and land in the *exact* P² marker state a serial run would
+        have reached.
+        """
+        histograms: dict[str, tuple] = {}
+        for name, hist in self._histograms.items():
+            samples = getattr(hist, "samples", None)
+            if samples is None:
+                raise RuntimeError(
+                    "export_state needs a record_samples=True registry "
+                    f"(histogram {name!r} has no raw samples)"
+                )
+            histograms[name] = (tuple(hist._quantiles), list(samples))
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {
+                k: {"value": g.value, "min": g.min, "max": g.max, "updates": g.updates}
+                for k, g in self._gauges.items()
+                if g.updates
+            },
+            "histograms": histograms,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an :meth:`export_state` payload into this registry.
+
+        Counters add; gauges adopt the incoming last value (states must
+        be merged in shard order for last-value semantics to match a
+        serial run) and widen the min/max envelope; histogram samples
+        are re-observed one by one, reproducing the serial P² state.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, incoming in state.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.value = incoming["value"]
+            gauge.min = min(gauge.min, incoming["min"])
+            gauge.max = max(gauge.max, incoming["max"])
+            gauge.updates += incoming["updates"]
+        for name, (quantiles, samples) in state.get("histograms", {}).items():
+            hist = self.histogram(name, tuple(quantiles))
+            for x in samples:
+                hist.observe(x)
 
 
 #: Process-global registry: the single place metrics accumulate.
@@ -279,7 +358,7 @@ def publish_hotpath(models: dict, registry: MetricsRegistry | None = None) -> No
         hotpath.<label>.total.<field>
         hotpath.<label>.layer.<layer>.<field>
         hotpath.<label>.layer.<layer>.guard_trips
-        engine_cache.{hits,misses,evictions}
+        engine_cache.{hits,misses,evictions,disk_hits,disk_stores,disk_errors}
 
     Labels use ``/`` (never ``.``) so the dotted prefix structure stays
     parseable by the renderer and the run summarizer.
@@ -352,12 +431,24 @@ def render_hotpath(
                 )
     cache = {
         name: gauges[f"engine_cache.{name}"].value
-        for name in ("hits", "misses", "evictions")
+        for name in ("hits", "misses", "evictions", "disk_hits", "disk_stores", "disk_errors")
         if f"engine_cache.{name}" in gauges
     }
-    lines.append(
-        "engine cache: "
+    lines.append("engine cache: " + format_cache_fields(cache))
+    return "\n".join(lines)
+
+
+def format_cache_fields(cache: dict) -> str:
+    """Render engine-cache counters; the disk tier appears when used."""
+    text = (
         f"{cache.get('hits', 0):.0f} hits / {cache.get('misses', 0):.0f} misses / "
         f"{cache.get('evictions', 0):.0f} evicted"
     )
-    return "\n".join(lines)
+    disk_hits = cache.get("disk_hits", 0)
+    disk_stores = cache.get("disk_stores", 0)
+    disk_errors = cache.get("disk_errors", 0)
+    if disk_hits or disk_stores or disk_errors:
+        text += f" / disk {disk_hits:.0f} hits, {disk_stores:.0f} stores"
+        if disk_errors:
+            text += f", {disk_errors:.0f} errors"
+    return text

@@ -96,12 +96,54 @@ class ObsSession:
         self.writer.close()
 
 
+class WorkerCapture:
+    """Minimal session stand-in installed inside pool workers.
+
+    Makes :func:`active` truthy so the health/attack instrumentation
+    records exactly as it would inline, but buffers events in memory
+    instead of writing JSONL; the parent backend merges the buffer into
+    the real session **in shard order** (see
+    :mod:`repro.parallel.backend`), keeping ``--obs`` artifacts
+    identical between serial and parallel runs.  Manifest annotations
+    are dropped: the parent already recorded them when it built the
+    model being shared.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, dict]] = []
+
+    def event(self, event_type: str, **payload) -> None:
+        self.events.append((event_type, payload))
+
+    def annotate(self, **fields) -> None:  # manifest is parent-owned
+        pass
+
+    def annotate_hardware(self, name: str, payload: dict) -> None:
+        pass
+
+
 #: The active session (at most one per process).
-_SESSION: ObsSession | None = None
+_SESSION: "ObsSession | WorkerCapture | None" = None
 
 
-def active() -> ObsSession | None:
+def active() -> "ObsSession | WorkerCapture | None":
     return _SESSION
+
+
+def begin_worker_capture() -> WorkerCapture:
+    """Install an in-memory capture session (pool workers only)."""
+    global _SESSION
+    session = WorkerCapture()
+    _SESSION = session
+    return session
+
+
+def end_worker_capture() -> WorkerCapture | None:
+    """Remove the capture session and return it for shipping."""
+    global _SESSION
+    session = _SESSION
+    _SESSION = None
+    return session if isinstance(session, WorkerCapture) else None
 
 
 def start_run(

@@ -33,6 +33,7 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple]] = {
     "cell": {"attack": (str,), "task": (str,), "epsilon": NUMBER},
     "gain_point": {"preset": (str,), "nf": NUMBER, "gain": NUMBER},
     "guard_trip": {"layer": (str,), "mode": (str,)},
+    "parallel_map": {"fn": (str,), "shards": (int,), "workers": (int,)},
     "log": {"message": (str,)},
 }
 

@@ -188,12 +188,14 @@ def render_hotpath_snapshot(snapshot: dict) -> list[str]:
             if f"hotpath.{label}.total.{f}" in gauges
         }
         lines.append(f"[{label}] total: {format_hotpath_fields(fields)}")
-    hits = gauges.get("engine_cache.hits", {}).get("value", 0)
-    misses = gauges.get("engine_cache.misses", {}).get("value", 0)
-    evicted = gauges.get("engine_cache.evictions", {}).get("value", 0)
-    lines.append(
-        f"engine cache: {hits:.0f} hits / {misses:.0f} misses / {evicted:.0f} evicted"
-    )
+    from repro.obs.metrics import format_cache_fields
+
+    cache = {
+        name: gauges[f"engine_cache.{name}"]["value"]
+        for name in ("hits", "misses", "evictions", "disk_hits", "disk_stores", "disk_errors")
+        if f"engine_cache.{name}" in gauges
+    }
+    lines.append("engine cache: " + format_cache_fields(cache))
     return lines
 
 

@@ -1,0 +1,326 @@
+"""Execution backends: serial in-process or a persistent process pool.
+
+The pipeline's batch-axis operations (logit prediction, calibration
+sweeps, per-image attack loops, surrogate distillation) are expressed
+as lists of :class:`ShardTask` and handed to the installed backend:
+
+* :class:`SerialBackend` (default) runs every shard in order, in
+  process — exactly the computation the code performed before this
+  module existed.
+* :class:`ProcessBackend` ships shards to a persistent
+  ``ProcessPoolExecutor``.  The model is pickled **once** into a
+  shared-memory arena (:mod:`repro.parallel.shm`), so N workers map one
+  physical copy of the weights and programmed conductances.  Results
+  and telemetry are merged strictly in shard order, which together with
+  the canonical shard plan and per-shard seed streams
+  (:mod:`repro.parallel.scheduler`) makes parallel output bit-identical
+  to serial output at any worker count.
+
+Failures degrade gracefully: a worker crash, pickling failure or a
+platform without POSIX shared memory flips the backend to serial (with
+one warning) and re-runs the map in process, so ``--workers N`` can
+never produce *fewer* results than ``--workers 1``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import logging
+import multiprocessing as mp
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.parallel import shm
+
+logger = logging.getLogger(__name__)
+
+#: True inside a pool worker (set by ``worker.worker_init``); guards
+#: against recursive pool creation.
+_IN_WORKER = False
+
+
+@dataclass
+class ShardTask:
+    """One unit of work: a registered shard function plus its payload."""
+
+    fn: str
+    payload: dict = field(default_factory=dict)
+
+
+class ExecutionBackend:
+    """Interface every backend implements."""
+
+    workers: int = 1
+
+    def run_tasks(self, model, tasks: "list[ShardTask]") -> list:
+        """Execute ``tasks`` against ``model``, results in task order."""
+        raise NotImplementedError
+
+    def invalidate(self, model) -> None:
+        """Drop any shared snapshot of ``model`` (call after mutating it)."""
+
+    def close(self) -> None:
+        """Release pool processes and shared segments."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution: the same shard functions, run in order."""
+
+    workers = 1
+
+    def run_tasks(self, model, tasks: "list[ShardTask]") -> list:
+        from repro.parallel import worker
+
+        return [worker.execute(model, task.fn, task.payload) for task in tasks]
+
+
+def _pool_context():
+    # fork is preferred: workers inherit loaded modules and the trained
+    # predictor caches for free.  worker_init sanitizes what must not
+    # be inherited (obs session, trace recorder, backend).
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _strip_scratch(model) -> None:
+    """Remove per-process mutable scratch before sharing a model.
+
+    Workers see shared arrays read-only; these buffers are written in
+    place on the hot path and regenerate lazily per process.
+    """
+    named_modules = getattr(model, "named_modules", None)
+    if named_modules is None:
+        return
+    for _name, module in named_modules():
+        engine = getattr(module, "engine", None)
+        if engine is None:
+            continue
+        for attr in ("_volt_buf", "_gain_sum_aa", "_gain_sum_ai", "_gain_rows"):
+            engine.__dict__.pop(attr, None)
+        predictor = getattr(engine, "predictor", None)
+        if predictor is not None and hasattr(predictor, "__dict__"):
+            predictor.__dict__.pop("_ws_buf", None)
+
+
+def _merge_blob(model, blob: dict) -> None:
+    """Fold one worker task's telemetry into the parent (shard order)."""
+    from repro.obs import runtime as _runtime
+    from repro.obs.metrics import REGISTRY
+    from repro.xbar.perf import PerfCounters, iter_engines
+
+    perf = blob.get("perf") or {}
+    guard = blob.get("guard") or {}
+    if model is not None and (perf or guard):
+        engines = dict(iter_engines(model))
+        for layer, fields_ in perf.items():
+            engine = engines.get(layer)
+            if engine is not None:
+                engine.perf.merge(PerfCounters(**fields_))
+        for layer, trips in guard.items():
+            engine = engines.get(layer)
+            if engine is not None:
+                engine._guard_trips += trips
+    state = blob.get("metrics")
+    if state:
+        REGISTRY.merge_state(state)
+    for event_type, payload in blob.get("events") or ():
+        _runtime.event(event_type, **payload)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent process pool over shared-memory model snapshots."""
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError(f"ProcessBackend needs >= 2 workers, got {workers}")
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+        self._serial = SerialBackend()
+        # Strong refs keep id(model) stable for the cache lifetime; the
+        # map is bounded by the handful of models a run touches and is
+        # emptied by invalidate()/close().
+        self._handles: dict[int, tuple[object, shm.SharedHandle]] = {}
+        self._broken = False
+
+    # -- pool / share management ---------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            from repro.parallel import worker
+
+            # Start the shared-memory resource tracker *before* forking:
+            # forked workers must inherit the parent's tracker, or each
+            # would lazily spawn its own on first segment attach and
+            # later report the parent-unlinked segments as leaks.
+            try:  # pragma: no cover - absent only without shared_memory
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except (ImportError, OSError):
+                pass
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_pool_context(),
+                initializer=worker.worker_init,
+            )
+        return self._pool
+
+    def _share_model(self, model) -> shm.SharedHandle:
+        cached = self._handles.get(id(model))
+        if cached is not None and cached[0] is model:
+            return cached[1]
+        _strip_scratch(model)
+        handle = shm.share(model)
+        self._handles[id(model)] = (model, handle)
+        return handle
+
+    def invalidate(self, model) -> None:
+        cached = self._handles.pop(id(model), None)
+        if cached is not None:
+            shm.release(cached[1])
+
+    def close(self) -> None:
+        for _model, handle in list(self._handles.values()):
+            shm.release(handle)
+        self._handles.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- execution ------------------------------------------------------
+    def _mark_broken(self, exc: BaseException) -> None:
+        self._broken = True
+        logger.warning("parallel worker failure, falling back to serial: %r", exc)
+        warnings.warn(
+            f"parallel backend disabled after worker failure ({exc!r}); "
+            "continuing serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - teardown is best-effort
+            pass
+
+    def run_tasks(self, model, tasks: "list[ShardTask]") -> list:
+        if not tasks:
+            return []
+        if self._broken or not shm.HAVE_SHM:
+            return self._serial.run_tasks(model, tasks)
+        from repro.obs import runtime as _runtime
+        from repro.parallel import worker
+
+        capture = _runtime.active() is not None
+        try:
+            handle = self._share_model(model) if model is not None else None
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(worker.remote_execute, handle, task.fn, task.payload, capture)
+                for task in tasks
+            ]
+            outcomes = [future.result() for future in futures]
+        except Exception as exc:
+            # Worker crash, pickling failure, shm exhaustion, or a
+            # deterministic task error: re-run serially.  Task errors
+            # then re-raise in-process with a usable traceback.
+            self._mark_broken(exc)
+            return self._serial.run_tasks(model, tasks)
+        results = []
+        for result, blob in outcomes:  # merged strictly in shard order
+            _merge_blob(model, blob)
+            results.append(result)
+        if capture:
+            _runtime.event(
+                "parallel_map",
+                fn=tasks[0].fn,
+                shards=len(tasks),
+                workers=self.workers,
+            )
+        return results
+
+
+# ----------------------------------------------------------------------
+# Process-global backend selection.
+# ----------------------------------------------------------------------
+
+_ACTIVE: ExecutionBackend = SerialBackend()
+
+
+def get_backend() -> ExecutionBackend:
+    """The backend batch-axis operations currently dispatch through."""
+    return _ACTIVE
+
+
+def set_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Install ``backend``; returns the previous one (for restoring)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = backend
+    return previous
+
+
+def resolve_workers(workers: int) -> int:
+    """Map the CLI convention to a concrete count (0 = cpu_count - 1)."""
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return max(1, (os.cpu_count() or 2) - 1)
+    return workers
+
+
+def configure(workers: int) -> ExecutionBackend:
+    """Install the process-global backend for a worker count.
+
+    ``1`` (or a resolved ``0`` on a single-core machine) keeps the
+    serial backend.  Inside a pool worker this is a no-op: workers
+    always execute serially.
+    """
+    global _ACTIVE
+    if _IN_WORKER:
+        return _ACTIVE
+    count = resolve_workers(workers)
+    if (
+        isinstance(_ACTIVE, ProcessBackend)
+        and _ACTIVE.workers == count
+        and not _ACTIVE._broken
+    ):
+        return _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = SerialBackend() if count <= 1 else ProcessBackend(count)
+    if isinstance(previous, ProcessBackend):
+        previous.close()
+    return _ACTIVE
+
+
+def shutdown() -> None:
+    """Close the active pool (if any) and unlink shared segments."""
+    global _ACTIVE
+    if isinstance(_ACTIVE, ProcessBackend):
+        _ACTIVE.close()
+        _ACTIVE = SerialBackend()
+    shm.release_all()
+
+
+@contextlib.contextmanager
+def parallel_backend(workers: int):
+    """Temporarily install a backend (tests and library callers).
+
+    ``with parallel_backend(2): ...`` runs the body's batch operations
+    on a 2-worker pool, then restores the previous backend and tears
+    the pool down.
+    """
+    count = resolve_workers(workers)
+    backend: ExecutionBackend = (
+        SerialBackend() if count <= 1 else ProcessBackend(count)
+    )
+    previous = set_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+        backend.close()
+
+
+atexit.register(shutdown)

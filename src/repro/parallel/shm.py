@@ -1,0 +1,262 @@
+"""Zero-copy object sharing over ``multiprocessing.shared_memory``.
+
+:func:`share` pickles an object graph while intercepting every large
+``np.ndarray`` through ``pickle.Pickler.persistent_id``; the arrays are
+packed into **one** shared-memory segment (64-byte aligned), followed by
+the pickle bytes themselves, so the :class:`SharedHandle` sent to
+workers is a few hundred bytes no matter how big the model is.
+
+Workers call :func:`load`: the segment is attached once, the pickle
+stream is replayed with ``persistent_load`` returning **read-only**
+``np.ndarray`` views into the segment — N workers see one physical copy
+of the victim weights, GENIEx parameters and programmed crossbar
+conductance banks instead of N.
+
+Read-only views are a correctness feature, not just a memory one: any
+code path that tried to mutate programmed state in place would raise
+immediately instead of corrupting sibling workers.  Mutable scratch
+buffers must therefore be stripped before sharing (the backend strips
+the engine voltage workspace and the GENIEx GEMM workspace; they
+regenerate lazily per worker).
+
+When the platform lacks POSIX shared memory, arrays ride inline in the
+payload — functionally identical, just not zero-copy — and the backend
+may instead fall back to serial execution.
+
+Lifetime: the parent owns segments and must :func:`release` them (the
+backend does, and also at interpreter exit).  Workers only ever close.
+The stdlib registers attaches with the fork-shared resource tracker;
+registration is set-based, so the parent's unlink leaves the tracker
+clean and crash exits still reclaim segments.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import os
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+try:  # pragma: no cover - exercised implicitly on POSIX
+    from multiprocessing import shared_memory as _shm
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _shm = None
+    HAVE_SHM = False
+
+#: Arrays at least this large (bytes) are placed in shared memory;
+#: smaller ones stay inline in the pickle stream (descriptor overhead
+#: would dominate).
+DEFAULT_MIN_BYTES = 512
+
+_ALIGN = 64  # cache-line alignment for every packed array
+
+_token_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class _ArrayDescriptor:
+    """Location of one packed array inside the segment."""
+
+    offset: int
+    dtype: str
+    shape: tuple
+
+
+@dataclass
+class SharedHandle:
+    """Picklable, queue-sized reference to a shared object graph.
+
+    Exactly one of ``shm_name`` / ``inline_payload`` is set.  ``token``
+    is unique per :func:`share` call and keys the worker-side object
+    cache, so each worker unpickles a given handle at most once.
+    """
+
+    token: str
+    nbytes: int
+    shm_name: str | None = None
+    pickle_offset: int = 0
+    pickle_length: int = 0
+    descriptors: list[_ArrayDescriptor] = field(default_factory=list)
+    inline_payload: bytes | None = None
+    inline_arrays: list[np.ndarray] = field(default_factory=list)
+
+
+class _ArenaPickler(pickle.Pickler):
+    """Pickler diverting large ndarrays into an external array table."""
+
+    def __init__(self, file, min_bytes: int):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.min_bytes = min_bytes
+        self.arrays: list[np.ndarray] = []
+        self._index_by_id: dict[int, int] = {}
+
+    def persistent_id(self, obj):
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.dtype != object
+            and obj.nbytes >= self.min_bytes
+        ):
+            index = self._index_by_id.get(id(obj))
+            if index is None:
+                index = len(self.arrays)
+                self.arrays.append(np.ascontiguousarray(obj))
+                self._index_by_id[id(obj)] = index
+            return ("repro-shm-array", index)
+        return None
+
+
+class _ArenaUnpickler(pickle.Unpickler):
+    """Unpickler resolving array references against a view table."""
+
+    def __init__(self, file, arrays: list[np.ndarray]):
+        super().__init__(file)
+        self.arrays = arrays
+
+    def persistent_load(self, pid):
+        tag, index = pid
+        if tag != "repro-shm-array":
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        return self.arrays[index]
+
+
+def _pack_layout(arrays: list[np.ndarray]) -> tuple[list[_ArrayDescriptor], int]:
+    descriptors = []
+    offset = 0
+    for arr in arrays:
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        descriptors.append(
+            _ArrayDescriptor(offset=offset, dtype=arr.dtype.str, shape=arr.shape)
+        )
+        offset += arr.nbytes
+    return descriptors, offset
+
+
+def share(obj, min_bytes: int = DEFAULT_MIN_BYTES) -> SharedHandle:
+    """Pickle ``obj`` with its large arrays packed into shared memory."""
+    buffer = io.BytesIO()
+    pickler = _ArenaPickler(buffer, min_bytes)
+    pickler.dump(obj)
+    payload = buffer.getvalue()
+    token = f"{os.getpid():x}-{next(_token_counter):x}"
+
+    if not HAVE_SHM:
+        return SharedHandle(
+            token=token,
+            nbytes=len(payload) + sum(a.nbytes for a in pickler.arrays),
+            inline_payload=payload,
+            inline_arrays=pickler.arrays,
+        )
+
+    descriptors, arrays_bytes = _pack_layout(pickler.arrays)
+    pickle_offset = (arrays_bytes + _ALIGN - 1) // _ALIGN * _ALIGN
+    total = pickle_offset + len(payload)
+    segment = _shm.SharedMemory(create=True, size=max(total, 1))
+    try:
+        for arr, desc in zip(pickler.arrays, descriptors):
+            dst = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=segment.buf, offset=desc.offset
+            )
+            dst[...] = arr
+        segment.buf[pickle_offset : pickle_offset + len(payload)] = payload
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    handle = SharedHandle(
+        token=token,
+        nbytes=total,
+        shm_name=segment.name,
+        pickle_offset=pickle_offset,
+        pickle_length=len(payload),
+        descriptors=descriptors,
+    )
+    _OWNED_SEGMENTS[handle.token] = segment
+    return handle
+
+
+#: Parent-side segments owned by this process, keyed by handle token.
+_OWNED_SEGMENTS: dict[str, "_shm.SharedMemory"] = {}
+
+#: Worker-side caches: attached segments and unpickled objects.
+_ATTACHED_SEGMENTS: dict[str, "_shm.SharedMemory"] = {}
+_LOADED_OBJECTS: dict[str, object] = {}
+
+
+def _attach(name: str) -> "_shm.SharedMemory":
+    segment = _ATTACHED_SEGMENTS.get(name)
+    if segment is None:
+        segment = _shm.SharedMemory(name=name)
+        _ATTACHED_SEGMENTS[name] = segment
+    return segment
+
+
+def load(handle: SharedHandle):
+    """Materialize the object graph a handle refers to (cached per token).
+
+    Arrays resolve to read-only views into the shared segment — no
+    copies.  The same handle loads once per process; subsequent calls
+    return the cached object, which is how persistent workers keep a
+    model across shard tasks.
+    """
+    cached = _LOADED_OBJECTS.get(handle.token)
+    if cached is not None:
+        return cached
+
+    if handle.shm_name is None:
+        arrays = list(handle.inline_arrays)
+        payload = handle.inline_payload
+    else:
+        segment = _attach(handle.shm_name)
+        arrays = []
+        for desc in handle.descriptors:
+            view = np.ndarray(
+                desc.shape,
+                dtype=np.dtype(desc.dtype),
+                buffer=segment.buf,
+                offset=desc.offset,
+            )
+            view.flags.writeable = False
+            arrays.append(view)
+        payload = bytes(
+            segment.buf[
+                handle.pickle_offset : handle.pickle_offset + handle.pickle_length
+            ]
+        )
+    obj = _ArenaUnpickler(io.BytesIO(payload), arrays).load()
+    _LOADED_OBJECTS[handle.token] = obj
+    return obj
+
+
+def release(handle: SharedHandle) -> None:
+    """Parent-side teardown: unlink the segment and drop local caches."""
+    _LOADED_OBJECTS.pop(handle.token, None)
+    segment = _OWNED_SEGMENTS.pop(handle.token, None)
+    if segment is not None:
+        segment.close()
+        segment.unlink()
+
+
+def release_all() -> None:
+    """Unlink every segment this process still owns (atexit safety net)."""
+    for token in list(_OWNED_SEGMENTS):
+        segment = _OWNED_SEGMENTS.pop(token)
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # already gone (e.g. tracker cleanup raced us)
+            pass
+
+
+def worker_detach_all() -> None:
+    """Worker-side teardown: close attached segments, drop object cache."""
+    _LOADED_OBJECTS.clear()
+    for name in list(_ATTACHED_SEGMENTS):
+        try:
+            _ATTACHED_SEGMENTS.pop(name).close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass

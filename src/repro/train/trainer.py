@@ -50,15 +50,18 @@ def evaluate_accuracy(
     labels: np.ndarray,
     batch_size: int = 256,
 ) -> float:
-    """Top-1 accuracy of ``model`` on an array dataset (eval mode)."""
+    """Top-1 accuracy of ``model`` on an array dataset (eval mode).
+
+    Runs through :func:`repro.attacks.base.predict_logits`, so the
+    forward sweep shards across the parallel backend when one is
+    installed (``--workers N``) with bit-identical results.
+    """
+    from repro.attacks.base import predict_logits
+
     was_training = model.training
     model.eval()
-    correct = 0
-    with no_grad():
-        for start in range(0, len(images), batch_size):
-            batch = Tensor(images[start : start + batch_size])
-            logits = model(batch)
-            correct += int((logits.data.argmax(axis=1) == labels[start : start + batch_size]).sum())
+    logits = predict_logits(model, images, batch_size)
+    correct = int((logits.argmax(axis=1) == np.asarray(labels)).sum())
     if was_training:
         model.train()
     return correct / len(images)

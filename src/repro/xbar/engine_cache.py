@@ -32,6 +32,16 @@ or miss.
 Invalidation is by construction: any change to weights, config, fault
 realization seed or predictor contents changes the key.  Entries are
 evicted LRU beyond ``maxsize``.
+
+Disk tier
+---------
+The process-wide :data:`ENGINE_CACHE` additionally spills programmed
+engines to content-addressed ``{key}.npz`` snapshots (default
+``artifacts/engine_cache/``, override with ``REPRO_XBAR_CACHE_DIR``;
+set it to the empty string/``off`` to disable).  Writes are atomic
+(temp file + ``os.replace``) and loads are fail-open: a corrupt or
+incompatible file is deleted and the engine rebuilt.  ``python -m repro
+cache {stats,clear}`` inspects and clears the tier.
 """
 
 from __future__ import annotations
@@ -40,10 +50,46 @@ import copy
 import dataclasses
 import hashlib
 import json
+import logging
+import os
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
+
+#: Environment override for the disk tier's directory; empty/"off"
+#: disables spilling entirely.
+DISK_CACHE_ENV = "REPRO_XBAR_CACHE_DIR"
+
+_DISABLED_VALUES = {"", "0", "off", "none", "disabled"}
+
+#: Bumped whenever the snapshot layout changes; mismatched files are
+#: ignored (and rebuilt), never misread.
+SNAPSHOT_FORMAT = 1
+
+
+def resolve_disk_dir(override: "str | os.PathLike | None" = None) -> Path | None:
+    """Resolve the disk tier directory (``None`` = disabled).
+
+    ``override`` beats the :data:`DISK_CACHE_ENV` environment variable,
+    which beats the default ``artifacts/engine_cache/`` next to the
+    model zoo.  Resolved lazily per call so tests and the CLI can flip
+    the environment at any time.
+    """
+    if override is not None:
+        return Path(override)
+    env = os.environ.get(DISK_CACHE_ENV)
+    if env is not None:
+        if env.strip().lower() in _DISABLED_VALUES:
+            return None
+        return Path(env)
+    from repro.train.zoo import artifacts_dir
+
+    return artifacts_dir() / "engine_cache"
 
 
 def weight_digest(weight: np.ndarray) -> str:
@@ -105,15 +151,32 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    disk_errors: int = 0
 
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = 0
+        self.disk_hits = self.disk_stores = self.disk_errors = 0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "disk_errors": self.disk_errors,
+        }
 
     def format(self) -> str:
-        return f"{self.hits} hits / {self.misses} misses / {self.evictions} evicted"
+        text = f"{self.hits} hits / {self.misses} misses / {self.evictions} evicted"
+        if self.disk_hits or self.disk_stores or self.disk_errors:
+            text += (
+                f" / disk {self.disk_hits} hits, {self.disk_stores} stores"
+                + (f", {self.disk_errors} errors" if self.disk_errors else "")
+            )
+        return text
 
 
 @dataclass
@@ -123,12 +186,19 @@ class _CacheEntry:
 
 
 class EngineCache:
-    """Bounded LRU cache of programmed :class:`CrossbarEngine` objects."""
+    """Bounded LRU cache of programmed :class:`CrossbarEngine` objects.
 
-    def __init__(self, maxsize: int = 64):
+    ``disk`` selects the persistent tier: ``None``/``False`` keeps the
+    cache memory-only (the default, and what unit tests rely on for
+    exact hit/miss accounting), ``True`` resolves the directory via
+    :func:`resolve_disk_dir` on every access, and a path pins it.
+    """
+
+    def __init__(self, maxsize: int = 64, disk: "bool | str | os.PathLike | None" = None):
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
+        self.disk = disk
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
 
@@ -139,6 +209,13 @@ class EngineCache:
         self._entries.clear()
         self.stats.reset()
 
+    def _disk_dir(self) -> Path | None:
+        if self.disk is None or self.disk is False:
+            return None
+        if self.disk is True:
+            return resolve_disk_dir()
+        return Path(self.disk)
+
     def get_or_build(self, weight, config, predictor, rng, builder):
         """Return a programmed engine for the key, building on miss.
 
@@ -147,7 +224,8 @@ class EngineCache:
         On a hit the cached engine is cloned pristine and ``rng`` is
         fast-forwarded to the post-programming state, so downstream
         consumers of the shared generator see identical draws either
-        way.
+        way.  A miss probes the disk tier (when enabled) before paying
+        the programming cost, and spills freshly built engines.
         """
         key = engine_key(weight, config, predictor, rng)
         entry = self._entries.get(key)
@@ -157,20 +235,117 @@ class EngineCache:
             if rng is not None and entry.rng_state_after is not None:
                 rng.bit_generator.state = copy.deepcopy(entry.rng_state_after)
             return entry.engine.clone_pristine()
+        disk_dir = self._disk_dir()
+        if disk_dir is not None:
+            loaded = self._load_from_disk(disk_dir, key, config, predictor)
+            if loaded is not None:
+                engine, state_after = loaded
+                self.stats.disk_hits += 1
+                if rng is not None and state_after is not None:
+                    rng.bit_generator.state = copy.deepcopy(state_after)
+                self._remember(key, engine, state_after)
+                return engine.clone_pristine()
         self.stats.misses += 1
         engine = builder()
         state_after = (
             copy.deepcopy(rng.bit_generator.state) if rng is not None else None
         )
+        self._remember(key, engine, state_after)
+        if disk_dir is not None:
+            self._store_to_disk(disk_dir, key, engine, state_after)
+        return engine
+
+    def _remember(self, key: str, engine, state_after) -> None:
         self._entries[key] = _CacheEntry(engine=engine, rng_state_after=state_after)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
-        return engine
+
+    # -- disk tier ------------------------------------------------------
+    def _store_to_disk(self, disk_dir: Path, key: str, engine, state_after) -> None:
+        from repro.xbar.simulator import snapshot_engine
+
+        snapshot = snapshot_engine(engine)
+        if snapshot is None:  # predictor handles we don't serialize
+            return
+        arrays, meta = snapshot
+        meta = dict(meta)
+        meta["format"] = SNAPSHOT_FORMAT
+        meta["rng_state_after"] = state_after  # PCG64 ints are JSON-safe
+        payload = dict(arrays)
+        payload["__meta__"] = np.frombuffer(
+            json.dumps(meta, default=str).encode(), dtype=np.uint8
+        )
+        try:
+            disk_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=disk_dir, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, **payload)
+                os.replace(tmp_name, disk_dir / f"{key}.npz")
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+            self.stats.disk_stores += 1
+        except OSError as exc:
+            self.stats.disk_errors += 1
+            logger.warning("engine cache: failed to store %s: %r", key[:16], exc)
+
+    def _load_from_disk(self, disk_dir: Path, key: str, config, predictor):
+        path = disk_dir / f"{key}.npz"
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                meta = json.loads(bytes(npz["__meta__"].tobytes()).decode())
+                if meta.get("format") != SNAPSHOT_FORMAT:
+                    raise ValueError(f"snapshot format {meta.get('format')!r}")
+                arrays = {
+                    name: npz[name] for name in npz.files if name != "__meta__"
+                }
+            from repro.xbar.simulator import restore_engine
+
+            engine = restore_engine(meta, arrays, config, predictor)
+            return engine, meta.get("rng_state_after")
+        except Exception as exc:
+            # Fail open: a corrupt/incompatible snapshot must never take
+            # the pipeline down — delete it and rebuild.
+            self.stats.disk_errors += 1
+            logger.warning("engine cache: dropping bad snapshot %s: %r", path, exc)
+            path.unlink(missing_ok=True)
+            return None
 
 
-#: Process-wide default cache used by ``convert_to_hardware``.
-ENGINE_CACHE = EngineCache(maxsize=64)
+def disk_cache_contents(disk_dir: Path | None = None) -> tuple[list[Path], int]:
+    """Snapshot files of the disk tier and their total size in bytes."""
+    disk_dir = disk_dir if disk_dir is not None else resolve_disk_dir()
+    if disk_dir is None or not disk_dir.is_dir():
+        return [], 0
+    files = sorted(disk_dir.glob("*.npz"))
+    return files, sum(f.stat().st_size for f in files)
+
+
+def clear_disk_cache(disk_dir: Path | None = None) -> int:
+    """Delete every snapshot (and stray temp file); returns count removed."""
+    disk_dir = disk_dir if disk_dir is not None else resolve_disk_dir()
+    if disk_dir is None or not disk_dir.is_dir():
+        return 0
+    removed = 0
+    for pattern in ("*.npz", "*.tmp"):
+        for path in disk_dir.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+    return removed
+
+
+#: Process-wide default cache used by ``convert_to_hardware``; the only
+#: cache with the disk tier enabled by default.
+ENGINE_CACHE = EngineCache(maxsize=64, disk=True)
 
 
 def resolve_cache(spec) -> EngineCache | None:

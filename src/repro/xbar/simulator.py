@@ -1013,6 +1013,49 @@ def _subsample_rows(vectors: np.ndarray, max_rows: int) -> np.ndarray:
     return vectors[idx]
 
 
+def _named_nonideal_layers(model: Module):
+    """Yield ``(name, module)`` for every hardware layer of a model."""
+    for name, module in model.named_modules():
+        if isinstance(module, (NonIdealConv2d, NonIdealLinear)):
+            yield name or type(module).__name__, module
+
+
+def collect_calibration_stats(model: Module, images: np.ndarray) -> dict:
+    """One calibration batch's streaming gain statistics, per layer.
+
+    The worker-side unit of a parallel :func:`calibrate_hardware`: runs
+    a single forward pass over ``images`` with calibration accumulation
+    armed and harvests each layer's partial sums *without* setting any
+    gains.  The parent adds the partials in shard order, which re-plays
+    the exact floating-point addition sequence of the serial sweep.
+    """
+    from repro.autograd.tensor import no_grad
+
+    layers = list(_named_nonideal_layers(model))
+    images = np.asarray(images, dtype=np.float32)
+    for _name, layer in layers:
+        layer.engine.begin_gain_accumulation()
+        layer._pending_calibration = True
+    try:
+        with no_grad():
+            model(Tensor(images))
+    finally:
+        for _name, layer in layers:
+            layer._pending_calibration = False
+    stats = {}
+    for name, layer in layers:
+        engine = layer.engine
+        stats[name] = (
+            engine._gain_sum_aa,
+            engine._gain_sum_ai,
+            engine._gain_rows,
+        )
+        for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows"):
+            if hasattr(engine, attr):
+                delattr(engine, attr)
+    return stats
+
+
 def calibrate_hardware(model: Module, images: np.ndarray, batch_size: int = 64) -> Module:
     """Recalibrate every non-ideal layer's gains on real data.
 
@@ -1023,24 +1066,51 @@ def calibrate_hardware(model: Module, images: np.ndarray, batch_size: int = 64) 
     of the sweep.  Mirrors standard analog-accelerator bring-up with a
     calibration set — and unlike a single-batch refit, the calibration
     coverage is exactly the set you pass in.
+
+    With a parallel backend installed the batches are sharded across
+    pool workers (one calibration batch per shard); the partial sums
+    come back in shard order, so the fitted gains are bit-identical to
+    the serial sweep.
     """
     from repro.autograd.tensor import no_grad
+    from repro.parallel.backend import ShardTask, get_backend
+    from repro.parallel.scheduler import plan_shards
 
-    layers = [
-        module
-        for _name, module in model.named_modules()
-        if isinstance(module, (NonIdealConv2d, NonIdealLinear))
-    ]
+    layers = list(_named_nonideal_layers(model))
     images = np.asarray(images, dtype=np.float32)
-    for layer in layers:
+    shards = plan_shards(len(images), batch_size)
+    backend = get_backend()
+    if layers and backend.workers > 1 and len(shards) > 1:
+        tasks = [
+            ShardTask("calibrate", {"images": images[shard.slice]})
+            for shard in shards
+        ]
+        with _span("hardware/calibrate"):
+            stats = backend.run_tasks(model, tasks)
+        engines = {name: layer.engine for name, layer in layers}
+        for engine in engines.values():
+            engine.begin_gain_accumulation()
+        for shard_stats in stats:  # strictly in shard order
+            for name, (aa, ai, rows) in shard_stats.items():
+                engine = engines[name]
+                engine._gain_sum_aa += aa
+                engine._gain_sum_ai += ai
+                engine._gain_rows += rows
+        for engine in engines.values():
+            engine.finish_gain_accumulation()
+        # The shared snapshot holds pre-calibration gains; drop it so
+        # later parallel maps re-share the calibrated model.
+        backend.invalidate(model)
+        return model
+    for _name, layer in layers:
         layer.engine.begin_gain_accumulation()
         layer._pending_calibration = True
     try:
         with no_grad():
-            for start in range(0, len(images), batch_size):
-                model(Tensor(images[start : start + batch_size]))
+            for shard in shards:
+                model(Tensor(images[shard.slice]))
     finally:
-        for layer in layers:
+        for _name, layer in layers:
             layer._pending_calibration = False
             layer.engine.finish_gain_accumulation()
     return model
@@ -1153,3 +1223,136 @@ def convert_to_hardware(
         if calibration_images is not None:
             calibrate_hardware(hardware, calibration_images)
     return hardware
+
+
+# ----------------------------------------------------------------------
+# Engine snapshots (disk tier of the engine cache).
+# ----------------------------------------------------------------------
+
+
+def snapshot_engine(engine: CrossbarEngine) -> "tuple[dict, dict] | None":
+    """Flatten a programmed engine into ``(arrays, meta)`` for ``.npz``.
+
+    Only array-shaped predictor handles are supported: plain
+    conductance matrices (Ideal/Noise predictors) and GENIEx bank
+    handles (bias + conductances).  CircuitPredictor handles are lists
+    of ragged tuples — snapshotting those is not worth the complexity,
+    so the function returns ``None`` and the caller skips the disk
+    tier for that engine.
+    """
+    import dataclasses
+
+    from repro.xbar.geniex import _BankHandle
+
+    arrays: dict[str, np.ndarray] = {}
+    bank_meta = []
+    for i, bank in enumerate(engine.banks):
+        handle = bank.handle
+        if isinstance(handle, np.ndarray):
+            kind = "array"
+            arrays[f"b{i}_handle"] = handle
+        elif isinstance(handle, _BankHandle):
+            kind = "geniex"
+            arrays[f"b{i}_bias"] = handle.bias
+            arrays[f"b{i}_cond"] = handle.conductances
+        else:
+            return None
+        arrays[f"b{i}_colweight"] = bank.col_weight
+        if bank.ideal_bias is not None:
+            arrays[f"b{i}_ideal"] = bank.ideal_bias
+        # Chunk tables: int fields and float fields, one row per chunk.
+        arrays[f"b{i}_chunks_i"] = np.array(
+            [
+                [c.col_slice.start, c.col_slice.stop, c.slice_index, c.offset, c.width]
+                for c in bank.chunks
+            ],
+            dtype=np.int64,
+        )
+        arrays[f"b{i}_chunks_f"] = np.array(
+            [[c.sign, c.weight] for c in bank.chunks], dtype=np.float64
+        )
+        bank_meta.append(
+            {
+                "kind": kind,
+                "row_start": bank.row_slice.start,
+                "row_stop": bank.row_slice.stop,
+                "total_cols": bank.total_cols,
+                "has_ideal": bank.ideal_bias is not None,
+            }
+        )
+    arrays["pristine_gain"] = engine._pristine_gain
+    meta = {
+        "out_features": engine.out_features,
+        "in_features": engine.in_features,
+        "w_scale": engine.w_scale,
+        "fault_summary": dataclasses.asdict(engine.fault_summary),
+        "banks": bank_meta,
+    }
+    return arrays, meta
+
+
+def restore_engine(
+    meta: dict,
+    arrays: dict,
+    config: CrossbarConfig,
+    predictor: ColumnPredictor,
+) -> CrossbarEngine:
+    """Rebuild a :func:`snapshot_engine` engine, bit-identical in use.
+
+    The restored engine carries the pristine (programming-time) gain;
+    callers re-run any activation calibration exactly as they would on
+    a freshly built engine.  ``zero_currents`` caches regenerate
+    lazily and deterministically.
+    """
+    engine = CrossbarEngine.__new__(CrossbarEngine)
+    engine.config = config
+    engine.predictor = predictor
+    engine.out_features = int(meta["out_features"])
+    engine.in_features = int(meta["in_features"])
+    engine.w_scale = float(meta["w_scale"])
+    engine._rng = np.random.default_rng(0)
+    engine.kernel = default_kernel()
+    engine.perf = PerfCounters()
+    engine.fault_summary = FaultSummary(**meta["fault_summary"])
+    engine._guard_trips = 0
+    engine._guard_warned = False
+    engine.banks = []
+    for i, bank_meta in enumerate(meta["banks"]):
+        if bank_meta["kind"] == "array":
+            handle: object = arrays[f"b{i}_handle"]
+        else:
+            from repro.xbar.geniex import _BankHandle
+
+            handle = _BankHandle(
+                bias=arrays[f"b{i}_bias"], conductances=arrays[f"b{i}_cond"]
+            )
+        chunks_i = arrays[f"b{i}_chunks_i"]
+        chunks_f = arrays[f"b{i}_chunks_f"]
+        chunks = [
+            _BankChunk(
+                col_slice=slice(int(ci[0]), int(ci[1])),
+                slice_index=int(ci[2]),
+                sign=float(cf[0]),
+                offset=int(ci[3]),
+                width=int(ci[4]),
+                weight=float(cf[1]),
+            )
+            for ci, cf in zip(chunks_i, chunks_f)
+        ]
+        engine.banks.append(
+            _TileRowBank(
+                handle=handle,
+                row_slice=slice(
+                    int(bank_meta["row_start"]), int(bank_meta["row_stop"])
+                ),
+                chunks=chunks,
+                total_cols=int(bank_meta["total_cols"]),
+                col_weight=arrays[f"b{i}_colweight"],
+                ideal_bias=arrays[f"b{i}_ideal"] if bank_meta["has_ideal"] else None,
+            )
+        )
+    engine._adc_full_scale = config.rows * config.device.g_max * config.device.v_read
+    pristine = np.asarray(arrays["pristine_gain"], dtype=np.float64)
+    engine.gain = pristine.copy()
+    engine._pristine_gain = pristine.copy()
+    return engine

@@ -9,6 +9,8 @@ Test-scale principles:
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -44,6 +46,26 @@ def pytest_collection_modifyitems(config: pytest.Config, items: list) -> None:
     for item in items:
         if "slow" in item.keywords:
             item.add_marker(skip_slow)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_engine_cache():
+    """Disable the engine cache's disk tier for the whole suite.
+
+    Tests assert exact hit/miss accounting and must not observe (or
+    pollute) snapshots in ``artifacts/engine_cache``.  Disk-tier tests
+    opt back in with an explicit ``EngineCache(disk=tmp_path)`` or by
+    monkeypatching the environment.
+    """
+    from repro.xbar.engine_cache import DISK_CACHE_ENV
+
+    previous = os.environ.get(DISK_CACHE_ENV)
+    os.environ[DISK_CACHE_ENV] = ""
+    yield
+    if previous is None:
+        os.environ.pop(DISK_CACHE_ENV, None)
+    else:
+        os.environ[DISK_CACHE_ENV] = previous
 
 
 @pytest.fixture
