@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Temporal-drift overhead benchmark: BENCH_16_drift.json.
+
+The drift layer's hot-path contract is that serving on a drift-enabled
+chip costs only a pulse-counter increment per engine call — the
+conductance perturbation happens exclusively at explicit sync points.
+This bench holds that to a number:
+
+* **serve overhead** — ``evaluate_accuracy`` of a non-ideal ResNet-20
+  on a static chip vs the same chip with drift enabled but unsynced.
+  The two runs must be **bit-identical** (zero applied drift is the
+  exact identity, no float ops) and the drift run is budgeted at <10%
+  wall-time overhead.
+* **sync cost** — one ``sync_model_drift`` after the sweep (the bank
+  rebuild at the new epoch), and a second no-op sync at the same
+  epoch.  Informational: syncs are per-block maintenance, not
+  per-query.
+
+Scale via ``REPRO_BENCH_PROFILE`` (tiny | small | default; defaults to
+``tiny`` for CI).  The overhead budget is recorded, not asserted —
+single-core CI wall times are too noisy to gate on; trends are tracked
+across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.lifecycle import sync_model_drift, total_pulses  # noqa: E402
+from repro.nn.resnet import resnet20  # noqa: E402
+from repro.obs.sink import runtime_stamp  # noqa: E402
+from repro.train.trainer import evaluate_accuracy  # noqa: E402
+from repro.xbar.drift import DriftConfig, with_drift  # noqa: E402
+from repro.xbar.engine_cache import config_digest  # noqa: E402
+from repro.xbar.presets import crossbar_preset, load_or_train_geniex  # noqa: E402
+from repro.xbar.simulator import convert_to_hardware  # noqa: E402
+
+PRESET = "32x32_100k"
+OVERHEAD_BUDGET = 0.10  # <10% serve-time overhead vs the static chip
+
+PROFILES = {
+    # (eval images, batch size, timing repeats)
+    "tiny": (16, 4, 2),
+    "small": (64, 8, 3),
+    "default": (256, 16, 3),
+}
+
+
+def profile_name() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+
+def best_of(fn, repeats: int):
+    """(min wall time, last result) over ``repeats`` runs."""
+    times, result = [], None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def main() -> int:
+    profile = profile_name()
+    if profile not in PROFILES:
+        print(f"unknown REPRO_BENCH_PROFILE {profile!r}; use one of {sorted(PROFILES)}")
+        return 2
+    eval_size, batch_size, repeats = PROFILES[profile]
+    static_config = crossbar_preset(PRESET)
+    drift = DriftConfig(
+        epoch_pulses=4096,
+        retention_nu=0.12,
+        retention_sigma=0.3,
+        read_disturb_rate=1e-5,
+        seed=13,
+    )
+    drift_config = with_drift(static_config, drift)
+    geniex = load_or_train_geniex(static_config)
+    print(f"[bench_drift] profile={profile} preset={PRESET} drift={drift.tag()}")
+
+    model = resnet20(num_classes=10, width=8)
+    model.eval()
+    rng = np.random.default_rng(0)
+    x = rng.random((eval_size, 3, 16, 16)).astype(np.float32)
+    y = (np.arange(eval_size) % 10).astype(np.int64)
+
+    def build(config):
+        return convert_to_hardware(
+            model, config, predictor=geniex, rng=np.random.default_rng(2),
+            engine_cache=False,
+        )
+
+    static_hw = build(static_config)
+    drift_hw = build(drift_config)
+
+    static_seconds, static_acc = best_of(
+        lambda: evaluate_accuracy(static_hw, x, y, batch_size=batch_size), repeats
+    )
+    drift_seconds, drift_acc = best_of(
+        lambda: evaluate_accuracy(drift_hw, x, y, batch_size=batch_size), repeats
+    )
+    identical = static_acc == drift_acc
+    overhead = drift_seconds / static_seconds - 1.0 if static_seconds > 0 else 0.0
+    print(
+        f"[bench_drift] serve: static {static_seconds:.3f} s, drift-enabled "
+        f"{drift_seconds:.3f} s ({overhead * 100:+.1f}% overhead, "
+        f"identical={identical}, {total_pulses(drift_hw)} pulses counted)"
+    )
+    if not identical:
+        print("[bench_drift] ERROR: unsynced drift chip diverged from static")
+        return 1
+
+    sync_seconds, changed = best_of(lambda: sync_model_drift(drift_hw), 1)
+    noop_seconds, rechanged = best_of(lambda: sync_model_drift(drift_hw), 1)
+    print(
+        f"[bench_drift] sync: rebuild {sync_seconds:.3f} s "
+        f"({len(changed)} engines), same-epoch no-op {noop_seconds * 1e3:.2f} ms "
+        f"({len(rechanged)} engines)"
+    )
+
+    payload = runtime_stamp(
+        extra={
+            "bench": "drift",
+            "profile": profile,
+            "preset": PRESET,
+            "drift": drift.tag(),
+            "config_digest": config_digest(drift_config),
+            "workloads": {
+                "eval_size": eval_size,
+                "batch_size": batch_size,
+                "repeats": repeats,
+            },
+        }
+    )
+    payload.update(
+        {
+            "serve": {
+                "static_seconds": static_seconds,
+                "drift_seconds": drift_seconds,
+                "overhead": overhead,
+                "overhead_budget": OVERHEAD_BUDGET,
+                "within_budget": overhead < OVERHEAD_BUDGET,
+                "bit_identical": identical,
+                "pulses_counted": int(total_pulses(drift_hw)),
+            },
+            "sync": {
+                "rebuild_seconds": sync_seconds,
+                "rebuilt_engines": len(changed),
+                "noop_seconds": noop_seconds,
+                "noop_engines": len(rechanged),
+            },
+        }
+    )
+    out_path = REPO_ROOT / "BENCH_16_drift.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_drift] wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,18 @@ python -m pytest -x -q tests/test_parallel.py -k identical
 python -m repro cache stats
 
 echo
+echo "=== drift smoke: recalibration scheduler + schema validation ==="
+python -m repro drift --fast --no-staleness --obs=artifacts/runs/ci-drift \
+    | tee artifacts/runs/ci-drift-stdout.txt
+python -m repro obs validate artifacts/runs/ci-drift
+grep -E "scheduler: .*recalibrations=[1-9]" artifacts/runs/ci-drift-stdout.txt \
+    > /dev/null || { echo "ci: drift smoke never recalibrated"; exit 1; }
+
+echo
+echo "=== bench smoke: drift-counter overhead (tiny profile) ==="
+REPRO_BENCH_PROFILE=tiny python scripts/bench_drift.py
+
+echo
 echo "=== bench smoke: hot-path microbenchmark (tiny profile) ==="
 REPRO_BENCH_PROFILE=tiny python scripts/bench_perf.py
 

@@ -11,6 +11,8 @@ table4      run the hardware-in-loop attack table for one task
 fig         run one epsilon-sweep figure (2/3/4/6)
 energy      crossbar-vs-digital energy estimate for a task's victim
 reliability clean/adversarial accuracy vs stuck-cell rate and drift
+drift       accuracy vs queries served under temporal conductance
+            drift, with and without the online recalibration scheduler
 verify      run the numerical verification catalog (oracle + invariants)
 obs         inspect recorded ``--obs`` runs (summarize / validate / list)
 cache       inspect/clear the programmed-engine disk cache
@@ -157,6 +159,32 @@ def cmd_reliability(args) -> int:
     return 0
 
 
+def cmd_drift(args) -> int:
+    from repro.experiments import drift
+    from repro.lifecycle import RecalibrationPolicy
+
+    lab = _make_lab(args)
+    policy = None
+    if args.max_attempts is not None:
+        policy = RecalibrationPolicy(max_attempts=args.max_attempts)
+    drift.run(
+        lab,
+        task=args.task,
+        preset=args.preset,
+        blocks=args.blocks,
+        epoch_pulses=args.epoch_pulses,
+        retention_nu=args.nu,
+        retention_sigma=args.sigma,
+        read_disturb_rate=args.read_disturb,
+        stuck_rate=args.stuck_rate,
+        paper_k=args.paper_eps,
+        hil_iterations=3 if args.fast else None,
+        with_staleness=not args.no_staleness,
+        policy=policy,
+    ).print()
+    return 0
+
+
 def cmd_energy(args) -> int:
     from repro.xbar.energy import estimate_model
 
@@ -229,9 +257,22 @@ def cmd_cache(args) -> int:
     print(f"process cache: {len(ENGINE_CACHE)} engine(s), {ENGINE_CACHE.stats.format()}")
     if disk_dir is None:
         print("disk tier: disabled (REPRO_XBAR_CACHE_DIR is empty/off)")
-    else:
-        print(f"disk tier: {disk_dir}")
-        print(f"  {len(files)} snapshot(s), {total_bytes / 1e6:.1f} MB")
+        return 0
+    print(f"disk tier: {disk_dir}")
+    print(f"  {len(files)} snapshot(s), {total_bytes / 1e6:.1f} MB")
+    from repro.xbar.engine_cache import disk_cache_entries
+
+    for entry in disk_cache_entries(disk_dir):
+        if "error" in entry:
+            print(f"  {entry['key'][:16]}…  unreadable: {entry['error']}")
+            continue
+        age = entry["age_seconds"]
+        age_text = "age unknown" if age is None else f"age {age:.0f}s"
+        print(
+            f"  {entry['key'][:16]}…  {entry['bytes'] / 1e6:>6.2f} MB  "
+            f"format v{entry['format']}  drift epoch {entry['epoch']} "
+            f"({entry['pulses']} pulses)  {age_text}"
+        )
     return 0
 
 
@@ -310,6 +351,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--paper-eps", dest="paper_eps", type=float, default=2.0,
                    help="attack budget in paper units (k/255)")
     p.set_defaults(func=cmd_reliability)
+
+    p = sub.add_parser("drift")
+    common(p)
+    p.add_argument(
+        "--preset",
+        default="64x64_100k",
+        choices=["64x64_300k", "32x32_100k", "64x64_100k"],
+    )
+    p.add_argument("--blocks", type=int, default=6,
+                   help="query blocks to serve per arm")
+    p.add_argument("--epoch-pulses", dest="epoch_pulses", type=int, default=None,
+                   help="read pulses per drift epoch (default: eval size / 2)")
+    p.add_argument("--nu", type=float, default=0.12,
+                   help="retention power-law exponent")
+    p.add_argument("--sigma", type=float, default=0.3,
+                   help="lognormal spread of per-cell retention exponents")
+    p.add_argument("--read-disturb", dest="read_disturb", type=float, default=1e-5,
+                   help="per-epoch read-disturb decay rate")
+    p.add_argument("--stuck-rate", dest="stuck_rate", type=float, default=0.0,
+                   help="per-epoch abrupt stuck-at conversion probability")
+    p.add_argument("--paper-eps", dest="paper_eps", type=float, default=2.0,
+                   help="staleness attack budget in paper units (k/255)")
+    p.add_argument("--no-staleness", dest="no_staleness", action="store_true",
+                   help="skip the attacker-staleness arm")
+    p.add_argument("--max-attempts", dest="max_attempts", type=int, default=None,
+                   help="override the scheduler's recovery attempts before escalation")
+    p.set_defaults(func=cmd_drift)
 
     p = sub.add_parser("verify")
     p.add_argument("--seed", type=int, default=1234,

@@ -33,6 +33,7 @@ from repro.experiments import (
     fig6,
     extensions,
     reliability,
+    drift,
 )
 
 __all__ = [
@@ -53,4 +54,5 @@ __all__ = [
     "fig6",
     "extensions",
     "reliability",
+    "drift",
 ]

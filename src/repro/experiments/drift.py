@@ -1,0 +1,305 @@
+"""Temporal drift under sustained traffic, with online recalibration.
+
+The reliability sweep (:mod:`repro.experiments.reliability`) treats
+retention decay as a *static* fault population frozen at programming
+time.  This experiment models the deployment view: every served query
+block advances each engine's pulse counter, conductances decay as a
+pure function of ``(chip_seed, query_count)`` (:mod:`repro.xbar.drift`),
+and accuracy is tracked as a function of queries served.
+
+Three arms, all on bit-identically programmed chips:
+
+* **static** — drift is synced between query blocks but nobody
+  intervenes: the accuracy-vs-queries curve shows the raw decay.
+* **recal** — a :class:`repro.lifecycle.RecalibrationScheduler` runs
+  between blocks: health probes trigger gain refits and selective tile
+  reprogramming, with bounded retries and guard escalation.
+* **staleness** — the attacker's view of the same physics: a
+  hardware-in-loop PGD attack crafted against the fresh chip at t0 is
+  re-evaluated after the chip has drifted to t1.  If the paper's
+  intrinsic-robustness argument extends over time, the *stale* attack
+  should under-perform a freshly crafted one — the drifting chip is a
+  moving target.
+
+Determinism: serving, probing and recalibration are pure functions of
+the chip state and fixed batches, so every curve is bit-reproducible
+at any ``--workers N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.hil import hil_whitebox_pgd
+from repro.core.evaluation import HardwareLab, adversarial_accuracy
+from repro.experiments.config import ExperimentResult, paper_eps, traced_experiment
+from repro.lifecycle import (
+    RecalibrationPolicy,
+    RecalibrationScheduler,
+    drift_status,
+    sync_model_drift,
+)
+from repro.nn.module import Module
+from repro.obs import runtime as _runtime
+from repro.train.trainer import evaluate_accuracy
+from repro.xbar.drift import DriftConfig, with_drift
+from repro.xbar.presets import crossbar_preset
+from repro.xbar.simulator import convert_to_hardware
+
+
+def _event(event_type: str, **fields) -> None:
+    if _runtime.active() is not None:
+        _runtime.event(event_type, **fields)
+
+
+def measure_block_pulses(lab: HardwareLab, task: str, preset: str) -> int:
+    """Max per-engine read pulses one served eval block generates.
+
+    Engines age at wildly different rates — a conv engine sees one
+    pulse per im2col position, a classifier head one per image — so the
+    drift clock is calibrated against the fastest-aging engine of the
+    *static* reference hardware (cached by the lab, so this costs one
+    forward sweep).
+    """
+    from repro.xbar.simulator import _named_nonideal_layers
+
+    reference = lab.hardware(task, preset)
+    layers = list(_named_nonideal_layers(reference))
+    x, y = lab.eval_set(task)
+    before = {name: layer.engine.pulse_count for name, layer in layers}
+    evaluate_accuracy(reference, x, y)
+    return max(
+        layer.engine.pulse_count - before[name] for name, layer in layers
+    )
+
+
+def _model_epoch(model) -> int:
+    """Representative drift epoch of a model (max over its engines)."""
+    return max(
+        (state["epoch"] for state in drift_status(model).values()), default=0
+    )
+
+
+def build_drifting_hardware(
+    lab: HardwareLab, task: str, preset: str, drift: DriftConfig
+) -> Module:
+    """Convert the task victim onto one drift-enabled chip.
+
+    Conversion is deterministic, so calling this twice yields two
+    bit-identically programmed chips whose temporal trajectories then
+    evolve independently — exactly what comparing scheduler arms needs.
+    """
+    config = with_drift(crossbar_preset(preset), drift)
+    return convert_to_hardware(
+        lab.victim(task),
+        config,
+        predictor=lab.geniex(preset),
+        calibration_images=lab.calibration_images(task),
+    )
+
+
+def _serve_curve(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    blocks: int,
+    arm: str,
+    scheduler: RecalibrationScheduler | None = None,
+) -> list[dict]:
+    """Accuracy after each served query block (block 0 = fresh chip).
+
+    Between blocks the chip ages: either a bare drift sync (``static``)
+    or one scheduler tick (``recal``) which may probe, refit or
+    reprogram.  The first point is always the fresh-chip accuracy —
+    conductances only change at explicit sync points, never mid-block.
+    """
+    points = []
+    for block in range(blocks):
+        if block:
+            if scheduler is not None:
+                scheduler.tick()
+            else:
+                sync_model_drift(model)
+        accuracy = evaluate_accuracy(model, x, y)
+        point = {
+            "arm": arm,
+            "block": block,
+            "queries": block * len(x),
+            "epoch": _model_epoch(model),
+            "accuracy": accuracy,
+        }
+        points.append(point)
+        _event(
+            "drift_point",
+            arm=arm,
+            queries=int(point["queries"]),
+            accuracy=float(accuracy),
+        )
+    return points
+
+
+def _staleness_probe(
+    lab: HardwareLab,
+    task: str,
+    preset: str,
+    drift: DriftConfig,
+    blocks: int,
+    epsilon: float,
+    hil_iterations: int,
+) -> dict:
+    """HIL-PGD surrogate fit at t0, evaluated at t1 (attacker staleness).
+
+    A fresh chip is attacked hardware-in-loop, then aged by ``blocks``
+    of plain traffic; the t0 adversarial set is re-evaluated on the
+    drifted chip and compared against an attack re-crafted at t1.
+    """
+    hardware = build_drifting_hardware(lab, task, preset, drift)
+    x, y = lab.eval_set(task)
+    batch = lab.scale.batch_size
+
+    t0 = _model_epoch(hardware)
+    crafted = hil_whitebox_pgd(
+        hardware, x, y, epsilon=epsilon, iterations=hil_iterations, batch_size=batch
+    )
+    adv_t0 = adversarial_accuracy(hardware, crafted.x_adv, y)
+    _event("staleness", crafted_at=t0, evaluated_at=t0, adv_accuracy=float(adv_t0))
+
+    for _block in range(blocks):
+        evaluate_accuracy(hardware, x, y)
+        sync_model_drift(hardware)
+    t1 = _model_epoch(hardware)
+
+    adv_stale = adversarial_accuracy(hardware, crafted.x_adv, y)
+    _event(
+        "staleness", crafted_at=t0, evaluated_at=t1, adv_accuracy=float(adv_stale)
+    )
+
+    recrafted = hil_whitebox_pgd(
+        hardware, x, y, epsilon=epsilon, iterations=hil_iterations, batch_size=batch
+    )
+    adv_t1 = adversarial_accuracy(hardware, recrafted.x_adv, y)
+    _event("staleness", crafted_at=t1, evaluated_at=t1, adv_accuracy=float(adv_t1))
+
+    return {
+        "t0": t0,
+        "t1": t1,
+        "adv_t0": adv_t0,
+        "adv_stale": adv_stale,
+        "adv_t1": adv_t1,
+    }
+
+
+@traced_experiment("drift")
+def run(
+    lab: HardwareLab,
+    task: str = "cifar10",
+    preset: str = "64x64_100k",
+    blocks: int = 6,
+    epoch_pulses: int | None = None,
+    retention_nu: float = 0.12,
+    retention_sigma: float = 0.3,
+    retention_t0: float | None = None,
+    read_disturb_rate: float = 1e-5,
+    stuck_rate: float = 0.0,
+    drift_seed: int = 13,
+    paper_k: float = 2.0,
+    hil_iterations: int | None = None,
+    with_staleness: bool = True,
+    policy: RecalibrationPolicy | None = None,
+) -> ExperimentResult:
+    """Accuracy vs queries served, with and without recalibration.
+
+    ``epoch_pulses`` defaults to half the *measured* per-block pulse
+    budget of the fastest-aging engine, so every served block advances
+    the drift clock by about two epochs.  ``stuck_rate`` defaults to
+    zero: retention decay and read disturb are fully reversible by
+    reprogramming, so the scheduler arm can recover to the fresh-chip
+    accuracy exactly.
+    """
+    x, y = lab.eval_set(task)
+    if epoch_pulses is None:
+        epoch_pulses = max(1, measure_block_pulses(lab, task, preset) // 2)
+    if retention_t0 is None:
+        # Anchor the power law at one epoch: the programmed value is
+        # "measured" after the first epoch of service, so age e decays
+        # by ((e + 1)/1)^-nu per cell — gradual over a few epochs.  A
+        # t0 of 1 *pulse* (the raw config default) would wipe the chip
+        # within its first epoch at realistic pulse budgets.
+        retention_t0 = float(epoch_pulses)
+    drift = DriftConfig(
+        epoch_pulses=epoch_pulses,
+        retention_nu=retention_nu,
+        retention_sigma=retention_sigma,
+        retention_t0=retention_t0,
+        read_disturb_rate=read_disturb_rate,
+        stuck_rate=stuck_rate,
+        seed=drift_seed,
+    )
+    hil_iterations = hil_iterations or lab.scale.pgd_iterations
+    epsilon = paper_eps(task, paper_k)
+
+    result = ExperimentResult(
+        name="Drift",
+        headline=(
+            f"accuracy vs queries under conductance drift ({task}, {preset}, "
+            f"{blocks} blocks x {len(x)} queries, {drift.tag()})"
+        ),
+    )
+
+    static_model = build_drifting_hardware(lab, task, preset, drift)
+    static_curve = _serve_curve(static_model, x, y, blocks, "static")
+
+    recal_model = build_drifting_hardware(lab, task, preset, drift)
+    scheduler = RecalibrationScheduler(
+        recal_model,
+        calibration_images=lab.calibration_images(task),
+        probe_images=lab.calibration_images(task),
+        policy=policy,
+    )
+    recal_curve = _serve_curve(recal_model, x, y, blocks, "recal", scheduler)
+
+    fresh = static_curve[0]["accuracy"]
+    result.rows.append(f"{'queries':>9} {'epoch':>6} {'static':>8} {'recal':>8}")
+    for s_point, r_point in zip(static_curve, recal_curve):
+        result.rows.append(
+            f"{s_point['queries']:>9} {s_point['epoch']:>6} "
+            f"{s_point['accuracy'] * 100:>7.1f}% {r_point['accuracy'] * 100:>7.1f}%"
+        )
+    stats = scheduler.stats()
+    result.rows.append(
+        "scheduler: "
+        + " ".join(f"{key}={value}" for key, value in stats.items())
+    )
+    final_static = static_curve[-1]["accuracy"]
+    final_recal = recal_curve[-1]["accuracy"]
+    recovery_gap = fresh - final_recal
+    result.rows.append(
+        f"fresh {fresh * 100:.1f}% | final static {final_static * 100:.1f}% "
+        f"(drop {(fresh - final_static) * 100:+.1f}pp) | final recal "
+        f"{final_recal * 100:.1f}% (gap to fresh {recovery_gap * 100:+.1f}pp)"
+    )
+    result.data.update(
+        {
+            "drift": drift.tag(),
+            "static_curve": static_curve,
+            "recal_curve": recal_curve,
+            "scheduler": stats,
+            "fresh_accuracy": fresh,
+            "final_static": final_static,
+            "final_recal": final_recal,
+            "recovery_gap": recovery_gap,
+        }
+    )
+
+    if with_staleness:
+        staleness = _staleness_probe(
+            lab, task, preset, drift, blocks, epsilon, hil_iterations
+        )
+        result.rows.append(
+            f"attacker staleness (HIL PGD eps={paper_k:g}/255): crafted@t{staleness['t0']} "
+            f"-> {staleness['adv_t0'] * 100:.1f}% | stale@t{staleness['t1']} "
+            f"-> {staleness['adv_stale'] * 100:.1f}% | recrafted@t{staleness['t1']} "
+            f"-> {staleness['adv_t1'] * 100:.1f}%"
+        )
+        result.data["staleness"] = staleness
+    return result

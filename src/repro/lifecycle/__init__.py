@@ -1,0 +1,42 @@
+"""Serving-lifecycle management for converted hardware models.
+
+The simulator answers "what does this chip compute *now*"; this package
+owns "what happens to it over a deployment": accumulated read activity
+ages every engine (:mod:`repro.xbar.drift`), the health probe measures
+how far the analog path has strayed from the digital reference
+(:mod:`repro.lifecycle.health`), and the recalibration scheduler turns
+those measurements into bounded, deterministic maintenance actions —
+gain refits, selective tile reprogramming, and a guard-mode escalation
+path when recovery fails (:mod:`repro.lifecycle.scheduler`).
+
+Everything here operates between query blocks, never inside one: the
+hot path only counts pulses, so any parallel map runs at a frozen drift
+epoch and serial vs ``--workers N`` execution stays bit-identical.
+"""
+
+from repro.lifecycle.health import LayerHealth, probe_health
+from repro.lifecycle.ops import (
+    drift_status,
+    reprogram_model,
+    sync_model_drift,
+    total_pulses,
+)
+from repro.lifecycle.scheduler import (
+    RecalibrationError,
+    RecalibrationPolicy,
+    RecalibrationScheduler,
+    TickReport,
+)
+
+__all__ = [
+    "LayerHealth",
+    "probe_health",
+    "drift_status",
+    "reprogram_model",
+    "sync_model_drift",
+    "total_pulses",
+    "RecalibrationError",
+    "RecalibrationPolicy",
+    "RecalibrationScheduler",
+    "TickReport",
+]

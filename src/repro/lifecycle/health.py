@@ -1,0 +1,94 @@
+"""In-band health probing of a converted hardware model.
+
+A deployed analog accelerator cannot compare itself against a digital
+reference on live traffic — but it *can* run a small held-out probe
+batch through both paths during a maintenance window.  That is what
+:func:`probe_health` models: one forward pass over the probe images
+with every non-ideal layer's ``_probe_health`` flag armed, collecting
+per-layer analog-vs-ideal deviation (the per-layer NF decomposition),
+ADC clip rates (via the engine's local clip accumulator — no obs
+session required) and cumulative guard trips.
+
+The probe deliberately *serves* the probe batch through the normal
+analog path, so it ages the chip like any other traffic (deterministic:
+the pulse counter advances by the probe size every time) and runs
+serially in the parent process regardless of the installed backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.xbar.simulator import _named_nonideal_layers
+
+
+@dataclass(frozen=True)
+class LayerHealth:
+    """One layer's health measurements from a single probe pass.
+
+    ``adc_clip_rate`` is ``None`` when the config has no ADC (nothing
+    to clip).  ``guard_trips`` is the engine's *cumulative* count — the
+    scheduler differences successive probes to get per-interval trips.
+    """
+
+    layer: str
+    rmse: float
+    rel_dev: float
+    adc_clip_rate: float | None
+    guard_trips: int
+    pulse_count: int
+    drift_epoch: int
+
+    def as_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "rmse": self.rmse,
+            "rel_dev": self.rel_dev,
+            "adc_clip_rate": self.adc_clip_rate,
+            "guard_trips": self.guard_trips,
+            "pulse_count": self.pulse_count,
+            "drift_epoch": self.drift_epoch,
+        }
+
+
+def probe_health(model, images: np.ndarray) -> dict[str, LayerHealth]:
+    """Measure per-layer analog health on a probe batch.
+
+    Arms every non-ideal layer's probe flag, forwards ``images`` once
+    under ``no_grad`` and harvests the per-engine measurements.  Safe
+    to call with an obs session active (the deviation then records to
+    both consumers from the same batch).
+    """
+    layers = list(_named_nonideal_layers(model))
+    if not layers:
+        return {}
+    images = np.asarray(images, dtype=np.float32)
+    for _name, layer in layers:
+        layer._probe_health = True
+        layer.engine.last_probe = None
+        layer.engine._probe_clip = [0, 0]
+    try:
+        with no_grad():
+            model(Tensor(images))
+    finally:
+        health: dict[str, LayerHealth] = {}
+        for name, layer in layers:
+            engine = layer.engine
+            probe = engine.last_probe or (0.0, 0.0)
+            clipped, samples = engine._probe_clip or (0, 0)
+            layer._probe_health = False
+            engine._probe_clip = None
+            engine.last_probe = None
+            health[name] = LayerHealth(
+                layer=name,
+                rmse=float(probe[0]),
+                rel_dev=float(probe[1]),
+                adc_clip_rate=(clipped / samples) if samples else None,
+                guard_trips=engine.guard_trips,
+                pulse_count=int(engine.pulse_count),
+                drift_epoch=engine.drift_epoch,
+            )
+    return health

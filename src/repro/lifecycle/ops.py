@@ -1,0 +1,73 @@
+"""Model-level drift operations: sync, status, reprogram.
+
+The per-engine primitives live on :class:`~repro.xbar.simulator.
+CrossbarEngine`; these helpers apply them across every non-ideal layer
+of a converted model and keep the parallel backend's shared snapshot
+coherent (any bank change invalidates the share so the next sharded map
+re-ships the aged chip).
+"""
+
+from __future__ import annotations
+
+from repro.obs import health as _obs
+from repro.parallel.backend import get_backend
+from repro.xbar.simulator import _named_nonideal_layers
+
+
+def total_pulses(model) -> int:
+    """Accumulated read pulses across every engine of a model."""
+    return sum(
+        layer.engine.pulse_count for _name, layer in _named_nonideal_layers(model)
+    )
+
+
+def sync_model_drift(model) -> list[str]:
+    """Apply each engine's pending drift epoch; returns changed layers.
+
+    The single point where a serving model ages: call it between query
+    blocks (the scheduler does).  When any engine's banks changed, the
+    parallel backend's shared snapshot is dropped so workers re-load
+    the drifted chip, and a ``drift_sync`` event is recorded per layer
+    when an obs run is active.
+    """
+    changed: list[str] = []
+    for name, layer in _named_nonideal_layers(model):
+        if layer.engine.sync_drift():
+            changed.append(name)
+            _obs.record_drift_sync(
+                _obs.layer_label(layer, fallback=name), layer.engine.drift_state()
+            )
+    if changed:
+        get_backend().invalidate(model)
+    return changed
+
+
+def reprogram_model(model, layers: "list[str] | None" = None) -> dict:
+    """Reprogram engines back to their programmed targets.
+
+    ``layers`` selects which layers to rewrite (``None`` = all) —
+    selective tile reprogramming is what the scheduler escalates to
+    when a gain refit cannot recover a layer.  Returns
+    ``{layer: persisting_dead_cells}`` for the reprogrammed layers.
+    """
+    selected = dict(_named_nonideal_layers(model))
+    if layers is not None:
+        missing = [name for name in layers if name not in selected]
+        if missing:
+            raise KeyError(f"unknown non-ideal layers: {missing}")
+        selected = {name: selected[name] for name in layers}
+    survivors = {
+        name: layer.engine.reprogram() for name, layer in selected.items()
+    }
+    if selected:
+        get_backend().invalidate(model)
+    return survivors
+
+
+def drift_status(model) -> dict:
+    """Per-layer temporal coordinates of a serving model."""
+    return {
+        name: layer.engine.drift_state()
+        for name, layer in _named_nonideal_layers(model)
+        if layer.engine.drift_enabled
+    }

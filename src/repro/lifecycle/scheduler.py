@@ -1,0 +1,303 @@
+"""Health-triggered online recalibration for drifting hardware.
+
+State machine (one :meth:`RecalibrationScheduler.tick` per query block):
+
+::
+
+        ok ──(layer over threshold)──▶ act: gain refit
+        │                                │ still unhealthy
+        │                                ▼
+        │                      backoff (exponential, in ticks)
+        │                                │ retry
+        │                                ▼
+        │                     act: reprogram sick layers + refit
+        │                                │ still unhealthy (fixing a
+        │                                │ subset shifts activations
+        │                                ▼  into the other layers)
+        │                     act: reprogram the whole chip + refit
+        │                                │ still unhealthy after
+        │◀──(probe healthy)──            │ max_attempts actions
+        │                                ▼
+        └──────────────────── escalate via the guard mode:
+                              warn/fallback → serve degraded ("failed")
+                              raise         → RecalibrationError
+
+Thresholds are *relative to the fresh chip*: the constructor probes the
+just-converted model and sets each layer's deviation ceiling to
+``max(min_rel_dev, fresh_rel_dev * rel_dev_factor)`` — so one policy
+works across presets whose baseline non-ideality differs by 4x (Table I).
+Episodes remember what worked: a chip that re-degrades within
+``redegrade_ticks`` of a recovery starts the next episode one rung
+*above* the action that last recovered it — the cheaper rung evidently
+only papered over decay that has since resumed.  Under sustained
+drift this converges to one decisive action per maintenance window
+instead of climbing the whole ladder every episode.
+
+Every action is deterministic — probes, refits and reprogramming are
+pure functions of the chip state and the fixed probe/calibration sets —
+so a scheduled run remains bit-reproducible at any ``--workers N``.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lifecycle.health import LayerHealth, probe_health
+from repro.lifecycle.ops import reprogram_model, sync_model_drift
+from repro.obs import health as _obs
+from repro.parallel.backend import get_backend
+from repro.xbar.simulator import _named_nonideal_layers, calibrate_hardware
+
+logger = logging.getLogger(__name__)
+
+
+class RecalibrationError(RuntimeError):
+    """Raised when recovery fails and the guard policy is ``raise``."""
+
+
+@dataclass(frozen=True)
+class RecalibrationPolicy:
+    """Thresholds and retry discipline of the scheduler.
+
+    Attributes
+    ----------
+    rel_dev_factor / min_rel_dev:
+        A layer is unhealthy when its probe deviation exceeds
+        ``max(min_rel_dev, fresh_dev * rel_dev_factor)``.
+    max_adc_clip_rate:
+        Unhealthy when the probe's ADC clip rate exceeds the *fresh
+        chip's* clip rate by more than this margin (differential
+        pos/neg arrays clip some samples by construction, so the
+        absolute rate is meaningless — only growth signals decay).
+    max_guard_trips:
+        Tolerated *new* guard trips per tick interval.
+    max_attempts:
+        Recovery actions per degradation episode before escalating.
+    backoff_ticks:
+        Base wait after a failed action; doubles per failed attempt
+        (``backoff_ticks * 2**(attempt-1)`` ticks).
+    redegrade_ticks:
+        A relapse within this many ticks of a successful recovery
+        starts the new episode one rung above the action that last
+        recovered the chip.
+    calibration_batch:
+        Batch size of the ``calibrate_hardware`` sweeps.
+    """
+
+    rel_dev_factor: float = 1.5
+    min_rel_dev: float = 0.02
+    max_adc_clip_rate: float = 0.25
+    max_guard_trips: int = 0
+    max_attempts: int = 3
+    backoff_ticks: int = 1
+    redegrade_ticks: int = 2
+    calibration_batch: int = 64
+
+
+@dataclass
+class TickReport:
+    """What one scheduler tick observed and did."""
+
+    tick: int
+    state: str  # "ok" | "backoff" | "failed"
+    drift_synced: list = field(default_factory=list)
+    health: dict = field(default_factory=dict)  # layer -> LayerHealth
+    unhealthy: list = field(default_factory=list)
+    action: str | None = None  # "refit" | "reprogram" | None
+    healthy_after: bool | None = None
+
+
+class RecalibrationScheduler:
+    """Online maintenance loop for one converted hardware model."""
+
+    RUNGS = ("refit", "reprogram", "reprogram_all")
+
+    def __init__(
+        self,
+        model,
+        calibration_images: np.ndarray,
+        probe_images: np.ndarray,
+        policy: RecalibrationPolicy | None = None,
+    ):
+        self.model = model
+        self.policy = policy or RecalibrationPolicy()
+        self.calibration_images = np.asarray(calibration_images, dtype=np.float32)
+        self.probe_images = np.asarray(probe_images, dtype=np.float32)
+        self.state = "ok"
+        self.ticks = 0
+        self.recalibrations = 0  # successful recoveries
+        self.refits = 0
+        self.reprograms = 0
+        self.escalations = 0
+        self._attempts = 0
+        self._next_attempt_tick = 0
+        self._episode_base = 0  # starting rung of the current episode
+        self._last_recovery_tick: int | None = None
+        self._last_recovery_rung = 0
+        # Fresh-chip baseline: per-layer deviation ceilings + trip marks.
+        baseline = probe_health(model, self.probe_images)
+        self.thresholds = {
+            name: max(
+                self.policy.min_rel_dev, h.rel_dev * self.policy.rel_dev_factor
+            )
+            for name, h in baseline.items()
+        }
+        self._trip_marks = {name: h.guard_trips for name, h in baseline.items()}
+        self._clip_baseline = {
+            name: h.adc_clip_rate or 0.0 for name, h in baseline.items()
+        }
+
+    # ------------------------------------------------------------------
+    def _unhealthy_layers(self, health: dict[str, LayerHealth]) -> list[str]:
+        policy = self.policy
+        sick = []
+        for name, h in health.items():
+            over_dev = h.rel_dev > self.thresholds.get(name, policy.min_rel_dev)
+            over_clip = (
+                h.adc_clip_rate is not None
+                and h.adc_clip_rate - self._clip_baseline.get(name, 0.0)
+                > policy.max_adc_clip_rate
+            )
+            new_trips = h.guard_trips - self._trip_marks.get(name, 0)
+            over_trips = new_trips > policy.max_guard_trips
+            if over_dev or over_clip or over_trips:
+                sick.append(name)
+        return sick
+
+    def _mark_trips(self, health: dict[str, LayerHealth]) -> None:
+        for name, h in health.items():
+            self._trip_marks[name] = h.guard_trips
+
+    def _choose_action(self) -> str:
+        # Rung ladder: refit -> reprogram sick layers -> reprogram the
+        # whole chip.  Selective reprogramming can play whack-a-mole:
+        # restoring the sick layers shifts the activations feeding the
+        # still-drifted ones, which then cross *their* thresholds.  The
+        # whole-chip rewrite restores the programmed state outright
+        # (only permanently stuck cells survive it).
+        if self._attempts == 0:
+            # New episode: start above the rung that last recovered the
+            # chip if that recovery did not hold (relapse = the decay is
+            # structural, the cheaper rungs just paper over it).
+            last = self._last_recovery_tick
+            relapsed = (
+                last is not None
+                and self.ticks - last <= self.policy.redegrade_ticks
+            )
+            top = len(self.RUNGS) - 1
+            self._episode_base = (
+                min(top, self._last_recovery_rung + 1) if relapsed else 0
+            )
+        rung = min(len(self.RUNGS) - 1, self._episode_base + self._attempts)
+        return self.RUNGS[rung]
+
+    def _perform(self, action: str, layers: list[str]) -> None:
+        if action == "reprogram_all":
+            reprogram_model(self.model)
+            self.reprograms += 1
+        elif action == "reprogram":
+            reprogram_model(self.model, layers)
+            self.reprograms += 1
+        else:
+            self.refits += 1
+        # Both actions end in a gain sweep: a reprogrammed chip needs
+        # gains for its restored conductances, and a refit *is* the
+        # gain sweep.
+        calibrate_hardware(
+            self.model,
+            self.calibration_images,
+            batch_size=self.policy.calibration_batch,
+        )
+        get_backend().invalidate(self.model)
+
+    def _escalate(self, layers: list[str]) -> None:
+        engines = dict(_named_nonideal_layers(self.model))
+        mode = "warn"
+        if layers and layers[0] in engines:
+            mode = engines[layers[0]].engine.config.guard.mode
+        self.escalations += 1
+        _obs.record_recalibration(
+            "escalate", layers, self._attempts, healthy=False, trigger={"mode": mode}
+        )
+        detail = (
+            f"recalibration exhausted after {self._attempts} attempt(s); "
+            f"unhealthy layers: {layers} (guard mode={mode})"
+        )
+        if mode == "raise":
+            raise RecalibrationError(detail)
+        self.state = "failed"
+        if mode == "fallback":
+            logger.warning(
+                "%s; serving degraded — per-tile digital fallback remains the "
+                "runtime safety net",
+                detail,
+            )
+        else:
+            logger.warning("%s; serving degraded", detail)
+
+    # ------------------------------------------------------------------
+    def tick(self) -> TickReport:
+        """Run one maintenance interval (between query blocks)."""
+        self.ticks += 1
+        report = TickReport(tick=self.ticks, state=self.state)
+        report.drift_synced = sync_model_drift(self.model)
+        health = probe_health(self.model, self.probe_images)
+        report.health = health
+        report.unhealthy = self._unhealthy_layers(health)
+        self._mark_trips(health)
+        if not report.unhealthy:
+            self.state = "ok"
+            self._attempts = 0
+            report.state = self.state
+            return report
+        if self.state == "failed":
+            # Escalated already: keep serving degraded, take no action.
+            return report
+        if self.ticks < self._next_attempt_tick:
+            self.state = "backoff"
+            report.state = self.state
+            return report
+        action = self._choose_action()
+        report.action = action
+        self._perform(action, report.unhealthy)
+        after = probe_health(self.model, self.probe_images)
+        self._mark_trips(after)
+        still_sick = self._unhealthy_layers(after)
+        report.healthy_after = not still_sick
+        trigger = {
+            name: round(health[name].rel_dev, 6) for name in report.unhealthy
+        }
+        _obs.record_recalibration(
+            action, report.unhealthy, self._attempts, report.healthy_after, trigger
+        )
+        if report.healthy_after:
+            self.recalibrations += 1
+            self._last_recovery_tick = self.ticks
+            self._last_recovery_rung = self.RUNGS.index(action)
+            self.state = "ok"
+            self._attempts = 0
+        else:
+            self._attempts += 1
+            if self._attempts >= self.policy.max_attempts:
+                self._escalate(still_sick)
+            else:
+                self.state = "backoff"
+                self._next_attempt_tick = self.ticks + self.policy.backoff_ticks * (
+                    2 ** (self._attempts - 1)
+                )
+        report.state = self.state
+        return report
+
+    def stats(self) -> dict:
+        """Counters for experiment rows and CI smoke checks."""
+        return {
+            "ticks": self.ticks,
+            "state": self.state,
+            "recalibrations": self.recalibrations,
+            "refits": self.refits,
+            "reprograms": self.reprograms,
+            "escalations": self.escalations,
+        }

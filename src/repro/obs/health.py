@@ -54,6 +54,26 @@ def layer_label(obj, fallback: str | None = None) -> str:
     return f"{type(obj).__name__}:{out}x{inp}"
 
 
+def deviation_stats(analog, ideal) -> tuple[float, float]:
+    """``(rmse, relative deviation)`` of an analog batch vs its ideal.
+
+    The relative form is ``||analog - ideal|| / ||ideal||`` — the
+    per-layer decomposition of the paper's Non-ideality Factor.  Shared
+    by the obs-session recording below and the lifecycle health probe
+    (:func:`repro.lifecycle.probe_health`), so both read the same
+    number for the same batch.
+    """
+    import numpy as np
+
+    analog = np.asarray(analog, dtype=np.float64)
+    ideal = np.asarray(ideal, dtype=np.float64)
+    err = analog - ideal
+    rmse = float(np.sqrt(np.mean(err * err))) if err.size else 0.0
+    denom = float(np.sqrt(np.sum(ideal * ideal)))
+    rel = float(np.sqrt(np.sum(err * err)) / denom) if denom > 0 else 0.0
+    return rmse, rel
+
+
 def record_layer_deviation(label: str, analog, ideal) -> None:
     """Per-layer analog-vs-ideal deviation for one forward batch.
 
@@ -64,14 +84,7 @@ def record_layer_deviation(label: str, analog, ideal) -> None:
     """
     if _runtime.active() is None:
         return
-    import numpy as np
-
-    analog = np.asarray(analog, dtype=np.float64)
-    ideal = np.asarray(ideal, dtype=np.float64)
-    err = analog - ideal
-    rmse = float(np.sqrt(np.mean(err * err))) if err.size else 0.0
-    denom = float(np.sqrt(np.sum(ideal * ideal)))
-    rel = float(np.sqrt(np.sum(err * err)) / denom) if denom > 0 else 0.0
+    rmse, rel = deviation_stats(analog, ideal)
     REGISTRY.gauge(f"analog.dev.rmse.{label}").set(rmse)
     REGISTRY.gauge(f"analog.dev.rel.{label}").set(rel)
     REGISTRY.histogram(f"analog.dev.rel_hist.{label}").observe(rel)
@@ -119,6 +132,43 @@ def record_fault_summary(label: str, summary) -> None:
     for name, value in dataclasses.asdict(summary).items():
         if value:
             REGISTRY.counter(f"analog.faults.{name}.{label}").inc(int(value))
+
+
+def record_drift_sync(label: str, state: dict) -> None:
+    """One engine's drift-epoch transition (see ``sync_drift``)."""
+    if _runtime.active() is None:
+        return
+    REGISTRY.gauge(f"analog.drift.epoch.{label}").set(int(state["epoch"]))
+    REGISTRY.gauge(f"analog.drift.pulses.{label}").set(int(state["pulse_count"]))
+    if state.get("converted"):
+        REGISTRY.gauge(f"analog.drift.converted.{label}").set(int(state["converted"]))
+    _runtime.event(
+        "drift_sync",
+        layer=label,
+        epoch=int(state["epoch"]),
+        age=int(state["age_epochs"]),
+        pulses=int(state["pulse_count"]),
+        converted=int(state.get("converted", 0)),
+    )
+
+
+def record_recalibration(
+    action: str, layers: list, attempt: int, healthy: bool, trigger: dict | None = None
+) -> None:
+    """One recalibration-scheduler action (gain refit / reprogram / escalation)."""
+    if _runtime.active() is None:
+        return
+    REGISTRY.counter(f"lifecycle.recal.{action}").inc()
+    if not healthy:
+        REGISTRY.counter("lifecycle.recal.unhealthy_after").inc()
+    _runtime.event(
+        "recalibration",
+        action=action,
+        layers=list(layers),
+        attempt=int(attempt),
+        healthy=bool(healthy),
+        trigger=trigger or {},
+    )
 
 
 def record_attack_iteration(

@@ -203,5 +203,6 @@ def annotate_hardware(config) -> None:
         "digest": config_digest(config),
         "faults": dataclasses.asdict(config.faults),
         "guard_mode": config.guard.mode,
+        "drift": dataclasses.asdict(config.drift) if config.drift else None,
     }
     _SESSION.annotate_hardware(config.name, payload)

@@ -34,6 +34,25 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple]] = {
     "gain_point": {"preset": (str,), "nf": NUMBER, "gain": NUMBER},
     "guard_trip": {"layer": (str,), "mode": (str,)},
     "parallel_map": {"fn": (str,), "shards": (int,), "workers": (int,)},
+    "drift_sync": {
+        "layer": (str,),
+        "epoch": (int,),
+        "age": (int,),
+        "pulses": (int,),
+        "converted": (int,),
+    },
+    "recalibration": {
+        "action": (str,),
+        "layers": (list,),
+        "attempt": (int,),
+        "healthy": (bool,),
+    },
+    "drift_point": {"arm": (str,), "queries": (int,), "accuracy": NUMBER},
+    "staleness": {
+        "crafted_at": (int,),
+        "evaluated_at": (int,),
+        "adv_accuracy": NUMBER,
+    },
     "log": {"message": (str,)},
 }
 

@@ -305,6 +305,49 @@ def render_attack_curves(events: list[dict]) -> list[str]:
     return lines
 
 
+def render_drift(events: list[dict]) -> list[str]:
+    """Accuracy-vs-queries arms, recalibration log, attacker staleness."""
+    lines: list[str] = []
+    arms: dict[str, list[tuple[int, float]]] = {}
+    for record in events:
+        if record.get("type") == "drift_point":
+            arms.setdefault(record["arm"], []).append(
+                (record["queries"], record["accuracy"])
+            )
+    for arm in sorted(arms):
+        points = sorted(arms[arm])
+        accuracy = [acc for _q, acc in points]
+        lines.append(
+            f"{arm}: {len(points)} block(s), accuracy "
+            f"{accuracy[0] * 100:.1f}% -> {accuracy[-1] * 100:.1f}%  "
+            f"{sparkline(accuracy)}"
+        )
+    recals = [r for r in events if r.get("type") == "recalibration"]
+    if recals:
+        recovered = sum(1 for r in recals if r.get("healthy"))
+        by_action: dict[str, int] = {}
+        for record in recals:
+            by_action[record["action"]] = by_action.get(record["action"], 0) + 1
+        actions = " ".join(f"{a}x{n}" for a, n in sorted(by_action.items()))
+        lines.append(
+            f"recalibrations: {len(recals)} action(s) [{actions}], "
+            f"{recovered} recovered"
+        )
+    for record in events:
+        if record.get("type") == "staleness":
+            tag = (
+                "fresh"
+                if record["crafted_at"] == record["evaluated_at"]
+                else "stale"
+            )
+            lines.append(
+                f"attack crafted@t{record['crafted_at']} evaluated@t"
+                f"{record['evaluated_at']} ({tag}): adversarial accuracy "
+                f"{record['adv_accuracy'] * 100:.1f}%"
+            )
+    return lines
+
+
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
@@ -333,9 +376,11 @@ def summarize_run(run_dir: Path | str) -> str:
     for name, spec in (manifest.get("hardware") or {}).items():
         faults = spec.get("faults") or {}
         fault_desc = "on" if faults.get("enabled") else "off"
+        drift_desc = "on" if spec.get("drift") else "off"
         lines.append(
             f"hardware: {name} digest={spec.get('digest', '')[:12]} "
-            f"faults={fault_desc} guard={spec.get('guard_mode')}"
+            f"faults={fault_desc} drift={drift_desc} "
+            f"guard={spec.get('guard_mode')}"
         )
     if partial:
         lines.append(f"warning: {partial} truncated JSONL line(s) skipped")
@@ -351,6 +396,12 @@ def summarize_run(run_dir: Path | str) -> str:
     lines.append("")
     lines.append("--- analog health ---")
     lines.extend(render_health(snapshot, events))
+
+    drift_lines = render_drift(events)
+    if drift_lines:
+        lines.append("")
+        lines.append("--- temporal drift ---")
+        lines.extend(drift_lines)
 
     lines.append("")
     lines.append("--- attack curves ---")

@@ -113,7 +113,8 @@ def _merge_blob(model, blob: dict) -> None:
 
     perf = blob.get("perf") or {}
     guard = blob.get("guard") or {}
-    if model is not None and (perf or guard):
+    pulses = blob.get("pulses") or {}
+    if model is not None and (perf or guard or pulses):
         engines = dict(iter_engines(model))
         for layer, fields_ in perf.items():
             engine = engines.get(layer)
@@ -123,6 +124,10 @@ def _merge_blob(model, blob: dict) -> None:
             engine = engines.get(layer)
             if engine is not None:
                 engine._guard_trips += trips
+        for layer, delta in pulses.items():
+            engine = engines.get(layer)
+            if engine is not None and hasattr(engine, "pulse_count"):
+                engine.pulse_count += delta
     state = blob.get("metrics")
     if state:
         REGISTRY.merge_state(state)

@@ -163,7 +163,12 @@ def remote_execute(handle, fn: str, payload: dict, capture: bool):
     model = shm.load(handle) if handle is not None else None
     engines = _engines_by_layer(model)
     # The shared model persists across tasks: zero its counters so the
-    # harvest below is exactly this task's delta.
+    # harvest below is exactly this task's delta.  The pulse counter is
+    # *not* reset — it is absolute chip age on this worker's copy — so
+    # its delta is snapshotted instead.
+    pulses_before = {
+        layer: getattr(engine, "pulse_count", 0) for layer, engine in engines.items()
+    }
     for engine in engines.values():
         engine.perf.reset()
         engine._guard_trips = 0
@@ -184,6 +189,15 @@ def remote_execute(handle, fn: str, payload: dict, capture: bool):
             layer: engine._guard_trips
             for layer, engine in engines.items()
             if engine._guard_trips
+        },
+        # Read-pulse deltas (chip aging) merge as plain sums, and sums
+        # are order-independent over integers — so the parent's pulse
+        # counters land bit-identical to a serial run regardless of
+        # worker count (the shard *plan* is already canonical).
+        "pulses": {
+            layer: getattr(engine, "pulse_count", 0) - pulses_before[layer]
+            for layer, engine in engines.items()
+            if getattr(engine, "pulse_count", 0) != pulses_before[layer]
         },
     }
     if capture:

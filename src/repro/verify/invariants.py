@@ -32,6 +32,7 @@ import numpy as np
 from repro.verify.oracle import GAIN_CLIP as ORACLE_GAIN_CLIP
 from repro.verify.oracle import OracleEngine, naive_reassemble, naive_slice_lsb_first
 from repro.verify.ulp import describe_mismatch, max_ulp
+from repro.xbar.drift import DriftConfig, DriftModel, with_drift
 from repro.xbar.engine_cache import EngineCache
 from repro.xbar.faults import FaultConfig, with_faults
 from repro.xbar.nf import crossbar_nf
@@ -295,6 +296,152 @@ def check_gain_clip_contract() -> None:
             f"simulator GAIN_CLIP {GAIN_CLIP} drifted from the oracle's "
             f"periphery contract {ORACLE_GAIN_CLIP}"
         )
+
+
+def _default_drift(seed: int) -> DriftConfig:
+    return DriftConfig(
+        epoch_pulses=8,
+        retention_nu=0.1,
+        retention_sigma=0.3,
+        read_disturb_rate=1e-3,
+        seed=seed,
+    )
+
+
+def check_drift_zero_identity(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int = 0,
+) -> None:
+    """At query count 0 a drifting engine is the static engine, bitwise.
+
+    Drift only perturbs conductances at ``sync_drift`` points, and the
+    t=0 transform is the identity *without any float operation applied*
+    — so a freshly programmed drifting chip must match the no-drift
+    build exactly, before and after a sub-epoch sync.  Requires a
+    noise/fault-free config: with them enabled the construction RNG
+    stream includes the drift chip token and the builds diverge by
+    design.
+    """
+    if config.device.program_sigma or config.faults.enabled:
+        raise ValueError("drift zero-identity requires a noise/fault-free config")
+    static = _engine(weight, config, predictor, "vectorized", seed=seed)
+    drifting = _engine(
+        weight, with_drift(config, _default_drift(seed)), predictor,
+        "vectorized", seed=seed,
+    )
+    _expect_equal("drifting engine at t=0", static.matvec(x), drifting.matvec(x))
+    if drifting.sync_drift() and drifting.applied_drift_epoch == 0:
+        raise InvariantViolation("sync_drift rebuilt banks below one epoch")
+    _expect_equal(
+        "drifting engine after sub-epoch sync", static.matvec(x), drifting.matvec(x)
+    )
+
+
+def check_drift_determinism(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int = 0,
+    blocks: int = 4,
+) -> None:
+    """Drift is a pure function of ``(chip_seed, query_count)``.
+
+    Two identically seeded engines served identical traffic must agree
+    bit for bit at every sync point — the property that makes drifted
+    runs resumable and shardable.
+    """
+    drifted = with_drift(config, _default_drift(seed))
+    a = _engine(weight, drifted, predictor, "vectorized", seed=seed)
+    b = _engine(weight, drifted, predictor, "vectorized", seed=seed)
+    for block in range(blocks):
+        ya, yb = a.matvec(x), b.matvec(x)
+        _expect_equal(f"drift replay block {block}", ya, yb)
+        a.sync_drift()
+        b.sync_drift()
+        if a.drift_state() != b.drift_state():
+            raise InvariantViolation(
+                f"temporal coordinates diverged: {a.drift_state()} vs {b.drift_state()}"
+            )
+
+
+def check_drift_monotone_decay(
+    config: CrossbarConfig, seed: int = 0, epochs: int = 6
+) -> None:
+    """Per-cell retention decay is monotone; dead cells stay dead.
+
+    Elementwise, every cell's effective conductance is non-increasing
+    in chip age (power-law retention and read disturb both decay), and
+    the stuck-at death lottery only ever grows the dead set — a line
+    that died at epoch ``e`` must be dead at every ``e' > e``.
+    """
+    drift = DriftConfig(
+        epoch_pulses=4,
+        retention_nu=0.1,
+        retention_sigma=0.3,
+        read_disturb_rate=1e-3,
+        stuck_rate=0.05,
+        seed=seed,
+    )
+    model = DriftModel(drift, config.device, chip_token=seed + 99)
+    rng = np.random.default_rng(seed)
+    g0 = rng.uniform(
+        config.device.g_min, config.device.g_max, size=(config.rows, config.cols)
+    )
+    previous = None
+    dead_previous = 0
+    for epoch in range(epochs + 1):
+        g = model.drift_tile(g0, tile_index=0, age_epochs=epoch, absolute_epoch=epoch)
+        if epoch == 0:
+            if g is not g0 and not np.array_equal(g, g0):
+                raise InvariantViolation("drift at age 0 is not the identity")
+        if previous is not None and np.any(g > previous):
+            worst = float(np.max(g - previous))
+            raise InvariantViolation(
+                f"conductance increased by {worst:g} between epochs "
+                f"{epoch - 1} and {epoch}"
+            )
+        dead = model.dead_count(g0.shape, 0, epoch)
+        if dead < dead_previous:
+            raise InvariantViolation(
+                f"dead set shrank from {dead_previous} to {dead} at epoch {epoch}"
+            )
+        previous, dead_previous = g, dead
+
+
+def check_drift_reprogram_restore(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int = 0,
+) -> None:
+    """Without stuck conversion, reprogramming restores t=0 bitwise.
+
+    Retention decay and read disturb are reversible cell rewrites, so
+    ``reprogram()`` on a chip whose drift has no stuck-at component
+    must reproduce the freshly programmed outputs exactly.
+    """
+    drifted = with_drift(config, _default_drift(seed))
+    engine = _engine(weight, drifted, predictor, "vectorized", seed=seed)
+    fresh = engine.matvec(x)
+    for _ in range(20):
+        engine.matvec(x)
+    engine.sync_drift()
+    if engine.applied_drift_epoch == 0:
+        raise InvariantViolation("drift never advanced; check is vacuous")
+    aged = engine.matvec(x)
+    if np.array_equal(fresh, aged):
+        raise InvariantViolation("aged chip identical to fresh; decay too weak")
+    survivors = engine.reprogram()
+    if survivors:
+        raise InvariantViolation(
+            f"{survivors} dead cells survive reprogramming with stuck_rate=0"
+        )
+    _expect_equal("reprogrammed chip vs fresh", fresh, engine.matvec(x))
 
 
 def check_nf_monotonicity(

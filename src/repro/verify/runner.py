@@ -195,6 +195,32 @@ def _catalog(
             weight, tiny_config(gain_calibration=0), IdealPredictor(), x
         ),
     )
+    # Temporal drift invariants (ideal backend; cheap but load-bearing:
+    # the parallel/cache layers assume every one of these).
+    drift_config = tiny_config(adc_bits=6)
+    yield (
+        "metamorphic/drift/zero_identity",
+        lambda: inv.check_drift_zero_identity(
+            weight, drift_config, IdealPredictor(), x, seed=seed
+        ),
+    )
+    yield (
+        "metamorphic/drift/determinism",
+        lambda: inv.check_drift_determinism(
+            weight, drift_config, IdealPredictor(), x, seed=seed
+        ),
+    )
+    yield (
+        "metamorphic/drift/monotone_decay",
+        lambda: inv.check_drift_monotone_decay(drift_config, seed=seed),
+    )
+    yield (
+        "metamorphic/drift/reprogram_restore",
+        lambda: inv.check_drift_reprogram_restore(
+            weight, drift_config, IdealPredictor(), x, seed=seed
+        ),
+    )
+
     yield ("metamorphic/bitslice_reassembly", inv.check_bitslice_reassembly)
     yield ("contract/gain_clip", inv.check_gain_clip_contract)
     if not quick:

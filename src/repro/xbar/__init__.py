@@ -24,6 +24,7 @@ from repro.xbar.adc import ADCConfig, quantize_current
 from repro.xbar.bitslice import BitSliceConfig, slice_weights, stream_inputs
 from repro.xbar.tiling import tile_matrix, TiledMatrix
 from repro.xbar.geniex import GENIEx, GENIExTrainer, GENIExDatasetBuilder
+from repro.xbar.drift import DriftConfig, DriftModel, with_drift
 from repro.xbar.faults import (
     FaultConfig,
     FaultModel,
@@ -104,6 +105,9 @@ __all__ = [
     "perf_report",
     "reset_perf",
     "format_perf",
+    "DriftConfig",
+    "DriftModel",
+    "with_drift",
     "FaultConfig",
     "FaultModel",
     "FaultSummary",

@@ -1,0 +1,256 @@
+"""Temporal conductance drift driven by read activity.
+
+The fault layer (:mod:`repro.xbar.faults`) describes a chip frozen at
+one point of its life: faults are drawn at programming time and never
+change.  This module adds the *time axis*: a deployed NVM chip serving
+sustained traffic degrades with accumulated read activity — retention
+decay relaxes programmed filaments, repeated read pulses disturb cells,
+and a small population of devices abruptly fails outright.  All three
+mechanisms here are **pure functions of** ``(seed, chip_token,
+tile_index, pulse_count)``, so a drifting run is bit-reproducible and
+resumable from a pulse counter alone:
+
+* **Retention decay** — each cell relaxes as
+  ``g(t) = g0 * ((t + t0) / t0) ** -nu`` with a per-cell lognormal
+  exponent (the standard metal-oxide retention power law, normalized to
+  the programmed value at ``t = 0``).
+* **Read disturb** — every read pulse nudges the filament; the
+  accumulated effect is an exponential decay ``g *= exp(-rate * t)``
+  in the pulse count ``t``.
+* **Abrupt stuck-at conversion** — each cell draws one uniform "death
+  lottery" ticket; a cell is dead (stuck at ``G_min``) at epoch ``e``
+  iff its ticket falls below ``1 - (1 - stuck_rate) ** e``.  Because
+  the ticket is fixed per cell, the dead set is *monotone* in time —
+  reprogramming restores retention and disturb but can never resurrect
+  a converted cell (an open filament has no programmable state left).
+
+Time is discretized into **epochs** of ``epoch_pulses`` read pulses:
+within an epoch the effective conductances are constant (so the MVM hot
+path pays only a counter increment), and an epoch transition recomputes
+the drifted arrays from the pristine programmed state.  Retention and
+disturb age from the last reprogram; the stuck lottery runs on the
+absolute epoch since the chip's first programming.
+
+:class:`~repro.xbar.simulator.CrossbarEngine` owns the integration:
+``pulse_count`` accrues per input vector, :meth:`CrossbarEngine.sync_drift`
+applies the epoch implied by the counter, and
+:meth:`CrossbarEngine.reprogram` models a read-verify-rewrite cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.xbar.device import DeviceConfig
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Declarative description of one chip's temporal drift behaviour.
+
+    The default config disables the temporal layer entirely and is
+    guaranteed to leave engine outputs bit-identical to a build without
+    it (the engine does not even allocate drift state).
+
+    Attributes
+    ----------
+    epoch_pulses:
+        Read pulses (input vectors) per drift epoch; effective
+        conductances are re-derived only at epoch boundaries.  ``0``
+        disables the temporal layer.
+    retention_nu:
+        Median exponent of the retention power law
+        ``g(t) = g0 * ((t + t0) / t0) ** -nu``; 0 disables retention
+        decay.  Typical metal-oxide RRAM: 0.01-0.1.
+    retention_sigma:
+        Lognormal dispersion of the per-cell exponent (cell-to-cell
+        retention variation); 0 gives every cell the median ``nu``.
+    retention_t0:
+        Reference pulse count of the power law (the "time" at which the
+        programmed value was measured).
+    read_disturb_rate:
+        Fractional conductance loss per read pulse, accumulated as
+        ``exp(-rate * t)``; 0 disables read disturb.
+    stuck_rate:
+        Per-epoch probability of a cell abruptly converting to a
+        stuck-OFF device (``G_min`` forever, surviving reprogramming).
+    seed:
+        Base seed of the drift realization (combined with the chip
+        token and tile index, mirroring :class:`~repro.xbar.faults.FaultConfig`).
+    """
+
+    epoch_pulses: int = 0
+    retention_nu: float = 0.0
+    retention_sigma: float = 0.0
+    retention_t0: float = 1.0
+    read_disturb_rate: float = 0.0
+    stuck_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epoch_pulses < 0:
+            raise ValueError(f"epoch_pulses must be >= 0, got {self.epoch_pulses}")
+        if self.retention_nu < 0:
+            raise ValueError(f"retention_nu must be >= 0, got {self.retention_nu}")
+        if self.retention_sigma < 0:
+            raise ValueError(
+                f"retention_sigma must be >= 0, got {self.retention_sigma}"
+            )
+        if self.retention_t0 <= 0:
+            raise ValueError(f"retention_t0 must be > 0, got {self.retention_t0}")
+        if self.read_disturb_rate < 0:
+            raise ValueError(
+                f"read_disturb_rate must be >= 0, got {self.read_disturb_rate}"
+            )
+        if not 0.0 <= self.stuck_rate <= 1.0:
+            raise ValueError(f"stuck_rate must be in [0, 1], got {self.stuck_rate}")
+
+    # ------------------------------------------------------------------
+    @property
+    def has_retention(self) -> bool:
+        return self.retention_nu > 0
+
+    @property
+    def has_read_disturb(self) -> bool:
+        return self.read_disturb_rate > 0
+
+    @property
+    def has_stuck_conversion(self) -> bool:
+        return self.stuck_rate > 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when the engine must track time at all."""
+        return self.epoch_pulses > 0 and (
+            self.has_retention or self.has_read_disturb or self.has_stuck_conversion
+        )
+
+    def tag(self) -> str:
+        """Short human-readable summary (used in derived config names)."""
+        if not self.enabled:
+            return "nodrift"
+        parts = [f"ep{self.epoch_pulses:g}"]
+        if self.has_retention:
+            parts.append(f"nu{self.retention_nu:g}")
+        if self.has_read_disturb:
+            parts.append(f"rd{self.read_disturb_rate:g}")
+        if self.has_stuck_conversion:
+            parts.append(f"sc{self.stuck_rate:g}")
+        return "+".join(parts)
+
+
+class DriftModel:
+    """Seeded, vectorized temporal drift for one chip's tiles.
+
+    Stateless by design: every method is a pure function of its
+    arguments and ``(config.seed, chip_token)``, which is what makes a
+    drifting engine resumable from ``(chip_seed, pulse_count)`` alone.
+    """
+
+    def __init__(self, config: DriftConfig, device: DeviceConfig, chip_token: int = 0):
+        self.config = config
+        self.device = device
+        self.chip_token = int(chip_token)
+
+    # ------------------------------------------------------------------
+    def cell_rng(self, tile_index: int, stream: int) -> np.random.Generator:
+        """The deterministic RNG for one tile's per-cell drift draws.
+
+        Streams separate the mechanisms (retention exponents vs the
+        stuck lottery) so enabling one never reshuffles the other —
+        the same stability contract as :meth:`FaultModel.tile_rng`.
+        """
+        return np.random.default_rng(
+            [
+                int(self.config.seed) & 0x7FFFFFFF,
+                self.chip_token & 0x7FFFFFFF,
+                int(tile_index),
+                int(stream),
+            ]
+        )
+
+    def epoch_for(self, pulses: int) -> int:
+        """The drift epoch implied by a pulse count (0 before any aging)."""
+        if self.config.epoch_pulses <= 0:
+            return 0
+        return int(pulses) // int(self.config.epoch_pulses)
+
+    # ------------------------------------------------------------------
+    def retention_exponents(self, shape: tuple, tile_index: int) -> np.ndarray:
+        """Per-cell retention exponent ``nu`` (fixed for the cell's life)."""
+        cfg = self.config
+        if cfg.retention_sigma > 0:
+            draw = self.cell_rng(tile_index, stream=0)
+            return cfg.retention_nu * draw.lognormal(0.0, cfg.retention_sigma, size=shape)
+        return np.full(shape, cfg.retention_nu)
+
+    def dead_mask(self, shape: tuple, tile_index: int, absolute_epoch: int) -> np.ndarray:
+        """Cells abruptly converted to stuck-OFF by ``absolute_epoch``.
+
+        Each cell's uniform ticket is drawn once; the mask at epoch
+        ``e`` is ``ticket < 1 - (1 - stuck_rate) ** e``, so the dead set
+        only ever grows (``dead(e) ⊆ dead(e + 1)``) — a converted cell
+        never comes back, across any number of reprogram cycles.
+        """
+        cfg = self.config
+        if not cfg.has_stuck_conversion or absolute_epoch <= 0:
+            return np.zeros(shape, dtype=bool)
+        tickets = self.cell_rng(tile_index, stream=1).random(size=shape)
+        death_prob = 1.0 - (1.0 - cfg.stuck_rate) ** int(absolute_epoch)
+        return tickets < death_prob
+
+    def drift_tile(
+        self,
+        conductances: np.ndarray,
+        tile_index: int,
+        age_epochs: int,
+        absolute_epoch: int,
+    ) -> np.ndarray:
+        """Effective conductances of one tile at a point in its life.
+
+        ``age_epochs`` counts epochs since the last reprogram (drives
+        retention and read disturb); ``absolute_epoch`` counts epochs
+        since first programming (drives the stuck lottery).  At
+        ``(0, 0)`` the result equals the input exactly — no floating-
+        point transform is applied, so the zero-drift identity is
+        bitwise.  For fixed per-cell draws the result is elementwise
+        monotone non-increasing in both arguments.
+        """
+        cfg = self.config
+        dev = self.device
+        g = np.array(conductances, dtype=np.float64, copy=True)
+        if age_epochs < 0 or absolute_epoch < 0:
+            raise ValueError("drift epochs must be non-negative")
+        t = float(age_epochs) * float(cfg.epoch_pulses)
+        if t > 0 and cfg.has_retention:
+            nu = self.retention_exponents(g.shape, tile_index)
+            g *= ((t + cfg.retention_t0) / cfg.retention_t0) ** (-nu)
+        if t > 0 and cfg.has_read_disturb:
+            g *= np.exp(-cfg.read_disturb_rate * t)
+        if t > 0:
+            np.clip(g, dev.g_min, dev.g_max, out=g)
+        if cfg.has_stuck_conversion and absolute_epoch > 0:
+            g[self.dead_mask(g.shape, tile_index, absolute_epoch)] = dev.g_min
+        return g
+
+    def dead_count(self, shape: tuple, tile_index: int, absolute_epoch: int) -> int:
+        """How many cells of a tile are stuck-converted at an epoch."""
+        return int(self.dead_mask(shape, tile_index, absolute_epoch).sum())
+
+
+def with_drift(config, drift: DriftConfig):
+    """Derive a :class:`~repro.xbar.presets.CrossbarConfig` with drift.
+
+    Mirrors :func:`repro.xbar.faults.with_faults`; the derived config is
+    renamed so cached hardware and engine-cache entries for a drifting
+    chip can never be confused with the frozen preset.
+    """
+    return dataclasses.replace(
+        config, drift=drift, name=f"{config.name}_{drift.tag()}"
+    )
+
+
+__all__ = ["DriftConfig", "DriftModel", "with_drift"]

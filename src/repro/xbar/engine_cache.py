@@ -69,7 +69,9 @@ _DISABLED_VALUES = {"", "0", "off", "none", "disabled"}
 
 #: Bumped whenever the snapshot layout changes; mismatched files are
 #: ignored (and rebuilt), never misread.
-SNAPSHOT_FORMAT = 1
+#: Format 2: drift-aware snapshots — entries carry the chip's temporal
+#: coordinates (drift epoch + pulse count) and pristine tile arrays.
+SNAPSHOT_FORMAT = 2
 
 
 def resolve_disk_dir(override: "str | os.PathLike | None" = None) -> Path | None:
@@ -272,6 +274,9 @@ class EngineCache:
         meta = dict(meta)
         meta["format"] = SNAPSHOT_FORMAT
         meta["rng_state_after"] = state_after  # PCG64 ints are JSON-safe
+        import time
+
+        meta["stored_at"] = time.time()  # age display only, not addressed
         payload = dict(arrays)
         payload["__meta__"] = np.frombuffer(
             json.dumps(meta, default=str).encode(), dtype=np.uint8
@@ -302,6 +307,21 @@ class EngineCache:
                 meta = json.loads(bytes(npz["__meta__"].tobytes()).decode())
                 if meta.get("format") != SNAPSHOT_FORMAT:
                     raise ValueError(f"snapshot format {meta.get('format')!r}")
+                # Freshness gate: get_or_build hands out factory-fresh
+                # chips (drift epoch 0, zero pulses).  An entry recorded
+                # at any later point of a chip's life must be treated as
+                # a *miss* — a drifted engine can never round-trip from
+                # the disk tier as fresh.
+                drift_meta = meta.get("drift")
+                if drift_meta is not None and (
+                    int(drift_meta.get("epoch", 0)) != 0
+                    or int(drift_meta.get("pulse_count", 0)) != 0
+                ):
+                    raise ValueError(
+                        "stale drift snapshot: epoch "
+                        f"{drift_meta.get('epoch')!r}, "
+                        f"pulses {drift_meta.get('pulse_count')!r}"
+                    )
                 arrays = {
                     name: npz[name] for name in npz.files if name != "__meta__"
                 }
@@ -325,6 +345,39 @@ def disk_cache_contents(disk_dir: Path | None = None) -> tuple[list[Path], int]:
         return [], 0
     files = sorted(disk_dir.glob("*.npz"))
     return files, sum(f.stat().st_size for f in files)
+
+
+def disk_cache_entries(disk_dir: Path | None = None) -> list[dict]:
+    """Per-entry metadata of the disk tier, for ``cache stats``.
+
+    Each dict carries the snapshot key, file size, the chip's recorded
+    temporal coordinates (``epoch`` / ``pulses``; 0 for static chips)
+    and the entry's wall-clock age in seconds (``None`` for snapshots
+    from before age stamping).  Unreadable files report ``error``
+    instead of being deleted — inspection must never mutate the tier.
+    """
+    import time
+
+    files, _total = disk_cache_contents(disk_dir)
+    entries: list[dict] = []
+    now = time.time()
+    for path in files:
+        entry: dict = {"key": path.stem, "bytes": path.stat().st_size}
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                meta = json.loads(bytes(npz["__meta__"].tobytes()).decode())
+            drift_meta = meta.get("drift") or {}
+            entry["format"] = meta.get("format")
+            entry["epoch"] = int(drift_meta.get("epoch", 0))
+            entry["pulses"] = int(drift_meta.get("pulse_count", 0))
+            stored_at = meta.get("stored_at")
+            entry["age_seconds"] = (
+                max(0.0, now - float(stored_at)) if stored_at is not None else None
+            )
+        except Exception as exc:  # pragma: no cover - corrupt snapshots
+            entry["error"] = repr(exc)
+        entries.append(entry)
+    return entries
 
 
 def clear_disk_cache(disk_dir: Path | None = None) -> int:

@@ -25,6 +25,7 @@ from repro.xbar.adc import ADCConfig
 from repro.xbar.bitslice import BitSliceConfig
 from repro.xbar.circuit import CircuitConfig
 from repro.xbar.device import DeviceConfig
+from repro.xbar.drift import DriftConfig
 from repro.xbar.faults import FaultConfig, GuardConfig
 from repro.xbar.geniex import GENIEx, GENIExTrainConfig, GENIExTrainer
 
@@ -56,8 +57,12 @@ class CrossbarConfig:
     ``faults`` describes the chip's device/line fault population (all
     off by default; see :mod:`repro.xbar.faults`) and ``guard`` the
     engine's graceful-degradation policy for sick analog tiles.
-    Neither enters :meth:`cache_key`: the GENIEx surrogate models the
-    parasitic circuit, which is independent of which cells are faulted.
+    ``drift`` adds the time axis — conductance decay driven by the
+    engine's accumulated read-pulse counter (off by default; see
+    :mod:`repro.xbar.drift`).  None of the three enters
+    :meth:`cache_key`: the GENIEx surrogate models the parasitic
+    circuit, which is independent of which cells are faulted or how
+    old the chip is.
     """
 
     name: str
@@ -69,6 +74,7 @@ class CrossbarConfig:
     gain_calibration: int = 32
     faults: FaultConfig = field(default_factory=FaultConfig)
     guard: GuardConfig = field(default_factory=GuardConfig)
+    drift: DriftConfig = field(default_factory=DriftConfig)
 
     @property
     def rows(self) -> int:

@@ -47,6 +47,7 @@ from repro.xbar.adc import quantize_current
 from repro.xbar.bitslice import slice_weights, stream_inputs
 from repro.xbar.circuit import CrossbarCircuit
 from repro.xbar.device import RRAMDevice
+from repro.xbar.drift import DriftModel
 from repro.xbar.engine_cache import EngineCache, resolve_cache
 from repro.xbar.faults import FaultModel, FaultSummary, TileHealthError
 from repro.xbar.numerics import row_stable_matmul
@@ -297,12 +298,30 @@ class CrossbarEngine:
         self._guard_trips = 0
         self._guard_warned = False
 
+        # Temporal drift: the model is created only when the config
+        # enables it, so static chips pay nothing and draw no extra
+        # randomness.  Like the fault layer, the chip token ties this
+        # chip's drift realization to its programming RNG.  The pulse
+        # counter always exists (cheap telemetry either way).
+        self.pulse_count = 0
+        self._reprogram_pulse = 0
+        self._drift_applied = (0, 0)  # (age_epochs, absolute_epoch) in effect
+        self._drift_model: DriftModel | None = None
+        self.drift_converted = 0  # stuck-converted cells at the applied epoch
+        self._drift_tiles: list[list[tuple[int, np.ndarray, int]]] = []
+        self._probe_clip: list | None = None  # [clipped, samples] when probing
+        self.last_probe: tuple[float, float] | None = None  # (rmse, rel dev)
+        if config.drift.enabled:
+            drift_token = int(self._rng.integers(0, 2**31 - 1))
+            self._drift_model = DriftModel(config.drift, dev, drift_token)
+
         tile_index = 0
         self.banks: list[_TileRowBank] = []
         for r, row_slice in enumerate(tiled_pos.row_slices()):
             handles = []
             ideal_handles: list[np.ndarray] = []
             chunks: list[_BankChunk] = []
+            drift_tiles: list[tuple[int, np.ndarray, int]] = []
             offset = 0
             for c in range(n_col_tiles):
                 used = col_slices[c].stop - col_slices[c].start
@@ -316,6 +335,11 @@ class CrossbarEngine:
                                 conductances, tile_index
                             )
                             self.fault_summary.merge(tile_faults)
+                        if self._drift_model is not None:
+                            # Pristine post-fault programmed state: the
+                            # fixed point every drifted rebuild (and a
+                            # reprogram cycle) starts from.
+                            drift_tiles.append((tile_index, conductances.copy(), used))
                         tile_index += 1
                         handles.append(predictor.prepare_crossbar(conductances, used))
                         if keep_ideal:
@@ -336,6 +360,8 @@ class CrossbarEngine:
             col_weight = np.empty(offset, dtype=np.float64)
             for chunk in chunks:
                 col_weight[chunk.offset : chunk.offset + chunk.width] = chunk.weight
+            if self._drift_model is not None:
+                self._drift_tiles.append(drift_tiles)
             self.banks.append(
                 _TileRowBank(
                     handle=predictor.concat_bias(handles),
@@ -348,6 +374,9 @@ class CrossbarEngine:
                     ),
                 )
             )
+        # Drifted rebuilds derive fresh banks from the pristine tiles;
+        # epoch (0, 0) restores this exact list (bitwise identity).
+        self._banks_epoch0 = self.banks
         self._adc_full_scale = config.rows * dev.g_max * dev.v_read
         # Per-output-column digital gain, calibrated at programming time
         # (the gain trim of each ADC/shift-add channel; see
@@ -376,6 +405,17 @@ class CrossbarEngine:
         dup._guard_trips = 0
         dup._guard_warned = False
         dup.perf = PerfCounters()
+        # A clone is a factory-fresh chip: zero age, epoch-0 banks.  The
+        # pristine tiles and the drift model are immutable and shared;
+        # drifted rebuilds allocate new bank lists per clone, so an aged
+        # original can never leak its state into (or out of) a clone.
+        dup.pulse_count = 0
+        dup._reprogram_pulse = 0
+        dup._drift_applied = (0, 0)
+        dup.drift_converted = 0
+        dup.banks = self._banks_epoch0
+        dup._probe_clip = None
+        dup.last_probe = None
         for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows", "_volt_buf"):
             dup.__dict__.pop(attr, None)
         return dup
@@ -437,12 +477,139 @@ class CrossbarEngine:
             )
         self.perf.matvec_calls += 1
         self.perf.matvec_rows += x.shape[0]
+        # Read activity ages the chip: one pulse per input vector.  The
+        # counter only *records* time — conductances change exclusively
+        # at explicit sync_drift() points, so a batch (or a whole
+        # parallel map) always runs at one frozen epoch and serial vs
+        # sharded execution stay bit-identical.
+        self.pulse_count += x.shape[0]
         with _span("xbar/matvec"):
             if (x >= 0).all():
                 return self._matvec_unsigned(x)
             positive = self._matvec_unsigned(np.maximum(x, 0.0))
             negative = self._matvec_unsigned(np.maximum(-x, 0.0))
             return positive - negative
+
+    # ------------------------------------------------------------------
+    # Temporal drift (see repro.xbar.drift)
+    # ------------------------------------------------------------------
+    @property
+    def drift_enabled(self) -> bool:
+        return self._drift_model is not None
+
+    @property
+    def drift_epoch(self) -> int:
+        """Absolute drift epoch implied by the pulse counter."""
+        if self._drift_model is None:
+            return 0
+        return self._drift_model.epoch_for(self.pulse_count)
+
+    @property
+    def drift_age_epochs(self) -> int:
+        """Epochs elapsed since the last reprogram (drives decay)."""
+        if self._drift_model is None:
+            return 0
+        return self._drift_model.epoch_for(self.pulse_count - self._reprogram_pulse)
+
+    @property
+    def applied_drift_epoch(self) -> int:
+        """The absolute epoch the current banks were derived at."""
+        return self._drift_applied[1]
+
+    def sync_drift(self) -> bool:
+        """Apply the drift epoch implied by the pulse counter.
+
+        This is the *only* place effective conductances move in time:
+        the hot path just counts pulses, and callers (the lifecycle
+        scheduler, experiment loops) sync between query blocks.  Returns
+        True when the banks actually changed — the caller must then
+        invalidate any parallel-backend share of the owning model.
+        """
+        if self._drift_model is None:
+            return False
+        target = (self.drift_age_epochs, self.drift_epoch)
+        if target == self._drift_applied:
+            return False
+        self._rebuild_drifted_banks(*target)
+        return True
+
+    def reprogram(self) -> int:
+        """Read-verify-rewrite every cell back to its programmed target.
+
+        Resets the retention/read-disturb clock (decay restarts from the
+        pristine programmed state) and the ADC gain trim (part of the
+        programming-time bring-up, so a rewritten chip starts from the
+        same state a fresh build would) — but *not* the absolute epoch:
+        cells the stuck lottery has converted stay dead forever.
+        Returns the number of dead cells that persist after the rewrite.
+        """
+        if self._drift_model is None:
+            return 0
+        self._reprogram_pulse = self.pulse_count
+        self.gain = self._pristine_gain.copy()
+        self._rebuild_drifted_banks(0, self.drift_epoch)
+        return self.drift_converted
+
+    def _rebuild_drifted_banks(self, age_epochs: int, absolute_epoch: int) -> None:
+        """Derive the banks in effect at ``(age, absolute)`` epochs.
+
+        Never mutates existing bank objects — pristine clones share the
+        epoch-0 list, so a drifted state always materializes as *new*
+        banks (with fresh predictor handles and an empty zero-row
+        cache).  The metadata (chunks, col_weight, ideal_bias) describes
+        the layout, not the conductances, and is shared unchanged.
+        """
+        model = self._drift_model
+        assert model is not None
+        if age_epochs == 0 and (
+            absolute_epoch == 0 or not model.config.has_stuck_conversion
+        ):
+            self.banks = self._banks_epoch0
+            self.drift_converted = 0
+            self._drift_applied = (age_epochs, absolute_epoch)
+            return
+        predictor = self.predictor
+        banks: list[_TileRowBank] = []
+        converted = 0
+        for bank0, tiles in zip(self._banks_epoch0, self._drift_tiles):
+            handles = []
+            for tile_index, pristine, used in tiles:
+                g = model.drift_tile(pristine, tile_index, age_epochs, absolute_epoch)
+                if model.config.has_stuck_conversion:
+                    converted += model.dead_count(
+                        pristine.shape, tile_index, absolute_epoch
+                    )
+                handles.append(predictor.prepare_crossbar(g, used))
+            banks.append(
+                _TileRowBank(
+                    handle=predictor.concat_bias(handles),
+                    row_slice=bank0.row_slice,
+                    chunks=bank0.chunks,
+                    total_cols=bank0.total_cols,
+                    col_weight=bank0.col_weight,
+                    ideal_bias=bank0.ideal_bias,
+                )
+            )
+        self.banks = banks
+        self.drift_converted = converted
+        self._drift_applied = (age_epochs, absolute_epoch)
+
+    def drift_state(self) -> dict:
+        """The resumable temporal coordinates of this chip."""
+        return {
+            "pulse_count": int(self.pulse_count),
+            "reprogram_pulse": int(self._reprogram_pulse),
+            "epoch": self.drift_epoch,
+            "age_epochs": self.drift_age_epochs,
+            "applied_epoch": self.applied_drift_epoch,
+            "converted": int(self.drift_converted),
+        }
+
+    def restore_drift_state(self, state: dict) -> None:
+        """Resume a chip at saved temporal coordinates (and sync)."""
+        self.pulse_count = int(state["pulse_count"])
+        self._reprogram_pulse = int(state.get("reprogram_pulse", 0))
+        self.sync_drift()
 
     def refit_gain(self, vectors: np.ndarray, weight: np.ndarray) -> None:
         """Recalibrate per-column gains against real activation vectors.
@@ -533,12 +700,7 @@ class CrossbarEngine:
                 perf.predictor_seconds += time.perf_counter() - start
                 perf.bank_evals += 1
                 perf.streams_evaluated += 1
-                if self.config.adc.bits is not None and _obs.active():
-                    _obs.record_adc(
-                        _obs.layer_label(self),
-                        currents,
-                        self.config.adc.full_scale_fraction * self._adc_full_scale,
-                    )
+                self._observe_adc(currents)
                 fallback_cols = self._check_tile_health(currents, bank)
                 currents = quantize_current(currents, self.config.adc, self._adc_full_scale)
                 if fallback_cols is not None:
@@ -625,12 +787,7 @@ class CrossbarEngine:
             perf.predictor_seconds += time.perf_counter() - start
             perf.bank_evals += 1
             perf.streams_evaluated += len(active)
-            if self.config.adc.bits is not None and _obs.active():
-                _obs.record_adc(
-                    _obs.layer_label(self),
-                    packed,
-                    self.config.adc.full_scale_fraction * self._adc_full_scale,
-                )
+            self._observe_adc(packed)
             packed_v_sum = volts.sum(axis=1, keepdims=True)
             compacted = packed_rows != full_rows
             zero_row = self._zero_row_currents(bank) if compacted else None
@@ -752,6 +909,27 @@ class CrossbarEngine:
                     dst = out[:, chunk.col_slice]
                     if not _ckernels.axpy_block(dst, src, stream_scale):
                         dst += stream_scale * src
+
+    def _observe_adc(self, currents: np.ndarray) -> None:
+        """Report raw bank currents to the ADC observers.
+
+        Two consumers share this seam: the obs layer's clip-rate
+        telemetry (active only inside an ``--obs`` run) and the health
+        probe's local clip accumulator (armed by
+        :func:`repro.lifecycle.probe_health` so the recalibration
+        scheduler can read clip rates without an obs session).
+        """
+        if self.config.adc.bits is None:
+            return
+        probe = self._probe_clip
+        if probe is None and not _obs.active():
+            return
+        full_scale = self.config.adc.full_scale_fraction * self._adc_full_scale
+        if _obs.active():
+            _obs.record_adc(_obs.layer_label(self), currents, full_scale)
+        if probe is not None:
+            probe[0] += int((currents < 0.0).sum()) + int((currents > full_scale).sum())
+            probe[1] += currents.size
 
     def _voltage_workspace(self, m: int, rows: int) -> np.ndarray:
         """Reusable float64 voltage buffer for the vectorized kernel."""
@@ -898,6 +1076,7 @@ class NonIdealLinear(Module):
         # engine instead of paying the full programming cost again.
         self.engine = engine or CrossbarEngine(self.weight_float, config, predictor, rng)
         self._pending_calibration = False
+        self._probe_health = False
         self._max_calibration_vectors = 2048
 
     def forward(self, x: Tensor) -> Tensor:
@@ -905,12 +1084,12 @@ class NonIdealLinear(Module):
             vectors = _subsample_rows(x.data, self._max_calibration_vectors)
             self.engine.accumulate_gain(vectors, self.weight_float)
         analog = self.engine.matvec(x.data)
-        if _obs.active():
-            _obs.record_layer_deviation(
-                _obs.layer_label(self),
-                analog,
-                np.asarray(x.data, dtype=np.float64) @ self.weight_float.T,
-            )
+        if self._probe_health or _obs.active():
+            ideal = np.asarray(x.data, dtype=np.float64) @ self.weight_float.T
+            if _obs.active():
+                _obs.record_layer_deviation(_obs.layer_label(self), analog, ideal)
+            if self._probe_health:
+                self.engine.last_probe = _obs.deviation_stats(analog, ideal)
         out = analog.astype(np.float32)
         if self.bias_float is not None:
             out = out + self.bias_float
@@ -956,6 +1135,7 @@ class NonIdealConv2d(Module):
         # engine instead of paying the full programming cost again.
         self.engine = engine or CrossbarEngine(self.weight_matrix, config, predictor, rng)
         self._pending_calibration = False
+        self._probe_health = False
         self._max_calibration_vectors = 2048
 
     def forward(self, x: Tensor) -> Tensor:
@@ -970,12 +1150,12 @@ class NonIdealConv2d(Module):
             sample = _subsample_rows(vectors, self._max_calibration_vectors)
             self.engine.accumulate_gain(sample, self.weight_matrix)
         flat = self.engine.matvec(vectors)  # (N*L, out)
-        if _obs.active():
-            _obs.record_layer_deviation(
-                _obs.layer_label(self),
-                flat,
-                np.asarray(vectors, dtype=np.float64) @ self.weight_matrix.T,
-            )
+        if self._probe_health or _obs.active():
+            ideal = np.asarray(vectors, dtype=np.float64) @ self.weight_matrix.T
+            if _obs.active():
+                _obs.record_layer_deviation(_obs.layer_label(self), flat, ideal)
+            if self._probe_health:
+                self.engine.last_probe = _obs.deviation_stats(flat, ideal)
         out = (
             flat.reshape(n, h_out * w_out, self.out_channels)
             .transpose(0, 2, 1)
@@ -1281,12 +1461,32 @@ def snapshot_engine(engine: CrossbarEngine) -> "tuple[dict, dict] | None":
             }
         )
     arrays["pristine_gain"] = engine._pristine_gain
+    drift_meta = None
+    if engine._drift_model is not None:
+        # The pristine per-tile conductances ride along so a restored
+        # chip can keep aging; the recorded temporal coordinates let
+        # the cache refuse to resurrect a drifted chip as fresh.
+        tile_meta = []
+        for i, tiles in enumerate(engine._drift_tiles):
+            bank_tiles = []
+            for j, (tile_index, pristine, used) in enumerate(tiles):
+                arrays[f"d{i}_{j}_g"] = pristine
+                bank_tiles.append({"tile": int(tile_index), "used": int(used)})
+            tile_meta.append(bank_tiles)
+        drift_meta = {
+            "token": engine._drift_model.chip_token,
+            "pulse_count": int(engine.pulse_count),
+            "reprogram_pulse": int(engine._reprogram_pulse),
+            "epoch": engine.applied_drift_epoch,
+            "tiles": tile_meta,
+        }
     meta = {
         "out_features": engine.out_features,
         "in_features": engine.in_features,
         "w_scale": engine.w_scale,
         "fault_summary": dataclasses.asdict(engine.fault_summary),
         "banks": bank_meta,
+        "drift": drift_meta,
     }
     return arrays, meta
 
@@ -1355,4 +1555,25 @@ def restore_engine(
     pristine = np.asarray(arrays["pristine_gain"], dtype=np.float64)
     engine.gain = pristine.copy()
     engine._pristine_gain = pristine.copy()
+    engine.pulse_count = 0
+    engine._reprogram_pulse = 0
+    engine._drift_applied = (0, 0)
+    engine.drift_converted = 0
+    engine._drift_model = None
+    engine._drift_tiles = []
+    engine._probe_clip = None
+    engine.last_probe = None
+    drift_meta = meta.get("drift")
+    if drift_meta is not None:
+        engine._drift_model = DriftModel(
+            config.drift, config.device, int(drift_meta["token"])
+        )
+        for i, bank_tiles in enumerate(drift_meta["tiles"]):
+            engine._drift_tiles.append(
+                [
+                    (int(t["tile"]), np.asarray(arrays[f"d{i}_{j}_g"]), int(t["used"]))
+                    for j, t in enumerate(bank_tiles)
+                ]
+            )
+    engine._banks_epoch0 = engine.banks
     return engine

@@ -1,0 +1,264 @@
+"""Lifecycle layer: health probes, model-level drift ops, the scheduler."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_tiny_crossbar_config
+from repro.lifecycle import (
+    LayerHealth,
+    RecalibrationError,
+    RecalibrationPolicy,
+    RecalibrationScheduler,
+    drift_status,
+    probe_health,
+    reprogram_model,
+    sync_model_drift,
+    total_pulses,
+)
+from repro.nn.resnet import build_model
+from repro.train.trainer import evaluate_accuracy
+from repro.xbar.drift import DriftConfig, with_drift
+from repro.xbar.simulator import (
+    IdealPredictor,
+    _named_nonideal_layers,
+    convert_to_hardware,
+)
+
+DRIFT = DriftConfig(
+    epoch_pulses=64,
+    retention_nu=0.15,
+    retention_sigma=0.4,
+    read_disturb_rate=1e-4,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def digital_model():
+    model = build_model("resnet10", num_classes=4, width=4, seed=1)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(0)
+    x = rng.random((8, 3, 8, 8)).astype(np.float32)
+    y = np.arange(8) % 4
+    return x, y
+
+
+def make_hardware(digital_model, drift=DRIFT, guard_mode="warn"):
+    config = with_drift(make_tiny_crossbar_config(), drift)
+    config = dataclasses.replace(
+        config, guard=dataclasses.replace(config.guard, mode=guard_mode)
+    )
+    return convert_to_hardware(
+        digital_model,
+        config,
+        predictor=IdealPredictor(),
+        rng=np.random.default_rng(5),
+        engine_cache=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# probe_health
+# ----------------------------------------------------------------------
+
+
+def test_probe_health_measures_every_layer(digital_model, batch):
+    hardware = make_hardware(digital_model)
+    x, _ = batch
+    health = probe_health(hardware, x)
+    names = {name for name, _ in _named_nonideal_layers(hardware)}
+    assert set(health) == names
+    for measurement in health.values():
+        assert isinstance(measurement, LayerHealth)
+        assert measurement.rel_dev >= 0.0
+        assert measurement.pulse_count > 0
+    # Probe flags are disarmed afterwards.
+    for _name, layer in _named_nonideal_layers(hardware):
+        assert not layer._probe_health
+        assert layer.engine.last_probe is None
+
+
+def test_probe_health_is_deterministic(digital_model, batch):
+    hardware = make_hardware(digital_model)
+    x, _ = batch
+    a = probe_health(hardware, x)
+    b = probe_health(hardware, x)  # more pulses, same (unsynced) epoch
+    assert {n: h.rel_dev for n, h in a.items()} == {
+        n: h.rel_dev for n, h in b.items()
+    }
+
+
+def test_probe_health_empty_model():
+    assert probe_health(build_model("resnet10", num_classes=4, width=4), []) == {}
+
+
+# ----------------------------------------------------------------------
+# Model-level drift ops
+# ----------------------------------------------------------------------
+
+
+def test_sync_and_status_and_pulses(digital_model, batch):
+    hardware = make_hardware(digital_model)
+    x, y = batch
+    assert total_pulses(hardware) == 0
+    assert sync_model_drift(hardware) == []  # nothing served yet
+    evaluate_accuracy(hardware, x, y, batch_size=4)
+    assert total_pulses(hardware) > 0
+    changed = sync_model_drift(hardware)
+    assert changed  # conv engines cross an epoch within one sweep
+    status = drift_status(hardware)
+    assert set(changed) <= set(status)
+    assert any(state["epoch"] > 0 for state in status.values())
+
+
+def test_reprogram_model_selective_and_unknown(digital_model, batch):
+    hardware = make_hardware(digital_model)
+    x, y = batch
+    evaluate_accuracy(hardware, x, y, batch_size=4)
+    sync_model_drift(hardware)
+    names = [name for name, _ in _named_nonideal_layers(hardware)]
+    survivors = reprogram_model(hardware, [names[0]])
+    assert survivors == {names[0]: 0}
+    with pytest.raises(KeyError):
+        reprogram_model(hardware, ["no.such.layer"])
+
+
+def test_reprogram_restores_model_outputs(digital_model, batch):
+    from repro.attacks.base import predict_logits
+
+    hardware = make_hardware(digital_model)
+    x, y = batch
+    fresh = predict_logits(hardware, x, batch_size=4)
+    for _ in range(3):
+        evaluate_accuracy(hardware, x, y, batch_size=4)
+    sync_model_drift(hardware)
+    drifted = predict_logits(hardware, x, batch_size=4)
+    assert not np.array_equal(fresh, drifted)
+    reprogram_model(hardware)
+    np.testing.assert_array_equal(fresh, predict_logits(hardware, x, batch_size=4))
+
+
+# ----------------------------------------------------------------------
+# RecalibrationScheduler
+# ----------------------------------------------------------------------
+
+
+def make_scheduler(digital_model, batch, policy=None, guard_mode="warn", drift=DRIFT):
+    hardware = make_hardware(digital_model, drift=drift, guard_mode=guard_mode)
+    x, _ = batch
+    return (
+        RecalibrationScheduler(hardware, x, x, policy=policy),
+        hardware,
+    )
+
+
+def test_scheduler_baseline_thresholds(digital_model, batch):
+    scheduler, hardware = make_scheduler(digital_model, batch)
+    names = {name for name, _ in _named_nonideal_layers(hardware)}
+    assert set(scheduler.thresholds) == names
+    assert all(t >= scheduler.policy.min_rel_dev for t in scheduler.thresholds.values())
+
+
+def test_healthy_tick_takes_no_action(digital_model, batch):
+    # Slow drift clock: the baseline probe's own pulses stay sub-epoch,
+    # so the first tick observes a genuinely fresh chip.
+    slow = dataclasses.replace(DRIFT, epoch_pulses=1_000_000)
+    scheduler, _hardware = make_scheduler(digital_model, batch, drift=slow)
+    report = scheduler.tick()  # no traffic: chip still fresh
+    assert report.state == "ok"
+    assert report.unhealthy == []
+    assert report.action is None
+    assert scheduler.stats()["recalibrations"] == 0
+
+
+def test_scheduler_recovers_from_drift(digital_model, batch):
+    scheduler, hardware = make_scheduler(digital_model, batch)
+    x, y = batch
+    # Serve enough traffic that the fastest engines cross several epochs.
+    for _ in range(4):
+        evaluate_accuracy(hardware, x, y, batch_size=4)
+    first = scheduler.tick()
+    assert first.drift_synced
+    assert first.unhealthy, "drift this strong must trip the thresholds"
+    assert first.action == "refit", "episodes start on the cheapest rung"
+    # Drive the escalation ladder (refit -> reprogram -> reprogram_all,
+    # with backoff ticks in between) until the episode resolves.  No new
+    # traffic is served, so a whole-chip rewrite provably recovers.
+    reports = [first]
+    while scheduler.state != "ok" and scheduler.ticks < 10:
+        reports.append(scheduler.tick())
+    assert scheduler.state == "ok"
+    assert reports[-1].healthy_after is True
+    assert scheduler.stats()["recalibrations"] == 1
+    assert scheduler.stats()["escalations"] == 0
+
+
+def test_scheduler_backoff_then_escalate_warn(digital_model, batch, monkeypatch):
+    policy = RecalibrationPolicy(max_attempts=2, backoff_ticks=1)
+    scheduler, hardware = make_scheduler(digital_model, batch, policy=policy)
+    x, y = batch
+    for _ in range(4):
+        evaluate_accuracy(hardware, x, y, batch_size=4)
+    # Sabotage recovery: every action leaves the chip "unhealthy".
+    monkeypatch.setattr(
+        scheduler, "_unhealthy_layers", lambda health: list(health)[:1]
+    )
+    first = scheduler.tick()
+    assert first.action == "refit"
+    assert first.healthy_after is False
+    assert scheduler.state == "backoff"
+    second = scheduler.tick()  # either still in backoff or the next attempt
+    reports = [first, second]
+    while scheduler.state not in ("failed",) and scheduler.ticks < 10:
+        reports.append(scheduler.tick())
+    assert scheduler.state == "failed"
+    assert scheduler.stats()["escalations"] == 1
+    actions = [r.action for r in reports if r.action]
+    assert actions[0] == "refit"
+    assert "reprogram" in actions
+    # Once failed, ticks observe but never act again.
+    after = scheduler.tick()
+    assert after.action is None
+
+
+def test_scheduler_escalation_raises_with_raise_guard(
+    digital_model, batch, monkeypatch
+):
+    policy = RecalibrationPolicy(max_attempts=1, backoff_ticks=1)
+    scheduler, hardware = make_scheduler(
+        digital_model, batch, policy=policy, guard_mode="raise"
+    )
+    x, y = batch
+    for _ in range(4):
+        evaluate_accuracy(hardware, x, y, batch_size=4)
+    monkeypatch.setattr(
+        scheduler, "_unhealthy_layers", lambda health: list(health)[:1]
+    )
+    with pytest.raises(RecalibrationError):
+        scheduler.tick()
+    assert scheduler.stats()["escalations"] == 1
+
+
+def test_scheduler_backoff_skips_ticks(digital_model, batch, monkeypatch):
+    policy = RecalibrationPolicy(max_attempts=5, backoff_ticks=2)
+    scheduler, hardware = make_scheduler(digital_model, batch, policy=policy)
+    x, y = batch
+    for _ in range(4):
+        evaluate_accuracy(hardware, x, y, batch_size=4)
+    monkeypatch.setattr(
+        scheduler, "_unhealthy_layers", lambda health: list(health)[:1]
+    )
+    acted = scheduler.tick()
+    assert acted.action is not None
+    waiting = scheduler.tick()
+    assert waiting.action is None
+    assert waiting.state == "backoff"

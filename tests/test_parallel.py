@@ -308,6 +308,78 @@ def test_ensemble_distillation_identical(digital_model, eval_batch):
 
 
 # ----------------------------------------------------------------------
+# Bit-identity: temporal drift
+# ----------------------------------------------------------------------
+
+
+def make_drifting_hardware(digital_model):
+    from repro.xbar.drift import DriftConfig, with_drift
+
+    config = with_drift(
+        make_tiny_crossbar_config(),
+        DriftConfig(
+            epoch_pulses=64,
+            retention_nu=0.15,
+            retention_sigma=0.4,
+            read_disturb_rate=1e-4,
+            seed=11,
+        ),
+    )
+    return convert_to_hardware(
+        digital_model,
+        config,
+        predictor=IdealPredictor(),
+        rng=np.random.default_rng(5),
+        engine_cache=False,
+    )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_drifting_serve_loop_identical(workers, digital_model, eval_batch):
+    """A multi-block serve loop on a drifting chip is worker-invariant.
+
+    Each parallel map runs at the *frozen* drift epoch; per-worker pulse
+    deltas merge back in shard order, and conductances only move at the
+    explicit sync between blocks — so logits, pulse counters and drift
+    epochs all match serial execution bitwise, block by block.
+    """
+    from repro.attacks.base import predict_logits
+    from repro.lifecycle import drift_status, sync_model_drift
+
+    x, y = eval_batch
+
+    def serve(hardware, parallel_workers=None):
+        trajectory = []
+        for _block in range(3):
+            if parallel_workers:
+                with parallel_backend(parallel_workers):
+                    logits = predict_logits(hardware, x, batch_size=4)
+            else:
+                logits = predict_logits(hardware, x, batch_size=4)
+            sync_model_drift(hardware)
+            pulses = {
+                name: layer.engine.pulse_count
+                for name, layer in _named_nonideal_layers(hardware)
+            }
+            epochs = {
+                name: state["epoch"]
+                for name, state in drift_status(hardware).items()
+            }
+            trajectory.append((logits.tobytes(), pulses, epochs))
+        return trajectory
+
+    serial = serve(make_drifting_hardware(digital_model))
+    parallel = serve(make_drifting_hardware(digital_model), workers)
+    assert any(
+        epoch > 0 for _b, _p, epochs in serial for epoch in epochs.values()
+    ), "the serve loop must actually age the chip"
+    for block, (a, b) in enumerate(zip(serial, parallel)):
+        assert a[0] == b[0], f"logits diverge at block {block}"
+        assert a[1] == b[1], f"pulse counters diverge at block {block}"
+        assert a[2] == b[2], f"drift epochs diverge at block {block}"
+
+
+# ----------------------------------------------------------------------
 # Telemetry merge parity
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,340 @@
+"""Temporal drift model + engine integration: determinism, monotonicity,
+reprogram semantics, snapshot/disk-cache freshness."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_tiny_crossbar_config
+from repro.xbar.device import DeviceConfig
+from repro.xbar.drift import DriftConfig, DriftModel, with_drift
+from repro.xbar.engine_cache import EngineCache, engine_key
+from repro.xbar.simulator import (
+    CrossbarEngine,
+    IdealPredictor,
+    restore_engine,
+    snapshot_engine,
+)
+
+
+def drift_config(**overrides) -> DriftConfig:
+    base = dict(
+        epoch_pulses=8,
+        retention_nu=0.1,
+        retention_sigma=0.3,
+        read_disturb_rate=1e-3,
+        stuck_rate=0.0,
+        seed=7,
+    )
+    base.update(overrides)
+    return DriftConfig(**base)
+
+
+def build_engine(config, seed=3, out_features=6, in_features=10):
+    weight = np.random.default_rng(1).normal(size=(out_features, in_features))
+    return CrossbarEngine(
+        weight, config, IdealPredictor(), np.random.default_rng(seed)
+    )
+
+
+@pytest.fixture
+def x():
+    return np.abs(np.random.default_rng(2).normal(size=(4, 10)))
+
+
+# ----------------------------------------------------------------------
+# DriftConfig contract
+# ----------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DriftConfig(epoch_pulses=-1)
+    with pytest.raises(ValueError):
+        DriftConfig(retention_nu=-0.1)
+    with pytest.raises(ValueError):
+        DriftConfig(retention_t0=0.0)
+    with pytest.raises(ValueError):
+        DriftConfig(stuck_rate=1.5)
+
+
+def test_config_enabled_requires_epoch_and_mechanism():
+    assert not DriftConfig().enabled
+    assert not DriftConfig(epoch_pulses=8).enabled  # no mechanism
+    assert not DriftConfig(retention_nu=0.1).enabled  # no clock
+    assert DriftConfig(epoch_pulses=8, retention_nu=0.1).enabled
+
+
+def test_with_drift_renames_and_changes_cache_key(x):
+    config = make_tiny_crossbar_config()
+    drifted = with_drift(config, drift_config())
+    assert drifted.name != config.name
+    weight = np.random.default_rng(1).normal(size=(6, 10))
+    assert engine_key(weight, config, IdealPredictor(), None) != engine_key(
+        weight, drifted, IdealPredictor(), None
+    )
+
+
+# ----------------------------------------------------------------------
+# DriftModel properties (hypothesis)
+# ----------------------------------------------------------------------
+
+DEVICE = DeviceConfig(
+    r_on=100e3, on_off_ratio=50.0, levels_bits=2, program_sigma=0.0,
+    iv_beta=0.25, v_read=0.25,
+)
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    token=st.integers(0, 2**16),
+    tile=st.integers(0, 8),
+    age=st.integers(0, 50),
+    absolute=st.integers(0, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_drift_tile_deterministic(seed, token, tile, age, absolute):
+    """Same (seed, token, tile, epochs) -> bitwise identical tile."""
+    cfg = drift_config(seed=seed, stuck_rate=0.02)
+    g0 = np.random.default_rng(0).uniform(
+        DEVICE.g_min, DEVICE.g_max, size=(8, 8)
+    )
+    a = DriftModel(cfg, DEVICE, token).drift_tile(g0, tile, age, absolute)
+    b = DriftModel(cfg, DEVICE, token).drift_tile(g0, tile, age, absolute)
+    np.testing.assert_array_equal(a, b)
+
+
+@given(seed=st.integers(0, 2**16), age=st.integers(1, 60))
+@settings(max_examples=40, deadline=None)
+def test_drift_tile_monotone_decay(seed, age):
+    """Elementwise non-increasing in age; t=0 is the exact identity."""
+    model = DriftModel(drift_config(seed=seed), DEVICE, 5)
+    g0 = np.random.default_rng(seed).uniform(
+        DEVICE.g_min, DEVICE.g_max, size=(8, 8)
+    )
+    np.testing.assert_array_equal(model.drift_tile(g0, 0, 0, 0), g0)
+    younger = model.drift_tile(g0, 0, age - 1, 0)
+    older = model.drift_tile(g0, 0, age, 0)
+    assert (older <= younger).all()
+    assert (older >= DEVICE.g_min).all()
+
+
+@given(seed=st.integers(0, 2**16), epoch=st.integers(0, 40))
+@settings(max_examples=40, deadline=None)
+def test_dead_mask_monotone(seed, epoch):
+    """The stuck-conversion dead set only ever grows — no resurrection."""
+    model = DriftModel(drift_config(seed=seed, stuck_rate=0.05), DEVICE, 5)
+    now = model.dead_mask((8, 8), 0, epoch)
+    later = model.dead_mask((8, 8), 0, epoch + 1)
+    assert (later | now == later).all(), "a dead cell came back to life"
+
+
+def test_dead_cells_survive_reprogram_ages():
+    """Reprogramming resets retention age but never the death lottery."""
+    model = DriftModel(drift_config(stuck_rate=0.1), DEVICE, 5)
+    g0 = np.full((8, 8), DEVICE.g_max)
+    aged = model.drift_tile(g0, 0, age_epochs=0, absolute_epoch=10)
+    dead = model.dead_mask((8, 8), 0, 10)
+    assert dead.any()
+    np.testing.assert_array_equal(aged[dead], DEVICE.g_min)
+    np.testing.assert_array_equal(aged[~dead], g0[~dead])
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+
+
+def test_zero_drift_engine_is_bitwise_static(x):
+    config = make_tiny_crossbar_config()
+    static = build_engine(config)
+    drifting = build_engine(with_drift(config, drift_config()))
+    np.testing.assert_array_equal(static.matvec(x), drifting.matvec(x))
+    # Below one epoch a sync is a no-op and outputs stay identical.
+    assert not drifting.sync_drift() or drifting.applied_drift_epoch > 0
+    np.testing.assert_array_equal(static.matvec(x), drifting.matvec(x))
+
+
+def test_pulse_counter_and_epoch_advance(x):
+    engine = build_engine(with_drift(make_tiny_crossbar_config(), drift_config()))
+    assert engine.pulse_count == 0
+    engine.matvec(x)
+    assert engine.pulse_count == x.shape[0]
+    for _ in range(5):
+        engine.matvec(x)
+    assert engine.drift_epoch == engine.pulse_count // 8
+    assert engine.applied_drift_epoch == 0  # nothing applied until sync
+    assert engine.sync_drift()
+    assert engine.applied_drift_epoch == engine.drift_epoch
+
+
+def test_drift_changes_outputs_deterministically(x):
+    config = with_drift(make_tiny_crossbar_config(), drift_config())
+
+    def serve(blocks):
+        engine = build_engine(config)
+        fresh = engine.matvec(x)
+        for _ in range(blocks):
+            engine.matvec(x)
+        engine.sync_drift()
+        return fresh, engine.matvec(x)
+
+    fresh_a, aged_a = serve(10)
+    fresh_b, aged_b = serve(10)
+    assert not np.array_equal(fresh_a, aged_a)
+    np.testing.assert_array_equal(fresh_a, fresh_b)
+    np.testing.assert_array_equal(aged_a, aged_b)
+
+
+def test_reprogram_restores_fresh_bitwise(x):
+    engine = build_engine(with_drift(make_tiny_crossbar_config(), drift_config()))
+    fresh = engine.matvec(x)
+    for _ in range(20):
+        engine.matvec(x)
+    engine.sync_drift()
+    assert engine.applied_drift_epoch > 0
+    assert engine.reprogram() == 0  # stuck_rate=0: no dead survivors
+    np.testing.assert_array_equal(fresh, engine.matvec(x))
+    # Age restarts from the reprogram point, not from zero pulses.
+    assert engine.pulse_count > 0
+    assert engine.drift_age_epochs == 0
+
+
+def test_clone_pristine_resets_time(x):
+    engine = build_engine(with_drift(make_tiny_crossbar_config(), drift_config()))
+    fresh = engine.matvec(x)
+    for _ in range(20):
+        engine.matvec(x)
+    engine.sync_drift()
+    clone = engine.clone_pristine()
+    assert clone.pulse_count == 0
+    assert clone.applied_drift_epoch == 0
+    np.testing.assert_array_equal(fresh, clone.matvec(x))
+    # The donor keeps its drifted banks.
+    assert engine.applied_drift_epoch > 0
+
+
+def test_drift_state_round_trip(x):
+    config = with_drift(make_tiny_crossbar_config(), drift_config())
+    a = build_engine(config)
+    for _ in range(13):
+        a.matvec(x)
+    a.sync_drift()
+    state = a.drift_state()
+    b = build_engine(config)
+    b.restore_drift_state(state)
+    b.sync_drift()
+    assert b.drift_state() == a.drift_state()
+    np.testing.assert_array_equal(a.matvec(x), b.matvec(x))
+
+
+def test_snapshot_restore_preserves_drift_machinery(x):
+    config = with_drift(make_tiny_crossbar_config(), drift_config())
+    engine = build_engine(config)
+    fresh = engine.matvec(x)
+    arrays, meta = snapshot_engine(engine)
+    assert meta["drift"] is not None
+    restored = restore_engine(meta, arrays, config, IdealPredictor())
+    np.testing.assert_array_equal(fresh, restored.matvec(x))
+    # The restored chip ages exactly like the original.
+    for eng in (engine, restored):
+        for _ in range(20):
+            eng.matvec(x)
+        eng.sync_drift()
+    np.testing.assert_array_equal(engine.matvec(x), restored.matvec(x))
+
+
+# ----------------------------------------------------------------------
+# Engine-cache freshness (disk tier)
+# ----------------------------------------------------------------------
+
+
+def test_disk_tier_round_trips_fresh_drifting_engine(tmp_path, x):
+    config = with_drift(make_tiny_crossbar_config(), drift_config())
+    weight = np.random.default_rng(1).normal(size=(6, 10))
+    predictor = IdealPredictor()
+    writer = EngineCache(disk=tmp_path)
+    built = writer.get_or_build(
+        weight, config, predictor, None,
+        lambda: CrossbarEngine(weight, config, predictor),
+    )
+    assert writer.stats.disk_stores == 1
+    reader = EngineCache(disk=tmp_path)
+    restored = reader.get_or_build(
+        weight, config, predictor, None,
+        lambda: pytest.fail("expected a disk hit for the fresh snapshot"),
+    )
+    assert reader.stats.disk_hits == 1
+    np.testing.assert_array_equal(built.matvec(x), restored.matvec(x))
+
+
+def test_disk_tier_refuses_drifted_snapshot(tmp_path, x):
+    """Epoch-mismatch regression: an aged engine never loads as fresh."""
+    config = with_drift(make_tiny_crossbar_config(), drift_config())
+    weight = np.random.default_rng(1).normal(size=(6, 10))
+    predictor = IdealPredictor()
+    cache = EngineCache(disk=tmp_path)
+    engine = CrossbarEngine(weight, config, predictor)
+    fresh = engine.matvec(x)
+    for _ in range(20):
+        engine.matvec(x)
+    engine.sync_drift()
+    assert engine.applied_drift_epoch > 0
+    # Force-store the aged engine under its build key (simulating a
+    # spill taken at the wrong point of the chip's life).
+    key = engine_key(weight, config, predictor, None)
+    cache._store_to_disk(tmp_path, key, engine, None)
+    assert cache.stats.disk_stores == 1
+
+    reader = EngineCache(disk=tmp_path)
+    rebuilt = reader.get_or_build(
+        weight, config, predictor, None,
+        lambda: CrossbarEngine(weight, config, predictor),
+    )
+    # The stale snapshot is a miss (fail-open): dropped and rebuilt.
+    assert reader.stats.disk_hits == 0
+    assert reader.stats.misses == 1
+    assert reader.stats.disk_errors == 1
+    assert rebuilt.applied_drift_epoch == 0
+    np.testing.assert_array_equal(fresh, rebuilt.matvec(x))
+
+
+def test_disk_cache_entries_reports_age_and_epoch(tmp_path):
+    from repro.xbar.engine_cache import disk_cache_entries
+
+    config = make_tiny_crossbar_config()
+    weight = np.random.default_rng(1).normal(size=(6, 10))
+    cache = EngineCache(disk=tmp_path)
+    cache.get_or_build(
+        weight, config, IdealPredictor(), None,
+        lambda: CrossbarEngine(weight, config, IdealPredictor()),
+    )
+    entries = disk_cache_entries(tmp_path)
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry["epoch"] == 0 and entry["pulses"] == 0
+    assert entry["bytes"] > 0
+    assert entry["age_seconds"] is not None and entry["age_seconds"] >= 0
+
+
+def test_cli_cache_stats_lists_entries(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+    from repro.xbar.engine_cache import DISK_CACHE_ENV
+
+    monkeypatch.setenv(DISK_CACHE_ENV, str(tmp_path))
+    config = make_tiny_crossbar_config()
+    weight = np.random.default_rng(1).normal(size=(6, 10))
+    cache = EngineCache(disk=True)
+    cache.get_or_build(
+        weight, config, IdealPredictor(), None,
+        lambda: CrossbarEngine(weight, config, IdealPredictor()),
+    )
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "drift epoch 0" in out
+    assert "age " in out
