@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Integer-quantized inference benchmark: BENCH_17_quant.json.
+
+Times a non-ideal ResNet-20 forward pass in the default float path vs
+the int8 pulse-expansion path (``QuantConfig(mode="int8")``), then
+*asserts* the integer mode's numerics contract:
+
+* speedup — the int8 forward must be >= ``MIN_SPEEDUP`` faster than
+  the float path (the full-width pulse plane halves predictor rows);
+* bit-identity, compiled vs pure — the int8 forward with the C kernels
+  disabled must reproduce the compiled logits exactly;
+* bit-identity, workers — logits under ``--workers 1/2/3`` must match
+  the serial sweep exactly;
+* engagement — the int path must actually serve the matvecs
+  (``perf.int_matvec_calls > 0``), so a silent float fallback cannot
+  masquerade as a speedup.
+
+Scale is controlled by ``REPRO_BENCH_PROFILE`` (tiny | small |
+default; defaults to ``tiny`` so it stays a CI gate).  Results are
+written to ``BENCH_17_quant.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.attacks.base import predict_logits  # noqa: E402
+from repro.autograd import Tensor, no_grad  # noqa: E402
+from repro.nn.resnet import resnet20  # noqa: E402
+from repro.obs.sink import runtime_stamp  # noqa: E402
+from repro.parallel.backend import parallel_backend  # noqa: E402
+from repro.xbar import _ckernels  # noqa: E402
+from repro.xbar.engine_cache import config_digest  # noqa: E402
+from repro.xbar.perf import perf_report, reset_perf  # noqa: E402
+from repro.xbar.presets import crossbar_preset, load_or_train_geniex  # noqa: E402
+from repro.xbar.quant import QuantConfig, with_quant  # noqa: E402
+from repro.xbar.simulator import convert_to_hardware  # noqa: E402
+
+PRESET = "32x32_100k"
+MIN_SPEEDUP = 1.5
+
+PROFILES = {
+    # (resnet batch, timing repeats, calibration images)
+    "tiny": (4, 3, 8),
+    "small": (8, 3, 16),
+    "default": (16, 5, 32),
+}
+
+
+def profile_name() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+
+def best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def build_hardware(config, geniex, calibration) -> object:
+    model = resnet20(num_classes=10, width=8)
+    model.eval()
+    return convert_to_hardware(
+        model,
+        config,
+        predictor=geniex,
+        rng=np.random.default_rng(2),
+        calibration_images=calibration,
+        engine_cache=False,
+    )
+
+
+def main() -> int:
+    profile = profile_name()
+    if profile not in PROFILES:
+        print(f"unknown REPRO_BENCH_PROFILE {profile!r}; use one of {sorted(PROFILES)}")
+        return 2
+    batch, repeats, cal_images = PROFILES[profile]
+    float_config = crossbar_preset(PRESET)
+    int8_config = with_quant(float_config, QuantConfig(mode="int8"))
+    geniex = load_or_train_geniex(float_config)
+    rng = np.random.default_rng(0)
+    calibration = rng.random((cal_images, 3, 16, 16)).astype(np.float32)
+    x = rng.random((batch, 3, 16, 16)).astype(np.float32)
+
+    print(f"[bench_quant] profile={profile} preset={PRESET} batch={batch}")
+    float_hw = build_hardware(float_config, geniex, calibration)
+    int8_hw = build_hardware(int8_config, geniex, calibration)
+
+    with no_grad():
+        float_seconds = best_of(lambda: float_hw(Tensor(x)), repeats)
+        reset_perf(int8_hw)
+        int8_seconds = best_of(lambda: int8_hw(Tensor(x)), repeats)
+    counters = perf_report(int8_hw).total
+    speedup = float_seconds / int8_seconds if int8_seconds > 0 else float("inf")
+    print(
+        f"[bench_quant] resnet20 forward: float {float_seconds:.2f} s -> "
+        f"int8 {int8_seconds:.2f} s  ({speedup:.2f}x)"
+    )
+
+    failures: list[str] = []
+    if counters.int_matvec_calls <= 0:
+        failures.append("int path never engaged (int_matvec_calls == 0)")
+    if speedup < MIN_SPEEDUP:
+        failures.append(f"int8 speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor")
+
+    # --- bit-identity: compiled C kernels vs pure-numpy fallback -------
+    compiled = _ckernels.available()
+    logits = predict_logits(int8_hw, x, batch_size=batch)
+    if compiled:
+        saved = _ckernels.available
+        _ckernels.available = lambda: False
+        try:
+            pure = predict_logits(int8_hw, x, batch_size=batch)
+        finally:
+            _ckernels.available = saved
+        kernels_identical = bool(np.array_equal(logits, pure))
+        if not kernels_identical:
+            failures.append("int8 logits differ between compiled and pure kernels")
+    else:
+        kernels_identical = None  # nothing to compare against
+    print(f"[bench_quant] compiled-vs-pure identical: {kernels_identical}")
+
+    # --- bit-identity: serial vs 1/2/3 workers -------------------------
+    workers_identical = {}
+    for workers in (1, 2, 3):
+        with parallel_backend(workers):
+            parallel = predict_logits(int8_hw, x, batch_size=2)
+        serial = predict_logits(int8_hw, x, batch_size=2)
+        workers_identical[str(workers)] = bool(np.array_equal(serial, parallel))
+        if not workers_identical[str(workers)]:
+            failures.append(f"int8 logits differ at --workers {workers}")
+    print(f"[bench_quant] worker bit-identity: {workers_identical}")
+
+    payload = runtime_stamp(
+        extra={
+            "bench": "quant",
+            "profile": profile,
+            "preset": PRESET,
+            "config_digest": config_digest(int8_config),
+            "seeds": {"data": [0], "convert": [2]},
+        }
+    )
+    payload.update(
+        {
+            "resnet20_forward": {
+                "model": "resnet20-w8",
+                "input": [batch, 3, 16, 16],
+                "float_seconds": float_seconds,
+                "int8_seconds": int8_seconds,
+                "speedup": speedup,
+                "min_speedup": MIN_SPEEDUP,
+            },
+            "perf_counters": counters.as_dict(),
+            "bit_identity": {
+                "compiled_kernels_present": compiled,
+                "compiled_vs_pure": kernels_identical,
+                "workers": workers_identical,
+            },
+            "failures": failures,
+        }
+    )
+    out_path = REPO_ROOT / "BENCH_17_quant.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_quant] wrote {out_path}")
+    if failures:
+        for failure in failures:
+            print(f"[bench_quant] FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

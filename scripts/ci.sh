@@ -48,6 +48,12 @@ python -m pytest -x -q tests/test_parallel.py -k identical
 python -m repro cache stats
 
 echo
+echo "=== int8 smoke: quantized table3 + 2-worker bit-identity run ==="
+python -m repro table3 --fast --task cifar10 --int8 --obs=artifacts/runs/ci-int8
+python -m repro obs validate artifacts/runs/ci-int8
+python -m repro table3 --fast --task cifar10 --int8 --workers 2
+
+echo
 echo "=== drift smoke: recalibration scheduler + schema validation ==="
 python -m repro drift --fast --no-staleness --obs=artifacts/runs/ci-drift \
     | tee artifacts/runs/ci-drift-stdout.txt
@@ -66,6 +72,12 @@ REPRO_BENCH_PROFILE=tiny python scripts/bench_perf.py
 echo
 echo "=== bench smoke: parallel backend (tiny profile) ==="
 REPRO_BENCH_PROFILE=tiny python scripts/bench_parallel.py
+
+echo
+echo "=== bench gate: int8 quantized path (tiny profile) ==="
+# Asserts >= 1.5x speedup, compiled-vs-pure and 1/2/3-worker
+# bit-identity, and that the integer path actually served the matvecs.
+REPRO_BENCH_PROFILE=tiny python scripts/bench_quant.py
 
 echo
 echo "ci: all checks passed"

@@ -50,6 +50,8 @@ def _make_lab(args) -> HardwareLab:
     kwargs = {}
     if args.fast:
         kwargs = {"victim_epochs": 2, "victim_width": 4}
+    if getattr(args, "int8", False):
+        kwargs["quant"] = True
     lab = HardwareLab(scale=scale, **kwargs)
     _LABS.append(lab)
     return lab
@@ -297,6 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for analog eval/attacks "
                             "(1 = serial, 0 = cpu_count - 1); results are "
                             "bit-identical at any count")
+        p.add_argument("--int8", action="store_true",
+                       help="run hardware models in int8 quantized mode "
+                            "(static per-layer input scales + the integer "
+                            "pulse-expansion MVM fast path)")
         add_obs(p)
 
     sub.add_parser("info").set_defaults(func=cmd_info)

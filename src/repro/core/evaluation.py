@@ -20,6 +20,7 @@ from repro.obs.trace import span as _span
 from repro.train.trainer import evaluate_accuracy
 from repro.train.zoo import ModelZoo, default_zoo
 from repro.xbar.presets import crossbar_preset, load_or_train_geniex, preset_names
+from repro.xbar.quant import QuantConfig, with_quant
 from repro.xbar.simulator import convert_to_hardware
 from repro.attacks.base import predict_logits
 from repro.defenses import (
@@ -106,11 +107,16 @@ class HardwareLab:
         zoo: ModelZoo | None = None,
         victim_epochs: int | None = None,
         victim_width: int | None = None,
+        quant: bool = False,
     ):
         self.scale = scale or EvaluationScale()
         self.zoo = zoo or default_zoo()
         self.victim_epochs = victim_epochs
         self.victim_width = victim_width
+        #: Run every converted hardware model in int8 quantized mode
+        #: (static per-layer input scales + the integer pulse-expansion
+        #: MVM path; see repro.xbar.quant).  The CLI's ``--int8`` flag.
+        self.quant = quant
         self._hardware: dict[tuple[str, str], Module] = {}
         self._defenses: dict[tuple[str, str], Module] = {}
         self._geniex: dict[str, object] = {}
@@ -160,9 +166,12 @@ class HardwareLab:
         """The victim converted to one crossbar preset (calibrated, cached)."""
         key = (task, preset)
         if key not in self._hardware:
+            config = crossbar_preset(preset)
+            if self.quant:
+                config = with_quant(config, QuantConfig(mode="int8"))
             self._hardware[key] = convert_to_hardware(
                 self.victim(task),
-                crossbar_preset(preset),
+                config,
                 predictor=self.geniex(preset),
                 calibration_images=self.calibration_images(task),
             )

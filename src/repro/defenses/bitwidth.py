@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module
+from repro.xbar.quant import quantize_affine
 
 
 class InputBitWidthReduction(Module):
@@ -31,8 +32,17 @@ class InputBitWidthReduction(Module):
         self.levels = 2**bits - 1
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
-        """Quantize [0,1] images to the defense's bit width."""
-        return np.rint(np.clip(x, 0.0, 1.0) * self.levels) / self.levels
+        """Quantize [0,1] images to the defense's bit width.
+
+        Routed through the shared :func:`repro.xbar.quant.quantize_affine`
+        primitive in its multiply (``inv_scale``) form — bit-identical
+        to the historical ``rint(clip(x, 0, 1) * levels) / levels``
+        chain (pinned by a regression test).
+        """
+        return (
+            quantize_affine(np.clip(x, 0.0, 1.0), inv_scale=self.levels, top=self.levels)
+            / self.levels
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         quantized = self.quantize(x.data).astype(np.float32)

@@ -325,6 +325,10 @@ HOTPATH_FIELDS = (
     "streams_skipped",
     "rows_compacted",
     "predictor_seconds",
+    "int_matvec_calls",
+    "planes_evaluated",
+    "planes_skipped",
+    "int_sat_events",
 )
 
 
@@ -332,13 +336,15 @@ def format_hotpath_fields(fields: dict) -> str:
     """One-line rendering of a hot-path counter dict.
 
     The single formatting path for per-engine and per-model counter
-    lines (``PerfCounters.format`` delegates here).
+    lines (``PerfCounters.format`` delegates here).  The integer-path
+    segment only appears once the int8 pulse-expansion path has served
+    traffic, so float-mode output is unchanged.
     """
     evaluated = fields.get("streams_evaluated", 0)
     skipped = fields.get("streams_skipped", 0)
     total = evaluated + skipped
     skip_pct = 100.0 * skipped / total if total else 0.0
-    return (
+    line = (
         f"matvec={fields.get('matvec_calls', 0):.0f} "
         f"({fields.get('matvec_rows', 0):.0f} rows)  "
         f"bank_evals={fields.get('bank_evals', 0):.0f}  "
@@ -347,6 +353,18 @@ def format_hotpath_fields(fields: dict) -> str:
         f"rows_compacted={fields.get('rows_compacted', 0):.0f}  "
         f"predictor={fields.get('predictor_seconds', 0.0):.3f}s"
     )
+    p_eval = fields.get("planes_evaluated", 0)
+    p_skip = fields.get("planes_skipped", 0)
+    if fields.get("int_matvec_calls", 0) or p_eval or p_skip:
+        p_total = p_eval + p_skip
+        p_pct = 100.0 * p_skip / p_total if p_total else 0.0
+        line += (
+            f"  int8: matvec={fields.get('int_matvec_calls', 0):.0f}  "
+            f"planes={p_eval:.0f} evaluated / "
+            f"{p_skip:.0f} skipped ({p_pct:.1f}%)  "
+            f"sat_events={fields.get('int_sat_events', 0):.0f}"
+        )
+    return line
 
 
 def publish_hotpath(models: dict, registry: MetricsRegistry | None = None) -> None:

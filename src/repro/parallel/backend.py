@@ -98,7 +98,11 @@ def _strip_scratch(model) -> None:
         engine = getattr(module, "engine", None)
         if engine is None:
             continue
-        for attr in ("_volt_buf", "_gain_sum_aa", "_gain_sum_ai", "_gain_rows"):
+        for attr in (
+            "_volt_buf", "_gain_sum_aa", "_gain_sum_ai", "_gain_rows",
+            "_cal_amax", "_stream_ws", "_plane_ws",
+            "_packed_codes_buf", "_expand_codes_buf",
+        ):
             engine.__dict__.pop(attr, None)
         predictor = getattr(engine, "predictor", None)
         if predictor is not None and hasattr(predictor, "__dict__"):

@@ -30,13 +30,27 @@ from __future__ import annotations
 import numpy as np
 
 from repro.verify.oracle import GAIN_CLIP as ORACLE_GAIN_CLIP
-from repro.verify.oracle import OracleEngine, naive_reassemble, naive_slice_lsb_first
+from repro.verify.oracle import (
+    OracleEngine,
+    naive_plane_split,
+    naive_reassemble,
+    naive_slice_lsb_first,
+)
 from repro.verify.ulp import describe_mismatch, max_ulp
+from repro.xbar.adc import ADCConfig
 from repro.xbar.drift import DriftConfig, DriftModel, with_drift
 from repro.xbar.engine_cache import EngineCache
 from repro.xbar.faults import FaultConfig, with_faults
 from repro.xbar.nf import crossbar_nf
 from repro.xbar.presets import CrossbarConfig, crossbar_preset
+from repro.xbar.quant import (
+    QuantConfig,
+    compute_scale,
+    plane_reassemble,
+    plane_split,
+    quantize_affine,
+    with_quant,
+)
 from repro.xbar.simulator import GAIN_CLIP, CrossbarEngine, IdealPredictor
 
 
@@ -295,6 +309,215 @@ def check_gain_clip_contract() -> None:
         raise InvariantViolation(
             f"simulator GAIN_CLIP {GAIN_CLIP} drifted from the oracle's "
             f"periphery contract {ORACLE_GAIN_CLIP}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Quantized-mode invariants (see repro.xbar.quant)
+# ----------------------------------------------------------------------
+
+def _quant_scale(x: np.ndarray, config: CrossbarConfig) -> float:
+    """The static input scale a calibration sweep over ``x`` would set."""
+    return compute_scale(float(np.abs(x).max()), config.quant.half_level)
+
+
+def check_quant_kernels_match_oracle(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int | None = None,
+) -> None:
+    """Both integer kernels must reproduce the quantized oracle bit for bit.
+
+    Covers the full integer pulse-expansion chain — static-scale
+    quantization, sign-magnitude plane split, raw ADC-code shift-and-add
+    with common-mode ``G_min`` cancellation, guard group-fallback and
+    the single final dequantization — against the naive per-element
+    oracle, including guard-trip count parity.
+    """
+    if not config.quant.enabled:
+        raise ValueError("quant differential requires a quant-enabled config")
+    scale = _quant_scale(x, config)
+    oracle = OracleEngine(
+        weight, config, predictor,
+        rng=np.random.default_rng(seed) if seed is not None else None,
+    )
+    oracle.set_input_scale(scale)
+    expected = oracle.matvec(x)
+    for kernel in ("vectorized", "reference"):
+        engine = _engine(weight, config, predictor, kernel, seed)
+        engine.set_input_scale(scale)
+        _expect_equal(f"int {kernel} kernel vs oracle", expected, engine.matvec(x))
+        if engine.guard_trips != oracle.guard_trips:
+            raise InvariantViolation(
+                f"int {kernel} kernel guard trips {engine.guard_trips} != "
+                f"oracle {oracle.guard_trips}"
+            )
+
+
+def check_quant_float_fallback(
+    weight: np.ndarray, config: CrossbarConfig, predictor, x: np.ndarray
+) -> None:
+    """An uncalibrated quant engine must serve the float path bit for bit.
+
+    Until calibration installs ``x_scale`` the quantized mode changes
+    nothing: matvec must match a quant-off build exactly (the quant
+    field never perturbs construction randomness or the float chain).
+    """
+    quant_off = with_quant(config, QuantConfig())
+    expected = _engine(weight, quant_off, predictor, "vectorized", seed=3).matvec(x)
+    engine = _engine(weight, config, predictor, "vectorized", seed=3)
+    if engine.quant_active:
+        raise InvariantViolation("engine claims int mode before any calibration")
+    _expect_equal("uncalibrated quant engine vs float build", expected, engine.matvec(x))
+
+
+def check_quant_batch_independence(
+    weight: np.ndarray, config: CrossbarConfig, predictor, x: np.ndarray
+) -> None:
+    """Int-mode outputs must be independent of batch composition.
+
+    Stronger than the float path's anchored-subset property: the static
+    scale removes the batch-maximum coupling entirely, so *any* subset
+    — each row alone — must reproduce its in-batch bits.
+    """
+    engine = _engine(weight, config, predictor, "vectorized")
+    engine.set_input_scale(_quant_scale(x, config))
+    batch = engine.matvec(x)
+    for i in range(x.shape[0]):
+        solo = engine.matvec(x[i : i + 1])
+        _expect_equal(f"row {i} alone vs in batch (int mode)", batch[i : i + 1], solo)
+
+
+def check_quant_zero_and_empty(
+    weight: np.ndarray, config: CrossbarConfig, predictor
+) -> None:
+    """Int mode: empty batches return (0, out); zero batches exact zeros."""
+    engine = _engine(weight, config, predictor, "vectorized")
+    engine.set_input_scale(1.0)
+    out = engine.matvec(np.zeros((0, weight.shape[1])))
+    if out.shape != (0, weight.shape[0]):
+        raise InvariantViolation(f"int-mode empty batch returned shape {out.shape}")
+    zeros = engine.matvec(np.zeros((3, weight.shape[1])))
+    _expect_equal("int-mode zero batch", np.zeros_like(zeros), zeros)
+
+
+def check_quant_requires_adc(weight: np.ndarray, predictor) -> None:
+    """Quant mode without an ADC must be rejected at construction.
+
+    The integer path accumulates ADC codes; both the engine and the
+    oracle must refuse an ``adc.bits=None`` config identically.
+    """
+    from repro.verify.runner import tiny_config
+
+    config = with_quant(tiny_config(adc_bits=None), QuantConfig(mode="int8"))
+    for label, cls in (("engine", CrossbarEngine), ("oracle", OracleEngine)):
+        try:
+            cls(weight, config, predictor)
+        except ValueError:
+            continue
+        raise InvariantViolation(
+            f"{label} accepted quant.mode='int8' without an ADC"
+        )
+
+
+def check_quant_scale_round_trip(bits: int = 8) -> None:
+    """Dequantize(quantize(x)) must stay within half a scale step.
+
+    Exact identity on grid points: values that *are* multiples of the
+    scale inside the clip range round-trip bit for bit.
+    """
+    qc = QuantConfig(mode="int8", input_bits=bits)
+    half = qc.half_level
+    scale = 0.0375  # deliberately not a power of two
+    grid = scale * np.arange(-half, half + 1, dtype=np.float64).reshape(1, -1)
+    codes = quantize_affine(grid, scale=scale, top=half, symmetric=True, dtype=np.int64)
+    if not np.array_equal(codes * scale, grid):
+        raise InvariantViolation("grid values did not round-trip exactly")
+    rng = np.random.default_rng(99)
+    x = (rng.random((64,)) * 2.0 - 1.0) * scale * half
+    codes = quantize_affine(x, scale=scale, top=half, symmetric=True, dtype=np.int64)
+    err = np.abs(codes * scale - x)
+    if float(err.max()) > scale / 2 * (1 + 1e-12):
+        raise InvariantViolation(
+            f"round-trip error {err.max():.3e} exceeds scale/2 = {scale / 2:.3e}"
+        )
+
+
+def check_plane_reassembly() -> None:
+    """Pulse-plane split + reassemble is the identity for any widths.
+
+    Exercises non-dividing ``(magnitude_bits, stream_bits)`` pairings
+    (the last plane carries fewer significant bits) and pins the fast
+    split against the naive loop implementation.
+    """
+    for mb, sb in ((7, 8), (7, 2), (5, 2), (7, 3), (4, 1), (15, 4)):
+        values = np.arange(2**mb, dtype=np.int64).reshape(4, -1)
+        planes = plane_split(values, mb, sb)
+        naive = naive_plane_split(values, mb, sb)
+        if len(planes) != len(naive) or any(
+            not np.array_equal(p, q) for p, q in zip(planes, naive)
+        ):
+            raise InvariantViolation(
+                f"plane_split(mb={mb}, sb={sb}) drifted from the naive loop"
+            )
+        back = plane_reassemble(planes, sb)
+        if not np.array_equal(values, back):
+            raise InvariantViolation(
+                f"plane reassembly lost information for mb={mb}, sb={sb}"
+            )
+
+
+def check_quant_float_error_bound(
+    weight: np.ndarray, x: np.ndarray
+) -> None:
+    """The int path must approximate the ideal product within its budget.
+
+    On the parasitic-free backend with a high-resolution ADC the only
+    error sources are the three quantizers: input codes (half a scale
+    step per element), weight levels (half a ``w_scale`` per element)
+    and ADC codes (half an LSB per accumulated code, amplified by the
+    exact shift-and-add factors).  The analytic sum of those budgets
+    must bound the observed error — a *semantic* check that the single
+    final dequantization is wired to the right constants.
+    """
+    from repro.verify.runner import tiny_config
+
+    from dataclasses import replace
+
+    qc = QuantConfig(mode="int8")
+    config = with_quant(tiny_config(adc_bits=12, gain_calibration=0), qc)
+    config = replace(config, adc=ADCConfig(bits=12, full_scale_fraction=1.0))
+    bs = config.bitslice
+    engine = CrossbarEngine(weight, config, IdealPredictor())
+    scale = _quant_scale(x, config)
+    engine.set_input_scale(scale)
+    got = engine.matvec(x)
+    ideal = np.asarray(x, dtype=np.float64) @ np.asarray(weight, dtype=np.float64).T
+    w_scale = engine.w_scale
+    wq = np.clip(np.rint(np.abs(np.asarray(weight, np.float64)) / w_scale), 0,
+                 bs.weight_levels - 1)
+    # Per-element budgets: input codes and weight levels.
+    bound = (w_scale / 2) * np.abs(x).sum(axis=1, keepdims=True) * np.ones_like(got)
+    bound += (scale / 2) * w_scale * wq.sum(axis=1)[None, :]
+    # ADC budget: half an LSB per accumulated code times the exact
+    # shift-and-add factor sum over banks, planes, passes and slices.
+    n_passes = 2 if (x < 0).any() else 1
+    factor_sum = (
+        len(engine.banks)
+        * sum(2 ** (qc.stream_bits * t) for t in range(qc.num_planes))
+        * 2 * sum(2 ** (bs.slice_bits * s) for s in range(bs.num_slices))
+    )
+    k_code = scale * w_scale * (engine._quant_lsb / engine._quant_denom)
+    bound += n_passes * k_code * factor_sum / 2
+    err = np.abs(got - ideal)
+    slack = bound * 1e-9 + 1e-12
+    if (err > bound + slack).any():
+        worst = int(np.argmax(err - bound))
+        raise InvariantViolation(
+            f"int-path error {err.flat[worst]:.6e} exceeds analytic bound "
+            f"{bound.flat[worst]:.6e}"
         )
 
 

@@ -98,6 +98,28 @@ def naive_reassemble(chunks: list[np.ndarray], chunk_bits: int) -> np.ndarray:
     return out
 
 
+def naive_plane_split(
+    magnitudes: np.ndarray, magnitude_bits: int, stream_bits: int
+) -> list[np.ndarray]:
+    """Loop-based LSB-first pulse-plane split (quantized path).
+
+    Unlike :func:`naive_slice_lsb_first` the last plane may carry fewer
+    than ``stream_bits`` significant bits, mirroring
+    :func:`repro.xbar.quant.plane_split`.
+    """
+    magnitudes = np.asarray(magnitudes, dtype=np.int64)
+    count = max(1, -(-magnitude_bits // stream_bits))
+    mask = (1 << stream_bits) - 1
+    planes = [np.zeros(magnitudes.shape, dtype=np.int64) for _ in range(count)]
+    flat = magnitudes.reshape(-1)
+    for k, plane in enumerate(planes):
+        dst = plane.reshape(-1)
+        shift = k * stream_bits
+        for i in range(flat.size):
+            dst[i] = (int(flat[i]) >> shift) & mask
+    return planes
+
+
 # ----------------------------------------------------------------------
 # Oracle data model
 # ----------------------------------------------------------------------
@@ -152,12 +174,21 @@ class OracleEngine:
                 f"device levels_bits ({dev.levels_bits}) must equal "
                 f"bit-slice slice_bits ({bs.slice_bits})"
             )
+        if config.quant.enabled and config.adc.bits is None:
+            raise ValueError(
+                f"quantized inference (quant.mode={config.quant.mode!r}) requires "
+                "an ADC: the integer pulse-expansion path accumulates ADC codes, "
+                "so adc.bits must be set"
+            )
         self.config = config
         self.predictor = predictor
         self.out_features, self.in_features = weight.shape
         self._rng = rng or np.random.default_rng(0)
         self.guard_trips = 0
         self.fault_summary = FaultSummary()
+        # Static input scale of the quantized mode; None keeps the
+        # float path (mirrors CrossbarEngine.x_scale).
+        self.x_scale: float | None = None
 
         # --- weight quantization (per element) -------------------------
         matrix = np.asarray(weight, dtype=np.float64).T  # (in, out)
@@ -308,11 +339,133 @@ class OracleEngine:
             )
         if not np.isfinite(x).all():
             raise ValueError("oracle input contains non-finite values")
+        if self.config.quant.enabled and self.x_scale is not None:
+            return self._matvec_int(x)
         if (x >= 0).all():
             return self._matvec_unsigned(x)
         positive = self._matvec_unsigned(np.maximum(x, 0.0))
         negative = self._matvec_unsigned(np.maximum(-x, 0.0))
         return positive - negative
+
+    def set_input_scale(self, scale: float) -> None:
+        """Install the static input scale (mirrors the engine's setter)."""
+        if not self.config.quant.enabled:
+            raise ValueError("input scale is only meaningful with quant.mode enabled")
+        scale = float(scale)
+        if not scale > 0.0 or not np.isfinite(scale):
+            raise ValueError(f"input scale must be positive and finite, got {scale}")
+        self.x_scale = scale
+
+    def _matvec_int(self, x: np.ndarray) -> np.ndarray:
+        """Naive quantized-mode MVM: integer shift-and-add over ADC codes.
+
+        Pins the integer path's numerical contract: activations
+        quantize once against the static scale (per element), each
+        sign-magnitude pass splits into LSB-first pulse planes, every
+        (pass, bank, plane) evaluation's **raw** ADC codes accumulate
+        into exact python-int matrices with power-of-two factors, and a
+        single dequantization multiply recovers the output.  The
+        ``G_min`` dummy-column term is common-mode across each
+        differential tile pair (equal and opposite factors), so no
+        per-evaluation subtraction appears anywhere.  Guard fallbacks
+        accumulate exact integer ideal dot products in a separate
+        matrix ``B``, dequantized by ``x_scale * w_scale`` alone.
+        """
+        qc = self.config.quant
+        bs = self.config.bitslice
+        dev = self.config.device
+        adc = self.config.adc
+        n = x.shape[0]
+        out = np.zeros((n, self.out_features), dtype=np.float64)
+        if n == 0:
+            return out
+        half = qc.half_level
+        scale = self.x_scale
+        codes = np.zeros(x.shape, dtype=np.int64)
+        for i in range(n):
+            for j in range(x.shape[1]):
+                codes[i, j] = int(np.clip(np.rint(x[i, j] / scale), -half, half))
+
+        rows = self.config.rows
+        v_step = dev.v_read / (qc.plane_levels - 1)
+        full_scale = adc.full_scale_fraction * self._adc_full_scale
+        lsb = full_scale / (2**adc.bits - 1)
+        denom = dev.g_step * v_step
+
+        A = [[0] * self.out_features for _ in range(n)]
+        B = [[0] * self.out_features for _ in range(n)]
+        any_fallback = False
+        passes = [1] + ([-1] if bool((codes < 0).any()) else [])
+        for sign in passes:
+            mags = np.maximum(sign * codes, 0)
+            if not mags.any():
+                continue
+            planes = naive_plane_split(mags, qc.magnitude_bits, qc.stream_bits)
+            for bank in self.banks:
+                width = bank.row_stop - bank.row_start
+                for t, plane in enumerate(planes):
+                    seg = plane[:, bank.row_start : bank.row_stop]
+                    if not seg.any():
+                        continue  # an all-zero plane drives no voltage
+                    voltages = np.zeros((n, rows), dtype=np.float64)
+                    for i in range(n):
+                        for j in range(width):
+                            voltages[i, j] = float(seg[i, j]) * v_step
+                    currents = self.predictor.predict_from_bias(voltages, bank.handle)
+                    fallback = self._guard_mask(currents, bank)
+                    # Whole differential column groups fall back
+                    # together (a lone pos/neg array would break the
+                    # common-mode cancellation).
+                    marked: set[tuple[int, int]] = set()
+                    if fallback is not None:
+                        marked = {
+                            (c.col_start, c.col_stop)
+                            for c in bank.chunks
+                            if fallback[c.offset]
+                        }
+                    for chunk in bank.chunks:
+                        factor = (
+                            int(sign)
+                            * int(chunk.sign)
+                            * (1 << (bs.slice_bits * chunk.slice_index + qc.stream_bits * t))
+                        )
+                        if (chunk.col_start, chunk.col_stop) in marked:
+                            any_fallback = True
+                            for i in range(n):
+                                for k in range(chunk.width):
+                                    dot = 0
+                                    for j in range(width):
+                                        level = int(
+                                            np.rint(
+                                                (
+                                                    bank.ideal_bias[j, chunk.offset + k]
+                                                    - dev.g_min
+                                                )
+                                                / dev.g_step
+                                            )
+                                        )
+                                        dot += int(seg[i, j]) * level
+                                    B[i][chunk.col_start + k] += factor * dot
+                        else:
+                            for i in range(n):
+                                for k in range(chunk.width):
+                                    current = currents[i, chunk.offset + k]
+                                    if not np.isfinite(current):
+                                        code = 0  # a dead ADC lane reads zero
+                                    else:
+                                        code = int(
+                                            np.rint(np.clip(current, 0.0, full_scale) / lsb)
+                                        )
+                                    A[i][chunk.col_start + k] += factor * code
+        k_dot = scale * self.w_scale
+        k_code = k_dot * (lsb / denom)
+        for i in range(n):
+            for o in range(self.out_features):
+                val = float(A[i][o]) * k_code
+                if any_fallback:
+                    val += float(B[i][o]) * k_dot
+                out[i, o] = val
+        return out
 
     def _matvec_unsigned(self, x: np.ndarray) -> np.ndarray:
         bs = self.config.bitslice

@@ -31,6 +31,7 @@ from repro.xbar.device import DeviceConfig
 from repro.xbar.faults import FaultConfig, GuardConfig, with_faults, with_guard
 from repro.xbar.geniex import GENIExTrainConfig, GENIExTrainer
 from repro.xbar.presets import CrossbarConfig
+from repro.xbar.quant import QuantConfig, with_quant
 from repro.xbar.simulator import CircuitPredictor, IdealPredictor, default_kernel
 
 
@@ -178,6 +179,71 @@ def _catalog(
         lambda: inv.check_kernels_match_oracle(
             weight, tripping, IdealPredictor(), np.abs(x) * 5.0, seed=seed
         ),
+    )
+
+    # Quantized-mode differentials and invariants (see repro.xbar.quant):
+    # the integer pulse-expansion path against the naive quantized
+    # oracle, plus its structural properties.
+    int8 = with_quant(tiny_config(adc_bits=6), QuantConfig(mode="int8"))
+    quant_variants: list[tuple[str, CrossbarConfig]] = [("int8", int8)]
+    if not quick:
+        quant_variants += [
+            (
+                "int6_planes2_sigma",
+                with_quant(
+                    tiny_config(adc_bits=6, program_sigma=0.05),
+                    QuantConfig(mode="int8", input_bits=6, stream_bits=2),
+                ),
+            ),
+        ]
+    quant_predictors: list[tuple[str, object]] = [("ideal", IdealPredictor())]
+    if not quick:
+        quant_predictors.append(("geniex", _train_tiny_geniex(base, seed=7)))
+    for pname, predictor in quant_predictors:
+        for cname, config in quant_variants:
+            yield (
+                f"differential/{pname}/quant_{cname}/kernels_vs_oracle",
+                lambda c=config, p=predictor: inv.check_quant_kernels_match_oracle(
+                    weight, c, p, x, seed=seed
+                ),
+            )
+        yield (
+            f"metamorphic/{pname}/quant_batch_independence",
+            lambda p=predictor: inv.check_quant_batch_independence(
+                weight, int8, p, x
+            ),
+        )
+        yield (
+            f"metamorphic/{pname}/quant_float_fallback",
+            lambda p=predictor: inv.check_quant_float_fallback(weight, int8, p, x),
+        )
+    quant_faulted = with_quant(faulted, QuantConfig(mode="int8"))
+    yield (
+        "differential/ideal/quant_faulted/kernels_vs_oracle",
+        lambda: inv.check_quant_kernels_match_oracle(
+            weight, quant_faulted, IdealPredictor(), x, seed=seed + 1
+        ),
+    )
+    quant_tripping = with_quant(tripping, QuantConfig(mode="int8"))
+    yield (
+        "differential/ideal/quant_guard_fallback/kernels_vs_oracle",
+        lambda: inv.check_quant_kernels_match_oracle(
+            weight, quant_tripping, IdealPredictor(), np.abs(x) * 5.0, seed=seed
+        ),
+    )
+    yield (
+        "metamorphic/ideal/quant_zero_and_empty",
+        lambda: inv.check_quant_zero_and_empty(weight, int8, IdealPredictor()),
+    )
+    yield (
+        "contract/quant_requires_adc",
+        lambda: inv.check_quant_requires_adc(weight, IdealPredictor()),
+    )
+    yield ("metamorphic/quant_scale_round_trip", inv.check_quant_scale_round_trip)
+    yield ("metamorphic/quant_plane_reassembly", inv.check_plane_reassembly)
+    yield (
+        "semantic/quant_float_error_bound",
+        lambda: inv.check_quant_float_error_bound(weight, x),
     )
 
     # Structural metamorphic checks on the ideal backend.

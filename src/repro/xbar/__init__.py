@@ -63,6 +63,7 @@ from repro.xbar.engine_cache import (
 )
 from repro.xbar.perf import PerfCounters, PerfReport, format_perf, perf_report, reset_perf
 from repro.xbar.noise import GaussianNoiseModel, calibrated_noise_model
+from repro.xbar.quant import QuantConfig, quantize_affine, with_quant
 
 __all__ = [
     "DeviceConfig",
@@ -117,4 +118,7 @@ __all__ = [
     "with_guard",
     "GaussianNoiseModel",
     "calibrated_noise_model",
+    "QuantConfig",
+    "quantize_affine",
+    "with_quant",
 ]

@@ -163,6 +163,56 @@ void axpy2d(double *dst, const double *src, double a, long n, long w,
             d[j] = d[j] + a * s[j];
     }
 }
+
+void adc_codes(const double *cur, int *out, long total, double hi, double lsb)
+{
+    /* Integer ADC read-out: out = rint(clip(cur, 0, full_scale) / lsb)
+     * as int32 codes.  A non-finite current reads back as code 0 — a
+     * real converter always emits *some* code, and NaN/Inf must never
+     * reach the integer accumulators (the guard handles sick tiles). */
+    for (long i = 0; i < total; ++i) {
+        double q = cur[i];
+        if (!isfinite(q)) { out[i] = 0; continue; }
+        double t = q < 0.0 ? 0.0 : q;
+        t = t > hi ? hi : t;
+        out[i] = (int)rint(t / lsb);
+    }
+}
+
+void int_axpy(long long *dst, const int *src, long long a, long n, long w,
+              long dst_stride, long src_stride)
+{
+    /* dst += a * src for int64 dst / int32 src row-strided views.
+     * Integer arithmetic is exact, so this is identical (not merely
+     * bit-identical) to the numpy fallback. */
+    for (long i = 0; i < n; ++i) {
+        long long *d = dst + i * dst_stride;
+        const int *s = src + i * src_stride;
+        for (long j = 0; j < w; ++j)
+            d[j] += a * (long long)s[j];
+    }
+}
+
+void int_dot(const int *a, const int *b, long long *out,
+             long n, long k, long m)
+{
+    /* Exact integer GEMM with int64 accumulation; rows of ``a`` are
+     * DAC pulse planes, so the zero-skip pays off on sparse codes. */
+    for (long i = 0; i < n; ++i) {
+        const int *ai = a + i * k;
+        long long *oi = out + i * m;
+        for (long j = 0; j < m; ++j)
+            oi[j] = 0;
+        for (long p = 0; p < k; ++p) {
+            long long av = (long long)ai[p];
+            if (av == 0)
+                continue;
+            const int *bp = b + p * m;
+            for (long j = 0; j < m; ++j)
+                oi[j] += av * (long long)bp[j];
+        }
+    }
+}
 """
 
 _CFLAGS = [
@@ -226,6 +276,18 @@ def _compile() -> ctypes.CDLL | None:
     lib.axpy2d.argtypes = [
         ctypes.c_void_p, ctypes.c_void_p, ctypes.c_double,
         ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+    ]
+    lib.adc_codes.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_long,
+        ctypes.c_double, ctypes.c_double,
+    ]
+    lib.int_axpy.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong,
+        ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+    ]
+    lib.int_dot.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+        ctypes.c_long, ctypes.c_long, ctypes.c_long,
     ]
     return lib
 
@@ -398,3 +460,63 @@ def axpy_block(dst: np.ndarray, src: np.ndarray, a: float) -> bool:
         dst.strides[0] // itemsize, src.strides[0] // itemsize,
     )
     return True
+
+
+def adc_codes(currents: np.ndarray, out: np.ndarray, *, full_scale: float, lsb: float) -> bool:
+    """Integer ADC read-out: ``out = rint(clip(I, 0, fs) / lsb)`` (int32).
+
+    Non-finite currents read back as code 0 (see the C comment); the
+    numpy fallback in the engine implements the identical rule.
+    Returns False (out untouched) when the layouts don't qualify.
+    """
+    if not available():
+        return False
+    if not (
+        currents.dtype == np.float64 and out.dtype == np.int32
+        and out.shape == currents.shape
+        and currents.flags.c_contiguous and out.flags.c_contiguous
+    ):
+        return False
+    _lib.adc_codes(currents.ctypes.data, out.ctypes.data, currents.size, full_scale, lsb)
+    return True
+
+
+def int_axpy(dst: np.ndarray, src: np.ndarray, a: int) -> bool:
+    """``dst += a * src`` for int64 dst / int32 src 2-D row-strided views.
+
+    Exact integer arithmetic — identical to the numpy fallback by
+    construction.  Returns False (dst untouched) when the layouts
+    don't qualify.
+    """
+    if not available():
+        return False
+    if not (
+        dst.dtype == np.int64 and src.dtype == np.int32
+        and dst.ndim == 2 and dst.shape == src.shape
+        and dst.strides[1] == 8 and src.strides[1] == 4
+        and dst.strides[0] % 8 == 0 and src.strides[0] % 4 == 0
+    ):
+        return False
+    _lib.int_axpy(
+        dst.ctypes.data, src.ctypes.data, int(a), dst.shape[0], dst.shape[1],
+        dst.strides[0] // 8, src.strides[0] // 4,
+    )
+    return True
+
+
+def int_dot(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    """Exact integer GEMM ``a @ b`` (int32 × int32 → int64), or None."""
+    if not available():
+        return None
+    if not (
+        a.dtype == np.int32 and b.dtype == np.int32
+        and a.ndim == 2 and b.ndim == 2 and a.shape[1] == b.shape[0]
+        and a.flags.c_contiguous and b.flags.c_contiguous
+    ):
+        return None
+    out = np.empty((a.shape[0], b.shape[1]), dtype=np.int64)
+    _lib.int_dot(
+        a.ctypes.data, b.ctypes.data, out.ctypes.data,
+        a.shape[0], a.shape[1], b.shape[1],
+    )
+    return out

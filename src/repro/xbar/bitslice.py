@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.xbar.quant import quantize_affine
+
 
 @dataclass(frozen=True)
 class BitSliceConfig:
@@ -84,8 +86,11 @@ def quantize_unsigned(
     """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
-    q = np.rint(np.asarray(values) / scale)
-    return np.clip(q, 0, 2**bits - 1).astype(np.int64)
+    # Same divide→rint→clip→cast chain as always, via the shared
+    # quantizer primitive (repro.xbar.quant) — bit-identical.
+    return quantize_affine(
+        np.asarray(values), scale=scale, top=2**bits - 1, dtype=np.int64
+    )
 
 
 def slice_bits_lsb_first(values: np.ndarray, total_bits: int, chunk_bits: int) -> list[np.ndarray]:
@@ -122,3 +127,67 @@ def reassemble(slices: list[np.ndarray], chunk_bits: int) -> np.ndarray:
     for k, chunk in enumerate(slices):
         out = out + (np.asarray(chunk, dtype=np.int64) << (k * chunk_bits))
     return out
+
+
+class StreamWorkspace:
+    """Engine-owned buffers for per-call DAC quantization + streaming.
+
+    The float path re-quantizes against the batch maximum on every
+    matvec, which used to allocate a float64 quotient, an int64 code
+    matrix and one int64 plane per stream *per call*.  This workspace
+    owns all of them, sized to the largest batch seen, and skips the
+    redundant range re-check of :func:`slice_bits_lsb_first` (the clip
+    guarantees the range).  Pure allocation hoist: the value chain
+    (divide → rint → clip → cast → shift/mask) is unchanged, so the
+    outputs are bit-identical to the unbuffered path (golden tests).
+    """
+
+    def __init__(self):
+        self._rows = 0
+        self._cols = -1
+        self._count = 0
+        self._work: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+        self._streams: list[np.ndarray] = []
+
+    def _resize(self, n: int, cols: int, count: int) -> None:
+        if (
+            self._work is None
+            or self._rows < n
+            or self._cols != cols
+            or self._count < count
+        ):
+            rows = max(n, self._rows)
+            self._work = np.empty((rows, cols), dtype=np.float64)
+            self._codes = np.empty((rows, cols), dtype=np.int64)
+            self._streams = [
+                np.empty((rows, cols), dtype=np.int64) for _ in range(count)
+            ]
+            self._rows, self._cols, self._count = rows, cols, count
+
+    def quantize_and_stream(
+        self, x: np.ndarray, lsb: float, config: BitSliceConfig
+    ) -> list[np.ndarray]:
+        """``stream_inputs(quantize(x / lsb), config)`` without allocating.
+
+        Returns LSB-first stream views into reused buffers; callers
+        must consume them before the next call.
+        """
+        n, cols = x.shape
+        self._resize(n, cols, config.num_streams)
+        codes = quantize_affine(
+            x,
+            scale=lsb,
+            top=config.input_levels - 1,
+            dtype=np.int64,
+            work=self._work[:n],
+            out=self._codes[:n],
+        )
+        mask = (1 << config.stream_bits) - 1
+        streams: list[np.ndarray] = []
+        for k in range(config.num_streams):
+            buf = self._streams[k][:n]
+            np.right_shift(codes, k * config.stream_bits, out=buf)
+            np.bitwise_and(buf, mask, out=buf)
+            streams.append(buf)
+        return streams

@@ -57,6 +57,21 @@ class PerfCounters:
         a cached once-per-bank zero-row evaluation instead).
     predictor_seconds:
         Wall time spent inside ``predict_from_bias`` calls.
+    int_matvec_calls:
+        Batches served through the integer pulse-expansion path
+        (``QuantConfig(mode="int8")`` with a calibrated input scale).
+    planes_evaluated:
+        (bank, pulse-plane) pairs driven through the predictor by the
+        integer path.
+    planes_skipped:
+        (bank, pulse-plane) pairs skipped because the plane segment was
+        all zero (nothing to drive) — the integer path's analogue of
+        ``streams_skipped``.
+    int_sat_events:
+        Integer matvec calls whose shift-and-add accumulator exceeded
+        the int32 range — headroom telemetry: the engine accumulates in
+        int64 so results stay exact, but 32-bit hardware accumulators
+        would have saturated.
     """
 
     matvec_calls: int = 0
@@ -66,6 +81,10 @@ class PerfCounters:
     streams_skipped: int = 0
     rows_compacted: int = 0
     predictor_seconds: float = 0.0
+    int_matvec_calls: int = 0
+    planes_evaluated: int = 0
+    planes_skipped: int = 0
+    int_sat_events: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

@@ -28,6 +28,7 @@ from repro.xbar.device import DeviceConfig
 from repro.xbar.drift import DriftConfig
 from repro.xbar.faults import FaultConfig, GuardConfig
 from repro.xbar.geniex import GENIEx, GENIExTrainConfig, GENIExTrainer
+from repro.xbar.quant import QuantConfig
 
 logger = logging.getLogger(__name__)
 
@@ -59,10 +60,13 @@ class CrossbarConfig:
     engine's graceful-degradation policy for sick analog tiles.
     ``drift`` adds the time axis — conductance decay driven by the
     engine's accumulated read-pulse counter (off by default; see
-    :mod:`repro.xbar.drift`).  None of the three enters
+    :mod:`repro.xbar.drift`).  ``quant`` selects the integer-quantized
+    inference mode — static per-layer input scales and the pulse-
+    expansion integer MVM path (off by default; see
+    :mod:`repro.xbar.quant`).  None of the four enters
     :meth:`cache_key`: the GENIEx surrogate models the parasitic
-    circuit, which is independent of which cells are faulted or how
-    old the chip is.
+    circuit, which is independent of which cells are faulted, how old
+    the chip is, or how inputs are quantized.
     """
 
     name: str
@@ -75,6 +79,7 @@ class CrossbarConfig:
     faults: FaultConfig = field(default_factory=FaultConfig)
     guard: GuardConfig = field(default_factory=GuardConfig)
     drift: DriftConfig = field(default_factory=DriftConfig)
+    quant: QuantConfig = field(default_factory=QuantConfig)
 
     @property
     def rows(self) -> int:

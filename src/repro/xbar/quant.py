@@ -1,0 +1,316 @@
+"""Symmetric integer activation quantization + pulse-plane expansion.
+
+This module is the shared quantizer of the codebase: the hardware DAC
+path (``repro.xbar.simulator``/``bitslice``), the integer fast path and
+the bit-width-reduction defense (``repro.defenses.bitwidth``) all call
+the same :func:`quantize_affine` primitive, so "quantize" means exactly
+one thing everywhere (bit for bit).
+
+The int8 inference mode (``QuantConfig(mode="int8")``) mirrors how
+C200-class chips drive crossbars (MemMLP's ``data_quantization_sym``
+pipeline): activations are quantized **once** against a static
+per-layer scale calibrated at ``convert_to_hardware`` time, split into
+sign-magnitude DAC *pulse planes* of ``stream_bits`` each, and the MVM
+accumulates integer ADC codes with bitwise shift-and-add — one
+dequantization multiply at the very end (the ADC boundary) instead of
+a float rescale chain per (bank, stream).
+
+Numerics contract
+-----------------
+* ``quantize_affine`` exposes both a ``scale`` (divide) and an
+  ``inv_scale`` (multiply) form because they are **not** bit-identical
+  when the scale is not a power of two: the DAC divides by the LSB,
+  the defense multiplies by the level count.  Each call site keeps the
+  form it historically used.
+* Plane split/reassemble are exact for any magnitude in
+  ``[0, 2**magnitude_bits)`` and any ``stream_bits >= 1`` — including
+  widths that do not divide ``magnitude_bits`` (the last plane simply
+  carries fewer significant bits).
+* :func:`integer_mvm` is exact integer arithmetic (int64 accumulate);
+  the compiled kernel and the numpy fallback are trivially identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.xbar import _ckernels
+
+#: Valid quantized-inference modes.
+QUANT_MODES = ("off", "int8")
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Integer-quantized inference mode for :class:`CrossbarEngine`.
+
+    ``mode="off"`` (default) keeps the float path: inputs are
+    re-quantized against their batch maximum on every call.
+    ``mode="int8"`` switches matvec to the integer pulse-expansion
+    path once a static per-layer input scale has been calibrated
+    (see ``CrossbarEngine.set_input_scale``).
+
+    ``input_bits`` is the signed symmetric code width — codes live in
+    ``[-half_level, half_level]`` with ``half_level = 2**(b-1) - 1``
+    (the symmetric two's-complement range, no negative-extreme code).
+    ``stream_bits`` is the DAC pulse-plane width: each differential
+    input pass drives ``num_planes = ceil((input_bits-1)/stream_bits)``
+    planes.  The default full-width plane (``stream_bits=8``) evaluates
+    each bank **once** per sign pass — half the predictor rows of the
+    float path's two 4-bit streams.
+    """
+
+    mode: str = "off"
+    input_bits: int = 8
+    stream_bits: int = 8
+
+    def __post_init__(self):
+        if self.mode not in QUANT_MODES:
+            raise ValueError(f"quant mode must be one of {QUANT_MODES}, got {self.mode!r}")
+        if not 2 <= self.input_bits <= 16:
+            raise ValueError(f"input_bits must be in [2, 16], got {self.input_bits}")
+        if self.stream_bits < 1:
+            raise ValueError(f"stream_bits must be >= 1, got {self.stream_bits}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    @property
+    def half_level(self) -> int:
+        """Largest code magnitude: ``2**(input_bits-1) - 1``."""
+        return 2 ** (self.input_bits - 1) - 1
+
+    @property
+    def magnitude_bits(self) -> int:
+        """Bits per sign-magnitude pass (the sign rides the pass)."""
+        return self.input_bits - 1
+
+    @property
+    def num_planes(self) -> int:
+        """DAC pulse planes per differential pass (ceil division)."""
+        return max(1, -(-self.magnitude_bits // self.stream_bits))
+
+    @property
+    def plane_levels(self) -> int:
+        """Distinct DAC levels one plane can carry (incl. zero)."""
+        return 2 ** min(self.stream_bits, self.magnitude_bits)
+
+
+def with_quant(config, quant: QuantConfig):
+    """A copy of a :class:`CrossbarConfig` with ``quant`` replaced."""
+    return replace(config, quant=quant)
+
+
+# ----------------------------------------------------------------------
+# The shared quantizer primitive.
+# ----------------------------------------------------------------------
+
+
+def quantize_affine(
+    x: np.ndarray,
+    *,
+    scale: float | None = None,
+    inv_scale: float | None = None,
+    top: int,
+    symmetric: bool = False,
+    dtype=None,
+    work: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Round-to-nearest affine quantization: ``clip(rint(x/scale))``.
+
+    Exactly one of ``scale`` (divide form — the DAC LSB) or
+    ``inv_scale`` (multiply form — the defense's level count) must be
+    given; the two are only bit-identical for power-of-two scales, so
+    every call site keeps its historical form.  ``symmetric`` clips to
+    ``[-top, top]`` instead of ``[0, top]``.
+
+    ``work`` reuses a caller-owned float scratch buffer of ``x``'s
+    shape (float64); ``out`` receives the integer codes when ``dtype``
+    is given.  Both are pure allocation hoists: the value chain
+    (divide/multiply → rint → clip → cast) is unchanged.
+    """
+    if (scale is None) == (inv_scale is None):
+        raise ValueError("pass exactly one of scale= or inv_scale=")
+    if work is not None:
+        q = work
+        if inv_scale is not None:
+            np.multiply(x, inv_scale, out=q)
+        else:
+            np.divide(x, scale, out=q)
+    else:
+        q = x * inv_scale if inv_scale is not None else x / scale
+    np.rint(q, out=q)
+    np.clip(q, -top if symmetric else 0, top, out=q)
+    if dtype is None:
+        return q
+    if out is not None:
+        out[...] = q  # C cast, identical to astype
+        return out
+    return q.astype(dtype)
+
+
+def compute_scale(amax: float, half_level: int) -> float:
+    """Static symmetric scale for a calibrated absolute maximum.
+
+    Zero (or negative) ``amax`` degenerates to scale 1.0 so an
+    all-zero calibration set still yields a well-defined quantizer.
+    """
+    amax = float(amax)
+    if amax <= 0.0:
+        return 1.0
+    return amax / float(half_level)
+
+
+# ----------------------------------------------------------------------
+# Pulse-plane expansion (sign-magnitude DAC planes, LSB first).
+# ----------------------------------------------------------------------
+
+
+def plane_count(magnitude_bits: int, stream_bits: int) -> int:
+    """Planes needed to carry ``magnitude_bits`` at ``stream_bits`` each."""
+    if magnitude_bits < 1 or stream_bits < 1:
+        raise ValueError(
+            f"bits must be >= 1, got magnitude_bits={magnitude_bits}, "
+            f"stream_bits={stream_bits}"
+        )
+    return -(-magnitude_bits // stream_bits)
+
+
+def plane_split(
+    magnitudes: np.ndarray,
+    magnitude_bits: int,
+    stream_bits: int,
+    out: list[np.ndarray] | None = None,
+    check: bool = True,
+) -> list[np.ndarray]:
+    """Split non-negative magnitudes into LSB-first DAC pulse planes.
+
+    ``out`` reuses caller-owned integer buffers (one per plane, same
+    shape as ``magnitudes``); values are identical either way.  Unlike
+    :func:`repro.xbar.bitslice.slice_bits_lsb_first` the last plane may
+    carry fewer than ``stream_bits`` significant bits, so any
+    ``(magnitude_bits, stream_bits)`` pairing is valid.  ``check=False``
+    skips the range scan when the caller's clip already guarantees it.
+    """
+    count = plane_count(magnitude_bits, stream_bits)
+    if check and magnitudes.size and (
+        int(magnitudes.min()) < 0 or int(magnitudes.max()) >= 2**magnitude_bits
+    ):
+        raise ValueError(
+            f"magnitudes must lie in [0, 2**{magnitude_bits}), got range "
+            f"[{magnitudes.min()}, {magnitudes.max()}]"
+        )
+    mask = (1 << stream_bits) - 1
+    planes: list[np.ndarray] = []
+    for k in range(count):
+        if out is not None:
+            buf = out[k]
+            np.right_shift(magnitudes, k * stream_bits, out=buf)
+            np.bitwise_and(buf, mask, out=buf)
+        else:
+            buf = (magnitudes >> (k * stream_bits)) & mask
+        planes.append(buf)
+    return planes
+
+
+def plane_reassemble(planes: list[np.ndarray], stream_bits: int) -> np.ndarray:
+    """Inverse of :func:`plane_split`: shift-and-add, exact."""
+    if not planes:
+        raise ValueError("need at least one plane")
+    acc = np.zeros_like(np.asarray(planes[0], dtype=np.int64))
+    for k, plane in enumerate(planes):
+        acc += np.asarray(plane, dtype=np.int64) << (k * stream_bits)
+    return acc
+
+
+class PlaneWorkspace:
+    """Engine-owned buffers for the integer pulse-expansion path.
+
+    Owns the static-scale quantization scratch (float64 quotient, int32
+    signed codes), the per-pass sign-magnitude buffer and the int32
+    pulse-plane buffers, sized to the largest batch seen.  Pure
+    allocation hoist — values are identical to the unbuffered chain.
+    """
+
+    def __init__(self):
+        self._rows = 0
+        self._cols = -1
+        self._count = 0
+        self._work: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+        self._mags: np.ndarray | None = None
+        self._planes: list[np.ndarray] = []
+
+    def _resize(self, n: int, cols: int, count: int) -> None:
+        if (
+            self._work is None
+            or self._rows < n
+            or self._cols != cols
+            or self._count < count
+        ):
+            rows = max(n, self._rows)
+            self._work = np.empty((rows, cols), dtype=np.float64)
+            self._codes = np.empty((rows, cols), dtype=np.int32)
+            self._mags = np.empty((rows, cols), dtype=np.int32)
+            self._planes = [np.empty((rows, cols), dtype=np.int32) for _ in range(count)]
+            self._rows, self._cols, self._count = rows, cols, count
+
+    def quantize(self, x: np.ndarray, scale: float, qc: QuantConfig) -> np.ndarray:
+        """Signed symmetric codes ``clip(rint(x/scale), ±half_level)``."""
+        n, cols = x.shape
+        self._resize(n, cols, qc.num_planes)
+        return quantize_affine(
+            x,
+            scale=scale,
+            top=qc.half_level,
+            symmetric=True,
+            dtype=np.int32,
+            work=self._work[:n],
+            out=self._codes[:n],
+        )
+
+    def magnitudes(self, codes: np.ndarray, sign: int) -> np.ndarray:
+        """``max(sign * codes, 0)`` — one differential pass's drive."""
+        buf = self._mags[: codes.shape[0]]
+        if sign > 0:
+            np.maximum(codes, 0, out=buf)
+        else:
+            np.negative(codes, out=buf)
+            np.maximum(buf, 0, out=buf)
+        return buf
+
+    def planes(self, mags: np.ndarray, qc: QuantConfig) -> list[np.ndarray]:
+        """LSB-first pulse planes of one pass, in reused buffers."""
+        return plane_split(
+            mags,
+            qc.magnitude_bits,
+            qc.stream_bits,
+            out=[p[: mags.shape[0]] for p in self._planes],
+            check=False,
+        )
+
+
+# ----------------------------------------------------------------------
+# Exact integer MVM (compiled fast path + trivially-identical fallback).
+# ----------------------------------------------------------------------
+
+
+def integer_mvm(x_int: np.ndarray, w_int: np.ndarray) -> np.ndarray:
+    """Exact ``x_int @ w_int`` with int64 accumulation.
+
+    Integer arithmetic has no rounding, so the compiled kernel and the
+    numpy fallback agree exactly by construction (no accumulation-order
+    contract needed).
+    """
+    x_int = np.ascontiguousarray(x_int, dtype=np.int32)
+    w_int = np.ascontiguousarray(w_int, dtype=np.int32)
+    if x_int.ndim != 2 or w_int.ndim != 2 or x_int.shape[1] != w_int.shape[0]:
+        raise ValueError(f"incompatible shapes {x_int.shape} @ {w_int.shape}")
+    out = _ckernels.int_dot(x_int, w_int)
+    if out is not None:
+        return out
+    return x_int.astype(np.int64) @ w_int.astype(np.int64)

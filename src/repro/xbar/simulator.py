@@ -44,7 +44,7 @@ from repro.obs import runtime as _obs_runtime
 from repro.obs.trace import span as _span
 from repro.xbar import _ckernels
 from repro.xbar.adc import quantize_current
-from repro.xbar.bitslice import slice_weights, stream_inputs
+from repro.xbar.bitslice import StreamWorkspace, slice_weights
 from repro.xbar.circuit import CrossbarCircuit
 from repro.xbar.device import RRAMDevice
 from repro.xbar.drift import DriftModel
@@ -53,6 +53,7 @@ from repro.xbar.faults import FaultModel, FaultSummary, TileHealthError
 from repro.xbar.numerics import row_stable_matmul
 from repro.xbar.perf import PerfCounters
 from repro.xbar.presets import CrossbarConfig, load_or_train_geniex
+from repro.xbar.quant import PlaneWorkspace, compute_scale, integer_mvm
 from repro.xbar.tiling import tile_matrix
 
 logger = logging.getLogger(__name__)
@@ -232,6 +233,12 @@ class _TileRowBank:
     # what compacted-away zero rows read back.  Deterministic for a
     # programmed bank, so sharing it across pristine clones is safe.
     zero_currents: np.ndarray | None = None
+    # Lazily cached integer companions for the quantized path (both
+    # deterministic for a programmed bank, like zero_currents): the
+    # ADC codes of the zero-voltage row, and the ideal per-cell weight
+    # levels recovered from ideal_bias for exact integer fallbacks.
+    zero_codes: np.ndarray | None = None
+    int_levels: np.ndarray | None = None
 
 
 class CrossbarEngine:
@@ -261,6 +268,12 @@ class CrossbarEngine:
             )
         if kernel is not None and kernel not in KERNEL_MODES:
             raise ValueError(f"kernel must be one of {KERNEL_MODES}, got {kernel!r}")
+        if config.quant.enabled and config.adc.bits is None:
+            raise ValueError(
+                f"quantized inference (quant.mode={config.quant.mode!r}) requires "
+                "an ADC: the integer pulse-expansion path accumulates ADC codes, "
+                "so adc.bits must be set"
+            )
         self.config = config
         self.predictor = predictor
         self.out_features, self.in_features = weight.shape
@@ -378,6 +391,7 @@ class CrossbarEngine:
         # epoch (0, 0) restores this exact list (bitwise identity).
         self._banks_epoch0 = self.banks
         self._adc_full_scale = config.rows * dev.g_max * dev.v_read
+        self._init_quant_state()
         # Per-output-column digital gain, calibrated at programming time
         # (the gain trim of each ADC/shift-add channel; see
         # CrossbarConfig.gain_calibration).  Multiplicative only, so the
@@ -389,6 +403,49 @@ class CrossbarEngine:
         # the programmed banks are immutable, but ``gain`` may later be
         # refit against real activations.
         self._pristine_gain = self.gain.copy()
+
+    def _init_quant_state(self) -> None:
+        """Derive the integer-path constants from the config.
+
+        ``x_scale`` is the static per-layer input scale of the
+        quantized mode — ``None`` until calibration sets it (see
+        :meth:`set_input_scale`), during which matvec serves through
+        the float path.  The remaining constants are pure functions of
+        the config, shared by both int kernels and the verify oracle.
+        """
+        qc = self.config.quant
+        self.x_scale: float | None = None
+        if not qc.enabled:
+            return
+        adc = self.config.adc
+        if adc.bits is None:
+            raise ValueError(
+                f"quantized inference (quant.mode={qc.mode!r}) requires an ADC: "
+                "the integer pulse-expansion path accumulates ADC codes, so "
+                "adc.bits must be set"
+            )
+        dev = self.config.device
+        # One DAC pulse plane drives plane_levels-1 steps of v_read.
+        self._quant_v_step = dev.v_read / (qc.plane_levels - 1)
+        self._quant_full_scale = adc.full_scale_fraction * self._adc_full_scale
+        self._quant_lsb = self._quant_full_scale / (2**adc.bits - 1)
+        self._quant_denom = dev.g_step * self._quant_v_step
+
+    @property
+    def quant_active(self) -> bool:
+        """True when matvec serves through the integer path."""
+        return self.config.quant.enabled and self.x_scale is not None
+
+    def set_input_scale(self, scale: float) -> None:
+        """Install the calibrated static input scale (enables int mode)."""
+        if not self.config.quant.enabled:
+            raise ValueError(
+                "input scale is only meaningful with quant.mode enabled"
+            )
+        scale = float(scale)
+        if not scale > 0.0 or not np.isfinite(scale):
+            raise ValueError(f"input scale must be positive and finite, got {scale}")
+        self.x_scale = scale
 
     def clone_pristine(self) -> "CrossbarEngine":
         """A fresh-build-equivalent engine sharing the programmed banks.
@@ -416,7 +473,14 @@ class CrossbarEngine:
         dup.banks = self._banks_epoch0
         dup._probe_clip = None
         dup.last_probe = None
-        for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows", "_volt_buf"):
+        # A fresh chip has no calibrated input scale yet: int mode
+        # re-arms only after the clone's own calibration pass.
+        dup.x_scale = None
+        for attr in (
+            "_gain_sum_aa", "_gain_sum_ai", "_gain_rows", "_cal_amax",
+            "_volt_buf", "_stream_ws", "_plane_ws",
+            "_packed_codes_buf", "_expand_codes_buf",
+        ):
             dup.__dict__.pop(attr, None)
         return dup
 
@@ -484,6 +548,8 @@ class CrossbarEngine:
         # sharded execution stay bit-identical.
         self.pulse_count += x.shape[0]
         with _span("xbar/matvec"):
+            if self.quant_active:
+                return self._matvec_int(x)
             if (x >= 0).all():
                 return self._matvec_unsigned(x)
             positive = self._matvec_unsigned(np.maximum(x, 0.0))
@@ -637,11 +703,19 @@ class CrossbarEngine:
         self._gain_sum_aa = np.zeros(self.out_features)
         self._gain_sum_ai = np.zeros(self.out_features)
         self._gain_rows = 0
+        # Streamed |activation| maximum — the quantized mode's static
+        # per-layer input scale comes from the same calibration sweep.
+        self._cal_amax = 0.0
 
     def accumulate_gain(self, vectors: np.ndarray, weight: np.ndarray) -> None:
         """Fold one batch of calibration vectors into the gain fit."""
         if not hasattr(self, "_gain_rows"):
             self.begin_gain_accumulation()
+        if self.config.quant.enabled and self.x_scale is None and len(vectors):
+            # max() is order-independent, so sharded sweeps merge to the
+            # same scale as the serial one.
+            amax = float(np.abs(np.asarray(vectors, dtype=np.float64)).max())
+            self._cal_amax = max(self._cal_amax, amax)
         analog = self.matvec_raw(vectors)
         ideal = np.asarray(vectors, dtype=np.float64) @ np.asarray(weight, dtype=np.float64).T
         self._gain_sum_aa += np.sum(analog * analog, axis=0)
@@ -652,7 +726,14 @@ class CrossbarEngine:
         """Set gains from the accumulated statistics (no-op if empty)."""
         if getattr(self, "_gain_rows", 0) > 0:
             self.gain = self._solve_gains(self._gain_sum_ai, self._gain_sum_aa)
-        for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows"):
+            if self.config.quant.enabled and self.x_scale is None:
+                self.set_input_scale(
+                    compute_scale(
+                        getattr(self, "_cal_amax", 0.0),
+                        self.config.quant.half_level,
+                    )
+                )
+        for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows", "_cal_amax"):
             if hasattr(self, attr):
                 delattr(self, attr)
 
@@ -667,8 +748,7 @@ class CrossbarEngine:
         if x_max == 0.0:
             return out
         x_lsb = x_max / (bs.input_levels - 1)
-        x_int = np.clip(np.rint(x / x_lsb), 0, bs.input_levels - 1).astype(np.int64)
-        streams = stream_inputs(x_int, bs)
+        streams = self._stream_workspace().quantize_and_stream(x, x_lsb, bs)
         if self.kernel == "reference":
             self._accumulate_streams_reference(out, streams)
         else:
@@ -909,6 +989,332 @@ class CrossbarEngine:
                     dst = out[:, chunk.col_slice]
                     if not _ckernels.axpy_block(dst, src, stream_scale):
                         dst += stream_scale * src
+
+    # ------------------------------------------------------------------
+    # Integer pulse-expansion path (see repro.xbar.quant)
+    # ------------------------------------------------------------------
+    def _matvec_int(self, x: np.ndarray) -> np.ndarray:
+        """Quantized-mode MVM: shift-and-add over integer ADC codes.
+
+        Activations quantize **once** against the calibrated static
+        scale (``x_scale``) into signed codes, split into sign-magnitude
+        DAC pulse planes; each (pass, bank, plane) evaluation's raw ADC
+        codes accumulate into an int64 matrix ``A`` with exact
+        power-of-two shift-and-add factors.  The differential scheme
+        makes the ``G_min`` dummy-column term common-mode (equal and
+        opposite factors within every tile pair), so a **single**
+        dequantization multiply at the very end recovers the output —
+        no per-(bank, stream) float rescale chain.
+
+        Guard fallbacks accumulate separately in ``B`` as exact integer
+        ideal dot products (``plane_seg @ int_levels``), dequantized by
+        the plain ``x_scale * w_scale`` product.  Integer accumulation
+        is order-exact, so both kernels and any worker sharding agree
+        bit for bit.
+        """
+        qc = self.config.quant
+        n = x.shape[0]
+        self.perf.int_matvec_calls += 1
+        out = np.zeros((n, self.out_features), dtype=np.float64)
+        if n == 0:
+            return out
+        ws = self._plane_workspace()
+        codes = ws.quantize(x, self.x_scale, qc)
+        A = np.zeros((n, self.out_features), dtype=np.int64)
+        B: np.ndarray | None = None
+        passes = (1, -1) if bool((codes < 0).any()) else (1,)
+        for sign in passes:
+            mags = ws.magnitudes(codes, sign)
+            if not mags.any():
+                continue
+            planes = ws.planes(mags, qc)
+            if self.kernel == "reference":
+                B = self._accumulate_planes_reference(A, B, planes, sign)
+            else:
+                B = self._accumulate_planes_vectorized(A, B, planes, sign)
+        # Headroom telemetry: the engine's int64 accumulator is exact,
+        # but a 32-bit hardware shift-and-add register would have
+        # saturated on this batch.
+        if max(int(A.max()), -int(A.min())) > 2**31 - 1:
+            self.perf.int_sat_events += 1
+        k_dot = self.x_scale * self.w_scale
+        np.multiply(A, k_dot * (self._quant_lsb / self._quant_denom), out=out)
+        if B is not None:
+            out += B * k_dot
+        return out
+
+    def _accumulate_planes_reference(
+        self,
+        A: np.ndarray,
+        B: np.ndarray | None,
+        planes: list[np.ndarray],
+        sign: int,
+    ) -> np.ndarray | None:
+        """Per-(bank, plane) integer kernel — the quantized golden reference."""
+        n = A.shape[0]
+        rows = self.config.rows
+        v_step = self._quant_v_step
+        perf = self.perf
+        for bank in self.banks:
+            width = bank.row_slice.stop - bank.row_slice.start
+            for t, plane in enumerate(planes):
+                seg = plane[:, bank.row_slice]
+                if not seg.any():
+                    perf.planes_skipped += 1
+                    continue  # all-zero plane contributes nothing
+                voltages = np.zeros((n, rows))
+                voltages[:, :width] = seg * v_step
+                start = time.perf_counter()
+                with _span("bank"):
+                    currents = self.predictor.predict_from_bias(voltages, bank.handle)
+                perf.predictor_seconds += time.perf_counter() - start
+                perf.bank_evals += 1
+                perf.planes_evaluated += 1
+                self._observe_adc(currents)
+                fallback_cols = self._check_tile_health(currents, bank)
+                codes = self._adc_int_codes(currents)
+                B = self._int_accumulate_chunks(
+                    A, B, codes, bank, seg, sign, t,
+                    self._fallback_groups(bank, fallback_cols),
+                )
+        return B
+
+    def _accumulate_planes_vectorized(
+        self,
+        A: np.ndarray,
+        B: np.ndarray | None,
+        planes: list[np.ndarray],
+        sign: int,
+    ) -> np.ndarray | None:
+        """Stacked-plane integer kernel: one predictor call per bank.
+
+        Mirrors :meth:`_accumulate_streams_vectorized` — all non-zero
+        pulse planes of a bank stack into one predictor call, all-zero
+        rows compact away against the cached zero-row evaluation — but
+        the post-predictor chain is integer: one ADC-code pass over the
+        packed rows, then exact shift-and-add.  Anything unhealthy
+        (requires injected faults) falls through to the reference guard
+        chain so trip counts and warn ordering stay exact.
+        """
+        n = A.shape[0]
+        rows = self.config.rows
+        v_step = self._quant_v_step
+        perf = self.perf
+        for bank in self.banks:
+            width = bank.row_slice.stop - bank.row_slice.start
+            # (plane index, non-zero row indices or None for "all", packed segment)
+            active: list[tuple[int, np.ndarray | None, np.ndarray]] = []
+            for t, plane in enumerate(planes):
+                seg = plane[:, bank.row_slice]
+                nz = seg.any(axis=1)
+                nnz = int(np.count_nonzero(nz))
+                if nnz == 0:
+                    perf.planes_skipped += 1
+                elif nnz == n:
+                    active.append((t, None, seg))
+                else:
+                    active.append((t, np.flatnonzero(nz), seg[nz]))
+            if not active:
+                continue
+            counts = [seg.shape[0] for _t, _idx, seg in active]
+            packed_rows = sum(counts)
+            full_rows = len(active) * n
+            perf.rows_compacted += full_rows - packed_rows
+            volts = self._voltage_workspace(packed_rows, rows)
+            if width < rows:
+                volts[:, width:] = 0.0  # padding rows drive no voltage
+            bounds: list[tuple[int, int]] = []
+            pos = 0
+            for (_t, _idx, seg), cnt in zip(active, counts):
+                np.multiply(seg, v_step, out=volts[pos : pos + cnt, :width])
+                bounds.append((pos, cnt))
+                pos += cnt
+            start = time.perf_counter()
+            with _span("bank"):
+                packed = self.predictor.predict_from_bias(volts, bank.handle)
+            perf.predictor_seconds += time.perf_counter() - start
+            perf.bank_evals += 1
+            perf.planes_evaluated += len(active)
+            self._observe_adc(packed)
+            compacted = packed_rows != full_rows
+            zero_row = self._zero_row_currents(bank) if compacted else None
+            guard = self.config.guard
+            use_fast = not guard.active or (
+                self._currents_healthy(packed)
+                and (zero_row is None or self._currents_healthy(zero_row))
+            )
+            cols = bank.total_cols
+            if use_fast:
+                pk = self._int_workspace("_packed_codes_buf", packed_rows, cols)
+                self._adc_int_codes(packed, out=pk)
+                for (t, idx, _seg), (p0, cnt) in zip(active, bounds):
+                    if idx is None:
+                        codes_blk = pk[p0 : p0 + cnt]
+                    else:
+                        # Compacted-away zero rows read the cached ADC
+                        # codes of the zero-voltage evaluation —
+                        # bit-identical to evaluating them in place.
+                        exp = self._int_workspace("_expand_codes_buf", n, cols)
+                        exp[:] = self._zero_int_codes(bank)
+                        exp[idx] = pk[p0 : p0 + cnt]
+                        codes_blk = exp
+                    B = self._int_accumulate_chunks(
+                        A, B, codes_blk, bank, None, sign, t, None
+                    )
+            else:
+                # Guard engaged: expand back to dense per-plane current
+                # blocks and run the reference guard chain so trip
+                # counts and warn-once ordering match it exactly.
+                if not compacted:
+                    currents = packed
+                else:
+                    currents = np.empty(
+                        (full_rows, packed.shape[1]), dtype=packed.dtype
+                    )
+                    for k, ((_t, idx, _seg), (p0, cnt)) in enumerate(
+                        zip(active, bounds)
+                    ):
+                        blk = currents[k * n : (k + 1) * n]
+                        if idx is None:
+                            blk[:] = packed[p0 : p0 + cnt]
+                        else:
+                            blk[:] = zero_row
+                            blk[idx] = packed[p0 : p0 + cnt]
+                for k, (t, _idx, _seg) in enumerate(active):
+                    blk = currents[k * n : (k + 1) * n]
+                    fallback_cols = self._check_tile_health(blk, bank)
+                    codes = self._adc_int_codes(blk)
+                    B = self._int_accumulate_chunks(
+                        A, B, codes, bank, planes[t][:, bank.row_slice], sign, t,
+                        self._fallback_groups(bank, fallback_cols),
+                    )
+        return B
+
+    def _int_accumulate_chunks(
+        self,
+        A: np.ndarray,
+        B: np.ndarray | None,
+        codes: np.ndarray,
+        bank: _TileRowBank,
+        seg: np.ndarray | None,
+        sign: int,
+        t: int,
+        marked: "set[tuple[int, int]] | None",
+    ) -> np.ndarray | None:
+        """Shift-and-add one (pass, bank, plane) ADC-code block into A/B.
+
+        ``marked`` holds the output-column groups whose tiles the guard
+        sent to the digital fallback; those accumulate **exact integer
+        ideal dots** (``seg @ int_levels``) into ``B`` instead.  The
+        whole differential group falls back together — replacing only
+        one array of a pos/neg pair would break the common-mode
+        cancellation the single-dequant scheme relies on.
+        """
+        bs = self.config.bitslice
+        sb = self.config.quant.stream_bits
+        seg32: np.ndarray | None = None
+        for chunk in bank.chunks:
+            factor = (
+                int(sign)
+                * int(chunk.sign)
+                * (1 << (bs.slice_bits * chunk.slice_index + sb * t))
+            )
+            if marked and (chunk.col_slice.start, chunk.col_slice.stop) in marked:
+                if seg32 is None:
+                    seg32 = np.ascontiguousarray(seg, dtype=np.int32)
+                    ilv = self._int_ideal_levels(bank)
+                if B is None:
+                    B = np.zeros_like(A)
+                dots = integer_mvm(
+                    seg32,
+                    ilv[: seg32.shape[1], chunk.offset : chunk.offset + chunk.width],
+                )
+                B[:, chunk.col_slice] += dots * factor
+            else:
+                dst = A[:, chunk.col_slice]
+                src = codes[:, chunk.offset : chunk.offset + chunk.width]
+                if not _ckernels.int_axpy(dst, src, factor):
+                    dst += src.astype(np.int64) * factor
+        return B
+
+    def _fallback_groups(
+        self, bank: _TileRowBank, fallback_cols: np.ndarray | None
+    ) -> "set[tuple[int, int]] | None":
+        """Widen a guard column mask to whole differential column groups."""
+        if fallback_cols is None:
+            return None
+        return {
+            (c.col_slice.start, c.col_slice.stop)
+            for c in bank.chunks
+            if fallback_cols[c.offset]
+        }
+
+    def _adc_int_codes(
+        self, currents: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Raw ADC codes ``rint(clip(I, 0, full_scale) / lsb)`` as int32.
+
+        Non-finite currents digitize to code 0 — a dead ADC lane reads
+        zero; the compiled kernel and the numpy fallback implement the
+        same rule, so the integer path never propagates NaN/Inf (the
+        guard decides what, if anything, replaces the sick columns).
+        """
+        if out is None:
+            out = np.empty(currents.shape, dtype=np.int32)
+        if _ckernels.adc_codes(
+            currents, out, full_scale=self._quant_full_scale, lsb=self._quant_lsb
+        ):
+            return out
+        q = np.clip(currents, 0.0, self._quant_full_scale)
+        q /= self._quant_lsb
+        np.rint(q, out=q)
+        if not np.isfinite(currents).all():
+            q[~np.isfinite(currents)] = 0.0
+        out[...] = q
+        return out
+
+    def _int_ideal_levels(self, bank: _TileRowBank) -> np.ndarray:
+        """Exact per-cell weight levels for integer guard fallbacks.
+
+        Recovered from the fault-free conductances kept for the float
+        fallback: ``levels = rint((G - g_min) / g_step)``.  Lazily
+        cached on the bank — deterministic for a programmed bank, so
+        sharing across pristine clones is safe (like zero_currents).
+        """
+        if bank.int_levels is None:
+            dev = self.config.device
+            levels = np.rint((bank.ideal_bias - dev.g_min) / dev.g_step)
+            bank.int_levels = levels.astype(np.int32)
+        return bank.int_levels
+
+    def _zero_int_codes(self, bank: _TileRowBank) -> np.ndarray:
+        """ADC codes of the bank's zero-voltage currents (cached)."""
+        if bank.zero_codes is None:
+            zero = self._zero_row_currents(bank)
+            bank.zero_codes = self._adc_int_codes(zero.reshape(1, -1))[0]
+        return bank.zero_codes
+
+    def _int_workspace(self, name: str, m: int, cols: int) -> np.ndarray:
+        """Reusable int32 code buffer for the vectorized integer kernel."""
+        buf = getattr(self, name, None)
+        if buf is None or buf.shape[0] < m or buf.shape[1] != cols:
+            buf = np.empty((m, cols), dtype=np.int32)
+            setattr(self, name, buf)
+        return buf[:m]
+
+    def _stream_workspace(self) -> StreamWorkspace:
+        """Lazily created float-path quantize/stream scratch buffers."""
+        ws = getattr(self, "_stream_ws", None)
+        if ws is None:
+            ws = self._stream_ws = StreamWorkspace()
+        return ws
+
+    def _plane_workspace(self) -> PlaneWorkspace:
+        """Lazily created integer-path quantize/plane scratch buffers."""
+        ws = getattr(self, "_plane_ws", None)
+        if ws is None:
+            ws = self._plane_ws = PlaneWorkspace()
+        return ws
 
     def _observe_adc(self, currents: np.ndarray) -> None:
         """Report raw bank currents to the ADC observers.
@@ -1229,8 +1635,9 @@ def collect_calibration_stats(model: Module, images: np.ndarray) -> dict:
             engine._gain_sum_aa,
             engine._gain_sum_ai,
             engine._gain_rows,
+            getattr(engine, "_cal_amax", 0.0),
         )
-        for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows"):
+        for attr in ("_gain_sum_aa", "_gain_sum_ai", "_gain_rows", "_cal_amax"):
             if hasattr(engine, attr):
                 delattr(engine, attr)
     return stats
@@ -1251,12 +1658,32 @@ def calibrate_hardware(model: Module, images: np.ndarray, batch_size: int = 64) 
     pool workers (one calibration batch per shard); the partial sums
     come back in shard order, so the fitted gains are bit-identical to
     the serial sweep.
+
+    Quantized mode (``config.quant``) calibrates in **two** sweeps: the
+    first runs through the float path, recording each layer's
+    activation maximum alongside the gain statistics — finishing it
+    installs the static input scales (arming the integer path) *and* a
+    provisional gain fit.  The second sweep then refits the gains
+    against the integer path's actual outputs.  Engines whose scale is
+    already set (e.g. a recalibration pass) keep the single sweep.
     """
+    layers = list(_named_nonideal_layers(model))
+    needs_scale = any(
+        layer.engine.config.quant.enabled and layer.engine.x_scale is None
+        for _name, layer in layers
+    )
+    _calibration_sweep(model, layers, images, batch_size)
+    if needs_scale:
+        _calibration_sweep(model, layers, images, batch_size)
+    return model
+
+
+def _calibration_sweep(model: Module, layers, images: np.ndarray, batch_size: int) -> None:
+    """One full accumulate-and-fit pass of :func:`calibrate_hardware`."""
     from repro.autograd.tensor import no_grad
     from repro.parallel.backend import ShardTask, get_backend
     from repro.parallel.scheduler import plan_shards
 
-    layers = list(_named_nonideal_layers(model))
     images = np.asarray(images, dtype=np.float32)
     shards = plan_shards(len(images), batch_size)
     backend = get_backend()
@@ -1271,17 +1698,20 @@ def calibrate_hardware(model: Module, images: np.ndarray, batch_size: int = 64) 
         for engine in engines.values():
             engine.begin_gain_accumulation()
         for shard_stats in stats:  # strictly in shard order
-            for name, (aa, ai, rows) in shard_stats.items():
+            for name, (aa, ai, rows, amax) in shard_stats.items():
                 engine = engines[name]
                 engine._gain_sum_aa += aa
                 engine._gain_sum_ai += ai
                 engine._gain_rows += rows
+                # max() merging is order-independent: sharded and serial
+                # sweeps install the same static input scale.
+                engine._cal_amax = max(engine._cal_amax, amax)
         for engine in engines.values():
             engine.finish_gain_accumulation()
         # The shared snapshot holds pre-calibration gains; drop it so
         # later parallel maps re-share the calibrated model.
         backend.invalidate(model)
-        return model
+        return
     for _name, layer in layers:
         layer.engine.begin_gain_accumulation()
         layer._pending_calibration = True
@@ -1293,7 +1723,6 @@ def calibrate_hardware(model: Module, images: np.ndarray, batch_size: int = 64) 
         for _name, layer in layers:
             layer._pending_calibration = False
             layer.engine.finish_gain_accumulation()
-    return model
 
 
 def fault_summary(model: Module) -> "FaultSummary":
@@ -1552,6 +1981,7 @@ def restore_engine(
             )
         )
     engine._adc_full_scale = config.rows * config.device.g_max * config.device.v_read
+    engine._init_quant_state()
     pristine = np.asarray(arrays["pristine_gain"], dtype=np.float64)
     engine.gain = pristine.copy()
     engine._pristine_gain = pristine.copy()

@@ -20,6 +20,23 @@ class TestInputBitWidthReduction:
         x = np.array([0.0, 0.3, 0.5, 1.0])
         np.testing.assert_allclose(defense.quantize(x), [0.0, 1 / 3, 2 / 3, 1.0])
 
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_quantize_pins_historical_chain(self, tiny_victim, bits):
+        """The shared-primitive rewrite must be bit-identical to the
+        original ``rint(clip(x, 0, 1) * levels) / levels`` chain."""
+        defense = InputBitWidthReduction(tiny_victim, bits=bits)
+        rng = np.random.default_rng(17)
+        x = np.concatenate(
+            [
+                rng.random((3, 4, 5, 5)).ravel(),
+                # out-of-range + exact grid / half-grid edge cases
+                np.array([-0.5, -1e-9, 0.0, 1.0, 1.5, 0.5 / defense.levels]),
+                np.arange(defense.levels + 1) / defense.levels,
+            ]
+        )
+        legacy = np.rint(np.clip(x, 0.0, 1.0) * defense.levels) / defense.levels
+        assert np.array_equal(defense.quantize(x), legacy)
+
     def test_4bit_default_levels(self, tiny_victim):
         defense = InputBitWidthReduction(tiny_victim)
         assert defense.bits == 4 and defense.levels == 15

@@ -33,6 +33,7 @@ from repro.parallel import (
 from repro.parallel import shm
 from repro.train.trainer import evaluate_accuracy
 from repro.xbar.faults import FaultConfig
+from repro.xbar.quant import QuantConfig, with_quant
 from repro.xbar.simulator import (
     IdealPredictor,
     _named_nonideal_layers,
@@ -221,6 +222,64 @@ def test_calibrate_hardware_gains_identical(digital_model):
         _named_nonideal_layers(serial_hw), _named_nonideal_layers(parallel_hw)
     ):
         np.testing.assert_array_equal(a.engine.gain, b.engine.gain, err_msg=name)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: int8 quantized mode
+# ----------------------------------------------------------------------
+
+
+def _int8_config():
+    return with_quant(
+        make_tiny_crossbar_config(adc_bits=6), QuantConfig(mode="int8")
+    )
+
+
+@pytest.fixture(scope="module")
+def int8_hardware(digital_model):
+    """Quantized hardware, calibrated serially (scale sweep + gain refit)."""
+    hw = convert_to_hardware(
+        digital_model,
+        _int8_config(),
+        predictor=IdealPredictor(),
+        rng=np.random.default_rng(5),
+        engine_cache=False,
+    )
+    images = np.random.default_rng(7).random((8, 3, 8, 8)).astype(np.float32)
+    calibrate_hardware(hw, images, batch_size=4)
+    return hw
+
+
+def test_int8_calibration_identical(digital_model):
+    """The two-pass quant calibration (static scales + gain refit) must
+    install bit-identical scales and gains under a parallel backend —
+    the amax merge is a max(), so shard order cannot perturb it."""
+    images = np.random.default_rng(7).random((8, 3, 8, 8)).astype(np.float32)
+    kwargs = dict(
+        predictor=IdealPredictor(), rng=np.random.default_rng(5), engine_cache=False
+    )
+    serial_hw = convert_to_hardware(digital_model, _int8_config(), **kwargs)
+    parallel_hw = convert_to_hardware(digital_model, _int8_config(), **kwargs)
+    calibrate_hardware(serial_hw, images, batch_size=4)
+    with parallel_backend(2):
+        calibrate_hardware(parallel_hw, images, batch_size=4)
+    for (name, a), (_, b) in zip(
+        _named_nonideal_layers(serial_hw), _named_nonideal_layers(parallel_hw)
+    ):
+        assert a.engine.x_scale == b.engine.x_scale, name
+        assert a.engine.quant_active and b.engine.quant_active, name
+        np.testing.assert_array_equal(a.engine.gain, b.engine.gain, err_msg=name)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_int8_logits_identical(workers, int8_hardware, eval_batch):
+    from repro.attacks.base import predict_logits
+
+    x, _y = eval_batch
+    serial = predict_logits(int8_hardware, x, batch_size=4)
+    with parallel_backend(workers):
+        parallel = predict_logits(int8_hardware, x, batch_size=4)
+    assert np.array_equal(serial, parallel)
 
 
 # ----------------------------------------------------------------------
