@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Serving-layer load benchmark: BENCH_18_serve.json.
+
+Runs the closed-loop load generator against a live ``AnalogServer``
+(two tenants: float and int8, both on the pinned-DAC serving contract)
+and *asserts* the serving contract at each worker count:
+
+* batching efficiency — the continuous micro-batcher must coalesce
+  singles into dense batches (``batching_efficiency > 1``) under
+  concurrent closed-loop clients;
+* bit-identity — every served response must equal serial per-request
+  inference exactly, at ``--workers 1/2/4`` alike (batch-axis sharding
+  across the process pool must be invisible);
+* completeness — no request may be dropped: every submitted request
+  resolves to a result or a typed rejection, and rejected requests are
+  retried to completion.
+
+Recorded per worker count: throughput (requests/s), p50/p90/p99
+end-to-end latency, batching efficiency, and mean micro-batch size.
+
+Scale is controlled by ``REPRO_BENCH_PROFILE`` (tiny | small |
+default; defaults to ``tiny`` so it stays a CI gate).  Results are
+written to ``BENCH_18_serve.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.attacks.base import predict_logits  # noqa: E402
+from repro.nn.resnet import build_model  # noqa: E402
+from repro.obs.sink import runtime_stamp  # noqa: E402
+from repro.parallel.backend import parallel_backend, shutdown  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AnalogServer,
+    ModelRegistry,
+    ServeConfig,
+    TenantSpec,
+    run_load,
+)
+from repro.xbar.simulator import IdealPredictor  # noqa: E402
+
+PRESET = "32x32_100k"
+WORKER_COUNTS = (1, 2, 4)
+
+PROFILES = {
+    # (clients, requests per client, image pool size, calibration images)
+    "tiny": (4, 8, 8, 8),
+    "small": (6, 16, 16, 16),
+    "default": (8, 32, 32, 32),
+}
+
+
+def profile_name() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+
+class BenchLab:
+    """Duck-typed ``HardwareLab`` facade sized for the bench.
+
+    An untrained (weights are still data) ResNet on the ideal
+    predictor backend: tenant loads cost milliseconds, logits stay
+    deterministic, and the serving path exercised is exactly the one
+    production traffic takes.
+    """
+
+    def __init__(self, cal_images: int, seed: int = 0):
+        self._model = build_model("resnet20", num_classes=4, width=4, seed=7)
+        self._model.eval()
+        rng = np.random.default_rng(seed)
+        self._calibration = rng.random((cal_images, 3, 8, 8)).astype(np.float32)
+
+    def victim(self, task: str):
+        return self._model
+
+    def geniex(self, preset: str):
+        return IdealPredictor()
+
+    def calibration_images(self, task: str) -> np.ndarray:
+        return self._calibration
+
+
+async def _load_session(registry, images, config, clients, per_client):
+    async with AnalogServer(registry, config) as server:
+        report = await run_load(
+            server,
+            models=["fp", "q"],
+            images=images,
+            clients=clients,
+            requests_per_client=per_client,
+        )
+        stats = server.stats()
+    return report, stats
+
+
+def main() -> int:
+    profile = profile_name()
+    if profile not in PROFILES:
+        print(f"unknown REPRO_BENCH_PROFILE {profile!r}; use one of {sorted(PROFILES)}")
+        return 2
+    clients, per_client, pool, cal_images = PROFILES[profile]
+
+    lab = BenchLab(cal_images)
+    registry = ModelRegistry(lab)
+    registry.register(TenantSpec(name="fp", task="bench", preset=PRESET))
+    registry.register(TenantSpec(name="q", task="bench", preset=PRESET, quant=True))
+    registry.load_all()
+
+    rng = np.random.default_rng(1)
+    images = rng.random((pool, 3, 8, 8)).astype(np.float32)
+    reference = {
+        name: predict_logits(registry.model(name).model, images)
+        for name in ("fp", "q")
+    }
+
+    config = ServeConfig(max_batch=8, max_wait_us=2000.0, queue_limit=64)
+    print(
+        f"[bench_serve] profile={profile} preset={PRESET} "
+        f"clients={clients} requests={clients * per_client} tenants=fp,q"
+    )
+
+    failures: list[str] = []
+    results: dict[str, dict] = {}
+    for workers in WORKER_COUNTS:
+        with parallel_backend(workers):
+            report, stats = asyncio.run(
+                _load_session(registry, images, config, clients, per_client)
+            )
+        mismatches = sum(
+            1
+            for model, image_index, result in report.responses
+            if not np.array_equal(result.logits, reference[model][image_index])
+        )
+        latency = report.latency_us
+        entry = report.as_dict()
+        entry.update(
+            {
+                "workers": workers,
+                "mean_batch_size": stats.batch_size.get("mean", 0.0),
+                "bit_identical": mismatches == 0,
+            }
+        )
+        results[str(workers)] = entry
+        print(
+            f"[bench_serve] workers={workers}: "
+            f"{report.throughput_rps:.1f} req/s  "
+            f"p50={latency.get('p50', 0.0) / 1e3:.2f}ms "
+            f"p99={latency.get('p99', 0.0) / 1e3:.2f}ms  "
+            f"efficiency={report.batching_efficiency:.2f}  "
+            f"identical={mismatches == 0}"
+        )
+        if report.completed != report.requests:
+            failures.append(
+                f"workers={workers}: {report.completed}/{report.requests} completed"
+            )
+        if report.batching_efficiency <= 1.0:
+            failures.append(
+                f"workers={workers}: batching efficiency "
+                f"{report.batching_efficiency:.2f} never exceeded 1"
+            )
+        if mismatches:
+            failures.append(
+                f"workers={workers}: {mismatches} responses differ from serial"
+            )
+    shutdown()
+
+    payload = runtime_stamp(
+        extra={
+            "bench": "serve",
+            "profile": profile,
+            "preset": PRESET,
+            "seeds": {"images": [1], "lab": [0]},
+        }
+    )
+    payload.update(
+        {
+            "load": {
+                "clients": clients,
+                "requests_per_client": per_client,
+                "image_pool": pool,
+                "tenants": ["fp", "q"],
+                "max_batch": config.max_batch,
+                "max_wait_us": config.max_wait_us,
+            },
+            "workers": results,
+            "failures": failures,
+        }
+    )
+    out = REPO_ROOT / "BENCH_18_serve.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_serve] wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"[bench_serve] FAIL: {failure}")
+        return 1
+    print("[bench_serve] serving contract holds at workers 1/2/4")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

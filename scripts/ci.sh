@@ -62,6 +62,22 @@ grep -E "scheduler: .*recalibrations=[1-9]" artifacts/runs/ci-drift-stdout.txt \
     > /dev/null || { echo "ci: drift smoke never recalibrated"; exit 1; }
 
 echo
+echo "=== serve smoke: micro-batching server + coalescing identity ==="
+# In-process server under concurrent closed-loop clients: every
+# response must be bit-identical to per-request serial inference and
+# the micro-batcher must actually coalesce (efficiency > 1).
+python -m repro serve --fast --demo 4 --clients 3 \
+    --tenants "fp=32x32_100k,q=32x32_100k+int8" \
+    --obs=artifacts/runs/ci-serve | tee artifacts/runs/ci-serve-stdout.txt
+python -m repro obs validate artifacts/runs/ci-serve
+grep -E "coalescing identity: ([0-9]+)/\1 " artifacts/runs/ci-serve-stdout.txt \
+    > /dev/null || { echo "ci: serve smoke lost coalescing identity"; exit 1; }
+grep -E "batching_efficiency=(1\.[0-9]*[1-9]|[2-9]|[1-9][0-9])" \
+    artifacts/runs/ci-serve-stdout.txt \
+    > /dev/null || { echo "ci: serve smoke never coalesced a batch"; exit 1; }
+python -m pytest -x -q -m serve
+
+echo
 echo "=== bench smoke: drift-counter overhead (tiny profile) ==="
 REPRO_BENCH_PROFILE=tiny python scripts/bench_drift.py
 
@@ -78,6 +94,12 @@ echo "=== bench gate: int8 quantized path (tiny profile) ==="
 # Asserts >= 1.5x speedup, compiled-vs-pure and 1/2/3-worker
 # bit-identity, and that the integer path actually served the matvecs.
 REPRO_BENCH_PROFILE=tiny python scripts/bench_quant.py
+
+echo
+echo "=== bench gate: serving layer (tiny profile) ==="
+# Asserts batching efficiency > 1 and response bit-identity vs serial
+# inference at 1/2/4 pool workers.
+REPRO_BENCH_PROFILE=tiny python scripts/bench_serve.py
 
 echo
 echo "ci: all checks passed"

@@ -13,6 +13,8 @@ energy      crossbar-vs-digital energy estimate for a task's victim
 reliability clean/adversarial accuracy vs stuck-cell rate and drift
 drift       accuracy vs queries served under temporal conductance
             drift, with and without the online recalibration scheduler
+serve       analog inference serving: multi-tenant registry + continuous
+            micro-batching (in-process demo, or a TCP JSON-lines port)
 verify      run the numerical verification catalog (oracle + invariants)
 obs         inspect recorded ``--obs`` runs (summarize / validate / list)
 cache       inspect/clear the programmed-engine disk cache
@@ -201,6 +203,135 @@ def cmd_energy(args) -> int:
     return 0
 
 
+def _parse_tenant(text: str, task: str, force_quant: bool = False):
+    """Parse one ``name=preset[+int8][+stuck=R][+drift=N]`` tenant spec."""
+    from repro.serve import TenantSpec
+
+    name, _, rest = text.partition("=")
+    if not name:
+        raise SystemExit(f"error: tenant spec {text!r} has no name")
+    parts = rest.split("+") if rest else []
+    preset = parts[0] if parts and parts[0] else "32x32_100k"
+    kwargs: dict = {}
+    for part in parts[1:]:
+        if part == "int8":
+            kwargs["quant"] = True
+        elif part.startswith("stuck="):
+            kwargs["stuck_rate"] = float(part[len("stuck="):])
+        elif part.startswith("drift="):
+            kwargs["drift_epoch_pulses"] = int(part[len("drift="):])
+        else:
+            raise SystemExit(f"error: unknown tenant modifier {part!r} in {text!r}")
+    if force_quant:
+        kwargs["quant"] = True
+    return TenantSpec(name=name, task=task, preset=preset, **kwargs)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from repro.serve import (
+        AnalogServer,
+        ModelRegistry,
+        ServeConfig,
+        run_load,
+        serve_tcp,
+    )
+
+    lab = _make_lab(args)
+    registry = ModelRegistry(lab)
+    for text in args.tenants.split(","):
+        registry.register(_parse_tenant(text.strip(), args.task, args.int8))
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        queue_limit=args.queue_limit,
+    )
+
+    def load_tenants() -> None:
+        for entry in registry.load_all():
+            temperature = "cold" if entry.cold else "warm"
+            quant = " int8" if entry.spec.quant else ""
+            print(
+                f"loaded {entry.spec.name}: {entry.spec.task}/"
+                f"{entry.spec.preset}{quant} in {entry.load_ms:.1f}ms "
+                f"({temperature}, {len(entry.pinned)} DACs pinned)"
+            )
+
+    def attach_maintenance(server: AnalogServer, probe_images) -> None:
+        if not args.maintenance_pulses:
+            return
+        from repro.lifecycle import RecalibrationScheduler
+
+        for name in registry.names():
+            entry = registry.model(name)
+            if not entry.spec.drift_epoch_pulses:
+                continue
+            scheduler = RecalibrationScheduler(
+                entry.model,
+                lab.calibration_images(entry.spec.task),
+                probe_images,
+            )
+            server.attach_scheduler(name, scheduler, args.maintenance_pulses)
+            print(f"maintenance: {name} ticks every {args.maintenance_pulses} pulses")
+
+    async def demo() -> int:
+        load_tenants()
+        images, _labels = lab.eval_set(args.task)
+        server = AnalogServer(registry, config)
+        attach_maintenance(server, images)
+        async with server:
+            report = await run_load(
+                server,
+                registry.names(),
+                images,
+                clients=args.clients,
+                requests_per_client=args.demo,
+            )
+        stats = server.stats()
+        print(
+            f"load: {report.requests} request(s) from {args.clients} "
+            f"closed-loop client(s) in {report.duration_s:.2f}s "
+            f"({report.throughput_rps:.1f} rps, {report.rejected} overload retries)"
+        )
+        print("serve: " + stats.format())
+        from repro.attacks.base import predict_logits
+
+        mismatched = 0
+        for model, image_index, result in report.responses:
+            reference = predict_logits(
+                registry.model(model).model, images[image_index][None]
+            )[0]
+            if not np.array_equal(result.logits, reference):
+                mismatched += 1
+        total = len(report.responses)
+        print(
+            f"coalescing identity: {total - mismatched}/{total} "
+            "responses bit-identical to per-request serial inference"
+        )
+        return 1 if (mismatched or report.completed < report.requests) else 0
+
+    async def listen() -> int:
+        load_tenants()
+        server = AnalogServer(registry, config)
+        attach_maintenance(server, lab.eval_set(args.task)[0])
+        async with server:
+            tcp = await serve_tcp(server, args.host, args.port)
+            port = tcp.sockets[0].getsockname()[1]
+            names = ",".join(registry.names())
+            print(f"serving [{names}] on {args.host}:{port} (Ctrl-C to stop)")
+            try:
+                await asyncio.Event().wait()
+            finally:
+                tcp.close()
+                await tcp.wait_closed()
+        return 0
+
+    return asyncio.run(demo() if args.port is None else listen())
+
+
 def cmd_verify(args) -> int:
     from repro.verify.runner import run_verification
 
@@ -384,6 +515,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-attempts", dest="max_attempts", type=int, default=None,
                    help="override the scheduler's recovery attempts before escalation")
     p.set_defaults(func=cmd_drift)
+
+    p = sub.add_parser("serve", help="analog inference serving (micro-batched)")
+    common(p)
+    p.add_argument("--tenants", default="fp=32x32_100k",
+                   help="CSV of name=preset[+int8][+stuck=R][+drift=N] tenant "
+                        "specs (e.g. fp=32x32_100k,q=32x32_100k+int8)")
+    p.add_argument("--max-batch", dest="max_batch", type=int, default=8,
+                   help="largest micro-batch one model invocation serves")
+    p.add_argument("--max-wait-us", dest="max_wait_us", type=float, default=2000.0,
+                   help="longest a request waits for batch-mates before the cut")
+    p.add_argument("--queue-limit", dest="queue_limit", type=int, default=64,
+                   help="admission bound; beyond it requests get typed rejections")
+    p.add_argument("--clients", type=int, default=4,
+                   help="closed-loop demo clients")
+    p.add_argument("--demo", type=int, default=8, metavar="N",
+                   help="requests per client for the in-process demo "
+                        "(the default mode when --port is not given)")
+    p.add_argument("--maintenance-pulses", dest="maintenance_pulses", type=int,
+                   default=0,
+                   help="tick each drifting tenant's recalibration scheduler "
+                        "every N served pulses (0 = no maintenance)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="listen on a TCP JSON-lines socket instead of the demo "
+                        "(0 = ephemeral)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("verify")
     p.add_argument("--seed", type=int, default=1234,

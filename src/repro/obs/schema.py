@@ -53,6 +53,30 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple]] = {
         "evaluated_at": (int,),
         "adv_accuracy": NUMBER,
     },
+    "registry_load": {
+        "model": (str,),
+        "task": (str,),
+        "preset": (str,),
+        "quant": (bool,),
+        "load_ms": NUMBER,
+        "cold": (bool,),
+    },
+    "serve_batch": {
+        "model": (str,),
+        "size": (int,),
+        "queue_depth": (int,),
+        "wait_us": NUMBER,
+        "infer_us": NUMBER,
+    },
+    "serve_reject": {"model": (str,), "reason": (str,), "queued": (int,)},
+    "serve_stats": {
+        "requests": (int,),
+        "batches": (int,),
+        "rejected": (int,),
+        "batching_efficiency": NUMBER,
+        "p50_us": NUMBER,
+        "p99_us": NUMBER,
+    },
     "log": {"message": (str,)},
 }
 

@@ -348,6 +348,45 @@ def render_drift(events: list[dict]) -> list[str]:
     return lines
 
 
+def render_serving(events: list[dict]) -> list[str]:
+    """Registry loads, micro-batch shape, rejections, final serve stats."""
+    lines: list[str] = []
+    loads = [r for r in events if r.get("type") == "registry_load"]
+    for record in loads:
+        temperature = "cold" if record.get("cold") else "warm"
+        lines.append(
+            f"load {record['model']}: {record['task']}/{record['preset']}"
+            f"{' int8' if record.get('quant') else ''} "
+            f"{record['load_ms']:.1f}ms ({temperature})"
+        )
+    batches = [r for r in events if r.get("type") == "serve_batch"]
+    if batches:
+        sizes = [r["size"] for r in batches]
+        lines.append(
+            f"micro-batches: {len(batches)} cut, sizes "
+            f"{min(sizes)}..{max(sizes)} "
+            f"(mean {sum(sizes) / len(batches):.2f})  "
+            f"{sparkline([float(s) for s in sizes[-60:]])}"
+        )
+    rejects = [r for r in events if r.get("type") == "serve_reject"]
+    if rejects:
+        by_reason: dict[str, int] = {}
+        for record in rejects:
+            by_reason[record["reason"]] = by_reason.get(record["reason"], 0) + 1
+        rendered = " ".join(f"{k}x{n}" for k, n in sorted(by_reason.items()))
+        lines.append(f"rejections: {len(rejects)} [{rendered}]")
+    stats = _last_event(events, "serve_stats")
+    if stats:
+        lines.append(
+            f"served {stats['requests']} request(s) in {stats['batches']} "
+            f"batch(es), efficiency {stats['batching_efficiency']:.2f}, "
+            f"latency p50 {stats['p50_us'] / 1e3:.2f}ms "
+            f"p99 {stats['p99_us'] / 1e3:.2f}ms, "
+            f"{stats['rejected']} rejected"
+        )
+    return lines
+
+
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
@@ -402,6 +441,12 @@ def summarize_run(run_dir: Path | str) -> str:
         lines.append("")
         lines.append("--- temporal drift ---")
         lines.extend(drift_lines)
+
+    serving_lines = render_serving(events)
+    if serving_lines:
+        lines.append("")
+        lines.append("--- serving ---")
+        lines.extend(serving_lines)
 
     lines.append("")
     lines.append("--- attack curves ---")

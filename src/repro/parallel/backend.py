@@ -60,7 +60,14 @@ class ExecutionBackend:
         raise NotImplementedError
 
     def invalidate(self, model) -> None:
-        """Drop any shared snapshot of ``model`` (call after mutating it)."""
+        """Drop any shared snapshot of ``model`` (call after mutating it).
+
+        Pooled process backends outlive the ``parallel_backend()``
+        context that used them, so a mutation made while *any* backend
+        is active (serial included) must reach every pooled snapshot —
+        otherwise a later context entry would map the stale share.
+        """
+        _invalidate_pooled(model)
 
     def close(self) -> None:
         """Release pool processes and shared segments."""
@@ -189,6 +196,9 @@ class ProcessBackend(ExecutionBackend):
         cached = self._handles.pop(id(model), None)
         if cached is not None:
             shm.release(cached[1])
+        # A directly-constructed backend may coexist with pooled ones
+        # holding their own snapshot of the same model.
+        _invalidate_pooled(model)
 
     def close(self) -> None:
         for _model, handle in list(self._handles.values()):
@@ -279,6 +289,34 @@ def resolve_workers(workers: int) -> int:
     return workers
 
 
+#: Warm worker pools keyed by worker count.  ``parallel_backend`` and
+#: ``configure`` draw from here instead of forking a fresh pool per
+#: entry, so a long-lived caller (the serving event loop, a pytest
+#: session) can enter/exit repeatedly without paying a refork + shm
+#: re-share each time.  Closed only by :func:`shutdown` (atexit).
+_POOLED: dict[int, "ProcessBackend"] = {}
+
+
+def _invalidate_pooled(model) -> None:
+    """Drop every pooled backend's shared snapshot of ``model``."""
+    for backend in _POOLED.values():
+        cached = backend._handles.pop(id(model), None)
+        if cached is not None:
+            shm.release(cached[1])
+
+
+def _pooled_backend(count: int) -> "ProcessBackend":
+    """A warm ``ProcessBackend`` for ``count`` workers (replace if broken)."""
+    backend = _POOLED.get(count)
+    if backend is not None and not backend._broken:
+        return backend
+    if backend is not None:
+        backend.close()
+    backend = ProcessBackend(count)
+    _POOLED[count] = backend
+    return backend
+
+
 def configure(workers: int) -> ExecutionBackend:
     """Install the process-global backend for a worker count.
 
@@ -296,19 +334,19 @@ def configure(workers: int) -> ExecutionBackend:
         and not _ACTIVE._broken
     ):
         return _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = SerialBackend() if count <= 1 else ProcessBackend(count)
-    if isinstance(previous, ProcessBackend):
-        previous.close()
+    _ACTIVE = SerialBackend() if count <= 1 else _pooled_backend(count)
     return _ACTIVE
 
 
 def shutdown() -> None:
-    """Close the active pool (if any) and unlink shared segments."""
+    """Close every pool (active + warm) and unlink shared segments."""
     global _ACTIVE
     if isinstance(_ACTIVE, ProcessBackend):
         _ACTIVE.close()
         _ACTIVE = SerialBackend()
+    for backend in _POOLED.values():
+        backend.close()
+    _POOLED.clear()
     shm.release_all()
 
 
@@ -317,19 +355,22 @@ def parallel_backend(workers: int):
     """Temporarily install a backend (tests and library callers).
 
     ``with parallel_backend(2): ...`` runs the body's batch operations
-    on a 2-worker pool, then restores the previous backend and tears
-    the pool down.
+    on a 2-worker pool, then restores the previous backend.  The pool
+    itself is pooled (see :data:`_POOLED`): re-entering with the same
+    worker count reuses the warm workers and their shared-memory model
+    cache instead of reforking, which makes the context safe to open
+    and close repeatedly inside a long-lived event loop.  Pools are
+    torn down by :func:`shutdown` (registered atexit).
     """
     count = resolve_workers(workers)
     backend: ExecutionBackend = (
-        SerialBackend() if count <= 1 else ProcessBackend(count)
+        SerialBackend() if count <= 1 else _pooled_backend(count)
     )
     previous = set_backend(backend)
     try:
         yield backend
     finally:
         set_backend(previous)
-        backend.close()
 
 
 atexit.register(shutdown)

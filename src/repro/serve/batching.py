@@ -1,0 +1,188 @@
+"""Continuous micro-batching: a deadline-bounded coalescing queue.
+
+The MVM hot path is substantially faster batched (one predictor call
+per tile-row bank covers the whole batch axis) and the parallel
+backend shards the batch axis across workers — but serving traffic
+arrives one image at a time.  :class:`MicroBatcher` closes that gap:
+requests enqueue as they arrive, and a consumer pulls *micro-batches*
+that are cut when either ``max_batch`` requests for one model have
+coalesced or the oldest waiting request has aged past ``max_wait_us``.
+
+The batcher is model-aware (a micro-batch never mixes tenants) and
+globally FIFO: the next batch is always cut for the model whose head
+request has waited longest.  Admission control is a hard bound on the
+total queued requests — :meth:`push` raises instead of growing the
+queue, so overload turns into typed rejections upstream rather than
+unbounded latency.
+
+Pure asyncio, single consumer, no threads: all state is touched from
+the event loop only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueueEntry:
+    """One queued request: opaque payload plus arrival bookkeeping."""
+
+    seq: int
+    enqueued: float  # loop.time() at arrival
+    payload: object
+
+
+@dataclass
+class MicroBatch:
+    """One coalesced batch for a single model, in arrival order."""
+
+    model: str
+    entries: list[QueueEntry]
+    cut_at: float  # loop.time() when the batch was cut
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    @property
+    def payloads(self) -> list:
+        return [entry.payload for entry in self.entries]
+
+    def wait_us(self, entry: QueueEntry) -> float:
+        """How long one entry sat in the queue before the cut."""
+        return (self.cut_at - entry.enqueued) * 1e6
+
+
+@dataclass
+class BatcherStats:
+    """Monotonic counters of everything the batcher has done."""
+
+    pushed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    served: int = 0
+    by_model: dict = field(default_factory=dict)
+
+    @property
+    def batching_efficiency(self) -> float:
+        """Requests served per model invocation (> 1 = coalescing won)."""
+        return self.served / self.batches if self.batches else 0.0
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`MicroBatcher.push` when admission is denied."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"serve queue full ({limit} requests in flight)")
+        self.limit = limit
+
+
+class MicroBatcher:
+    """Bounded, model-aware, deadline-bounded request coalescer."""
+
+    def __init__(
+        self, max_batch: int = 8, max_wait_us: float = 2000.0, queue_limit: int = 64
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self.queue_limit = queue_limit
+        self.stats = BatcherStats()
+        self._queues: dict[str, deque[QueueEntry]] = {}
+        self._queued = 0
+        self._seq = 0
+        self._closed = False
+        self._wake = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._queued
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def push(self, model: str, payload: object) -> QueueEntry:
+        """Enqueue one request; raises :class:`QueueFull` when bounded out."""
+        if self._queued >= self.queue_limit:
+            self.stats.rejected += 1
+            raise QueueFull(self.queue_limit)
+        loop = asyncio.get_running_loop()
+        entry = QueueEntry(seq=self._seq, enqueued=loop.time(), payload=payload)
+        self._seq += 1
+        self._queues.setdefault(model, deque()).append(entry)
+        self._queued += 1
+        self.stats.pushed += 1
+        self._wake.set()
+        return entry
+
+    def close(self) -> None:
+        """Stop accepting deadline waits; :meth:`next_batch` drains then ends."""
+        self._closed = True
+        self._wake.set()
+
+    def drain(self) -> list[tuple[str, QueueEntry]]:
+        """Remove and return everything still queued (shutdown path)."""
+        drained: list[tuple[str, QueueEntry]] = []
+        for model, queue in self._queues.items():
+            while queue:
+                drained.append((model, queue.popleft()))
+        self._queued = 0
+        drained.sort(key=lambda pair: pair[1].seq)
+        return drained
+
+    # ------------------------------------------------------------------
+    def _oldest_model(self) -> str:
+        """The model whose head-of-queue request has waited longest."""
+        return min(
+            (model for model, queue in self._queues.items() if queue),
+            key=lambda model: self._queues[model][0].seq,
+        )
+
+    async def next_batch(self) -> MicroBatch | None:
+        """Cut and return the next micro-batch; ``None`` once closed + drained.
+
+        Cuts when the selected model has ``max_batch`` requests queued,
+        or its oldest request has waited ``max_wait_us``, or the batcher
+        is closed (flush immediately, no deadline lingering).
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            if self._queued == 0:
+                if self._closed:
+                    return None
+                self._wake.clear()
+                if self._queued == 0 and not self._closed:
+                    await self._wake.wait()
+                continue
+            model = self._oldest_model()
+            queue = self._queues[model]
+            deadline = queue[0].enqueued + self.max_wait_us / 1e6
+            while len(queue) < self.max_batch and not self._closed:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                except (asyncio.TimeoutError, TimeoutError):
+                    break
+            take = min(self.max_batch, len(queue))
+            entries = [queue.popleft() for _ in range(take)]
+            self._queued -= take
+            self.stats.batches += 1
+            self.stats.served += take
+            per_model = self.stats.by_model.setdefault(
+                model, {"batches": 0, "served": 0}
+            )
+            per_model["batches"] += 1
+            per_model["served"] += take
+            return MicroBatch(model=model, entries=entries, cut_at=loop.time())

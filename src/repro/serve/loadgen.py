@@ -1,0 +1,112 @@
+"""Closed-loop load generator for :class:`AnalogServer`.
+
+``N`` concurrent clients each keep exactly one request in flight: a
+client submits, awaits the response, then immediately submits the next
+— the classic closed-loop model, so offered load scales with client
+count and the server's own latency, never ahead of it.  Overload
+rejections are counted and (by default) retried after a short backoff,
+which is what a well-behaved client does with a typed 429.
+
+The report carries everything the bench and the CI smoke assert on:
+throughput, p50/p99 end-to-end latency, batching efficiency, and the
+full response set (for bit-identity checks against serial inference).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import Histogram
+from repro.serve.server import AnalogServer, ServeResult, ServerOverloaded
+
+
+@dataclass
+class LoadReport:
+    """What a load run did and how the server held up."""
+
+    requests: int
+    completed: int
+    rejected: int
+    duration_s: float
+    throughput_rps: float
+    latency_us: dict
+    batching_efficiency: float
+    #: One ``(model, image_index, result)`` per completed request.
+    responses: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_us": self.latency_us,
+            "batching_efficiency": self.batching_efficiency,
+        }
+
+
+async def run_load(
+    server: AnalogServer,
+    models: list[str],
+    images: np.ndarray,
+    clients: int = 4,
+    requests_per_client: int = 16,
+    retry_overload: bool = True,
+    retry_sleep_us: float = 500.0,
+) -> LoadReport:
+    """Drive ``clients`` closed-loop clients against a running server.
+
+    Client ``c``'s ``i``-th request targets ``models[(c + i) % len]``
+    with ``images[(c * requests_per_client + i) % len]`` — every client
+    interleaves tenants, which is exactly the traffic shape that makes
+    model-aware batching earn its keep.
+    """
+    if not models:
+        raise ValueError("run_load needs at least one model name")
+    if len(images) == 0:
+        raise ValueError("run_load needs at least one image")
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests_per_client must be >= 1")
+    loop = asyncio.get_running_loop()
+    latency = Histogram()
+    responses: list[tuple[str, int, ServeResult]] = []
+    rejected = 0
+
+    async def client(index: int) -> None:
+        nonlocal rejected
+        for i in range(requests_per_client):
+            model = models[(index + i) % len(models)]
+            image_index = (index * requests_per_client + i) % len(images)
+            while True:
+                start = loop.time()
+                try:
+                    result = await server.submit(model, images[image_index])
+                except ServerOverloaded:
+                    rejected += 1
+                    if not retry_overload:
+                        break
+                    await asyncio.sleep(retry_sleep_us / 1e6)
+                    continue
+                latency.observe((loop.time() - start) * 1e6)
+                responses.append((model, image_index, result))
+                break
+
+    start = loop.time()
+    await asyncio.gather(*(client(c) for c in range(clients)))
+    duration = loop.time() - start
+    stats = server.stats()
+    completed = len(responses)
+    return LoadReport(
+        requests=clients * requests_per_client,
+        completed=completed,
+        rejected=rejected,
+        duration_s=duration,
+        throughput_rps=completed / duration if duration > 0 else 0.0,
+        latency_us=latency.as_dict(),
+        batching_efficiency=stats.batching_efficiency,
+        responses=responses,
+    )

@@ -1,0 +1,114 @@
+"""Thin TCP front door: JSON-lines requests over asyncio streams.
+
+One request per line::
+
+    {"model": "cifar10-fp", "image": [[...], ...]}
+
+one response per line::
+
+    {"ok": true, "request_id": 7, "batch_size": 4, "logits": [...]}
+    {"ok": false, "error": "overloaded"}
+
+The wire layer adds **nothing** to the serving semantics — every
+connection handler just awaits :meth:`AnalogServer.submit`, so typed
+rejections surface as ``{"ok": false, "error": <reason>}`` and the
+coalescing / ordering / backpressure contracts are exactly the
+in-process ones.  Connections are independent tasks; many sockets'
+requests coalesce into the same micro-batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.serve.server import AnalogServer, ServeError
+
+#: Refuse request lines larger than this (64 MiB) instead of buffering.
+MAX_LINE_BYTES = 64 << 20
+
+
+async def _handle(
+    server: AnalogServer, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                writer.write(b'{"ok": false, "error": "request too large"}\n')
+                break
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                model = request["model"]
+                image = np.asarray(request["image"], dtype=np.float32)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                reply = {"ok": False, "error": f"bad request: {exc}"}
+            else:
+                try:
+                    result = await server.submit(model, image)
+                except ServeError as exc:
+                    reply = {"ok": False, "error": exc.reason}
+                else:
+                    reply = {
+                        "ok": True,
+                        "request_id": result.request_id,
+                        "model": result.model,
+                        "batch_size": result.batch_size,
+                        "queued_us": result.queued_us,
+                        "infer_us": result.infer_us,
+                        "logits": np.asarray(result.logits).tolist(),
+                    }
+            writer.write(json.dumps(reply).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def serve_tcp(
+    server: AnalogServer, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Expose a started :class:`AnalogServer` on a TCP socket.
+
+    Returns the asyncio server (``.sockets[0].getsockname()[1]`` is the
+    bound port when ``port=0``); close it before stopping ``server``.
+    """
+
+    async def handler(reader, writer):
+        await _handle(server, reader, writer)
+
+    return await asyncio.start_server(
+        handler, host, port, limit=MAX_LINE_BYTES
+    )
+
+
+async def request_tcp(
+    host: str, port: int, model: str, image: np.ndarray
+) -> dict:
+    """One-shot client helper: send one request line, await the reply."""
+    reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+    try:
+        payload = {"model": model, "image": np.asarray(image).tolist()}
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,179 @@
+"""Multi-tenant model registry over the engine cache's disk tier.
+
+Each tenant names a (task, crossbar preset) pair plus its hardware
+personality: int8 quantization, a stuck-cell fault population, and a
+temporal-drift model.  Loading a tenant converts the shared victim to
+hardware through :func:`convert_to_hardware` — which means programmed
+engines come out of the content-addressed engine cache (warm process
+hits, or the disk tier's epoch-0 snapshots) instead of being
+reprogrammed — recalibrates them on the tenant's calibration set, and
+pins every DAC for serving (:func:`repro.serve.pin_for_serving`).
+
+Because the cache refuses to round-trip aged engines (PR 6) and
+``clone_pristine`` resets all mutable state, *evicting a tenant and
+reloading it is bitwise stable*: the reload reproduces the original
+load's logits exactly, no matter how much traffic aged the evicted
+engines.  The serve test battery and `repro.verify` enforce this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import runtime as _obs_runtime
+from repro.obs.metrics import REGISTRY
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One served model's identity and hardware personality."""
+
+    name: str
+    task: str = "cifar10"
+    preset: str = "32x32_100k"
+    #: int8 quantized inference (static input scales + integer MVM path).
+    quant: bool = False
+    #: Stuck-at-G_min cell fraction (0 disables the fault layer).
+    stuck_rate: float = 0.0
+    #: Per-epoch drift pulses (0 disables the temporal layer).
+    drift_epoch_pulses: int = 0
+    #: DAC full-scale headroom over the calibration maximum.
+    dac_margin: float = 1.0
+
+    def build_config(self):
+        """The tenant's crossbar config, derived from its preset."""
+        from repro.xbar.drift import DriftConfig, with_drift
+        from repro.xbar.presets import crossbar_preset
+        from repro.xbar.quant import QuantConfig, with_quant
+
+        config = crossbar_preset(self.preset)
+        if self.quant:
+            config = with_quant(config, QuantConfig(mode="int8"))
+        if self.stuck_rate > 0.0:
+            config = dataclasses.replace(
+                config,
+                faults=dataclasses.replace(
+                    config.faults, stuck_at_gmin_rate=self.stuck_rate
+                ),
+            )
+        if self.drift_epoch_pulses > 0:
+            config = with_drift(
+                config, DriftConfig(epoch_pulses=self.drift_epoch_pulses)
+            )
+        return config
+
+
+@dataclass
+class LoadedModel:
+    """One resident tenant: the pinned hardware model plus load telemetry."""
+
+    spec: TenantSpec
+    model: object
+    load_ms: float
+    #: True when the programmed engines had to be rebuilt from scratch
+    #: (no process-cache or disk-tier snapshot available).
+    cold: bool
+    pinned: dict[str, float] = field(default_factory=dict)
+    loads: int = 1
+
+
+class ModelRegistry:
+    """Name-addressed store of served hardware models.
+
+    ``lab`` supplies the shared expensive state — trained victims, task
+    data, calibration images and GENIEx surrogates — exactly as the
+    offline experiments use it; the registry owns only the per-tenant
+    conversion, pinning and residency.
+    """
+
+    def __init__(self, lab):
+        self.lab = lab
+        self._specs: dict[str, TenantSpec] = {}
+        self._loaded: dict[str, LoadedModel] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, spec: TenantSpec) -> TenantSpec:
+        """Declare a tenant (idempotent for an identical spec)."""
+        existing = self._specs.get(spec.name)
+        if existing is not None and existing != spec:
+            raise ValueError(
+                f"tenant {spec.name!r} already registered with a different spec"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def resident(self) -> list[str]:
+        return sorted(self._loaded)
+
+    def spec(self, name: str) -> TenantSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(f"unknown tenant {name!r}; registered: {self.names()}")
+
+    # ------------------------------------------------------------------
+    def load(self, name: str) -> LoadedModel:
+        """Convert + calibrate + pin one tenant (no-op when resident)."""
+        cached = self._loaded.get(name)
+        if cached is not None:
+            return cached
+        from repro.serve.pinning import pin_for_serving
+        from repro.xbar.engine_cache import ENGINE_CACHE
+        from repro.xbar.simulator import convert_to_hardware
+
+        spec = self.spec(name)
+        misses_before = ENGINE_CACHE.stats.misses
+        start = time.perf_counter()
+        model = convert_to_hardware(
+            self.lab.victim(spec.task),
+            spec.build_config(),
+            predictor=self.lab.geniex(spec.preset),
+            calibration_images=self.lab.calibration_images(spec.task),
+        )
+        pinned = pin_for_serving(model, margin=spec.dac_margin)
+        load_ms = (time.perf_counter() - start) * 1e3
+        cold = ENGINE_CACHE.stats.misses > misses_before
+        entry = LoadedModel(
+            spec=spec, model=model, load_ms=load_ms, cold=cold, pinned=pinned
+        )
+        self._loaded[name] = entry
+        REGISTRY.counter("serve.registry.loads").inc()
+        REGISTRY.histogram("serve.registry.load_ms").observe(load_ms)
+        _obs_runtime.event(
+            "registry_load",
+            model=name,
+            task=spec.task,
+            preset=spec.preset,
+            quant=spec.quant,
+            load_ms=load_ms,
+            cold=cold,
+        )
+        return entry
+
+    def load_all(self) -> list[LoadedModel]:
+        return [self.load(name) for name in self.names()]
+
+    def model(self, name: str) -> LoadedModel:
+        """The resident tenant entry (loads lazily on first use)."""
+        entry = self._loaded.get(name)
+        if entry is not None:
+            return entry
+        return self.load(name)
+
+    def evict(self, name: str) -> bool:
+        """Drop a tenant's resident model (its spec stays registered).
+
+        The evicted engines are discarded wholesale — aged state and
+        all.  A later :meth:`load` rebuilds from the engine cache's
+        pristine clones / epoch-0 disk snapshots and recalibrates, so
+        reload is bitwise identical to the original load.
+        """
+        return self._loaded.pop(name, None) is not None

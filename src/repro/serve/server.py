@@ -1,0 +1,384 @@
+"""The asyncio analog-inference server.
+
+:class:`AnalogServer` glues the pieces together: requests enter through
+:meth:`submit` (admission-controlled — a full queue raises a **typed**
+:class:`ServerOverloaded`, it never silently drops a future), coalesce
+in the :class:`MicroBatcher`, and are served by a single background
+collector.  Inference runs on a dedicated one-thread executor (the
+*inference lane*): the event loop stays responsive during multi-
+millisecond analog forwards, and — because the obs trace recorder keeps
+one shared span stack — only the lane thread emits spans while serving,
+so ``serve/batch`` / ``serve/maintenance`` spans stay balanced and
+correctly nested under the command span.
+
+Drift accounting rides along for free: every served row advances the
+engines' pulse counters, and per-tenant maintenance (an attached
+:class:`repro.lifecycle.RecalibrationScheduler`) ticks on the lane
+**between** micro-batches once enough pulses have accumulated — never
+inside one, so drift-epoch sync points can't split a batch.
+
+The coalescing-identity contract (a request's logits do not depend on
+its batch-mates — bit for bit) is established by the engine's serving
+mode (:func:`repro.serve.pin_for_serving`); with it, the batch axis can
+also be sharded across the :mod:`repro.parallel` pool without changing
+a single bit of any response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import runtime as _obs_runtime
+from repro.obs.metrics import REGISTRY, Histogram
+from repro.obs.trace import span as _span
+from repro.serve.batching import MicroBatch, MicroBatcher, QueueFull
+from repro.serve.registry import ModelRegistry
+
+
+class ServeError(Exception):
+    """Base class of every typed serving rejection."""
+
+    reason = "error"
+
+
+class ServerOverloaded(ServeError):
+    """Admission denied: the bounded request queue is full."""
+
+    reason = "overloaded"
+
+
+class UnknownModel(ServeError):
+    """The request named a tenant the registry has never heard of."""
+
+    reason = "unknown_model"
+
+
+class ServerClosed(ServeError):
+    """The server is not accepting requests (stopped or never started)."""
+
+    reason = "closed"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving knobs (see DESIGN.md §9 for the queueing model)."""
+
+    #: Largest micro-batch one model invocation may serve.
+    max_batch: int = 8
+    #: Longest a request may wait for batch-mates before the cut.
+    max_wait_us: float = 2000.0
+    #: Admission bound on requests in flight (queued, not yet served).
+    queue_limit: int = 64
+    #: Shard the micro-batch axis across the parallel backend's pool
+    #: (no-op under the serial backend; bit-identical either way).
+    shard_batches: bool = True
+
+
+@dataclass
+class ServeResult:
+    """One served request: its logits plus batching telemetry."""
+
+    request_id: int
+    model: str
+    logits: np.ndarray
+    batch_size: int  # size of the micro-batch that served it
+    queued_us: float
+    infer_us: float
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving statistics (see :meth:`AnalogServer.stats`)."""
+
+    requests: int
+    batches: int
+    rejected: int
+    batching_efficiency: float
+    latency_us: dict
+    queue_us: dict
+    infer_us: dict
+    batch_size: dict
+    pulses: dict[str, int]
+    maintenance_ticks: int
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "rejected": self.rejected,
+            "batching_efficiency": self.batching_efficiency,
+            "latency_us": self.latency_us,
+            "queue_us": self.queue_us,
+            "infer_us": self.infer_us,
+            "batch_size": self.batch_size,
+            "pulses": self.pulses,
+            "maintenance_ticks": self.maintenance_ticks,
+        }
+
+    def format(self) -> str:
+        lat = self.latency_us
+        return (
+            f"requests={self.requests} batches={self.batches} "
+            f"rejected={self.rejected} "
+            f"batching_efficiency={self.batching_efficiency:.2f} "
+            f"latency p50={lat.get('p50', float('nan')) / 1e3:.2f}ms "
+            f"p99={lat.get('p99', float('nan')) / 1e3:.2f}ms"
+        )
+
+
+@dataclass
+class _Request:
+    """Payload carried through the batcher for one submitted image."""
+
+    request_id: int
+    image: np.ndarray
+    future: asyncio.Future
+
+
+@dataclass
+class _Maintenance:
+    """Per-tenant scheduler hook state."""
+
+    scheduler: object
+    every_pulses: int
+    pending: int = 0
+    ticks: int = 0
+
+
+class AnalogServer:
+    """Continuous micro-batching front-end over a :class:`ModelRegistry`."""
+
+    def __init__(self, registry: ModelRegistry, config: ServeConfig | None = None):
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self._batcher = MicroBatcher(
+            max_batch=self.config.max_batch,
+            max_wait_us=self.config.max_wait_us,
+            queue_limit=self.config.queue_limit,
+        )
+        self._lane: ThreadPoolExecutor | None = None
+        self._collector: asyncio.Task | None = None
+        self._running = False
+        self._next_id = 0
+        self._latency = Histogram()
+        self._queue_wait = Histogram()
+        self._infer = Histogram()
+        self._batch_sizes = Histogram()
+        self._pulses: dict[str, int] = {}
+        self._maintenance: dict[str, _Maintenance] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AnalogServer":
+        if self._running:
+            raise RuntimeError("server already started")
+        self._lane = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-lane"
+        )
+        self._running = True
+        self._collector = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def stop(self) -> "ServerStats":
+        """Drain the queue, serve everything in flight, flush stats."""
+        if self._running:
+            self._running = False
+            self._batcher.close()
+            if self._collector is not None:
+                await self._collector
+            # The collector drains the queue before exiting; anything
+            # still queued means it died — reject, never drop.
+            for _model, entry in self._batcher.drain():
+                request = entry.payload
+                if not request.future.done():
+                    request.future.set_exception(ServerClosed("server stopped"))
+            if self._lane is not None:
+                self._lane.shutdown(wait=True)
+                self._lane = None
+        stats = self.stats()
+        _obs_runtime.event(
+            "serve_stats",
+            requests=stats.requests,
+            batches=stats.batches,
+            rejected=stats.rejected,
+            batching_efficiency=stats.batching_efficiency,
+            p50_us=float(stats.latency_us.get("p50", math.nan)),
+            p99_us=float(stats.latency_us.get("p99", math.nan)),
+        )
+        return stats
+
+    async def __aenter__(self) -> "AnalogServer":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Maintenance hooks
+    # ------------------------------------------------------------------
+    def attach_scheduler(self, model: str, scheduler, every_pulses: int) -> None:
+        """Tick ``scheduler`` after every ``every_pulses`` served pulses.
+
+        Ticks run on the inference lane between micro-batches, so drift
+        sync / refit / reprogramming never land mid-batch.
+        """
+        if every_pulses < 1:
+            raise ValueError(f"every_pulses must be >= 1, got {every_pulses}")
+        self.registry.spec(model)  # validate the tenant exists
+        self._maintenance[model] = _Maintenance(
+            scheduler=scheduler, every_pulses=every_pulses
+        )
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    async def submit(self, model: str, image: np.ndarray) -> ServeResult:
+        """Serve one image; resolves when its micro-batch completes.
+
+        Raises :class:`UnknownModel`, :class:`ServerOverloaded` or
+        :class:`ServerClosed` — typed, synchronous rejections.  Once
+        this returns an awaitable has been queued, and it is guaranteed
+        to resolve (result or exception): futures are never dropped.
+        """
+        if not self._running:
+            raise ServerClosed("server is not running")
+        if model not in self.registry:
+            REGISTRY.counter("serve.rejected.unknown_model").inc()
+            raise UnknownModel(f"unknown model {model!r}")
+        loop = asyncio.get_running_loop()
+        request = _Request(
+            request_id=self._next_id,
+            image=np.asarray(image),
+            future=loop.create_future(),
+        )
+        self._next_id += 1
+        try:
+            self._batcher.push(model, request)
+        except QueueFull as exc:
+            REGISTRY.counter("serve.rejected.overloaded").inc()
+            _obs_runtime.event(
+                "serve_reject",
+                model=model,
+                reason="overloaded",
+                queued=len(self._batcher),
+            )
+            raise ServerOverloaded(str(exc)) from None
+        return await request.future
+
+    # ------------------------------------------------------------------
+    # Collector + inference lane
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            batch = await self._batcher.next_batch()
+            if batch is None:
+                return
+            await self._serve_batch(batch)
+
+    async def _serve_batch(self, batch: MicroBatch) -> None:
+        loop = asyncio.get_running_loop()
+        requests: list[_Request] = batch.payloads
+        images = np.stack([request.image for request in requests])
+        queue_depth = len(self._batcher)
+        start = loop.time()
+        try:
+            logits = await loop.run_in_executor(
+                self._lane, self._infer_batch, batch.model, images
+            )
+        except ServeError as exc:
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        except Exception as exc:
+            failure = ServeError(f"inference failed: {exc!r}")
+            failure.__cause__ = exc
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(failure)
+            return
+        infer_us = (loop.time() - start) * 1e6
+        done = loop.time()
+        self._infer.observe(infer_us)
+        self._batch_sizes.observe(batch.size)
+        REGISTRY.counter("serve.requests").inc(batch.size)
+        REGISTRY.counter("serve.batches").inc()
+        REGISTRY.histogram("serve.batch_size").observe(batch.size)
+        for index, request in enumerate(requests):
+            queued_us = batch.wait_us(request_entry := batch.entries[index])
+            latency_us = (done - request_entry.enqueued) * 1e6
+            self._queue_wait.observe(queued_us)
+            self._latency.observe(latency_us)
+            REGISTRY.histogram("serve.latency_us").observe(latency_us)
+            result = ServeResult(
+                request_id=request.request_id,
+                model=batch.model,
+                logits=logits[index],
+                batch_size=batch.size,
+                queued_us=queued_us,
+                infer_us=infer_us,
+            )
+            if not request.future.done():
+                request.future.set_result(result)
+        _obs_runtime.event(
+            "serve_batch",
+            model=batch.model,
+            size=batch.size,
+            queue_depth=queue_depth,
+            wait_us=batch.wait_us(batch.entries[0]),
+            infer_us=infer_us,
+        )
+
+    def _infer_batch(self, model: str, images: np.ndarray) -> np.ndarray:
+        """Runs on the inference lane thread (the only span emitter)."""
+        from repro.attacks.base import predict_logits
+        from repro.lifecycle import total_pulses
+        from repro.parallel.backend import get_backend
+
+        entry = self.registry.model(model)
+        shard_size = len(images)
+        backend = get_backend()
+        if self.config.shard_batches and backend.workers > 1:
+            # Split the micro-batch across the pool.  Serving-pinned
+            # engines are batch-composition independent, so any shard
+            # plan yields bit-identical logits.
+            shard_size = max(1, math.ceil(len(images) / backend.workers))
+        before = total_pulses(entry.model)
+        with _span("serve/batch"):
+            logits = predict_logits(entry.model, images, batch_size=shard_size)
+        delta = total_pulses(entry.model) - before
+        self._pulses[model] = self._pulses.get(model, 0) + delta
+        REGISTRY.counter(f"serve.pulses.{model}").inc(delta)
+        maintenance = self._maintenance.get(model)
+        if maintenance is not None:
+            maintenance.pending += delta
+            if maintenance.pending >= maintenance.every_pulses:
+                maintenance.pending = 0
+                maintenance.ticks += 1
+                with _span("serve/maintenance"):
+                    maintenance.scheduler.tick()
+        return logits
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        batcher = self._batcher.stats
+        return ServerStats(
+            requests=batcher.served,
+            batches=batcher.batches,
+            rejected=batcher.rejected,
+            batching_efficiency=batcher.batching_efficiency,
+            latency_us=self._latency.as_dict(),
+            queue_us=self._queue_wait.as_dict(),
+            infer_us=self._infer.as_dict(),
+            batch_size=self._batch_sizes.as_dict(),
+            pulses=dict(self._pulses),
+            maintenance_ticks=sum(
+                m.ticks for m in self._maintenance.values()
+            ),
+        )

@@ -690,3 +690,173 @@ def check_nf_monotonicity(
     if not (nfs[0] < nfs[1] < nfs[2]):
         pairs = ", ".join(f"{n}={v:.4f}" for n, v in zip(order, nfs))
         raise InvariantViolation(f"NF ordering violated: {pairs}")
+
+
+# ----------------------------------------------------------------------
+# Serving-mode invariants (see repro.serve)
+# ----------------------------------------------------------------------
+
+def check_serve_split_identity(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int | None = None,
+) -> None:
+    """A pinned engine's outputs are batch-composition independent.
+
+    With a static DAC range installed (serving mode) every row sees the
+    same quantization grid and contributes nothing to streams it does
+    not drive, so each row alone — and any contiguous split — must
+    reproduce its in-dense-batch bits exactly.  This is the engine-level
+    statement of the micro-batch coalescing identity the serving layer
+    is built on.
+    """
+    limit = float(np.abs(x).max()) or 1.0
+    for kernel in ("vectorized", "reference"):
+        engine = _engine(weight, config, predictor, kernel, seed)
+        engine.set_dac_range(limit)
+        batch = engine.matvec(x)
+        for i in range(x.shape[0]):
+            solo = engine.matvec(x[i : i + 1])
+            _expect_equal(
+                f"{kernel}: row {i} alone vs in batch (pinned)",
+                batch[i : i + 1],
+                solo,
+            )
+        cut = max(1, x.shape[0] // 3)
+        split = np.vstack([engine.matvec(x[:cut]), engine.matvec(x[cut:])])
+        _expect_equal(f"{kernel}: uneven split vs dense batch", batch, split)
+
+
+def check_serve_split_identity_int8(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int | None = None,
+) -> None:
+    """Coalescing identity on the integer pulse-expansion path.
+
+    Quantized serving combines the static input scale with a pinned DAC
+    range; the per-plane request-local accounting must keep every row's
+    integer codes independent of its batch-mates, including the
+    batch-dependent negative-plane pass structure (a dead row's pass
+    contribution is exactly zero).
+    """
+    if not config.quant.enabled:
+        raise ValueError("int8 serve identity requires a quant-enabled config")
+    limit = float(np.abs(x).max()) or 1.0
+    for kernel in ("vectorized", "reference"):
+        engine = _engine(weight, config, predictor, kernel, seed)
+        engine.set_input_scale(_quant_scale(x, config))
+        engine.set_dac_range(limit)
+        batch = engine.matvec(x)
+        for i in range(x.shape[0]):
+            solo = engine.matvec(x[i : i + 1])
+            _expect_equal(
+                f"int {kernel}: row {i} alone vs in batch (pinned)",
+                batch[i : i + 1],
+                solo,
+            )
+
+
+def check_serve_pin_matches_autorange(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int | None = None,
+) -> None:
+    """Pinning the DAC at the batch maximum reproduces auto-ranging.
+
+    Serving mode is the *same* DAC with a frozen reference voltage:
+    when the pinned range equals the batch's auto-ranged maximum, and
+    no row drives an all-zero stream (single-stream bit-slicing plus
+    rows whose codes cannot vanish), request-local accounting masks
+    nothing and the two modes must agree bit for bit on any backend.
+    """
+    if config.bitslice.input_bits != config.bitslice.stream_bits:
+        raise ValueError("pin-vs-autorange requires a single-stream config")
+    xa = np.abs(x)
+    levels = 2 ** config.bitslice.input_bits
+    lsb = float(xa.max()) / (levels - 1)
+    xa = xa[xa.max(axis=1) > 0.55 * lsb]
+    if len(xa) < 2:
+        raise ValueError("pin-vs-autorange needs >= 2 surviving rows")
+    for kernel in ("vectorized", "reference"):
+        auto = _engine(weight, config, predictor, kernel, seed).matvec(xa)
+        pinned = _engine(weight, config, predictor, kernel, seed)
+        pinned.set_dac_range(float(xa.max()))
+        _expect_equal(f"{kernel}: pinned at batch max vs auto-ranged",
+                      auto, pinned.matvec(xa))
+
+
+def check_serve_snapshot_idempotence(
+    weight: np.ndarray, config: CrossbarConfig, predictor, x: np.ndarray
+) -> None:
+    """Serving state never leaks through the engine cache.
+
+    A warm cache hit is a pristine clone: it must come back unpinned
+    (``dac_range`` cleared, ``cal_amax`` reset) and un-aged, and
+    re-pinning it at the original range must reproduce the original
+    engine's pinned outputs bit for bit — the property that makes a
+    registry evict + reload round-trip bitwise stable.
+    """
+    cache = EngineCache(maxsize=4)
+    build = lambda: CrossbarEngine(weight, config, predictor)  # noqa: E731
+    cold = cache.get_or_build(weight, config, predictor, None, build)
+    limit = float(np.abs(x).max()) or 1.0
+    cold.set_dac_range(limit)
+    expected = cold.matvec(x)
+    warm = cache.get_or_build(weight, config, predictor, None, build)
+    if warm is cold:
+        raise InvariantViolation("engine cache returned the live engine, not a clone")
+    if warm.dac_range is not None:
+        raise InvariantViolation("cache clone inherited a pinned DAC range")
+    if getattr(warm, "cal_amax", 0.0) != 0.0:
+        raise InvariantViolation("cache clone inherited a calibration record")
+    if warm.pulse_count != 0:
+        raise InvariantViolation(
+            f"cache clone inherited {warm.pulse_count} served pulses"
+        )
+    warm.set_dac_range(limit)
+    _expect_equal("re-pinned cache clone vs original pinned engine",
+                  expected, warm.matvec(x))
+
+
+def check_serve_pulse_conservation(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int = 0,
+) -> None:
+    """Micro-batching neither creates nor loses drift pulses.
+
+    ``matvec`` ages one pulse per input row and conductances move only
+    at explicit sync points, so serving the same requests as one dense
+    batch, as uneven splits, or one by one must land every engine on
+    the same pulse count with bit-identical outputs.
+    """
+    drifted = with_drift(config, _default_drift(seed))
+    limit = float(np.abs(x).max()) or 1.0
+    plans = [
+        [x],
+        [x[: max(1, len(x) // 3)], x[max(1, len(x) // 3):]],
+        [x[i : i + 1] for i in range(len(x))],
+    ]
+    reference = None
+    for plan_index, plan in enumerate(plans):
+        engine = _engine(weight, drifted, predictor, "vectorized", seed=seed)
+        engine.set_dac_range(limit)
+        out = np.vstack([engine.matvec(part) for part in plan])
+        if engine.pulse_count != len(x):
+            raise InvariantViolation(
+                f"split plan {plan_index} served {engine.pulse_count} pulses "
+                f"for {len(x)} requests"
+            )
+        if reference is None:
+            reference = out
+        else:
+            _expect_equal(f"split plan {plan_index} vs dense batch", reference, out)

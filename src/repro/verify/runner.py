@@ -15,6 +15,7 @@ fused path are held to the same oracle.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from pathlib import Path
 from typing import Callable, Iterator
@@ -284,6 +285,57 @@ def _catalog(
         "metamorphic/drift/reprogram_restore",
         lambda: inv.check_drift_reprogram_restore(
             weight, drift_config, IdealPredictor(), x, seed=seed
+        ),
+    )
+
+    # Serving-mode invariants (repro.serve): the micro-batch coalescing
+    # identity and its supporting engine contracts, on every backend the
+    # serving layer can face (the circuit solver is skipped: slow, and
+    # the ideal/GENIEx pair covers both dark-current regimes).
+    single_stream = dataclasses.replace(
+        base,
+        bitslice=BitSliceConfig(
+            input_bits=4, stream_bits=4, weight_bits=4, slice_bits=2
+        ),
+    )
+    int8_serve = with_quant(tiny_config(adc_bits=6), QuantConfig(mode="int8"))
+    for pname, predictor in predictors:
+        if pname == "circuit":
+            continue
+        yield (
+            f"metamorphic/{pname}/serve_split_identity",
+            lambda p=predictor: inv.check_serve_split_identity(
+                weight, base, p, x, seed=seed
+            ),
+        )
+        yield (
+            f"metamorphic/{pname}/serve_split_identity_int8",
+            lambda p=predictor: inv.check_serve_split_identity_int8(
+                weight, int8_serve, p, x, seed=seed
+            ),
+        )
+        yield (
+            f"differential/{pname}/serve_pin_vs_autorange",
+            lambda p=predictor: inv.check_serve_pin_matches_autorange(
+                weight, single_stream, p, x, seed=seed
+            ),
+        )
+        yield (
+            f"metamorphic/{pname}/serve_snapshot_idempotence",
+            lambda p=predictor: inv.check_serve_snapshot_idempotence(
+                weight, base, p, x
+            ),
+        )
+    yield (
+        "metamorphic/ideal/serve_split_identity_adc6",
+        lambda: inv.check_serve_split_identity(
+            weight, tiny_config(adc_bits=6), IdealPredictor(), x, seed=seed
+        ),
+    )
+    yield (
+        "metamorphic/serve/pulse_conservation",
+        lambda: inv.check_serve_pulse_conservation(
+            weight, tiny_config(adc_bits=6), IdealPredictor(), x, seed=seed
         ),
     )
 

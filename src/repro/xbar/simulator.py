@@ -415,6 +415,17 @@ class CrossbarEngine:
         """
         qc = self.config.quant
         self.x_scale: float | None = None
+        #: Pinned full-scale DAC input range (serving mode).  ``None``
+        #: keeps the historical per-batch auto-ranging; a value makes
+        #: every row digitize against the same reference voltage, so
+        #: per-row outputs become independent of batch composition —
+        #: the identity contract of :mod:`repro.serve` (see
+        #: :meth:`set_dac_range`).
+        self.dac_range: float | None = None
+        #: Largest |activation| observed by the most recent calibration
+        #: sweep — the deterministic source serving mode pins the DAC
+        #: range from (mirrors the quantized mode's static input scale).
+        self.cal_amax: float = 0.0
         if not qc.enabled:
             return
         adc = self.config.adc
@@ -447,6 +458,27 @@ class CrossbarEngine:
             raise ValueError(f"input scale must be positive and finite, got {scale}")
         self.x_scale = scale
 
+    def set_dac_range(self, limit: float) -> None:
+        """Pin the DAC's full-scale input range (serving mode).
+
+        The float path historically auto-ranges the input DAC per batch
+        (``x_lsb = batch_max / levels``), which makes the *same* input
+        row digitize to different codes depending on which batch it
+        rides in — physically a per-conversion reference sweep no
+        deployed periphery performs, and numerically the one thing that
+        breaks batch-composition independence of the analog chain.
+        Pinning the range models a fixed reference voltage: every row
+        quantizes against ``limit`` regardless of its batch, inputs
+        beyond the range clip (as a real fixed-reference DAC would),
+        and coalesced micro-batches become bit-identical to per-request
+        inference.  :func:`repro.serve.pin_for_serving` installs the
+        calibration sweep's observed activation maximum here.
+        """
+        limit = float(limit)
+        if not limit > 0.0 or not np.isfinite(limit):
+            raise ValueError(f"DAC range must be positive and finite, got {limit}")
+        self.dac_range = limit
+
     def clone_pristine(self) -> "CrossbarEngine":
         """A fresh-build-equivalent engine sharing the programmed banks.
 
@@ -474,8 +506,11 @@ class CrossbarEngine:
         dup._probe_clip = None
         dup.last_probe = None
         # A fresh chip has no calibrated input scale yet: int mode
-        # re-arms only after the clone's own calibration pass.
+        # re-arms only after the clone's own calibration pass, and the
+        # serving-mode DAC pin must be re-derived the same way.
         dup.x_scale = None
+        dup.dac_range = None
+        dup.cal_amax = 0.0
         for attr in (
             "_gain_sum_aa", "_gain_sum_ai", "_gain_rows", "_cal_amax",
             "_volt_buf", "_stream_ws", "_plane_ws",
@@ -711,9 +746,11 @@ class CrossbarEngine:
         """Fold one batch of calibration vectors into the gain fit."""
         if not hasattr(self, "_gain_rows"):
             self.begin_gain_accumulation()
-        if self.config.quant.enabled and self.x_scale is None and len(vectors):
+        if len(vectors):
             # max() is order-independent, so sharded sweeps merge to the
-            # same scale as the serial one.
+            # same scale as the serial one.  Tracked unconditionally:
+            # the quantized mode derives its static input scale from it
+            # and serving mode pins the float DAC range from it.
             amax = float(np.abs(np.asarray(vectors, dtype=np.float64)).max())
             self._cal_amax = max(self._cal_amax, amax)
         analog = self.matvec_raw(vectors)
@@ -726,6 +763,9 @@ class CrossbarEngine:
         """Set gains from the accumulated statistics (no-op if empty)."""
         if getattr(self, "_gain_rows", 0) > 0:
             self.gain = self._solve_gains(self._gain_sum_ai, self._gain_sum_aa)
+            self.cal_amax = max(
+                getattr(self, "cal_amax", 0.0), getattr(self, "_cal_amax", 0.0)
+            )
             if self.config.quant.enabled and self.x_scale is None:
                 self.set_input_scale(
                     compute_scale(
@@ -744,9 +784,17 @@ class CrossbarEngine:
         if n == 0:  # empty batch: nothing to drive (x.max() would raise)
             return out
 
-        x_max = float(x.max())
-        if x_max == 0.0:
-            return out
+        if self.dac_range is not None:
+            # Fixed-reference DAC: quantize every batch against the
+            # pinned full-scale range so outputs are independent of
+            # batch composition; out-of-range inputs clip exactly as a
+            # real fixed-reference converter would.
+            x_max = self.dac_range
+            x = np.minimum(x, x_max)
+        else:
+            x_max = float(x.max())
+            if x_max == 0.0:
+                return out
         x_lsb = x_max / (bs.input_levels - 1)
         streams = self._stream_workspace().quantize_and_stream(x, x_lsb, bs)
         if self.kernel == "reference":
@@ -795,6 +843,16 @@ class CrossbarEngine:
                 # rescale currents back to integer dot products.
                 v_sum = voltages.sum(axis=1, keepdims=True)
                 dots = (currents - dev.g_min * v_sum) / (dev.g_step * v_step)
+                if self.dac_range is not None:
+                    # Serving mode: rows driving no voltage on this
+                    # stream contribute exactly nothing, as they would
+                    # had they arrived alone (their singleton batch
+                    # skips the stream outright).  Without this, the
+                    # predictor's dark current at zero bias makes a
+                    # row's result depend on its batch-mates.
+                    dead = ~seg.any(axis=1)
+                    if dead.any():
+                        dots[dead] = 0.0
                 stream_scale = float(2.0 ** (bs.stream_bits * t))
                 for chunk in bank.chunks:
                     significance = float(2.0 ** (bs.slice_bits * chunk.slice_index))
@@ -981,6 +1039,18 @@ class CrossbarEngine:
                 # the reference kernel's fused scalar multiply bit for
                 # bit.
                 weighted = dots * bank.col_weight
+            if self.dac_range is not None and compacted:
+                # Serving mode: compacted-away zero rows contribute
+                # exactly nothing (their singleton batch would have
+                # skipped the stream), instead of the bank's zero-bias
+                # dark current — see _accumulate_streams_reference.
+                for k, (_t, idx, _seg) in enumerate(active):
+                    if idx is None:
+                        continue
+                    blk = weighted[k * n : (k + 1) * n]
+                    keep = np.zeros(n, dtype=bool)
+                    keep[idx] = True
+                    blk[~keep] = 0.0
             for k, (t, _idx, _seg) in enumerate(active):
                 stream_scale = float(2.0 ** (bs.stream_bits * t))
                 blk = weighted[k * n : (k + 1) * n]
@@ -1073,6 +1143,14 @@ class CrossbarEngine:
                 self._observe_adc(currents)
                 fallback_cols = self._check_tile_health(currents, bank)
                 codes = self._adc_int_codes(currents)
+                if self.dac_range is not None:
+                    # Serving mode: zero-pulse rows contribute no codes
+                    # (their singleton batch skips the plane), so the
+                    # differential accumulation cancels to exactly 0
+                    # for them regardless of batch-mates.
+                    dead = ~seg.any(axis=1)
+                    if dead.any():
+                        codes[dead] = 0
                 B = self._int_accumulate_chunks(
                     A, B, codes, bank, seg, sign, t,
                     self._fallback_groups(bank, fallback_cols),
@@ -1154,8 +1232,14 @@ class CrossbarEngine:
                         # Compacted-away zero rows read the cached ADC
                         # codes of the zero-voltage evaluation —
                         # bit-identical to evaluating them in place.
+                        # Serving mode instead zeroes their codes so
+                        # their accumulated contribution is exactly the
+                        # skipped-plane result of a singleton batch.
                         exp = self._int_workspace("_expand_codes_buf", n, cols)
-                        exp[:] = self._zero_int_codes(bank)
+                        if self.dac_range is not None:
+                            exp[:] = 0
+                        else:
+                            exp[:] = self._zero_int_codes(bank)
                         exp[idx] = pk[p0 : p0 + cnt]
                         codes_blk = exp
                     B = self._int_accumulate_chunks(
@@ -1180,10 +1264,15 @@ class CrossbarEngine:
                         else:
                             blk[:] = zero_row
                             blk[idx] = packed[p0 : p0 + cnt]
-                for k, (t, _idx, _seg) in enumerate(active):
+                for k, (t, idx, _seg) in enumerate(active):
                     blk = currents[k * n : (k + 1) * n]
                     fallback_cols = self._check_tile_health(blk, bank)
                     codes = self._adc_int_codes(blk)
+                    if self.dac_range is not None and idx is not None:
+                        # Serving mode: see the reference kernel above.
+                        keep = np.zeros(n, dtype=bool)
+                        keep[idx] = True
+                        codes[~keep] = 0
                     B = self._int_accumulate_chunks(
                         A, B, codes, bank, planes[t][:, bank.row_slice], sign, t,
                         self._fallback_groups(bank, fallback_cols),

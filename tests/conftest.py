@@ -155,3 +155,36 @@ def tiny_victim(tiny_task):
     )
     model.eval()
     return model
+
+
+class TinyServeLab:
+    """Duck-typed ``HardwareLab`` facade for serving tests.
+
+    Supplies exactly the surface :class:`repro.serve.ModelRegistry`
+    consumes — trained victim, per-preset predictor backend and
+    calibration images — with the ideal (parasitic-free) backend so
+    tenant loads cost milliseconds and stay deterministic.
+    """
+
+    def __init__(self, victim, task):
+        self._victim = victim
+        self._task = task
+
+    def victim(self, task: str):
+        return self._victim
+
+    def geniex(self, preset: str):
+        from repro.xbar.simulator import IdealPredictor
+
+        return IdealPredictor()
+
+    def calibration_images(self, task: str) -> np.ndarray:
+        return self._task.x_train[:16]
+
+    def eval_images(self, n: int = 8) -> np.ndarray:
+        return self._task.x_test[:n]
+
+
+@pytest.fixture(scope="session")
+def tiny_serve_lab(tiny_victim, tiny_task) -> TinyServeLab:
+    return TinyServeLab(tiny_victim, tiny_task)
