@@ -26,6 +26,7 @@ from repro.serve.pinning import pin_for_serving
 from repro.serve.registry import LoadedModel, ModelRegistry, TenantSpec
 from repro.serve.server import (
     AnalogServer,
+    InvalidImage,
     ServeConfig,
     ServeError,
     ServeResult,
@@ -37,6 +38,7 @@ from repro.serve.server import (
 
 __all__ = [
     "AnalogServer",
+    "InvalidImage",
     "LoadReport",
     "LoadedModel",
     "MicroBatch",

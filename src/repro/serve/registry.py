@@ -77,6 +77,10 @@ class LoadedModel:
     cold: bool
     pinned: dict[str, float] = field(default_factory=dict)
     loads: int = 1
+    #: Per-image input shape (from the calibration set) — the serving
+    #: front-end rejects mismatched submissions before they can poison
+    #: a coalesced micro-batch.
+    input_shape: tuple | None = None
 
 
 class ModelRegistry:
@@ -132,17 +136,23 @@ class ModelRegistry:
         spec = self.spec(name)
         misses_before = ENGINE_CACHE.stats.misses
         start = time.perf_counter()
+        calibration = self.lab.calibration_images(spec.task)
         model = convert_to_hardware(
             self.lab.victim(spec.task),
             spec.build_config(),
             predictor=self.lab.geniex(spec.preset),
-            calibration_images=self.lab.calibration_images(spec.task),
+            calibration_images=calibration,
         )
         pinned = pin_for_serving(model, margin=spec.dac_margin)
         load_ms = (time.perf_counter() - start) * 1e3
         cold = ENGINE_CACHE.stats.misses > misses_before
         entry = LoadedModel(
-            spec=spec, model=model, load_ms=load_ms, cold=cold, pinned=pinned
+            spec=spec,
+            model=model,
+            load_ms=load_ms,
+            cold=cold,
+            pinned=pinned,
+            input_shape=tuple(calibration.shape[1:]),
         )
         self._loaded[name] = entry
         REGISTRY.counter("serve.registry.loads").inc()
@@ -167,6 +177,11 @@ class ModelRegistry:
         if entry is not None:
             return entry
         return self.load(name)
+
+    def input_shape(self, name: str) -> tuple | None:
+        """A resident tenant's per-image shape (None until loaded)."""
+        entry = self._loaded.get(name)
+        return entry.input_shape if entry is not None else None
 
     def evict(self, name: str) -> bool:
         """Drop a tenant's resident model (its spec stays registered).

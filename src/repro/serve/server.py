@@ -58,6 +58,12 @@ class UnknownModel(ServeError):
     reason = "unknown_model"
 
 
+class InvalidImage(ServeError):
+    """The request's image does not match the tenant's input shape."""
+
+    reason = "invalid_image"
+
+
 class ServerClosed(ServeError):
     """The server is not accepting requests (stopped or never started)."""
 
@@ -187,20 +193,31 @@ class AnalogServer:
 
     async def stop(self) -> "ServerStats":
         """Drain the queue, serve everything in flight, flush stats."""
+        collector_error: BaseException | None = None
         if self._running:
             self._running = False
             self._batcher.close()
-            if self._collector is not None:
-                await self._collector
-            # The collector drains the queue before exiting; anything
-            # still queued means it died — reject, never drop.
-            for _model, entry in self._batcher.drain():
-                request = entry.payload
-                if not request.future.done():
-                    request.future.set_exception(ServerClosed("server stopped"))
-            if self._lane is not None:
-                self._lane.shutdown(wait=True)
-                self._lane = None
+            try:
+                if self._collector is not None:
+                    await self._collector
+            except BaseException as exc:
+                # A dead collector must not skip cleanup: the queue
+                # still has to be rejected and the lane shut down.
+                collector_error = exc
+            finally:
+                self._collector = None
+                # The collector drains the queue before exiting;
+                # anything still queued means it died — reject, never
+                # drop.
+                for _model, entry in self._batcher.drain():
+                    request = entry.payload
+                    if not request.future.done():
+                        request.future.set_exception(
+                            ServerClosed("server stopped")
+                        )
+                if self._lane is not None:
+                    self._lane.shutdown(wait=True)
+                    self._lane = None
         stats = self.stats()
         _obs_runtime.event(
             "serve_stats",
@@ -211,6 +228,8 @@ class AnalogServer:
             p50_us=float(stats.latency_us.get("p50", math.nan)),
             p99_us=float(stats.latency_us.get("p99", math.nan)),
         )
+        if collector_error is not None:
+            raise collector_error
         return stats
 
     async def __aenter__(self) -> "AnalogServer":
@@ -241,20 +260,29 @@ class AnalogServer:
     async def submit(self, model: str, image: np.ndarray) -> ServeResult:
         """Serve one image; resolves when its micro-batch completes.
 
-        Raises :class:`UnknownModel`, :class:`ServerOverloaded` or
-        :class:`ServerClosed` — typed, synchronous rejections.  Once
-        this returns an awaitable has been queued, and it is guaranteed
-        to resolve (result or exception): futures are never dropped.
+        Raises :class:`UnknownModel`, :class:`InvalidImage`,
+        :class:`ServerOverloaded` or :class:`ServerClosed` — typed,
+        synchronous rejections.  Once this returns an awaitable has
+        been queued, and it is guaranteed to resolve (result or
+        exception): futures are never dropped.
         """
         if not self._running:
             raise ServerClosed("server is not running")
         if model not in self.registry:
             REGISTRY.counter("serve.rejected.unknown_model").inc()
             raise UnknownModel(f"unknown model {model!r}")
+        image = np.asarray(image)
+        expected = self.registry.input_shape(model)
+        if expected is not None and tuple(image.shape) != expected:
+            REGISTRY.counter("serve.rejected.invalid_image").inc()
+            raise InvalidImage(
+                f"model {model!r} expects image shape {expected}, "
+                f"got {tuple(image.shape)}"
+            )
         loop = asyncio.get_running_loop()
         request = _Request(
             request_id=self._next_id,
-            image=np.asarray(image),
+            image=image,
             future=loop.create_future(),
         )
         self._next_id += 1
@@ -279,15 +307,30 @@ class AnalogServer:
             batch = await self._batcher.next_batch()
             if batch is None:
                 return
-            await self._serve_batch(batch)
+            try:
+                await self._serve_batch(batch)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Last-ditch guard: nothing a batch does may kill the
+                # collector — that would strand every queued future.
+                # Fail this batch's requests and keep serving.
+                failure = ServeError(f"serving failed: {exc!r}")
+                failure.__cause__ = exc
+                for request in batch.payloads:
+                    if not request.future.done():
+                        request.future.set_exception(failure)
 
     async def _serve_batch(self, batch: MicroBatch) -> None:
         loop = asyncio.get_running_loop()
         requests: list[_Request] = batch.payloads
-        images = np.stack([request.image for request in requests])
         queue_depth = len(self._batcher)
         start = loop.time()
         try:
+            # Batch prep is inside the guard: coalesced images with
+            # mismatched shapes make np.stack raise, and that must
+            # reject the batch's requests, not unwind the collector.
+            images = np.stack([request.image for request in requests])
             logits = await loop.run_in_executor(
                 self._lane, self._infer_batch, batch.model, images
             )
@@ -359,7 +402,10 @@ class AnalogServer:
         if maintenance is not None:
             maintenance.pending += delta
             if maintenance.pending >= maintenance.every_pulses:
-                maintenance.pending = 0
+                # Carry the overshoot forward so large batches still
+                # count toward the next tick (one tick per batch at
+                # most; the remainder catches up between later ones).
+                maintenance.pending -= maintenance.every_pulses
                 maintenance.ticks += 1
                 with _span("serve/maintenance"):
                     maintenance.scheduler.tick()

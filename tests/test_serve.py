@@ -18,9 +18,11 @@ from repro.lifecycle import total_pulses
 from repro.parallel import backend as parallel
 from repro.serve import (
     AnalogServer,
+    InvalidImage,
     MicroBatcher,
     ModelRegistry,
     ServeConfig,
+    ServeError,
     ServeResult,
     ServerClosed,
     ServerOverloaded,
@@ -234,6 +236,8 @@ def test_server_typed_rejections(tiny_serve_lab) -> None:
         async with server:
             with pytest.raises(UnknownModel):
                 await server.submit("nope", image)
+            with pytest.raises(InvalidImage):  # resident: shape-checked
+                await server.submit("fp", image[..., :-1])
             result = await server.submit("fp", image)
         with pytest.raises(ServerClosed):  # stopped
             await server.submit("fp", image)
@@ -289,6 +293,66 @@ def test_server_stop_serves_everything_in_flight(tiny_serve_lab) -> None:
     assert stats.requests == 3
 
 
+def test_collector_survives_poisoned_batch(tiny_serve_lab) -> None:
+    """A batch that can't even stack must not kill the collector.
+
+    The tenant is *not* resident, so submit can't shape-check; the
+    mismatched pair coalesces into one micro-batch whose ``np.stack``
+    raises.  Both requests must resolve with a typed ServeError — and
+    the server must keep serving afterwards (regression: the stack ran
+    outside the per-batch guard and wedged the collector for good).
+    """
+    registry = make_registry(tiny_serve_lab, FP)  # registered, not loaded
+    image = tiny_serve_lab.eval_images(1)[0]
+
+    async def scenario():
+        config = serve_config(max_batch=2, max_wait_us=50_000.0)
+        async with AnalogServer(registry, config) as server:
+            poisoned = await asyncio.gather(
+                server.submit("fp", image),
+                server.submit("fp", image[..., :-1]),  # mismatched mate
+                return_exceptions=True,
+            )
+            healthy = await server.submit("fp", image)
+        return poisoned, healthy
+
+    poisoned, healthy = asyncio.run(scenario())
+    assert all(isinstance(r, ServeError) for r in poisoned), poisoned
+    assert isinstance(healthy, ServeResult)
+    reference = predict_logits(registry.model("fp").model, image[None])
+    np.testing.assert_array_equal(healthy.logits, reference[0])
+
+
+def test_server_stop_survives_collector_death(tiny_serve_lab) -> None:
+    """A dead collector must not leak the lane or strand queued futures.
+
+    stop() re-raises the collector's failure, but only after rejecting
+    everything still queued and shutting the inference lane down.
+    """
+    registry = make_registry(tiny_serve_lab, FP)
+    registry.load_all()
+    image = tiny_serve_lab.eval_images(1)[0]
+
+    async def scenario():
+        server = AnalogServer(registry, serve_config(max_wait_us=500_000.0))
+
+        async def boom():
+            raise RuntimeError("collector bug")
+
+        server._batcher.next_batch = boom  # kill the collector on entry
+        await server.start()
+        task = asyncio.create_task(server.submit("fp", image))
+        await asyncio.sleep(0.01)  # queued, collector already dead
+        with pytest.raises(RuntimeError, match="collector bug"):
+            await server.stop()
+        outcome = (await asyncio.gather(task, return_exceptions=True))[0]
+        return server, outcome
+
+    server, outcome = asyncio.run(scenario())
+    assert isinstance(outcome, ServerClosed)  # rejected, never dropped
+    assert server._lane is None  # lane shut down despite the re-raise
+
+
 def test_server_drift_pulse_accounting_and_maintenance(tiny_serve_lab) -> None:
     registry = make_registry(tiny_serve_lab, DR)
     entry = registry.load("dr")
@@ -311,15 +375,22 @@ def test_server_drift_pulse_accounting_and_maintenance(tiny_serve_lab) -> None:
         async with server:
             for i in range(6):
                 await server.submit("dr", images[i % len(images)])
-        return server.stats()
+        return server.stats(), server._maintenance["dr"]
 
-    stats = asyncio.run(scenario())
+    stats, maintenance = asyncio.run(scenario())
     # Conservation: every pulse the engines aged during serving is in
     # the per-tenant ledger — none created, none lost.
     assert stats.pulses["dr"] == total_pulses(entry.model) - pulses_after_load
     assert stats.pulses["dr"] > 0
     assert StubScheduler.ticks >= 1
     assert stats.maintenance_ticks == StubScheduler.ticks
+    # Tick cadence conserves pulses too: overshoot past a tick carries
+    # into the next interval (regression: pending reset to 0 on tick).
+    assert maintenance.pending >= 0
+    assert (
+        StubScheduler.ticks * maintenance.every_pulses + maintenance.pending
+        == stats.pulses["dr"]
+    )
 
 
 def test_tcp_round_trip_matches_in_process(tiny_serve_lab) -> None:
@@ -334,16 +405,18 @@ def test_tcp_round_trip_matches_in_process(tiny_serve_lab) -> None:
             try:
                 good = await request_tcp("127.0.0.1", port, "fp", image)
                 bad = await request_tcp("127.0.0.1", port, "nope", image)
+                wrong = await request_tcp("127.0.0.1", port, "fp", image[..., :-1])
             finally:
                 tcp.close()
                 await tcp.wait_closed()
-        return good, bad
+        return good, bad, wrong
 
-    good, bad = asyncio.run(scenario())
+    good, bad, wrong = asyncio.run(scenario())
     assert good["ok"] is True
     reference = predict_logits(registry.model("fp").model, image[None])
     np.testing.assert_array_equal(np.asarray(good["logits"]), reference[0])
     assert bad == {"ok": False, "error": "unknown_model"}
+    assert wrong == {"ok": False, "error": "invalid_image"}
 
 
 # ----------------------------------------------------------------------
