@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""Live-telemetry overhead benchmark: BENCH_19_obslive.json.
+
+Runs the same closed-loop serving load three times — telemetry off,
+telemetry at the production 1% trace sample, and telemetry at 100%
+tracing with the anomaly watcher armed — and *asserts* the two
+contracts the observability layer ships under:
+
+* cost — full telemetry (every request traced, SLO scoring on, health
+  watcher observing every batch) may cost at most 5% throughput versus
+  the bare server (best-of-``REPEATS`` per mode, so scheduler noise on
+  a loaded CI core does not decide the verdict);
+* transparency — logits served under every telemetry mode must be
+  bit-identical to each other and to serial per-request inference.
+  Telemetry observes the data plane; it never touches it.
+
+Recorded per mode: throughput (requests/s), p50/p99 end-to-end
+latency, traces emitted, scrape size.  Scale is controlled by
+``REPRO_BENCH_PROFILE`` (tiny | small | default; defaults to ``tiny``
+so it stays a CI gate).  Results land in ``BENCH_19_obslive.json`` at
+the repo root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.attacks.base import predict_logits  # noqa: E402
+from repro.nn.resnet import build_model  # noqa: E402
+from repro.obs.live import TimeSeriesStore, sample_count  # noqa: E402
+from repro.obs.sink import runtime_stamp  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AnalogServer,
+    LiveTelemetry,
+    ModelRegistry,
+    ServeConfig,
+    TenantSpec,
+    run_load,
+)
+from repro.xbar.simulator import IdealPredictor  # noqa: E402
+
+PRESET = "32x32_100k"
+MODES = ("off", "sampled", "full")
+#: Best-of-N per mode: inference dominates the wall clock, but a tiny
+#: profile on one busy core jitters more than the 5% budget — the gate
+#: compares each mode's best repeat, not a single noisy sample.
+REPEATS = 3
+OVERHEAD_BUDGET_PCT = 5.0
+
+PROFILES = {
+    # (clients, requests per client, image pool size, calibration images)
+    "tiny": (4, 8, 8, 8),
+    "small": (6, 16, 16, 16),
+    "default": (8, 32, 32, 32),
+}
+
+
+def profile_name() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+
+class BenchLab:
+    """Duck-typed ``HardwareLab`` facade sized for the bench.
+
+    An untrained (weights are still data) ResNet on the ideal
+    predictor backend: tenant loads cost milliseconds, logits stay
+    deterministic, and the serving path exercised is exactly the one
+    production traffic takes.
+    """
+
+    def __init__(self, cal_images: int, seed: int = 0):
+        self._model = build_model("resnet20", num_classes=4, width=4, seed=7)
+        self._model.eval()
+        rng = np.random.default_rng(seed)
+        self._calibration = rng.random((cal_images, 3, 8, 8)).astype(np.float32)
+
+    def victim(self, task: str):
+        return self._model
+
+    def geniex(self, preset: str):
+        return IdealPredictor()
+
+    def calibration_images(self, task: str) -> np.ndarray:
+        return self._calibration
+
+
+def make_telemetry(mode: str) -> LiveTelemetry | None:
+    """The telemetry attachment under test, per mode.
+
+    Each mode gets a private store so the scrape surface reflects only
+    its own run; ``full`` traces every request and keeps the default
+    anomaly detector armed on the health proxy.
+    """
+    if mode == "off":
+        return None
+    sample = 1.0 if mode == "full" else 0.01
+    return LiveTelemetry(trace_sample=sample, store=TimeSeriesStore())
+
+
+async def _session(registry, images, config, telemetry, clients, per_client):
+    async with AnalogServer(registry, config, telemetry=telemetry) as server:
+        report = await run_load(
+            server,
+            models=["fp"],
+            images=images,
+            clients=clients,
+            requests_per_client=per_client,
+        )
+        # One deterministic gathered pass per session — the logits the
+        # bit-identity gate compares are served *with telemetry live*.
+        results = await asyncio.gather(
+            *(server.submit("fp", image) for image in images)
+        )
+        logits = np.stack([r.logits for r in results])
+    return report, logits
+
+
+def main() -> int:
+    profile = profile_name()
+    if profile not in PROFILES:
+        print(f"unknown REPRO_BENCH_PROFILE {profile!r}; use one of {sorted(PROFILES)}")
+        return 2
+    clients, per_client, pool, cal_images = PROFILES[profile]
+
+    lab = BenchLab(cal_images)
+    registry = ModelRegistry(lab)
+    registry.register(
+        TenantSpec(
+            name="fp",
+            task="bench",
+            preset=PRESET,
+            slo_p99_ms=60_000.0,
+            slo_max_reject_rate=0.25,
+        )
+    )
+    registry.load_all()
+
+    rng = np.random.default_rng(1)
+    images = rng.random((pool, 3, 8, 8)).astype(np.float32)
+    reference = predict_logits(registry.model("fp").model, images)
+
+    config = ServeConfig(max_batch=8, max_wait_us=2000.0, queue_limit=64)
+    print(
+        f"[bench_obs_live] profile={profile} preset={PRESET} "
+        f"clients={clients} requests={clients * per_client} "
+        f"repeats={REPEATS} modes={','.join(MODES)}"
+    )
+
+    failures: list[str] = []
+    results: dict[str, dict] = {}
+    best_rps: dict[str, float] = {}
+    for mode in MODES:
+        repeats = []
+        logits = None
+        telemetry = None
+        for _ in range(REPEATS):
+            telemetry = make_telemetry(mode)
+            report, logits = asyncio.run(
+                _session(registry, images, config, telemetry, clients, per_client)
+            )
+            repeats.append(report)
+            if report.completed != report.requests:
+                failures.append(
+                    f"mode={mode}: {report.completed}/{report.requests} completed"
+                )
+        best = max(repeats, key=lambda r: r.throughput_rps)
+        best_rps[mode] = best.throughput_rps
+        identical = bool(np.array_equal(logits, reference))
+        if not identical:
+            failures.append(f"mode={mode}: served logits differ from serial reference")
+        entry = best.as_dict()
+        entry.update(
+            {
+                "repeats": [r.throughput_rps for r in repeats],
+                "bit_identical": identical,
+            }
+        )
+        if telemetry is not None:
+            tenant = telemetry.tenant("fp")
+            entry.update(
+                {
+                    "trace_sample": telemetry.trace_sample,
+                    "traced": tenant.traced,
+                    "slo_budget": tenant.health_budget(),
+                    "scrape_series": sample_count(telemetry.scrape()),
+                }
+            )
+        results[mode] = entry
+        latency = best.latency_us
+        print(
+            f"[bench_obs_live] mode={mode}: "
+            f"{best.throughput_rps:.1f} req/s  "
+            f"p50={latency.get('p50', 0.0) / 1e3:.2f}ms "
+            f"p99={latency.get('p99', 0.0) / 1e3:.2f}ms  "
+            f"identical={identical}"
+        )
+
+    overhead_pct = (
+        (best_rps["off"] - best_rps["full"]) / best_rps["off"] * 100.0
+        if best_rps["off"] > 0
+        else float("nan")
+    )
+    print(
+        f"[bench_obs_live] full-telemetry overhead {overhead_pct:+.2f}% "
+        f"(budget {OVERHEAD_BUDGET_PCT:.0f}%)"
+    )
+    if not overhead_pct <= OVERHEAD_BUDGET_PCT:
+        failures.append(
+            f"full telemetry costs {overhead_pct:.2f}% throughput "
+            f"(budget {OVERHEAD_BUDGET_PCT:.0f}%)"
+        )
+    full = results.get("full", {})
+    expected_traces = clients * per_client + pool
+    if full.get("traced") != expected_traces:
+        failures.append(
+            f"full mode traced {full.get('traced')} of {expected_traces} requests"
+        )
+
+    payload = runtime_stamp(
+        extra={
+            "bench": "obs_live",
+            "profile": profile,
+            "preset": PRESET,
+            "seeds": {"images": [1], "lab": [0]},
+        }
+    )
+    payload.update(
+        {
+            "load": {
+                "clients": clients,
+                "requests_per_client": per_client,
+                "image_pool": pool,
+                "repeats": REPEATS,
+                "max_batch": config.max_batch,
+                "max_wait_us": config.max_wait_us,
+            },
+            "overhead_budget_pct": OVERHEAD_BUDGET_PCT,
+            "overhead_pct": overhead_pct,
+            "modes": results,
+            "failures": failures,
+        }
+    )
+    out = REPO_ROOT / "BENCH_19_obslive.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_obs_live] wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"[bench_obs_live] FAIL: {failure}")
+        return 1
+    print("[bench_obs_live] telemetry is free of charge and bit-transparent")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

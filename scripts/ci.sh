@@ -76,6 +76,37 @@ grep -E "batching_efficiency=(1\.[0-9]*[1-9]|[2-9]|[1-9][0-9])" \
     artifacts/runs/ci-serve-stdout.txt \
     > /dev/null || { echo "ci: serve smoke never coalesced a batch"; exit 1; }
 python -m pytest -x -q -m serve
+python -m repro obs tail artifacts/runs/ci-serve --no-follow > /dev/null
+
+echo
+echo "=== live serve smoke: /metrics scrape + top --once + SIGTERM drain ==="
+# Boot a real TCP server with the Prometheus listener, scrape it over
+# plain HTTP, render the dashboard once, then check SIGTERM drains.
+python -m repro serve --fast --port 0 --metrics-port 0 \
+    --tenants "fp=32x32_100k+p99=60000" \
+    > artifacts/runs/ci-serve-live-stdout.txt 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 240); do
+    grep -q "serving \[fp\]" artifacts/runs/ci-serve-live-stdout.txt && break
+    sleep 0.5
+done
+grep -q "serving \[fp\]" artifacts/runs/ci-serve-live-stdout.txt \
+    || { echo "ci: live serve never came up"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+SERVE_PORT=$(sed -nE 's/.*serving \[fp\] on 127\.0\.0\.1:([0-9]+).*/\1/p' \
+    artifacts/runs/ci-serve-live-stdout.txt)
+METRICS_URL=$(sed -nE 's#metrics on (http://[^ ]+/metrics).*#\1#p' \
+    artifacts/runs/ci-serve-live-stdout.txt)
+python - "$METRICS_URL" <<'EOF'
+import sys, urllib.request
+text = urllib.request.urlopen(sys.argv[1], timeout=10).read().decode()
+assert "repro_" in text, f"no repro_ metrics in scrape: {text[:200]!r}"
+print(f"scraped {len(text)} bytes of Prometheus text")
+EOF
+python -m repro top --port "$SERVE_PORT" --once
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "serve shutdown: drained" artifacts/runs/ci-serve-live-stdout.txt \
+    || { echo "ci: live serve did not drain on SIGTERM"; exit 1; }
 
 echo
 echo "=== bench smoke: drift-counter overhead (tiny profile) ==="
@@ -100,6 +131,12 @@ echo "=== bench gate: serving layer (tiny profile) ==="
 # Asserts batching efficiency > 1 and response bit-identity vs serial
 # inference at 1/2/4 pool workers.
 REPRO_BENCH_PROFILE=tiny python scripts/bench_serve.py
+
+echo
+echo "=== bench gate: live telemetry overhead (tiny profile) ==="
+# Asserts full telemetry (100% tracing + SLO scoring + anomaly watch)
+# costs < 5% serve throughput and leaves logits bit-identical.
+REPRO_BENCH_PROFILE=tiny python scripts/bench_obs_live.py
 
 echo
 echo "ci: all checks passed"

@@ -14,9 +14,13 @@ reliability clean/adversarial accuracy vs stuck-cell rate and drift
 drift       accuracy vs queries served under temporal conductance
             drift, with and without the online recalibration scheduler
 serve       analog inference serving: multi-tenant registry + continuous
-            micro-batching (in-process demo, or a TCP JSON-lines port)
+            micro-batching (in-process demo, or a TCP JSON-lines port
+            with optional ``--metrics-port`` Prometheus scrape listener)
+top         live terminal dashboard for a running ``serve --port`` server
+            (tenants x qps/latency/queue/error-budget/health; ``--once``)
 verify      run the numerical verification catalog (oracle + invariants)
-obs         inspect recorded ``--obs`` runs (summarize / validate / list)
+obs         inspect recorded ``--obs`` runs (summarize / validate / list /
+            tail — follow a live run's events like ``tail -f``)
 cache       inspect/clear the programmed-engine disk cache
 
 Every experiment command accepts ``--obs[=DIR]`` to record a traced,
@@ -204,7 +208,9 @@ def cmd_energy(args) -> int:
 
 
 def _parse_tenant(text: str, task: str, force_quant: bool = False):
-    """Parse one ``name=preset[+int8][+stuck=R][+drift=N]`` tenant spec."""
+    """Parse one ``name=preset[+int8][+stuck=R][+drift=N][+nu=V][+p99=MS][+rej=F]``
+    tenant spec (``nu`` gives a drifting tenant real retention decay;
+    ``p99``/``rej`` declare per-tenant SLO objectives)."""
     from repro.serve import TenantSpec
 
     name, _, rest = text.partition("=")
@@ -220,6 +226,12 @@ def _parse_tenant(text: str, task: str, force_quant: bool = False):
             kwargs["stuck_rate"] = float(part[len("stuck="):])
         elif part.startswith("drift="):
             kwargs["drift_epoch_pulses"] = int(part[len("drift="):])
+        elif part.startswith("nu="):
+            kwargs["drift_retention_nu"] = float(part[len("nu="):])
+        elif part.startswith("p99="):
+            kwargs["slo_p99_ms"] = float(part[len("p99="):])
+        elif part.startswith("rej="):
+            kwargs["slo_max_reject_rate"] = float(part[len("rej="):])
         else:
             raise SystemExit(f"error: unknown tenant modifier {part!r} in {text!r}")
     if force_quant:
@@ -229,14 +241,17 @@ def _parse_tenant(text: str, task: str, force_quant: bool = False):
 
 def cmd_serve(args) -> int:
     import asyncio
+    import signal
 
     import numpy as np
 
     from repro.serve import (
         AnalogServer,
+        LiveTelemetry,
         ModelRegistry,
         ServeConfig,
         run_load,
+        serve_metrics_http,
         serve_tcp,
     )
 
@@ -249,6 +264,11 @@ def cmd_serve(args) -> int:
         max_wait_us=args.max_wait_us,
         queue_limit=args.queue_limit,
     )
+
+    def make_telemetry() -> LiveTelemetry | None:
+        if args.no_telemetry:
+            return None
+        return LiveTelemetry(trace_sample=args.trace_sample)
 
     def load_tenants() -> None:
         for entry in registry.load_all():
@@ -274,13 +294,18 @@ def cmd_serve(args) -> int:
                 lab.calibration_images(entry.spec.task),
                 probe_images,
             )
-            server.attach_scheduler(name, scheduler, args.maintenance_pulses)
+            server.attach_scheduler(
+                name,
+                scheduler,
+                args.maintenance_pulses,
+                sync_every_pulses=args.sync_pulses,
+            )
             print(f"maintenance: {name} ticks every {args.maintenance_pulses} pulses")
 
     async def demo() -> int:
         load_tenants()
         images, _labels = lab.eval_set(args.task)
-        server = AnalogServer(registry, config)
+        server = AnalogServer(registry, config, telemetry=make_telemetry())
         attach_maintenance(server, images)
         async with server:
             report = await run_load(
@@ -297,6 +322,7 @@ def cmd_serve(args) -> int:
             f"({report.throughput_rps:.1f} rps, {report.rejected} overload retries)"
         )
         print("serve: " + stats.format())
+        print(stats.format_table())
         from repro.attacks.base import predict_logits
 
         mismatched = 0
@@ -315,21 +341,61 @@ def cmd_serve(args) -> int:
 
     async def listen() -> int:
         load_tenants()
-        server = AnalogServer(registry, config)
+        server = AnalogServer(registry, config, telemetry=make_telemetry())
         attach_maintenance(server, lab.eval_set(args.task)[0])
-        async with server:
-            tcp = await serve_tcp(server, args.host, args.port)
-            port = tcp.sockets[0].getsockname()[1]
-            names = ",".join(registry.names())
-            print(f"serving [{names}] on {args.host}:{port} (Ctrl-C to stop)")
+        # Clean shutdown: SIGTERM/SIGINT set the stop event, so the
+        # ``async with`` exit still drains the queue and flushes
+        # serve_stats / telemetry — kill(1) gets the same goodbye as
+        # Ctrl-C used to only get on a lucky await point.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled: list = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
             try:
-                await asyncio.Event().wait()
-            finally:
-                tcp.close()
-                await tcp.wait_closed()
+                loop.add_signal_handler(signum, stop.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / exotic loop: Ctrl-C still works
+        try:
+            async with server:
+                tcp = await serve_tcp(server, args.host, args.port)
+                port = tcp.sockets[0].getsockname()[1]
+                http = None
+                if args.metrics_port is not None:
+                    http = await serve_metrics_http(
+                        server, args.host, args.metrics_port
+                    )
+                    http_port = http.sockets[0].getsockname()[1]
+                    print(
+                        f"metrics on http://{args.host}:{http_port}/metrics",
+                        flush=True,
+                    )
+                names = ",".join(registry.names())
+                print(
+                    f"serving [{names}] on {args.host}:{port} (Ctrl-C to stop)",
+                    flush=True,
+                )
+                try:
+                    await stop.wait()
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+                    if http is not None:
+                        http.close()
+                        await http.wait_closed()
+        finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
+        print("serve shutdown: drained; " + server.stats().format(), flush=True)
         return 0
 
     return asyncio.run(demo() if args.port is None else listen())
+
+
+def cmd_top(args) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(args.host, args.port, interval=args.interval, once=args.once)
 
 
 def cmd_verify(args) -> int:
@@ -363,6 +429,31 @@ def cmd_obs(args) -> int:
             return 1
         print(f"ok: {run_dir} conforms to the obs event schema")
         return 0
+    if args.obs_command == "tail":
+        import json
+
+        from repro.obs.schema import validate_event
+        from repro.obs.sink import tail_events
+
+        invalid = 0
+        try:
+            for record in tail_events(
+                run_dir, poll_s=args.poll, follow=not args.no_follow
+            ):
+                problems = validate_event(record)
+                if problems:
+                    invalid += 1
+                    print(
+                        f"schema: {record.get('type')!r}: "
+                        + "; ".join(problems),
+                        file=sys.stderr,
+                    )
+                print(json.dumps(record), flush=True)
+        except KeyboardInterrupt:
+            pass
+        except BrokenPipeError:  # `repro obs tail | head`
+            sys.stderr.close()
+        return 1 if (invalid and args.no_follow) else 0
     try:
         print(summarize_run(run_dir))
     except BrokenPipeError:  # e.g. `repro obs summarize | head`
@@ -393,19 +484,33 @@ def cmd_cache(args) -> int:
         return 0
     print(f"disk tier: {disk_dir}")
     print(f"  {len(files)} snapshot(s), {total_bytes / 1e6:.1f} MB")
+    from repro.obs.summary import render_table
     from repro.xbar.engine_cache import disk_cache_entries
 
+    rows = []
     for entry in disk_cache_entries(disk_dir):
         if "error" in entry:
-            print(f"  {entry['key'][:16]}…  unreadable: {entry['error']}")
+            rows.append(
+                [f"{entry['key'][:16]}…", "-", "-", "-", "-",
+                 f"unreadable: {entry['error']}"]
+            )
             continue
         age = entry["age_seconds"]
-        age_text = "age unknown" if age is None else f"age {age:.0f}s"
-        print(
-            f"  {entry['key'][:16]}…  {entry['bytes'] / 1e6:>6.2f} MB  "
-            f"format v{entry['format']}  drift epoch {entry['epoch']} "
-            f"({entry['pulses']} pulses)  {age_text}"
+        rows.append(
+            [
+                f"{entry['key'][:16]}…",
+                f"{entry['bytes'] / 1e6:.2f} MB",
+                f"v{entry['format']}",
+                entry["epoch"],
+                entry["pulses"],
+                "age unknown" if age is None else f"{age:.0f}s",
+            ]
         )
+    if rows:
+        for line in render_table(
+            ["key", "size", "format", "epoch", "pulses", "age"], rows
+        ):
+            print(f"  {line}")
     return 0
 
 
@@ -536,11 +641,35 @@ def build_parser() -> argparse.ArgumentParser:
                    default=0,
                    help="tick each drifting tenant's recalibration scheduler "
                         "every N served pulses (0 = no maintenance)")
+    p.add_argument("--sync-pulses", dest="sync_pulses", type=int, default=0,
+                   help="cheap drift-sync cadence between full maintenance "
+                        "ticks, in pulses (0 = sync only on full ticks); lets "
+                        "the anomaly watcher see drift onset early")
+    p.add_argument("--trace-sample", dest="trace_sample", type=float,
+                   default=0.01,
+                   help="fraction of requests carrying a full request_trace "
+                        "event (deterministic, evenly spaced; 1 = all)")
+    p.add_argument("--no-telemetry", dest="no_telemetry", action="store_true",
+                   help="disable live telemetry (SLOs, time series, anomaly "
+                        "watch); the near-zero-cost baseline")
+    p.add_argument("--metrics-port", dest="metrics_port", type=int, default=None,
+                   help="also expose a plain-HTTP Prometheus /metrics scrape "
+                        "listener on this port (0 = ephemeral; requires --port)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=None,
                    help="listen on a TCP JSON-lines socket instead of the demo "
                         "(0 = ephemeral)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("top", help="live dashboard for a running serve --port")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="the serve --port TCP port to poll")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period in seconds")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (scripting / CI)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("verify")
     p.add_argument("--seed", type=int, default=1234,
@@ -561,6 +690,17 @@ def build_parser() -> argparse.ArgumentParser:
         q.add_argument("--root", default=None,
                        help="runs root (default: artifacts/runs)")
         q.set_defaults(func=cmd_obs)
+    q = obs_sub.add_parser("tail", help="follow a run's events.jsonl (tail -f)")
+    q.add_argument("run", nargs="?", default=None,
+                   help="run id or directory (default: most recent run)")
+    q.add_argument("--root", default=None,
+                   help="runs root (default: artifacts/runs)")
+    q.add_argument("--poll", type=float, default=0.25,
+                   help="poll period in seconds")
+    q.add_argument("--no-follow", dest="no_follow", action="store_true",
+                   help="print what exists and exit (validation mode: exit 1 "
+                        "on schema violations)")
+    q.set_defaults(func=cmd_obs)
     q = obs_sub.add_parser("list")
     q.add_argument("--root", default=None)
     q.set_defaults(func=cmd_obs)

@@ -134,6 +134,7 @@ class RecalibrationScheduler:
         self.escalations = 0
         self._attempts = 0
         self._next_attempt_tick = 0
+        self.anomaly_triggers = 0  # observe-then-heal trigger path (obs.live)
         self._episode_base = 0  # starting rung of the current episode
         self._last_recovery_tick: int | None = None
         self._last_recovery_rung = 0
@@ -239,6 +240,25 @@ class RecalibrationScheduler:
             logger.warning("%s; serving degraded", detail)
 
     # ------------------------------------------------------------------
+    def trigger_anomaly(self, signal: str, zscore: float = 0.0) -> TickReport:
+        """Immediate probe on an externally observed health anomaly.
+
+        The continuous-telemetry watcher (:mod:`repro.obs.anomaly`) sees
+        drift onset in live serving signals long before the periodic
+        maintenance cadence comes around; this path turns that sighting
+        into an immediate tick, clearing any pending backoff — observed
+        evidence of decay outranks the retry schedule.
+        """
+        self.anomaly_triggers += 1
+        self._next_attempt_tick = 0  # cancel backoff: probe *now*
+        logger.info(
+            "anomaly trigger: signal=%s zscore=%.2f (tick %d)",
+            signal,
+            zscore,
+            self.ticks + 1,
+        )
+        return self.tick()
+
     def tick(self) -> TickReport:
         """Run one maintenance interval (between query blocks)."""
         self.ticks += 1
@@ -300,4 +320,5 @@ class RecalibrationScheduler:
             "refits": self.refits,
             "reprograms": self.reprograms,
             "escalations": self.escalations,
+            "anomaly_triggers": self.anomaly_triggers,
         }

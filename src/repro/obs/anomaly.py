@@ -1,0 +1,223 @@
+"""Streaming analog-health anomaly detection over live time series.
+
+The PR 6 recalibration scheduler reacts to its *own* periodic probes;
+this module closes the observe-then-heal loop by watching the signals
+the serving path already produces — per-layer NF/RMSE and ADC clip
+gauges (when an obs run records them), guard-trip growth, and the
+cheap accuracy-proxy drift signal (batch-mean absolute logit) — and
+raising typed ``anomaly`` events the moment a signal leaves its own
+recent envelope.  :class:`repro.serve.AnalogServer` forwards those
+events to the scheduler as an immediate, backoff-bypassing trigger
+(``RecalibrationScheduler.trigger_anomaly``), so a drift episode is
+probed when it is *seen*, not when the periodic tick happens to come
+around.
+
+Detection is a streaming composite per signal:
+
+* **robust z-score** — ``|x - median| / (1.4826 * MAD)`` over the
+  signal's ring-buffer window; median/MAD instead of mean/std so a
+  drift onset cannot drag its own baseline along (masking itself).
+* **EWMA envelope** — an exponentially weighted baseline whose
+  relative step ``|x - ewma| / max(|ewma|, eps)`` catches slow ramps
+  the windowed z-score normalizes away.
+
+A signal flags when either statistic exceeds its threshold for
+``consecutive`` successive observations (one outlier batch is traffic,
+a run of them is physics), then holds off for ``cooldown`` points so
+one episode raises one anomaly, not one per batch.  Everything here
+*reads* buffers and *emits* events — the data plane is never touched,
+so detection cannot perturb logits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs import runtime as _runtime
+from repro.obs.live import TIMESERIES, TimeSeriesStore
+from repro.obs.metrics import REGISTRY
+
+#: Consistency constant: MAD of a normal distribution * 1.4826 = sigma.
+MAD_SIGMA = 1.4826
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Thresholds and hysteresis of one streaming detector."""
+
+    #: Robust z-score above which an observation is anomalous.
+    z_threshold: float = 6.0
+    #: Relative EWMA step above which an observation is anomalous.
+    ewma_step: float = 0.5
+    #: EWMA smoothing factor.
+    ewma_alpha: float = 0.2
+    #: Observations required before the detector may fire.
+    min_points: int = 8
+    #: Successive anomalous observations required to flag.
+    consecutive: int = 2
+    #: Observations to hold off after a flag (one event per episode).
+    cooldown: int = 16
+
+
+@dataclass
+class Anomaly:
+    """One flagged signal excursion."""
+
+    signal: str
+    value: float
+    baseline: float  # window median at flag time
+    zscore: float
+    ewma_step: float
+    t: float
+
+    def as_event(self) -> dict:
+        return {
+            "signal": self.signal,
+            "value": float(self.value),
+            "baseline": float(self.baseline),
+            "zscore": float(self.zscore),
+            "ewma_step": float(self.ewma_step),
+        }
+
+
+@dataclass
+class _SignalState:
+    """Per-signal streaming state."""
+
+    config: DetectorConfig
+    ewma: float | None = None
+    seen: int = 0
+    streak: int = 0
+    holdoff: int = 0
+    flagged: int = 0
+
+
+def robust_zscore(value: float, window: list[float]) -> float:
+    """``|value - median| / (1.4826 * MAD)`` over ``window``.
+
+    Returns 0 for degenerate windows; a zero-MAD window (constant
+    signal) scores ``inf`` for any departure — a constant that moves
+    *is* the anomaly.
+    """
+    if len(window) < 2:
+        return 0.0
+    ordered = sorted(window)
+    n = len(ordered)
+    mid = n // 2
+    median = ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+    deviations = sorted(abs(x - median) for x in window)
+    mad = (
+        deviations[mid]
+        if n % 2
+        else 0.5 * (deviations[mid - 1] + deviations[mid])
+    )
+    err = abs(value - median)
+    if mad <= 0.0:
+        return math.inf if err > 0.0 else 0.0
+    return err / (MAD_SIGMA * mad)
+
+
+class HealthWatcher:
+    """Streams named signals through detectors; emits ``anomaly`` events.
+
+    ``observe(name, value, t)`` records the value into the live
+    time-series store (so ``repro top`` / ``/metrics`` see the same
+    series the detector judges) and returns an :class:`Anomaly` when
+    the signal flags.  The serving layer forwards flags to the
+    recalibration scheduler; other callers may just watch the events.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore | None = None,
+        config: DetectorConfig | None = None,
+        window: int = 64,
+    ):
+        self.store = store if store is not None else TIMESERIES
+        self.config = config or DetectorConfig()
+        self.window = window
+        self.anomalies: list[Anomaly] = []
+        self._signals: dict[str, _SignalState] = {}
+        self._overrides: dict[str, DetectorConfig] = {}
+
+    def configure(self, signal: str, config: DetectorConfig) -> None:
+        """Override detector thresholds for one signal."""
+        self._overrides[signal] = config
+
+    def _state(self, signal: str) -> _SignalState:
+        state = self._signals.get(signal)
+        if state is None:
+            state = self._signals[signal] = _SignalState(
+                config=self._overrides.get(signal, self.config)
+            )
+        return state
+
+    # ------------------------------------------------------------------
+    def observe(self, signal: str, value: float, t: float) -> Anomaly | None:
+        """Record one observation; returns the anomaly if it flagged."""
+        value = float(value)
+        state = self._state(signal)
+        config = state.config
+        buf = self.store.series(signal, kind="max", capacity=self.window)
+        window = buf.values()  # judged against history *excluding* value
+        buf.record(value, t)
+
+        previous_ewma = state.ewma
+        state.ewma = (
+            value
+            if previous_ewma is None
+            else config.ewma_alpha * value + (1.0 - config.ewma_alpha) * previous_ewma
+        )
+        state.seen += 1
+        if state.holdoff > 0:
+            state.holdoff -= 1
+            return None
+        if state.seen <= config.min_points or len(window) < 2:
+            return None
+
+        z = robust_zscore(value, window)
+        step = (
+            abs(value - previous_ewma) / max(abs(previous_ewma), 1e-12)
+            if previous_ewma is not None
+            else 0.0
+        )
+        if z > config.z_threshold or step > config.ewma_step:
+            state.streak += 1
+        else:
+            state.streak = 0
+            return None
+        if state.streak < config.consecutive:
+            return None
+
+        ordered = sorted(window)
+        mid = len(ordered) // 2
+        median = (
+            ordered[mid]
+            if len(ordered) % 2
+            else 0.5 * (ordered[mid - 1] + ordered[mid])
+        )
+        anomaly = Anomaly(
+            signal=signal,
+            value=value,
+            baseline=median,
+            zscore=z if math.isfinite(z) else 1e9,
+            ewma_step=step,
+            t=t,
+        )
+        state.streak = 0
+        state.holdoff = config.cooldown
+        state.flagged += 1
+        self.anomalies.append(anomaly)
+        REGISTRY.counter("anomaly.flagged").inc()
+        REGISTRY.counter(f"anomaly.signal.{signal}").inc()
+        _runtime.event("anomaly", **anomaly.as_event())
+        return anomaly
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Per-signal observation/flag counts (for stats / tests)."""
+        return {
+            name: {"seen": s.seen, "flagged": s.flagged}
+            for name, s in sorted(self._signals.items())
+        }

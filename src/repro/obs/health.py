@@ -27,8 +27,10 @@ shard order — so every signal here stays complete under ``--workers N``.
 from __future__ import annotations
 
 import math
+import time
 
 from repro.obs import runtime as _runtime
+from repro.obs.live import TIMESERIES
 from repro.obs.metrics import REGISTRY
 
 
@@ -89,6 +91,9 @@ def record_layer_deviation(label: str, analog, ideal) -> None:
     REGISTRY.gauge(f"analog.dev.rel.{label}").set(rel)
     REGISTRY.histogram(f"analog.dev.rel_hist.{label}").observe(rel)
     REGISTRY.histogram("analog.dev.rel").observe(rel)
+    # Live view of the same signal: the serving anomaly watcher and the
+    # /metrics scrape read per-layer NF as a windowed time series.
+    TIMESERIES.record(f"health.nf.{label}", rel, time.time(), kind="max")
 
 
 def record_adc(label: str, currents, full_scale: float) -> None:
@@ -111,6 +116,13 @@ def record_adc(label: str, currents, full_scale: float) -> None:
         REGISTRY.counter(f"analog.adc.clipped_low.{label}").inc(low)
     if high:
         REGISTRY.counter(f"analog.adc.clipped_high.{label}").inc(high)
+    if currents.size:
+        TIMESERIES.record(
+            f"health.adc_clip.{label}",
+            (low + high) / currents.size,
+            time.time(),
+            kind="max",
+        )
 
 
 def record_guard_trip(label: str, mode: str, sick: int, sick_cols: int) -> None:
@@ -118,6 +130,7 @@ def record_guard_trip(label: str, mode: str, sick: int, sick_cols: int) -> None:
     if _runtime.active() is None:
         return
     REGISTRY.counter(f"analog.guard.trips.{label}").inc()
+    TIMESERIES.record(f"health.guard_trips.{label}", 1.0, time.time(), kind="sum")
     _runtime.event(
         "guard_trip", layer=label, mode=mode, sick=sick, sick_cols=sick_cols
     )

@@ -69,6 +69,28 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple]] = {
         "infer_us": NUMBER,
     },
     "serve_reject": {"model": (str,), "reason": (str,), "queued": (int,)},
+    "request_trace": {
+        "trace_id": (str,),
+        "model": (str,),
+        "batch_id": (int,),
+        "queued_us": NUMBER,
+        "infer_us": NUMBER,
+        "total_us": NUMBER,
+    },
+    "slo_violation": {
+        "tenant": (str,),
+        "objective": (str,),
+        "burn_rate": NUMBER,
+        "budget_remaining": NUMBER,
+        "window": (int,),
+    },
+    "anomaly": {
+        "signal": (str,),
+        "value": NUMBER,
+        "baseline": NUMBER,
+        "zscore": NUMBER,
+    },
+    "metrics_scrape": {"transport": (str,), "series": (int,), "bytes": (int,)},
     "serve_stats": {
         "requests": (int,),
         "batches": (int,),

@@ -150,6 +150,61 @@ def read_events(run_dir: Path) -> tuple[list[dict], int]:
     return events, partial
 
 
+def tail_events(
+    run_dir: Path | str,
+    poll_s: float = 0.25,
+    follow: bool = True,
+    stop=None,
+    max_polls: int | None = None,
+):
+    """Yield decoded events as they are appended (``tail -f`` semantics).
+
+    Poll + seek over ``events.jsonl``: remembers the byte offset of the
+    last *complete* line, so a record caught mid-``write`` is re-read
+    whole on the next poll instead of surfacing truncated.  With
+    ``follow=False`` yields what exists and returns; otherwise polls
+    every ``poll_s`` seconds until ``stop()`` returns true (or
+    ``max_polls`` empty polls elapse, for tests), tolerating the file
+    not existing yet — a live server creates it after the watcher
+    starts.
+    """
+    path = Path(run_dir) / "events.jsonl"
+    offset = 0
+    empty_polls = 0
+    while True:
+        if path.is_file():
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+            yielded = False
+            while True:
+                newline = chunk.find(b"\n")
+                if newline < 0:
+                    break
+                line = chunk[: newline + 1]
+                chunk = chunk[newline + 1 :]
+                offset += len(line)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    continue  # torn write: complete line, bad payload
+                yielded = True
+                yield record
+            empty_polls = 0 if yielded else empty_polls + 1
+        else:
+            empty_polls += 1
+        if not follow:
+            return
+        if stop is not None and stop():
+            return
+        if max_polls is not None and empty_polls >= max_polls:
+            return
+        time.sleep(poll_s)
+
+
 def list_runs(root: Path | None = None) -> list[Path]:
     """Run directories under ``root``, newest first."""
     root = Path(root) if root is not None else DEFAULT_RUNS_ROOT

@@ -1,0 +1,188 @@
+"""Per-tenant SLO tracking: rolling error budgets and burn rates.
+
+A tenant declares objectives on its :class:`repro.serve.TenantSpec`
+(``slo_p99_ms`` — the latency every request should beat at the stated
+``slo_target`` compliance fraction — and ``slo_max_reject_rate``).
+:class:`SLOTracker` scores each finished request against them over a
+rolling window of outcomes:
+
+* **error budget** — of the bad events the objective *allows* in the
+  window (``(1 - target) * window`` latency misses, ``max_reject_rate *
+  window`` rejections), the fraction not yet consumed.  1.0 = clean,
+  0.0 = exhausted.
+* **burn rate** — how fast the budget is being consumed relative to the
+  allowed rate (bad-rate / allowed-rate).  Burn > 1 means the tenant
+  will exhaust its budget if the current traffic mix continues; this is
+  the standard multi-window burn-rate alerting quantity reduced to one
+  window.
+
+When a budget exhausts, the tracker emits one typed ``slo_violation``
+obs event per episode (re-armed only after the budget recovers above
+:data:`REARM_BUDGET`), increments ``slo.violations.<tenant>``, and
+records the burn rate into the live time-series store so ``repro top``
+and the ``/metrics`` scrape can show it.
+
+Pure bookkeeping over observed latencies — never touches the serving
+path's data plane, so it cannot perturb logits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs import runtime as _runtime
+from repro.obs.metrics import REGISTRY
+
+#: A violated objective re-arms once its budget recovers above this.
+REARM_BUDGET = 0.5
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Declarative objectives for one tenant (None disables a check)."""
+
+    #: Latency objective: requests should finish within this bound.
+    p99_ms: float | None = None
+    #: Compliance fraction the latency objective demands.
+    target: float = 0.99
+    #: Tolerated fraction of rejected (overload/invalid) submissions.
+    max_reject_rate: float | None = None
+    #: Rolling window length, in request outcomes.
+    window: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.p99_ms is not None or self.max_reject_rate is not None
+
+
+@dataclass
+class Objective:
+    """One tracked objective's rolling outcome window."""
+
+    name: str  # "latency" | "rejects"
+    allowed_rate: float  # tolerated bad-event fraction of the window
+    outcomes: deque  # 1.0 = bad, 0.0 = good
+    violated: bool = False  # currently in an exhausted-budget episode
+
+    def observe(self, bad: bool) -> None:
+        self.outcomes.append(1.0 if bad else 0.0)
+
+    def budget(self) -> dict:
+        """Error-budget arithmetic over the current window."""
+        n = len(self.outcomes)
+        bad = sum(self.outcomes)
+        allowed = self.allowed_rate * n
+        if allowed > 0:
+            remaining = max(0.0, 1.0 - bad / allowed)
+            burn = (bad / n) / self.allowed_rate if n else 0.0
+        else:  # zero-tolerance objective: any bad event exhausts it
+            remaining = 0.0 if bad else 1.0
+            burn = float(bad)
+        return {
+            "window": n,
+            "bad": int(bad),
+            "allowed": allowed,
+            "budget_remaining": remaining,
+            "burn_rate": burn,
+        }
+
+
+class SLOTracker:
+    """Rolling error-budget tracker for one tenant's objectives."""
+
+    def __init__(self, tenant: str, spec: SLOSpec):
+        self.tenant = tenant
+        self.spec = spec
+        self.violations = 0
+        self._objectives: list[Objective] = []
+        if spec.p99_ms is not None:
+            self._objectives.append(
+                Objective(
+                    name="latency",
+                    allowed_rate=1.0 - spec.target,
+                    outcomes=deque(maxlen=spec.window),
+                )
+            )
+        if spec.max_reject_rate is not None:
+            self._objectives.append(
+                Objective(
+                    name="rejects",
+                    allowed_rate=spec.max_reject_rate,
+                    outcomes=deque(maxlen=spec.window),
+                )
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._objectives)
+
+    def _objective(self, name: str) -> Objective | None:
+        for objective in self._objectives:
+            if objective.name == name:
+                return objective
+        return None
+
+    # ------------------------------------------------------------------
+    def observe_latency(self, latency_ms: float, t: float) -> None:
+        """Score one completed request (a completion is a non-reject)."""
+        objective = self._objective("latency")
+        if objective is not None:
+            objective.observe(latency_ms > self.spec.p99_ms)
+        rejects = self._objective("rejects")
+        if rejects is not None:
+            rejects.observe(False)
+        self._check(t)
+
+    def observe_reject(self, t: float) -> None:
+        """Score one rejected submission (overload / invalid image)."""
+        objective = self._objective("rejects")
+        if objective is not None:
+            objective.observe(True)
+        self._check(t)
+
+    # ------------------------------------------------------------------
+    def budgets(self) -> dict[str, dict]:
+        """Per-objective error-budget state (for stats / ``repro top``)."""
+        return {o.name: o.budget() for o in self._objectives}
+
+    def worst_budget(self) -> float:
+        """The most-consumed objective's remaining budget (1.0 = clean)."""
+        budgets = [o.budget()["budget_remaining"] for o in self._objectives]
+        return min(budgets) if budgets else 1.0
+
+    def _check(self, t: float) -> None:
+        from repro.obs.live import TIMESERIES
+
+        for objective in self._objectives:
+            budget = objective.budget()
+            TIMESERIES.record(
+                f"slo.burn.{objective.name}.{self.tenant}",
+                budget["burn_rate"],
+                t,
+                kind="max",
+            )
+            if objective.violated:
+                if budget["budget_remaining"] >= REARM_BUDGET:
+                    objective.violated = False  # recovered: re-arm
+                continue
+            if budget["budget_remaining"] <= 0.0 and budget["window"] >= min(
+                self.spec.window, 8
+            ):
+                objective.violated = True
+                self.violations += 1
+                REGISTRY.counter(f"slo.violations.{self.tenant}").inc()
+                _runtime.event(
+                    "slo_violation",
+                    tenant=self.tenant,
+                    objective=objective.name,
+                    burn_rate=float(budget["burn_rate"]),
+                    budget_remaining=float(budget["budget_remaining"]),
+                    window=int(budget["window"]),
+                )

@@ -21,9 +21,53 @@ from pathlib import Path
 from repro.obs.metrics import HOTPATH_FIELDS, format_hotpath_fields
 from repro.obs.sink import list_runs, read_events, read_manifest, resolve_run_dir
 
-__all__ = ["summarize_run", "resolve_run_dir", "list_runs", "format_run_list"]
+__all__ = [
+    "summarize_run",
+    "resolve_run_dir",
+    "list_runs",
+    "format_run_list",
+    "render_table",
+]
 
 _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def render_table(
+    headers: list[str], rows: list[list], align: str | None = None
+) -> list[str]:
+    """Align columns of stringified cells under a header row.
+
+    The one table renderer for every CLI surface (``obs summarize``
+    health tables, ``cache stats`` listings, ``repro top``,
+    ``ServerStats``) — each used to hand-roll its own width
+    computation.  ``align`` is one character per column, ``"l"`` or
+    ``"r"`` (default: first column left, the rest right — label +
+    numbers, the common shape).  Cells are rendered with ``str``;
+    pre-format numbers at the call site.
+    """
+    if not headers:
+        return []
+    columns = len(headers)
+    if align is None:
+        align = "l" + "r" * (columns - 1)
+    if len(align) != columns or set(align) - {"l", "r"}:
+        raise ValueError(f"align must be {columns} of 'l'/'r', got {align!r}")
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cell(s), expected {columns}: {row!r}"
+            )
+        cells.append([str(value) for value in row])
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    for row in cells:
+        parts = [
+            value.ljust(widths[i]) if align[i] == "l" else value.rjust(widths[i])
+            for i, value in enumerate(row)
+        ]
+        lines.append("  ".join(parts).rstrip())
+    return lines
 
 
 def sparkline(values: list[float]) -> str:
@@ -243,11 +287,7 @@ def render_health(snapshot: dict, events: list[dict]) -> list[str]:
         slot.update({k: v for k, v in fields.items() if k not in slot})
     if not layers:
         return ["(no analog-health telemetry recorded)"]
-    width = max(len(layer) for layer in layers)
-    lines = [
-        f"{'layer':<{width}} {'rel-NF':>9} {'rmse':>10} {'adc clip%':>10} "
-        f"{'skip%':>7} {'compacted':>10} {'guard':>6}"
-    ]
+    table_rows = []
     for layer in sorted(layers):
         f = layers[layer]
         samples = f.get("adc_samples", 0.0)
@@ -263,15 +303,21 @@ def render_health(snapshot: dict, events: list[dict]) -> list[str]:
             if (evaluated + skipped)
             else float("nan")
         )
-        lines.append(
-            f"{layer:<{width}} "
-            f"{f.get('rel', float('nan')):>9.4f} "
-            f"{f.get('rmse', float('nan')):>10.4g} "
-            f"{clip:>10.2f} "
-            f"{skip_pct:>7.1f} "
-            f"{f.get('rows_compacted', 0.0):>10.0f} "
-            f"{f.get('guard_trips', 0.0):>6.0f}"
+        table_rows.append(
+            [
+                layer,
+                f"{f.get('rel', float('nan')):.4f}",
+                f"{f.get('rmse', float('nan')):.4g}",
+                f"{clip:.2f}",
+                f"{skip_pct:.1f}",
+                f"{f.get('rows_compacted', 0.0):.0f}",
+                f"{f.get('guard_trips', 0.0):.0f}",
+            ]
         )
+    lines = render_table(
+        ["layer", "rel-NF", "rmse", "adc clip%", "skip%", "compacted", "guard"],
+        table_rows,
+    )
     fallbacks = sum(1 for e in events if e.get("type") == "guard_trip")
     if fallbacks:
         lines.append(f"fault-fallback / guard events in log: {fallbacks}")

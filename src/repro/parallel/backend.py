@@ -142,6 +142,15 @@ def _merge_blob(model, blob: dict) -> None:
     state = blob.get("metrics")
     if state:
         REGISTRY.merge_state(state)
+    series = blob.get("timeseries")
+    if series:
+        # Ring-buffer merges are order-independent by construction
+        # (per-bucket combine operators), so unlike the P² replay above
+        # this fold would be correct in any order — shard order is just
+        # the convention of this path.
+        from repro.obs.live import TIMESERIES
+
+        TIMESERIES.merge_state(series)
     for event_type, payload in blob.get("events") or ():
         _runtime.event(event_type, **payload)
 

@@ -46,10 +46,13 @@ def worker_init() -> None:
     from repro.obs.metrics import REGISTRY
     from repro.parallel import backend as _backend
 
+    from repro.obs.live import TIMESERIES
+
     # Never write to the parent's sink or trace recorder from a worker.
     _runtime._SESSION = None
     _trace.uninstall()
     REGISTRY.clear()
+    TIMESERIES.clear()  # live series inherited from the parent fork
     # Record raw histogram samples so the parent can replay observations
     # in shard order (exact P² state parity with a serial run).
     REGISTRY.record_samples = True
@@ -158,6 +161,7 @@ def remote_execute(handle, fn: str, payload: dict, capture: bool):
     model-free tasks (surrogate distillation).
     """
     from repro.obs import runtime as _runtime
+    from repro.obs.live import TIMESERIES
     from repro.obs.metrics import REGISTRY
 
     model = shm.load(handle) if handle is not None else None
@@ -174,6 +178,7 @@ def remote_execute(handle, fn: str, payload: dict, capture: bool):
         engine._guard_trips = 0
     if capture:
         REGISTRY.clear()
+        TIMESERIES.clear()
         _runtime.begin_worker_capture()
     try:
         result = SHARD_FNS[fn](model, payload)
@@ -202,6 +207,8 @@ def remote_execute(handle, fn: str, payload: dict, capture: bool):
     }
     if capture:
         blob["metrics"] = REGISTRY.export_state()
+        blob["timeseries"] = TIMESERIES.export_state()
         blob["events"] = session.events if session is not None else []
         REGISTRY.clear()
+        TIMESERIES.clear()
     return result, blob

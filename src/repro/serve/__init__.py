@@ -21,7 +21,7 @@ batch-mates' zero-bias dark current.
 
 from repro.serve.batching import MicroBatch, MicroBatcher
 from repro.serve.loadgen import LoadReport, run_load
-from repro.serve.net import request_tcp, serve_tcp
+from repro.serve.net import request_op, request_tcp, serve_metrics_http, serve_tcp
 from repro.serve.pinning import pin_for_serving
 from repro.serve.registry import LoadedModel, ModelRegistry, TenantSpec
 from repro.serve.server import (
@@ -35,10 +35,12 @@ from repro.serve.server import (
     ServerStats,
     UnknownModel,
 )
+from repro.serve.telemetry import LiveTelemetry, TenantTelemetry
 
 __all__ = [
     "AnalogServer",
     "InvalidImage",
+    "LiveTelemetry",
     "LoadReport",
     "LoadedModel",
     "MicroBatch",
@@ -51,9 +53,12 @@ __all__ = [
     "ServerOverloaded",
     "ServerStats",
     "TenantSpec",
+    "TenantTelemetry",
     "UnknownModel",
     "pin_for_serving",
+    "request_op",
     "request_tcp",
     "run_load",
+    "serve_metrics_http",
     "serve_tcp",
 ]

@@ -106,6 +106,11 @@ class MicroBatcher:
     def __len__(self) -> int:
         return self._queued
 
+    def queue_depth(self, model: str) -> int:
+        """Requests currently queued for one model (telemetry read)."""
+        queue = self._queues.get(model)
+        return len(queue) if queue is not None else 0
+
     @property
     def closed(self) -> bool:
         return self._closed

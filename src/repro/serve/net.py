@@ -9,6 +9,19 @@ one response per line::
     {"ok": true, "request_id": 7, "batch_size": 4, "logits": [...]}
     {"ok": false, "error": "overloaded"}
 
+Operational verbs ride the same socket — a line carrying ``"op"``
+instead of an inference payload::
+
+    {"op": "metrics"}   -> {"ok": true, "metrics": "<prometheus text>"}
+    {"op": "stats"}     -> {"ok": true, "stats": {...}, "delta": {...}}
+
+``stats`` replies include a per-connection delta block (requests /
+batches / rejections since this connection's previous ``stats`` call),
+so pollers like ``repro top`` get windowed rates without server-side
+session state.  A plain-HTTP ``/metrics`` scrape listener
+(:func:`serve_metrics_http`) exposes the same exposition text to
+anything that speaks Prometheus.
+
 The wire layer adds **nothing** to the serving semantics — every
 connection handler just awaits :meth:`AnalogServer.submit`, so typed
 rejections surface as ``{"ok": false, "error": <reason>}`` and the
@@ -30,9 +43,46 @@ from repro.serve.server import AnalogServer, ServeError
 MAX_LINE_BYTES = 64 << 20
 
 
+def _scrape_extra(server: AnalogServer) -> dict:
+    """Caller-computed gauges appended to every scrape."""
+    return {
+        f"serve.queue_depth.{name}": server._batcher.queue_depth(name)
+        for name in server.registry.names()
+    }
+
+
+def _render_metrics(server: AnalogServer, transport: str) -> str:
+    telemetry = server.telemetry
+    extra = _scrape_extra(server)
+    if telemetry is not None:
+        return telemetry.scrape(extra=extra, transport=transport)
+    from repro.obs.live import TIMESERIES, render_prometheus
+
+    return render_prometheus(store=TIMESERIES, extra=extra)
+
+
+def _handle_op(server: AnalogServer, request: dict, session: dict) -> dict:
+    op = request.get("op")
+    if op == "metrics":
+        return {"ok": True, "metrics": _render_metrics(server, "tcp")}
+    if op == "stats":
+        stats = server.live_stats()
+        counters = stats["server"]
+        delta = {
+            key: counters[key] - session["stats_mark"].get(key, 0)
+            for key in ("requests", "batches", "rejected")
+        }
+        session["stats_mark"] = {
+            key: counters[key] for key in ("requests", "batches", "rejected")
+        }
+        return {"ok": True, "stats": stats, "delta": delta}
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
 async def _handle(
     server: AnalogServer, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
 ) -> None:
+    session: dict = {"stats_mark": {}}
     try:
         while True:
             try:
@@ -47,6 +97,11 @@ async def _handle(
                 continue
             try:
                 request = json.loads(line)
+                if isinstance(request, dict) and "op" in request:
+                    reply = _handle_op(server, request, session)
+                    writer.write(json.dumps(reply).encode() + b"\n")
+                    await writer.drain()
+                    continue
                 model = request["model"]
                 image = np.asarray(request["image"], dtype=np.float32)
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
@@ -97,9 +152,19 @@ async def request_tcp(
     host: str, port: int, model: str, image: np.ndarray
 ) -> dict:
     """One-shot client helper: send one request line, await the reply."""
+    return await _roundtrip(
+        host, port, {"model": model, "image": np.asarray(image).tolist()}
+    )
+
+
+async def request_op(host: str, port: int, op: str) -> dict:
+    """One-shot operational verb (``metrics`` / ``stats``)."""
+    return await _roundtrip(host, port, {"op": op})
+
+
+async def _roundtrip(host: str, port: int, payload: dict) -> dict:
     reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
     try:
-        payload = {"model": model, "image": np.asarray(image).tolist()}
         writer.write(json.dumps(payload).encode() + b"\n")
         await writer.drain()
         line = await reader.readline()
@@ -112,3 +177,64 @@ async def request_tcp(
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+
+
+# ----------------------------------------------------------------------
+# Plain-HTTP /metrics scrape listener
+# ----------------------------------------------------------------------
+
+async def _handle_http(
+    server: AnalogServer, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """One minimal HTTP/1.0 exchange: GET /metrics -> text exposition.
+
+    Hand-rolled on purpose (no framework dependency): read the request
+    line, drain headers, answer, close.  Prometheus scrapers and curl
+    both speak this happily.
+    """
+    try:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        except (asyncio.TimeoutError, TimeoutError):
+            return
+        parts = request_line.decode("latin-1", "replace").split()
+        method = parts[0] if parts else ""
+        path = parts[1] if len(parts) > 1 else "/"
+        while True:  # drain headers until the blank line / EOF
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        if method != "GET":
+            status, body = "405 Method Not Allowed", b"method not allowed\n"
+        elif path.split("?")[0] not in ("/metrics", "/"):
+            status, body = "404 Not Found", b"try /metrics\n"
+        else:
+            status = "200 OK"
+            body = _render_metrics(server, "http").encode()
+        writer.write(
+            (
+                f"HTTP/1.0 {status}\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def serve_metrics_http(
+    server: AnalogServer, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Expose the Prometheus scrape surface on a plain-HTTP socket."""
+
+    async def handler(reader, writer):
+        await _handle_http(server, reader, writer)
+
+    return await asyncio.start_server(handler, host, port)

@@ -39,8 +39,20 @@ class TenantSpec:
     stuck_rate: float = 0.0
     #: Per-epoch drift pulses (0 disables the temporal layer).
     drift_epoch_pulses: int = 0
+    #: Retention power-law exponent of the drift model.  The epoch
+    #: clock alone only *counts* age; a tenant whose conductances
+    #: should actually decay under traffic (the episode the live
+    #: anomaly watcher exists to catch) needs a mechanism too.
+    drift_retention_nu: float = 0.0
+    #: Lognormal dispersion of the per-cell retention exponent.
+    drift_retention_sigma: float = 0.0
     #: DAC full-scale headroom over the calibration maximum.
     dac_margin: float = 1.0
+    #: SLO: latency bound every request should beat at the tracker's
+    #: compliance target (None disables latency-objective tracking).
+    slo_p99_ms: float | None = None
+    #: SLO: tolerated fraction of rejected submissions (None disables).
+    slo_max_reject_rate: float | None = None
 
     def build_config(self):
         """The tenant's crossbar config, derived from its preset."""
@@ -60,7 +72,12 @@ class TenantSpec:
             )
         if self.drift_epoch_pulses > 0:
             config = with_drift(
-                config, DriftConfig(epoch_pulses=self.drift_epoch_pulses)
+                config,
+                DriftConfig(
+                    epoch_pulses=self.drift_epoch_pulses,
+                    retention_nu=self.drift_retention_nu,
+                    retention_sigma=self.drift_retention_sigma,
+                ),
             )
         return config
 

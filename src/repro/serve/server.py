@@ -136,6 +136,30 @@ class ServerStats:
             f"p99={lat.get('p99', float('nan')) / 1e3:.2f}ms"
         )
 
+    def format_table(self) -> str:
+        """Latency/queue/infer quantile table (shared renderer)."""
+        from repro.obs.summary import render_table
+
+        def row(label: str, hist: dict) -> list:
+            return [
+                label,
+                hist.get("count", 0),
+                *(
+                    f"{hist.get(key, float('nan')) / 1e3:.2f}"
+                    for key in ("p50", "p90", "p99")
+                ),
+            ]
+
+        lines = render_table(
+            ["stage", "n", "p50 ms", "p90 ms", "p99 ms"],
+            [
+                row("latency", self.latency_us),
+                row("queue", self.queue_us),
+                row("infer", self.infer_us),
+            ],
+        )
+        return "\n".join(lines)
+
 
 @dataclass
 class _Request:
@@ -144,6 +168,10 @@ class _Request:
     request_id: int
     image: np.ndarray
     future: asyncio.Future
+    #: End-to-end trace id; propagates into the batch's fan-in links.
+    trace_id: str = ""
+    #: Whether this request emits a full ``request_trace`` event.
+    sampled: bool = False
 
 
 @dataclass
@@ -152,16 +180,34 @@ class _Maintenance:
 
     scheduler: object
     every_pulses: int
+    #: Cheap drift-sync cadence (pulses); 0 leaves sync to full ticks.
+    #: Syncing between probe ticks is what lets the anomaly watcher see
+    #: drift onset in live signals *before* the periodic probe runs.
+    sync_every_pulses: int = 0
     pending: int = 0
+    sync_pending: int = 0
     ticks: int = 0
+    anomaly_ticks: int = 0
 
 
 class AnalogServer:
     """Continuous micro-batching front-end over a :class:`ModelRegistry`."""
 
-    def __init__(self, registry: ModelRegistry, config: ServeConfig | None = None):
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ServeConfig | None = None,
+        telemetry=None,
+    ):
         self.registry = registry
         self.config = config or ServeConfig()
+        #: Optional :class:`repro.serve.telemetry.LiveTelemetry`.  The
+        #: default (None) path costs one attribute check per call site —
+        #: the PR 4 <5% disabled-overhead guard covers serving too.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            for name in registry.names():
+                telemetry.register(registry.spec(name))
         self._batcher = MicroBatcher(
             max_batch=self.config.max_batch,
             max_wait_us=self.config.max_wait_us,
@@ -171,12 +217,17 @@ class AnalogServer:
         self._collector: asyncio.Task | None = None
         self._running = False
         self._next_id = 0
+        self._next_batch_id = 0
         self._latency = Histogram()
         self._queue_wait = Histogram()
         self._infer = Histogram()
         self._batch_sizes = Histogram()
         self._pulses: dict[str, int] = {}
         self._maintenance: dict[str, _Maintenance] = {}
+        #: Rejections made before the batcher sees the request
+        #: (unknown_model / invalid_image); the batcher counts only its
+        #: own overload sheds, and ``stats()`` reports the sum.
+        self._rejected_presubmit = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -241,17 +292,35 @@ class AnalogServer:
     # ------------------------------------------------------------------
     # Maintenance hooks
     # ------------------------------------------------------------------
-    def attach_scheduler(self, model: str, scheduler, every_pulses: int) -> None:
+    def attach_scheduler(
+        self,
+        model: str,
+        scheduler,
+        every_pulses: int,
+        sync_every_pulses: int = 0,
+    ) -> None:
         """Tick ``scheduler`` after every ``every_pulses`` served pulses.
 
         Ticks run on the inference lane between micro-batches, so drift
         sync / refit / reprogramming never land mid-batch.
+
+        ``sync_every_pulses`` adds a cheap drift-sync-only cadence
+        between full ticks: conductances then move (and live health
+        signals shift) as traffic accumulates, letting the telemetry
+        anomaly watcher spot drift onset and trigger the scheduler
+        ahead of its periodic probe.
         """
         if every_pulses < 1:
             raise ValueError(f"every_pulses must be >= 1, got {every_pulses}")
+        if sync_every_pulses < 0:
+            raise ValueError(
+                f"sync_every_pulses must be >= 0, got {sync_every_pulses}"
+            )
         self.registry.spec(model)  # validate the tenant exists
         self._maintenance[model] = _Maintenance(
-            scheduler=scheduler, every_pulses=every_pulses
+            scheduler=scheduler,
+            every_pulses=every_pulses,
+            sync_every_pulses=sync_every_pulses,
         )
 
     # ------------------------------------------------------------------
@@ -270,26 +339,37 @@ class AnalogServer:
             raise ServerClosed("server is not running")
         if model not in self.registry:
             REGISTRY.counter("serve.rejected.unknown_model").inc()
+            self._rejected_presubmit += 1
             raise UnknownModel(f"unknown model {model!r}")
         image = np.asarray(image)
         expected = self.registry.input_shape(model)
         if expected is not None and tuple(image.shape) != expected:
             REGISTRY.counter("serve.rejected.invalid_image").inc()
+            self._rejected_presubmit += 1
+            if self.telemetry is not None:
+                self.telemetry.on_reject(model, "invalid_image")
             raise InvalidImage(
                 f"model {model!r} expects image shape {expected}, "
                 f"got {tuple(image.shape)}"
             )
         loop = asyncio.get_running_loop()
+        seq = self._next_id
         request = _Request(
-            request_id=self._next_id,
+            request_id=seq,
             image=image,
             future=loop.create_future(),
+            trace_id=f"req-{seq:08x}",
+            sampled=(
+                self.telemetry is not None and self.telemetry.sampled(seq)
+            ),
         )
         self._next_id += 1
         try:
             self._batcher.push(model, request)
         except QueueFull as exc:
             REGISTRY.counter("serve.rejected.overloaded").inc()
+            if self.telemetry is not None:
+                self.telemetry.on_reject(model, "overloaded")
             _obs_runtime.event(
                 "serve_reject",
                 model=model,
@@ -348,17 +428,30 @@ class AnalogServer:
             return
         infer_us = (loop.time() - start) * 1e6
         done = loop.time()
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
         self._infer.observe(infer_us)
         self._batch_sizes.observe(batch.size)
         REGISTRY.counter("serve.requests").inc(batch.size)
         REGISTRY.counter("serve.batches").inc()
         REGISTRY.histogram("serve.batch_size").observe(batch.size)
+        telemetry = self.telemetry
         for index, request in enumerate(requests):
             queued_us = batch.wait_us(request_entry := batch.entries[index])
             latency_us = (done - request_entry.enqueued) * 1e6
             self._queue_wait.observe(queued_us)
             self._latency.observe(latency_us)
             REGISTRY.histogram("serve.latency_us").observe(latency_us)
+            if telemetry is not None:
+                telemetry.on_request(
+                    model=batch.model,
+                    trace_id=request.trace_id,
+                    batch_id=batch_id,
+                    queued_us=queued_us,
+                    infer_us=infer_us,
+                    total_us=latency_us,
+                    sampled=request.sampled,
+                )
             result = ServeResult(
                 request_id=request.request_id,
                 model=batch.model,
@@ -369,6 +462,13 @@ class AnalogServer:
             )
             if not request.future.done():
                 request.future.set_result(result)
+        if telemetry is not None:
+            telemetry.on_batch(
+                model=batch.model,
+                size=batch.size,
+                queue_depth=queue_depth,
+                infer_us=infer_us,
+            )
         _obs_runtime.event(
             "serve_batch",
             model=batch.model,
@@ -376,12 +476,18 @@ class AnalogServer:
             queue_depth=queue_depth,
             wait_us=batch.wait_us(batch.entries[0]),
             infer_us=infer_us,
+            # Fan-in span links: the batch is the join point of every
+            # member request's trace (sampled members only, to bound
+            # event volume — batch-level telemetry itself is always on).
+            batch_id=batch_id,
+            traces=[r.trace_id for r in requests if r.sampled],
         )
 
     def _infer_batch(self, model: str, images: np.ndarray) -> np.ndarray:
         """Runs on the inference lane thread (the only span emitter)."""
         from repro.attacks.base import predict_logits
         from repro.lifecycle import total_pulses
+        from repro.lifecycle.ops import sync_model_drift
         from repro.parallel.backend import get_backend
 
         entry = self.registry.model(model)
@@ -409,6 +515,26 @@ class AnalogServer:
                 maintenance.ticks += 1
                 with _span("serve/maintenance"):
                     maintenance.scheduler.tick()
+            elif maintenance.sync_every_pulses > 0:
+                maintenance.sync_pending += delta
+                if maintenance.sync_pending >= maintenance.sync_every_pulses:
+                    maintenance.sync_pending -= maintenance.sync_every_pulses
+                    with _span("serve/maintenance"):
+                        sync_model_drift(entry.model)
+        if self.telemetry is not None:
+            # Health signals read the logits that already exist; a flag
+            # becomes an immediate scheduler probe *here on the lane*,
+            # between batches — the observe-then-heal loop never lands
+            # inside a micro-batch.
+            anomalies = self.telemetry.on_infer(model, logits)
+            if anomalies and maintenance is not None:
+                for anomaly in anomalies:
+                    maintenance.anomaly_ticks += 1
+                    maintenance.ticks += 1
+                    with _span("serve/maintenance"):
+                        maintenance.scheduler.trigger_anomaly(
+                            anomaly.signal, anomaly.zscore
+                        )
         return logits
 
     # ------------------------------------------------------------------
@@ -417,7 +543,7 @@ class AnalogServer:
         return ServerStats(
             requests=batcher.served,
             batches=batcher.batches,
-            rejected=batcher.rejected,
+            rejected=batcher.rejected + self._rejected_presubmit,
             batching_efficiency=batcher.batching_efficiency,
             latency_us=self._latency.as_dict(),
             queue_us=self._queue_wait.as_dict(),
@@ -428,3 +554,34 @@ class AnalogServer:
                 m.ticks for m in self._maintenance.values()
             ),
         )
+
+    def live_stats(self) -> dict:
+        """JSON-ready live snapshot for ``{"op": "stats"}`` / ``repro top``.
+
+        Combines the aggregate counters with per-tenant telemetry
+        (latency quantiles, qps, SLO budgets), live queue depths, drift
+        pulse counts and maintenance/anomaly state.  Read-only.
+        """
+        payload: dict = {
+            "server": self.stats().as_dict(),
+            "tenants": {},
+            "queues": {
+                name: self._batcher.queue_depth(name)
+                for name in self.registry.names()
+            },
+            "maintenance": {},
+        }
+        if self.telemetry is not None:
+            payload["tenants"] = self.telemetry.tenant_stats()
+            payload["health"] = self.telemetry.health_stats()
+        for model, maintenance in self._maintenance.items():
+            entry: dict = {
+                "ticks": maintenance.ticks,
+                "anomaly_ticks": maintenance.anomaly_ticks,
+                "pending_pulses": maintenance.pending,
+            }
+            scheduler_stats = getattr(maintenance.scheduler, "stats", None)
+            if callable(scheduler_stats):
+                entry["scheduler"] = scheduler_stats()
+            payload["maintenance"][model] = entry
+        return payload

@@ -1,0 +1,254 @@
+"""Live serving telemetry: traces, series, SLOs and health in one hub.
+
+:class:`LiveTelemetry` is the single optional attachment point between
+the serving path and the continuous-observability stack
+(:mod:`repro.obs.live` / :mod:`repro.obs.slo` / :mod:`repro.obs.anomaly`).
+The :class:`repro.serve.AnalogServer` calls into it at three places:
+
+* ``on_request`` / ``on_reject`` — per-request accounting on the event
+  loop: per-tenant latency histograms, qps/reject ring series, SLO
+  error-budget scoring, and (for the deterministically sampled subset)
+  a ``request_trace`` event that decomposes the request's latency into
+  queue-wait vs. inference time with its batch's fan-in link.
+* ``on_infer`` — on the inference lane, right after a micro-batch's
+  logits exist: feeds the cheap accuracy-proxy health signal (batch
+  mean absolute logit) and any engine-level signals into the anomaly
+  watcher, returning flagged anomalies so the server can trigger
+  recalibration *immediately, on the lane* — the observe-then-heal
+  loop closes between batches, never inside one.
+
+Everything here is read-only with respect to the data plane: logits are
+observed, never transformed, and no RNG is consumed — the bit-identity
+regression in the serve test battery runs with telemetry on and off and
+compares exact bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import runtime as _obs_runtime
+from repro.obs.anomaly import Anomaly, DetectorConfig, HealthWatcher
+from repro.obs.live import TIMESERIES, TimeSeriesStore, render_prometheus, sample_count, trace_sampled
+from repro.obs.metrics import REGISTRY, Histogram
+from repro.obs.slo import SLOSpec, SLOTracker
+
+#: Window (seconds) of the dashboard-facing qps / reject rates.
+RATE_WINDOW_S = 10.0
+
+
+def slo_spec_for(tenant_spec) -> SLOSpec:
+    """Derive a tenant's :class:`SLOSpec` from its TenantSpec fields."""
+    return SLOSpec(
+        p99_ms=getattr(tenant_spec, "slo_p99_ms", None),
+        max_reject_rate=getattr(tenant_spec, "slo_max_reject_rate", None),
+    )
+
+
+@dataclass
+class TenantTelemetry:
+    """One tenant's live accounting."""
+
+    name: str
+    latency_ms: Histogram = field(default_factory=Histogram)
+    slo: SLOTracker | None = None
+    requests: int = 0
+    rejected: int = 0
+    traced: int = 0
+
+    def health_budget(self) -> float:
+        return self.slo.worst_budget() if self.slo is not None else 1.0
+
+
+class LiveTelemetry:
+    """Optional continuous-telemetry hub for one :class:`AnalogServer`.
+
+    ``trace_sample`` bounds per-request trace overhead: request number
+    ``seq`` emits a ``request_trace`` event exactly when
+    :func:`repro.obs.live.trace_sampled` says so (deterministic, evenly
+    spaced, RNG-free).  Batch-level telemetry is always on.
+    """
+
+    def __init__(
+        self,
+        trace_sample: float = 0.01,
+        store: TimeSeriesStore | None = None,
+        watcher: HealthWatcher | None = None,
+        detector: DetectorConfig | None = None,
+        clock=time.time,
+    ):
+        self.trace_sample = float(trace_sample)
+        self.store = store if store is not None else TIMESERIES
+        self.watcher = (
+            watcher
+            if watcher is not None
+            else HealthWatcher(store=self.store, config=detector)
+        )
+        self.clock = clock
+        self.scrapes = 0
+        self._tenants: dict[str, TenantTelemetry] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, spec) -> TenantTelemetry:
+        """Attach per-tenant tracking (SLO objectives from the spec)."""
+        existing = self._tenants.get(spec.name)
+        if existing is not None:
+            return existing
+        slo = slo_spec_for(spec)
+        tenant = TenantTelemetry(
+            name=spec.name,
+            slo=SLOTracker(spec.name, slo) if slo.enabled else None,
+        )
+        self._tenants[spec.name] = tenant
+        return tenant
+
+    def tenant(self, name: str) -> TenantTelemetry:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = self._tenants[name] = TenantTelemetry(name=name)
+        return tenant
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def sampled(self, seq: int) -> bool:
+        return trace_sampled(seq, self.trace_sample)
+
+    # ------------------------------------------------------------------
+    # Event-loop side: per-request accounting
+    # ------------------------------------------------------------------
+    def on_request(
+        self,
+        model: str,
+        trace_id: str,
+        batch_id: int,
+        queued_us: float,
+        infer_us: float,
+        total_us: float,
+        sampled: bool,
+        t: float | None = None,
+    ) -> None:
+        """Score one completed request (called per request, per batch)."""
+        t = self.clock() if t is None else t
+        tenant = self.tenant(model)
+        tenant.requests += 1
+        total_ms = total_us / 1e3
+        tenant.latency_ms.observe(total_ms)
+        self.store.record(f"serve.qps.{model}", 1.0, t, kind="sum")
+        if tenant.slo is not None:
+            tenant.slo.observe_latency(total_ms, t)
+        if sampled:
+            tenant.traced += 1
+            REGISTRY.counter("serve.traces").inc()
+            _obs_runtime.event(
+                "request_trace",
+                trace_id=trace_id,
+                model=model,
+                batch_id=batch_id,
+                queued_us=float(queued_us),
+                infer_us=float(infer_us),
+                total_us=float(total_us),
+            )
+
+    def on_batch(
+        self,
+        model: str,
+        size: int,
+        queue_depth: int,
+        infer_us: float,
+        t: float | None = None,
+    ) -> None:
+        """Record always-on batch-level series (no sampling gate)."""
+        t = self.clock() if t is None else t
+        self.store.record(f"serve.batch_size.{model}", float(size), t, kind="max")
+        self.store.record(
+            f"serve.queue_depth.{model}", float(queue_depth), t, kind="max"
+        )
+        self.store.record(f"serve.infer_us.{model}", float(infer_us), t, kind="max")
+
+    def on_reject(self, model: str, reason: str, t: float | None = None) -> None:
+        """Score one rejected submission against the tenant's budget."""
+        t = self.clock() if t is None else t
+        tenant = self.tenant(model)
+        tenant.rejected += 1
+        self.store.record(f"serve.rejects.{model}", 1.0, t, kind="sum")
+        if tenant.slo is not None:
+            tenant.slo.observe_reject(t)
+
+    # ------------------------------------------------------------------
+    # Inference-lane side: analog-health signals
+    # ------------------------------------------------------------------
+    def on_infer(
+        self, model: str, logits: np.ndarray, t: float | None = None
+    ) -> list[Anomaly]:
+        """Feed post-batch health signals; returns freshly flagged anomalies.
+
+        The accuracy proxy is the batch-mean absolute logit: drifted
+        conductances depress effective gains, which shows up here as a
+        level shift long before accuracy can be measured — and it is
+        free, the logits already exist.  Strictly read-only.
+        """
+        t = self.clock() if t is None else t
+        proxy = float(np.mean(np.abs(np.asarray(logits))))
+        anomalies = []
+        flagged = self.watcher.observe(f"health.logit_mag.{model}", proxy, t)
+        if flagged is not None:
+            anomalies.append(flagged)
+        return anomalies
+
+    def observe_signal(
+        self, signal: str, value: float, t: float | None = None
+    ) -> Anomaly | None:
+        """Feed one named engine-level signal (NF, clip rate, trips...)."""
+        t = self.clock() if t is None else t
+        return self.watcher.observe(signal, value, t)
+
+    # ------------------------------------------------------------------
+    # Scrape + stats surfaces
+    # ------------------------------------------------------------------
+    def scrape(self, extra: dict | None = None, transport: str = "tcp") -> str:
+        """Prometheus text exposition of everything the process knows."""
+        text = render_prometheus(REGISTRY, store=self.store, extra=extra)
+        self.scrapes += 1
+        REGISTRY.counter("serve.metrics_scrapes").inc()
+        _obs_runtime.event(
+            "metrics_scrape",
+            transport=transport,
+            series=sample_count(text),
+            bytes=len(text.encode()),
+        )
+        return text
+
+    def tenant_stats(self, now: float | None = None) -> dict[str, dict]:
+        """Per-tenant live stats payload (``repro top`` / ``op: stats``)."""
+        now = self.clock() if now is None else now
+        out: dict[str, dict] = {}
+        for name in sorted(self._tenants):
+            tenant = self._tenants[name]
+            latency = tenant.latency_ms.as_dict()
+            qps = self.store.series(f"serve.qps.{name}", kind="sum").rate_per_s(
+                now, RATE_WINDOW_S
+            )
+            row = {
+                "requests": tenant.requests,
+                "rejected": tenant.rejected,
+                "traced": tenant.traced,
+                "qps": qps,
+                "p50_ms": latency.get("p50", float("nan")),
+                "p99_ms": latency.get("p99", float("nan")),
+                "budget": tenant.health_budget(),
+                "slo": tenant.slo.budgets() if tenant.slo is not None else {},
+                "violations": tenant.slo.violations if tenant.slo is not None else 0,
+            }
+            out[name] = row
+        return out
+
+    def health_stats(self) -> dict:
+        """Watcher summary: per-signal counts plus total anomalies."""
+        return {
+            "signals": self.watcher.stats(),
+            "anomalies": len(self.watcher.anomalies),
+        }

@@ -336,5 +336,9 @@ def test_cli_cache_stats_lists_entries(tmp_path, monkeypatch, capsys):
     )
     assert main(["cache", "stats"]) == 0
     out = capsys.readouterr().out
-    assert "drift epoch 0" in out
-    assert "age " in out
+    # The entry table (repro.obs.summary.render_table) shows an epoch-0,
+    # zero-pulse snapshot: header row plus the entry's columns.
+    assert "epoch" in out and "pulses" in out and "age" in out
+    lines = [line for line in out.splitlines() if " MB " in line]
+    assert len(lines) == 1
+    assert lines[0].split()[-3:-1] == ["0", "0"]  # epoch 0, pulses 0
