@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Work-stealing queue benchmark: BENCH_20_queue.json.
+
+Proves the three claims the scheduler makes, with in-script gates:
+
+* **bit-identity** — ``predict_logits`` of a non-ideal model is bitwise
+  identical under serial execution and the queue at 1, 2 and 3 workers
+  (any policy; the merge is keyed by canonical micro-shard index);
+* **skew flattening** — on a 10×-skewed synthetic shard-cost
+  distribution (three 10-unit shards hiding at the head of nine
+  1-unit shards) the adaptive work-stealing policy lands within 1.3×
+  of the balanced-bound makespan at 3 workers, where the static
+  contiguous partition serializes the heavy block (~2.4× bound);
+* **low overhead** — on a uniform distribution the adaptive policy
+  costs <5% over the static partition plan (its grouping converges to
+  the same placement, so the deques and EWMA bookkeeping are the only
+  extra work).
+
+The synthetic shard fn *sleeps* rather than computes, so wall times
+measure scheduling even on a 1-core container; ``cpu_count`` is still
+stamped so readers can interpret the identity-arm speedups honestly.
+
+Scale via ``REPRO_BENCH_PROFILE`` (tiny | small | default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.attacks.base import predict_logits  # noqa: E402
+from repro.nn.resnet import build_model  # noqa: E402
+from repro.obs.sink import runtime_stamp  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    ProcessBackend,
+    QueuePolicy,
+    ShardTask,
+    parallel_backend,
+)
+from repro.xbar.presets import crossbar_preset  # noqa: E402
+from repro.xbar.simulator import convert_to_hardware  # noqa: E402
+
+PRESET = "32x32_100k"
+
+PROFILES = {
+    # (unit ms for the skew arm, uniform shard ms, eval images, repeats)
+    "tiny": (40.0, 15.0, 12, 3),
+    "small": (60.0, 20.0, 24, 3),
+    "default": (80.0, 25.0, 48, 5),
+}
+
+#: Shard costs in units: a 10×-skewed head (the adversarial case for a
+#: contiguous partition — all three heavies land in worker 0's block).
+SKEW_UNITS = [10.0, 10.0, 10.0] + [1.0] * 9
+SKEW_WORKERS = 3
+
+#: Gates (asserted below; the bench exits non-zero when they fail).
+ADAPTIVE_BOUND_FACTOR = 1.3
+PARTITION_BOUND_FACTOR = 1.8  # the skew must actually bite the baseline
+UNIFORM_OVERHEAD = 0.05
+
+
+def profile_name() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+
+def synthetic_tasks(costs_ms: list[float]) -> list[ShardTask]:
+    return [
+        ShardTask("synthetic", {"index": i, "sleep_ms": cost})
+        for i, cost in enumerate(costs_ms)
+    ]
+
+
+def timed_map(backend: ProcessBackend, costs_ms: list[float], repeats: int):
+    """Best-of-N wall time for one synthetic map; verifies the merge."""
+    expected = [
+        {"index": i, "value": (i * 0x9E3779B1) & 0xFFFFFFFF}
+        for i in range(len(costs_ms))
+    ]
+    best = float("inf")
+    for _ in range(repeats):
+        tasks = synthetic_tasks(costs_ms)
+        start = time.perf_counter()
+        results = backend.run_tasks(None, tasks)
+        best = min(best, time.perf_counter() - start)
+        assert results == expected, "queue merge diverged from serial map"
+    return best, dict(backend.queue.last)
+
+
+def bench_policy(mode: str, costs_ms, workers: int, repeats: int) -> dict:
+    policy = QueuePolicy(mode=mode) if mode != "adaptive" else QueuePolicy(
+        mode="adaptive", target_task_ms=30.0, max_group=2
+    )
+    backend = ProcessBackend(workers, policy=policy)
+    try:
+        timed_map(backend, [1.0] * workers, 1)  # fork + warm the pool
+        seconds, last = timed_map(backend, costs_ms, repeats)
+    finally:
+        backend.close()
+    return {
+        "seconds": seconds,
+        "tasks": last["tasks"],
+        "steals": last["steals"],
+        "resubmits": last["resubmits"],
+    }
+
+
+def bench_identity(eval_size: int) -> dict:
+    """Real-model logit identity: serial vs queue at 1/2/3 workers."""
+    config = crossbar_preset(PRESET)
+    model = build_model("resnet10", num_classes=10, width=8, seed=1)
+    model.eval()
+    hardware = convert_to_hardware(
+        model, config, rng=np.random.default_rng(2), engine_cache=False
+    )
+    rng = np.random.default_rng(0)
+    x = rng.random((eval_size, 3, 16, 16)).astype(np.float32)
+    serial = predict_logits(hardware, x, batch_size=4)
+    entry: dict = {"workers": {}, "bit_identical": True}
+    for workers in (1, 2, 3):
+        start = time.perf_counter()
+        with parallel_backend(workers):
+            logits = predict_logits(hardware, x, batch_size=4)
+        seconds = time.perf_counter() - start
+        matches = logits.tobytes() == serial.tobytes()
+        entry["workers"][str(workers)] = {
+            "seconds": seconds,
+            "bit_identical": matches,
+        }
+        entry["bit_identical"] &= matches
+        print(
+            f"[bench_queue] identity: {workers} worker(s) {seconds:.2f} s "
+            f"(identical={matches})"
+        )
+    return entry
+
+
+def main() -> int:
+    profile = profile_name()
+    if profile not in PROFILES:
+        print(f"unknown REPRO_BENCH_PROFILE {profile!r}; use one of {sorted(PROFILES)}")
+        return 2
+    unit_ms, uniform_ms, eval_size, repeats = PROFILES[profile]
+    cpu_count = os.cpu_count()
+    print(f"[bench_queue] profile={profile} cpu_count={cpu_count}")
+
+    # --- skew arm -----------------------------------------------------
+    skew_costs = [u * unit_ms for u in SKEW_UNITS]
+    bound_s = sum(skew_costs) / SKEW_WORKERS / 1e3
+    skew = {}
+    for mode in ("adaptive", "partition", "fifo"):
+        skew[mode] = bench_policy(mode, skew_costs, SKEW_WORKERS, repeats)
+        skew[mode]["vs_bound"] = skew[mode]["seconds"] / bound_s
+        print(
+            f"[bench_queue] skew/{mode}: {skew[mode]['seconds']*1e3:.0f} ms "
+            f"({skew[mode]['vs_bound']:.2f}x bound, "
+            f"tasks={skew[mode]['tasks']} steals={skew[mode]['steals']})"
+        )
+    skew["balanced_bound_seconds"] = bound_s
+
+    # --- uniform arm --------------------------------------------------
+    uniform_costs = [uniform_ms] * 12
+    uniform = {}
+    for mode in ("adaptive", "partition"):
+        uniform[mode] = bench_policy(mode, uniform_costs, 2, repeats)
+        print(
+            f"[bench_queue] uniform/{mode}: "
+            f"{uniform[mode]['seconds']*1e3:.0f} ms"
+        )
+    overhead = uniform["adaptive"]["seconds"] / uniform["partition"]["seconds"] - 1.0
+    uniform["adaptive_overhead"] = overhead
+    print(f"[bench_queue] uniform overhead: {overhead*100:.1f}%")
+
+    # --- identity arm -------------------------------------------------
+    identity = bench_identity(eval_size)
+
+    # --- gates --------------------------------------------------------
+    failures = []
+    if skew["adaptive"]["vs_bound"] > ADAPTIVE_BOUND_FACTOR:
+        failures.append(
+            f"adaptive skew makespan {skew['adaptive']['vs_bound']:.2f}x bound "
+            f"(gate {ADAPTIVE_BOUND_FACTOR}x)"
+        )
+    if skew["partition"]["vs_bound"] < PARTITION_BOUND_FACTOR:
+        failures.append(
+            f"static partition only {skew['partition']['vs_bound']:.2f}x bound — "
+            f"the skew arm is not skewed enough to measure stealing"
+        )
+    if overhead > UNIFORM_OVERHEAD:
+        failures.append(f"uniform overhead {overhead*100:.1f}% (gate 5%)")
+    if not identity["bit_identical"]:
+        failures.append("queue logits diverged from serial")
+    for failure in failures:
+        print(f"[bench_queue] GATE FAILED: {failure}")
+
+    payload = runtime_stamp(
+        extra={
+            "bench": "queue",
+            "profile": profile,
+            "preset": PRESET,
+            "cpu_count": cpu_count,
+            "gates": {
+                "adaptive_bound_factor": ADAPTIVE_BOUND_FACTOR,
+                "partition_bound_factor": PARTITION_BOUND_FACTOR,
+                "uniform_overhead": UNIFORM_OVERHEAD,
+                "passed": not failures,
+            },
+        }
+    )
+    payload.update({"skew": skew, "uniform": uniform, "identity": identity})
+    out_path = REPO_ROOT / "BENCH_20_queue.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_queue] wrote {out_path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

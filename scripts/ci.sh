@@ -79,6 +79,30 @@ python -m pytest -x -q -m serve
 python -m repro obs tail artifacts/runs/ci-serve --no-follow > /dev/null
 
 echo
+echo "=== queue smoke: work-stealing scheduler + multi-lane serving ==="
+# Scheduler battery (merge order-independence property, policy unit
+# tests, real-model identity across policies), then the bench gates:
+# steal-flattened skew makespan <= 1.3x the balanced bound, <5%
+# uniform overhead, and 1/2/3-worker logit identity.  The bench must
+# show actual steals or the skew arm measured nothing.
+python -m pytest -x -q -m queue
+REPRO_BENCH_PROFILE=tiny python scripts/bench_queue.py \
+    | tee artifacts/runs/ci-queue-bench-stdout.txt
+grep -E "skew/adaptive: .*steals=[1-9]" \
+    artifacts/runs/ci-queue-bench-stdout.txt \
+    > /dev/null || { echo "ci: queue bench never stole work"; exit 1; }
+# A 2-lane traced demo: responses stay bit-identical to serial
+# inference and every serve_batch event carries its lane.
+python -m repro serve --fast --demo 4 --clients 3 --lanes 2 \
+    --tenants "fp=32x32_100k,q=32x32_100k+int8" \
+    --obs=artifacts/runs/ci-serve-lanes \
+    | tee artifacts/runs/ci-serve-lanes-stdout.txt
+python -m repro obs validate artifacts/runs/ci-serve-lanes
+grep -E "coalescing identity: ([0-9]+)/\1 " \
+    artifacts/runs/ci-serve-lanes-stdout.txt \
+    > /dev/null || { echo "ci: 2-lane serve lost coalescing identity"; exit 1; }
+
+echo
 echo "=== live serve smoke: /metrics scrape + top --once + SIGTERM drain ==="
 # Boot a real TCP server with the Prometheus listener, scrape it over
 # plain HTTP, render the dashboard once, then check SIGTERM drains.

@@ -20,13 +20,19 @@ with the network.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 DEFAULT_DTYPE = np.float32
 
-_GRAD_ENABLED = True
+# Grad-recording state is per *thread*: serving lanes and the threaded
+# test harnesses run inference (under no_grad) concurrently with each
+# other, and a process-global flag would let interleaved enter/exit
+# pairs restore each other's saved value and strand the whole process
+# in no-grad mode.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
@@ -36,18 +42,17 @@ def no_grad():
     Inside the context, operations produce detached tensors.  Used for
     evaluation loops and for non-differentiable hardware emulation.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -90,7 +95,7 @@ class Tensor:
             array = array.astype(DEFAULT_DTYPE)
         self.data: np.ndarray = array
         self.grad: np.ndarray | None = None
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
@@ -153,7 +158,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a result node, recording the graph if enabled."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data)
         if requires:
             out.requires_grad = True

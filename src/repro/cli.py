@@ -263,6 +263,7 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_wait_us=args.max_wait_us,
         queue_limit=args.queue_limit,
+        lanes=args.lanes,
     )
 
     def make_telemetry() -> LiveTelemetry | None:
@@ -630,6 +631,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="largest micro-batch one model invocation serves")
     p.add_argument("--max-wait-us", dest="max_wait_us", type=float, default=2000.0,
                    help="longest a request waits for batch-mates before the cut")
+    p.add_argument("--lanes", type=int, default=1,
+                   help="parallel inference lanes; tenants map to lanes "
+                        "deterministically, logits are lane-count invariant")
     p.add_argument("--queue-limit", dest="queue_limit", type=int, default=64,
                    help="admission bound; beyond it requests get typed rejections")
     p.add_argument("--clients", type=int, default=4,

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 from collections import deque
 
 #: Bucket-combine operators per series kind.
@@ -160,12 +161,18 @@ class RingBuffer:
 
 
 class TimeSeriesStore:
-    """Name-addressed ring buffers with a lossless merge path."""
+    """Name-addressed ring buffers with a lossless merge path.
+
+    Recording is guarded by one store-level lock: the serving layer's
+    inference lanes and the work-stealing queue publish series from
+    several threads, and a ring bucket fold is a multi-step mutation.
+    """
 
     def __init__(self, capacity: int = 240, resolution_s: float = 1.0):
         self.capacity = capacity
         self.resolution_s = resolution_s
         self._series: dict[str, RingBuffer] = {}
+        self._lock = threading.RLock()
 
     def series(
         self,
@@ -175,19 +182,23 @@ class TimeSeriesStore:
         resolution_s: float | None = None,
     ) -> RingBuffer:
         """Get-or-create one named series (kind fixed at creation)."""
-        buf = self._series.get(name)
-        if buf is None:
-            buf = self._series[name] = RingBuffer(
-                kind=kind,
-                capacity=capacity if capacity is not None else self.capacity,
-                resolution_s=(
-                    resolution_s if resolution_s is not None else self.resolution_s
-                ),
-            )
-        return buf
+        with self._lock:
+            buf = self._series.get(name)
+            if buf is None:
+                buf = self._series[name] = RingBuffer(
+                    kind=kind,
+                    capacity=capacity if capacity is not None else self.capacity,
+                    resolution_s=(
+                        resolution_s
+                        if resolution_s is not None
+                        else self.resolution_s
+                    ),
+                )
+            return buf
 
     def record(self, name: str, value: float, t: float, kind: str = "max") -> None:
-        self.series(name, kind=kind).record(value, t)
+        with self._lock:
+            self.series(name, kind=kind).record(value, t)
 
     def names(self) -> list[str]:
         return sorted(self._series)
@@ -199,22 +210,28 @@ class TimeSeriesStore:
         return len(self._series)
 
     def clear(self) -> None:
-        self._series.clear()
+        with self._lock:
+            self._series.clear()
 
     # Worker-to-parent merge path ---------------------------------------
     def export_state(self) -> dict:
         """Lossless, mergeable snapshot of every series (sorted)."""
-        return {name: self._series[name].snapshot() for name in sorted(self._series)}
+        with self._lock:
+            return {
+                name: self._series[name].snapshot()
+                for name in sorted(self._series)
+            }
 
     def merge_state(self, state: dict) -> None:
         """Fold an :meth:`export_state` payload in (order-independent)."""
-        for name, snap in state.items():
-            self.series(
-                name,
-                kind=snap["kind"],
-                capacity=int(snap["capacity"]),
-                resolution_s=float(snap["resolution_s"]),
-            ).merge(snap)
+        with self._lock:
+            for name, snap in state.items():
+                self.series(
+                    name,
+                    kind=snap["kind"],
+                    capacity=int(snap["capacity"]),
+                    resolution_s=float(snap["resolution_s"]),
+                ).merge(snap)
 
 
 #: Process-global live store: serving telemetry and (under ``--obs``)

@@ -21,6 +21,7 @@ import os
 import platform
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -97,6 +98,9 @@ class RunWriter:
         # instead of accumulating events across runs.
         self._events = open(self.events_path, "w", encoding="utf-8")
         self._closed = False
+        # Serving lanes emit events from several threads; one lock per
+        # event keeps JSONL lines whole without buffering.
+        self._write_lock = threading.Lock()
 
     def write_event(self, event_type: str, **payload) -> None:
         if self._closed:
@@ -106,8 +110,11 @@ class RunWriter:
         # Serialize the full line first: a serialization error (or an
         # interrupt raised during json.dumps) leaves the log untouched.
         line = json.dumps(record, default=_json_default)
-        self._events.write(line + "\n")
-        self._events.flush()
+        with self._write_lock:
+            if self._closed:
+                return
+            self._events.write(line + "\n")
+            self._events.flush()
 
     def write_manifest(self, manifest: dict) -> None:
         tmp = self.manifest_path.with_suffix(".json.tmp")

@@ -19,13 +19,16 @@ iterations, layer forwards, bank MVMs) permanently.  The overhead
 guard in ``tests/test_obs_overhead.py`` enforces the <5% budget on a
 tiny resnet forward.
 
-The recorder is intentionally not thread-safe: the simulator stack is
-single-threaded numpy, and a per-span lock would dominate the cost of
-the cheap spans this module is designed to allow.
+The recorder keeps one span stack *per thread* (the serving layer runs
+several inference lanes, each a dedicated thread, and a shared stack
+would interleave their nesting) and guards only the per-path aggregate
+update with a lock — the begin/end bookkeeping itself stays lock-free,
+so the cheap spans this module is designed to allow stay cheap.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -61,38 +64,50 @@ class TraceRecorder:
 
     def __init__(self, emit=None, emit_depth: int = 3):
         self.stats: dict[str, SpanStats] = {}
-        self._stack: list[list] = []  # [name, start, child_accum]
+        self._local = threading.local()
+        self._stats_lock = threading.Lock()
         self._emit = emit
         self.emit_depth = emit_depth
+
+    @property
+    def _stack(self) -> list:
+        """This thread's span stack of ``[name, start, child_accum]``."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     def begin(self, name: str) -> None:
         self._stack.append([name, time.perf_counter(), 0.0])
 
     def end(self) -> None:
-        if not self._stack:  # tolerate unbalanced end() calls
+        stack = self._stack
+        if not stack:  # tolerate unbalanced end() calls
             return
-        name, start, child = self._stack.pop()
+        name, start, child = stack.pop()
         duration = time.perf_counter() - start
-        if self._stack:
-            parts = [frame[0] for frame in self._stack]
+        if stack:
+            parts = [frame[0] for frame in stack]
             parts.append(name)
             path = "/".join(parts)
-            self._stack[-1][2] += duration
+            stack[-1][2] += duration
         else:
             path = name
-        stats = self.stats.get(path)
-        if stats is None:
-            stats = self.stats[path] = SpanStats()
-        stats.count += 1
-        stats.total += duration
-        stats.child += child
-        depth = len(self._stack) + 1
+        with self._stats_lock:
+            stats = self.stats.get(path)
+            if stats is None:
+                stats = self.stats[path] = SpanStats()
+            stats.count += 1
+            stats.total += duration
+            stats.child += child
+        depth = len(stack) + 1
         if self._emit is not None and depth <= self.emit_depth:
             self._emit(path, duration, depth)
 
     @property
     def depth(self) -> int:
+        """Depth of the *calling thread's* span stack."""
         return len(self._stack)
 
     def profile(self) -> list[dict]:

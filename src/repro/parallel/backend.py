@@ -29,11 +29,13 @@ import contextlib
 import logging
 import multiprocessing as mp
 import os
+import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.parallel import shm
+from repro.parallel.queue import QueuePolicy, WorkQueue
 
 logger = logging.getLogger(__name__)
 
@@ -158,7 +160,7 @@ def _merge_blob(model, blob: dict) -> None:
 class ProcessBackend(ExecutionBackend):
     """Persistent process pool over shared-memory model snapshots."""
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int, policy: "QueuePolicy | None" = None):
         if workers < 2:
             raise ValueError(f"ProcessBackend needs >= 2 workers, got {workers}")
         self.workers = workers
@@ -169,6 +171,15 @@ class ProcessBackend(ExecutionBackend):
         # emptied by invalidate()/close().
         self._handles: dict[int, tuple[object, shm.SharedHandle]] = {}
         self._broken = False
+        #: The scheduler.  Persistent with the backend, so its per-fn
+        #: latency EWMA survives across maps (warm pools live for the
+        #: whole process — see ``_POOLED``).
+        self.queue = WorkQueue(workers, policy=policy)
+        # Serving lanes call run_tasks from multiple threads: pool/share
+        # setup and telemetry merging need mutual exclusion (the P²
+        # histogram replay in _merge_blob is stateful).
+        self._setup_lock = threading.RLock()
+        self._merge_lock = threading.Lock()
 
     # -- pool / share management ---------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -210,23 +221,44 @@ class ProcessBackend(ExecutionBackend):
         _invalidate_pooled(model)
 
     def close(self) -> None:
+        # Release segments first and one-by-one: a broken pool must not
+        # keep /dev/shm populated because its shutdown raised.
         for _model, handle in list(self._handles.values()):
-            shm.release(handle)
+            try:
+                shm.release(handle)
+            except Exception:  # pragma: no cover - unlink is best-effort
+                logger.debug("shm release failed during close", exc_info=True)
         self._handles.clear()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     # -- execution ------------------------------------------------------
     def _mark_broken(self, exc: BaseException) -> None:
         self._broken = True
-        logger.warning("parallel worker failure, falling back to serial: %r", exc)
+        # BrokenProcessPool's own message rarely says *why* the worker
+        # died; surface the whole cause chain so CI logs show it.
+        chain, link = [], exc
+        while link is not None and len(chain) < 8:
+            chain.append(f"{type(link).__name__}: {link}")
+            link = link.__cause__ or link.__context__
+        detail = " <- caused by ".join(chain)
+        logger.warning(
+            "parallel worker failure, falling back to serial: %s",
+            detail,
+            exc_info=exc,
+        )
         warnings.warn(
-            f"parallel backend disabled after worker failure ({exc!r}); "
+            f"parallel backend disabled after worker failure ({detail}); "
             "continuing serially",
             RuntimeWarning,
             stacklevel=3,
         )
+        # A broken backend must not linger as a warm pool: evict it so
+        # the next parallel_backend()/configure() entry forks a fresh
+        # one, and unlink its shm segments now rather than at interpreter
+        # exit (close() below releases handles before pool teardown).
+        _evict_pooled(self)
         try:
             self.close()
         except Exception:  # pragma: no cover - teardown is best-effort
@@ -242,28 +274,48 @@ class ProcessBackend(ExecutionBackend):
 
         capture = _runtime.active() is not None
         try:
-            handle = self._share_model(model) if model is not None else None
-            pool = self._ensure_pool()
-            futures = [
-                pool.submit(worker.remote_execute, handle, task.fn, task.payload, capture)
-                for task in tasks
-            ]
-            outcomes = [future.result() for future in futures]
+            with self._setup_lock:
+                handle = self._share_model(model) if model is not None else None
+                pool = self._ensure_pool()
+
+            def submit(indices):
+                group = [(tasks[i].fn, tasks[i].payload) for i in indices]
+                return pool.submit(
+                    worker.remote_execute_many, handle, group, capture
+                )
+
+            outcomes = self.queue.run(submit, tasks)
         except Exception as exc:
             # Worker crash, pickling failure, shm exhaustion, or a
             # deterministic task error: re-run serially.  Task errors
-            # then re-raise in-process with a usable traceback.
+            # then re-raise in-process with a usable traceback, chained
+            # to the pool-side exception so neither context is lost.
             self._mark_broken(exc)
-            return self._serial.run_tasks(model, tasks)
+            try:
+                return self._serial.run_tasks(model, tasks)
+            except Exception as serial_exc:
+                raise serial_exc from exc
         results = []
-        for result, blob in outcomes:  # merged strictly in shard order
-            _merge_blob(model, blob)
-            results.append(result)
+        with self._merge_lock:
+            for result, blob in outcomes:  # merged strictly in shard order
+                _merge_blob(model, blob)
+                results.append(result)
         if capture:
+            summary = self.queue.last
             _runtime.event(
                 "parallel_map",
                 fn=tasks[0].fn,
                 shards=len(tasks),
+                workers=self.workers,
+            )
+            _runtime.event(
+                "queue_map",
+                fn=tasks[0].fn,
+                items=len(tasks),
+                tasks=summary.get("tasks", 0),
+                steals=summary.get("steals", 0),
+                resubmits=summary.get("resubmits", 0),
+                mode=self.queue.policy.mode,
                 workers=self.workers,
             )
         return results
@@ -312,6 +364,13 @@ def _invalidate_pooled(model) -> None:
         cached = backend._handles.pop(id(model), None)
         if cached is not None:
             shm.release(cached[1])
+
+
+def _evict_pooled(backend: "ProcessBackend") -> None:
+    """Remove ``backend`` from the warm-pool map (broken-pool cleanup)."""
+    for count, pooled in list(_POOLED.items()):
+        if pooled is backend:
+            del _POOLED[count]
 
 
 def _pooled_backend(count: int) -> "ProcessBackend":

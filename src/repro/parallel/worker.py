@@ -124,6 +124,23 @@ def _fn_distill(_model, payload: dict) -> dict:
     return member.state_dict()
 
 
+def _fn_synthetic(_model, payload: dict) -> dict:
+    """Deterministic timed no-op shard for scheduler benches and tests.
+
+    Sleeps ``sleep_ms`` (wall time parallelizes even on a 1-core box, so
+    the queue bench can measure *scheduling* rather than the machine)
+    and returns a pure function of the payload, so bit-identity checks
+    work on it like on any real shard.
+    """
+    import time
+
+    sleep_ms = float(payload.get("sleep_ms", 0.0))
+    if sleep_ms > 0.0:
+        time.sleep(sleep_ms / 1e3)
+    index = int(payload.get("index", 0))
+    return {"index": index, "value": (index * 0x9E3779B1) & 0xFFFFFFFF}
+
+
 #: Registry of shard functions, addressed by :class:`ShardTask.fn`.
 SHARD_FNS = {
     "logits": _fn_logits,
@@ -131,6 +148,7 @@ SHARD_FNS = {
     "square": _fn_square,
     "calibrate": _fn_calibrate,
     "distill": _fn_distill,
+    "synthetic": _fn_synthetic,
 }
 
 
@@ -212,3 +230,17 @@ def remote_execute(handle, fn: str, payload: dict, capture: bool):
         REGISTRY.clear()
         TIMESERIES.clear()
     return result, blob
+
+
+def remote_execute_many(handle, subtasks, capture: bool) -> list:
+    """Execute a *group* of shards in one pool round trip.
+
+    ``subtasks`` is a list of ``(fn, payload)`` pairs — one contiguous
+    run of micro-shards grouped by the work-stealing queue.  Each shard
+    still goes through :func:`remote_execute` individually, so every
+    micro-shard produces its own ``(result, blob)`` exactly as if it had
+    been dispatched alone; grouping changes the dispatch overhead, never
+    the computation or the telemetry granularity.
+    """
+    return [remote_execute(handle, fn, payload, capture)
+            for fn, payload in subtasks]

@@ -4,18 +4,29 @@
 :meth:`submit` (admission-controlled — a full queue raises a **typed**
 :class:`ServerOverloaded`, it never silently drops a future), coalesce
 in the :class:`MicroBatcher`, and are served by a single background
-collector.  Inference runs on a dedicated one-thread executor (the
-*inference lane*): the event loop stays responsive during multi-
-millisecond analog forwards, and — because the obs trace recorder keeps
-one shared span stack — only the lane thread emits spans while serving,
-so ``serve/batch`` / ``serve/maintenance`` spans stay balanced and
-correctly nested under the command span.
+collector that dispatches each cut batch to one of ``lanes`` dedicated
+one-thread executors (the *inference lanes*): the event loop stays
+responsive during multi-millisecond analog forwards, and with more than
+one lane, batches for different tenants overlap in wall time (each
+lane's batches fan out through the shared :mod:`repro.parallel` pool,
+whose per-worker model replicas were materialized once from the shm
+arena).  The obs trace recorder keeps one span stack *per thread*, so
+every lane emits balanced, correctly nested spans.
+
+Tenant→lane assignment is a pure function of the tenant name
+(``crc32(name) % lanes``): a tenant's batches always execute on the
+same lane, in cut order, so its engine state (drift pulses, maintenance
+ticks, calibration scratch) is single-threaded no matter how many lanes
+exist — which, together with pinned-DAC batch-composition independence,
+keeps served logits bit-identical at any lane count.
 
 Drift accounting rides along for free: every served row advances the
-engines' pulse counters, and per-tenant maintenance (an attached
-:class:`repro.lifecycle.RecalibrationScheduler`) ticks on the lane
-**between** micro-batches once enough pulses have accumulated — never
-inside one, so drift-epoch sync points can't split a batch.
+engines' pulse counters into a **per-lane ledger** (merged as integer
+sums — order-independent — for stats and drift epochs), and per-tenant
+maintenance (an attached
+:class:`repro.lifecycle.RecalibrationScheduler`) ticks on the tenant's
+lane **between** micro-batches once enough pulses have accumulated —
+never inside one, so drift-epoch sync points can't split a batch.
 
 The coalescing-identity contract (a request's logits do not depend on
 its batch-mates — bit for bit) is established by the engine's serving
@@ -28,6 +39,8 @@ from __future__ import annotations
 
 import asyncio
 import math
+import time
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -83,6 +96,10 @@ class ServeConfig:
     #: Shard the micro-batch axis across the parallel backend's pool
     #: (no-op under the serial backend; bit-identical either way).
     shard_batches: bool = True
+    #: Parallel inference lanes.  Tenants map to lanes deterministically
+    #: (``crc32(name) % lanes``), so any lane count serves bit-identical
+    #: logits; more lanes let different tenants' batches overlap.
+    lanes: int = 1
 
 
 @dataclass
@@ -198,9 +215,11 @@ class AnalogServer:
         registry: ModelRegistry,
         config: ServeConfig | None = None,
         telemetry=None,
+        lanes: int | None = None,
     ):
         self.registry = registry
         self.config = config or ServeConfig()
+        self.lanes = max(1, lanes if lanes is not None else self.config.lanes)
         #: Optional :class:`repro.serve.telemetry.LiveTelemetry`.  The
         #: default (None) path costs one attribute check per call site —
         #: the PR 4 <5% disabled-overhead guard covers serving too.
@@ -213,7 +232,7 @@ class AnalogServer:
             max_wait_us=self.config.max_wait_us,
             queue_limit=self.config.queue_limit,
         )
-        self._lane: ThreadPoolExecutor | None = None
+        self._lanes: list[ThreadPoolExecutor] = []
         self._collector: asyncio.Task | None = None
         self._running = False
         self._next_id = 0
@@ -222,7 +241,16 @@ class AnalogServer:
         self._queue_wait = Histogram()
         self._infer = Histogram()
         self._batch_sizes = Histogram()
-        self._pulses: dict[str, int] = {}
+        #: Per-lane drift pulse ledgers.  Each tenant writes only its
+        #: own lane's dict (single-threaded by assignment); ``stats()``
+        #: merges them as integer sums, which are order-independent, so
+        #: drift epochs stay bit-reproducible at any lane count.
+        self._lane_pulses: list[dict[str, int]] = [
+            {} for _ in range(self.lanes)
+        ]
+        self._lane_busy_us: list[float] = [0.0] * self.lanes
+        self._lane_batches: list[int] = [0] * self.lanes
+        self._started_at: float | None = None
         self._maintenance: dict[str, _Maintenance] = {}
         #: Rejections made before the batcher sees the request
         #: (unknown_model / invalid_image); the batcher counts only its
@@ -235,12 +263,27 @@ class AnalogServer:
     async def start(self) -> "AnalogServer":
         if self._running:
             raise RuntimeError("server already started")
-        self._lane = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="serve-lane"
-        )
+        # One single-thread executor per lane: within a lane, batches
+        # run strictly in submission (= cut) order, which keeps every
+        # tenant's engine state single-threaded.
+        self._lanes = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"serve-lane-{i}")
+            for i in range(self.lanes)
+        ]
+        self._started_at = time.perf_counter()
         self._running = True
         self._collector = asyncio.get_running_loop().create_task(self._run())
         return self
+
+    def lane_for(self, model: str) -> int:
+        """Deterministic tenant→lane assignment.
+
+        A pure function of the tenant *name* — independent of
+        registration order, traffic, or lane load — so the same tenant
+        always lands on the same lane and (for a fixed lane count) the
+        same schedule replays identically across runs.
+        """
+        return zlib.crc32(model.encode("utf-8")) % self.lanes
 
     async def stop(self) -> "ServerStats":
         """Drain the queue, serve everything in flight, flush stats."""
@@ -266,9 +309,9 @@ class AnalogServer:
                         request.future.set_exception(
                             ServerClosed("server stopped")
                         )
-                if self._lane is not None:
-                    self._lane.shutdown(wait=True)
-                    self._lane = None
+                for lane in self._lanes:
+                    lane.shutdown(wait=True)
+                self._lanes = []
         stats = self.stats()
         _obs_runtime.event(
             "serve_stats",
@@ -383,28 +426,53 @@ class AnalogServer:
     # Collector + inference lane
     # ------------------------------------------------------------------
     async def _run(self) -> None:
-        while True:
-            batch = await self._batcher.next_batch()
-            if batch is None:
-                return
-            try:
-                await self._serve_batch(batch)
-            except asyncio.CancelledError:
-                raise
-            except Exception as exc:
-                # Last-ditch guard: nothing a batch does may kill the
-                # collector — that would strand every queued future.
-                # Fail this batch's requests and keep serving.
-                failure = ServeError(f"serving failed: {exc!r}")
-                failure.__cause__ = exc
-                for request in batch.payloads:
-                    if not request.future.done():
-                        request.future.set_exception(failure)
+        loop = asyncio.get_running_loop()
+        # At most one uncompleted batch per lane: the collector acquires
+        # a slot *before* cutting, so with lanes=1 the cut→serve→cut
+        # cadence is exactly the single-lane server's, and with N lanes
+        # up to N batches are in flight at once (different tenants
+        # overlap; a tenant's own batches still run in cut order on its
+        # lane's one thread).
+        slots = asyncio.Semaphore(self.lanes)
+        outstanding: set[asyncio.Task] = set()
+        try:
+            while True:
+                await slots.acquire()
+                batch = await self._batcher.next_batch()
+                if batch is None:
+                    slots.release()
+                    return
+                task = loop.create_task(self._dispatch(batch, slots))
+                outstanding.add(task)
+                task.add_done_callback(outstanding.discard)
+        finally:
+            # Drain before the collector exits so stop() can rely on
+            # "collector done" meaning "every accepted future resolved".
+            if outstanding:
+                await asyncio.gather(*outstanding)
+
+    async def _dispatch(self, batch: MicroBatch, slots: asyncio.Semaphore) -> None:
+        try:
+            await self._serve_batch(batch)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # Last-ditch guard: nothing a batch does may kill the
+            # collector — that would strand every queued future.
+            # Fail this batch's requests and keep serving.
+            failure = ServeError(f"serving failed: {exc!r}")
+            failure.__cause__ = exc
+            for request in batch.payloads:
+                if not request.future.done():
+                    request.future.set_exception(failure)
+        finally:
+            slots.release()
 
     async def _serve_batch(self, batch: MicroBatch) -> None:
         loop = asyncio.get_running_loop()
         requests: list[_Request] = batch.payloads
         queue_depth = len(self._batcher)
+        lane = self.lane_for(batch.model)
         start = loop.time()
         try:
             # Batch prep is inside the guard: coalesced images with
@@ -412,7 +480,7 @@ class AnalogServer:
             # reject the batch's requests, not unwind the collector.
             images = np.stack([request.image for request in requests])
             logits = await loop.run_in_executor(
-                self._lane, self._infer_batch, batch.model, images
+                self._lanes[lane], self._infer_batch, batch.model, images, lane
             )
         except ServeError as exc:
             for request in requests:
@@ -468,6 +536,7 @@ class AnalogServer:
                 size=batch.size,
                 queue_depth=queue_depth,
                 infer_us=infer_us,
+                lane=lane,
             )
         _obs_runtime.event(
             "serve_batch",
@@ -476,6 +545,7 @@ class AnalogServer:
             queue_depth=queue_depth,
             wait_us=batch.wait_us(batch.entries[0]),
             infer_us=infer_us,
+            lane=lane,
             # Fan-in span links: the batch is the join point of every
             # member request's trace (sampled members only, to bound
             # event volume — batch-level telemetry itself is always on).
@@ -483,13 +553,16 @@ class AnalogServer:
             traces=[r.trace_id for r in requests if r.sampled],
         )
 
-    def _infer_batch(self, model: str, images: np.ndarray) -> np.ndarray:
-        """Runs on the inference lane thread (the only span emitter)."""
+    def _infer_batch(
+        self, model: str, images: np.ndarray, lane: int = 0
+    ) -> np.ndarray:
+        """Runs on the tenant's inference-lane thread."""
         from repro.attacks.base import predict_logits
         from repro.lifecycle import total_pulses
         from repro.lifecycle.ops import sync_model_drift
         from repro.parallel.backend import get_backend
 
+        lane_start = time.perf_counter()
         entry = self.registry.model(model)
         shard_size = len(images)
         backend = get_backend()
@@ -502,7 +575,8 @@ class AnalogServer:
         with _span("serve/batch"):
             logits = predict_logits(entry.model, images, batch_size=shard_size)
         delta = total_pulses(entry.model) - before
-        self._pulses[model] = self._pulses.get(model, 0) + delta
+        ledger = self._lane_pulses[lane]
+        ledger[model] = ledger.get(model, 0) + delta
         REGISTRY.counter(f"serve.pulses.{model}").inc(delta)
         maintenance = self._maintenance.get(model)
         if maintenance is not None:
@@ -535,9 +609,64 @@ class AnalogServer:
                         maintenance.scheduler.trigger_anomaly(
                             anomaly.signal, anomaly.zscore
                         )
+        # Each slot is written only by its own lane thread; readers
+        # (live_stats on the loop) see a consistent-enough snapshot.
+        self._lane_busy_us[lane] += (time.perf_counter() - lane_start) * 1e6
+        self._lane_batches[lane] += 1
         return logits
 
     # ------------------------------------------------------------------
+    def merged_pulses(self) -> dict[str, int]:
+        """Per-tenant pulse totals across lane ledgers.
+
+        Integer sums over a deterministic key order — independent of
+        which lane served what and of lane count, so the drift-epoch
+        arithmetic built on these totals is bit-reproducible.
+        """
+        merged: dict[str, int] = {}
+        for ledger in self._lane_pulses:
+            for model, pulses in ledger.items():
+                merged[model] = merged.get(model, 0) + pulses
+        return dict(sorted(merged.items()))
+
+    def lane_stats(self) -> list[dict]:
+        """Per-lane utilization snapshot for ``live_stats``/``repro top``."""
+        elapsed_us = (
+            (time.perf_counter() - self._started_at) * 1e6
+            if self._started_at is not None
+            else 0.0
+        )
+        rows = []
+        for lane in range(self.lanes):
+            busy_us = self._lane_busy_us[lane]
+            rows.append(
+                {
+                    "lane": lane,
+                    "batches": self._lane_batches[lane],
+                    "busy_us": busy_us,
+                    "utilization": (
+                        min(busy_us / elapsed_us, 1.0) if elapsed_us > 0 else 0.0
+                    ),
+                    "tenants": sorted(
+                        name
+                        for name in self.registry.names()
+                        if self.lane_for(name) == lane
+                    ),
+                    "pulses": dict(sorted(self._lane_pulses[lane].items())),
+                }
+            )
+        return rows
+
+    @staticmethod
+    def _queue_stats() -> dict:
+        """Work-stealing scheduler counters (empty under serial backend)."""
+        from repro.parallel.backend import get_backend
+
+        queue = getattr(get_backend(), "queue", None)
+        if queue is None:
+            return {}
+        return {**queue.stats.as_dict(), "last": dict(queue.last)}
+
     def stats(self) -> ServerStats:
         batcher = self._batcher.stats
         return ServerStats(
@@ -549,7 +678,7 @@ class AnalogServer:
             queue_us=self._queue_wait.as_dict(),
             infer_us=self._infer.as_dict(),
             batch_size=self._batch_sizes.as_dict(),
-            pulses=dict(self._pulses),
+            pulses=self.merged_pulses(),
             maintenance_ticks=sum(
                 m.ticks for m in self._maintenance.values()
             ),
@@ -569,6 +698,8 @@ class AnalogServer:
                 name: self._batcher.queue_depth(name)
                 for name in self.registry.names()
             },
+            "lanes": self.lane_stats(),
+            "queue": self._queue_stats(),
             "maintenance": {},
         }
         if self.telemetry is not None:

@@ -159,6 +159,7 @@ class LiveTelemetry:
         size: int,
         queue_depth: int,
         infer_us: float,
+        lane: int = 0,
         t: float | None = None,
     ) -> None:
         """Record always-on batch-level series (no sampling gate)."""
@@ -168,6 +169,12 @@ class LiveTelemetry:
             f"serve.queue_depth.{model}", float(queue_depth), t, kind="max"
         )
         self.store.record(f"serve.infer_us.{model}", float(infer_us), t, kind="max")
+        # Per-lane utilization series: busy-time (sum, µs) and batch
+        # count per lane feed the `repro top` lane columns.
+        self.store.record(f"serve.lane.batches.{lane}", 1.0, t, kind="sum")
+        self.store.record(
+            f"serve.lane.busy_us.{lane}", float(infer_us), t, kind="sum"
+        )
 
     def on_reject(self, model: str, reason: str, t: float | None = None) -> None:
         """Score one rejected submission against the tenant's budget."""

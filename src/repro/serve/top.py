@@ -45,7 +45,14 @@ def render_top(stats: dict, clock=time.time) -> str:
     queues = stats.get("queues", {})
     maintenance = stats.get("maintenance", {})
     health = stats.get("health", {})
+    lanes = stats.get("lanes", [])
+    queue = stats.get("queue", {})
 
+    tenant_lane = {
+        name: row.get("lane", 0)
+        for row in lanes
+        for name in row.get("tenants", [])
+    }
     names = sorted(set(tenants) | set(queues))
     rows = []
     for name in names:
@@ -59,6 +66,7 @@ def render_top(stats: dict, clock=time.time) -> str:
         rows.append(
             [
                 name,
+                tenant_lane.get(name, 0),
                 f"{tenant.get('qps', 0.0):.1f}",
                 _fmt_ms(tenant.get("p50_ms")),
                 _fmt_ms(tenant.get("p99_ms")),
@@ -70,20 +78,28 @@ def render_top(stats: dict, clock=time.time) -> str:
                 upkeep.get("anomaly_ticks", 0),
             ]
         )
-    lines = [
+    header = (
         time.strftime("%H:%M:%S", time.localtime(clock()))
         + f"  requests={server.get('requests', 0)}"
         + f" batches={server.get('batches', 0)}"
         + f" rejected={server.get('rejected', 0)}"
         + f" efficiency={server.get('batching_efficiency', 0.0):.2f}"
         + f" maintenance_ticks={server.get('maintenance_ticks', 0)}"
-        + f" anomalies={health.get('anomalies', 0)}",
-        "",
-    ]
+        + f" anomalies={health.get('anomalies', 0)}"
+    )
+    if queue:
+        header += (
+            f"  queue[{queue.get('last', {}).get('mode', '-')}]"
+            + f" tasks={queue.get('tasks', 0)}"
+            + f" steals={queue.get('steals', 0)}"
+            + f" resubmits={queue.get('resubmits', 0)}"
+        )
+    lines = [header, ""]
     lines.extend(
         render_table(
             [
                 "tenant",
+                "lane",
                 "qps",
                 "p50 ms",
                 "p99 ms",
@@ -99,6 +115,23 @@ def render_top(stats: dict, clock=time.time) -> str:
         if rows
         else ["(no tenants reporting)"]
     )
+    if lanes:
+        lane_rows = [
+            [
+                row.get("lane", index),
+                row.get("batches", 0),
+                f"{row.get('busy_us', 0.0) / 1e3:.1f}",
+                f"{row.get('utilization', 0.0) * 100:.0f}%",
+                ",".join(row.get("tenants", [])) or "-",
+            ]
+            for index, row in enumerate(lanes)
+        ]
+        lines.append("")
+        lines.extend(
+            render_table(
+                ["lane", "batches", "busy ms", "util", "tenants"], lane_rows
+            )
+        )
     return "\n".join(lines)
 
 

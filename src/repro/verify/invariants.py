@@ -860,3 +860,104 @@ def check_serve_pulse_conservation(
             reference = out
         else:
             _expect_equal(f"split plan {plan_index} vs dense batch", reference, out)
+
+
+def check_queue_merge_order_identity(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int = 0,
+    shard_size: int = 2,
+) -> None:
+    """Micro-shard execution order is invisible after the index merge.
+
+    This is the engine-level contract the work-stealing queue relies
+    on: canonical micro-shards may run in *any* order (steals reorder
+    them, speculation duplicates them on replica engines), yet merging
+    outcomes strictly by shard index reproduces the serial map bit for
+    bit, with the same final pulse count — even with drift aging
+    enabled, because conductances only move at explicit sync points.
+    """
+    drifted = with_drift(config, _default_drift(seed))
+    limit = float(np.abs(x).max()) or 1.0
+    shards = [x[i : i + shard_size] for i in range(0, len(x), shard_size)]
+
+    serial_engine = _engine(weight, drifted, predictor, "vectorized", seed=seed)
+    serial_engine.set_dac_range(limit)
+    serial = [serial_engine.matvec(shard) for shard in shards]
+
+    rng = np.random.default_rng(seed + 1)
+    for trial in range(3):
+        order = rng.permutation(len(shards))
+        engine = _engine(weight, drifted, predictor, "vectorized", seed=seed)
+        engine.set_dac_range(limit)
+        outcomes: list = [None] * len(shards)
+        for index in order:
+            outcomes[index] = engine.matvec(shards[index])
+        # A speculative duplicate runs on a replica and is discarded
+        # whole; it must not perturb the primary's merged outputs.
+        twin_index = int(order[0])
+        twin = _engine(weight, drifted, predictor, "vectorized", seed=seed)
+        twin.set_dac_range(limit)
+        twin.matvec(shards[twin_index])  # loser outcome: dropped
+        if engine.pulse_count != serial_engine.pulse_count:
+            raise InvariantViolation(
+                f"permutation {trial}: {engine.pulse_count} pulses != "
+                f"serial {serial_engine.pulse_count}"
+            )
+        _expect_equal(
+            f"permutation {trial} ({list(order)}) merged by index",
+            np.vstack(serial),
+            np.vstack(outcomes),
+        )
+
+
+def check_lane_isolation_identity(
+    weight: np.ndarray,
+    config: CrossbarConfig,
+    predictor,
+    x: np.ndarray,
+    seed: int = 0,
+) -> None:
+    """Interleaving two tenants' schedules leaves each tenant unchanged.
+
+    The multi-lane server pins every tenant to one lane but interleaves
+    batches across lanes arbitrarily; since tenants own disjoint engine
+    state, any global interleaving must yield the same per-tenant
+    outputs and pulse counts as serving each tenant alone, start to
+    finish.
+    """
+    drifted = with_drift(config, _default_drift(seed))
+    weights = {"a": weight, "b": weight[::-1].copy()}
+    limit = float(np.abs(x).max()) or 1.0
+    shards = [x[i : i + 1] for i in range(len(x))]
+
+    def fresh(name):
+        engine = _engine(weights[name], drifted, predictor, "vectorized", seed=seed)
+        engine.set_dac_range(limit)
+        return engine
+
+    sequential: dict[str, np.ndarray] = {}
+    pulses: dict[str, int] = {}
+    for name in weights:
+        engine = fresh(name)
+        sequential[name] = np.vstack([engine.matvec(s) for s in shards])
+        pulses[name] = engine.pulse_count
+
+    engines = {name: fresh(name) for name in weights}
+    interleaved: dict[str, list] = {name: [] for name in weights}
+    for i, shard in enumerate(shards):  # strict a/b alternation per shard
+        for name in ("a", "b") if i % 2 == 0 else ("b", "a"):
+            interleaved[name].append(engines[name].matvec(shard))
+    for name in weights:
+        if engines[name].pulse_count != pulses[name]:
+            raise InvariantViolation(
+                f"tenant {name}: interleaved schedule aged "
+                f"{engines[name].pulse_count} pulses, sequential {pulses[name]}"
+            )
+        _expect_equal(
+            f"tenant {name}: interleaved vs sequential schedule",
+            sequential[name],
+            np.vstack(interleaved[name]),
+        )

@@ -338,6 +338,21 @@ def _catalog(
             weight, tiny_config(adc_bits=6), IdealPredictor(), x, seed=seed
         ),
     )
+    # Work-stealing queue + multi-lane serving contracts (PR 10): the
+    # engine-level statements behind out-of-order micro-shard execution
+    # and cross-lane tenant interleaving.
+    yield (
+        "metamorphic/queue/merge_order_identity",
+        lambda: inv.check_queue_merge_order_identity(
+            weight, tiny_config(adc_bits=6), IdealPredictor(), x, seed=seed
+        ),
+    )
+    yield (
+        "metamorphic/serve/lane_isolation_identity",
+        lambda: inv.check_lane_isolation_identity(
+            weight, tiny_config(adc_bits=6), IdealPredictor(), x, seed=seed
+        ),
+    )
 
     yield ("metamorphic/bitslice_reassembly", inv.check_bitslice_reassembly)
     yield ("contract/gain_clip", inv.check_gain_clip_contract)

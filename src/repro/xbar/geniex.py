@@ -38,6 +38,7 @@ Factorized inference
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -131,8 +132,12 @@ class GENIEx:
         self.metrics = metrics or {}
         # Voltage half of the first layer vs. the conductance-plus-extras
         # half (the latter folds into the precomputed column bias).
-        self._w1v = self.w1[:, :rows]  # (H, R)
-        self._w1g = self.w1[:, rows:]  # (H, R + EXTRA)
+        # Contiguous copies, not views: pickling materializes views as
+        # contiguous arrays, and strided vs. contiguous GEMM inputs can
+        # differ in the last bit — parent and pool workers must feed
+        # BLAS identically-laid-out operands to stay bit-identical.
+        self._w1v = np.ascontiguousarray(self.w1[:, :rows])  # (H, R)
+        self._w1g = np.ascontiguousarray(self.w1[:, rows:])  # (H, R + EXTRA)
         self._i_norm = rows * device.g_max * device.v_read
         # Hidden-layer evaluation strategy: "gemm" (default) reuses a
         # float32 workspace across chunks; "legacy" is the original
@@ -303,12 +308,39 @@ class GENIEx:
             np.maximum(pre, 0.0, out=pre)
             out[start : start + step] = pre @ self.w2 + self.b2
 
+    def __getstate__(self) -> dict:
+        """Pickle without scratch buffers.
+
+        Shipping a predictor to pool workers routes large arrays into
+        read-only shared memory; a pickled workspace would surface in
+        every worker as one *physically shared* buffer (fork preserves
+        the parent's thread ident, so the per-thread lookup hits it).
+        The numpy path then dies on the read-only flag — and the C
+        kernels, which write through raw pointers, would silently race
+        concurrent workers against each other's pre-activations.
+        """
+        state = self.__dict__.copy()
+        state.pop("_ws_bufs", None)
+        state.pop("_ws_buf", None)  # scratch attr of older pickles
+        return state
+
     def _block_workspace(self, size: int) -> np.ndarray:
-        """Reusable flat float32 scratch for the blocked evaluation."""
-        buf = getattr(self, "_ws_buf", None)
-        if buf is None or buf.size < size:
-            buf = np.empty(size, dtype=np.float32)
-            self._ws_buf = buf
+        """Reusable flat float32 scratch for the blocked evaluation.
+
+        Keyed per thread (a plain dict, so the predictor stays
+        picklable for shared-memory shipping): one predictor instance
+        is shared by every engine a lab builds, and serving lanes
+        evaluate different tenants' engines concurrently — a single
+        buffer would let one lane scribble over another's
+        pre-activations mid-matmul.
+        """
+        workspaces = getattr(self, "_ws_bufs", None)
+        if workspaces is None:
+            workspaces = self._ws_bufs = {}
+        key = threading.get_ident()
+        buf = workspaces.get(key)
+        if buf is None or buf.size < size or not buf.flags.writeable:
+            buf = workspaces[key] = np.empty(size, dtype=np.float32)
         return buf
 
     def predict(self, voltages: np.ndarray, conductances: np.ndarray) -> np.ndarray:

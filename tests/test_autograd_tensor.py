@@ -170,6 +170,44 @@ class TestNoGrad:
                 raise ValueError("boom")
         assert is_grad_enabled()
 
+    def test_no_grad_is_per_thread(self):
+        """Interleaved enter/exit pairs on other threads must not strand
+        this thread (or the process) in no-grad mode.
+
+        With a process-global flag the schedule A-enter, B-enter,
+        A-exit, B-exit leaves grad recording off forever — exactly the
+        interleaving concurrent serving lanes produce.
+        """
+        import threading
+
+        a_entered = threading.Event()
+        b_entered = threading.Event()
+        a_exited = threading.Event()
+        inside = {}
+
+        def thread_a():
+            with no_grad():
+                a_entered.set()
+                b_entered.wait(5.0)
+            a_exited.set()
+
+        def thread_b():
+            a_entered.wait(5.0)
+            with no_grad():
+                inside["b"] = is_grad_enabled()
+                b_entered.set()
+                a_exited.wait(5.0)
+            inside["b_after"] = is_grad_enabled()
+
+        workers = [threading.Thread(target=thread_a), threading.Thread(target=thread_b)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(10.0)
+        assert inside == {"b": False, "b_after": True}
+        assert is_grad_enabled()
+        assert Tensor([1.0], requires_grad=True).requires_grad
+
 
 class TestShapeOps:
     def test_reshape_roundtrip_gradient(self):

@@ -309,6 +309,7 @@ def test_live_event_types_round_trip_the_sink_and_validate(tmp_path) -> None:
         queue_depth=2,
         wait_us=100.0,
         infer_us=2000.0,
+        lane=0,
         batch_id=7,
         traces=["req-0000002a"],
     )

@@ -25,6 +25,7 @@ from repro.nn.resnet import build_model
 from repro.parallel import (
     ProcessBackend,
     SerialBackend,
+    ShardTask,
     get_backend,
     parallel_backend,
     plan_shards,
@@ -137,6 +138,99 @@ def test_pool_failure_falls_back_to_serial(monkeypatch) -> None:
         assert acc == evaluate_accuracy(model, x, y, batch_size=2)
     finally:
         backend.close()
+
+
+def test_fallback_warning_carries_cause_chain(monkeypatch) -> None:
+    """The degradation warning names the root cause, not just the wrapper."""
+    backend = ProcessBackend(2)
+    try:
+
+        def explode():
+            try:
+                raise PermissionError("shm segment denied")
+            except PermissionError as root:
+                raise OSError("pool start failed") from root
+
+        monkeypatch.setattr(backend, "_ensure_pool", explode)
+        tasks = [ShardTask("synthetic", {"index": i}) for i in range(3)]
+        with pytest.warns(RuntimeWarning) as caught:
+            results = backend.run_tasks(None, tasks)
+        message = str(caught[0].message)
+        assert "OSError: pool start failed" in message
+        assert "caused by" in message
+        assert "PermissionError: shm segment denied" in message
+        assert "continuing serially" in message
+        assert [r["index"] for r in results] == [0, 1, 2]
+    finally:
+        backend.close()
+
+
+def test_fallback_serial_error_chains_to_pool_error(monkeypatch) -> None:
+    """If the serial retry *also* fails, neither traceback is swallowed."""
+    backend = ProcessBackend(2)
+    try:
+        monkeypatch.setattr(
+            backend,
+            "_ensure_pool",
+            lambda: (_ for _ in ()).throw(OSError("pool boom")),
+        )
+        monkeypatch.setattr(
+            backend._serial,
+            "run_tasks",
+            lambda model, tasks: (_ for _ in ()).throw(
+                ValueError("serial boom")
+            ),
+        )
+        tasks = [ShardTask("synthetic", {"index": 0})]
+        with pytest.warns(RuntimeWarning, match="continuing serially"):
+            with pytest.raises(ValueError, match="serial boom") as excinfo:
+                backend.run_tasks(None, tasks)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, OSError)
+        assert "pool boom" in str(cause)
+    finally:
+        backend.close()
+
+
+def test_killed_worker_evicts_warm_pool_and_releases_shm(digital_model) -> None:
+    """SIGKILLing a pool worker must not leave a zombie warm pool behind.
+
+    The broken backend has to (a) answer the in-flight map serially,
+    (b) evict itself from the warm-pool cache so the next entry forks a
+    fresh pool, and (c) unlink its shared-memory snapshots immediately
+    instead of at interpreter exit.
+    """
+    import os
+    import signal
+
+    from repro.parallel import backend as backend_mod
+
+    x = np.random.default_rng(0).random((6, 3, 8, 8)).astype(np.float32)
+    y = np.arange(6) % 4
+    serial = evaluate_accuracy(digital_model, x, y, batch_size=2)
+
+    with parallel_backend(2) as backend:
+        # Warm the pool (forks workers, shares the model).
+        assert serial == evaluate_accuracy(digital_model, x, y, batch_size=2)
+        assert backend_mod._POOLED.get(2) is backend
+        assert backend._handles
+        victims = list(backend._pool._processes.values())
+        assert victims
+        for proc in victims:
+            os.kill(proc.pid, signal.SIGKILL)
+        with pytest.warns(RuntimeWarning, match="continuing serially"):
+            acc = evaluate_accuracy(digital_model, x, y, batch_size=2)
+        assert acc == serial
+        assert backend._broken
+        # Evicted from the warm-pool map, shm handles unlinked now.
+        assert backend_mod._POOLED.get(2) is not backend
+        assert not backend._handles
+
+    # A fresh entry forks a replacement pool that works bit-identically.
+    with parallel_backend(2) as fresh:
+        assert fresh is not backend
+        assert not fresh._broken
+        assert serial == evaluate_accuracy(digital_model, x, y, batch_size=2)
 
 
 def test_parallel_backend_restores_previous() -> None:

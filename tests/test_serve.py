@@ -350,7 +350,7 @@ def test_server_stop_survives_collector_death(tiny_serve_lab) -> None:
 
     server, outcome = asyncio.run(scenario())
     assert isinstance(outcome, ServerClosed)  # rejected, never dropped
-    assert server._lane is None  # lane shut down despite the re-raise
+    assert server._lanes == []  # lanes shut down despite the re-raise
 
 
 def test_server_drift_pulse_accounting_and_maintenance(tiny_serve_lab) -> None:
@@ -417,6 +417,155 @@ def test_tcp_round_trip_matches_in_process(tiny_serve_lab) -> None:
     np.testing.assert_array_equal(np.asarray(good["logits"]), reference[0])
     assert bad == {"ok": False, "error": "unknown_model"}
     assert wrong == {"ok": False, "error": "invalid_image"}
+
+
+# ----------------------------------------------------------------------
+# Multi-lane serving
+# ----------------------------------------------------------------------
+
+def test_lane_for_is_pure_name_hash(tiny_serve_lab) -> None:
+    """Lane assignment depends only on the tenant name and lane count."""
+    import zlib
+
+    registry = make_registry(tiny_serve_lab)
+    server = AnalogServer(registry, serve_config(lanes=4))
+    assert server.lanes == 4
+    for name in ("fp", "q", "dr", "anything-else"):
+        lane = server.lane_for(name)
+        assert 0 <= lane < 4
+        assert lane == zlib.crc32(name.encode("utf-8")) % 4
+        assert lane == server.lane_for(name)  # stable across calls
+    single = AnalogServer(registry, serve_config())
+    assert single.lanes == 1
+    assert single.lane_for("fp") == 0
+
+
+def _run_mixed_traffic(lab, lanes: int, n: int = 16):
+    """Fresh registry + server at a lane count; returns logits + server."""
+    registry = make_registry(lab)
+    registry.load_all()
+    images = lab.eval_images(6)
+
+    async def scenario():
+        async with AnalogServer(
+            registry, serve_config(lanes=lanes)
+        ) as server:
+            tasks = [
+                asyncio.create_task(
+                    server.submit(("fp", "q")[i % 2], images[i % len(images)])
+                )
+                for i in range(n)
+            ]
+            results = await asyncio.gather(*tasks)
+        return results, server
+
+    results, server = asyncio.run(scenario())
+    return [np.asarray(r.logits) for r in results], server, registry
+
+
+def test_server_logits_identical_across_lane_counts(tiny_serve_lab) -> None:
+    """Lane count is a throughput knob, never a numerics knob.
+
+    The same mixed-tenant traffic served at lanes 1, 2 and 4 must
+    produce bitwise-identical logits for every request, and per-tenant
+    pulse totals (merged across lane ledgers) must agree exactly.
+    """
+    reference_logits, reference_server, _ = _run_mixed_traffic(
+        tiny_serve_lab, lanes=1
+    )
+    reference_pulses = reference_server.merged_pulses()
+    for lanes in (2, 4):
+        logits, server, registry = _run_mixed_traffic(tiny_serve_lab, lanes)
+        for i, (got, want) in enumerate(zip(logits, reference_logits)):
+            np.testing.assert_array_equal(got, want, err_msg=f"request {i}")
+        assert server.merged_pulses() == reference_pulses
+        # And each result still matches a straight serial forward pass.
+        images = tiny_serve_lab.eval_images(6)
+        for i, got in enumerate(logits):
+            model = ("fp", "q")[i % 2]
+            serial = predict_logits(
+                registry.model(model).model, images[i % len(images)][None]
+            )
+            np.testing.assert_array_equal(got, serial[0])
+
+
+def test_lane_stats_accounts_every_batch(tiny_serve_lab) -> None:
+    _, server, _ = _run_mixed_traffic(tiny_serve_lab, lanes=2)
+    rows = server.lane_stats()
+    assert [row["lane"] for row in rows] == [0, 1]
+    stats = server.stats()
+    assert sum(row["batches"] for row in rows) == stats.batches
+    for row in rows:
+        if row["batches"]:
+            assert row["busy_us"] > 0.0
+            assert row["tenants"]  # the tenants this lane actually served
+    # Tenants are routed to their hash lane, and only that lane.
+    for row in rows:
+        for tenant in row["tenants"]:
+            assert server.lane_for(tenant) == row["lane"]
+
+
+def test_live_stats_exposes_lanes_and_queue(tiny_serve_lab) -> None:
+    _, server, _ = _run_mixed_traffic(tiny_serve_lab, lanes=2)
+    payload = server.live_stats()
+    assert "lanes" in payload and len(payload["lanes"]) == 2
+    assert "queue" in payload  # {} under the serial backend
+    frame = render_top_frame(payload)
+    assert "lane" in frame and "util" in frame
+
+
+def render_top_frame(payload: dict) -> str:
+    from repro.serve.top import render_top
+
+    return render_top(payload, clock=lambda: 0.0)
+
+
+def test_render_top_lane_and_queue_columns() -> None:
+    """Dashboard renders the lane table and queue header from a payload."""
+    payload = {
+        "server": {
+            "requests": 8,
+            "batches": 4,
+            "rejected": 0,
+            "batching_efficiency": 2.0,
+            "maintenance_ticks": 1,
+            "pulses": {"fp": 128},
+        },
+        "tenants": {"fp": {"qps": 3.5, "p50_ms": 1.2, "p99_ms": 2.5}},
+        "queues": {"fp": 0},
+        "health": {"anomalies": 0},
+        "lanes": [
+            {
+                "lane": 0,
+                "batches": 3,
+                "busy_us": 1500.0,
+                "utilization": 0.42,
+                "tenants": ["fp"],
+            },
+            {
+                "lane": 1,
+                "batches": 1,
+                "busy_us": 200.0,
+                "utilization": 0.05,
+                "tenants": [],
+            },
+        ],
+        "queue": {
+            "tasks": 7,
+            "steals": 2,
+            "resubmits": 1,
+            "last": {"mode": "adaptive"},
+        },
+    }
+    frame = render_top_frame(payload)
+    assert "queue[adaptive] tasks=7 steals=2 resubmits=1" in frame
+    assert "42%" in frame and "5%" in frame
+    lines = frame.splitlines()
+    lane_header = next(line for line in lines if "busy ms" in line)
+    assert "lane" in lane_header and "util" in lane_header
+    # The tenant table's lane column places fp on its hash lane (0).
+    tenant_row = next(line for line in lines if line.lstrip().startswith("fp"))
+    assert tenant_row.split()[1] == "0"
 
 
 # ----------------------------------------------------------------------

@@ -160,3 +160,82 @@ class TestRowStability:
         standalone = tiny_geniex.predict_from_bias(np.zeros((1, 8)), handle)
         in_batch = tiny_geniex.predict_from_bias(v, handle)
         np.testing.assert_array_equal(in_batch[7], standalone[0])
+
+    def test_concurrent_predictions_are_isolated(self, tiny_geniex, rng):
+        """One predictor instance serves every engine a lab builds, and
+        multi-lane serving calls it from several threads at once — the
+        blocked-evaluation scratch must be per-thread, or one lane
+        scribbles over another's pre-activations mid-matmul."""
+        import threading
+
+        device = tiny_geniex.device
+        workloads = []
+        for seed in range(4):
+            local = np.random.default_rng(seed)
+            g = device.g_min + local.integers(0, 4, size=(8, 8)) * device.g_step
+            v = local.random((64, 8)) * device.v_read
+            workloads.append((v, tiny_geniex.column_bias(g)))
+        expected = [
+            tiny_geniex.predict_from_bias(v, handle) for v, handle in workloads
+        ]
+
+        results = [[None] * len(workloads) for _ in range(4)]
+        failures = []
+
+        def worker(slot):
+            try:
+                for _ in range(10):
+                    for i, (v, handle) in enumerate(workloads):
+                        results[slot][i] = tiny_geniex.predict_from_bias(v, handle)
+            except Exception as exc:  # pragma: no cover - diagnosis aid
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        for slot in range(4):
+            for i, want in enumerate(expected):
+                np.testing.assert_array_equal(results[slot][i], want)
+
+    def test_pickle_drops_scratch_buffers(self, tiny_geniex, rng):
+        """Shipping a predictor must never ship its workspace.
+
+        The shm model shipment turns large pickled arrays into
+        read-only views of one shared segment; a pickled scratch would
+        become a buffer *physically shared by every pool worker* (fork
+        preserves the parent's thread ident, so the per-thread lookup
+        hits it).  The numpy path then raises on the read-only flag and
+        the C kernels silently race concurrent workers — seen as
+        nondeterministic HIL-PGD results whenever two workers executed
+        simultaneously (e.g. speculative straggler twins)."""
+        import pickle
+        import threading
+
+        device = tiny_geniex.device
+        local = np.random.default_rng(7)
+        g = device.g_min + local.integers(0, 4, size=(8, 8)) * device.g_step
+        v = local.random((16, 8)) * device.v_read
+        want = tiny_geniex.predict_from_bias(v, tiny_geniex.column_bias(g))
+        assert getattr(tiny_geniex, "_ws_bufs", None)  # scratch exists
+
+        state = pickle.dumps(tiny_geniex)
+        assert b"_ws_bufs" not in state and b"_ws_buf" not in state
+        clone = pickle.loads(state)
+        assert not getattr(clone, "_ws_bufs", None)
+        np.testing.assert_array_equal(
+            clone.predict_from_bias(v, clone.column_bias(g)), want
+        )
+
+        # Defense in depth: a workspace entry inherited read-only (the
+        # shm view an older pickle would resurrect) is replaced, not
+        # written through.
+        stale = np.zeros(1 << 20, dtype=np.float32)
+        stale.flags.writeable = False
+        clone._ws_bufs = {threading.get_ident(): stale}
+        np.testing.assert_array_equal(
+            clone.predict_from_bias(v, clone.column_bias(g)), want
+        )
+        assert clone._ws_bufs[threading.get_ident()].flags.writeable
